@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks of the GEMM kernel (Bonito's compute core),
+//! including the blocked-vs-naive ablation (DESIGN.md ablation #4) and
+//! rayon thread scaling of the full network forward pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqtools::bonito::BonitoModel;
+use seqtools::nn::Matrix;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked_parallel", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_naive(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bonito_forward");
+    group.sample_size(10);
+    let model = BonitoModel::pretrained(9);
+    for chunk in [500usize, 2000, 8000] {
+        let signal: Vec<f32> = (0..chunk).map(|i| (i as f32 * 0.01).sin()).collect();
+        group.throughput(Throughput::Elements(model.flops(chunk) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
+            b.iter(|| model.forward(&signal))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_network_forward);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks of the minimizer mapper (the overlap
+//! substrate feeding Racon).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seqtools::mapper::{minimizers, MapperConfig, TargetIndex};
+use seqtools::sim::genome::random_genome;
+use seqtools::sim::reads::{sample_reads, ErrorModel};
+
+fn bench_minimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimizers");
+    for len in [10_000usize, 50_000] {
+        let genome = random_genome(len, 5);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| minimizers(&genome, 11, 5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(20);
+    for len in [10_000usize, 50_000] {
+        let genome = random_genome(len, 6);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| TargetIndex::build(&genome, MapperConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_reads");
+    group.sample_size(20);
+    let genome = random_genome(50_000, 7);
+    let index = TargetIndex::build(&genome, MapperConfig::default());
+    let reads: Vec<String> = sample_reads(&genome, 50, 2_000, &ErrorModel::pacbio(), 9)
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    let total: usize = reads.iter().map(String::len).sum();
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("50x2kb_pacbio", |b| b.iter(|| index.map_all(&reads)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimizers, bench_index_build, bench_map_reads);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the POA engine — the compute kernel of
+//! Racon — including the banding ablation (DESIGN.md ablation #2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqtools::poa::PoaGraph;
+use seqtools::sim::genome::random_genome;
+use seqtools::sim::reads::{mutate_sequence, ErrorModel};
+
+fn reads_for(backbone: &str, n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| mutate_sequence(backbone, &ErrorModel::pacbio(), &mut rng)).collect()
+}
+
+fn bench_poa_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poa_window");
+    group.sample_size(10);
+    for window_len in [250usize, 500, 1000] {
+        let backbone = random_genome(window_len, 7);
+        let reads = reads_for(&backbone, 16, 11);
+        let total_bases: usize = reads.iter().map(String::len).sum();
+        group.throughput(Throughput::Bytes(total_bases as u64));
+        group.bench_with_input(BenchmarkId::new("full", window_len), &window_len, |b, _| {
+            b.iter(|| {
+                let mut g = PoaGraph::from_sequence(backbone.as_bytes());
+                for r in &reads {
+                    g.add_sequence(r.as_bytes(), None);
+                }
+                g.consensus_anchored()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("banded_100", window_len),
+            &window_len,
+            |b, _| {
+                b.iter(|| {
+                    let mut g = PoaGraph::from_sequence(backbone.as_bytes());
+                    for r in &reads {
+                        g.add_sequence(r.as_bytes(), Some(100));
+                    }
+                    g.consensus_anchored()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_poa_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poa_coverage");
+    group.sample_size(10);
+    let backbone = random_genome(500, 3);
+    for coverage in [4usize, 8, 16, 32] {
+        let reads = reads_for(&backbone, coverage, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(coverage), &coverage, |b, _| {
+            b.iter(|| {
+                let mut g = PoaGraph::from_sequence(backbone.as_bytes());
+                for r in &reads {
+                    g.add_sequence(r.as_bytes(), Some(100));
+                }
+                g.consensus_anchored()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poa_window, bench_poa_coverage);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: automatic mixed precision for `bonito train`.
+//!
+//! The paper notes Bonito "has automatic mixed-precision support for
+//! accelerating the training tool". This harness fine-tunes the model
+//! head on simulated squiggle data and compares the modeled training time
+//! at FP32 vs AMP across GPU generations: on the evaluation K80 (no
+//! tensor cores) AMP only halves memory traffic, while on V100/A100 the
+//! tensor cores dominate.
+
+use gpusim::{CudaContext, GpuArch, GpuCluster};
+use gyan_bench::table::{banner, fmt_secs, Table};
+use seqtools::bonito::commands::convert_training_data;
+use seqtools::bonito::{train_head, BonitoModel, TrainOpts};
+use seqtools::sim::genome::random_genome;
+use seqtools::sim::squiggle::{simulate_squiggle, PoreModel};
+
+fn main() {
+    banner("Ablation", "bonito train: FP32 vs automatic mixed precision");
+
+    // A small training set of (signal, target) chunks.
+    let genome = random_genome(4_000, 3);
+    let pore = PoreModel::default();
+    let signals: Vec<Vec<f32>> =
+        (0..4).map(|i| simulate_squiggle(&genome, &pore, 900 + i)).collect();
+    let targets = vec![genome.clone(); 4];
+    let chunks = convert_training_data(&signals, &targets, 2_000, 10);
+    println!("training set: {} chunks of 2000 samples\n", chunks.len());
+
+    let mut table = Table::new(&["architecture", "FP32", "AMP (FP16)", "speedup"]);
+    for arch in [GpuArch::tesla_k80(), GpuArch::tesla_v100(), GpuArch::a100()] {
+        let time_for = |amp: bool| -> (f64, f64) {
+            let cluster = GpuCluster::node(arch.clone(), 1);
+            let mut ctx = CudaContext::new(&cluster, None, 1, "bonito_train").unwrap();
+            let mut model = BonitoModel::pretrained(11);
+            let report = train_head(
+                &mut model,
+                &chunks,
+                &TrainOpts { epochs: 2, amp, ..TrainOpts::default() },
+                Some((&cluster, &mut ctx)),
+            );
+            ctx.destroy();
+            (report.gpu_seconds, *report.epoch_losses.last().unwrap())
+        };
+        let (fp32_s, fp32_loss) = time_for(false);
+        let (amp_s, amp_loss) = time_for(true);
+        // AMP changes timing, never results: the arithmetic is identical.
+        assert!((fp32_loss - amp_loss).abs() < 1e-12);
+        table.row(&[
+            arch.name.to_string(),
+            fmt_secs(fp32_s),
+            fmt_secs(amp_s),
+            format!("{:.2}x", fp32_s / amp_s),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nK80 (the paper's device) has no fast FP16 path, so AMP is a wash on\n\
+         compute-bound training GEMMs; on V100/A100 the tensor cores turn AMP\n\
+         into a large win — the reason the feature exists in Bonito."
+    );
+}

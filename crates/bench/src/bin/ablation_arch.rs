@@ -1,0 +1,87 @@
+//! Ablation: GPU architecture sweep.
+//!
+//! The paper's evaluation runs on Tesla K80s, but its motivation cites
+//! V100/A100 deployments ("they expect more gains with A100"). This
+//! harness re-runs both workloads' GPU paths on simulated K80, V100, and
+//! A100 nodes to quantify how much of the end-to-end win is bounded by
+//! the non-GPU phases (Amdahl) versus the device itself.
+
+use gpusim::{CudaContext, GpuArch, GpuCluster, HostSpec, VirtualClock};
+use gyan_bench::table::{banner, fmt_secs, Table};
+use seqtools::bonito::{basecall_cpu, basecall_gpu, BonitoInput, BonitoModel, BonitoOpts};
+use seqtools::racon::{polish_cpu, polish_gpu, RaconInput, RaconOpts};
+use seqtools::DatasetSpec;
+
+fn main() {
+    banner("Ablation", "GPU architecture sweep: Tesla K80 vs V100 vs A100");
+    let archs: [(&str, GpuArch); 3] = [
+        ("Tesla K80", GpuArch::tesla_k80()),
+        ("Tesla V100", GpuArch::tesla_v100()),
+        ("A100", GpuArch::a100()),
+    ];
+
+    // ---- Racon ---------------------------------------------------------
+    let input = RaconInput::from_dataset(&DatasetSpec::alzheimers_nfl());
+    let opts = RaconOpts { threads: 4, batches: 4, banded: false, window_len: 500 };
+    let cpu = polish_cpu(&input, &opts, &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+
+    let mut t = Table::new(&["Racon (17 GB)", "kernels", "polish", "end-to-end", "vs CPU"]);
+    t.row(&[
+        "CPU only (4 threads)".into(),
+        "-".into(),
+        fmt_secs(cpu.polish_s),
+        fmt_secs(cpu.total_s),
+        "1.00x".into(),
+    ]);
+    for (name, arch) in &archs {
+        let cluster = GpuCluster::node(arch.clone(), 2);
+        let mut ctx = CudaContext::new(&cluster, None, 1, "racon_gpu").unwrap();
+        let gpu = polish_gpu(&input, &opts, &cluster, &mut ctx).unwrap();
+        ctx.destroy();
+        t.row(&[
+            name.to_string(),
+            fmt_secs(gpu.kernel_s),
+            fmt_secs(gpu.polish_s),
+            fmt_secs(gpu.total_s),
+            format!("{:.2}x", cpu.total_s / gpu.total_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "Newer devices crush the kernel time, but Racon's end-to-end win saturates:\n\
+         the non-polish phases (~{:.0} s) dominate once kernels are fast — Amdahl's law\n\
+         on the paper's own phase breakdown.\n",
+        cpu.other_s
+    );
+
+    // ---- Bonito --------------------------------------------------------
+    let input = BonitoInput::from_dataset(&DatasetSpec::acinetobacter_pittii());
+    let model = BonitoModel::pretrained(1);
+    let opts = BonitoOpts::default();
+    let cpu = basecall_cpu(&input, &model, &opts, &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+
+    let mut t = Table::new(&["Bonito (1.5 GB)", "inference", "total", "vs CPU"]);
+    t.row(&[
+        "CPU only (48 threads)".into(),
+        fmt_secs(cpu.nn_s),
+        fmt_secs(cpu.total_s),
+        "1x".into(),
+    ]);
+    for (name, arch) in &archs {
+        let cluster = GpuCluster::node(arch.clone(), 2);
+        let mut ctx = CudaContext::new(&cluster, None, 1, "bonito").unwrap();
+        let gpu = basecall_gpu(&input, &model, &opts, &cluster, &mut ctx).unwrap();
+        ctx.destroy();
+        t.row(&[
+            name.to_string(),
+            fmt_secs(gpu.nn_s),
+            fmt_secs(gpu.total_s),
+            format!("{:.0}x", cpu.total_s / gpu.total_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "Bonito is ~pure GEMM, so its speedup keeps scaling with the device —\n\
+         consistent with the paper's expectation of larger gains on newer parts."
+    );
+}

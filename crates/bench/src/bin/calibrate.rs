@@ -1,0 +1,88 @@
+//! Calibration probe: prints every headline number of the paper next to
+//! the model's current output, for tuning the cost-model constants in
+//! `seqtools::racon::model` and `seqtools::bonito::costs`.
+
+use gpusim::{CudaContext, GpuCluster, HostSpec, VirtualClock};
+use gyan_bench::paper;
+use seqtools::bonito::{basecall_cpu, basecall_gpu, BonitoInput, BonitoModel, BonitoOpts};
+use seqtools::racon::{polish_cpu, polish_gpu, RaconInput, RaconOpts};
+use seqtools::DatasetSpec;
+
+fn main() {
+    // ---- Racon on the Alzheimers NFL instance --------------------------
+    let spec = DatasetSpec::alzheimers_nfl();
+    println!("racon instance: work_scale = {:.0}", spec.work_scale());
+    let input = RaconInput::from_dataset(&spec);
+    println!(
+        "  overlaps {}/{} reads, synthetic bytes {:.0}",
+        input.overlaps.len(),
+        input.reads.len(),
+        input.synthetic_bytes()
+    );
+
+    let opts = RaconOpts { threads: 4, batches: 1, banded: false, window_len: 500 };
+    let cpu = polish_cpu(&input, &opts, &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+    println!(
+        "  CPU: other {:.0}s polish {:.0}s total {:.0}s   (paper: other ~{:.0} polish {:.0} total {:.0})",
+        cpu.other_s,
+        cpu.polish_s,
+        cpu.total_s,
+        paper::racon::END_TO_END_CPU_S - paper::racon::POLISH_CPU_S,
+        paper::racon::POLISH_CPU_S,
+        paper::racon::END_TO_END_CPU_S
+    );
+    println!("  cells (real) = {:.3e}", cpu.cells as f64);
+
+    let cluster = GpuCluster::k80_node();
+    let mut ctx = CudaContext::new(&cluster, None, 1, "racon_gpu").unwrap();
+    let gpu = polish_gpu(&input, &opts, &cluster, &mut ctx).unwrap();
+    let prof = ctx.destroy();
+    println!(
+        "  GPU: other {:.0}s polish {:.1}s (alloc {:.1} kernel {:.1} xfer {:.1}) total {:.0}s",
+        gpu.other_s, gpu.polish_s, gpu.alloc_s, gpu.kernel_s, gpu.transfer_s, gpu.total_s
+    );
+    println!(
+        "       (paper: polish {:.0} = alloc {:.0} + kernel {:.0}; total {:.0}; API overhead ~{:.0})",
+        paper::racon::POLISH_GPU_S,
+        paper::racon::POLISH_GPU_ALLOC_S,
+        paper::racon::POLISH_GPU_KERNEL_S,
+        paper::racon::END_TO_END_GPU_S,
+        paper::racon::CUDA_API_OVERHEAD_S
+    );
+    println!("  end-to-end speedup = {:.2}x (paper ~2x)", cpu.total_s / gpu.total_s);
+    let stalls = prof.stall_analysis();
+    println!(
+        "  stalls: mem {:.0}% exec {:.0}% other {:.0}%  (paper ~70/20/10)",
+        stalls.memory_dependency * 100.0,
+        stalls.execution_dependency * 100.0,
+        stalls.other * 100.0
+    );
+    println!("  api report:");
+    for (name, e) in prof.api_report() {
+        println!("    {name:<26} {:>9.2}s  x{}", e.seconds, e.calls);
+    }
+
+    // ---- Bonito --------------------------------------------------------
+    for spec in [DatasetSpec::acinetobacter_pittii(), DatasetSpec::klebsiella_ksb2()] {
+        let input = BonitoInput::from_dataset(&spec);
+        let model = BonitoModel::pretrained(spec.seed);
+        let opts = BonitoOpts::default();
+        let cpu = basecall_cpu(&input, &model, &opts, &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+        let cluster = GpuCluster::k80_node();
+        let mut ctx = CudaContext::new(&cluster, None, 2, "bonito").unwrap();
+        let gpu = basecall_gpu(&input, &model, &opts, &cluster, &mut ctx).unwrap();
+        ctx.destroy();
+        println!(
+            "bonito {}: CPU {:.0} h, GPU {:.2} h, speedup {:.0}x (paper CPU >{:.0} h, speedup >50x)",
+            spec.name,
+            cpu.total_s / 3600.0,
+            gpu.total_s / 3600.0,
+            cpu.total_s / gpu.total_s,
+            if spec.name.starts_with("Acineto") {
+                paper::bonito::ACINETOBACTER_CPU_HOURS_MIN
+            } else {
+                paper::bonito::KLEBSIELLA_CPU_HOURS_MIN
+            }
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 4: hotspot functions of the Racon-GPU run (NVProf analysis).
+//!
+//! The paper finds "the majority of the calls are kernel synchronization
+//! calls, memory transfer API calls ... and lastly, ClaraGenomics library
+//! kernel calls, which are generatePOAKernel and generateConsensusKernel",
+//! plus a stall analysis of ~70% memory-dependency and ~20%
+//! execution-dependency stalls.
+
+use gyan_bench::table::{banner, Table};
+use gyan_bench::{paper, Testbed};
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 40.0).round() as usize;
+    "#".repeat(n.min(40))
+}
+
+fn main() {
+    banner("Fig. 4", "NVProf hotspots of Racon-GPU (Alzheimers NFL, 17 GB)");
+    let mut tb = Testbed::k80();
+    let id = tb.submit_racon(4, 1, false, "Alzheimers_NFL_IsoSeq").expect("racon gpu run");
+    let prof = tb.executor.profiler_for_job(id).expect("gpu job has a profiler");
+
+    println!("\nAPI calls (host time):");
+    let total_api = prof.total_api_seconds();
+    let mut t = Table::new(&["api call", "time", "calls", "share", ""]);
+    for (name, e) in prof.api_report() {
+        let share = e.seconds / total_api;
+        t.row(&[
+            name,
+            format!("{:.2} s", e.seconds),
+            e.calls.to_string(),
+            format!("{:.1}%", share * 100.0),
+            bar(share),
+        ]);
+    }
+    t.print();
+
+    println!("\nGPU activities (device time):");
+    let total_gpu = prof.total_gpu_seconds();
+    let mut t = Table::new(&["activity", "time", "calls", "share", ""]);
+    for (name, e) in prof.gpu_report() {
+        let share = e.seconds / total_gpu;
+        t.row(&[
+            name,
+            format!("{:.2} s", e.seconds),
+            e.calls.to_string(),
+            format!("{:.1}%", share * 100.0),
+            bar(share),
+        ]);
+    }
+    t.print();
+
+    let stalls = prof.stall_analysis();
+    println!("\nStall analysis (paper: ~70% memory dependency, ~20% execution dependency):");
+    println!("  memory dependency    {:>5.1}%  {}", stalls.memory_dependency * 100.0, bar(stalls.memory_dependency));
+    println!("  execution dependency {:>5.1}%  {}", stalls.execution_dependency * 100.0, bar(stalls.execution_dependency));
+    println!("  other                {:>5.1}%  {}", stalls.other * 100.0, bar(stalls.other));
+    println!(
+        "\npaper reference: memory {:.0}% / execution {:.0}%",
+        paper::racon::STALL_MEMORY_DEP * 100.0,
+        paper::racon::STALL_EXEC_DEP * 100.0
+    );
+}

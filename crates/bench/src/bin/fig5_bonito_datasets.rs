@@ -1,0 +1,38 @@
+//! Figure 5: Bonito CPU vs GPU execution time on the two fast5 datasets.
+//!
+//! The paper: CPU on Acinetobacter_pittii (1.5 GB) ran "more than 210
+//! hours" before being aborted; Klebsiella_pneumoniae_KSB2 (5.2 GB) was
+//! approximated at 4× that (>850 h). GPU runs finish in hours, for a
+//! speedup "more than 50×".
+
+use gyan_bench::table::{banner, fmt_secs, Table};
+use gyan_bench::{paper, Testbed};
+
+fn main() {
+    banner("Fig. 5", "Bonito CPU vs GPU on Acinetobacter_pittii and Klebsiella_KSB2");
+    let datasets = ["Acinetobacter_pittii", "Klebsiella_pneumoniae_KSB2"];
+    let paper_cpu_min_h =
+        [paper::bonito::ACINETOBACTER_CPU_HOURS_MIN, paper::bonito::KLEBSIELLA_CPU_HOURS_MIN];
+
+    let mut t = Table::new(&["dataset", "CPU", "GPU", "speedup", "paper CPU", "paper speedup"]);
+    for (i, dataset) in datasets.iter().enumerate() {
+        let mut cpu_tb = Testbed::cpu_only();
+        let id = cpu_tb.submit_bonito(dataset).expect("cpu bonito run");
+        let cpu_s = cpu_tb.runtime(id);
+
+        let mut gpu_tb = Testbed::k80();
+        let id = gpu_tb.submit_bonito(dataset).expect("gpu bonito run");
+        let gpu_s = gpu_tb.runtime(id);
+
+        t.row(&[
+            dataset.to_string(),
+            fmt_secs(cpu_s),
+            fmt_secs(gpu_s),
+            format!("{:.0}x", cpu_s / gpu_s),
+            format!(">{:.0} h", paper_cpu_min_h[i]),
+            format!(">{:.0}x", paper::bonito::SPEEDUP_MIN),
+        ]);
+    }
+    t.print();
+    println!("\nNote: the paper reports CPU times as lower bounds (runs were aborted).");
+}

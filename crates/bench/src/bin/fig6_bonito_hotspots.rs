@@ -1,0 +1,59 @@
+//! Figure 6: Bonito hotspot functions (NVProf analysis).
+//!
+//! The paper: "The main hotspot functions were found to be CUDA kernel
+//! launcher, kernel synchronizer functions, and GEneral Matrix to Matrix
+//! Multiplication (GEMM) functions, which are a critical part of neural
+//! networks."
+
+use gyan_bench::table::{banner, Table};
+use gyan_bench::Testbed;
+
+fn bar(frac: f64) -> String {
+    "#".repeat(((frac * 40.0).round() as usize).min(40))
+}
+
+fn main() {
+    banner("Fig. 6", "NVProf hotspots of the Bonito basecaller (Acinetobacter_pittii)");
+    let mut tb = Testbed::k80();
+    let id = tb.submit_bonito("Acinetobacter_pittii").expect("gpu bonito run");
+    let prof = tb.executor.profiler_for_job(id).expect("gpu job has a profiler");
+
+    println!("\nAPI calls (host time):");
+    let total_api = prof.total_api_seconds();
+    let mut t = Table::new(&["api call", "time", "calls", "share", ""]);
+    for (name, e) in prof.api_report() {
+        let share = e.seconds / total_api;
+        t.row(&[
+            name,
+            format!("{:.2} s", e.seconds),
+            e.calls.to_string(),
+            format!("{:.1}%", share * 100.0),
+            bar(share),
+        ]);
+    }
+    t.print();
+
+    println!("\nGPU activities (device time) — GEMM kernels dominate:");
+    let total_gpu = prof.total_gpu_seconds();
+    let mut t = Table::new(&["activity", "time", "calls", "share", ""]);
+    for (name, e) in prof.gpu_report() {
+        let share = e.seconds / total_gpu;
+        t.row(&[
+            name,
+            format!("{:.2} s", e.seconds),
+            e.calls.to_string(),
+            format!("{:.1}%", share * 100.0),
+            bar(share),
+        ]);
+    }
+    t.print();
+
+    let gemm_share: f64 = prof
+        .gpu_report()
+        .iter()
+        .filter(|(n, _)| n.starts_with("sgemm"))
+        .map(|(_, e)| e.seconds)
+        .sum::<f64>()
+        / total_gpu;
+    println!("\nGEMM share of device time: {:.1}% (paper: GEMM functions are the main hotspot)", gemm_share * 100.0);
+}

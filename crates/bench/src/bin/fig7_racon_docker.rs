@@ -1,0 +1,68 @@
+//! Figure 7: containerized Racon-GPU across thread counts and batch
+//! sizes, with and without banding, plus the container launch overhead.
+//!
+//! The paper (Docker experiments): best configuration without banding was
+//! 2 threads / 4 batches; with banding 2 threads / 8 batches; and "
+//! approximately 0.6 s (36%) of the time was spent on container launching
+//! and cold start overhead" (on the Fig. 3 benchmark-slice axis).
+
+use gyan_bench::table::{banner, fmt_secs, Table};
+use gyan_bench::{paper, Testbed};
+
+fn main() {
+    banner("Fig. 7", "Racon-GPU in Docker containers: threads × batches × banding");
+    let dataset = "Alzheimers_NFL_IsoSeq";
+    let threads_sweep = [1u32, 2, 4];
+    let batches_sweep = [1u32, 4, 8, 16];
+
+    let mut tb = Testbed::k80_docker();
+    // Warm the image cache: the paper's overhead number is pull-free cold
+    // start; the first job would otherwise pay a multi-second pull.
+    tb.app.registry().pull("gulsumgudukbay/racon_dockerfile").expect("image published");
+
+    for banded in [false, true] {
+        println!("\n{} banding:", if banded { "WITH" } else { "WITHOUT" });
+        let mut table = Table::new(&["threads\\batches", "1", "4", "8", "16"]);
+        let mut best: Option<(f64, u32, u32)> = None;
+        for &threads in &threads_sweep {
+            let mut cells = vec![format!("{threads}")];
+            for &batches in &batches_sweep {
+                let id = tb
+                    .submit_racon(threads, batches, banded, dataset)
+                    .expect("docker racon run");
+                let secs = tb.runtime(id);
+                cells.push(format!("{secs:.1} s"));
+                if best.map(|(b, _, _)| secs < b).unwrap_or(true) {
+                    best = Some((secs, threads, batches));
+                }
+            }
+            table.row(&cells);
+        }
+        table.print();
+        let (secs, threads, batches) = best.expect("sweep non-empty");
+        let (pt, pb) =
+            if banded { paper::racon::FIG7_BEST_BANDED } else { paper::racon::FIG7_BEST };
+        println!(
+            "best: {threads} threads / {batches} batches at {} (paper best: {pt} threads / {pb} batches)",
+            fmt_secs(secs)
+        );
+    }
+
+    // Container overhead: compare a containerized run against bare metal.
+    let mut bare = Testbed::k80();
+    let id = bare.submit_racon(2, 4, false, dataset).expect("bare metal run");
+    let bare_s = bare.runtime(id);
+    let id = tb.submit_racon(2, 4, false, dataset).expect("docker run");
+    let docker_s = tb.runtime(id);
+    let overhead = docker_s - bare_s;
+    println!(
+        "\ncontainer launch + cold start overhead: {:.2} s ({:.2}% of the run)",
+        overhead,
+        overhead / docker_s * 100.0
+    );
+    println!(
+        "paper: ~{:.1} s ({:.0}% on the benchmark-slice axis where runs take ~1.7 s)",
+        paper::racon::CONTAINER_OVERHEAD_S,
+        paper::racon::CONTAINER_OVERHEAD_FRAC * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Figures 9 + 11: multi-GPU computation mapping, Cases 3 and 4.
+//!
+//! * **Case 3** — four instances of the containerized Racon-GPU tool with
+//!   the *Process ID* allocation: the first two fill GPUs 0 and 1, the
+//!   remaining two are scattered across both (Fig. 11 shows PIDs 41105
+//!   and 41872 on both devices).
+//! * **Case 4** — Racon + Bonito + a second Bonito with the *Process
+//!   Allocated Memory* allocation: the second Bonito lands on the GPU
+//!   with the least allocated memory (GPU 0, which holds only Racon's
+//!   60 MiB), instead of being scattered.
+
+use gpusim::smi;
+use gyan::allocation::AllocationPolicy;
+use gyan_bench::table::banner;
+use gyan_bench::testbed::{bonito_tool_xml, racon_tool_xml};
+use gyan_bench::Testbed;
+
+fn main() {
+    banner("Figs. 9 & 11", "Multi-GPU Cases 3–4: PID vs process-memory allocation");
+
+    // ---- Case 3: four Racon instances, PID approach ---------------------
+    let mut tb = Testbed::k80_linger(AllocationPolicy::ProcessId);
+    tb.install_tool(&racon_tool_xml("racon_gpu_dev0", Some("0"))).expect("tool installs");
+
+    println!("\nCase 3: four Racon-GPU instances (PID allocation)");
+    let mut masks = Vec::new();
+    for i in 0..4 {
+        let id = tb.app.submit("racon_gpu_dev0", &params("Alzheimers_NFL_IsoSeq")).unwrap();
+        let job = tb.app.job(id).unwrap();
+        let mask = job.env_var("CUDA_VISIBLE_DEVICES").unwrap().to_string();
+        println!("  instance {} (pid {:?}) -> CUDA_VISIBLE_DEVICES={mask}", i + 1, job.pid.unwrap());
+        masks.push(mask);
+    }
+    assert_eq!(masks, vec!["0", "1", "0,1", "0,1"], "paper Case 3 placement");
+    println!("\nnvidia-smi process table (compare paper Fig. 11):\n");
+    println!("{}", smi::render_table(&tb.cluster));
+
+    // ---- Case 4: Racon + 2× Bonito, memory approach ---------------------
+    let mut tb = Testbed::k80_linger(AllocationPolicy::MemoryBased);
+    tb.install_tool(&racon_tool_xml("racon_gpu_dev0", Some("0"))).expect("tool installs");
+    tb.install_tool(&bonito_tool_xml("bonito_dev1", Some("1"))).expect("tool installs");
+
+    println!("Case 4: Racon→GPU0, Bonito→GPU1, second Bonito (memory allocation)");
+    let racon = tb.app.submit("racon_gpu_dev0", &params("Alzheimers_NFL_IsoSeq")).unwrap();
+    let bonito1 = tb.app.submit("bonito_dev1", &params("Acinetobacter_pittii")).unwrap();
+    let bonito2 = tb.app.submit("bonito_dev1", &params("Acinetobacter_pittii")).unwrap();
+    for (label, id, expect) in
+        [("racon    ", racon, "0"), ("bonito #1", bonito1, "1"), ("bonito #2", bonito2, "0")]
+    {
+        let mask = tb.app.job(id).unwrap().env_var("CUDA_VISIBLE_DEVICES").unwrap();
+        println!("  {label} -> CUDA_VISIBLE_DEVICES={mask} (expected {expect})");
+        assert_eq!(mask, expect);
+    }
+    println!(
+        "\nThe second Bonito went to GPU 0 — \"at the time that the user executes the\n\
+         second instance of Bonito, the GPU with minimum memory usage was GPU 0\n\
+         (with 60 MiB usage)\" — instead of being scattered across both devices."
+    );
+    println!("\nnvidia-smi:\n");
+    println!("{}", smi::render_table(&tb.cluster));
+}
+
+fn params(dataset: &str) -> galaxy::params::ParamDict {
+    let mut p = galaxy::params::ParamDict::new();
+    p.set("dataset", dataset);
+    p
+}

@@ -1,0 +1,14 @@
+//! Shared harness for the figure-regeneration binaries and benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` for the experiment index); this
+//! library provides the common pieces: a fully wired GYAN testbed
+//! ([`testbed`]), ASCII table rendering ([`table`]), and the paper's
+//! reference numbers ([`paper`]) so each binary can print
+//! paper-vs-measured rows.
+
+pub mod paper;
+pub mod table;
+pub mod testbed;
+
+pub use testbed::Testbed;

@@ -1,0 +1,66 @@
+//! Reference values reported by the paper (§VI, Figs. 3–11), used by the
+//! harness binaries to print paper-vs-measured comparisons.
+
+/// Racon on the 17 GB Alzheimers NFL dataset (§VI-A, Fig. 3).
+pub mod racon {
+    /// Best GPU configuration runtime, seconds (4 threads, 1 batch, no
+    /// banding). Fig. 3 reports a benchmark-slice scale.
+    pub const FIG3_GPU_BEST_S: f64 = 1.72;
+    /// Best banded GPU configuration (4 threads, 16 batches).
+    pub const FIG3_GPU_BANDED_BEST_S: f64 = 1.67;
+    /// CPU-only at 4 threads.
+    pub const FIG3_CPU_S: f64 = 3.22;
+    /// Headline speedup.
+    pub const SPEEDUP: f64 = 2.0;
+
+    /// CPU polishing phase, seconds (full dataset).
+    pub const POLISH_CPU_S: f64 = 117.0;
+    /// GPU polishing total (2 s alloc + 13 s kernels).
+    pub const POLISH_GPU_S: f64 = 15.0;
+    /// GPU memory allocation share of polishing.
+    pub const POLISH_GPU_ALLOC_S: f64 = 2.0;
+    /// GPU kernel share of polishing.
+    pub const POLISH_GPU_KERNEL_S: f64 = 13.0;
+    /// End-to-end CPU run.
+    pub const END_TO_END_CPU_S: f64 = 410.0;
+    /// End-to-end GPU run.
+    pub const END_TO_END_GPU_S: f64 = 200.0;
+    /// CUDA API overhead (transfers + sync) attributed in the text.
+    pub const CUDA_API_OVERHEAD_S: f64 = 40.0;
+    /// NVProf stall analysis: memory dependency fraction.
+    pub const STALL_MEMORY_DEP: f64 = 0.70;
+    /// NVProf stall analysis: execution dependency fraction.
+    pub const STALL_EXEC_DEP: f64 = 0.20;
+
+    /// Docker experiments (Fig. 7): container launch + cold start
+    /// overhead, seconds, and its share of the run.
+    pub const CONTAINER_OVERHEAD_S: f64 = 0.6;
+    /// Overhead share of the containerized run (36%).
+    pub const CONTAINER_OVERHEAD_FRAC: f64 = 0.36;
+    /// Best containerized config without banding: 2 threads, 4 batches.
+    pub const FIG7_BEST: (u32, u32) = (2, 4);
+    /// Best containerized config with banding: 2 threads, 8 batches.
+    pub const FIG7_BEST_BANDED: (u32, u32) = (2, 8);
+}
+
+/// Bonito (Fig. 5).
+pub mod bonito {
+    /// CPU runtime lower bound for Acinetobacter_pittii (1.5 GB): the
+    /// paper aborted the run after 210 hours.
+    pub const ACINETOBACTER_CPU_HOURS_MIN: f64 = 210.0;
+    /// CPU estimate for Klebsiella KSB2 (5.2 GB): "approximated to last
+    /// 4× longer" (>850 h).
+    pub const KLEBSIELLA_CPU_HOURS_MIN: f64 = 850.0;
+    /// Headline speedup lower bound.
+    pub const SPEEDUP_MIN: f64 = 50.0;
+}
+
+/// Multi-GPU case studies (§VI-C, Figs. 8–11).
+pub mod cases {
+    /// Fig. 10: idle K80 die framebuffer usage, MiB.
+    pub const IDLE_FB_MIB: u64 = 63;
+    /// Fig. 10: busy die (Bonito) framebuffer usage, MiB.
+    pub const BONITO_FB_MIB: u64 = 2734;
+    /// Fig. 11: per-racon-process device memory, MiB.
+    pub const RACON_PROC_MIB: u64 = 60;
+}

@@ -1,0 +1,119 @@
+//! Minimal ASCII table rendering for harness output.
+
+/// A simple left-padded column table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a row of displayable values.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        let sep: String = format!(
+            "+{}+",
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
+        );
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with adaptive units.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.1} h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+/// Standard banner for a figure binary.
+pub fn banner(fig: &str, what: &str) {
+    println!("==============================================================");
+    println!("GYAN reproduction — {fig}");
+    println!("{what}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["config", "time"]);
+        t.row(&["cpu-4t".into(), "3.22 s".into()]);
+        t.row(&["gpu".into(), "1.72 s".into()]);
+        let r = t.render();
+        assert!(r.contains("| config |"));
+        assert!(r.contains("| cpu-4t | 3.22 s |"));
+        assert_eq!(r.lines().filter(|l| l.starts_with('+')).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert_eq!(fmt_secs(7500.0), "2.1 h");
+        assert_eq!(fmt_secs(90.0), "1.5 min");
+        assert_eq!(fmt_secs(3.216), "3.22 s");
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+    }
+}

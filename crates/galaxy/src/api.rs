@@ -1,0 +1,227 @@
+//! A web-API facade over the application — the "users trigger a job
+//! submission through the Galaxy web-interface" step of the paper's
+//! Fig. 2, modeled as typed request/response values (serde-serializable,
+//! as Galaxy's JSON API is).
+
+use crate::app::GalaxyApp;
+use crate::params::ParamDict;
+use crate::GalaxyError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// `POST /api/tools/{tool_id}/execute` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// Tool to run.
+    pub tool_id: String,
+    /// User-supplied inputs.
+    pub inputs: BTreeMap<String, String>,
+}
+
+/// Response to a submission.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// Created job id.
+    pub job_id: u64,
+    /// Initial (already final, in this synchronous substrate) state.
+    pub state: String,
+}
+
+/// `GET /api/jobs/{id}` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSummary {
+    /// Job id.
+    pub id: u64,
+    /// Tool id.
+    pub tool_id: String,
+    /// State name (`ok`, `error`, ...).
+    pub state: String,
+    /// Destination the job ran on.
+    pub destination: Option<String>,
+    /// Exported environment.
+    pub env: BTreeMap<String, String>,
+    /// Final command line.
+    pub command_line: Option<String>,
+    /// Runtime in (virtual) seconds.
+    pub runtime_s: Option<f64>,
+    /// Exit code.
+    pub exit_code: Option<i32>,
+}
+
+/// `GET /api/tools` entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ToolSummary {
+    /// Tool id.
+    pub id: String,
+    /// Display name.
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Whether the tool declares GYAN's GPU requirement.
+    pub requires_gpu: bool,
+    /// Requested GPU minor ids, when pinned.
+    pub requested_gpus: Vec<u32>,
+}
+
+/// API error envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Human-readable message.
+    pub err_msg: String,
+    /// Coarse error code.
+    pub err_code: u16,
+}
+
+impl From<GalaxyError> for ApiError {
+    fn from(e: GalaxyError) -> Self {
+        let err_code = match &e {
+            GalaxyError::UnknownTool(_) | GalaxyError::UnknownDestination(_) => 404,
+            GalaxyError::ToolFailed(_) => 500,
+            _ => 400,
+        };
+        ApiError { err_msg: e.to_string(), err_code }
+    }
+}
+
+/// The API surface. Wraps a mutable app reference per "request".
+pub struct Api<'a> {
+    app: &'a mut GalaxyApp,
+}
+
+impl<'a> Api<'a> {
+    /// Bind to an application.
+    pub fn new(app: &'a mut GalaxyApp) -> Self {
+        Api { app }
+    }
+
+    /// `GET /api/tools`.
+    pub fn list_tools(&self) -> Vec<ToolSummary> {
+        let mut tools: Vec<ToolSummary> = self
+            .app
+            .tools()
+            .map(|t| ToolSummary {
+                id: t.id.clone(),
+                name: t.name.clone(),
+                version: t.version.clone(),
+                requires_gpu: t.requires_gpu(),
+                requested_gpus: t.requested_gpu_ids(),
+            })
+            .collect();
+        tools.sort_by(|a, b| a.id.cmp(&b.id));
+        tools
+    }
+
+    /// `POST /api/tools/{id}/execute`.
+    pub fn submit(&mut self, request: &SubmitRequest) -> Result<SubmitResponse, ApiError> {
+        let mut params = ParamDict::new();
+        for (k, v) in &request.inputs {
+            params.set(k.clone(), v.clone());
+        }
+        let job_id = self.app.submit(&request.tool_id, &params)?;
+        let state = self
+            .app
+            .job(job_id)
+            .map(|j| j.state().name().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        Ok(SubmitResponse { job_id, state })
+    }
+
+    /// `GET /api/jobs/{id}`.
+    pub fn job(&self, id: u64) -> Result<JobSummary, ApiError> {
+        let job = self.app.job(id).ok_or(ApiError {
+            err_msg: format!("job {id} not found"),
+            err_code: 404,
+        })?;
+        Ok(JobSummary {
+            id: job.id,
+            tool_id: job.tool_id.clone(),
+            state: job.state().name().to_string(),
+            destination: job.destination_id.clone(),
+            env: job.env.iter().cloned().collect(),
+            command_line: job.command_line.clone(),
+            runtime_s: job.runtime(),
+            exit_code: job.exit_code,
+        })
+    }
+
+    /// `GET /api/jobs`.
+    pub fn list_jobs(&self) -> Vec<JobSummary> {
+        self.app.jobs().iter().map(|j| self.job(j.id).expect("job exists")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::conf::{JobConfig, GYAN_JOB_CONF};
+    use crate::tool::macros::MacroLibrary;
+
+    fn app() -> GalaxyApp {
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(
+            r#"<tool id="racon_gpu" name="Racon" version="1.4.3">
+                 <requirements><requirement type="compute" version="1">gpu</requirement></requirements>
+                 <command>echo $text</command>
+                 <inputs><param name="text" type="text" value="hi"/></inputs>
+               </tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap();
+        app.register_rule(
+            "gpu_dynamic_destination",
+            Box::new(|_t, _j, _c| Ok("local_cpu".to_string())),
+        );
+        app
+    }
+
+    #[test]
+    fn tools_listing_reports_gpu_requirements() {
+        let mut app = app();
+        let api = Api::new(&mut app);
+        let tools = api.list_tools();
+        assert_eq!(tools.len(), 1);
+        assert_eq!(tools[0].id, "racon_gpu");
+        assert!(tools[0].requires_gpu);
+        assert_eq!(tools[0].requested_gpus, vec![1]);
+    }
+
+    #[test]
+    fn submit_and_fetch_job_roundtrip() {
+        let mut app = app();
+        let mut api = Api::new(&mut app);
+        let mut inputs = BTreeMap::new();
+        inputs.insert("text".to_string(), "hello-api".to_string());
+        let resp = api
+            .submit(&SubmitRequest { tool_id: "racon_gpu".into(), inputs })
+            .unwrap();
+        assert_eq!(resp.state, "ok");
+        let summary = api.job(resp.job_id).unwrap();
+        assert_eq!(summary.tool_id, "racon_gpu");
+        assert_eq!(summary.command_line.as_deref(), Some("echo hello-api"));
+        assert_eq!(api.list_jobs().len(), 1);
+    }
+
+    #[test]
+    fn unknown_tool_is_404() {
+        let mut app = app();
+        let mut api = Api::new(&mut app);
+        let err = api
+            .submit(&SubmitRequest { tool_id: "ghost".into(), inputs: BTreeMap::new() })
+            .unwrap_err();
+        assert_eq!(err.err_code, 404);
+        assert!(api.job(99).is_err());
+    }
+
+    #[test]
+    fn payloads_are_serde_capable() {
+        // Compile-time check that every payload type implements both
+        // Serialize and DeserializeOwned (Galaxy's API speaks JSON; any
+        // serde format backend can carry these).
+        fn assert_serde<T: Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<SubmitRequest>();
+        assert_serde::<SubmitResponse>();
+        assert_serde::<JobSummary>();
+        assert_serde::<ToolSummary>();
+        assert_serde::<ApiError>();
+    }
+}

@@ -1,0 +1,461 @@
+//! The Galaxy application: tool box, destination mapping, and the job
+//! submission pipeline of the paper's Fig. 2.
+//!
+//! [`GalaxyApp`] executes the four steps GYAN instruments:
+//!
+//! 1. the user submits a job for a tool (`submit`);
+//! 2. the job is mapped to a destination — statically via `job_conf`, or
+//!    through a registered *dynamic rule* (GYAN's
+//!    `gpu_dynamic_destination`);
+//! 3. registered [`JobHook`]s run (GYAN's GPU allocation +
+//!    `CUDA_VISIBLE_DEVICES`/`GALAXY_GPU_ENABLED` export), the command is
+//!    rendered and — for container destinations — wrapped and passed
+//!    through [`CommandMutator`]s (GYAN's `--gpus all`/`--nv` injection);
+//! 4. the plan is handed to the [`JobExecutor`] and the results are
+//!    collected into the history.
+
+use crate::containers::ImageRegistry;
+use crate::error::GalaxyError;
+use crate::history::History;
+use crate::job::conf::{Destination, JobConfig};
+use crate::job::{Job, JobState};
+use crate::params::ParamDict;
+use crate::runners::container_cmd::VolumeBind;
+use crate::runners::local::LocalRunner;
+use crate::runners::{CommandMutator, JobExecutor, JobHook, NullExecutor};
+use crate::tool::macros::MacroLibrary;
+use crate::tool::wrapper::parse_tool;
+use crate::tool::Tool;
+use std::collections::HashMap;
+
+/// A dynamic destination rule: given the tool, the job, and the config,
+/// return the id of a concrete destination. This is the signature of the
+/// paper's `gpu_dynamic_destination` function in `dynamic_destination.py`.
+pub type DynamicRule =
+    Box<dyn Fn(&Tool, &Job, &JobConfig) -> Result<String, GalaxyError> + Send + Sync>;
+
+/// Source of (virtual) time for job timestamps.
+pub trait TimeSource: Send + Sync {
+    /// Current time in seconds.
+    fn now(&self) -> f64;
+}
+
+/// A time source pinned to zero (default when no simulator is attached).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ZeroTime;
+
+impl TimeSource for ZeroTime {
+    fn now(&self) -> f64 {
+        0.0
+    }
+}
+
+/// One timestamped event in the application log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time of the event.
+    pub t: f64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The Galaxy application.
+pub struct GalaxyApp {
+    tools: HashMap<String, Tool>,
+    config: JobConfig,
+    rules: HashMap<String, DynamicRule>,
+    hooks: Vec<Box<dyn JobHook>>,
+    mutators: Vec<Box<dyn CommandMutator>>,
+    registry: ImageRegistry,
+    history: History,
+    jobs: HashMap<u64, Job>,
+    next_job_id: u64,
+    executor: Box<dyn JobExecutor>,
+    time: Box<dyn TimeSource>,
+    volumes: Vec<VolumeBind>,
+    events: Vec<Event>,
+}
+
+impl GalaxyApp {
+    /// Create an app from a parsed job configuration.
+    pub fn new(config: JobConfig) -> Self {
+        GalaxyApp {
+            tools: HashMap::new(),
+            config,
+            rules: HashMap::new(),
+            hooks: Vec::new(),
+            mutators: Vec::new(),
+            registry: ImageRegistry::new(),
+            history: History::new(),
+            jobs: HashMap::new(),
+            next_job_id: 0,
+            executor: Box::new(NullExecutor),
+            time: Box::new(ZeroTime),
+            volumes: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Install a parsed tool into the tool box.
+    pub fn install_tool(&mut self, tool: Tool) {
+        self.tools.insert(tool.id.clone(), tool);
+    }
+
+    /// Parse a wrapper (with macro library) and install it.
+    pub fn install_tool_xml(
+        &mut self,
+        src: &str,
+        library: &MacroLibrary,
+    ) -> Result<&Tool, GalaxyError> {
+        let tool = parse_tool(src, library)?;
+        let id = tool.id.clone();
+        self.install_tool(tool);
+        Ok(&self.tools[&id])
+    }
+
+    /// Tool by id.
+    pub fn tool(&self, id: &str) -> Option<&Tool> {
+        self.tools.get(id)
+    }
+
+    /// Iterator over every installed tool (unordered).
+    pub fn tools(&self) -> impl Iterator<Item = &Tool> {
+        self.tools.values()
+    }
+
+    /// Register a dynamic destination rule under `name`.
+    pub fn register_rule(&mut self, name: impl Into<String>, rule: DynamicRule) {
+        self.rules.insert(name.into(), rule);
+    }
+
+    /// Register a pre-dispatch hook.
+    pub fn add_hook(&mut self, hook: Box<dyn JobHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Register a command mutator.
+    pub fn add_mutator(&mut self, mutator: Box<dyn CommandMutator>) {
+        self.mutators.push(mutator);
+    }
+
+    /// Replace the execution backend.
+    pub fn set_executor(&mut self, executor: Box<dyn JobExecutor>) {
+        self.executor = executor;
+    }
+
+    /// Replace the time source (attach the simulator clock).
+    pub fn set_time_source(&mut self, time: Box<dyn TimeSource>) {
+        self.time = time;
+    }
+
+    /// Replace the container image registry.
+    pub fn set_registry(&mut self, registry: ImageRegistry) {
+        self.registry = registry;
+    }
+
+    /// Shared access to the registry.
+    pub fn registry(&self) -> &ImageRegistry {
+        &self.registry
+    }
+
+    /// Add a volume bind applied to all container launches.
+    pub fn add_volume(&mut self, volume: VolumeBind) {
+        self.volumes.push(volume);
+    }
+
+    /// The parsed job configuration.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Submit a job for `tool_id` with user-specified `user_params` and run
+    /// it to completion (this substrate dispatches synchronously).
+    pub fn submit(&mut self, tool_id: &str, user_params: &ParamDict) -> Result<u64, GalaxyError> {
+        let tool = self
+            .tools
+            .get(tool_id)
+            .cloned()
+            .ok_or_else(|| GalaxyError::UnknownTool(tool_id.to_string()))?;
+
+        // Build the parameter dictionary: declared defaults, then the
+        // user's values (Galaxy's build_param_dict).
+        let mut params = ParamDict::new();
+        for input in &tool.inputs {
+            if let Some(default) = &input.default {
+                params.set(input.name.clone(), default.clone());
+            }
+        }
+        params.extend(user_params);
+
+        self.next_job_id += 1;
+        let job_id = self.next_job_id;
+        let mut job = Job::new(job_id, tool_id, params);
+        job.submit_time = Some(self.time.now());
+        self.log(format!("job {job_id} submitted for tool {tool_id}"));
+
+        let result = self.run_job(&tool, &mut job);
+        if let Err(e) = &result {
+            self.log(format!("job {job_id} failed: {e}"));
+            let _ = job.transition(JobState::Error);
+            job.stderr = e.to_string();
+        }
+        self.jobs.insert(job_id, job);
+        result.map(|()| job_id)
+    }
+
+    fn run_job(&mut self, tool: &Tool, job: &mut Job) -> Result<(), GalaxyError> {
+        // Step 2 of Fig. 2: destination mapping.
+        let destination = self.map_destination(tool, job)?;
+        job.destination_id = Some(destination.id.clone());
+        job.transition(JobState::Queued)?;
+        self.log(format!("job {} mapped to destination {}", job.id, destination.id));
+
+        // GYAN's extension point: hooks adjust env + params before the
+        // command is rendered.
+        for hook in &self.hooks {
+            hook.before_dispatch(job, tool, &destination);
+        }
+
+        // Step 3: command assembly + dispatch.
+        let plan = LocalRunner.build_plan(
+            tool,
+            job,
+            &destination,
+            &self.registry,
+            &self.mutators,
+            &self.volumes,
+        )?;
+        job.command_line = Some(plan.command_line.clone());
+        job.transition(JobState::Running)?;
+        job.start_time = Some(self.time.now());
+        self.log(format!("job {} running: {}", job.id, plan.rendered_command()));
+
+        let result = self.executor.execute(&plan);
+        job.end_time = Some(self.time.now());
+        job.stdout = result.stdout.clone();
+        job.stderr = result.stderr.clone();
+        job.exit_code = Some(result.exit_code);
+        job.pid = result.pid;
+
+        // Step 4: collect results into the history.
+        if result.exit_code == 0 {
+            job.transition(JobState::Ok)?;
+            for (i, output) in tool.outputs.iter().enumerate() {
+                let ds = self.history.declare(output.name.clone(), output.format.clone(), job.id);
+                let content = if i == 0 { result.stdout.clone() } else { String::new() };
+                self.history.complete(ds, content);
+            }
+            self.log(format!("job {} ok", job.id));
+            Ok(())
+        } else {
+            job.transition(JobState::Error)?;
+            for output in &tool.outputs {
+                let ds = self.history.declare(output.name.clone(), output.format.clone(), job.id);
+                self.history.fail(ds);
+            }
+            self.log(format!("job {} error (exit {})", job.id, result.exit_code));
+            Err(GalaxyError::ToolFailed(result.stderr))
+        }
+    }
+
+    /// Resolve the destination for a tool's job, following one level of
+    /// dynamic-rule indirection.
+    pub fn map_destination(&self, tool: &Tool, job: &Job) -> Result<Destination, GalaxyError> {
+        let dest_id = self
+            .config
+            .destination_for_tool(&tool.id)
+            .ok_or_else(|| GalaxyError::UnknownDestination(format!("no mapping for {}", tool.id)))?;
+        let dest = self
+            .config
+            .destination(dest_id)
+            .ok_or_else(|| GalaxyError::UnknownDestination(dest_id.to_string()))?;
+        if !dest.is_dynamic() {
+            return Ok(dest.clone());
+        }
+        let rule_name = dest
+            .rule_function()
+            .ok_or_else(|| GalaxyError::BadJobConf(format!("dynamic {} has no function", dest.id)))?;
+        let rule = self
+            .rules
+            .get(rule_name)
+            .ok_or_else(|| GalaxyError::UnknownRule(rule_name.to_string()))?;
+        let chosen_id = rule(tool, job, &self.config)?;
+        let chosen = self
+            .config
+            .destination(&chosen_id)
+            .ok_or_else(|| GalaxyError::UnknownDestination(chosen_id.clone()))?;
+        if chosen.is_dynamic() {
+            return Err(GalaxyError::BadJobConf(format!(
+                "dynamic rule {rule_name} returned another dynamic destination {chosen_id}"
+            )));
+        }
+        Ok(chosen.clone())
+    }
+
+    /// Job by id.
+    pub fn job(&self, id: u64) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// All jobs, ordered by id.
+    pub fn jobs(&self) -> Vec<&Job> {
+        let mut v: Vec<&Job> = self.jobs.values().collect();
+        v.sort_by_key(|j| j.id);
+        v
+    }
+
+    /// The history of produced datasets.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The application event log.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    fn log(&mut self, message: String) {
+        self.events.push(Event { t: self.time.now(), message });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::conf::GYAN_JOB_CONF;
+
+    const ECHO_TOOL: &str = r#"<tool id="echo" name="Echo">
+      <command>echo $text</command>
+      <inputs><param name="text" type="text" value="hello"/></inputs>
+      <outputs><data name="out" format="txt"/></outputs>
+    </tool>"#;
+
+    fn app_with_echo() -> GalaxyApp {
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(ECHO_TOOL, &MacroLibrary::new()).unwrap();
+        // Route everything to the plain CPU destination for these tests.
+        app.register_rule(
+            "gpu_dynamic_destination",
+            Box::new(|_tool, _job, _conf| Ok("local_cpu".to_string())),
+        );
+        app
+    }
+
+    #[test]
+    fn submit_runs_job_to_ok() {
+        let mut app = app_with_echo();
+        let mut params = ParamDict::new();
+        params.set("text", "world");
+        let id = app.submit("echo", &params).unwrap();
+        let job = app.job(id).unwrap();
+        assert_eq!(job.state(), JobState::Ok);
+        assert_eq!(job.command_line.as_deref(), Some("echo world"));
+        assert_eq!(job.destination_id.as_deref(), Some("local_cpu"));
+        assert_eq!(app.history().datasets_for_job(id).len(), 1);
+    }
+
+    #[test]
+    fn defaults_fill_missing_params() {
+        let mut app = app_with_echo();
+        let id = app.submit("echo", &ParamDict::new()).unwrap();
+        assert_eq!(app.job(id).unwrap().command_line.as_deref(), Some("echo hello"));
+    }
+
+    #[test]
+    fn unknown_tool_rejected() {
+        let mut app = app_with_echo();
+        assert!(matches!(
+            app.submit("ghost", &ParamDict::new()),
+            Err(GalaxyError::UnknownTool(_))
+        ));
+    }
+
+    #[test]
+    fn unregistered_rule_fails_mapping() {
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(ECHO_TOOL, &MacroLibrary::new()).unwrap();
+        let err = app.submit("echo", &ParamDict::new()).unwrap_err();
+        assert!(matches!(err, GalaxyError::UnknownRule(_)));
+        // The job record still exists, in Error state.
+        assert_eq!(app.jobs().len(), 1);
+        assert_eq!(app.jobs()[0].state(), JobState::Error);
+    }
+
+    #[test]
+    fn rule_returning_dynamic_destination_rejected() {
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(ECHO_TOOL, &MacroLibrary::new()).unwrap();
+        app.register_rule(
+            "gpu_dynamic_destination",
+            Box::new(|_, _, _| Ok("dynamic_dest".to_string())),
+        );
+        assert!(matches!(
+            app.submit("echo", &ParamDict::new()),
+            Err(GalaxyError::BadJobConf(_))
+        ));
+    }
+
+    #[test]
+    fn failing_executor_marks_job_error() {
+        struct Failing;
+        impl JobExecutor for Failing {
+            fn execute(&self, _p: &crate::runners::ExecutionPlan) -> crate::runners::ExecutionResult {
+                crate::runners::ExecutionResult::fail(1, "tool blew up")
+            }
+        }
+        let mut app = app_with_echo();
+        app.set_executor(Box::new(Failing));
+        let err = app.submit("echo", &ParamDict::new()).unwrap_err();
+        assert!(matches!(err, GalaxyError::ToolFailed(_)));
+        let job = app.jobs()[0];
+        assert_eq!(job.state(), JobState::Error);
+        assert_eq!(job.exit_code, Some(1));
+        // Output dataset exists but failed.
+        assert_eq!(app.history().datasets_for_job(job.id).len(), 1);
+    }
+
+    #[test]
+    fn hooks_run_before_command_render() {
+        struct InjectText;
+        impl JobHook for InjectText {
+            fn before_dispatch(&self, job: &mut Job, _t: &Tool, _d: &Destination) {
+                job.params.set("text", "from-hook");
+                job.set_env("GALAXY_GPU_ENABLED", "false");
+            }
+        }
+        let mut app = app_with_echo();
+        app.add_hook(Box::new(InjectText));
+        let id = app.submit("echo", &ParamDict::new()).unwrap();
+        let job = app.job(id).unwrap();
+        assert_eq!(job.command_line.as_deref(), Some("echo from-hook"));
+        assert_eq!(job.env_var("GALAXY_GPU_ENABLED"), Some("false"));
+    }
+
+    #[test]
+    fn static_tool_mapping_bypasses_rule() {
+        let conf = r#"<job_conf>
+          <plugins><plugin id="local" type="runner" load="x"/></plugins>
+          <destinations default="dyn">
+            <destination id="dyn" runner="dynamic">
+              <param id="function">gpu_dynamic_destination</param>
+            </destination>
+            <destination id="pinned" runner="local"/>
+          </destinations>
+          <tools><tool id="echo" destination="pinned"/></tools>
+        </job_conf>"#;
+        let mut app = GalaxyApp::new(JobConfig::from_xml(conf).unwrap());
+        app.install_tool_xml(ECHO_TOOL, &MacroLibrary::new()).unwrap();
+        let id = app.submit("echo", &ParamDict::new()).unwrap();
+        assert_eq!(app.job(id).unwrap().destination_id.as_deref(), Some("pinned"));
+    }
+
+    #[test]
+    fn events_logged_through_lifecycle() {
+        let mut app = app_with_echo();
+        let id = app.submit("echo", &ParamDict::new()).unwrap();
+        let messages: Vec<&str> = app.events().iter().map(|e| e.message.as_str()).collect();
+        assert!(messages.iter().any(|m| m.contains("submitted")));
+        assert!(messages.iter().any(|m| m.contains("mapped to destination local_cpu")));
+        assert!(messages.iter().any(|m| m.contains(&format!("job {id} ok"))));
+    }
+}

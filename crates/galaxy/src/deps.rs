@@ -1,0 +1,193 @@
+//! Package requirement resolution.
+//!
+//! Real Galaxy resolves a tool's `<requirement type="package">` entries
+//! through dependency resolvers (conda, Docker, modules). This module is
+//! that layer for the simulated stack: a resolver knows which packages
+//! (name + version) a destination can provide and reports what is
+//! missing, so a deployment can refuse jobs whose software is absent —
+//! the same check that makes GYAN's `compute`/`gpu` requirement the *only*
+//! unresolvable one on a CPU-only node.
+
+use crate::tool::{Requirement, RequirementType, Tool};
+use std::collections::HashMap;
+
+/// A conda-channel-like catalog of installable packages.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyResolver {
+    /// package name → installed versions.
+    packages: HashMap<String, Vec<String>>,
+}
+
+/// Outcome of resolving one requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Requirement satisfied by an installed version.
+    Resolved {
+        /// Package name.
+        name: String,
+        /// The version that satisfied it.
+        version: String,
+    },
+    /// Package installed, but no matching version.
+    VersionMismatch {
+        /// Package name.
+        name: String,
+        /// Version the tool asked for.
+        requested: String,
+        /// Versions actually installed.
+        installed: Vec<String>,
+    },
+    /// Package not installed at all.
+    Missing {
+        /// Package name.
+        name: String,
+    },
+    /// Non-package requirements (GYAN's `compute`/`gpu`, env sets) are
+    /// resolved by other subsystems; the resolver passes them through.
+    NotAPackage,
+}
+
+impl DependencyResolver {
+    /// An empty resolver (nothing installed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A resolver pre-loaded with the paper's tool stack.
+    pub fn with_paper_packages() -> Self {
+        let mut r = Self::new();
+        r.install("racon", "1.4.3");
+        r.install("bonito", "0.3.2");
+        r.install("minimap2", "2.17");
+        r.install("samtools", "1.11");
+        r
+    }
+
+    /// Install a package version.
+    pub fn install(&mut self, name: impl Into<String>, version: impl Into<String>) {
+        let versions = self.packages.entry(name.into()).or_default();
+        let version = version.into();
+        if !versions.contains(&version) {
+            versions.push(version);
+        }
+    }
+
+    /// Resolve one requirement.
+    pub fn resolve(&self, req: &Requirement) -> Resolution {
+        if req.rtype != RequirementType::Package {
+            return Resolution::NotAPackage;
+        }
+        match self.packages.get(&req.name) {
+            None => Resolution::Missing { name: req.name.clone() },
+            Some(installed) => match &req.version {
+                // Unversioned requirement: any installed version works;
+                // conda picks the newest.
+                None => Resolution::Resolved {
+                    name: req.name.clone(),
+                    version: installed.last().expect("non-empty").clone(),
+                },
+                Some(requested) => {
+                    if installed.contains(requested) {
+                        Resolution::Resolved { name: req.name.clone(), version: requested.clone() }
+                    } else {
+                        Resolution::VersionMismatch {
+                            name: req.name.clone(),
+                            requested: requested.clone(),
+                            installed: installed.clone(),
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Resolve every package requirement of a tool; returns the failures
+    /// (empty = tool can run).
+    pub fn unresolved(&self, tool: &Tool) -> Vec<Resolution> {
+        tool.requirements
+            .iter()
+            .map(|r| self.resolve(r))
+            .filter(|r| {
+                matches!(r, Resolution::Missing { .. } | Resolution::VersionMismatch { .. })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::macros::MacroLibrary;
+    use crate::tool::wrapper::parse_tool;
+
+    fn racon_tool() -> Tool {
+        parse_tool(
+            r#"<tool id="racon_gpu">
+              <requirements>
+                <requirement type="package" version="1.4.3">racon</requirement>
+                <requirement type="compute">gpu</requirement>
+              </requirements>
+              <command>racon</command>
+            </tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_stack_resolves_racon() {
+        let resolver = DependencyResolver::with_paper_packages();
+        assert!(resolver.unresolved(&racon_tool()).is_empty());
+    }
+
+    #[test]
+    fn gpu_requirement_is_not_a_package() {
+        let resolver = DependencyResolver::with_paper_packages();
+        let tool = racon_tool();
+        let gpu_req = tool.gpu_requirement().unwrap();
+        assert_eq!(resolver.resolve(gpu_req), Resolution::NotAPackage);
+    }
+
+    #[test]
+    fn missing_package_reported() {
+        let resolver = DependencyResolver::new();
+        let failures = resolver.unresolved(&racon_tool());
+        assert_eq!(failures, vec![Resolution::Missing { name: "racon".into() }]);
+    }
+
+    #[test]
+    fn version_mismatch_reported_with_alternatives() {
+        let mut resolver = DependencyResolver::new();
+        resolver.install("racon", "1.5.0");
+        let failures = resolver.unresolved(&racon_tool());
+        assert_eq!(
+            failures,
+            vec![Resolution::VersionMismatch {
+                name: "racon".into(),
+                requested: "1.4.3".into(),
+                installed: vec!["1.5.0".into()],
+            }]
+        );
+    }
+
+    #[test]
+    fn unversioned_requirement_takes_newest() {
+        let mut resolver = DependencyResolver::new();
+        resolver.install("samtools", "1.10");
+        resolver.install("samtools", "1.11");
+        let req = Requirement { rtype: RequirementType::Package, name: "samtools".into(), version: None };
+        assert_eq!(
+            resolver.resolve(&req),
+            Resolution::Resolved { name: "samtools".into(), version: "1.11".into() }
+        );
+    }
+
+    #[test]
+    fn duplicate_install_is_idempotent() {
+        let mut resolver = DependencyResolver::new();
+        resolver.install("racon", "1.4.3");
+        resolver.install("racon", "1.4.3");
+        let req = Requirement::package("racon", "1.4.3");
+        assert!(matches!(resolver.resolve(&req), Resolution::Resolved { .. }));
+    }
+}

@@ -1,0 +1,210 @@
+//! Jobs and the Galaxy job state machine.
+
+pub mod conf;
+
+use crate::error::GalaxyError;
+use crate::params::ParamDict;
+
+/// Galaxy job states (the subset relevant to dispatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Created, not yet mapped to a destination.
+    New,
+    /// Mapped and waiting for the runner.
+    Queued,
+    /// Executing.
+    Running,
+    /// Finished successfully.
+    Ok,
+    /// Finished with an error.
+    Error,
+    /// Cancelled/removed.
+    Deleted,
+}
+
+impl JobState {
+    /// Lower-case name as Galaxy's API reports it.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::New => "new",
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Ok => "ok",
+            JobState::Error => "error",
+            JobState::Deleted => "deleted",
+        }
+    }
+
+    fn can_transition(self, to: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, to),
+            (New, Queued)
+                | (Queued, Running)
+                | (Running, Ok)
+                | (Running, Error)
+                | (New, Error)
+                | (Queued, Error)
+                | (New, Deleted)
+                | (Queued, Deleted)
+                | (Running, Deleted)
+        )
+    }
+}
+
+/// A submitted tool execution.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Unique job id.
+    pub id: u64,
+    /// The tool being run.
+    pub tool_id: String,
+    /// User-provided + backend-injected parameters.
+    pub params: ParamDict,
+    state: JobState,
+    /// Destination chosen by mapping (static or dynamic).
+    pub destination_id: Option<String>,
+    /// Final assembled shell command.
+    pub command_line: Option<String>,
+    /// Environment exported to the tool process (`GALAXY_GPU_ENABLED`,
+    /// `CUDA_VISIBLE_DEVICES`, ...).
+    pub env: Vec<(String, String)>,
+    /// Resolved container image when running containerized.
+    pub container_image: Option<String>,
+    /// Virtual time of submission.
+    pub submit_time: Option<f64>,
+    /// Virtual time execution started.
+    pub start_time: Option<f64>,
+    /// Virtual time execution finished.
+    pub end_time: Option<f64>,
+    /// Captured standard output.
+    pub stdout: String,
+    /// Captured standard error.
+    pub stderr: String,
+    /// Exit code reported by the executor.
+    pub exit_code: Option<i32>,
+    /// Host pid of the spawned process (simulated).
+    pub pid: Option<u32>,
+}
+
+impl Job {
+    /// Create a new job in state `New`.
+    pub fn new(id: u64, tool_id: impl Into<String>, params: ParamDict) -> Self {
+        Job {
+            id,
+            tool_id: tool_id.into(),
+            params,
+            state: JobState::New,
+            destination_id: None,
+            command_line: None,
+            env: Vec::new(),
+            container_image: None,
+            submit_time: None,
+            start_time: None,
+            end_time: None,
+            stdout: String::new(),
+            stderr: String::new(),
+            exit_code: None,
+            pid: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> JobState {
+        self.state
+    }
+
+    /// Transition to `to`, validating against the state machine.
+    pub fn transition(&mut self, to: JobState) -> Result<(), GalaxyError> {
+        if self.state.can_transition(to) {
+            self.state = to;
+            Ok(())
+        } else {
+            Err(GalaxyError::BadTransition { from: self.state.name(), to: to.name() })
+        }
+    }
+
+    /// Set an environment variable for the tool process (replaces any
+    /// existing value for the key).
+    pub fn set_env(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        self.env.retain(|(k, _)| *k != key);
+        self.env.push((key, value.into()));
+    }
+
+    /// Look up an exported environment variable.
+    pub fn env_var(&self, key: &str) -> Option<&str> {
+        self.env.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Wall (virtual) runtime, if the job has finished.
+    pub fn runtime(&self) -> Option<f64> {
+        Some(self.end_time? - self.start_time?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_transitions() {
+        let mut j = Job::new(1, "racon_gpu", ParamDict::new());
+        assert_eq!(j.state(), JobState::New);
+        j.transition(JobState::Queued).unwrap();
+        j.transition(JobState::Running).unwrap();
+        j.transition(JobState::Ok).unwrap();
+        assert_eq!(j.state(), JobState::Ok);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut j = Job::new(1, "t", ParamDict::new());
+        assert!(j.transition(JobState::Running).is_err()); // must queue first
+        j.transition(JobState::Queued).unwrap();
+        assert!(j.transition(JobState::Ok).is_err()); // must run first
+        j.transition(JobState::Running).unwrap();
+        j.transition(JobState::Error).unwrap();
+        assert!(j.transition(JobState::Running).is_err()); // terminal
+        assert!(j.transition(JobState::Deleted).is_err()); // terminal
+    }
+
+    #[test]
+    fn delete_from_any_live_state() {
+        for setup in 0..3 {
+            let mut j = Job::new(1, "t", ParamDict::new());
+            if setup >= 1 {
+                j.transition(JobState::Queued).unwrap();
+            }
+            if setup >= 2 {
+                j.transition(JobState::Running).unwrap();
+            }
+            j.transition(JobState::Deleted).unwrap();
+        }
+    }
+
+    #[test]
+    fn env_replace_semantics() {
+        let mut j = Job::new(1, "t", ParamDict::new());
+        j.set_env("GALAXY_GPU_ENABLED", "false");
+        j.set_env("GALAXY_GPU_ENABLED", "true");
+        assert_eq!(j.env_var("GALAXY_GPU_ENABLED"), Some("true"));
+        assert_eq!(j.env.len(), 1);
+    }
+
+    #[test]
+    fn runtime_requires_both_timestamps() {
+        let mut j = Job::new(1, "t", ParamDict::new());
+        assert!(j.runtime().is_none());
+        j.start_time = Some(10.0);
+        assert!(j.runtime().is_none());
+        j.end_time = Some(14.5);
+        assert_eq!(j.runtime(), Some(4.5));
+    }
+
+    #[test]
+    fn state_names() {
+        assert_eq!(JobState::New.name(), "new");
+        assert_eq!(JobState::Ok.name(), "ok");
+    }
+}

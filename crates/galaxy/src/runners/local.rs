@@ -1,0 +1,300 @@
+//! The local runner: the equivalent of Galaxy's `local.py`.
+//!
+//! Builds the final argv for a job on a `local`-runner destination:
+//! renders the tool's command template against the job's parameter
+//! dictionary (the `__command_line` step of the paper's Pseudocode 2),
+//! wraps it in a Docker/Singularity launch when the destination enables
+//! containers, and applies registered command mutators.
+
+use crate::containers::ImageRegistry;
+use crate::error::GalaxyError;
+use crate::job::conf::Destination;
+use crate::job::Job;
+use crate::runners::container_cmd::{docker_command, singularity_command, VolumeBind};
+use crate::runners::{CommandMutator, ContainerEngine, ContainerInvocation, ExecutionPlan};
+use crate::tool::{ContainerType, Tool};
+
+/// Stateless command assembler for local (and local-containerized)
+/// execution.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalRunner;
+
+impl LocalRunner {
+    /// Render the tool command for a job (template × param dict).
+    pub fn render_command(&self, tool: &Tool, job: &Job) -> Result<String, GalaxyError> {
+        let rendered = tool.command.render(&job.params)?;
+        // Collapse the template's line structure into one shell command.
+        let cmd: String = rendered.split_whitespace().collect::<Vec<_>>().join(" ");
+        if cmd.is_empty() {
+            return Err(GalaxyError::Template(format!("tool {} rendered empty command", tool.id)));
+        }
+        Ok(cmd)
+    }
+
+    /// Build the full execution plan for `job` on `destination`.
+    ///
+    /// `mutators` are applied to the assembled command parts, and — for
+    /// container destinations — the image is pulled through `registry` to
+    /// account for pull + cold-start overhead.
+    pub fn build_plan(
+        &self,
+        tool: &Tool,
+        job: &Job,
+        destination: &Destination,
+        registry: &ImageRegistry,
+        mutators: &[Box<dyn CommandMutator>],
+        volumes: &[VolumeBind],
+    ) -> Result<ExecutionPlan, GalaxyError> {
+        let command_line = self.render_command(tool, job)?;
+        let workdir = format!("/galaxy/jobs/{}", job.id);
+
+        let container = if destination.docker_enabled() {
+            let image = tool
+                .container(ContainerType::Docker)
+                .ok_or_else(|| {
+                    GalaxyError::Container(format!(
+                        "destination {} requires docker but tool {} declares no docker container",
+                        destination.id, tool.id
+                    ))
+                })?
+                .image
+                .clone();
+            let first_start = !registry.is_cached(&image);
+            let pull_s = registry.pull(&image)?;
+            let overhead_s = pull_s + registry.start_overhead(&image, first_start)?;
+            let mut parts = docker_command(&image, &command_line, &job.env, volumes, &workdir);
+            for m in mutators {
+                m.mutate(&mut parts, job, destination);
+            }
+            Some(ContainerInvocation {
+                engine: ContainerEngine::Docker,
+                image,
+                command_parts: parts,
+                overhead_s,
+            })
+        } else if destination.singularity_enabled() {
+            let image = tool
+                .container(ContainerType::Singularity)
+                .or_else(|| tool.container(ContainerType::Docker))
+                .ok_or_else(|| {
+                    GalaxyError::Container(format!(
+                        "destination {} requires singularity but tool {} declares no container",
+                        destination.id, tool.id
+                    ))
+                })?
+                .image
+                .clone();
+            let first_start = !registry.is_cached(&image);
+            let pull_s = registry.pull(&image)?;
+            let overhead_s = pull_s + registry.start_overhead(&image, first_start)?;
+            let mut parts =
+                singularity_command(&image, &command_line, &job.env, volumes, &workdir);
+            for m in mutators {
+                m.mutate(&mut parts, job, destination);
+            }
+            Some(ContainerInvocation {
+                engine: ContainerEngine::Singularity,
+                image,
+                command_parts: parts,
+                overhead_s,
+            })
+        } else {
+            None
+        };
+
+        let command_parts = match &container {
+            Some(c) => c.command_parts.clone(),
+            None => {
+                let mut parts =
+                    vec!["/bin/bash".to_string(), "-c".to_string(), command_line.clone()];
+                for m in mutators {
+                    m.mutate(&mut parts, job, destination);
+                }
+                parts
+            }
+        };
+
+        Ok(ExecutionPlan {
+            job_id: job.id,
+            tool_id: tool.id.clone(),
+            destination_id: destination.id.clone(),
+            command_line,
+            env: job.env.clone(),
+            container,
+            command_parts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::ImageMeta;
+    use crate::params::ParamDict;
+    use crate::tool::macros::MacroLibrary;
+    use crate::tool::wrapper::parse_tool;
+
+    fn tool_with_container() -> Tool {
+        parse_tool(
+            r#"<tool id="racon_gpu" name="Racon">
+              <requirements>
+                <requirement type="compute">gpu</requirement>
+                <container type="docker">test/racon</container>
+              </requirements>
+              <command>racon -t $threads $input</command>
+            </tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap()
+    }
+
+    fn job() -> Job {
+        let mut params = ParamDict::new();
+        params.set("threads", "4");
+        params.set("input", "reads.fq");
+        let mut j = Job::new(7, "racon_gpu", params);
+        j.set_env("GALAXY_GPU_ENABLED", "true");
+        j
+    }
+
+    fn dest(id: &str, params: &[(&str, &str)]) -> Destination {
+        let mut p = ParamDict::new();
+        for (k, v) in params {
+            p.set(*k, *v);
+        }
+        Destination { id: id.into(), runner: "local".into(), params: p }
+    }
+
+    fn registry() -> ImageRegistry {
+        let reg = ImageRegistry::new();
+        reg.publish("test/racon", ImageMeta { size_mb: 500.0, gpu_capable: true });
+        reg
+    }
+
+    #[test]
+    fn renders_flat_command() {
+        let tool = tool_with_container();
+        let cmd = LocalRunner.render_command(&tool, &job()).unwrap();
+        assert_eq!(cmd, "racon -t 4 reads.fq");
+    }
+
+    #[test]
+    fn bare_metal_plan_uses_bash() {
+        let plan = LocalRunner
+            .build_plan(&tool_with_container(), &job(), &dest("local_gpu", &[]), &registry(), &[], &[])
+            .unwrap();
+        assert!(plan.container.is_none());
+        assert_eq!(plan.command_parts[0], "/bin/bash");
+        assert_eq!(plan.command_parts[2], "racon -t 4 reads.fq");
+    }
+
+    #[test]
+    fn docker_plan_wraps_and_charges_overhead() {
+        let reg = registry();
+        let plan = LocalRunner
+            .build_plan(
+                &tool_with_container(),
+                &job(),
+                &dest("docker_gpu", &[("docker_enabled", "true")]),
+                &reg,
+                &[],
+                &[VolumeBind::rw("/data")],
+            )
+            .unwrap();
+        let c = plan.container.as_ref().unwrap();
+        assert_eq!(c.engine, ContainerEngine::Docker);
+        assert!(c.overhead_s > 3.0); // pull 500MB + first start
+        assert_eq!(plan.command_parts[0], "docker");
+        // Second job: image cached, much cheaper.
+        let plan2 = LocalRunner
+            .build_plan(
+                &tool_with_container(),
+                &job(),
+                &dest("docker_gpu", &[("docker_enabled", "true")]),
+                &reg,
+                &[],
+                &[],
+            )
+            .unwrap();
+        assert!(plan2.container.unwrap().overhead_s < 1.0);
+    }
+
+    #[test]
+    fn singularity_falls_back_to_docker_image() {
+        let plan = LocalRunner
+            .build_plan(
+                &tool_with_container(),
+                &job(),
+                &dest("sing", &[("singularity_enabled", "true")]),
+                &registry(),
+                &[],
+                &[],
+            )
+            .unwrap();
+        let c = plan.container.unwrap();
+        assert_eq!(c.engine, ContainerEngine::Singularity);
+        assert_eq!(c.image, "test/racon");
+        assert!(plan.command_parts.iter().any(|p| p == "exec"));
+    }
+
+    #[test]
+    fn docker_destination_without_container_errors() {
+        let tool = parse_tool(
+            r#"<tool id="plain"><command>echo $x</command></tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap();
+        let mut params = ParamDict::new();
+        params.set("x", "1");
+        let j = Job::new(1, "plain", params);
+        let result = LocalRunner.build_plan(
+            &tool,
+            &j,
+            &dest("docker", &[("docker_enabled", "true")]),
+            &registry(),
+            &[],
+            &[],
+        );
+        assert!(matches!(result, Err(GalaxyError::Container(_))));
+    }
+
+    #[test]
+    fn mutators_applied_to_parts() {
+        struct AppendFlag;
+        impl CommandMutator for AppendFlag {
+            fn mutate(&self, parts: &mut Vec<String>, job: &Job, _d: &Destination) {
+                if job.env_var("GALAXY_GPU_ENABLED") == Some("true") {
+                    let run_pos = parts.iter().position(|p| p == "run").map(|i| i + 1);
+                    if let Some(pos) = run_pos {
+                        parts.insert(pos, "--gpus all".into());
+                    }
+                }
+            }
+        }
+        let mutators: Vec<Box<dyn CommandMutator>> = vec![Box::new(AppendFlag)];
+        let plan = LocalRunner
+            .build_plan(
+                &tool_with_container(),
+                &job(),
+                &dest("docker_gpu", &[("docker_enabled", "true")]),
+                &registry(),
+                &mutators,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(plan.command_parts[2], "--gpus all");
+    }
+
+    #[test]
+    fn empty_rendered_command_rejected() {
+        let tool = parse_tool(
+            "<tool id=\"t\"><command>#if $x == \"1\"\nrun\n#end if\n</command></tool>",
+            &MacroLibrary::new(),
+        )
+        .unwrap();
+        let mut params = ParamDict::new();
+        params.set("x", "0");
+        let j = Job::new(1, "t", params);
+        assert!(LocalRunner.render_command(&tool, &j).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! A concurrent handler pool for plan execution.
+//!
+//! Real Galaxy dispatches jobs through handler processes with worker
+//! threads (the `workers` attribute of the `<plugin>` element in
+//! `job_conf.xml`). This module provides that concurrency for the
+//! simulated stack: [`HandlerPool`] runs `ExecutionPlan`s on a fixed set
+//! of worker threads over a crossbeam channel, so several tools can
+//! occupy the simulated GPUs *simultaneously* — the situation the paper's
+//! multi-GPU cases snapshot.
+//!
+//! (`GalaxyApp::submit` remains the synchronous single-job path; the pool
+//! is used when concurrency itself is under test.)
+
+use crate::runners::{ExecutionPlan, ExecutionResult, JobExecutor};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Message {
+    Run(Box<ExecutionPlan>),
+    Shutdown,
+}
+
+/// A pool of handler worker threads executing plans concurrently.
+pub struct HandlerPool {
+    sender: Sender<Message>,
+    workers: Vec<JoinHandle<()>>,
+    results: Arc<Mutex<HashMap<u64, ExecutionResult>>>,
+    pending: Arc<Mutex<usize>>,
+}
+
+impl HandlerPool {
+    /// Spawn `workers` handler threads over `executor`.
+    pub fn new(executor: Arc<dyn JobExecutor>, workers: u32) -> Self {
+        let (sender, receiver) = unbounded::<Message>();
+        let results: Arc<Mutex<HashMap<u64, ExecutionResult>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let pending = Arc::new(Mutex::new(0usize));
+        let mut handles = Vec::new();
+        for _ in 0..workers.max(1) {
+            let receiver = receiver.clone();
+            let executor = executor.clone();
+            let results = results.clone();
+            let pending = pending.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(msg) = receiver.recv() {
+                    match msg {
+                        Message::Run(plan) => {
+                            let result = executor.execute(&plan);
+                            results.lock().insert(plan.job_id, result);
+                            *pending.lock() -= 1;
+                        }
+                        Message::Shutdown => break,
+                    }
+                }
+            }));
+        }
+        HandlerPool { sender, workers: handles, results, pending }
+    }
+
+    /// Enqueue a plan for execution.
+    pub fn enqueue(&self, plan: ExecutionPlan) {
+        *self.pending.lock() += 1;
+        self.sender.send(Message::Run(Box::new(plan))).expect("pool alive");
+    }
+
+    /// Number of enqueued-but-unfinished plans.
+    pub fn pending(&self) -> usize {
+        *self.pending.lock()
+    }
+
+    /// Result for a finished job, if available.
+    pub fn result(&self, job_id: u64) -> Option<ExecutionResult> {
+        self.results.lock().get(&job_id).cloned()
+    }
+
+    /// Busy-wait (yielding) until every enqueued plan has finished, then
+    /// return all results.
+    pub fn wait_all(&self) -> HashMap<u64, ExecutionResult> {
+        while self.pending() > 0 {
+            std::thread::yield_now();
+        }
+        self.results.lock().clone()
+    }
+
+    /// Stop the workers (idempotent; pending work completes first because
+    /// the channel is drained in order).
+    pub fn shutdown(mut self) {
+        for _ in &self.workers {
+            let _ = self.sender.send(Message::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    fn plan(job_id: u64, cmd: &str) -> ExecutionPlan {
+        ExecutionPlan {
+            job_id,
+            tool_id: "t".into(),
+            destination_id: "d".into(),
+            command_line: cmd.to_string(),
+            env: vec![],
+            container: None,
+            command_parts: vec![],
+        }
+    }
+
+    struct SlowExecutor {
+        concurrent: AtomicU32,
+        max_seen: AtomicU32,
+    }
+
+    impl JobExecutor for SlowExecutor {
+        fn execute(&self, plan: &ExecutionPlan) -> ExecutionResult {
+            let now = self.concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max_seen.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(30));
+            self.concurrent.fetch_sub(1, Ordering::SeqCst);
+            ExecutionResult::ok(plan.command_line.clone())
+        }
+    }
+
+    #[test]
+    fn executes_all_plans_and_collects_results() {
+        let executor = Arc::new(SlowExecutor {
+            concurrent: AtomicU32::new(0),
+            max_seen: AtomicU32::new(0),
+        });
+        let pool = HandlerPool::new(executor.clone(), 4);
+        for i in 0..8 {
+            pool.enqueue(plan(i, &format!("job-{i}")));
+        }
+        let results = pool.wait_all();
+        assert_eq!(results.len(), 8);
+        for i in 0..8 {
+            assert_eq!(results[&i].stdout, format!("job-{i}"));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        let executor = Arc::new(SlowExecutor {
+            concurrent: AtomicU32::new(0),
+            max_seen: AtomicU32::new(0),
+        });
+        let pool = HandlerPool::new(executor.clone(), 4);
+        for i in 0..8 {
+            pool.enqueue(plan(i, "x"));
+        }
+        pool.wait_all();
+        assert!(
+            executor.max_seen.load(Ordering::SeqCst) >= 2,
+            "expected overlapping execution, saw max {}",
+            executor.max_seen.load(Ordering::SeqCst)
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn single_worker_serializes() {
+        let executor = Arc::new(SlowExecutor {
+            concurrent: AtomicU32::new(0),
+            max_seen: AtomicU32::new(0),
+        });
+        let pool = HandlerPool::new(executor.clone(), 1);
+        for i in 0..4 {
+            pool.enqueue(plan(i, "x"));
+        }
+        pool.wait_all();
+        assert_eq!(executor.max_seen.load(Ordering::SeqCst), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn result_lookup_before_and_after() {
+        let executor = Arc::new(SlowExecutor {
+            concurrent: AtomicU32::new(0),
+            max_seen: AtomicU32::new(0),
+        });
+        let pool = HandlerPool::new(executor, 2);
+        assert!(pool.result(7).is_none());
+        pool.enqueue(plan(7, "later"));
+        pool.wait_all();
+        assert_eq!(pool.result(7).unwrap().stdout, "later");
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,341 @@
+//! Tool self-tests: the `<tests>` section of a Galaxy wrapper.
+//!
+//! Real Galaxy wrappers embed functional tests that `planemo test` runs
+//! against a live instance:
+//!
+//! ```xml
+//! <tests>
+//!   <test>
+//!     <param name="threads" value="2"/>
+//!     <output name="consensus">
+//!       <assert_contents>
+//!         <has_text text=">consensus"/>
+//!         <has_n_lines min="1"/>
+//!       </assert_contents>
+//!     </output>
+//!   </test>
+//! </tests>
+//! ```
+//!
+//! This module parses that section and runs the tests through a
+//! [`crate::GalaxyApp`], asserting on the produced history datasets.
+
+use crate::app::GalaxyApp;
+use crate::error::GalaxyError;
+use crate::params::ParamDict;
+use xmlparse::Element;
+
+/// One content assertion inside `<assert_contents>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputAssertion {
+    /// `<has_text text="..."/>` — the output contains the text.
+    HasText(String),
+    /// `<not_has_text text="..."/>`.
+    NotHasText(String),
+    /// `<has_n_lines n="..."/>` or `min=`/`max=` bounds.
+    HasNLines {
+        /// Exact line count, when given.
+        n: Option<usize>,
+        /// Minimum line count.
+        min: Option<usize>,
+        /// Maximum line count.
+        max: Option<usize>,
+    },
+    /// `<has_size value="..." delta="..."/>` in bytes.
+    HasSize {
+        /// Expected size.
+        value: usize,
+        /// Allowed deviation.
+        delta: usize,
+    },
+}
+
+impl OutputAssertion {
+    /// Check against dataset content; `Err` carries the failure message.
+    pub fn check(&self, content: &str) -> Result<(), String> {
+        match self {
+            OutputAssertion::HasText(text) => {
+                if content.contains(text) {
+                    Ok(())
+                } else {
+                    Err(format!("expected text {text:?} not found"))
+                }
+            }
+            OutputAssertion::NotHasText(text) => {
+                if content.contains(text) {
+                    Err(format!("forbidden text {text:?} present"))
+                } else {
+                    Ok(())
+                }
+            }
+            OutputAssertion::HasNLines { n, min, max } => {
+                let lines = content.lines().count();
+                if let Some(n) = n {
+                    if lines != *n {
+                        return Err(format!("expected {n} lines, found {lines}"));
+                    }
+                }
+                if let Some(min) = min {
+                    if lines < *min {
+                        return Err(format!("expected ≥{min} lines, found {lines}"));
+                    }
+                }
+                if let Some(max) = max {
+                    if lines > *max {
+                        return Err(format!("expected ≤{max} lines, found {lines}"));
+                    }
+                }
+                Ok(())
+            }
+            OutputAssertion::HasSize { value, delta } => {
+                let size = content.len();
+                if size.abs_diff(*value) <= *delta {
+                    Ok(())
+                } else {
+                    Err(format!("expected size {value}±{delta}, found {size}"))
+                }
+            }
+        }
+    }
+}
+
+/// Expected output of one test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedOutput {
+    /// The `<data name=...>` output this refers to.
+    pub name: String,
+    /// Content assertions.
+    pub assertions: Vec<OutputAssertion>,
+}
+
+/// One `<test>` of a tool.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ToolTest {
+    /// Parameter values the test submits.
+    pub params: Vec<(String, String)>,
+    /// Output expectations.
+    pub outputs: Vec<ExpectedOutput>,
+}
+
+/// Parse the `<tests>` element.
+pub fn parse_tests(tests_el: &Element) -> Result<Vec<ToolTest>, GalaxyError> {
+    let mut tests = Vec::new();
+    for test_el in tests_el.children_named("test") {
+        let mut test = ToolTest::default();
+        for param in test_el.children_named("param") {
+            let name = param
+                .attr("name")
+                .ok_or_else(|| GalaxyError::BadWrapper("<param> in test without name".into()))?;
+            let value = param.attr("value").unwrap_or("").to_string();
+            test.params.push((name.to_string(), value));
+        }
+        for output in test_el.children_named("output") {
+            let name = output
+                .attr("name")
+                .ok_or_else(|| GalaxyError::BadWrapper("<output> in test without name".into()))?;
+            let mut assertions = Vec::new();
+            if let Some(contents) = output.find("assert_contents") {
+                for a in contents.child_elements() {
+                    assertions.push(parse_assertion(a)?);
+                }
+            }
+            test.outputs.push(ExpectedOutput { name: name.to_string(), assertions });
+        }
+        tests.push(test);
+    }
+    Ok(tests)
+}
+
+fn parse_assertion(el: &Element) -> Result<OutputAssertion, GalaxyError> {
+    let attr_num = |name: &str| -> Option<usize> { el.attr(name).and_then(|v| v.parse().ok()) };
+    match el.name() {
+        "has_text" => Ok(OutputAssertion::HasText(
+            el.attr("text")
+                .ok_or_else(|| GalaxyError::BadWrapper("<has_text> without text".into()))?
+                .to_string(),
+        )),
+        "not_has_text" => Ok(OutputAssertion::NotHasText(
+            el.attr("text")
+                .ok_or_else(|| GalaxyError::BadWrapper("<not_has_text> without text".into()))?
+                .to_string(),
+        )),
+        "has_n_lines" => Ok(OutputAssertion::HasNLines {
+            n: attr_num("n"),
+            min: attr_num("min"),
+            max: attr_num("max"),
+        }),
+        "has_size" => Ok(OutputAssertion::HasSize {
+            value: attr_num("value")
+                .ok_or_else(|| GalaxyError::BadWrapper("<has_size> without value".into()))?,
+            delta: attr_num("delta").unwrap_or(0),
+        }),
+        other => Err(GalaxyError::BadWrapper(format!("unknown assertion <{other}>"))),
+    }
+}
+
+/// Result of running one tool test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolTestResult {
+    /// Index of the test in the wrapper.
+    pub index: usize,
+    /// Failure messages (empty = pass).
+    pub failures: Vec<String>,
+}
+
+impl ToolTestResult {
+    /// Did the test pass?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl GalaxyApp {
+    /// Run every embedded test of `tool_id` (Galaxy's `planemo test`):
+    /// submit with the test's parameters and check each output dataset's
+    /// assertions.
+    pub fn run_tool_tests(&mut self, tool_id: &str) -> Result<Vec<ToolTestResult>, GalaxyError> {
+        let tests = self
+            .tool(tool_id)
+            .ok_or_else(|| GalaxyError::UnknownTool(tool_id.to_string()))?
+            .tests
+            .clone();
+        let mut results = Vec::with_capacity(tests.len());
+        for (index, test) in tests.iter().enumerate() {
+            let mut failures = Vec::new();
+            let mut params = ParamDict::new();
+            for (k, v) in &test.params {
+                params.set(k.clone(), v.clone());
+            }
+            match self.submit(tool_id, &params) {
+                Err(e) => failures.push(format!("job failed: {e}")),
+                Ok(job_id) => {
+                    for expected in &test.outputs {
+                        let dataset = self
+                            .history()
+                            .datasets_for_job(job_id)
+                            .into_iter()
+                            .find(|d| d.name == expected.name)
+                            .cloned();
+                        match dataset {
+                            None => failures
+                                .push(format!("output {:?} was not produced", expected.name)),
+                            Some(ds) => {
+                                for assertion in &expected.assertions {
+                                    if let Err(msg) = assertion.check(&ds.content) {
+                                        failures.push(format!(
+                                            "output {:?}: {msg}",
+                                            expected.name
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            results.push(ToolTestResult { index, failures });
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::conf::{JobConfig, GYAN_JOB_CONF};
+    use crate::tool::macros::MacroLibrary;
+
+    const TOOL_WITH_TESTS: &str = r#"<tool id="echo" name="Echo">
+      <command>echo $text</command>
+      <inputs><param name="text" type="text" value="default"/></inputs>
+      <outputs><data name="out" format="txt"/></outputs>
+      <tests>
+        <test>
+          <param name="text" value="hello world"/>
+          <output name="out">
+            <assert_contents>
+              <has_text text="hello"/>
+              <not_has_text text="goodbye"/>
+              <has_n_lines n="1"/>
+              <has_size value="11" delta="2"/>
+            </assert_contents>
+          </output>
+        </test>
+        <test>
+          <param name="text" value="two"/>
+          <output name="out">
+            <assert_contents><has_text text="THIS WILL FAIL"/></assert_contents>
+          </output>
+        </test>
+      </tests>
+    </tool>"#;
+
+    struct EchoExecutor;
+    impl crate::runners::JobExecutor for EchoExecutor {
+        fn execute(&self, plan: &crate::runners::ExecutionPlan) -> crate::runners::ExecutionResult {
+            crate::runners::ExecutionResult::ok(
+                plan.command_line.strip_prefix("echo ").unwrap_or(""),
+            )
+        }
+    }
+
+    fn app() -> GalaxyApp {
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(TOOL_WITH_TESTS, &MacroLibrary::new()).unwrap();
+        app.set_executor(Box::new(EchoExecutor));
+        app.register_rule(
+            "gpu_dynamic_destination",
+            Box::new(|_t, _j, _c| Ok("local_cpu".to_string())),
+        );
+        app
+    }
+
+    #[test]
+    fn wrapper_tests_are_parsed() {
+        let app = app();
+        let tool = app.tool("echo").unwrap();
+        assert_eq!(tool.tests.len(), 2);
+        assert_eq!(tool.tests[0].params, vec![("text".to_string(), "hello world".to_string())]);
+        assert_eq!(tool.tests[0].outputs[0].assertions.len(), 4);
+    }
+
+    #[test]
+    fn passing_and_failing_tests_reported() {
+        let mut app = app();
+        let results = app.run_tool_tests("echo").unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].passed(), "{:?}", results[0].failures);
+        assert!(!results[1].passed());
+        assert!(results[1].failures[0].contains("THIS WILL FAIL"));
+    }
+
+    #[test]
+    fn assertions_check_correctly() {
+        assert!(OutputAssertion::HasText("abc".into()).check("xxabcxx").is_ok());
+        assert!(OutputAssertion::HasText("abc".into()).check("nope").is_err());
+        assert!(OutputAssertion::NotHasText("abc".into()).check("nope").is_ok());
+        let lines = OutputAssertion::HasNLines { n: None, min: Some(2), max: Some(3) };
+        assert!(lines.check("a\nb\n").is_ok());
+        assert!(lines.check("a\n").is_err());
+        assert!(lines.check("a\nb\nc\nd\n").is_err());
+        let size = OutputAssertion::HasSize { value: 10, delta: 1 };
+        assert!(size.check("0123456789").is_ok());
+        assert!(size.check("01234567891").is_ok());
+        assert!(size.check("0123").is_err());
+    }
+
+    #[test]
+    fn unknown_assertion_rejected() {
+        let doc = xmlparse::parse(
+            r#"<tests><test><output name="o"><assert_contents><has_magic/></assert_contents></output></test></tests>"#,
+        )
+        .unwrap();
+        assert!(matches!(parse_tests(doc.root()), Err(GalaxyError::BadWrapper(_))));
+    }
+
+    #[test]
+    fn unknown_tool_errors() {
+        let mut app = app();
+        assert!(matches!(app.run_tool_tests("ghost"), Err(GalaxyError::UnknownTool(_))));
+    }
+}

@@ -1,0 +1,251 @@
+//! Workflows: ordered multi-tool pipelines.
+//!
+//! The paper's background: "A single job can be a single tool instance or
+//! a workflow consisting of a sequence of multiple tools." A
+//! [`Workflow`] is an ordered list of steps; each step runs a tool, and
+//! may take any parameter's value from an upstream step's output dataset.
+//! Execution is sequential and fail-fast, and each step goes through the
+//! full GYAN-instrumented pipeline (so a workflow can mix GPU and CPU
+//! tools, each mapped independently).
+
+use crate::app::GalaxyApp;
+use crate::error::GalaxyError;
+use crate::params::ParamDict;
+
+/// Where a step's parameter value comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueSource {
+    /// A literal value.
+    Literal(String),
+    /// The content of the first output dataset of an earlier step
+    /// (0-based step index).
+    StepOutput(usize),
+}
+
+/// One step of a workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowStep {
+    /// Tool to run.
+    pub tool_id: String,
+    /// Parameter bindings.
+    pub params: Vec<(String, ValueSource)>,
+}
+
+impl WorkflowStep {
+    /// A step with no parameters.
+    pub fn new(tool_id: impl Into<String>) -> Self {
+        WorkflowStep { tool_id: tool_id.into(), params: Vec::new() }
+    }
+
+    /// Bind a literal parameter.
+    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.push((name.into(), ValueSource::Literal(value.into())));
+        self
+    }
+
+    /// Bind a parameter to an upstream step's first output.
+    pub fn with_input_from(mut self, name: impl Into<String>, step: usize) -> Self {
+        self.params.push((name.into(), ValueSource::StepOutput(step)));
+        self
+    }
+}
+
+/// An ordered multi-step pipeline.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    /// Display name.
+    pub name: String,
+    /// Steps in execution order.
+    pub steps: Vec<WorkflowStep>,
+}
+
+impl Workflow {
+    /// An empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workflow { name: name.into(), steps: Vec::new() }
+    }
+
+    /// Append a step.
+    pub fn step(mut self, step: WorkflowStep) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Validate step references (upstream-only, in range, tools known).
+    pub fn validate(&self, app: &GalaxyApp) -> Result<(), GalaxyError> {
+        for (i, step) in self.steps.iter().enumerate() {
+            if app.tool(&step.tool_id).is_none() {
+                return Err(GalaxyError::UnknownTool(step.tool_id.clone()));
+            }
+            for (name, source) in &step.params {
+                if let ValueSource::StepOutput(from) = source {
+                    if *from >= i {
+                        return Err(GalaxyError::BadWrapper(format!(
+                            "workflow {:?} step {i}: param {name:?} references step {from}, \
+                             which is not upstream",
+                            self.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a workflow invocation.
+#[derive(Debug, Clone)]
+pub struct WorkflowRun {
+    /// Job ids of completed steps, in order.
+    pub job_ids: Vec<u64>,
+    /// Index of the failed step, when the run aborted.
+    pub failed_step: Option<usize>,
+}
+
+impl WorkflowRun {
+    /// Whether every step completed.
+    pub fn ok(&self) -> bool {
+        self.failed_step.is_none()
+    }
+}
+
+impl GalaxyApp {
+    /// Run a workflow: validate, then execute steps in order, feeding
+    /// upstream outputs into downstream parameters. Aborts on the first
+    /// failing step (remaining steps are not submitted).
+    pub fn submit_workflow(&mut self, workflow: &Workflow) -> Result<WorkflowRun, GalaxyError> {
+        workflow.validate(self)?;
+        let mut job_ids: Vec<u64> = Vec::with_capacity(workflow.steps.len());
+        for (i, step) in workflow.steps.iter().enumerate() {
+            let mut params = ParamDict::new();
+            for (name, source) in &step.params {
+                let value = match source {
+                    ValueSource::Literal(v) => v.clone(),
+                    ValueSource::StepOutput(from) => {
+                        let upstream_job = job_ids[*from];
+                        let ds = self
+                            .history()
+                            .datasets_for_job(upstream_job)
+                            .first()
+                            .map(|d| d.content.clone())
+                            .ok_or_else(|| {
+                                GalaxyError::BadWrapper(format!(
+                                    "workflow step {i}: upstream step {from} produced no output"
+                                ))
+                            })?;
+                        ds
+                    }
+                };
+                params.set(name.clone(), value);
+            }
+            match self.submit(&step.tool_id, &params) {
+                Ok(id) => job_ids.push(id),
+                Err(_) => {
+                    return Ok(WorkflowRun { job_ids, failed_step: Some(i) });
+                }
+            }
+        }
+        Ok(WorkflowRun { job_ids, failed_step: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::conf::{JobConfig, GYAN_JOB_CONF};
+    use crate::tool::macros::MacroLibrary;
+
+    const UPPER: &str = r#"<tool id="upper" name="Uppercase">
+      <command>echo $text</command>
+      <inputs><param name="text" type="text" value="x"/></inputs>
+      <outputs><data name="out" format="txt"/></outputs>
+    </tool>"#;
+
+    /// A shell-less `echo` implementation so chained outputs are real.
+    struct EchoExecutor;
+    impl crate::runners::JobExecutor for EchoExecutor {
+        fn execute(&self, plan: &crate::runners::ExecutionPlan) -> crate::runners::ExecutionResult {
+            let echoed = plan.command_line.strip_prefix("echo ").unwrap_or("");
+            crate::runners::ExecutionResult::ok(echoed)
+        }
+    }
+
+    fn app() -> GalaxyApp {
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(UPPER, &MacroLibrary::new()).unwrap();
+        app.set_executor(Box::new(EchoExecutor));
+        app.register_rule(
+            "gpu_dynamic_destination",
+            Box::new(|_t, _j, _c| Ok("local_cpu".to_string())),
+        );
+        app
+    }
+
+    #[test]
+    fn chained_steps_pass_outputs_downstream() {
+        let mut app = app();
+        let wf = Workflow::new("chain")
+            .step(WorkflowStep::new("upper").with_param("text", "hello"))
+            .step(WorkflowStep::new("upper").with_input_from("text", 0))
+            .step(WorkflowStep::new("upper").with_input_from("text", 1));
+        let run = app.submit_workflow(&wf).unwrap();
+        assert!(run.ok());
+        assert_eq!(run.job_ids.len(), 3);
+        // Step 0 echoed "hello"; steps 1 and 2 echoed the upstream output.
+        for id in &run.job_ids {
+            assert_eq!(app.job(*id).unwrap().stdout.trim(), "hello");
+        }
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let app_ = app();
+        let wf = Workflow::new("bad")
+            .step(WorkflowStep::new("upper").with_input_from("text", 1))
+            .step(WorkflowStep::new("upper"));
+        assert!(matches!(wf.validate(&app_), Err(GalaxyError::BadWrapper(_))));
+    }
+
+    #[test]
+    fn self_reference_rejected() {
+        let app_ = app();
+        let wf = Workflow::new("bad").step(WorkflowStep::new("upper").with_input_from("text", 0));
+        assert!(wf.validate(&app_).is_err());
+    }
+
+    #[test]
+    fn unknown_tool_rejected() {
+        let app_ = app();
+        let wf = Workflow::new("bad").step(WorkflowStep::new("ghost"));
+        assert!(matches!(wf.validate(&app_), Err(GalaxyError::UnknownTool(_))));
+    }
+
+    #[test]
+    fn failing_step_aborts_remaining() {
+        struct FailSecond;
+        impl crate::runners::JobExecutor for FailSecond {
+            fn execute(
+                &self,
+                plan: &crate::runners::ExecutionPlan,
+            ) -> crate::runners::ExecutionResult {
+                if plan.command_line.contains("boom") {
+                    crate::runners::ExecutionResult::fail(1, "boom")
+                } else {
+                    crate::runners::ExecutionResult::ok("fine")
+                }
+            }
+        }
+        let mut app = app();
+        app.set_executor(Box::new(FailSecond));
+        let wf = Workflow::new("abort")
+            .step(WorkflowStep::new("upper").with_param("text", "ok"))
+            .step(WorkflowStep::new("upper").with_param("text", "boom"))
+            .step(WorkflowStep::new("upper").with_param("text", "never-runs"));
+        let run = app.submit_workflow(&wf).unwrap();
+        assert!(!run.ok());
+        assert_eq!(run.failed_step, Some(1));
+        assert_eq!(run.job_ids.len(), 1);
+        // Only two jobs were created (the third step never submitted).
+        assert_eq!(app.jobs().len(), 2);
+    }
+}

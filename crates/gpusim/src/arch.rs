@@ -1,0 +1,201 @@
+//! GPU architecture descriptors.
+//!
+//! The parameters mirror the numbers the paper quotes for the Tesla K80
+//! (two GK210 dies per board, 2,496 CUDA cores each, 480 GB/s aggregate
+//! memory bandwidth, 24 GB total board memory, 15 SMs per die, warp size 32,
+//! 4 warp schedulers per SM) plus two newer parts used in the paper's
+//! motivation section, so experiments can sweep architectures.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one GPU *die* (what `nvidia-smi` shows as one
+/// device; a K80 board exposes two of these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuArch {
+    /// Marketing name reported by the driver (e.g. "Tesla K80").
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Base core clock in MHz.
+    pub base_clock_mhz: u32,
+    /// Boost core clock in MHz (the cost model uses this).
+    pub boost_clock_mhz: u32,
+    /// Device memory size in MiB (per die).
+    pub fb_total_mib: u64,
+    /// Memory bandwidth in GB/s (per die).
+    pub mem_bandwidth_gbs: f64,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum threads in one block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Warp schedulers per SM.
+    pub warp_schedulers_per_sm: u32,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub fp32_gflops: f64,
+    /// Peak double-precision throughput in GFLOP/s.
+    pub fp64_gflops: f64,
+    /// Peak half-precision throughput in GFLOP/s (tensor cores where
+    /// present; Kepler has no fast FP16 path and runs it at FP32 rate).
+    pub fp16_gflops: f64,
+    /// PCIe generation the board negotiates under load.
+    pub pcie_gen: u8,
+    /// Host↔device bandwidth in GB/s (effective, per direction).
+    pub pcie_bandwidth_gbs: f64,
+    /// Idle power draw in watts (for smi output).
+    pub power_idle_w: f64,
+    /// Power limit in watts.
+    pub power_limit_w: f64,
+}
+
+impl GpuArch {
+    /// One GK210 die of a Tesla K80 board — the evaluation GPU of the paper.
+    ///
+    /// `fb_total_mib` is 11,441 MiB, matching the `11441MiB` the paper's
+    /// Fig. 10 console output shows per device.
+    pub const fn tesla_k80() -> Self {
+        GpuArch {
+            name: "Tesla K80",
+            sm_count: 15,
+            cores_per_sm: 192,
+            base_clock_mhz: 560,
+            boost_clock_mhz: 875,
+            fb_total_mib: 11_441,
+            mem_bandwidth_gbs: 240.0,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            warp_schedulers_per_sm: 4,
+            fp32_gflops: 4368.0,
+            fp64_gflops: 1456.0,
+            fp16_gflops: 4368.0, // no fast FP16 on Kepler
+            pcie_gen: 3,
+            pcie_bandwidth_gbs: 10.0,
+            power_idle_w: 60.0,
+            power_limit_w: 149.0,
+        }
+    }
+
+    /// Tesla V100 (SXM2 16 GB) — referenced by the paper's COVID-19
+    /// motivation examples.
+    pub const fn tesla_v100() -> Self {
+        GpuArch {
+            name: "Tesla V100-SXM2-16GB",
+            sm_count: 80,
+            cores_per_sm: 64,
+            base_clock_mhz: 1290,
+            boost_clock_mhz: 1530,
+            fb_total_mib: 16_160,
+            mem_bandwidth_gbs: 900.0,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            warp_schedulers_per_sm: 4,
+            fp32_gflops: 15_700.0,
+            fp64_gflops: 7850.0,
+            fp16_gflops: 125_000.0, // tensor cores
+            pcie_gen: 3,
+            pcie_bandwidth_gbs: 12.0,
+            power_idle_w: 40.0,
+            power_limit_w: 300.0,
+        }
+    }
+
+    /// A100 (SXM4 40 GB) — the paper's "more gains expected with A100".
+    pub const fn a100() -> Self {
+        GpuArch {
+            name: "A100-SXM4-40GB",
+            sm_count: 108,
+            cores_per_sm: 64,
+            base_clock_mhz: 1095,
+            boost_clock_mhz: 1410,
+            fb_total_mib: 40_536,
+            mem_bandwidth_gbs: 1555.0,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            warp_schedulers_per_sm: 4,
+            fp32_gflops: 19_500.0,
+            fp64_gflops: 9700.0,
+            fp16_gflops: 312_000.0, // tensor cores
+            pcie_gen: 4,
+            pcie_bandwidth_gbs: 24.0,
+            power_idle_w: 50.0,
+            power_limit_w: 400.0,
+        }
+    }
+
+    /// Total CUDA cores on this die.
+    pub fn total_cores(&self) -> u32 {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// Peak FP32 throughput in FLOP/s (not GFLOP/s).
+    pub fn fp32_flops(&self) -> f64 {
+        self.fp32_gflops * 1e9
+    }
+
+    /// Memory bandwidth in bytes/s.
+    pub fn mem_bandwidth_bytes(&self) -> f64 {
+        self.mem_bandwidth_gbs * 1e9
+    }
+
+    /// PCIe bandwidth in bytes/s.
+    pub fn pcie_bandwidth_bytes(&self) -> f64 {
+        self.pcie_bandwidth_gbs * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k80_matches_paper_figures() {
+        let k80 = GpuArch::tesla_k80();
+        // Paper: "Both GPUs have 2,496 processor cores with a core clock of
+        // 560 MHz to 875 MHz ... the total board memory is 24 GB ... there
+        // are 15 SMs, each containing 4 warp schedulers".
+        assert_eq!(k80.total_cores(), 2880); // 15 SMs × 192 cores (GK210)
+        assert_eq!(k80.base_clock_mhz, 560);
+        assert_eq!(k80.boost_clock_mhz, 875);
+        assert_eq!(k80.sm_count, 15);
+        assert_eq!(k80.warp_schedulers_per_sm, 4);
+        assert_eq!(k80.fb_total_mib, 11_441);
+        assert_eq!(k80.warp_size, 32);
+        assert_eq!(k80.max_warps_per_sm, 64);
+    }
+
+    #[test]
+    fn newer_archs_are_strictly_faster() {
+        let k80 = GpuArch::tesla_k80();
+        let v100 = GpuArch::tesla_v100();
+        let a100 = GpuArch::a100();
+        assert!(v100.fp32_gflops > k80.fp32_gflops);
+        assert!(a100.fp32_gflops > v100.fp32_gflops);
+        assert!(a100.mem_bandwidth_gbs > v100.mem_bandwidth_gbs);
+        // Tensor cores: fp16 far above fp32 on Volta+, equal on Kepler.
+        assert_eq!(k80.fp16_gflops, k80.fp32_gflops);
+        assert!(v100.fp16_gflops > 5.0 * v100.fp32_gflops);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let k80 = GpuArch::tesla_k80();
+        assert!((k80.fp32_flops() - 4.368e12).abs() < 1e6);
+        assert!((k80.mem_bandwidth_bytes() - 2.4e11).abs() < 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual time: deterministic simulated seconds shared across a cluster.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Callback invoked with the new time after every clock advance. Used by
+/// the GYAN hardware-usage monitor to take 1 Hz samples in virtual time.
+pub type ClockObserver = Box<dyn Fn(f64) + Send + Sync>;
+
+/// A monotonically increasing virtual clock measured in seconds.
+///
+/// The clock is shared (`Arc`) between the cluster, CUDA contexts, and the
+/// monitoring script so that samples, kernel completions, and scheduler
+/// decisions are ordered on a single time base.
+#[derive(Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<Mutex<f64>>,
+    observers: Arc<Mutex<Vec<ClockObserver>>>,
+}
+
+impl VirtualClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        *self.now.lock()
+    }
+
+    /// Advance the clock by `seconds` (must be non-negative) and return the
+    /// new time.
+    pub fn advance(&self, seconds: f64) -> f64 {
+        assert!(seconds >= 0.0, "virtual time cannot go backwards ({seconds})");
+        let new_now = {
+            let mut now = self.now.lock();
+            *now += seconds;
+            *now
+        };
+        self.notify(new_now);
+        new_now
+    }
+
+    /// Move the clock to `t` if `t` is later than the current time
+    /// (rendezvous semantics for independent streams).
+    pub fn advance_to(&self, t: f64) -> f64 {
+        let new_now = {
+            let mut now = self.now.lock();
+            if t > *now {
+                *now = t;
+            }
+            *now
+        };
+        self.notify(new_now);
+        new_now
+    }
+
+    /// Register an observer called (outside the clock lock) with the new
+    /// time after every advance.
+    pub fn on_advance(&self, observer: ClockObserver) {
+        self.observers.lock().push(observer);
+    }
+
+    // Observers must not advance the clock or register further observers
+    // from inside the callback (the lock is held during the call); the
+    // monitor only reads device state, which is safe.
+    fn notify(&self, now: f64) {
+        let observers = self.observers.lock();
+        for cb in observers.iter() {
+            cb(now);
+        }
+    }
+}
+
+impl std::fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualClock").field("now", &self.now()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.advance(1.5), 1.5);
+        assert_eq!(c.advance(0.5), 2.0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = VirtualClock::new();
+        c.advance(5.0);
+        assert_eq!(c.advance_to(3.0), 5.0);
+        assert_eq!(c.advance_to(7.0), 7.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(2.0);
+        assert_eq!(b.now(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn negative_advance_panics() {
+        VirtualClock::new().advance(-1.0);
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn observers_see_every_advance() {
+        let c = VirtualClock::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        c.on_advance(Box::new(move |_t| {
+            h.fetch_add(1, Ordering::Relaxed);
+        }));
+        c.advance(1.0);
+        c.advance_to(5.0);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn observer_receives_new_time() {
+        let c = VirtualClock::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        c.on_advance(Box::new(move |t| s.lock().push(t)));
+        c.advance(2.5);
+        c.advance(0.5);
+        assert_eq!(*seen.lock(), vec![2.5, 3.0]);
+    }
+}

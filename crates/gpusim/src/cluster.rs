@@ -1,0 +1,199 @@
+//! Shared state for a node's GPUs.
+
+use crate::arch::GpuArch;
+use crate::clock::VirtualClock;
+use crate::device::DeviceState;
+use crate::error::GpuError;
+use crate::host::HostSpec;
+use crate::process::GpuProcess;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// All GPUs of one compute node plus the shared virtual clock and host
+/// model. Clones share state, so a cluster handle can be given to the
+/// Galaxy runner, the GYAN allocator, and the monitoring script at once —
+/// mirroring how all of those independently shell out to `nvidia-smi` on a
+/// real node.
+#[derive(Clone)]
+pub struct GpuCluster {
+    devices: Arc<Vec<RwLock<DeviceState>>>,
+    clock: VirtualClock,
+    host: HostSpec,
+    driver_version: &'static str,
+    cuda_version: &'static str,
+    next_pid: Arc<AtomicU32>,
+}
+
+impl GpuCluster {
+    /// Build a node with `count` devices of the given architecture.
+    pub fn node(arch: GpuArch, count: u32) -> Self {
+        let devices = (0..count).map(|i| RwLock::new(DeviceState::new(arch.clone(), i))).collect();
+        GpuCluster {
+            devices: Arc::new(devices),
+            clock: VirtualClock::new(),
+            host: HostSpec::xeon_e5_2670(),
+            driver_version: "455.45.01",
+            cuda_version: "11.1",
+            next_pid: Arc::new(AtomicU32::new(39_900)),
+        }
+    }
+
+    /// The paper's evaluation node: one Tesla K80 board exposing two GK210
+    /// dies as devices 0 and 1, driver 455.45.01 (as shown in Fig. 10).
+    pub fn k80_node() -> Self {
+        Self::node(GpuArch::tesla_k80(), 2)
+    }
+
+    /// A node with no GPUs — the CPU-only fallback scenario.
+    pub fn cpu_only_node() -> Self {
+        Self::node(GpuArch::tesla_k80(), 0)
+    }
+
+    /// Number of devices on the node.
+    pub fn device_count(&self) -> u32 {
+        self.devices.len() as u32
+    }
+
+    /// Shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Host CPU description.
+    pub fn host(&self) -> &HostSpec {
+        &self.host
+    }
+
+    /// Driver version string for smi output.
+    pub fn driver_version(&self) -> &'static str {
+        self.driver_version
+    }
+
+    /// CUDA runtime version string for smi output.
+    pub fn cuda_version(&self) -> &'static str {
+        self.cuda_version
+    }
+
+    /// Allocate a fresh host pid for a simulated tool process.
+    pub fn spawn_pid(&self) -> u32 {
+        self.next_pid.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Run `f` with shared access to device `minor`.
+    pub fn with_device<T>(
+        &self,
+        minor: u32,
+        f: impl FnOnce(&DeviceState) -> T,
+    ) -> Result<T, GpuError> {
+        let dev = self.devices.get(minor as usize).ok_or(GpuError::InvalidDevice(minor))?;
+        Ok(f(&dev.read()))
+    }
+
+    /// Run `f` with exclusive access to device `minor`.
+    pub fn with_device_mut<T>(
+        &self,
+        minor: u32,
+        f: impl FnOnce(&mut DeviceState) -> T,
+    ) -> Result<T, GpuError> {
+        let dev = self.devices.get(minor as usize).ok_or(GpuError::InvalidDevice(minor))?;
+        Ok(f(&mut dev.write()))
+    }
+
+    /// Snapshot every device's state (for smi/nvml emitters).
+    pub fn snapshot(&self) -> Vec<DeviceState> {
+        self.devices.iter().map(|d| d.read().clone()).collect()
+    }
+
+    /// Attach a process to a device.
+    pub fn attach_process(&self, minor: u32, proc: GpuProcess) -> Result<(), GpuError> {
+        self.with_device_mut(minor, |d| d.attach_process(proc))?
+    }
+
+    /// Detach a process from a device.
+    pub fn detach_process(&self, minor: u32, pid: u32) -> Result<GpuProcess, GpuError> {
+        self.with_device_mut(minor, |d| d.detach_process(pid))?
+    }
+
+    /// Minor numbers of devices with no resident processes, ascending —
+    /// the "available GPUs" list of the paper's Pseudocode 1.
+    pub fn available_devices(&self) -> Vec<u32> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.read().is_available())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// All minor numbers, ascending.
+    pub fn all_devices(&self) -> Vec<u32> {
+        (0..self.device_count()).collect()
+    }
+}
+
+impl std::fmt::Debug for GpuCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuCluster")
+            .field("devices", &self.device_count())
+            .field("t", &self.clock.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k80_node_has_two_devices() {
+        let c = GpuCluster::k80_node();
+        assert_eq!(c.device_count(), 2);
+        assert_eq!(c.available_devices(), vec![0, 1]);
+        assert_eq!(c.all_devices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn attach_updates_availability() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(1, GpuProcess::compute(10, "bonito", 2700)).unwrap();
+        assert_eq!(c.available_devices(), vec![0]);
+        c.detach_process(1, 10).unwrap();
+        assert_eq!(c.available_devices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn invalid_device_errors() {
+        let c = GpuCluster::k80_node();
+        assert!(matches!(
+            c.attach_process(5, GpuProcess::compute(1, "x", 1)),
+            Err(GpuError::InvalidDevice(5))
+        ));
+        assert!(c.with_device(9, |_| ()).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = GpuCluster::k80_node();
+        let b = a.clone();
+        a.attach_process(0, GpuProcess::compute(1, "x", 1)).unwrap();
+        assert_eq!(b.available_devices(), vec![1]);
+        a.clock().advance(3.0);
+        assert_eq!(b.clock().now(), 3.0);
+    }
+
+    #[test]
+    fn pids_are_unique_and_increasing() {
+        let c = GpuCluster::k80_node();
+        let a = c.spawn_pid();
+        let b = c.spawn_pid();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn cpu_only_node_has_no_devices() {
+        let c = GpuCluster::cpu_only_node();
+        assert_eq!(c.device_count(), 0);
+        assert!(c.available_devices().is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! Mutable state of one simulated GPU device (one die).
+
+use crate::arch::GpuArch;
+use crate::error::GpuError;
+use crate::process::GpuProcess;
+
+/// Dynamic state of a device, combined with its static [`GpuArch`].
+///
+/// The reserved framebuffer (`reserved_mib`) models the driver/display
+/// overhead every real device shows even when idle — the paper's Fig. 10
+/// reports 63 MiB used on an idle K80 die.
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    /// Architecture parameters.
+    pub arch: GpuArch,
+    /// Minor number (`/dev/nvidiaN`), which is what GYAN's wrapper
+    /// "version" tag and `CUDA_VISIBLE_DEVICES` refer to.
+    pub minor_number: u32,
+    /// Driver-assigned UUID string.
+    pub uuid: String,
+    /// PCI bus id, e.g. `00000000:05:00.0`.
+    pub bus_id: String,
+    /// Framebuffer MiB reserved by the driver (counted as used).
+    pub reserved_mib: u64,
+    /// Framebuffer MiB allocated by processes.
+    allocated_mib: u64,
+    /// Instantaneous SM utilization percentage (0–100).
+    pub sm_utilization: f64,
+    /// Instantaneous memory-controller utilization percentage (0–100).
+    pub mem_utilization: f64,
+    /// GPU core temperature, °C (cosmetic, for smi output).
+    pub temperature_c: f64,
+    /// Current PCIe link generation (can downshift when idle).
+    pub pcie_link_gen: u8,
+    /// Virtual time until which the compute engine (SMs) is busy. Shared
+    /// across every context on the device, so concurrent processes
+    /// serialize on the hardware as they would for real.
+    pub compute_busy_until: f64,
+    /// Virtual time until which the host→device DMA engine is busy.
+    pub h2d_busy_until: f64,
+    /// Virtual time until which the device→host DMA engine is busy.
+    pub d2h_busy_until: f64,
+    /// Resident processes.
+    processes: Vec<GpuProcess>,
+}
+
+impl DeviceState {
+    /// Create an idle device with the given architecture and minor number.
+    pub fn new(arch: GpuArch, minor_number: u32) -> Self {
+        let uuid = format!("GPU-{:08x}-sim-{:04}", 0x6b80u32 + minor_number, minor_number);
+        let bus_id = format!("00000000:{:02X}:00.0", 5 + minor_number);
+        DeviceState {
+            arch,
+            minor_number,
+            uuid,
+            bus_id,
+            reserved_mib: 63,
+            allocated_mib: 0,
+            sm_utilization: 0.0,
+            mem_utilization: 0.0,
+            temperature_c: 36.0,
+            pcie_link_gen: 1, // idle devices downshift to gen1
+            compute_busy_until: 0.0,
+            h2d_busy_until: 0.0,
+            d2h_busy_until: 0.0,
+            processes: Vec::new(),
+        }
+    }
+
+    /// Framebuffer MiB currently in use (driver reservation + allocations).
+    pub fn fb_used_mib(&self) -> u64 {
+        self.reserved_mib + self.allocated_mib
+    }
+
+    /// Framebuffer MiB free.
+    pub fn fb_free_mib(&self) -> u64 {
+        self.arch.fb_total_mib.saturating_sub(self.fb_used_mib())
+    }
+
+    /// Framebuffer MiB total.
+    pub fn fb_total_mib(&self) -> u64 {
+        self.arch.fb_total_mib
+    }
+
+    /// Resident processes, in arrival order.
+    pub fn processes(&self) -> &[GpuProcess] {
+        &self.processes
+    }
+
+    /// True when no process holds a context here — the definition of
+    /// "available" used by GYAN's Pseudocode 1.
+    pub fn is_available(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Attach a process, charging its memory. Fails with OOM when the
+    /// framebuffer cannot hold it.
+    pub fn attach_process(&mut self, proc: GpuProcess) -> Result<(), GpuError> {
+        if proc.used_mib > self.fb_free_mib() {
+            return Err(GpuError::OutOfMemory {
+                device: self.minor_number,
+                requested_mib: proc.used_mib,
+                free_mib: self.fb_free_mib(),
+            });
+        }
+        self.allocated_mib += proc.used_mib;
+        self.pcie_link_gen = self.arch.pcie_gen;
+        self.processes.push(proc);
+        Ok(())
+    }
+
+    /// Detach a process by pid, releasing its memory.
+    pub fn detach_process(&mut self, pid: u32) -> Result<GpuProcess, GpuError> {
+        let idx = self
+            .processes
+            .iter()
+            .position(|p| p.pid == pid)
+            .ok_or(GpuError::NoSuchProcess { device: self.minor_number, pid })?;
+        let proc = self.processes.remove(idx);
+        self.allocated_mib = self.allocated_mib.saturating_sub(proc.used_mib);
+        if self.processes.is_empty() {
+            self.sm_utilization = 0.0;
+            self.mem_utilization = 0.0;
+            self.pcie_link_gen = 1;
+        }
+        Ok(proc)
+    }
+
+    /// Grow (or shrink, with negative `delta_mib`) the memory charged to an
+    /// existing process — models `cudaMalloc`/`cudaFree` during a run.
+    pub fn resize_process(&mut self, pid: u32, delta_mib: i64) -> Result<(), GpuError> {
+        let free = self.fb_free_mib();
+        let proc = self
+            .processes
+            .iter_mut()
+            .find(|p| p.pid == pid)
+            .ok_or(GpuError::NoSuchProcess { device: self.minor_number, pid })?;
+        if delta_mib >= 0 {
+            let grow = delta_mib as u64;
+            if grow > free {
+                return Err(GpuError::OutOfMemory {
+                    device: self.minor_number,
+                    requested_mib: grow,
+                    free_mib: free,
+                });
+            }
+            proc.used_mib += grow;
+            self.allocated_mib += grow;
+        } else {
+            let shrink = (-delta_mib) as u64;
+            if shrink > proc.used_mib {
+                return Err(GpuError::BadFree {
+                    device: self.minor_number,
+                    requested_mib: shrink,
+                    used_mib: proc.used_mib,
+                });
+            }
+            proc.used_mib -= shrink;
+            self.allocated_mib -= shrink;
+        }
+        Ok(())
+    }
+
+    /// Set instantaneous utilization (clamped to 0–100); temperature rises
+    /// with load so the monitor script sees realistic trends.
+    pub fn set_utilization(&mut self, sm: f64, mem: f64) {
+        self.sm_utilization = sm.clamp(0.0, 100.0);
+        self.mem_utilization = mem.clamp(0.0, 100.0);
+        self.temperature_c = 36.0 + 0.45 * self.sm_utilization;
+    }
+
+    /// Instantaneous power draw derived from utilization (for smi output).
+    pub fn power_draw_w(&self) -> f64 {
+        let span = self.arch.power_limit_w - self.arch.power_idle_w;
+        self.arch.power_idle_w + span * (self.sm_utilization / 100.0)
+    }
+
+    /// Latest completion time across all three engines.
+    pub fn engines_busy_until(&self) -> f64 {
+        self.compute_busy_until.max(self.h2d_busy_until).max(self.d2h_busy_until)
+    }
+
+    /// Performance state string for smi output (`P0` busy, `P8` idle).
+    pub fn perf_state(&self) -> &'static str {
+        if self.processes.is_empty() && self.sm_utilization == 0.0 {
+            "P8"
+        } else {
+            "P0"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceState {
+        DeviceState::new(GpuArch::tesla_k80(), 0)
+    }
+
+    #[test]
+    fn idle_device_shows_driver_reservation() {
+        let d = dev();
+        assert_eq!(d.fb_used_mib(), 63); // matches paper Fig. 10
+        assert!(d.is_available());
+        assert_eq!(d.perf_state(), "P8");
+    }
+
+    #[test]
+    fn attach_detach_accounting() {
+        let mut d = dev();
+        d.attach_process(GpuProcess::compute(100, "/usr/bin/racon_gpu", 60)).unwrap();
+        assert_eq!(d.fb_used_mib(), 123);
+        assert!(!d.is_available());
+        assert_eq!(d.perf_state(), "P0");
+        let p = d.detach_process(100).unwrap();
+        assert_eq!(p.used_mib, 60);
+        assert_eq!(d.fb_used_mib(), 63);
+        assert!(d.is_available());
+    }
+
+    #[test]
+    fn oom_rejected() {
+        let mut d = dev();
+        let big = GpuProcess::compute(1, "hog", d.fb_free_mib() + 1);
+        assert!(matches!(d.attach_process(big), Err(GpuError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let mut d = dev();
+        d.attach_process(GpuProcess::compute(7, "t", 100)).unwrap();
+        d.resize_process(7, 400).unwrap();
+        assert_eq!(d.fb_used_mib(), 63 + 500);
+        d.resize_process(7, -500).unwrap();
+        assert_eq!(d.fb_used_mib(), 63);
+        assert!(matches!(d.resize_process(7, -1), Err(GpuError::BadFree { .. })));
+    }
+
+    #[test]
+    fn resize_oom_rejected() {
+        let mut d = dev();
+        d.attach_process(GpuProcess::compute(7, "t", 0)).unwrap();
+        let too_big = (d.fb_free_mib() + 1) as i64;
+        assert!(matches!(d.resize_process(7, too_big), Err(GpuError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn detach_unknown_pid_fails() {
+        let mut d = dev();
+        assert!(matches!(d.detach_process(42), Err(GpuError::NoSuchProcess { .. })));
+    }
+
+    #[test]
+    fn utilization_drives_power_and_temperature() {
+        let mut d = dev();
+        d.set_utilization(95.0, 40.0);
+        assert!(d.power_draw_w() > 140.0);
+        assert!(d.temperature_c > 70.0);
+        d.set_utilization(150.0, -3.0);
+        assert_eq!(d.sm_utilization, 100.0);
+        assert_eq!(d.mem_utilization, 0.0);
+    }
+
+    #[test]
+    fn pcie_gen_shifts_with_activity() {
+        let mut d = dev();
+        assert_eq!(d.pcie_link_gen, 1);
+        d.attach_process(GpuProcess::compute(1, "t", 10)).unwrap();
+        assert_eq!(d.pcie_link_gen, d.arch.pcie_gen);
+        d.detach_process(1).unwrap();
+        assert_eq!(d.pcie_link_gen, 1);
+    }
+}

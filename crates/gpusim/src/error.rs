@@ -1,0 +1,56 @@
+//! Error type for GPU simulator operations.
+
+use std::fmt;
+
+/// Failures surfaced by the simulated driver/runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Requested device minor number does not exist (or is masked out by
+    /// `CUDA_VISIBLE_DEVICES`).
+    InvalidDevice(u32),
+    /// Allocation would exceed the device's framebuffer capacity.
+    OutOfMemory { device: u32, requested_mib: u64, free_mib: u64 },
+    /// The context has no visible devices (e.g. `CUDA_VISIBLE_DEVICES=""`).
+    NoVisibleDevices,
+    /// Freeing memory that was never allocated.
+    BadFree { device: u32, requested_mib: u64, used_mib: u64 },
+    /// A process id was not found on the device.
+    NoSuchProcess { device: u32, pid: u32 },
+    /// Kernel launch configuration violates device limits.
+    BadLaunch(String),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::InvalidDevice(d) => write!(f, "invalid device ordinal {d}"),
+            GpuError::OutOfMemory { device, requested_mib, free_mib } => write!(
+                f,
+                "out of memory on device {device}: requested {requested_mib} MiB, {free_mib} MiB free"
+            ),
+            GpuError::NoVisibleDevices => write!(f, "no CUDA-capable device is detected"),
+            GpuError::BadFree { device, requested_mib, used_mib } => write!(
+                f,
+                "invalid free on device {device}: {requested_mib} MiB requested, {used_mib} MiB in use"
+            ),
+            GpuError::NoSuchProcess { device, pid } => {
+                write!(f, "no process {pid} on device {device}")
+            }
+            GpuError::BadLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GpuError::OutOfMemory { device: 1, requested_mib: 4096, free_mib: 128 };
+        assert!(e.to_string().contains("4096 MiB"));
+        assert!(GpuError::NoVisibleDevices.to_string().contains("no CUDA-capable"));
+    }
+}

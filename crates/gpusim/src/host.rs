@@ -1,0 +1,107 @@
+//! CPU host cost model.
+//!
+//! Expresses CPU-side work in the same virtual time base as the GPU model,
+//! so "CPU-only execution" vs "GPU execution" comparisons (the paper's
+//! Figs. 3, 5, 7) are apples-to-apples. Parallel sections scale with thread
+//! count under Amdahl's law with a parallel efficiency factor.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the host CPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Logical CPUs available to jobs.
+    pub logical_cpus: u32,
+    /// Sustained double/single-precision GFLOP/s of ONE core on real
+    /// (non-ideal) bioinformatics code, including SIMD where the tool uses
+    /// it. This is deliberately far below theoretical peak.
+    pub core_gflops: f64,
+    /// Host memory bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Parallel efficiency when scaling across cores (0–1]; covers memory
+    /// contention and scheduling overhead.
+    pub parallel_efficiency: f64,
+}
+
+impl HostSpec {
+    /// The paper's evaluation host: Intel Xeon E5-2670 node, "48 CPUs".
+    pub const fn xeon_e5_2670() -> Self {
+        HostSpec {
+            name: "Intel Xeon E5-2670",
+            logical_cpus: 48,
+            core_gflops: 4.0,
+            mem_bandwidth_gbs: 51.2,
+            parallel_efficiency: 0.85,
+        }
+    }
+
+    /// Time in seconds for `flops` of work with a fraction `parallel_frac`
+    /// parallelizable, run on `threads` threads (Amdahl + efficiency).
+    pub fn time_for(&self, flops: f64, parallel_frac: f64, threads: u32) -> f64 {
+        let threads = threads.clamp(1, self.logical_cpus) as f64;
+        let serial = flops * (1.0 - parallel_frac);
+        let parallel = flops * parallel_frac;
+        let core_flops = self.core_gflops * 1e9;
+        let speedup = 1.0 + (threads - 1.0) * self.parallel_efficiency;
+        serial / core_flops + parallel / (core_flops * speedup)
+    }
+
+    /// Time to stream `bytes` through host memory (I/O-ish phases: parsing,
+    /// serialization). Single-stream; extra threads do not help much, so
+    /// callers treat this as serial work.
+    pub fn stream_time(&self, bytes: f64) -> f64 {
+        // Parsing-type code achieves a small fraction of raw bandwidth.
+        bytes / (self.mem_bandwidth_gbs * 1e9 * 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_threads_is_faster_but_sublinear() {
+        let h = HostSpec::xeon_e5_2670();
+        let t1 = h.time_for(1e12, 0.95, 1);
+        let t4 = h.time_for(1e12, 0.95, 4);
+        let t8 = h.time_for(1e12, 0.95, 8);
+        assert!(t4 < t1);
+        assert!(t8 < t4);
+        // Sublinear: 4 threads less than 4× faster.
+        assert!(t1 / t4 < 4.0);
+        assert!(t1 / t4 > 2.0);
+    }
+
+    #[test]
+    fn amdahl_limits_speedup() {
+        let h = HostSpec::xeon_e5_2670();
+        let t1 = h.time_for(1e12, 0.5, 1);
+        let t48 = h.time_for(1e12, 0.5, 48);
+        // Half the work is serial: speedup can never reach 2×.
+        assert!(t1 / t48 < 2.0);
+    }
+
+    #[test]
+    fn thread_count_clamped_to_cpus() {
+        let h = HostSpec::xeon_e5_2670();
+        assert_eq!(h.time_for(1e12, 0.9, 48), h.time_for(1e12, 0.9, 1000));
+        assert_eq!(h.time_for(1e12, 0.9, 1), h.time_for(1e12, 0.9, 0));
+    }
+
+    #[test]
+    fn stream_time_scales_linearly() {
+        let h = HostSpec::xeon_e5_2670();
+        let t1 = h.stream_time(1e9);
+        let t2 = h.stream_time(2e9);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_host_shape() {
+        let h = HostSpec::xeon_e5_2670();
+        assert_eq!(h.logical_cpus, 48);
+        assert!(h.parallel_efficiency <= 1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Kernel launch descriptions and the roofline duration model.
+
+use crate::arch::GpuArch;
+use crate::error::GpuError;
+use crate::occupancy::{efficiency, occupancy};
+
+/// Fixed driver/launch overhead per kernel, seconds. Real CUDA launch
+/// latency is 3–10 µs; the K80 era sat at the high end.
+pub const LAUNCH_OVERHEAD_S: f64 = 8e-6;
+
+/// Floating-point precision of a kernel's arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Single precision (FP32).
+    Fp32,
+    /// Double precision (FP64).
+    Fp64,
+    /// Half precision (FP16 / automatic mixed precision). Halves DRAM
+    /// traffic and uses the tensor-core rate where the part has one.
+    Fp16,
+}
+
+/// A work description for one kernel launch.
+///
+/// Tools describe *what* a kernel does (FLOPs and DRAM traffic); the model
+/// decides *how long* it takes on a given architecture. This is the standard
+/// roofline abstraction: `t = max(flops / peak_flops, bytes / bandwidth)`,
+/// scaled by achievable occupancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Kernel symbol name as a profiler would report it,
+    /// e.g. `generatePOAKernel`.
+    pub name: String,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// Total floating point operations performed by the whole grid.
+    pub flops: f64,
+    /// Total DRAM bytes moved (reads + writes) by the whole grid.
+    pub dram_bytes: f64,
+    /// Arithmetic precision.
+    pub precision: Precision,
+}
+
+impl KernelSpec {
+    /// Convenience constructor for an FP32 kernel.
+    pub fn fp32(
+        name: impl Into<String>,
+        grid_blocks: u32,
+        block_threads: u32,
+        flops: f64,
+        dram_bytes: f64,
+    ) -> Self {
+        KernelSpec {
+            name: name.into(),
+            grid_blocks,
+            block_threads,
+            flops,
+            dram_bytes,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte.
+    pub fn intensity(&self) -> f64 {
+        if self.dram_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.dram_bytes
+        }
+    }
+
+    /// Whether the roofline classifies this launch as memory-bound on
+    /// `arch` (intensity below the machine balance point).
+    pub fn memory_bound(&self, arch: &GpuArch) -> bool {
+        let peak = match self.precision {
+            Precision::Fp32 => arch.fp32_flops(),
+            Precision::Fp64 => arch.fp64_gflops * 1e9,
+            Precision::Fp16 => arch.fp16_gflops * 1e9,
+        };
+        self.intensity() < peak / arch.mem_bandwidth_bytes()
+    }
+
+    /// Model the execution time of this launch on `arch`, in seconds.
+    ///
+    /// Returns the duration plus the compute-time and memory-time components
+    /// (used by the profiler's stall analysis).
+    pub fn duration(&self, arch: &GpuArch) -> Result<KernelTiming, GpuError> {
+        let occ = occupancy(arch, self.grid_blocks, self.block_threads)?;
+        let eff = efficiency(&occ);
+        let peak_flops = match self.precision {
+            Precision::Fp32 => arch.fp32_flops(),
+            Precision::Fp64 => arch.fp64_gflops * 1e9,
+            Precision::Fp16 => arch.fp16_gflops * 1e9,
+        };
+        let compute_s = self.flops / (peak_flops * eff);
+        // DRAM efficiency: real kernels rarely exceed ~75% of peak
+        // bandwidth; FP16 operands halve the traffic.
+        let dram_bytes = match self.precision {
+            Precision::Fp16 => self.dram_bytes / 2.0,
+            _ => self.dram_bytes,
+        };
+        let memory_s = dram_bytes / (arch.mem_bandwidth_bytes() * 0.75);
+        let busy = compute_s.max(memory_s);
+        Ok(KernelTiming {
+            total_s: LAUNCH_OVERHEAD_S + busy,
+            compute_s,
+            memory_s,
+            occupancy: occ.occupancy,
+            efficiency: eff,
+        })
+    }
+}
+
+/// Breakdown of a modeled kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Wall (virtual) duration including launch overhead.
+    pub total_s: f64,
+    /// Time the launch would need if purely compute-limited.
+    pub compute_s: f64,
+    /// Time the launch would need if purely bandwidth-limited.
+    pub memory_s: f64,
+    /// Achieved occupancy fraction.
+    pub occupancy: f64,
+    /// Achieved fraction of peak throughput.
+    pub efficiency: f64,
+}
+
+impl KernelTiming {
+    /// Fraction of stall cycles attributable to memory dependencies —
+    /// the quantity NVProf's stall analysis reports (the paper measured
+    /// ~70% memory-dependency stalls for Racon's kernels).
+    pub fn memory_stall_fraction(&self) -> f64 {
+        let denom = self.compute_s + self.memory_s;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.memory_s / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k80() -> GpuArch {
+        GpuArch::tesla_k80()
+    }
+
+    #[test]
+    fn gemm_like_kernel_is_compute_bound() {
+        // 1024³ GEMM: 2·n³ flops, 3·n²·4 bytes (ideal caching).
+        let n = 1024.0_f64;
+        let k = KernelSpec::fp32("gemm", 4096, 256, 2.0 * n * n * n, 3.0 * n * n * 4.0);
+        assert!(!k.memory_bound(&k80()));
+        let t = k.duration(&k80()).unwrap();
+        assert!(t.compute_s > t.memory_s);
+        // 2.1 GFLOP on a 4.4 TFLOP/s part ≈ 0.5 ms at full efficiency.
+        assert!(t.total_s > 4e-4 && t.total_s < 5e-3, "{t:?}");
+    }
+
+    #[test]
+    fn streaming_kernel_is_memory_bound() {
+        // SAXPY over 100M elements: 2 flops, 12 bytes per element.
+        let n = 1e8;
+        let k = KernelSpec::fp32("saxpy", 100_000, 256, 2.0 * n, 12.0 * n);
+        assert!(k.memory_bound(&k80()));
+        let t = k.duration(&k80()).unwrap();
+        assert!(t.memory_s > t.compute_s);
+        assert!(t.memory_stall_fraction() > 0.9);
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let k = KernelSpec::fp32("noop", 1, 32, 1.0, 1.0);
+        let t = k.duration(&k80()).unwrap();
+        assert!(t.total_s >= LAUNCH_OVERHEAD_S);
+        assert!(t.total_s < 2.0 * LAUNCH_OVERHEAD_S);
+    }
+
+    #[test]
+    fn fp64_slower_than_fp32_on_same_work() {
+        let mk = |p| KernelSpec {
+            name: "k".into(),
+            grid_blocks: 1024,
+            block_threads: 256,
+            flops: 1e10,
+            dram_bytes: 1e6,
+            precision: p,
+        };
+        let t32 = mk(Precision::Fp32).duration(&k80()).unwrap();
+        let t64 = mk(Precision::Fp64).duration(&k80()).unwrap();
+        assert!(t64.total_s > t32.total_s * 2.0);
+    }
+
+    #[test]
+    fn bigger_grid_better_throughput() {
+        // Same total work split into more blocks → shorter or equal time
+        // once the grid saturates the device.
+        let small = KernelSpec::fp32("k", 4, 256, 1e10, 1e6).duration(&k80()).unwrap();
+        let large = KernelSpec::fp32("k", 4096, 256, 1e10, 1e6).duration(&k80()).unwrap();
+        assert!(large.total_s < small.total_s);
+    }
+
+    #[test]
+    fn faster_arch_runs_same_kernel_faster() {
+        let k = KernelSpec::fp32("k", 4096, 256, 1e11, 1e9);
+        let k80_t = k.duration(&GpuArch::tesla_k80()).unwrap();
+        let a100_t = k.duration(&GpuArch::a100()).unwrap();
+        assert!(a100_t.total_s < k80_t.total_s / 2.0);
+    }
+
+    #[test]
+    fn fp16_is_fast_on_tensor_core_parts_only() {
+        let mk = |p| KernelSpec {
+            name: "gemm".into(),
+            grid_blocks: 4096,
+            block_threads: 256,
+            flops: 1e12,
+            dram_bytes: 1e9,
+            precision: p,
+        };
+        let k80_32 = mk(Precision::Fp32).duration(&GpuArch::tesla_k80()).unwrap();
+        let k80_16 = mk(Precision::Fp16).duration(&GpuArch::tesla_k80()).unwrap();
+        // Kepler: only the memory-traffic halving helps.
+        assert!(k80_16.total_s <= k80_32.total_s);
+        assert!(k80_16.total_s > k80_32.total_s * 0.4);
+        let v100_32 = mk(Precision::Fp32).duration(&GpuArch::tesla_v100()).unwrap();
+        let v100_16 = mk(Precision::Fp16).duration(&GpuArch::tesla_v100()).unwrap();
+        assert!(v100_16.total_s < v100_32.total_s * 0.5, "tensor cores should dominate");
+    }
+
+    #[test]
+    fn invalid_launch_propagates() {
+        let k = KernelSpec::fp32("bad", 0, 256, 1.0, 1.0);
+        assert!(k.duration(&k80()).is_err());
+    }
+
+    #[test]
+    fn intensity_of_zero_bytes_is_infinite() {
+        let k = KernelSpec::fp32("reg-only", 1, 32, 100.0, 0.0);
+        assert!(k.intensity().is_infinite());
+        assert!(!k.memory_bound(&k80()));
+    }
+}

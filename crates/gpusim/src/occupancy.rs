@@ -1,0 +1,134 @@
+//! CUDA occupancy calculator.
+//!
+//! Computes how many warps can be resident per SM for a launch
+//! configuration, and how many "waves" of blocks a grid needs. The paper's
+//! background section stresses that "higher number of blocks used in a
+//! device kernel allows better scaling across any GPU architecture" — the
+//! wave count is exactly that effect.
+
+use crate::arch::GpuArch;
+use crate::error::GpuError;
+
+/// Result of an occupancy computation for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Fraction of the architecture's maximum resident warps (0–1].
+    pub occupancy: f64,
+    /// Number of sequential waves needed to run the whole grid.
+    pub waves: u32,
+    /// Fraction of the last wave's SM capacity actually used (0–1]; the
+    /// "tail effect" of partially filled final waves.
+    pub tail_utilization: f64,
+}
+
+/// Compute occupancy for `grid_blocks` blocks of `block_threads` threads.
+pub fn occupancy(arch: &GpuArch, grid_blocks: u32, block_threads: u32) -> Result<Occupancy, GpuError> {
+    if block_threads == 0 || grid_blocks == 0 {
+        return Err(GpuError::BadLaunch("zero-sized grid or block".into()));
+    }
+    if block_threads > arch.max_threads_per_block {
+        return Err(GpuError::BadLaunch(format!(
+            "{} threads/block exceeds limit {}",
+            block_threads, arch.max_threads_per_block
+        )));
+    }
+    let warps_per_block = block_threads.div_ceil(arch.warp_size);
+
+    // Residency limits: warps, threads, and raw block slots per SM.
+    let by_warps = arch.max_warps_per_sm / warps_per_block;
+    let by_threads = arch.max_threads_per_sm / block_threads;
+    let blocks_per_sm = by_warps.min(by_threads).min(arch.max_blocks_per_sm).max(1);
+
+    let warps_per_sm = (blocks_per_sm * warps_per_block).min(arch.max_warps_per_sm);
+    let occ = f64::from(warps_per_sm) / f64::from(arch.max_warps_per_sm);
+
+    let blocks_per_wave = blocks_per_sm * arch.sm_count;
+    let waves = grid_blocks.div_ceil(blocks_per_wave);
+    let last_wave_blocks = grid_blocks - (waves - 1) * blocks_per_wave;
+    let tail = f64::from(last_wave_blocks) / f64::from(blocks_per_wave);
+
+    Ok(Occupancy {
+        blocks_per_sm,
+        warps_per_sm,
+        occupancy: occ,
+        waves,
+        tail_utilization: tail,
+    })
+}
+
+/// Effective fraction of peak throughput achievable by this launch: the
+/// occupancy factor damped by the tail effect across waves.
+pub fn efficiency(o: &Occupancy) -> f64 {
+    let full_waves = f64::from(o.waves - 1);
+    let avg_wave_fill = (full_waves + o.tail_utilization) / f64::from(o.waves);
+    // Low occupancy cannot hide latency; model as sqrt ramp which matches
+    // the usual "need ~50% occupancy for ~full throughput" rule of thumb.
+    let latency_hiding = o.occupancy.sqrt().min(1.0);
+    (avg_wave_fill * latency_hiding).clamp(0.01, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuArch;
+
+    #[test]
+    fn full_occupancy_256_threads() {
+        let arch = GpuArch::tesla_k80();
+        let o = occupancy(&arch, 1000, 256).unwrap();
+        // 256 threads = 8 warps; 64/8 = 8 blocks by warps, 2048/256 = 8 by
+        // threads, max_blocks 16 → 8 blocks/SM, 64 warps = 100% occupancy.
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.warps_per_sm, 64);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_blocks_limited_by_block_slots() {
+        let arch = GpuArch::tesla_k80();
+        let o = occupancy(&arch, 64, 32).unwrap();
+        // 1 warp per block; block-slot limit (16) binds before warp limit.
+        assert_eq!(o.blocks_per_sm, 16);
+        assert_eq!(o.warps_per_sm, 16);
+        assert!(o.occupancy < 0.3);
+    }
+
+    #[test]
+    fn waves_and_tail() {
+        let arch = GpuArch::tesla_k80();
+        let o = occupancy(&arch, 1, 256).unwrap();
+        assert_eq!(o.waves, 1);
+        assert!(o.tail_utilization < 0.01 + 1.0 / (8.0 * 15.0));
+        let o2 = occupancy(&arch, 8 * 15 * 3, 256).unwrap();
+        assert_eq!(o2.waves, 3);
+        assert!((o2.tail_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_increases_with_grid_size() {
+        let arch = GpuArch::tesla_k80();
+        let small = efficiency(&occupancy(&arch, 1, 256).unwrap());
+        let large = efficiency(&occupancy(&arch, 10_000, 256).unwrap());
+        assert!(large > small);
+        assert!(large <= 1.0);
+    }
+
+    #[test]
+    fn bad_launches_rejected() {
+        let arch = GpuArch::tesla_k80();
+        assert!(occupancy(&arch, 0, 256).is_err());
+        assert!(occupancy(&arch, 10, 0).is_err());
+        assert!(occupancy(&arch, 10, arch.max_threads_per_block + 1).is_err());
+    }
+
+    #[test]
+    fn odd_block_sizes_round_to_warps() {
+        let arch = GpuArch::tesla_k80();
+        let o = occupancy(&arch, 100, 33).unwrap(); // 2 warps per block
+        assert_eq!(o.warps_per_sm % 2, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Processes resident on a simulated GPU, as reported by `nvidia-smi`.
+
+use serde::{Deserialize, Serialize};
+
+/// The process type column of `nvidia-smi` ("C" compute, "G" graphics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessType {
+    /// Compute context (CUDA). Everything GYAN schedules is compute.
+    Compute,
+    /// Graphics context.
+    Graphics,
+}
+
+impl ProcessType {
+    /// The single-letter code `nvidia-smi` prints.
+    pub fn code(self) -> &'static str {
+        match self {
+            ProcessType::Compute => "C",
+            ProcessType::Graphics => "G",
+        }
+    }
+}
+
+/// One process holding a context on a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuProcess {
+    /// Host process id.
+    pub pid: u32,
+    /// Executable path as shown in the smi process table
+    /// (e.g. `/usr/bin/racon_gpu`).
+    pub name: String,
+    /// Framebuffer memory attributed to this process, MiB.
+    pub used_mib: u64,
+    /// Compute or graphics context.
+    pub ptype: ProcessType,
+}
+
+impl GpuProcess {
+    /// A compute process (the common case).
+    pub fn compute(pid: u32, name: impl Into<String>, used_mib: u64) -> Self {
+        GpuProcess { pid, name: name.into(), used_mib, ptype: ProcessType::Compute }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes() {
+        assert_eq!(ProcessType::Compute.code(), "C");
+        assert_eq!(ProcessType::Graphics.code(), "G");
+    }
+
+    #[test]
+    fn compute_constructor() {
+        let p = GpuProcess::compute(39953, "/usr/bin/racon_gpu", 60);
+        assert_eq!(p.pid, 39953);
+        assert_eq!(p.ptype, ProcessType::Compute);
+        assert_eq!(p.used_mib, 60);
+    }
+}

@@ -1,0 +1,299 @@
+//! `nvidia-smi` emulator.
+//!
+//! Two output formats:
+//!
+//! * [`query_xml`] — the `nvidia-smi -q -x` XML document that GYAN's
+//!   `get_gpu_usage` (Pseudocode 1) parses with BeautifulSoup. Tag names
+//!   (`nvidia_smi_log`, `gpu`, `minor_number`, `fb_memory_usage`,
+//!   `processes`, `process_info`, `pid`, `used_memory`) match the real
+//!   tool so the GYAN-side parser is a faithful port.
+//! * [`render_table`] — the human-readable console table reproduced in the
+//!   paper's Figs. 10 and 11.
+
+use crate::cluster::GpuCluster;
+use crate::device::DeviceState;
+use xmlparse::{write_document, Document, Element, WriteOptions};
+
+/// Produce the `nvidia-smi -q -x` XML document for the cluster's current
+/// state.
+pub fn query_xml(cluster: &GpuCluster) -> String {
+    let snapshot = cluster.snapshot();
+    let mut log = Element::new("nvidia_smi_log");
+    log.push_element(Element::new("timestamp").with_text(format!("t={:.3}s", cluster.clock().now())));
+    log.push_element(Element::new("driver_version").with_text(cluster.driver_version()));
+    log.push_element(Element::new("cuda_version").with_text(cluster.cuda_version()));
+    log.push_element(Element::new("attached_gpus").with_text(snapshot.len().to_string()));
+    for dev in &snapshot {
+        log.push_element(gpu_element(dev));
+    }
+    let mut doc = Document::new(log);
+    doc.prolog.push("xml version=\"1.0\" encoding=\"UTF-8\"".to_string());
+    write_document(&doc, &WriteOptions::pretty())
+}
+
+fn gpu_element(dev: &DeviceState) -> Element {
+    let mut gpu = Element::new("gpu").with_attr("id", dev.bus_id.clone());
+    gpu.push_element(Element::new("product_name").with_text(dev.arch.name));
+    gpu.push_element(Element::new("uuid").with_text(dev.uuid.clone()));
+    gpu.push_element(Element::new("minor_number").with_text(dev.minor_number.to_string()));
+    gpu.push_element(Element::new("performance_state").with_text(dev.perf_state()));
+
+    let fb = Element::new("fb_memory_usage")
+        .with_child(Element::new("total").with_text(format!("{} MiB", dev.fb_total_mib())))
+        .with_child(Element::new("used").with_text(format!("{} MiB", dev.fb_used_mib())))
+        .with_child(Element::new("free").with_text(format!("{} MiB", dev.fb_free_mib())));
+    gpu.push_element(fb);
+
+    let util = Element::new("utilization")
+        .with_child(Element::new("gpu_util").with_text(format!("{:.0} %", dev.sm_utilization)))
+        .with_child(
+            Element::new("memory_util").with_text(format!("{:.0} %", dev.mem_utilization)),
+        );
+    gpu.push_element(util);
+
+    let temp = Element::new("temperature")
+        .with_child(Element::new("gpu_temp").with_text(format!("{:.0} C", dev.temperature_c)));
+    gpu.push_element(temp);
+
+    let power = Element::new("power_readings")
+        .with_child(Element::new("power_draw").with_text(format!("{:.2} W", dev.power_draw_w())))
+        .with_child(
+            Element::new("power_limit").with_text(format!("{:.2} W", dev.arch.power_limit_w)),
+        );
+    gpu.push_element(power);
+
+    let pcie = Element::new("pci").with_child(
+        Element::new("pci_gpu_link_info").with_child(
+            Element::new("pcie_gen")
+                .with_child(Element::new("current_link_gen").with_text(dev.pcie_link_gen.to_string()))
+                .with_child(Element::new("max_link_gen").with_text(dev.arch.pcie_gen.to_string())),
+        ),
+    );
+    gpu.push_element(pcie);
+
+    let mut processes = Element::new("processes");
+    for p in dev.processes() {
+        processes.push_element(
+            Element::new("process_info")
+                .with_child(Element::new("pid").with_text(p.pid.to_string()))
+                .with_child(Element::new("type").with_text(p.ptype.code()))
+                .with_child(Element::new("process_name").with_text(p.name.clone()))
+                .with_child(Element::new("used_memory").with_text(format!("{} MiB", p.used_mib))),
+        );
+    }
+    gpu.push_element(processes);
+    gpu
+}
+
+/// Render the verbose per-device report of `nvidia-smi -q` (plain text,
+/// no `-x`): the human-readable sibling of [`query_xml`].
+pub fn query_plain(cluster: &GpuCluster) -> String {
+    let snapshot = cluster.snapshot();
+    let mut out = String::new();
+    out.push_str("==============NVSMI LOG==============
+
+");
+    out.push_str(&format!("Timestamp                                 : t={:.3}s
+", cluster.clock().now()));
+    out.push_str(&format!("Driver Version                            : {}
+", cluster.driver_version()));
+    out.push_str(&format!("CUDA Version                              : {}
+
+", cluster.cuda_version()));
+    out.push_str(&format!("Attached GPUs                             : {}
+", snapshot.len()));
+    for dev in &snapshot {
+        out.push_str(&format!("GPU {}
+", dev.bus_id));
+        out.push_str(&format!("    Product Name                          : {}
+", dev.arch.name));
+        out.push_str(&format!("    Minor Number                          : {}
+", dev.minor_number));
+        out.push_str(&format!("    GPU UUID                              : {}
+", dev.uuid));
+        out.push_str(&format!("    Performance State                     : {}
+", dev.perf_state()));
+        out.push_str("    FB Memory Usage
+");
+        out.push_str(&format!("        Total                             : {} MiB
+", dev.fb_total_mib()));
+        out.push_str(&format!("        Used                              : {} MiB
+", dev.fb_used_mib()));
+        out.push_str(&format!("        Free                              : {} MiB
+", dev.fb_free_mib()));
+        out.push_str("    Utilization
+");
+        out.push_str(&format!("        Gpu                               : {:.0} %
+", dev.sm_utilization));
+        out.push_str(&format!("        Memory                            : {:.0} %
+", dev.mem_utilization));
+        out.push_str("    Processes
+");
+        if dev.processes().is_empty() {
+            out.push_str("        None
+");
+        }
+        for p in dev.processes() {
+            out.push_str(&format!(
+                "        Process ID                        : {}
+            Type                          : {}
+            Name                          : {}
+            Used GPU Memory               : {} MiB
+",
+                p.pid, p.ptype.code(), p.name, p.used_mib
+            ));
+        }
+    }
+    out
+}
+
+/// Render the console table shown by plain `nvidia-smi` (the format the
+/// paper's Figs. 10 and 11 screenshot).
+pub fn render_table(cluster: &GpuCluster) -> String {
+    let snapshot = cluster.snapshot();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "+-----------------------------------------------------------------------------+\n\
+         | NVIDIA-SMI {:<11} Driver Version: {:<11} CUDA Version: {:<8}    |\n\
+         |-------------------------------+----------------------+----------------------+\n\
+         | GPU  Name        Persistence-M| Bus-Id        Disp.A | Volatile Uncorr. ECC |\n\
+         | Fan  Temp  Perf  Pwr:Usage/Cap|         Memory-Usage | GPU-Util  Compute M. |\n\
+         |===============================+======================+======================|\n",
+        cluster.driver_version(),
+        cluster.driver_version(),
+        cluster.cuda_version()
+    ));
+    for dev in &snapshot {
+        out.push_str(&format!(
+            "| {:>3}  {:<12}     Off  | {} Off |                    0 |\n",
+            dev.minor_number, dev.arch.name, dev.bus_id
+        ));
+        out.push_str(&format!(
+            "| N/A  {:>3.0}C  {:<4} {:>3.0}W / {:>3.0}W | {:>9} / {:>8} | {:>6.0}%      Default |\n",
+            dev.temperature_c,
+            dev.perf_state(),
+            dev.power_draw_w(),
+            dev.arch.power_limit_w,
+            format!("{}MiB", dev.fb_used_mib()),
+            format!("{}MiB", dev.fb_total_mib()),
+            dev.sm_utilization
+        ));
+        out.push_str("+-------------------------------+----------------------+----------------------+\n");
+    }
+    out.push('\n');
+    out.push_str(
+        "+-----------------------------------------------------------------------------+\n\
+         | Processes:                                                                  |\n\
+         |  GPU   GI   CI        PID   Type   Process name                  GPU Memory |\n\
+         |        ID   ID                                                   Usage      |\n\
+         |=============================================================================|\n",
+    );
+    let mut any = false;
+    for dev in &snapshot {
+        for p in dev.processes() {
+            any = true;
+            out.push_str(&format!(
+                "| {:>4}   N/A  N/A  {:>9}    {:>3}   {:<29} {:>7}MiB |\n",
+                dev.minor_number,
+                p.pid,
+                p.ptype.code(),
+                p.name,
+                p.used_mib
+            ));
+        }
+    }
+    if !any {
+        out.push_str("|  No running processes found                                                 |\n");
+    }
+    out.push_str("+-----------------------------------------------------------------------------+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::GpuProcess;
+    use xmlparse::parse;
+
+    #[test]
+    fn xml_parses_and_has_expected_structure() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(0, GpuProcess::compute(39953, "/usr/bin/racon_gpu", 60)).unwrap();
+        let xml = query_xml(&c);
+        let doc = parse(&xml).unwrap();
+        let root = doc.root();
+        assert_eq!(root.name(), "nvidia_smi_log");
+        let gpus = root.find_all("gpu");
+        assert_eq!(gpus.len(), 2);
+        assert_eq!(gpus[0].find_text("minor_number").unwrap(), "0");
+        assert_eq!(gpus[1].find_text("minor_number").unwrap(), "1");
+        // Device 0 has one process, device 1 none.
+        assert_eq!(gpus[0].find_all("process_info").len(), 1);
+        assert!(gpus[1].find_all("process_info").is_empty());
+        let pid = gpus[0].find("process_info").unwrap().find_text("pid").unwrap();
+        assert_eq!(pid, "39953");
+    }
+
+    #[test]
+    fn xml_memory_fields_use_mib_suffix() {
+        let c = GpuCluster::k80_node();
+        let xml = query_xml(&c);
+        let doc = parse(&xml).unwrap();
+        let fb = doc.root().find("fb_memory_usage").unwrap();
+        assert_eq!(fb.find_text("total").unwrap(), "11441 MiB");
+        assert_eq!(fb.find_text("used").unwrap(), "63 MiB");
+    }
+
+    #[test]
+    fn xml_is_parseable_via_find_all_like_pseudocode1() {
+        // Re-enact the paper's Pseudocode 1 parsing loop directly.
+        let c = GpuCluster::k80_node();
+        c.attach_process(1, GpuProcess::compute(40534, "/usr/bin/racon_gpu", 60)).unwrap();
+        let doc = parse(&query_xml(&c)).unwrap();
+        let mut avail = Vec::new();
+        let mut all = Vec::new();
+        for gpu in doc.root().find_all("gpu") {
+            let minor: u32 = gpu.find_text("minor_number").unwrap().parse().unwrap();
+            all.push(minor);
+            if gpu.find_all("process_info").is_empty() {
+                avail.push(minor);
+            }
+        }
+        assert_eq!(all, vec![0, 1]);
+        assert_eq!(avail, vec![0]);
+    }
+
+    #[test]
+    fn table_contains_header_and_processes() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(0, GpuProcess::compute(39953, "/usr/bin/racon_gpu", 60)).unwrap();
+        let t = render_table(&c);
+        assert!(t.contains("NVIDIA-SMI 455.45.01"));
+        assert!(t.contains("CUDA Version: 11.1"));
+        assert!(t.contains("Tesla K80"));
+        assert!(t.contains("39953"));
+        assert!(t.contains("/usr/bin/racon_gpu"));
+        assert!(t.contains("11441MiB"));
+    }
+
+    #[test]
+    fn table_reports_no_processes_when_idle() {
+        let c = GpuCluster::k80_node();
+        assert!(render_table(&c).contains("No running processes found"));
+    }
+
+    #[test]
+    fn plain_query_lists_devices_and_processes() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(1, GpuProcess::compute(40534, "/usr/bin/racon_gpu", 60)).unwrap();
+        let q = query_plain(&c);
+        assert!(q.contains("NVSMI LOG"));
+        assert!(q.contains("Attached GPUs                             : 2"));
+        assert!(q.contains("Minor Number                          : 0"));
+        assert!(q.contains("Minor Number                          : 1"));
+        assert!(q.contains("Process ID                        : 40534"));
+        assert!(q.contains("Used GPU Memory               : 60 MiB"));
+        // Idle device 0 shows no processes.
+        assert!(q.contains("None"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Host↔device transfer cost model.
+//!
+//! The paper attributes ~40 s of Racon's GPU run to "CUDA API calls to
+//! transfer input data and results from and to GPU ... in chunks that fit
+//! in GPU memory" — PCIe traffic is a first-class cost here.
+
+use crate::arch::GpuArch;
+
+/// Direction of a `cudaMemcpy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyKind {
+    /// Host to device.
+    HostToDevice,
+    /// Device to host.
+    DeviceToHost,
+    /// Device to device (runs at DRAM bandwidth, not PCIe).
+    DeviceToDevice,
+}
+
+impl CopyKind {
+    /// The API name a profiler reports for this copy.
+    pub fn api_name(self) -> &'static str {
+        match self {
+            CopyKind::HostToDevice => "cudaMemcpyHtoD",
+            CopyKind::DeviceToHost => "cudaMemcpyDtoH",
+            CopyKind::DeviceToDevice => "cudaMemcpyDtoD",
+        }
+    }
+}
+
+/// One transfer operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferSpec {
+    /// Bytes to move.
+    pub bytes: f64,
+    /// Direction.
+    pub kind: CopyKind,
+    /// Whether the host buffer is pinned (page-locked). Pageable copies
+    /// run at roughly 60% of PCIe throughput because of the staging copy.
+    pub pinned: bool,
+}
+
+/// Fixed per-call latency of a memcpy, seconds (driver + DMA setup).
+pub const MEMCPY_LATENCY_S: f64 = 12e-6;
+
+impl TransferSpec {
+    /// A pageable host→device copy.
+    pub fn h2d(bytes: f64) -> Self {
+        TransferSpec { bytes, kind: CopyKind::HostToDevice, pinned: false }
+    }
+
+    /// A pageable device→host copy.
+    pub fn d2h(bytes: f64) -> Self {
+        TransferSpec { bytes, kind: CopyKind::DeviceToHost, pinned: false }
+    }
+
+    /// Mark the host buffer as pinned.
+    pub fn pinned(mut self) -> Self {
+        self.pinned = true;
+        self
+    }
+
+    /// Modeled duration of this transfer on `arch`, seconds.
+    pub fn duration(&self, arch: &GpuArch) -> f64 {
+        let bw = match self.kind {
+            CopyKind::DeviceToDevice => arch.mem_bandwidth_bytes() * 0.8,
+            _ => {
+                let pcie = arch.pcie_bandwidth_bytes();
+                if self.pinned {
+                    pcie
+                } else {
+                    pcie * 0.6
+                }
+            }
+        };
+        MEMCPY_LATENCY_S + self.bytes / bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_faster_than_pageable() {
+        let arch = GpuArch::tesla_k80();
+        let pageable = TransferSpec::h2d(1e9).duration(&arch);
+        let pinned = TransferSpec::h2d(1e9).pinned().duration(&arch);
+        assert!(pinned < pageable);
+    }
+
+    #[test]
+    fn d2d_runs_at_dram_speed() {
+        let arch = GpuArch::tesla_k80();
+        let d2d = TransferSpec { bytes: 1e9, kind: CopyKind::DeviceToDevice, pinned: false }
+            .duration(&arch);
+        let h2d = TransferSpec::h2d(1e9).duration(&arch);
+        assert!(d2d < h2d / 5.0);
+    }
+
+    #[test]
+    fn latency_floors_small_copies() {
+        let arch = GpuArch::tesla_k80();
+        let t = TransferSpec::h2d(8.0).duration(&arch);
+        assert!(t >= MEMCPY_LATENCY_S);
+        assert!(t < 2.0 * MEMCPY_LATENCY_S);
+    }
+
+    #[test]
+    fn gigabyte_on_k80_takes_fraction_of_second() {
+        // 1 GB pageable over ~6 GB/s effective ≈ 0.17 s.
+        let arch = GpuArch::tesla_k80();
+        let t = TransferSpec::h2d(1e9).duration(&arch);
+        assert!(t > 0.1 && t < 0.3, "{t}");
+    }
+
+    #[test]
+    fn api_names() {
+        assert_eq!(CopyKind::HostToDevice.api_name(), "cudaMemcpyHtoD");
+        assert_eq!(CopyKind::DeviceToHost.api_name(), "cudaMemcpyDtoH");
+    }
+}

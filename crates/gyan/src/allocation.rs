@@ -1,0 +1,200 @@
+//! GPU device allocation strategies — the paper's Pseudocode 2 plus the
+//! Process Allocated Memory refinement (§IV-C1 and §IV-C2).
+//!
+//! Given a tool's requested GPU minor IDs (from the requirement's
+//! `version` tag) and the live cluster state, compute the value to export
+//! as `CUDA_VISIBLE_DEVICES`.
+
+use crate::gpu_usage::{get_gpu_usage, gpu_memory_usage};
+use gpusim::GpuCluster;
+
+/// Which of GYAN's two device allocation strategies to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocationPolicy {
+    /// §IV-C1 *Process ID Approach*: a GPU is free iff it has no executing
+    /// processes; when the requested GPU is busy fall back to all free
+    /// GPUs, and when none are free expose **all** GPUs (scatter).
+    #[default]
+    ProcessId,
+    /// §IV-C2 *Process Allocated Memory Approach*: when no GPU is free,
+    /// place the job on the single GPU with the least allocated device
+    /// memory instead of scattering — avoiding multi-GPU overhead for
+    /// tools without multi-GPU support.
+    MemoryBased,
+}
+
+/// The outcome of an allocation decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Value for `CUDA_VISIBLE_DEVICES` (comma-separated minor IDs).
+    pub cuda_visible_devices: String,
+    /// The parsed device list, in export order.
+    pub devices: Vec<u32>,
+    /// True when the requested device was free and granted as-is.
+    pub granted_requested: bool,
+}
+
+/// Decide which GPUs to expose to a job.
+///
+/// `requested` is the tool's GPU minor ID list from the wrapper's
+/// `version` tag (empty = no preference). Returns `None` when the node has
+/// no GPUs at all.
+pub fn select_gpus(
+    cluster: &GpuCluster,
+    requested: &[u32],
+    policy: AllocationPolicy,
+) -> Option<Allocation> {
+    let usage = get_gpu_usage(cluster);
+    if usage.all_gpus.is_empty() {
+        return None;
+    }
+
+    // Deduplicate the request (a wrapper listing "0,0" means device 0).
+    let mut requested_dedup: Vec<u32> = Vec::with_capacity(requested.len());
+    for &id in requested {
+        if !requested_dedup.contains(&id) {
+            requested_dedup.push(id);
+        }
+    }
+
+    // Pseudocode 2: if gpu_id_to_query in avail_gps, grant it (all of the
+    // requested ids must be free to grant the multi-GPU request).
+    if !requested_dedup.is_empty() {
+        let all_free = requested_dedup.iter().all(|id| usage.avail_gpus.contains(id));
+        let all_exist = requested_dedup.iter().all(|id| usage.all_gpus.contains(id));
+        if all_exist && all_free {
+            return Some(make_allocation(requested_dedup, true));
+        }
+    }
+
+    // Requested GPU busy (or no preference): fall back to the free GPUs.
+    if !usage.avail_gpus.is_empty() {
+        return Some(make_allocation(usage.avail_gpus, false));
+    }
+
+    // Nothing free: the two strategies diverge.
+    let devices = match policy {
+        AllocationPolicy::ProcessId => usage.all_gpus, // scatter across all
+        AllocationPolicy::MemoryBased => {
+            let mem = gpu_memory_usage(cluster);
+            let min = mem
+                .iter()
+                .min_by_key(|(minor, used)| (*used, *minor))
+                .map(|(minor, _)| *minor)
+                .expect("non-empty gpu list");
+            vec![min]
+        }
+    };
+    Some(make_allocation(devices, false))
+}
+
+fn make_allocation(devices: Vec<u32>, granted_requested: bool) -> Allocation {
+    let cuda_visible_devices =
+        devices.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+    Allocation { cuda_visible_devices, devices, granted_requested }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GpuProcess;
+
+    fn busy(cluster: &GpuCluster, minor: u32, pid: u32, mib: u64) {
+        cluster.attach_process(minor, GpuProcess::compute(pid, "tool", mib)).unwrap();
+    }
+
+    #[test]
+    fn requested_free_gpu_granted() {
+        let c = GpuCluster::k80_node();
+        let a = select_gpus(&c, &[1], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.cuda_visible_devices, "1");
+        assert!(a.granted_requested);
+    }
+
+    #[test]
+    fn requested_busy_gpu_redirected_to_free_one() {
+        // Paper Case 2: Bonito requests GPU 1 which is busy; it is
+        // scheduled on the free GPU 0 instead.
+        let c = GpuCluster::k80_node();
+        busy(&c, 1, 100, 2700);
+        let a = select_gpus(&c, &[1], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.cuda_visible_devices, "0");
+        assert!(!a.granted_requested);
+    }
+
+    #[test]
+    fn no_preference_gets_all_free_gpus() {
+        let c = GpuCluster::k80_node();
+        let a = select_gpus(&c, &[], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.cuda_visible_devices, "0,1");
+        busy(&c, 0, 1, 10);
+        let a = select_gpus(&c, &[], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.cuda_visible_devices, "1");
+    }
+
+    #[test]
+    fn all_busy_pid_policy_scatters() {
+        // Paper Case 3: both GPUs busy → upcoming processes scattered to
+        // both GPUs.
+        let c = GpuCluster::k80_node();
+        busy(&c, 0, 39953, 60);
+        busy(&c, 1, 40534, 60);
+        let a = select_gpus(&c, &[0], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.cuda_visible_devices, "0,1");
+        assert_eq!(a.devices, vec![0, 1]);
+    }
+
+    #[test]
+    fn all_busy_memory_policy_picks_least_loaded() {
+        // Paper Case 4: Racon (60 MiB) on GPU 0, Bonito (2.7 GB) on GPU 1;
+        // a second Bonito goes to GPU 0 — "the GPU with minimum memory
+        // usage was GPU 0 (with 60 MiB usage)".
+        let c = GpuCluster::k80_node();
+        busy(&c, 0, 43244, 60);
+        busy(&c, 1, 45751, 2700);
+        let a = select_gpus(&c, &[1], AllocationPolicy::MemoryBased).unwrap();
+        assert_eq!(a.cuda_visible_devices, "0");
+        assert_eq!(a.devices, vec![0]);
+    }
+
+    #[test]
+    fn memory_policy_ties_break_by_minor_id() {
+        let c = GpuCluster::k80_node();
+        busy(&c, 0, 1, 100);
+        busy(&c, 1, 2, 100);
+        let a = select_gpus(&c, &[], AllocationPolicy::MemoryBased).unwrap();
+        assert_eq!(a.cuda_visible_devices, "0");
+    }
+
+    #[test]
+    fn multi_gpu_request_granted_when_all_free() {
+        let c = GpuCluster::k80_node();
+        let a = select_gpus(&c, &[0, 1], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.cuda_visible_devices, "0,1");
+        assert!(a.granted_requested);
+    }
+
+    #[test]
+    fn multi_gpu_request_partially_busy_falls_back() {
+        let c = GpuCluster::k80_node();
+        busy(&c, 0, 7, 10);
+        let a = select_gpus(&c, &[0, 1], AllocationPolicy::ProcessId).unwrap();
+        assert!(!a.granted_requested);
+        assert_eq!(a.cuda_visible_devices, "1");
+    }
+
+    #[test]
+    fn nonexistent_requested_id_falls_back_to_free() {
+        let c = GpuCluster::k80_node();
+        let a = select_gpus(&c, &[7], AllocationPolicy::ProcessId).unwrap();
+        assert!(!a.granted_requested);
+        assert_eq!(a.cuda_visible_devices, "0,1");
+    }
+
+    #[test]
+    fn gpuless_node_returns_none() {
+        let c = GpuCluster::cpu_only_node();
+        assert!(select_gpus(&c, &[], AllocationPolicy::ProcessId).is_none());
+        assert!(select_gpus(&c, &[0], AllocationPolicy::MemoryBased).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! GPU support for containerized tools — the paper's Challenge-III.
+//!
+//! GYAN modifies Galaxy's container launch script so that, when
+//! `GALAXY_GPU_ENABLED` is `"true"`:
+//!
+//! * Docker launches gain `--gpus all`
+//!   (`command_part.append("--gpus all")`). The paper notes the targeted
+//!   `--gpus "device=x"` form "did not work as intended", so GYAN instead
+//!   exports `CUDA_VISIBLE_DEVICES` and passes `--gpus all`;
+//! * Singularity launches gain `--nv`
+//!   (`command_part.append("--nv")`) — and the `rw`/`ro` bind-mount flags
+//!   are stripped, because Singularity ≥3.1 rejects them when `--nv` is
+//!   present.
+//!
+//! The `CUDA_VISIBLE_DEVICES` value itself must also be forwarded *into*
+//! the container environment, which these mutators do by copying the job's
+//! export into a `-e`/`SINGULARITYENV_` assignment.
+
+use crate::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED};
+use galaxy::job::conf::Destination;
+use galaxy::job::Job;
+use galaxy::runners::CommandMutator;
+
+/// Injects `--gpus all` into `docker run` commands for GPU-enabled jobs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DockerGpuMutator;
+
+impl CommandMutator for DockerGpuMutator {
+    fn mutate(&self, parts: &mut Vec<String>, job: &Job, _destination: &Destination) {
+        if job.env_var(GALAXY_GPU_ENABLED) != Some("true") {
+            return;
+        }
+        // Only applies to docker launches.
+        let Some(run_idx) = position_pair(parts, "docker", "run") else {
+            return;
+        };
+        // command_part.append("--gpus all") — inserted right after `run`.
+        parts.insert(run_idx + 1, "--gpus".to_string());
+        parts.insert(run_idx + 2, "all".to_string());
+        // Forward the device mask into the container.
+        if let Some(mask) = job.env_var(CUDA_VISIBLE_DEVICES) {
+            let assignment = format!("{CUDA_VISIBLE_DEVICES}={mask}");
+            if !parts.contains(&assignment) {
+                parts.insert(run_idx + 3, "-e".to_string());
+                parts.insert(run_idx + 4, assignment);
+            }
+        }
+    }
+}
+
+/// Injects `--nv` into `singularity exec` commands for GPU-enabled jobs
+/// and strips the `rw`/`ro` bind flags Singularity ≥3.1 rejects.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SingularityGpuMutator;
+
+impl CommandMutator for SingularityGpuMutator {
+    fn mutate(&self, parts: &mut Vec<String>, job: &Job, _destination: &Destination) {
+        if job.env_var(GALAXY_GPU_ENABLED) != Some("true") {
+            return;
+        }
+        let Some(exec_idx) = position_pair(parts, "singularity", "exec") else {
+            return;
+        };
+        // command_part.append("--nv")
+        parts.insert(exec_idx + 1, "--nv".to_string());
+        // Strip :rw / :ro suffixes from every -B bind.
+        let mut i = 0;
+        while i + 1 < parts.len() {
+            if parts[i] == "-B" {
+                let bind = &parts[i + 1];
+                if let Some(stripped) = bind.strip_suffix(":rw").or_else(|| bind.strip_suffix(":ro"))
+                {
+                    parts[i + 1] = stripped.to_string();
+                }
+            }
+            i += 1;
+        }
+        // Forward the device mask via SINGULARITYENV_.
+        if let Some(mask) = job.env_var(CUDA_VISIBLE_DEVICES) {
+            let assignment = format!("SINGULARITYENV_{CUDA_VISIBLE_DEVICES}={mask}");
+            if !parts.contains(&assignment) {
+                let sing_idx = exec_idx - 1;
+                parts.insert(sing_idx, assignment);
+            }
+        }
+    }
+}
+
+/// Index of `second` when it immediately follows `first` in `parts`.
+fn position_pair(parts: &[String], first: &str, second: &str) -> Option<usize> {
+    parts
+        .windows(2)
+        .position(|w| w[0] == first && w[1] == second)
+        .map(|i| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galaxy::params::ParamDict;
+    use galaxy::runners::container_cmd::{docker_command, singularity_command, VolumeBind};
+
+    fn dest() -> Destination {
+        Destination { id: "docker_gpu".into(), runner: "local".into(), params: ParamDict::new() }
+    }
+
+    fn gpu_job() -> Job {
+        let mut j = Job::new(1, "racon_gpu", ParamDict::new());
+        j.set_env(GALAXY_GPU_ENABLED, "true");
+        j.set_env(CUDA_VISIBLE_DEVICES, "0,1");
+        j
+    }
+
+    fn cpu_job() -> Job {
+        let mut j = Job::new(1, "racon", ParamDict::new());
+        j.set_env(GALAXY_GPU_ENABLED, "false");
+        j
+    }
+
+    #[test]
+    fn docker_gains_gpus_all_after_run() {
+        let mut parts = docker_command("img", "racon_gpu", &[], &[VolumeBind::rw("/d")], "/w");
+        DockerGpuMutator.mutate(&mut parts, &gpu_job(), &dest());
+        let run = parts.iter().position(|p| p == "run").unwrap();
+        assert_eq!(parts[run + 1], "--gpus");
+        assert_eq!(parts[run + 2], "all");
+        assert!(parts.contains(&"CUDA_VISIBLE_DEVICES=0,1".to_string()));
+    }
+
+    #[test]
+    fn docker_untouched_when_gpu_disabled() {
+        let mut parts = docker_command("img", "racon", &[], &[], "/w");
+        let before = parts.clone();
+        DockerGpuMutator.mutate(&mut parts, &cpu_job(), &dest());
+        assert_eq!(parts, before);
+    }
+
+    #[test]
+    fn docker_mutator_ignores_bare_metal_commands() {
+        let mut parts = vec!["/bin/bash".to_string(), "-c".to_string(), "racon_gpu".to_string()];
+        let before = parts.clone();
+        DockerGpuMutator.mutate(&mut parts, &gpu_job(), &dest());
+        assert_eq!(parts, before);
+    }
+
+    #[test]
+    fn singularity_gains_nv_and_loses_bind_flags() {
+        let mut parts = singularity_command(
+            "img.sif",
+            "racon_gpu",
+            &[],
+            &[VolumeBind::rw("/data"), VolumeBind::ro("/refs")],
+            "/w",
+        );
+        SingularityGpuMutator.mutate(&mut parts, &gpu_job(), &dest());
+        let exec = parts.iter().position(|p| p == "exec").unwrap();
+        assert_eq!(parts[exec + 1], "--nv");
+        // rw/ro suffixes stripped (Singularity 3.1 + --nv incompatibility).
+        assert!(parts.contains(&"/data:/data".to_string()));
+        assert!(parts.contains(&"/refs:/refs".to_string()));
+        assert!(!parts.iter().any(|p| p.ends_with(":rw") || p.ends_with(":ro")));
+        assert!(parts.contains(&"SINGULARITYENV_CUDA_VISIBLE_DEVICES=0,1".to_string()));
+    }
+
+    #[test]
+    fn singularity_untouched_when_gpu_disabled() {
+        let mut parts =
+            singularity_command("img.sif", "racon", &[], &[VolumeBind::rw("/data")], "/w");
+        let before = parts.clone();
+        SingularityGpuMutator.mutate(&mut parts, &cpu_job(), &dest());
+        assert_eq!(parts, before);
+        // CPU containers keep their rw flags.
+        assert!(parts.iter().any(|p| p.ends_with(":rw")));
+    }
+
+    #[test]
+    fn mutators_are_idempotent_on_missing_mask() {
+        let mut j = Job::new(1, "t", ParamDict::new());
+        j.set_env(GALAXY_GPU_ENABLED, "true"); // no CUDA_VISIBLE_DEVICES
+        let mut parts = docker_command("img", "t", &[], &[], "/w");
+        DockerGpuMutator.mutate(&mut parts, &j, &dest());
+        assert!(parts.contains(&"--gpus".to_string()));
+        assert!(!parts.iter().any(|p| p.starts_with("CUDA_VISIBLE_DEVICES=")));
+    }
+}

@@ -1,0 +1,138 @@
+//! `get_gpu_usage` — the paper's Pseudocode 1.
+//!
+//! Runs the `nvidia-smi -q -x` query (against the simulated cluster),
+//! parses the XML with the BeautifulSoup-style DOM API, builds the
+//! `proc_gpu_dict` mapping GPU minor IDs to the PIDs executing on them,
+//! and returns the available-GPU and all-GPU lists.
+
+use gpusim::{smi, GpuCluster};
+use xmlparse::parse;
+
+/// Result of one GPU usage query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuUsage {
+    /// Minor IDs of GPUs with no executing processes (`avail_gpus`).
+    pub avail_gpus: Vec<u32>,
+    /// All minor IDs on the host (`all_gpus`).
+    pub all_gpus: Vec<u32>,
+    /// The full dictionary: minor ID → PIDs of executing processes.
+    pub proc_gpu_dict: Vec<(u32, Vec<u32>)>,
+}
+
+/// Query GPU usage by generating and parsing `nvidia-smi -q -x` output —
+/// a direct port of the paper's Pseudocode 1.
+pub fn get_gpu_usage(cluster: &GpuCluster) -> GpuUsage {
+    // bash_cmd = "/bin/bash -c 'nvidia-smi -query -x'"
+    let xml = smi::query_xml(cluster);
+    // soup = bs(out, "lxml")
+    let doc = parse(&xml).expect("nvidia-smi emitted malformed XML");
+    let log = doc.root();
+
+    // gpu_find = soup.find("nvidia_smi_log").find_all("gpu")
+    let mut proc_gpu_dict: Vec<(u32, Vec<u32>)> = Vec::new();
+    for gpu in log.find_all("gpu") {
+        let minor_id: u32 = gpu
+            .find_text("minor_number")
+            .and_then(|t| t.parse().ok())
+            .expect("gpu element without minor_number");
+        // process_find = p.find("processes").find_all("process_info")
+        let mut pids = Vec::new();
+        if let Some(processes) = gpu.find("processes") {
+            for proc_info in processes.find_all("process_info") {
+                if let Some(pid) = proc_info.find_text("pid").and_then(|t| t.parse().ok()) {
+                    pids.push(pid);
+                }
+            }
+        }
+        proc_gpu_dict.push((minor_id, pids));
+    }
+
+    // for (x, y) in proc_gpu_dict: all.append(x); if y empty: avail.append(x)
+    let mut avail_gpus = Vec::new();
+    let mut all_gpus = Vec::new();
+    for (minor, pids) in &proc_gpu_dict {
+        all_gpus.push(*minor);
+        if pids.is_empty() {
+            avail_gpus.push(*minor);
+        }
+    }
+
+    GpuUsage { avail_gpus, all_gpus, proc_gpu_dict }
+}
+
+/// Per-GPU framebuffer usage in MiB, parsed from the same query — the
+/// input to the *Process Allocated Memory* approach (paper §IV-C2, which
+/// reads `fb_memory_usage.used` instead of the PID list).
+pub fn gpu_memory_usage(cluster: &GpuCluster) -> Vec<(u32, u64)> {
+    let xml = smi::query_xml(cluster);
+    let doc = parse(&xml).expect("nvidia-smi emitted malformed XML");
+    let mut out = Vec::new();
+    for gpu in doc.root().find_all("gpu") {
+        let minor: u32 = gpu
+            .find_text("minor_number")
+            .and_then(|t| t.parse().ok())
+            .expect("gpu element without minor_number");
+        let used = gpu
+            .find("fb_memory_usage")
+            .and_then(|fb| fb.find_text("used"))
+            .and_then(|t| t.trim_end_matches(" MiB").parse().ok())
+            .unwrap_or(0);
+        out.push((minor, used));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::GpuProcess;
+
+    #[test]
+    fn idle_cluster_all_available() {
+        let c = GpuCluster::k80_node();
+        let usage = get_gpu_usage(&c);
+        assert_eq!(usage.all_gpus, vec![0, 1]);
+        assert_eq!(usage.avail_gpus, vec![0, 1]);
+        assert_eq!(usage.proc_gpu_dict, vec![(0, vec![]), (1, vec![])]);
+    }
+
+    #[test]
+    fn busy_gpu_excluded_from_available() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(1, GpuProcess::compute(40534, "/usr/bin/racon_gpu", 60)).unwrap();
+        let usage = get_gpu_usage(&c);
+        assert_eq!(usage.all_gpus, vec![0, 1]);
+        assert_eq!(usage.avail_gpus, vec![0]);
+        assert_eq!(usage.proc_gpu_dict[1], (1, vec![40534]));
+    }
+
+    #[test]
+    fn multiple_pids_collected_per_gpu() {
+        let c = GpuCluster::k80_node();
+        for pid in [39953, 41105, 41872] {
+            c.attach_process(0, GpuProcess::compute(pid, "/usr/bin/racon_gpu", 60)).unwrap();
+        }
+        let usage = get_gpu_usage(&c);
+        assert_eq!(usage.proc_gpu_dict[0].1, vec![39953, 41105, 41872]);
+        assert_eq!(usage.avail_gpus, vec![1]);
+    }
+
+    #[test]
+    fn memory_usage_reflects_allocations() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(0, GpuProcess::compute(1, "racon", 60)).unwrap();
+        c.attach_process(1, GpuProcess::compute(2, "bonito", 2734 - 63)).unwrap();
+        let mem = gpu_memory_usage(&c);
+        // Driver reservation (63 MiB) + process memory.
+        assert_eq!(mem, vec![(0, 123), (1, 2734)]);
+    }
+
+    #[test]
+    fn no_gpu_node_yields_empty_lists() {
+        let c = GpuCluster::cpu_only_node();
+        let usage = get_gpu_usage(&c);
+        assert!(usage.all_gpus.is_empty());
+        assert!(usage.avail_gpus.is_empty());
+        assert!(gpu_memory_usage(&c).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # gyan
+//!
+//! GYAN — *GPU-aware computation mapping and orchestration for Galaxy* —
+//! the contribution of the paper, reimplemented over the `galaxy` framework
+//! substrate and the `gpusim` GPU cluster simulator.
+//!
+//! The paper's four challenges map onto these modules:
+//!
+//! * **Challenge-I** (a GPU compute requirement in tool XML): parsing lives
+//!   in `galaxy::tool` (`Requirement::is_gpu`, `Tool::requested_gpu_ids`);
+//!   this crate consumes it everywhere.
+//! * **Challenge-II** (exposing GPU availability to the runner):
+//!   [`rules`] implements the `gpu_dynamic_destination` job rule that maps
+//!   jobs to GPU or CPU destinations from live `pynvml` queries, and
+//!   [`orchestrator`] exports `GALAXY_GPU_ENABLED` and bridges
+//!   `__galaxy_gpu_enabled__` into the tool's parameter dictionary.
+//! * **Challenge-III** (GPU support for containerized tools):
+//!   [`container_gpu`] injects `--gpus all` into Docker launches and
+//!   `--nv` into Singularity launches (stripping the `rw`/`ro` bind flags
+//!   Singularity ≥3.1 rejects).
+//! * **Challenge-IV** (multi-GPU computation mapping): [`gpu_usage`] is
+//!   the paper's Pseudocode 1 (`get_gpu_usage` over `nvidia-smi -q -x`
+//!   XML), and [`allocation`] implements Pseudocode 2 with both device
+//!   allocation strategies — the *Process ID* approach and the *Process
+//!   Allocated Memory* approach — producing the `CUDA_VISIBLE_DEVICES`
+//!   export.
+//!
+//! [`monitor`] is the paper's §V-C GPU hardware usage script (1 Hz
+//! utilization/memory/PCIe sampling with post-processed statistics and CSV
+//! output), and [`setup`] wires everything into a `GalaxyApp` in one call.
+
+pub mod allocation;
+pub mod container_gpu;
+pub mod gpu_usage;
+pub mod monitor;
+pub mod orchestrator;
+pub mod rules;
+pub mod setup;
+
+pub use allocation::{select_gpus, AllocationPolicy};
+pub use gpu_usage::{get_gpu_usage, gpu_memory_usage};
+pub use monitor::UsageMonitor;
+pub use orchestrator::GyanHook;
+pub use rules::GpuDestinationRule;
+pub use setup::install_gyan;
+
+/// The boolean environment variable GYAN introduces to Galaxy: `"true"`
+/// when the job was mapped to a GPU destination.
+pub const GALAXY_GPU_ENABLED: &str = "GALAXY_GPU_ENABLED";
+
+/// The CUDA device mask GYAN exports to constrain the tool process.
+pub const CUDA_VISIBLE_DEVICES: &str = "CUDA_VISIBLE_DEVICES";
+
+/// The parameter-dictionary key exposed to tool wrappers (paper Code 3:
+/// `$__galaxy_gpu_enabled__`).
+pub const GPU_ENABLED_PARAM: &str = "__galaxy_gpu_enabled__";

@@ -1,0 +1,177 @@
+//! The GYAN pre-dispatch hook: GPU allocation and environment export.
+//!
+//! Runs after destination mapping and before command rendering (the
+//! `__command_line` step of the paper's Pseudocode 2):
+//!
+//! 1. inspects the tool's requirements for the `compute`/`gpu` type and
+//!    its requested device IDs (the `version` tag);
+//! 2. if the job landed on a GPU destination and devices are present,
+//!    runs the configured allocation strategy ([`crate::allocation`]) and
+//!    exports `CUDA_VISIBLE_DEVICES`;
+//! 3. sets `GALAXY_GPU_ENABLED` and bridges it into the tool wrapper's
+//!    parameter dictionary as `__galaxy_gpu_enabled__` (the
+//!    `build_param_dict` insertion described in §IV-A).
+
+use crate::allocation::{select_gpus, AllocationPolicy};
+use crate::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED, GPU_ENABLED_PARAM};
+use galaxy::job::conf::Destination;
+use galaxy::job::Job;
+use galaxy::runners::JobHook;
+use galaxy::tool::Tool;
+use gpusim::GpuCluster;
+
+/// The GYAN orchestration hook. Register with
+/// [`galaxy::GalaxyApp::add_hook`].
+pub struct GyanHook {
+    cluster: GpuCluster,
+    policy: AllocationPolicy,
+    /// Destination ids treated as GPU destinations.
+    gpu_destinations: Vec<String>,
+}
+
+impl GyanHook {
+    /// Create a hook using the given allocation policy. `gpu_destinations`
+    /// lists the destination ids on which jobs may use GPUs (e.g.
+    /// `["local_gpu", "docker_gpu", "singularity_gpu"]`).
+    pub fn new(
+        cluster: &GpuCluster,
+        policy: AllocationPolicy,
+        gpu_destinations: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        GyanHook {
+            cluster: cluster.clone(),
+            policy,
+            gpu_destinations: gpu_destinations.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The active allocation policy.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    fn is_gpu_destination(&self, destination: &Destination) -> bool {
+        self.gpu_destinations.iter().any(|d| d == &destination.id)
+    }
+}
+
+impl JobHook for GyanHook {
+    fn before_dispatch(&self, job: &mut Job, tool: &Tool, destination: &Destination) {
+        let wants_gpu = tool.requires_gpu() && self.is_gpu_destination(destination);
+        if wants_gpu {
+            if let Some(alloc) = select_gpus(&self.cluster, &tool.requested_gpu_ids(), self.policy)
+            {
+                job.set_env(GALAXY_GPU_ENABLED, "true");
+                job.set_env(CUDA_VISIBLE_DEVICES, alloc.cuda_visible_devices);
+                job.params.set(GPU_ENABLED_PARAM, "true");
+                return;
+            }
+        }
+        job.set_env(GALAXY_GPU_ENABLED, "false");
+        job.params.set(GPU_ENABLED_PARAM, "false");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galaxy::params::ParamDict;
+    use galaxy::tool::macros::MacroLibrary;
+    use galaxy::tool::wrapper::parse_tool;
+    use gpusim::GpuProcess;
+
+    fn gpu_tool(pinned: Option<&str>) -> Tool {
+        let version = pinned.map(|v| format!(" version=\"{v}\"")).unwrap_or_default();
+        parse_tool(
+            &format!(
+                r#"<tool id="racon_gpu"><requirements>
+                     <requirement type="compute"{version}>gpu</requirement>
+                   </requirements><command>racon_gpu</command></tool>"#
+            ),
+            &MacroLibrary::new(),
+        )
+        .unwrap()
+    }
+
+    fn dest(id: &str) -> Destination {
+        Destination { id: id.into(), runner: "local".into(), params: ParamDict::new() }
+    }
+
+    fn hook(cluster: &GpuCluster, policy: AllocationPolicy) -> GyanHook {
+        GyanHook::new(cluster, policy, ["local_gpu", "docker_gpu"])
+    }
+
+    #[test]
+    fn gpu_job_gets_env_and_param_bridge() {
+        let c = GpuCluster::k80_node();
+        let h = hook(&c, AllocationPolicy::ProcessId);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(None), &dest("local_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("true"));
+        assert_eq!(job.env_var(CUDA_VISIBLE_DEVICES), Some("0,1"));
+        assert_eq!(job.params.get(GPU_ENABLED_PARAM), Some("true"));
+    }
+
+    #[test]
+    fn pinned_device_honoured_when_free() {
+        let c = GpuCluster::k80_node();
+        let h = hook(&c, AllocationPolicy::ProcessId);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(Some("1")), &dest("local_gpu"));
+        assert_eq!(job.env_var(CUDA_VISIBLE_DEVICES), Some("1"));
+    }
+
+    #[test]
+    fn busy_pinned_device_redirected() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(1, GpuProcess::compute(9, "other", 10)).unwrap();
+        let h = hook(&c, AllocationPolicy::ProcessId);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(Some("1")), &dest("local_gpu"));
+        assert_eq!(job.env_var(CUDA_VISIBLE_DEVICES), Some("0"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("true"));
+    }
+
+    #[test]
+    fn cpu_destination_disables_gpu() {
+        let c = GpuCluster::k80_node();
+        let h = hook(&c, AllocationPolicy::ProcessId);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(None), &dest("local_cpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
+        assert_eq!(job.params.get(GPU_ENABLED_PARAM), Some("false"));
+        assert!(job.env_var(CUDA_VISIBLE_DEVICES).is_none());
+    }
+
+    #[test]
+    fn cpu_tool_on_gpu_destination_disabled() {
+        let c = GpuCluster::k80_node();
+        let tool =
+            parse_tool("<tool id=\"sort\"><command>sort</command></tool>", &MacroLibrary::new())
+                .unwrap();
+        let h = hook(&c, AllocationPolicy::ProcessId);
+        let mut job = Job::new(1, "sort", ParamDict::new());
+        h.before_dispatch(&mut job, &tool, &dest("local_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
+    }
+
+    #[test]
+    fn gpuless_node_disables_gpu() {
+        let c = GpuCluster::cpu_only_node();
+        let h = hook(&c, AllocationPolicy::ProcessId);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(None), &dest("local_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
+    }
+
+    #[test]
+    fn memory_policy_used_when_all_busy() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(0, GpuProcess::compute(1, "racon", 60)).unwrap();
+        c.attach_process(1, GpuProcess::compute(2, "bonito", 2700)).unwrap();
+        let h = hook(&c, AllocationPolicy::MemoryBased);
+        let mut job = Job::new(3, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(Some("1")), &dest("local_gpu"));
+        assert_eq!(job.env_var(CUDA_VISIBLE_DEVICES), Some("0"));
+    }
+}

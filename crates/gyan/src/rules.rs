@@ -1,0 +1,176 @@
+//! The dynamic destination rule — the paper's Challenge-II solution.
+//!
+//! GYAN adds a *job rule* that "obtains the system GPU availability and
+//! the number of GPUs using the pynvml Python library. If the tool's
+//! wrapper file has the compute requirement of type 'gpu' and if there is
+//! at least one GPU available, then the destination is configured to be
+//! 'local GPU'" — otherwise the job is switched to a CPU destination in a
+//! user-agnostic fashion.
+
+use galaxy::app::DynamicRule;
+use galaxy::job::conf::JobConfig;
+use galaxy::job::Job;
+use galaxy::tool::Tool;
+use galaxy::GalaxyError;
+use gpusim::nvml::Nvml;
+use gpusim::GpuCluster;
+
+/// Factory for the `gpu_dynamic_destination` rule.
+#[derive(Clone)]
+pub struct GpuDestinationRule {
+    cluster: GpuCluster,
+    /// Destination id for GPU execution (e.g. `local_gpu` or `docker_gpu`).
+    pub gpu_destination: String,
+    /// Destination id for the CPU fallback.
+    pub cpu_destination: String,
+    /// When true, a GPU destination is chosen only if at least one GPU is
+    /// currently *free*; when false (the default, matching the paper's
+    /// multi-GPU cases where busy GPUs still accept jobs), presence of any
+    /// GPU suffices and the allocation policy decides placement.
+    pub require_free_gpu: bool,
+}
+
+impl GpuDestinationRule {
+    /// Create a rule bound to a cluster with the given GPU/CPU
+    /// destination ids.
+    pub fn new(
+        cluster: &GpuCluster,
+        gpu_destination: impl Into<String>,
+        cpu_destination: impl Into<String>,
+    ) -> Self {
+        GpuDestinationRule {
+            cluster: cluster.clone(),
+            gpu_destination: gpu_destination.into(),
+            cpu_destination: cpu_destination.into(),
+            require_free_gpu: false,
+        }
+    }
+
+    /// Require a currently-free GPU for GPU mapping.
+    pub fn require_free(mut self) -> Self {
+        self.require_free_gpu = true;
+        self
+    }
+
+    /// Evaluate the rule for one job.
+    pub fn decide(&self, tool: &Tool, _job: &Job, config: &JobConfig) -> Result<String, GalaxyError> {
+        let chosen = if self.gpu_available() && tool.requires_gpu() {
+            &self.gpu_destination
+        } else {
+            &self.cpu_destination
+        };
+        if config.destination(chosen).is_none() {
+            return Err(GalaxyError::UnknownDestination(chosen.clone()));
+        }
+        Ok(chosen.clone())
+    }
+
+    fn gpu_available(&self) -> bool {
+        let nvml = Nvml::init(&self.cluster);
+        let count = nvml.device_count();
+        if count == 0 {
+            return false;
+        }
+        if !self.require_free_gpu {
+            return true;
+        }
+        (0..count).any(|i| {
+            nvml.compute_running_processes(i).map(|p| p.is_empty()).unwrap_or(false)
+        })
+    }
+
+    /// Box the rule for registration with
+    /// [`galaxy::GalaxyApp::register_rule`].
+    pub fn into_rule(self) -> DynamicRule {
+        Box::new(move |tool, job, config| self.decide(tool, job, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galaxy::job::conf::GYAN_JOB_CONF;
+    use galaxy::params::ParamDict;
+    use galaxy::tool::macros::MacroLibrary;
+    use galaxy::tool::wrapper::parse_tool;
+    use gpusim::GpuProcess;
+
+    fn gpu_tool() -> Tool {
+        parse_tool(
+            r#"<tool id="racon_gpu"><requirements>
+                 <requirement type="compute">gpu</requirement>
+               </requirements><command>racon_gpu</command></tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap()
+    }
+
+    fn cpu_tool() -> Tool {
+        parse_tool(
+            r#"<tool id="sort"><command>sort</command></tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap()
+    }
+
+    fn config() -> JobConfig {
+        JobConfig::from_xml(GYAN_JOB_CONF).unwrap()
+    }
+
+    fn job() -> Job {
+        Job::new(1, "t", ParamDict::new())
+    }
+
+    #[test]
+    fn gpu_tool_on_gpu_node_goes_to_gpu_destination() {
+        let c = GpuCluster::k80_node();
+        let rule = GpuDestinationRule::new(&c, "local_gpu", "local_cpu");
+        assert_eq!(rule.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_gpu");
+    }
+
+    #[test]
+    fn cpu_tool_always_goes_to_cpu_destination() {
+        let c = GpuCluster::k80_node();
+        let rule = GpuDestinationRule::new(&c, "local_gpu", "local_cpu");
+        assert_eq!(rule.decide(&cpu_tool(), &job(), &config()).unwrap(), "local_cpu");
+    }
+
+    #[test]
+    fn gpu_tool_on_gpuless_node_falls_back_to_cpu() {
+        // "if GPUs are unavailable, the runner needs to switch jobs to CPU
+        // nodes in a user-agnostic fashion".
+        let c = GpuCluster::cpu_only_node();
+        let rule = GpuDestinationRule::new(&c, "local_gpu", "local_cpu");
+        assert_eq!(rule.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_cpu");
+    }
+
+    #[test]
+    fn require_free_gpu_falls_back_when_all_busy() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(0, GpuProcess::compute(1, "a", 1)).unwrap();
+        c.attach_process(1, GpuProcess::compute(2, "b", 1)).unwrap();
+        let strict = GpuDestinationRule::new(&c, "local_gpu", "local_cpu").require_free();
+        assert_eq!(strict.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_cpu");
+        // Default (non-strict): busy GPUs still take jobs; the allocation
+        // policy will place them (paper Cases 3/4).
+        let lax = GpuDestinationRule::new(&c, "local_gpu", "local_cpu");
+        assert_eq!(lax.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_gpu");
+    }
+
+    #[test]
+    fn unknown_destination_is_error() {
+        let c = GpuCluster::k80_node();
+        let rule = GpuDestinationRule::new(&c, "ghost_gpu", "local_cpu");
+        assert!(matches!(
+            rule.decide(&gpu_tool(), &job(), &config()),
+            Err(GalaxyError::UnknownDestination(_))
+        ));
+    }
+
+    #[test]
+    fn boxed_rule_is_usable() {
+        let c = GpuCluster::k80_node();
+        let rule = GpuDestinationRule::new(&c, "local_gpu", "local_cpu").into_rule();
+        assert_eq!(rule(&gpu_tool(), &job(), &config()).unwrap(), "local_gpu");
+    }
+}

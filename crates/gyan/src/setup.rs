@@ -1,0 +1,252 @@
+//! One-call installation of GYAN into a Galaxy application.
+
+use crate::allocation::AllocationPolicy;
+use crate::container_gpu::{DockerGpuMutator, SingularityGpuMutator};
+use crate::orchestrator::GyanHook;
+use crate::rules::GpuDestinationRule;
+use galaxy::app::TimeSource;
+use galaxy::GalaxyApp;
+use gpusim::{GpuCluster, VirtualClock};
+
+/// Adapter exposing the simulator's virtual clock as Galaxy's time source.
+pub struct ClusterTime(VirtualClock);
+
+impl TimeSource for ClusterTime {
+    fn now(&self) -> f64 {
+        self.0.now()
+    }
+}
+
+/// Options for [`install_gyan`].
+#[derive(Debug, Clone)]
+pub struct GyanConfig {
+    /// Multi-GPU device allocation strategy.
+    pub policy: AllocationPolicy,
+    /// Destination id the dynamic rule picks for GPU jobs.
+    pub gpu_destination: String,
+    /// Destination id for CPU fallback.
+    pub cpu_destination: String,
+    /// All destination ids the hook should treat as GPU destinations.
+    pub gpu_destinations: Vec<String>,
+    /// Name under which the dynamic rule is registered (must match the
+    /// `function` param of the dynamic destination in `job_conf.xml`).
+    pub rule_name: String,
+}
+
+impl Default for GyanConfig {
+    fn default() -> Self {
+        GyanConfig {
+            policy: AllocationPolicy::ProcessId,
+            gpu_destination: "local_gpu".to_string(),
+            cpu_destination: "local_cpu".to_string(),
+            gpu_destinations: vec![
+                "local_gpu".to_string(),
+                "docker_gpu".to_string(),
+                "singularity_gpu".to_string(),
+            ],
+            rule_name: "gpu_dynamic_destination".to_string(),
+        }
+    }
+}
+
+impl GyanConfig {
+    /// Default configuration but routing GPU jobs to the Docker
+    /// destination (the paper's containerized experiments).
+    pub fn containerized() -> Self {
+        GyanConfig {
+            gpu_destination: "docker_gpu".to_string(),
+            cpu_destination: "docker_cpu".to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Use the Process Allocated Memory strategy.
+    pub fn with_memory_policy(mut self) -> Self {
+        self.policy = AllocationPolicy::MemoryBased;
+        self
+    }
+
+    /// Derive the configuration from `job_conf.xml` itself, the way a
+    /// Galaxy administrator configures GYAN: the *dynamic* destination's
+    /// `<param>`s may name the rule function (`function`), the GPU/CPU
+    /// destinations (`gpu_destination`, `cpu_destination`), and the
+    /// allocation policy (`allocation_policy` = `pid` | `memory`).
+    /// Unspecified entries keep their defaults.
+    pub fn from_job_conf(config: &galaxy::job::conf::JobConfig) -> Self {
+        let mut out = Self::default();
+        let dynamic = config.destinations.iter().find(|d| d.is_dynamic());
+        let Some(dest) = dynamic else { return out };
+        if let Some(f) = dest.rule_function() {
+            out.rule_name = f.to_string();
+        }
+        if let Some(gpu) = dest.params.get("gpu_destination") {
+            out.gpu_destination = gpu.to_string();
+            if !out.gpu_destinations.contains(&out.gpu_destination) {
+                out.gpu_destinations.push(out.gpu_destination.clone());
+            }
+        }
+        if let Some(cpu) = dest.params.get("cpu_destination") {
+            out.cpu_destination = cpu.to_string();
+        }
+        match dest.params.get("allocation_policy") {
+            Some("memory") => out.policy = AllocationPolicy::MemoryBased,
+            Some("pid") | None => {}
+            Some(other) => {
+                // Unknown value: keep the default (PID), as Galaxy does
+                // for unrecognized destination params.
+                let _ = other;
+            }
+        }
+        out
+    }
+}
+
+/// Install GYAN into `app`: registers the dynamic destination rule, the
+/// orchestration hook, both container GPU mutators, and switches the app's
+/// time source to the cluster's virtual clock.
+pub fn install_gyan(app: &mut GalaxyApp, cluster: &GpuCluster, config: GyanConfig) {
+    app.register_rule(
+        config.rule_name.clone(),
+        GpuDestinationRule::new(cluster, &config.gpu_destination, &config.cpu_destination)
+            .into_rule(),
+    );
+    app.add_hook(Box::new(GyanHook::new(
+        cluster,
+        config.policy,
+        config.gpu_destinations.clone(),
+    )));
+    app.add_mutator(Box::new(DockerGpuMutator));
+    app.add_mutator(Box::new(SingularityGpuMutator));
+    app.set_time_source(Box::new(ClusterTime(cluster.clock().clone())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+    use galaxy::params::ParamDict;
+    use galaxy::tool::macros::MacroLibrary;
+
+    const GPU_TOOL: &str = r#"<tool id="racon_gpu" name="Racon">
+      <requirements><requirement type="compute">gpu</requirement></requirements>
+      <command>#if $__galaxy_gpu_enabled__ == "true"
+racon_gpu $input
+#else
+racon $input
+#end if
+</command>
+      <inputs><param name="input" type="data" value="reads.fq"/></inputs>
+      <outputs><data name="out" format="fasta"/></outputs>
+    </tool>"#;
+
+    #[test]
+    fn end_to_end_gpu_mapping_through_app() {
+        let cluster = GpuCluster::k80_node();
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(GPU_TOOL, &MacroLibrary::new()).unwrap();
+        install_gyan(&mut app, &cluster, GyanConfig::default());
+
+        let id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
+        let job = app.job(id).unwrap();
+        assert_eq!(job.destination_id.as_deref(), Some("local_gpu"));
+        assert_eq!(job.env_var(crate::GALAXY_GPU_ENABLED), Some("true"));
+        assert_eq!(job.env_var(crate::CUDA_VISIBLE_DEVICES), Some("0,1"));
+        // The wrapper's #if took the GPU branch.
+        assert_eq!(job.command_line.as_deref(), Some("racon_gpu reads.fq"));
+    }
+
+    #[test]
+    fn end_to_end_cpu_fallback_without_gpus() {
+        let cluster = GpuCluster::cpu_only_node();
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(GPU_TOOL, &MacroLibrary::new()).unwrap();
+        install_gyan(&mut app, &cluster, GyanConfig::default());
+
+        let id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
+        let job = app.job(id).unwrap();
+        assert_eq!(job.destination_id.as_deref(), Some("local_cpu"));
+        assert_eq!(job.env_var(crate::GALAXY_GPU_ENABLED), Some("false"));
+        assert_eq!(job.command_line.as_deref(), Some("racon reads.fq"));
+    }
+
+    #[test]
+    fn virtual_clock_drives_job_timestamps() {
+        let cluster = GpuCluster::k80_node();
+        cluster.clock().advance(42.0);
+        let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+        app.install_tool_xml(GPU_TOOL, &MacroLibrary::new()).unwrap();
+        install_gyan(&mut app, &cluster, GyanConfig::default());
+        let id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
+        assert_eq!(app.job(id).unwrap().submit_time, Some(42.0));
+    }
+}
+
+#[cfg(test)]
+mod from_conf_tests {
+    use super::*;
+    use galaxy::job::conf::JobConfig;
+
+    #[test]
+    fn config_read_from_job_conf_params() {
+        let conf = JobConfig::from_xml(
+            r#"<job_conf>
+              <plugins><plugin id="local" type="runner" load="x"/></plugins>
+              <destinations default="dyn">
+                <destination id="dyn" runner="dynamic">
+                  <param id="function">my_gpu_rule</param>
+                  <param id="gpu_destination">cluster_gpu</param>
+                  <param id="cpu_destination">cluster_cpu</param>
+                  <param id="allocation_policy">memory</param>
+                </destination>
+                <destination id="cluster_gpu" runner="local"/>
+                <destination id="cluster_cpu" runner="local"/>
+              </destinations>
+            </job_conf>"#,
+        )
+        .unwrap();
+        let config = GyanConfig::from_job_conf(&conf);
+        assert_eq!(config.rule_name, "my_gpu_rule");
+        assert_eq!(config.gpu_destination, "cluster_gpu");
+        assert_eq!(config.cpu_destination, "cluster_cpu");
+        assert_eq!(config.policy, AllocationPolicy::MemoryBased);
+        assert!(config.gpu_destinations.contains(&"cluster_gpu".to_string()));
+    }
+
+    #[test]
+    fn missing_params_keep_defaults() {
+        let conf = JobConfig::from_xml(galaxy::job::conf::GYAN_JOB_CONF).unwrap();
+        let config = GyanConfig::from_job_conf(&conf);
+        assert_eq!(config.rule_name, "gpu_dynamic_destination");
+        assert_eq!(config.gpu_destination, "local_gpu");
+        assert_eq!(config.policy, AllocationPolicy::ProcessId);
+    }
+
+    #[test]
+    fn no_dynamic_destination_is_fine() {
+        let conf = JobConfig::from_xml(
+            r#"<job_conf>
+              <plugins><plugin id="local" type="runner" load="x"/></plugins>
+              <destinations default="a"><destination id="a" runner="local"/></destinations>
+            </job_conf>"#,
+        )
+        .unwrap();
+        let config = GyanConfig::from_job_conf(&conf);
+        assert_eq!(config.gpu_destination, "local_gpu");
+    }
+
+    #[test]
+    fn bogus_policy_value_keeps_default() {
+        let conf = JobConfig::from_xml(
+            r#"<job_conf>
+              <plugins><plugin id="local" type="runner" load="x"/></plugins>
+              <destinations default="dyn">
+                <destination id="dyn" runner="dynamic">
+                  <param id="allocation_policy">round_robin</param>
+                </destination>
+              </destinations>
+            </job_conf>"#,
+        )
+        .unwrap();
+        assert_eq!(GyanConfig::from_job_conf(&conf).policy, AllocationPolicy::ProcessId);
+    }
+}

@@ -1,0 +1,137 @@
+//! Edit distance, optionally banded — the "banding approximation" the
+//! paper's Racon experiments toggle, in its simplest form, plus the
+//! identity metric used to evaluate consensus quality.
+
+/// Full dynamic-programming edit distance (Levenshtein), O(n·m) time,
+/// O(min(n, m)) space.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a.as_bytes(), b.as_bytes()) } else { (b.as_bytes(), a.as_bytes()) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &lb) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sb) in short.iter().enumerate() {
+            let cost = usize::from(lb != sb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Banded edit distance: only cells within `band` of the diagonal are
+/// computed. Returns `None` when the true alignment may leave the band
+/// (result would only be an upper bound); in particular when the length
+/// difference exceeds the band.
+pub fn banded_edit_distance(a: &str, b: &str, band: usize) -> Option<usize> {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len().abs_diff(b.len()) > band {
+        return None;
+    }
+    let inf = usize::MAX / 2;
+    let mut prev = vec![inf; b.len() + 1];
+    let mut curr = vec![inf; b.len() + 1];
+    for (j, slot) in prev.iter_mut().enumerate().take(band.min(b.len()) + 1) {
+        *slot = j;
+    }
+    for i in 1..=a.len() {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(b.len());
+        curr.fill(inf);
+        if lo == 0 {
+            curr[0] = i;
+        }
+        for j in lo.max(1)..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            curr[j] = (prev[j - 1] + cost).min(prev[j] + 1).min(curr[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = prev[b.len()];
+    if d >= inf {
+        None
+    } else {
+        // The banded result equals the true distance only when it stays
+        // within the band; d <= band guarantees that.
+        if d <= band {
+            Some(d)
+        } else {
+            None
+        }
+    }
+}
+
+/// Sequence identity in [0, 1]: `1 − edit/max_len`.
+pub fn identity(a: &str, b: &str) -> f64 {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("ACGT", "ACGT"), 0);
+        assert_eq!(edit_distance("ACGT", "AGGT"), 1);
+        assert_eq!(edit_distance("ACGT", "AC"), 2);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(edit_distance("ACCGT", "AGT"), edit_distance("AGT", "ACCGT"));
+    }
+
+    #[test]
+    fn banded_matches_full_when_band_suffices() {
+        let a = "ACGTACGTACGTAA";
+        let b = "ACGTACCTACGTA";
+        let full = edit_distance(a, b);
+        assert_eq!(banded_edit_distance(a, b, 5), Some(full));
+    }
+
+    #[test]
+    fn banded_rejects_out_of_band() {
+        assert_eq!(banded_edit_distance("AAAAAAAAAA", "A", 3), None);
+        // Distance 4 with band 2 → cannot certify.
+        assert_eq!(banded_edit_distance("AAAA", "TTTT", 2), None);
+    }
+
+    #[test]
+    fn identity_metric() {
+        assert_eq!(identity("", ""), 1.0);
+        assert_eq!(identity("ACGT", "ACGT"), 1.0);
+        assert!((identity("ACGT", "ACGA") - 0.75).abs() < 1e-12);
+        assert_eq!(identity("ACGT", ""), 0.0);
+    }
+
+    #[test]
+    fn banded_equals_full_on_random_similar_strings() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let a: String =
+                (0..100).map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)]).collect();
+            // Mutate a few positions.
+            let mut b: Vec<char> = a.chars().collect();
+            for _ in 0..4 {
+                let i = rng.gen_range(0..b.len());
+                b[i] = ['A', 'C', 'G', 'T'][rng.gen_range(0..4)];
+            }
+            let b: String = b.into_iter().collect();
+            let full = edit_distance(&a, &b);
+            assert_eq!(banded_edit_distance(&a, &b, 10), Some(full));
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Pairwise alignment utilities.
+
+pub mod banded;
+
+pub use banded::{banded_edit_distance, edit_distance, identity};

@@ -1,0 +1,279 @@
+//! Minimizer-based read-to-draft mapping.
+//!
+//! Racon consumes read→assembly overlaps (PAF from minimap). This module
+//! is that mapper: extract `(w, k)` minimizers from the target, index
+//! them, look up each read's minimizers, and chain co-diagonal hits into
+//! [`Overlap`] records.
+
+use std::collections::HashMap;
+
+/// One read→target mapping (a PAF-like record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overlap {
+    /// Index of the read in the input set.
+    pub read_idx: usize,
+    /// Start of the mapped region on the read.
+    pub read_start: usize,
+    /// End (exclusive) on the read.
+    pub read_end: usize,
+    /// Start on the target.
+    pub target_start: usize,
+    /// End (exclusive) on the target.
+    pub target_end: usize,
+    /// Number of minimizer hits supporting the chain.
+    pub hits: usize,
+}
+
+/// A `(position, hash)` minimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Minimizer {
+    /// Position of the k-mer in the sequence.
+    pub pos: usize,
+    /// 64-bit hash of the k-mer.
+    pub hash: u64,
+}
+
+/// Mapper configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MapperConfig {
+    /// k-mer length.
+    pub k: usize,
+    /// Minimizer window length.
+    pub w: usize,
+    /// Maximum |read_diag − hit_diag| for chaining.
+    pub diag_slack: usize,
+    /// Minimum chained hits to emit an overlap.
+    pub min_hits: usize,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        // k = 11 keeps enough exact seed matches when both the read and
+        // the draft carry ~10% error (their pairwise divergence is ~20%);
+        // w = 5 samples densely enough to chain reliably.
+        MapperConfig { k: 11, w: 5, diag_slack: 100, min_hits: 4 }
+    }
+}
+
+fn kmer_hash(kmer: &[u8]) -> u64 {
+    let mut code: u64 = 0;
+    for &b in kmer {
+        code = (code << 2)
+            | match b {
+                b'A' => 0,
+                b'C' => 1,
+                b'G' => 2,
+                _ => 3,
+            };
+    }
+    // Invertible finalizer so adjacent k-mers decorrelate.
+    let mut z = code.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 27)
+}
+
+/// Extract `(w, k)` minimizers: for every window of `w` consecutive
+/// k-mers, keep the one with the smallest hash (deduplicated).
+pub fn minimizers(seq: &str, k: usize, w: usize) -> Vec<Minimizer> {
+    let bytes = seq.as_bytes();
+    if bytes.len() < k {
+        return Vec::new();
+    }
+    let hashes: Vec<u64> = bytes.windows(k).map(kmer_hash).collect();
+    let n = hashes.len();
+    let w = w.max(1);
+    let mut out: Vec<Minimizer> = Vec::new();
+    for win_start in 0..n.saturating_sub(w - 1) {
+        let (best_off, &best_hash) = hashes[win_start..win_start + w]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, h)| h)
+            .expect("non-empty window");
+        let pos = win_start + best_off;
+        if out.last().map(|m| m.pos) != Some(pos) {
+            out.push(Minimizer { pos, hash: best_hash });
+        }
+    }
+    if out.is_empty() && n > 0 {
+        // Sequence shorter than one window: keep its best k-mer.
+        let (pos, &hash) =
+            hashes.iter().enumerate().min_by_key(|&(_, h)| h).expect("non-empty");
+        out.push(Minimizer { pos, hash });
+    }
+    out
+}
+
+/// An index over a target sequence's minimizers.
+#[derive(Debug, Clone)]
+pub struct TargetIndex {
+    index: HashMap<u64, Vec<usize>>,
+    config: MapperConfig,
+    target_len: usize,
+}
+
+impl TargetIndex {
+    /// Build the index for `target`.
+    pub fn build(target: &str, config: MapperConfig) -> Self {
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        for m in minimizers(target, config.k, config.w) {
+            index.entry(m.hash).or_default().push(m.pos);
+        }
+        TargetIndex { index, config, target_len: target.len() }
+    }
+
+    /// Number of distinct minimizer hashes indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Map one read against the target. Returns the best chain (if any).
+    pub fn map_read(&self, read_idx: usize, read: &str) -> Option<Overlap> {
+        let read_mins = minimizers(read, self.config.k, self.config.w);
+        // Collect (diag, read_pos, target_pos) anchor hits.
+        let mut anchors: Vec<(i64, usize, usize)> = Vec::new();
+        for m in &read_mins {
+            if let Some(positions) = self.index.get(&m.hash) {
+                for &tpos in positions {
+                    anchors.push((tpos as i64 - m.pos as i64, m.pos, tpos));
+                }
+            }
+        }
+        if anchors.is_empty() {
+            return None;
+        }
+        // Bin anchors by diagonal; the densest slack-window of diagonals
+        // wins (a simple, deterministic chainer).
+        anchors.sort_unstable();
+        let slack = self.config.diag_slack as i64;
+        let mut best: Option<(usize, usize, usize)> = None; // (hits, lo, hi) indices
+        let mut lo = 0;
+        for hi in 0..anchors.len() {
+            while anchors[hi].0 - anchors[lo].0 > slack {
+                lo += 1;
+            }
+            let hits = hi - lo + 1;
+            if best.map(|(h, _, _)| hits > h).unwrap_or(true) {
+                best = Some((hits, lo, hi));
+            }
+        }
+        let (hits, lo, hi) = best.expect("anchors non-empty");
+        if hits < self.config.min_hits {
+            return None;
+        }
+        let chain = &anchors[lo..=hi];
+        let read_start = chain.iter().map(|a| a.1).min().expect("non-empty chain");
+        let read_end = chain.iter().map(|a| a.1).max().expect("non-empty chain") + self.config.k;
+        let target_start = chain.iter().map(|a| a.2).min().expect("non-empty chain");
+        let target_end =
+            (chain.iter().map(|a| a.2).max().expect("non-empty chain") + self.config.k)
+                .min(self.target_len);
+        Some(Overlap { read_idx, read_start, read_end, target_start, target_end, hits })
+    }
+
+    /// Map every read; reads that fail to map are skipped.
+    pub fn map_all(&self, reads: &[String]) -> Vec<Overlap> {
+        reads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| self.map_read(i, r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::genome::random_genome;
+    use crate::sim::reads::{sample_reads, ErrorModel};
+
+    #[test]
+    fn minimizers_deterministic_and_ordered() {
+        let g = random_genome(2000, 3);
+        let a = minimizers(&g, 15, 10);
+        let b = minimizers(&g, 15, 10);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].pos < w[1].pos));
+        // Density ≈ 2/(w+1).
+        let density = a.len() as f64 / g.len() as f64;
+        assert!(density > 0.1 && density < 0.35, "{density}");
+    }
+
+    #[test]
+    fn short_sequence_minimizers() {
+        assert!(minimizers("ACGT", 15, 10).is_empty());
+        let m = minimizers(&random_genome(20, 1), 15, 10);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn perfect_read_maps_to_its_origin() {
+        let genome = random_genome(20_000, 17);
+        let index = TargetIndex::build(&genome, MapperConfig::default());
+        let read = genome[5_000..7_000].to_string();
+        let ovl = index.map_read(0, &read).expect("should map");
+        assert!(ovl.target_start.abs_diff(5_000) < 50, "{ovl:?}");
+        assert!(ovl.target_end.abs_diff(7_000) < 50, "{ovl:?}");
+        assert!(ovl.hits > 50);
+    }
+
+    #[test]
+    fn noisy_reads_map_near_their_origin() {
+        let genome = random_genome(30_000, 23);
+        let index = TargetIndex::build(&genome, MapperConfig::default());
+        let reads = sample_reads(&genome, 30, 2_000, &ErrorModel::pacbio(), 99);
+        let mut mapped = 0;
+        for (i, read) in reads.iter().enumerate() {
+            if let Some(ovl) = index.map_read(i, &read.seq) {
+                mapped += 1;
+                let true_start: usize = read
+                    .id
+                    .split('/')
+                    .nth(1)
+                    .and_then(|c| c.split('_').next())
+                    .and_then(|s| s.parse().ok())
+                    .expect("encoded position");
+                assert!(
+                    ovl.target_start.abs_diff(true_start) < 400,
+                    "read {i}: mapped {} vs true {true_start}",
+                    ovl.target_start
+                );
+            }
+        }
+        // PacBio-error reads should nearly all map.
+        assert!(mapped >= 27, "only {mapped}/30 mapped");
+    }
+
+    #[test]
+    fn unrelated_read_does_not_map() {
+        let genome = random_genome(20_000, 31);
+        let other = random_genome(2_000, 777);
+        let index = TargetIndex::build(&genome, MapperConfig::default());
+        assert!(index.map_read(0, &other).is_none());
+    }
+
+    #[test]
+    fn map_all_keeps_read_indices() {
+        let genome = random_genome(10_000, 41);
+        let index = TargetIndex::build(&genome, MapperConfig::default());
+        let reads = vec![
+            genome[1_000..2_500].to_string(),
+            random_genome(1_500, 888), // unmappable
+            genome[6_000..7_500].to_string(),
+        ];
+        let overlaps = index.map_all(&reads);
+        let idxs: Vec<usize> = overlaps.iter().map(|o| o.read_idx).collect();
+        assert_eq!(idxs, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let index = TargetIndex::build("", MapperConfig::default());
+        assert!(index.is_empty());
+        assert!(index.map_read(0, "ACGTACGTACGTACGTACGT").is_none());
+    }
+}

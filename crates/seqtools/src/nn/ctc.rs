@@ -1,0 +1,87 @@
+//! CTC greedy decoding.
+
+/// Class index of the CTC blank.
+pub const BLANK: usize = 0;
+
+/// Base alphabet for classes 1..=4.
+pub const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// Greedy CTC decode: per-timestep argmax, collapse consecutive repeats,
+/// drop blanks. `logits` is `(classes) × t` with class 0 = blank and
+/// classes 1–4 = A/C/G/T.
+pub fn ctc_greedy_decode(logits: &crate::nn::tensor::Matrix) -> String {
+    assert_eq!(logits.rows(), 5, "expected 5 classes (blank + ACGT)");
+    let t = logits.cols();
+    let mut out = String::new();
+    let mut prev_class = BLANK;
+    for step in 0..t {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for class in 0..5 {
+            let v = logits.get(class, step);
+            if v > best_v {
+                best_v = v;
+                best = class;
+            }
+        }
+        if best != BLANK && best != prev_class {
+            out.push(BASES[best - 1]);
+        }
+        prev_class = best;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::tensor::Matrix;
+
+    /// Build logits that argmax to the given class sequence.
+    fn logits_for(classes: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(5, classes.len());
+        for (t, &c) in classes.iter().enumerate() {
+            m.set(c, t, 10.0);
+        }
+        m
+    }
+
+    #[test]
+    fn collapses_repeats() {
+        // A A A C C blank G → "ACG"
+        let m = logits_for(&[1, 1, 1, 2, 2, 0, 3]);
+        assert_eq!(ctc_greedy_decode(&m), "ACG");
+    }
+
+    #[test]
+    fn blank_separates_repeats() {
+        // A blank A → "AA"
+        let m = logits_for(&[1, 0, 1]);
+        assert_eq!(ctc_greedy_decode(&m), "AA");
+    }
+
+    #[test]
+    fn all_blank_is_empty() {
+        let m = logits_for(&[0, 0, 0, 0]);
+        assert_eq!(ctc_greedy_decode(&m), "");
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = Matrix::zeros(5, 0);
+        assert_eq!(ctc_greedy_decode(&m), "");
+    }
+
+    #[test]
+    fn full_alphabet() {
+        let m = logits_for(&[1, 2, 3, 4]);
+        assert_eq!(ctc_greedy_decode(&m), "ACGT");
+    }
+
+    #[test]
+    #[should_panic(expected = "5 classes")]
+    fn wrong_class_count_panics() {
+        let m = Matrix::zeros(4, 3);
+        let _ = ctc_greedy_decode(&m);
+    }
+}

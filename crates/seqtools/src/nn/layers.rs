@@ -1,0 +1,187 @@
+//! 1-D convolution layers (im2col + GEMM) and activations.
+
+use crate::nn::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// `x·sigmoid(x)` — Bonito's convolution activation.
+    Swish,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear.
+    Relu,
+}
+
+impl Activation {
+    /// Apply to one value.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Swish => x / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+}
+
+/// A 1-D convolution: `c_in` input channels → `c_out` output channels,
+/// kernel width `k`, stride `s`, zero ("same"-style) padding of `k/2`.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    /// Weights laid out as a `(c_out) × (c_in·k)` matrix (GEMM-ready).
+    pub weight: Matrix,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel width.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Activation applied after the bias.
+    pub activation: Activation,
+}
+
+impl Conv1d {
+    /// Initialize with deterministic Xavier-style random weights.
+    pub fn new_seeded(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        activation: Activation,
+        seed: u64,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "odd kernels only (symmetric padding)");
+        assert!(stride >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / (c_in * kernel) as f32).sqrt();
+        let weight =
+            Matrix::from_fn(c_out, c_in * kernel, |_, _| rng.gen_range(-scale..scale));
+        let bias = (0..c_out).map(|_| rng.gen_range(-0.05..0.05)).collect();
+        Conv1d { weight, bias, c_in, c_out, kernel, stride, activation }
+    }
+
+    /// Output length for an input of `t` samples.
+    pub fn out_len(&self, t: usize) -> usize {
+        if t == 0 {
+            0
+        } else {
+            (t - 1) / self.stride + 1
+        }
+    }
+
+    /// FLOPs for an input of `t` samples.
+    pub fn flops(&self, t: usize) -> f64 {
+        Matrix::matmul_flops(self.c_out, self.c_in * self.kernel, self.out_len(t))
+    }
+
+    /// Forward pass. `input` is `(c_in) × t`; output is
+    /// `(c_out) × out_len(t)`.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.rows(), self.c_in, "channel mismatch");
+        let t = input.cols();
+        let t_out = self.out_len(t);
+        let pad = self.kernel / 2;
+
+        // im2col: columns of the unrolled input, shape (c_in·k) × t_out.
+        let mut col = Matrix::zeros(self.c_in * self.kernel, t_out);
+        for c in 0..self.c_in {
+            let row = input.row(c);
+            for kk in 0..self.kernel {
+                for o in 0..t_out {
+                    let pos = o * self.stride + kk;
+                    if pos < pad || pos - pad >= t {
+                        continue; // zero padding
+                    }
+                    col.set(c * self.kernel + kk, o, row[pos - pad]);
+                }
+            }
+        }
+
+        let mut out = self.weight.matmul(&col);
+        out.add_row_bias(&self.bias);
+        let act = self.activation;
+        out.map_inplace(move |v| act.apply(v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_and_stride() {
+        let conv = Conv1d::new_seeded(1, 4, 5, 1, Activation::None, 1);
+        let input = Matrix::zeros(1, 100);
+        let out = conv.forward(&input);
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.cols(), 100);
+
+        let strided = Conv1d::new_seeded(1, 4, 5, 2, Activation::None, 1);
+        assert_eq!(strided.forward(&input).cols(), 50);
+        assert_eq!(strided.out_len(101), 51);
+        assert_eq!(strided.out_len(0), 0);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // Hand-build a kernel-3 conv whose center tap is 1.
+        let mut conv = Conv1d::new_seeded(1, 1, 3, 1, Activation::None, 1);
+        conv.weight = Matrix::from_vec(1, 3, vec![0.0, 1.0, 0.0]);
+        conv.bias = vec![0.0];
+        let input = Matrix::from_vec(1, 5, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let out = conv.forward(&input);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn padding_zeroes_edges() {
+        let mut conv = Conv1d::new_seeded(1, 1, 3, 1, Activation::None, 1);
+        conv.weight = Matrix::from_vec(1, 3, vec![1.0, 0.0, 0.0]); // left tap
+        conv.bias = vec![0.0];
+        let input = Matrix::from_vec(1, 3, vec![7.0, 8.0, 9.0]);
+        let out = conv.forward(&input);
+        // First output sees the zero pad.
+        assert_eq!(out.row(0), &[0.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn activations() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert!((Activation::Swish.apply(0.0)).abs() < 1e-9);
+        assert!(Activation::Tanh.apply(100.0) <= 1.0);
+        assert_eq!(Activation::None.apply(1.5), 1.5);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Conv1d::new_seeded(2, 3, 5, 1, Activation::Swish, 42);
+        let b = Conv1d::new_seeded(2, 3, 5, 1, Activation::Swish, 42);
+        assert_eq!(a.weight, b.weight);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn flops_counts_match_shapes() {
+        let conv = Conv1d::new_seeded(16, 32, 5, 2, Activation::Swish, 1);
+        let t = 1000;
+        assert_eq!(conv.flops(t), 2.0 * 32.0 * (16.0 * 5.0) * 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let conv = Conv1d::new_seeded(2, 3, 5, 1, Activation::None, 1);
+        let _ = conv.forward(&Matrix::zeros(3, 10));
+    }
+}

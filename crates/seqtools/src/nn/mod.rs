@@ -1,0 +1,11 @@
+//! A small neural-network substrate: matrices with blocked parallel GEMM,
+//! 1-D convolution layers, activations, and CTC greedy decoding — enough
+//! to run a Bonito-style basecalling network for real.
+
+pub mod ctc;
+pub mod layers;
+pub mod tensor;
+
+pub use ctc::{ctc_greedy_decode, BASES, BLANK};
+pub use layers::{Activation, Conv1d};
+pub use tensor::Matrix;

@@ -1,0 +1,260 @@
+//! PAF — the Pairwise mApping Format.
+//!
+//! Real Racon consumes read→assembly overlaps as PAF (minimap2's output
+//! format): 12 mandatory tab-separated columns. This module converts the
+//! mapper's [`Overlap`]s to and from PAF text, so the pipeline's
+//! intermediate data has the same shape as the paper's.
+
+use crate::mapper::Overlap;
+use std::fmt;
+
+/// One PAF line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PafRecord {
+    /// Query (read) name.
+    pub query_name: String,
+    /// Query length.
+    pub query_len: usize,
+    /// Query start (0-based).
+    pub query_start: usize,
+    /// Query end (exclusive).
+    pub query_end: usize,
+    /// `+` or `-`.
+    pub strand: char,
+    /// Target name.
+    pub target_name: String,
+    /// Target length.
+    pub target_len: usize,
+    /// Target start.
+    pub target_start: usize,
+    /// Target end (exclusive).
+    pub target_end: usize,
+    /// Number of matching bases (we report minimizer hits × k).
+    pub matches: usize,
+    /// Alignment block length.
+    pub block_len: usize,
+    /// Mapping quality (0–255).
+    pub mapq: u8,
+}
+
+/// Error from PAF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PafError(pub String);
+
+impl fmt::Display for PafError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PAF error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PafError {}
+
+impl PafRecord {
+    /// Build a record from a mapper overlap.
+    pub fn from_overlap(
+        ovl: &Overlap,
+        query_name: impl Into<String>,
+        query_len: usize,
+        target_name: impl Into<String>,
+        target_len: usize,
+        k: usize,
+    ) -> Self {
+        let block_len =
+            (ovl.read_end - ovl.read_start).max(ovl.target_end - ovl.target_start);
+        PafRecord {
+            query_name: query_name.into(),
+            query_len,
+            query_start: ovl.read_start,
+            query_end: ovl.read_end,
+            strand: '+',
+            target_name: target_name.into(),
+            target_len,
+            target_start: ovl.target_start,
+            target_end: ovl.target_end,
+            matches: ovl.hits * k,
+            block_len,
+            mapq: 60,
+        }
+    }
+
+    /// Back to a mapper overlap (`read_idx` supplied by the caller).
+    pub fn to_overlap(&self, read_idx: usize) -> Overlap {
+        Overlap {
+            read_idx,
+            read_start: self.query_start,
+            read_end: self.query_end,
+            target_start: self.target_start,
+            target_end: self.target_end,
+            hits: self.matches.max(1),
+        }
+    }
+
+    /// Serialize as one PAF line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.query_name,
+            self.query_len,
+            self.query_start,
+            self.query_end,
+            self.strand,
+            self.target_name,
+            self.target_len,
+            self.target_start,
+            self.target_end,
+            self.matches,
+            self.block_len,
+            self.mapq
+        )
+    }
+
+    /// Parse one PAF line (extra optional columns are ignored).
+    pub fn parse_line(line: &str) -> Result<PafRecord, PafError> {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 12 {
+            return Err(PafError(format!("expected 12 columns, found {}", cols.len())));
+        }
+        let num = |i: usize| -> Result<usize, PafError> {
+            cols[i].parse().map_err(|_| PafError(format!("bad number in column {}", i + 1)))
+        };
+        let strand = match cols[4] {
+            "+" => '+',
+            "-" => '-',
+            other => return Err(PafError(format!("bad strand {other:?}"))),
+        };
+        let record = PafRecord {
+            query_name: cols[0].to_string(),
+            query_len: num(1)?,
+            query_start: num(2)?,
+            query_end: num(3)?,
+            strand,
+            target_name: cols[5].to_string(),
+            target_len: num(6)?,
+            target_start: num(7)?,
+            target_end: num(8)?,
+            matches: num(9)?,
+            block_len: num(10)?,
+            mapq: num(11)?.min(255) as u8,
+        };
+        if record.query_start > record.query_end
+            || record.query_end > record.query_len
+            || record.target_start > record.target_end
+            || record.target_end > record.target_len
+        {
+            return Err(PafError("inconsistent coordinates".to_string()));
+        }
+        Ok(record)
+    }
+}
+
+/// Serialize many records.
+pub fn write_paf(records: &[PafRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a PAF document (blank lines skipped).
+pub fn parse_paf(text: &str) -> Result<Vec<PafRecord>, PafError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(PafRecord::parse_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{MapperConfig, TargetIndex};
+    use crate::sim::genome::random_genome;
+
+    fn sample_record() -> PafRecord {
+        PafRecord {
+            query_name: "read_1".into(),
+            query_len: 2_000,
+            query_start: 15,
+            query_end: 1_980,
+            strand: '+',
+            target_name: "draft".into(),
+            target_len: 30_000,
+            target_start: 5_010,
+            target_end: 6_995,
+            matches: 615,
+            block_len: 1_985,
+            mapq: 60,
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_record() {
+        let r = sample_record();
+        assert_eq!(PafRecord::parse_line(&r.to_line()).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_document() {
+        let records = vec![sample_record(), {
+            let mut r = sample_record();
+            r.query_name = "read_2".into();
+            r.strand = '-';
+            r
+        }];
+        let text = write_paf(&records);
+        assert_eq!(parse_paf(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(PafRecord::parse_line("too\tfew\tcolumns").is_err());
+        let mut bad = sample_record().to_line();
+        bad = bad.replace("\t+\t", "\t?\t");
+        assert!(PafRecord::parse_line(&bad).is_err());
+        // end < start
+        let r = PafRecord { query_start: 100, query_end: 10, ..sample_record() };
+        assert!(PafRecord::parse_line(&r.to_line()).is_err());
+    }
+
+    #[test]
+    fn overlap_conversion_roundtrip() {
+        let genome = random_genome(10_000, 3);
+        let index = TargetIndex::build(&genome, MapperConfig::default());
+        let read = genome[2_000..4_000].to_string();
+        let ovl = index.map_read(0, &read).unwrap();
+        let paf = PafRecord::from_overlap(&ovl, "read_0", read.len(), "draft", genome.len(), 11);
+        assert_eq!(paf.query_start, ovl.read_start);
+        assert_eq!(paf.target_end, ovl.target_end);
+        let back = paf.to_overlap(0);
+        assert_eq!(back.read_start, ovl.read_start);
+        assert_eq!(back.read_end, ovl.read_end);
+        assert_eq!(back.target_start, ovl.target_start);
+        assert_eq!(back.target_end, ovl.target_end);
+    }
+
+    #[test]
+    fn mapper_output_serializes_cleanly() {
+        let genome = random_genome(20_000, 5);
+        let index = TargetIndex::build(&genome, MapperConfig::default());
+        let reads: Vec<String> =
+            (0..5).map(|i| genome[i * 2_000..i * 2_000 + 3_000].to_string()).collect();
+        let overlaps = index.map_all(&reads);
+        let records: Vec<PafRecord> = overlaps
+            .iter()
+            .map(|o| {
+                PafRecord::from_overlap(
+                    o,
+                    format!("read_{}", o.read_idx),
+                    reads[o.read_idx].len(),
+                    "draft",
+                    genome.len(),
+                    11,
+                )
+            })
+            .collect();
+        let text = write_paf(&records);
+        assert_eq!(parse_paf(&text).unwrap().len(), overlaps.len());
+        assert_eq!(text.lines().count(), overlaps.len());
+    }
+}

@@ -1,0 +1,423 @@
+//! Sequence-to-graph alignment and graph extension.
+//!
+//! Overlap-style alignment: the fragment may land anywhere inside the
+//! graph (free graph skips at both ends) and the fragment's *own* leading
+//! and trailing bases may be skipped for free (racon likewise trims
+//! fragment ends at its alignment breakpoints). Interior bases must align
+//! or pay gap costs. Skipped ends are not woven into the graph, so sloppy
+//! fragment breakpoints cannot inject garbage nodes.
+//!
+//! Supports the banding approximation the paper's experiments toggle
+//! (`--cudapoa-banded`): each node's DP columns are restricted to a band
+//! around its backbone-coordinate diagonal, trading long-indel accuracy
+//! for a large cut in computed cells; a banded pass that aligns less than
+//! half the fragment is re-run unbanded.
+
+use crate::poa::graph::PoaGraph;
+
+const MATCH: i32 = 2;
+const MISMATCH: i32 = -3;
+const GAP: i32 = -2;
+const NEG: i32 = i32::MIN / 4;
+
+/// Outcome of aligning and adding one sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignStats {
+    /// DP cells actually computed (the work-accounting unit for the
+    /// virtual-time cost model).
+    pub cells: u64,
+    /// Alignment score.
+    pub score: i32,
+    /// Whether the banded pass had to be redone unbanded.
+    pub band_fallback: bool,
+    /// Fragment bases actually woven into the graph (ends may be
+    /// trimmed).
+    pub aligned_bases: usize,
+}
+
+/// Per-position alignment outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Al {
+    /// Aligned to (matched or mismatched against) a graph node.
+    Node(usize),
+    /// Interior insertion: kept, becomes a new node.
+    Ins,
+    /// Leading/trailing skip: trimmed, never enters the graph.
+    Skip,
+}
+
+// Traceback codes.
+const TB_NONE: u8 = 0;
+const TB_DIAG: u8 = 1; // consume node + char
+const TB_UP: u8 = 2; // consume node (gap in sequence)
+const TB_LEFT: u8 = 3; // consume char (gap in graph)
+
+impl PoaGraph {
+    /// Align `seq` to the graph and weave it in. `band` of `None` runs the
+    /// full DP; `Some(b)` restricts each node's column range to ±`b`
+    /// around its backbone-coordinate diagonal, falling back to the full
+    /// DP when the banded alignment covers less than half the fragment.
+    pub fn add_sequence(&mut self, seq: &[u8], band: Option<usize>) -> AlignStats {
+        if seq.is_empty() {
+            return AlignStats { cells: 0, score: 0, band_fallback: false, aligned_bases: 0 };
+        }
+        if self.node_count() == 0 {
+            self.add_unaligned(seq);
+            return AlignStats {
+                cells: 0,
+                score: 0,
+                band_fallback: false,
+                aligned_bases: seq.len(),
+            };
+        }
+
+        let (mut stats, mut aligned) = self.align(seq, band);
+        if band.is_some() && aligned_span(&aligned) * 2 < seq.len() {
+            // Band missed the fragment's true diagonal: redo unbanded.
+            let (s2, a2) = self.align(seq, None);
+            stats = AlignStats { cells: stats.cells + s2.cells, band_fallback: true, ..s2 };
+            aligned = a2;
+        }
+
+        // Weave the aligned interior into the graph: matched nodes are
+        // reused; mismatches and interior insertions create new nodes;
+        // skipped ends are dropped.
+        let mut prev: Option<usize> = None;
+        let mut first: Option<usize> = None;
+        let mut woven = 0usize;
+        for (j, al) in aligned.iter().enumerate() {
+            let ch = seq[j];
+            let use_node = match al {
+                Al::Skip => continue,
+                Al::Node(v) if self.nodes[*v].base == ch => *v,
+                Al::Node(v) => {
+                    let pos = self.nodes[*v].pos;
+                    self.add_node(ch, pos)
+                }
+                Al::Ins => {
+                    let pos = prev.map(|p| self.nodes[p].pos + 1).unwrap_or(0);
+                    self.add_node(ch, pos)
+                }
+            };
+            woven += 1;
+            if let Some(p) = prev {
+                if p != use_node {
+                    self.add_edge(p, use_node, 1);
+                }
+            }
+            if first.is_none() {
+                first = Some(use_node);
+            }
+            prev = Some(use_node);
+        }
+        self.note_sequence_added(first);
+        stats.aligned_bases = woven;
+        stats
+    }
+
+    /// Core DP. Returns stats plus the per-position outcome.
+    fn align(&self, seq: &[u8], band: Option<usize>) -> (AlignStats, Vec<Al>) {
+        let order = self.topological_order();
+        let n = order.len();
+        let m = seq.len();
+        // rank[node] = row index (1-based; row 0 is the virtual start).
+        let mut rank = vec![0usize; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v] = r + 1;
+        }
+
+        let width = m + 1;
+        let mut h = vec![NEG; (n + 1) * width];
+        let mut tb = vec![TB_NONE; (n + 1) * width];
+        let mut tb_pred = vec![0u32; (n + 1) * width];
+
+        // Column range per row: banded rows are centered on the node's
+        // backbone coordinate scaled into fragment space (stays accurate
+        // as branch nodes accrete, since `pos` mirrors the backbone
+        // position they attach to).
+        let backbone = self.backbone_len.max(1);
+        let col_center = |node: usize| -> usize { (self.nodes[node].pos as usize * m) / backbone };
+        let col_range = |center: usize| -> (usize, usize) {
+            match band {
+                None => (0, m),
+                Some(b) => (center.saturating_sub(b), (center + b).min(m)),
+            }
+        };
+
+        // Row 0 (virtual start): leading fragment bases are free skips, so
+        // the whole row is 0 (and costs no DP cells).
+        for slot in h.iter_mut().take(width) {
+            *slot = 0;
+        }
+
+        // Best cell anywhere — trailing fragment bases after it are free
+        // skips.
+        let mut best_r = 0usize;
+        let mut best_j = 0usize;
+        let mut best_score = 0i32;
+
+        let mut cells: u64 = 0;
+        for (r0, &v) in order.iter().enumerate() {
+            let r = r0 + 1;
+            let (lo, hi) = col_range(col_center(v));
+            let row = r * width;
+            if lo == 0 {
+                // Free leading graph skip.
+                h[row] = 0;
+                tb[row] = TB_NONE;
+            }
+            let preds: &[(usize, u32)] = &self.nodes[v].in_edges;
+            for j in lo.max(1)..=hi {
+                cells += 1;
+                let ch = seq[j - 1];
+                let sub = if self.nodes[v].base == ch { MATCH } else { MISMATCH };
+                let mut best = NEG;
+                let mut best_tb = TB_NONE;
+                let mut best_pred = 0u32;
+
+                if preds.is_empty() {
+                    let diag = h[j - 1].saturating_add(sub);
+                    if diag > best {
+                        best = diag;
+                        best_tb = TB_DIAG;
+                        best_pred = 0;
+                    }
+                    let up = h[j].saturating_add(GAP);
+                    if up > best {
+                        best = up;
+                        best_tb = TB_UP;
+                        best_pred = 0;
+                    }
+                } else {
+                    for &(p, _) in preds {
+                        let pr = rank[p];
+                        let prow = pr * width;
+                        let diag = h[prow + j - 1].saturating_add(sub);
+                        if diag > best {
+                            best = diag;
+                            best_tb = TB_DIAG;
+                            best_pred = pr as u32;
+                        }
+                        let up = h[prow + j].saturating_add(GAP);
+                        if up > best {
+                            best = up;
+                            best_tb = TB_UP;
+                            best_pred = pr as u32;
+                        }
+                    }
+                }
+                let left = h[row + j - 1].saturating_add(GAP);
+                if left > best {
+                    best = left;
+                    best_tb = TB_LEFT;
+                    best_pred = r as u32;
+                }
+                h[row + j] = best;
+                tb[row + j] = best_tb;
+                tb_pred[row + j] = best_pred;
+                if best > best_score {
+                    best_score = best;
+                    best_r = r;
+                    best_j = j;
+                }
+            }
+        }
+
+        let mut aligned = vec![Al::Skip; m];
+        if best_score <= 0 {
+            // Nothing aligned: the fragment does not belong to this graph
+            // (or the band missed entirely — the caller's span check
+            // triggers the fallback).
+            return (
+                AlignStats { cells, score: best_score, band_fallback: false, aligned_bases: 0 },
+                aligned,
+            );
+        }
+
+        // Traceback from the best cell; chars after `best_j` stay Skip.
+        let mut r = best_r;
+        let mut j = best_j;
+        while j > 0 && r > 0 {
+            let idx = r * width + j;
+            match tb[idx] {
+                TB_DIAG => {
+                    aligned[j - 1] = Al::Node(order[r - 1]);
+                    r = tb_pred[idx] as usize;
+                    j -= 1;
+                }
+                TB_LEFT => {
+                    aligned[j - 1] = Al::Ins;
+                    j -= 1;
+                }
+                TB_UP => {
+                    r = tb_pred[idx] as usize;
+                }
+                _ => break, // free-start cell: leading chars stay Skip
+            }
+        }
+        (
+            AlignStats { cells, score: best_score, band_fallback: false, aligned_bases: 0 },
+            aligned,
+        )
+    }
+}
+
+fn aligned_span(aligned: &[Al]) -> usize {
+    aligned.iter().filter(|a| !matches!(a, Al::Skip)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::genome::random_genome;
+    use crate::sim::reads::{mutate_sequence, ErrorModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_sequence_reuses_all_nodes() {
+        let mut g = PoaGraph::from_sequence(b"ACGTACGTAC");
+        let before = g.node_count();
+        let stats = g.add_sequence(b"ACGTACGTAC", None);
+        assert_eq!(g.node_count(), before, "no new nodes for a perfect match");
+        assert_eq!(stats.score, 10 * MATCH);
+        assert_eq!(stats.aligned_bases, 10);
+        assert_eq!(g.consensus(), "ACGTACGTAC");
+    }
+
+    #[test]
+    fn substring_aligns_in_place() {
+        let mut g = PoaGraph::from_sequence(b"AAAACGTACGTTTT");
+        let before = g.node_count();
+        g.add_sequence(b"ACGTACG", None);
+        assert_eq!(g.node_count(), before);
+        assert_eq!(g.consensus(), "AAAACGTACGTTTT");
+    }
+
+    #[test]
+    fn overhanging_ends_are_trimmed_not_woven() {
+        // The fragment extends 6 bases past each end of the backbone;
+        // those bases must be skipped, not added as dangling nodes.
+        let g_backbone = b"ACGTACGTACGTACGTACGT";
+        let mut g = PoaGraph::from_sequence(g_backbone);
+        let before = g.node_count();
+        let frag = b"TTTTTTACGTACGTACGTACGTACGTGGGGGG";
+        let stats = g.add_sequence(frag, None);
+        assert!(stats.aligned_bases <= g_backbone.len() + 8);
+        assert!(g.node_count() <= before + 8, "{} vs {}", g.node_count(), before);
+        assert_eq!(g.consensus_anchored(), "ACGTACGTACGTACGTACGT");
+    }
+
+    #[test]
+    fn unrelated_sequence_not_woven() {
+        let mut g = PoaGraph::from_sequence(b"AAAAAAAAAAAAAAAAAAAA");
+        let before = g.node_count();
+        let stats = g.add_sequence(b"CCCCCCCCCCCCCCCCCCCC", None);
+        assert_eq!(stats.aligned_bases, 0);
+        assert_eq!(g.node_count(), before);
+    }
+
+    #[test]
+    fn consensus_corrects_draft_errors() {
+        // Draft has one wrong base; three accurate reads out-vote it.
+        let truth = b"ACGTACGTACGTACGTACGT";
+        let mut draft = truth.to_vec();
+        draft[10] = b'T'; // truth has C at 10
+        assert_ne!(draft[10], truth[10]);
+        let mut g = PoaGraph::from_sequence(&draft);
+        for _ in 0..3 {
+            g.add_sequence(truth, None);
+        }
+        assert_eq!(g.consensus_anchored().as_bytes(), truth);
+    }
+
+    #[test]
+    fn consensus_fixes_deletion_in_draft() {
+        let truth = b"ACGTACGTACGTACGTACGT";
+        let mut draft = truth.to_vec();
+        draft.remove(8);
+        let mut g = PoaGraph::from_sequence(&draft);
+        for _ in 0..3 {
+            g.add_sequence(truth, None);
+        }
+        assert_eq!(g.consensus_anchored().as_bytes(), truth);
+    }
+
+    #[test]
+    fn noisy_reads_still_converge_to_truth() {
+        let truth = random_genome(300, 77);
+        let draft = {
+            let mut rng = StdRng::seed_from_u64(1);
+            mutate_sequence(&truth, &ErrorModel::pacbio().scaled(2.0), &mut rng)
+        };
+        let mut g = PoaGraph::from_sequence(draft.as_bytes());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..12 {
+            let read = mutate_sequence(&truth, &ErrorModel::pacbio(), &mut rng);
+            g.add_sequence(read.as_bytes(), None);
+        }
+        let consensus = g.consensus_anchored();
+        let before = crate::align::identity(&draft, &truth);
+        let after = crate::align::identity(&consensus, &truth);
+        assert!(
+            after > before && after > 0.97,
+            "consensus identity {after:.4} (draft was {before:.4})"
+        );
+    }
+
+    #[test]
+    fn banded_alignment_computes_fewer_cells() {
+        let truth = random_genome(400, 5);
+        let mut g_full = PoaGraph::from_sequence(truth.as_bytes());
+        let mut g_band = PoaGraph::from_sequence(truth.as_bytes());
+        let mut rng = StdRng::seed_from_u64(3);
+        let read = mutate_sequence(&truth, &ErrorModel::pacbio(), &mut rng);
+        let full = g_full.add_sequence(read.as_bytes(), None);
+        let banded = g_band.add_sequence(read.as_bytes(), Some(50));
+        assert!(!banded.band_fallback);
+        assert!(banded.cells < full.cells / 2, "{} vs {}", banded.cells, full.cells);
+        // The banded weave still aligned essentially the whole read.
+        assert!(banded.aligned_bases * 10 >= read.len() * 9);
+    }
+
+    #[test]
+    fn misplaced_band_falls_back_to_full_dp() {
+        // The fragment matches the END of the backbone; a band centered
+        // on proportional coordinates looks at the wrong columns and
+        // aligns almost nothing, so the aligner redoes the work unbanded.
+        let backbone = random_genome(600, 11);
+        let frag = backbone[500..600].to_string();
+        let mut g = PoaGraph::from_sequence(backbone.as_bytes());
+        let stats = g.add_sequence(frag.as_bytes(), Some(8));
+        assert!(stats.band_fallback);
+        assert!(stats.aligned_bases >= 95, "{}", stats.aligned_bases);
+        // No duplicate nodes: the fragment matched existing ones.
+        assert_eq!(g.node_count(), 600);
+    }
+
+    #[test]
+    fn empty_sequence_is_noop() {
+        let mut g = PoaGraph::from_sequence(b"ACGT");
+        let stats = g.add_sequence(b"", None);
+        assert_eq!(stats.cells, 0);
+        assert_eq!(g.sequence_count(), 1);
+    }
+
+    #[test]
+    fn add_to_empty_graph_seeds_backbone() {
+        let mut g = PoaGraph::new();
+        g.add_sequence(b"ACGT", None);
+        assert_eq!(g.consensus(), "ACGT");
+    }
+
+    #[test]
+    fn cells_scale_with_problem_size() {
+        let a = random_genome(100, 1);
+        let b = random_genome(200, 2);
+        let mut g1 = PoaGraph::from_sequence(a.as_bytes());
+        let s1 = g1.add_sequence(a.as_bytes(), None);
+        let mut g2 = PoaGraph::from_sequence(b.as_bytes());
+        let s2 = g2.add_sequence(b.as_bytes(), None);
+        assert!(s2.cells > 3 * s1.cells);
+    }
+}

@@ -1,0 +1,15 @@
+//! Partial-order alignment (POA) graphs and consensus calling.
+//!
+//! Racon's core algorithm: reads covering a window are aligned one by one
+//! into a DAG whose edge weights count how many sequences traverse each
+//! transition; the consensus is the heaviest path. This is the computation
+//! the ClaraGenomics CUDA kernels (`generatePOAKernel`,
+//! `generateConsensusKernel`) implement on the GPU; here the same
+//! algorithm runs in Rust for both the CPU and (virtually timed) GPU
+//! paths.
+
+pub mod align;
+pub mod graph;
+
+pub use align::AlignStats;
+pub use graph::PoaGraph;

@@ -1,0 +1,26 @@
+//! A Racon-style consensus polisher.
+//!
+//! Pipeline (mirroring Vaser et al. and the racon-gpu port the paper
+//! runs):
+//!
+//! 1. **Load** — draft assembly + reads (+ overlaps; computed with the
+//!    minimizer mapper when absent).
+//! 2. **Window** — the draft is split into fixed-length windows; mapped
+//!    read fragments are assigned to the windows they cover.
+//! 3. **Polish** — each window seeds a POA graph with its backbone and
+//!    aligns its fragments in; the window consensus is the heaviest path.
+//!    * CPU path: windows in parallel via rayon (`-t` threads).
+//!    * GPU path: windows grouped into `--cudapoa-batches` batches; each
+//!      batch is a H2D copy + `generatePOAKernel` +
+//!      `generateConsensusKernel` + D2H copy on the simulated device.
+//! 4. **Concatenate** window consensuses into the polished assembly.
+//!
+//! Both paths run the *same* real POA computation (results are
+//! byte-identical); they differ in the virtual-time cost model applied.
+
+pub mod model;
+pub mod pipeline;
+pub mod windows;
+
+pub use pipeline::{polish_cpu, polish_gpu, RaconInput, RaconOpts, RaconReport};
+pub use windows::{build_windows, WindowTask};

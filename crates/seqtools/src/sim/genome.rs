@@ -1,0 +1,78 @@
+//! Random reference genome generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// Generate a random genome of `len` bases with a mild GC skew, seeded for
+/// reproducibility.
+pub fn random_genome(len: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut genome = String::with_capacity(len);
+    for _ in 0..len {
+        // 42% GC content, typical for the bacterial genomes the Bonito
+        // datasets cover.
+        let roll: f64 = rng.gen();
+        let base = if roll < 0.29 {
+            'A'
+        } else if roll < 0.58 {
+            'T'
+        } else if roll < 0.79 {
+            'G'
+        } else {
+            'C'
+        };
+        genome.push(base);
+    }
+    genome
+}
+
+/// Uniform random base.
+pub fn random_base(rng: &mut StdRng) -> char {
+    BASES[rng.gen_range(0..4)]
+}
+
+/// A random base different from `not`.
+pub fn random_other_base(rng: &mut StdRng, not: char) -> char {
+    loop {
+        let b = random_base(rng);
+        if b != not {
+            return b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(random_genome(500, 7), random_genome(500, 7));
+        assert_ne!(random_genome(500, 7), random_genome(500, 8));
+    }
+
+    #[test]
+    fn length_and_alphabet() {
+        let g = random_genome(1000, 1);
+        assert_eq!(g.len(), 1000);
+        assert!(g.chars().all(|c| matches!(c, 'A' | 'C' | 'G' | 'T')));
+    }
+
+    #[test]
+    fn gc_content_in_expected_band() {
+        let g = random_genome(50_000, 3);
+        let gc = g.chars().filter(|c| matches!(c, 'G' | 'C')).count() as f64 / g.len() as f64;
+        assert!(gc > 0.38 && gc < 0.46, "gc = {gc}");
+    }
+
+    #[test]
+    fn other_base_differs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let not = random_base(&mut rng);
+            assert_ne!(random_other_base(&mut rng, not), not);
+        }
+    }
+}

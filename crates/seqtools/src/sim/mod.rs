@@ -1,0 +1,15 @@
+//! Synthetic data generation: genomes, error-modelled long reads, and
+//! nanopore squiggle signals.
+//!
+//! Stands in for the paper's datasets (Alzheimer IsoSeq from PacBio for
+//! Racon; Acinetobacter/Klebsiella raw fast5 from Oxford Nanopore for
+//! Bonito), which are multi-GB downloads we cannot ship. Everything is
+//! seeded and deterministic.
+
+pub mod genome;
+pub mod reads;
+pub mod squiggle;
+
+pub use genome::random_genome;
+pub use reads::{mutate_sequence, sample_reads, ErrorModel};
+pub use squiggle::{simulate_squiggle, PoreModel};

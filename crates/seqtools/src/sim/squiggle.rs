@@ -1,0 +1,144 @@
+//! Nanopore squiggle (raw current signal) simulation — the `.fast5` input
+//! of the Bonito basecaller.
+//!
+//! A pore model maps each k-mer in the pore to an expected current level;
+//! the strand translocates at a variable dwell time per base, and the
+//! measured signal is the level plus Gaussian noise. This reproduces the
+//! structure of real basecaller input well enough to drive the network.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic k-mer → current-level pore model.
+#[derive(Debug, Clone)]
+pub struct PoreModel {
+    /// k-mer length in the pore (R9-style models use 6).
+    pub k: usize,
+    /// Mean samples per base (translocation speed / sample rate).
+    pub dwell_mean: f64,
+    /// Standard deviation of the measurement noise, in normalized pA.
+    pub noise_sd: f64,
+}
+
+impl Default for PoreModel {
+    fn default() -> Self {
+        PoreModel { k: 6, dwell_mean: 10.0, noise_sd: 0.08 }
+    }
+}
+
+impl PoreModel {
+    /// Expected (noise-free) current level for a k-mer, in [-1, 1].
+    ///
+    /// Uses a splitmix-style hash of the k-mer's 2-bit encoding so the
+    /// mapping is fixed, smooth-ish in distribution, and dependency-free.
+    pub fn level(&self, kmer: &[u8]) -> f32 {
+        debug_assert_eq!(kmer.len(), self.k);
+        let mut code: u64 = 0;
+        for &b in kmer {
+            code = (code << 2)
+                | match b {
+                    b'A' => 0,
+                    b'C' => 1,
+                    b'G' => 2,
+                    b'T' => 3,
+                    _ => 0, // N behaves like A
+                };
+        }
+        let mut z = code.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        // Map to [-1, 1].
+        (z as f64 / u64::MAX as f64 * 2.0 - 1.0) as f32
+    }
+}
+
+/// Simulate the raw signal for `sequence`. Returns one `f32` sample per
+/// measurement; the expected number of samples is
+/// `sequence.len() × dwell_mean`.
+pub fn simulate_squiggle(sequence: &str, model: &PoreModel, seed: u64) -> Vec<f32> {
+    let bytes = sequence.as_bytes();
+    if bytes.len() < model.k {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut signal = Vec::with_capacity((bytes.len() as f64 * model.dwell_mean) as usize);
+    for window in bytes.windows(model.k) {
+        let level = model.level(window);
+        // Dwell varies 50%–150% of the mean, minimum 1 sample.
+        let dwell = (model.dwell_mean * rng.gen_range(0.5..1.5)).max(1.0) as usize;
+        for _ in 0..dwell {
+            // Box–Muller Gaussian noise.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen();
+            let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            signal.push(level + (gauss * model.noise_sd) as f32);
+        }
+    }
+    signal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let m = PoreModel::default();
+        let a = simulate_squiggle("ACGTACGTACGTACGT", &m, 7);
+        let b = simulate_squiggle("ACGTACGTACGTACGT", &m, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_count_tracks_dwell() {
+        let m = PoreModel::default();
+        let seq: String = std::iter::repeat_n("ACGT", 500).collect::<String>();
+        let sig = simulate_squiggle(&seq, &m, 1);
+        let expected = (seq.len() - m.k + 1) as f64 * m.dwell_mean;
+        let ratio = sig.len() as f64 / expected;
+        assert!(ratio > 0.9 && ratio < 1.1, "{ratio}");
+    }
+
+    #[test]
+    fn levels_are_fixed_per_kmer() {
+        let m = PoreModel::default();
+        assert_eq!(m.level(b"ACGTAC"), m.level(b"ACGTAC"));
+        assert_ne!(m.level(b"ACGTAC"), m.level(b"ACGTAG"));
+    }
+
+    #[test]
+    fn levels_bounded() {
+        let m = PoreModel::default();
+        for kmer in [b"AAAAAA", b"TTTTTT", b"GCGCGC", b"ACGTAC"] {
+            let l = m.level(kmer);
+            assert!((-1.0..=1.0).contains(&l), "{l}");
+        }
+    }
+
+    #[test]
+    fn different_sequences_give_different_signals() {
+        let m = PoreModel::default();
+        let a = simulate_squiggle("ACGTACGTACGTACGTACGT", &m, 3);
+        let b = simulate_squiggle("TGCATGCATGCATGCATGCA", &m, 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn too_short_sequence_is_empty() {
+        let m = PoreModel::default();
+        assert!(simulate_squiggle("ACG", &m, 1).is_empty());
+    }
+
+    #[test]
+    fn noise_present_but_bounded() {
+        let m = PoreModel { noise_sd: 0.05, ..PoreModel::default() };
+        let seq: String = std::iter::repeat_n('A', 100).collect();
+        let sig = simulate_squiggle(&seq, &m, 9);
+        // Single k-mer level; samples scatter around it.
+        let level = m.level(b"AAAAAA");
+        let mean: f32 = sig.iter().sum::<f32>() / sig.len() as f32;
+        assert!((mean - level).abs() < 0.05);
+        assert!(sig.iter().any(|&s| (s - level).abs() > 1e-6));
+    }
+}

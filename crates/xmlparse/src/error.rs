@@ -1,0 +1,117 @@
+//! Error types for XML lexing and parsing.
+
+use std::fmt;
+
+/// The category of failure encountered while lexing or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct (tag, comment, CDATA, ...).
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</b>` closed an element opened as `<a>`.
+    MismatchedTag { open: String, close: String },
+    /// A close tag appeared with no matching open tag.
+    UnmatchedClose(String),
+    /// The document contained no root element.
+    NoRootElement,
+    /// Content found after the root element closed.
+    TrailingContent,
+    /// More than one top-level element.
+    MultipleRoots,
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute(String),
+    /// An entity reference (`&...;`) that is malformed or unknown.
+    BadEntity(String),
+    /// An element or attribute name that is empty or starts illegally.
+    BadName(String),
+    /// Element nesting exceeded the parser's depth limit.
+    TooDeep(usize),
+}
+
+/// An error produced while parsing XML, with a byte offset and 1-based
+/// line/column coordinates into the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub column: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, offset: usize, src: &str) -> Self {
+        let mut line = 1usize;
+        let mut column = 1usize;
+        for (i, ch) in src.char_indices() {
+            if i >= offset {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        ParseError { kind, offset, line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at line {} column {}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::MismatchedTag { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")
+            }
+            ParseErrorKind::UnmatchedClose(name) => {
+                write!(f, "close tag </{name}> has no matching open tag")
+            }
+            ParseErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ParseErrorKind::TrailingContent => write!(f, "content after root element"),
+            ParseErrorKind::MultipleRoots => write!(f, "more than one root element"),
+            ParseErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            ParseErrorKind::BadEntity(e) => write!(f, "bad entity reference {e:?}"),
+            ParseErrorKind::BadName(n) => write!(f, "illegal name {n:?}"),
+            ParseErrorKind::TooDeep(limit) => {
+                write!(f, "element nesting exceeds the depth limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_column_from_offset() {
+        let src = "ab\ncd\nef";
+        let e = ParseError::new(ParseErrorKind::UnexpectedEof, 4, src);
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 2);
+    }
+
+    #[test]
+    fn display_mismatched() {
+        let e = ParseError::new(
+            ParseErrorKind::MismatchedTag { open: "a".into(), close: "b".into() },
+            0,
+            "",
+        );
+        let s = e.to_string();
+        assert!(s.contains("</b>"));
+        assert!(s.contains("<a>"));
+    }
+}

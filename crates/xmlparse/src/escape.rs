@@ -1,0 +1,153 @@
+//! Entity escaping and unescaping for XML text and attribute values.
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// Escape a string for use as XML element text (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a string for use as a double-quoted XML attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolve the five predefined entities and decimal/hex character
+/// references in `s`. `offset` is the byte position of `s` in the original
+/// document, used only for error coordinates.
+pub fn unescape(s: &str, offset: usize, src: &str) -> Result<String, ParseError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Advance over one UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        let semi = s[i..].find(';').map(|p| i + p);
+        let semi = match semi {
+            Some(p) if p - i <= 10 => p,
+            _ => {
+                return Err(ParseError::new(
+                    ParseErrorKind::BadEntity(truncate(&s[i..], 12)),
+                    offset + i,
+                    src,
+                ))
+            }
+        };
+        let ent = &s[i + 1..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16).ok();
+                push_code(&mut out, code, ent, offset + i, src)?;
+            }
+            _ if ent.starts_with('#') => {
+                let code = ent[1..].parse::<u32>().ok();
+                push_code(&mut out, code, ent, offset + i, src)?;
+            }
+            _ => {
+                return Err(ParseError::new(
+                    ParseErrorKind::BadEntity(ent.to_string()),
+                    offset + i,
+                    src,
+                ))
+            }
+        }
+        i = semi + 1;
+    }
+    Ok(out)
+}
+
+fn push_code(
+    out: &mut String,
+    code: Option<u32>,
+    ent: &str,
+    offset: usize,
+    src: &str,
+) -> Result<(), ParseError> {
+    match code.and_then(char::from_u32) {
+        Some(c) => {
+            out.push(c);
+            Ok(())
+        }
+        None => Err(ParseError::new(ParseErrorKind::BadEntity(ent.to_string()), offset, src)),
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    s.chars().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_then_unescape_text() {
+        let orig = "a < b && c > \"d\"";
+        let escaped = escape_text(orig);
+        assert_eq!(unescape(&escaped, 0, "").unwrap(), orig);
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr("a\"b'c"), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;", 0, "").unwrap(), "AB");
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(unescape("héllo&amp;é", 0, "").unwrap(), "héllo&é");
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        assert!(unescape("&bogus;", 0, "&bogus;").is_err());
+        assert!(unescape("&noending", 0, "&noending").is_err());
+        assert!(unescape("&#x110000;", 0, "").is_err());
+    }
+}

@@ -1,0 +1,345 @@
+//! A pull-based XML lexer producing a flat stream of [`Token`]s.
+//!
+//! The lexer handles tag boundaries, attribute lists, text runs, comments,
+//! CDATA sections, and processing instructions / XML declarations. Entity
+//! resolution is done here for text and attribute values so the parser only
+//! ever sees decoded strings.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::escape::unescape;
+
+/// A single lexical event in an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" ...>` — `self_closing` is true for `<name/>`.
+    OpenTag { name: String, attributes: Vec<(String, String)>, self_closing: bool },
+    /// `</name>`
+    CloseTag { name: String },
+    /// A run of character data with entities resolved.
+    Text(String),
+    /// `<!-- ... -->` (content without the delimiters).
+    Comment(String),
+    /// `<![CDATA[ ... ]]>` (content without the delimiters).
+    CData(String),
+    /// `<?target content?>` — includes the XML declaration.
+    ProcessingInstruction(String),
+    /// `<!DOCTYPE ...>` — content is kept verbatim and otherwise ignored.
+    Doctype(String),
+}
+
+/// Streaming tokenizer over an XML source string.
+pub struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    /// Current byte offset into the source.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn err(&self, kind: ParseErrorKind, at: usize) -> ParseError {
+        ParseError::new(kind, at, self.src)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos += ch.len_utf8();
+        Some(ch)
+    }
+
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            self.pos += prefix.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Produce the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        if self.rest().starts_with('<') {
+            self.lex_markup().map(Some)
+        } else {
+            self.lex_text().map(Some)
+        }
+    }
+
+    fn lex_text(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        let end = self.rest().find('<').map(|p| self.pos + p).unwrap_or(self.src.len());
+        let raw = &self.src[start..end];
+        self.pos = end;
+        let text = unescape(raw, start, self.src)?;
+        Ok(Token::Text(text))
+    }
+
+    fn lex_markup(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        let consumed = self.eat("<");
+        debug_assert!(consumed);
+        if self.eat("!--") {
+            return self.lex_comment(start);
+        }
+        if self.eat("![CDATA[") {
+            return self.lex_cdata(start);
+        }
+        if self.eat("!DOCTYPE") || self.eat("!doctype") {
+            return self.lex_doctype(start);
+        }
+        if self.eat("?") {
+            return self.lex_pi(start);
+        }
+        if self.eat("/") {
+            let name = self.lex_name(start)?;
+            self.skip_ws();
+            if !self.eat(">") {
+                return Err(self.err(
+                    match self.peek() {
+                        Some(c) => ParseErrorKind::UnexpectedChar(c),
+                        None => ParseErrorKind::UnexpectedEof,
+                    },
+                    self.pos,
+                ));
+            }
+            return Ok(Token::CloseTag { name });
+        }
+        // Open tag.
+        let name = self.lex_name(start)?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof, self.pos)),
+                Some('>') => {
+                    self.bump();
+                    return Ok(Token::OpenTag { name, attributes, self_closing: false });
+                }
+                Some('/') => {
+                    self.bump();
+                    if !self.eat(">") {
+                        return Err(self.err(ParseErrorKind::UnexpectedChar('/'), self.pos - 1));
+                    }
+                    return Ok(Token::OpenTag { name, attributes, self_closing: true });
+                }
+                Some(_) => {
+                    let (k, v) = self.lex_attribute()?;
+                    if attributes.iter().any(|(ek, _)| ek == &k) {
+                        return Err(self.err(ParseErrorKind::DuplicateAttribute(k), self.pos));
+                    }
+                    attributes.push((k, v));
+                }
+            }
+        }
+    }
+
+    fn lex_name(&mut self, err_at: usize) -> Result<String, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        let name = &self.src[start..self.pos];
+        if name.is_empty() || name.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '.')
+        {
+            return Err(self.err(ParseErrorKind::BadName(name.to_string()), err_at));
+        }
+        Ok(name.to_string())
+    }
+
+    fn lex_attribute(&mut self) -> Result<(String, String), ParseError> {
+        let key = self.lex_name(self.pos)?;
+        self.skip_ws();
+        if !self.eat("=") {
+            // Attribute without a value, e.g. HTML-style boolean — not valid
+            // XML, reject with a helpful position.
+            return Err(self.err(
+                match self.peek() {
+                    Some(c) => ParseErrorKind::UnexpectedChar(c),
+                    None => ParseErrorKind::UnexpectedEof,
+                },
+                self.pos,
+            ));
+        }
+        self.skip_ws();
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(self.err(ParseErrorKind::UnexpectedChar(c), self.pos - 1)),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof, self.pos)),
+        };
+        let vstart = self.pos;
+        let vend = self.rest().find(quote).map(|p| self.pos + p).ok_or_else(|| {
+            self.err(ParseErrorKind::UnexpectedEof, self.src.len())
+        })?;
+        let raw = &self.src[vstart..vend];
+        self.pos = vend + 1;
+        let value = unescape(raw, vstart, self.src)?;
+        Ok((key, value))
+    }
+
+    fn lex_comment(&mut self, start: usize) -> Result<Token, ParseError> {
+        let end = self
+            .rest()
+            .find("-->")
+            .map(|p| self.pos + p)
+            .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof, start))?;
+        let content = self.src[self.pos..end].to_string();
+        self.pos = end + 3;
+        Ok(Token::Comment(content))
+    }
+
+    fn lex_cdata(&mut self, start: usize) -> Result<Token, ParseError> {
+        let end = self
+            .rest()
+            .find("]]>")
+            .map(|p| self.pos + p)
+            .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof, start))?;
+        let content = self.src[self.pos..end].to_string();
+        self.pos = end + 3;
+        Ok(Token::CData(content))
+    }
+
+    fn lex_doctype(&mut self, start: usize) -> Result<Token, ParseError> {
+        // Doctype may contain a bracketed internal subset; track nesting of
+        // '[' ']' before the closing '>'.
+        let mut depth = 0usize;
+        let content_start = self.pos;
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof, start)),
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => {
+                    let content = self.src[content_start..self.pos - 1].trim().to_string();
+                    return Ok(Token::Doctype(content));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn lex_pi(&mut self, start: usize) -> Result<Token, ParseError> {
+        let end = self
+            .rest()
+            .find("?>")
+            .map(|p| self.pos + p)
+            .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof, start))?;
+        let content = self.src[self.pos..end].to_string();
+        self.pos = end + 2;
+        Ok(Token::ProcessingInstruction(content))
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(src: &str) -> Vec<Token> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        while let Some(t) = lx.next_token().unwrap() {
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn open_close_and_text() {
+        let toks = all_tokens("<a>hi</a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::OpenTag { name: "a".into(), attributes: vec![], self_closing: false },
+                Token::Text("hi".into()),
+                Token::CloseTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let toks = all_tokens(r#"<param name="threads" value='4'/>"#);
+        assert_eq!(
+            toks,
+            vec![Token::OpenTag {
+                name: "param".into(),
+                attributes: vec![
+                    ("name".into(), "threads".into()),
+                    ("value".into(), "4".into())
+                ],
+                self_closing: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn comment_cdata_pi_doctype() {
+        let toks = all_tokens(
+            "<?xml version=\"1.0\"?><!DOCTYPE nvidia_smi_log><!--note--><r><![CDATA[a<b]]></r>",
+        );
+        assert!(matches!(&toks[0], Token::ProcessingInstruction(p) if p.contains("version")));
+        assert!(matches!(&toks[1], Token::Doctype(d) if d == "nvidia_smi_log"));
+        assert_eq!(toks[2], Token::Comment("note".into()));
+        assert_eq!(toks[4], Token::CData("a<b".into()));
+    }
+
+    #[test]
+    fn entity_in_text_and_attr() {
+        let toks = all_tokens(r#"<a v="x &amp; y">1 &lt; 2</a>"#);
+        match &toks[0] {
+            Token::OpenTag { attributes, .. } => {
+                assert_eq!(attributes[0].1, "x & y");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(toks[1], Token::Text("1 < 2".into()));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut lx = Lexer::new(r#"<a x="1" x="2"/>"#);
+        assert!(matches!(
+            lx.next_token().unwrap_err().kind,
+            ParseErrorKind::DuplicateAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn unterminated_comment_is_eof() {
+        let mut lx = Lexer::new("<!-- never ends");
+        assert!(matches!(lx.next_token().unwrap_err().kind, ParseErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_name_rejected() {
+        let mut lx = Lexer::new("<1bad/>");
+        assert!(matches!(lx.next_token().unwrap_err().kind, ParseErrorKind::BadName(_)));
+    }
+}

@@ -1,0 +1,60 @@
+//! # xmlparse
+//!
+//! A minimal, dependency-free XML library providing a lexer, a recursive
+//! descent parser producing a DOM tree, BeautifulSoup-style query helpers
+//! (`find` / `find_all`), and a writer that serializes the DOM back to text.
+//!
+//! This crate is one of the substrates of the GYAN reproduction: the Galaxy
+//! framework stores tool wrappers and job configuration as XML, and GYAN's
+//! multi-GPU allocation logic parses the XML output of `nvidia-smi -q -x`
+//! (the paper uses `lxml`/`BeautifulSoup` for the same purpose).
+//!
+//! The supported XML subset covers everything those documents need:
+//! elements, attributes (single or double quoted), text, comments, CDATA
+//! sections, processing instructions / XML declarations, and the five
+//! predefined entities plus decimal/hex character references.
+//!
+//! ```
+//! use xmlparse::{parse, Element};
+//!
+//! let doc = parse(r#"<tool id="racon" name="Racon">
+//!     <requirements>
+//!         <requirement type="compute" version="0,1">gpu</requirement>
+//!     </requirements>
+//! </tool>"#).unwrap();
+//! let root = doc.root();
+//! assert_eq!(root.name(), "tool");
+//! assert_eq!(root.attr("id"), Some("racon"));
+//! let req = root.find("requirement").unwrap();
+//! assert_eq!(req.text(), "gpu");
+//! assert_eq!(req.attr("version"), Some("0,1"));
+//! ```
+
+mod dom;
+mod error;
+mod escape;
+mod lexer;
+mod parser;
+mod writer;
+
+pub use dom::{Document, Element, Node};
+pub use error::{ParseError, ParseErrorKind};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use lexer::{Lexer, Token};
+pub use parser::parse;
+pub use writer::{write_document, write_element, WriteOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_roundtrip() {
+        let src = r#"<a x="1"><b>hi</b><!--c--></a>"#;
+        let doc = parse(src).unwrap();
+        let out = write_document(&doc, &WriteOptions::compact());
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(doc.root().name(), doc2.root().name());
+        assert_eq!(doc.root().find("b").unwrap().text(), "hi");
+    }
+}

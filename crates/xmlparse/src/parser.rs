@@ -1,0 +1,273 @@
+//! Recursive-descent parser assembling the token stream into a [`Document`].
+
+use crate::dom::{Document, Element, Node};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::{Lexer, Token};
+
+/// Maximum element nesting depth. The post-parse passes (and many
+/// consumers) walk the tree recursively; the limit keeps adversarial
+/// inputs from overflowing the stack. Galaxy documents nest ~6 deep.
+pub const MAX_DEPTH: usize = 256;
+
+/// Parse a complete XML document from `src`.
+///
+/// Whitespace-only text between elements is dropped (Galaxy wrappers are
+/// pretty-printed; the insignificant indentation would otherwise pollute the
+/// tree), but text inside elements that also contain non-whitespace text is
+/// kept verbatim.
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut prolog = Vec::new();
+    let mut root: Option<Element> = None;
+    // Stack of open elements.
+    let mut stack: Vec<Element> = Vec::new();
+
+    while let Some(token) = lexer.next_token()? {
+        let offset = lexer.offset();
+        match token {
+            Token::ProcessingInstruction(pi) => {
+                if stack.is_empty() && root.is_none() {
+                    prolog.push(pi);
+                }
+                // PIs inside the tree are ignored: nothing in Galaxy or
+                // nvidia-smi output uses them.
+            }
+            Token::Doctype(_) => {}
+            Token::Comment(c) => {
+                if let Some(top) = stack.last_mut() {
+                    top.push(Node::Comment(c));
+                }
+            }
+            Token::CData(c) => match stack.last_mut() {
+                Some(top) => top.push(Node::CData(c)),
+                None => {
+                    if !c.trim().is_empty() {
+                        return Err(err_at(src, offset, top_level_kind(&root)));
+                    }
+                }
+            },
+            Token::Text(t) => match stack.last_mut() {
+                Some(top) => {
+                    if !t.is_empty() {
+                        top.push(Node::Text(t));
+                    }
+                }
+                None => {
+                    if !t.trim().is_empty() {
+                        return Err(err_at(src, offset, top_level_kind(&root)));
+                    }
+                }
+            },
+            Token::OpenTag { name, attributes, self_closing } => {
+                let mut element = Element::new(name);
+                for (k, v) in attributes {
+                    element.set_attr(k, v);
+                }
+                if self_closing {
+                    place(element, &mut stack, &mut root, src, offset)?;
+                } else {
+                    if stack.len() >= MAX_DEPTH {
+                        return Err(err_at(src, offset, ParseErrorKind::TooDeep(MAX_DEPTH)));
+                    }
+                    stack.push(element);
+                }
+            }
+            Token::CloseTag { name } => {
+                let element = stack.pop().ok_or_else(|| {
+                    err_at(src, offset, ParseErrorKind::UnmatchedClose(name.clone()))
+                })?;
+                if element.name() != name {
+                    return Err(err_at(
+                        src,
+                        offset,
+                        ParseErrorKind::MismatchedTag {
+                            open: element.name().to_string(),
+                            close: name,
+                        },
+                    ));
+                }
+                place(element, &mut stack, &mut root, src, offset)?;
+            }
+        }
+    }
+
+    if let Some(unclosed) = stack.last() {
+        return Err(err_at(
+            src,
+            src.len(),
+            ParseErrorKind::MismatchedTag {
+                open: unclosed.name().to_string(),
+                close: String::new(),
+            },
+        ));
+    }
+
+    match root {
+        Some(root) => {
+            let mut doc = Document::new(normalize(root));
+            doc.prolog = prolog;
+            Ok(doc)
+        }
+        None => Err(err_at(src, src.len(), ParseErrorKind::NoRootElement)),
+    }
+}
+
+/// Attach a completed element to its parent, or install it as the root.
+fn place(
+    element: Element,
+    stack: &mut [Element],
+    root: &mut Option<Element>,
+    src: &str,
+    offset: usize,
+) -> Result<(), ParseError> {
+    match stack.last_mut() {
+        Some(parent) => {
+            parent.push_element(element);
+            Ok(())
+        }
+        None => {
+            if root.is_some() {
+                Err(err_at(src, offset, ParseErrorKind::MultipleRoots))
+            } else {
+                *root = Some(element);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn top_level_kind(root: &Option<Element>) -> ParseErrorKind {
+    if root.is_some() {
+        ParseErrorKind::TrailingContent
+    } else {
+        ParseErrorKind::NoRootElement
+    }
+}
+
+fn err_at(src: &str, offset: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError::new(kind, offset, src)
+}
+
+/// Drop whitespace-only text nodes from elements that have element children
+/// and no substantive text ("element content" in XML terms).
+fn normalize(mut element: Element) -> Element {
+    let has_elements = element.children().iter().any(|n| matches!(n, Node::Element(_)));
+    let has_real_text = element
+        .children()
+        .iter()
+        .any(|n| matches!(n, Node::Text(t) | Node::CData(t) if !t.trim().is_empty()));
+    let kids = std::mem::take(element.children_mut());
+    for node in kids {
+        match node {
+            Node::Element(child) => element.push(Node::Element(normalize(child))),
+            Node::Text(t) => {
+                if has_real_text || !has_elements || !t.trim().is_empty() {
+                    element.push(Node::Text(t));
+                }
+            }
+            other => element.push(other),
+        }
+    }
+    element
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = parse(
+            r#"<?xml version="1.0"?>
+            <tool id="racon_gpu" name="Racon">
+              <requirements>
+                <requirement type="package" version="1.4.3">racon</requirement>
+                <requirement type="compute">gpu</requirement>
+              </requirements>
+              <command><![CDATA[racon $input > $output]]></command>
+            </tool>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.prolog.len(), 1);
+        let reqs = doc.root().find_all("requirement");
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].attr("type"), Some("compute"));
+        assert_eq!(reqs[1].text(), "gpu");
+        assert_eq!(doc.root().find_text("command").unwrap(), "racon $input > $output");
+    }
+
+    #[test]
+    fn whitespace_between_elements_dropped() {
+        let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let doc = parse("<a>one <b>two</b> three</a>").unwrap();
+        assert_eq!(doc.root().text(), "one two three");
+        assert_eq!(doc.root().children().len(), 3);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        let err = parse("<a><b></b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unmatched_close_rejected() {
+        let err = parse("</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnmatchedClose(_)));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MultipleRoots));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let err = parse("   ").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(parse("<a/>junk").is_err());
+        assert!(parse("junk<a/>").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_rejected_without_overflow() {
+        let mut src = String::new();
+        for _ in 0..100_000 {
+            src.push_str("<a>");
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TooDeep(_)));
+        // A document at a realistic depth still parses.
+        let mut deep = String::new();
+        for _ in 0..100 {
+            deep.push_str("<a>");
+        }
+        deep.push('x');
+        for _ in 0..100 {
+            deep.push_str("</a>");
+        }
+        assert!(parse(&deep).is_ok());
+    }
+
+    #[test]
+    fn doctype_ignored() {
+        let doc = parse("<!DOCTYPE nvidia_smi_log SYSTEM \"nvsmi.dtd\"><log/>").unwrap();
+        assert_eq!(doc.root().name(), "log");
+    }
+}

@@ -1,0 +1,192 @@
+//! Serialize a DOM tree back to XML text.
+
+use crate::dom::{Document, Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// Formatting options for the writer.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Indentation unit; empty string means no pretty-printing.
+    pub indent: String,
+    /// Emit `<empty/>` for childless elements instead of `<empty></empty>`.
+    pub self_close_empty: bool,
+}
+
+impl WriteOptions {
+    /// Two-space pretty printing (the Galaxy convention).
+    pub fn pretty() -> Self {
+        WriteOptions { indent: "  ".to_string(), self_close_empty: true }
+    }
+
+    /// No whitespace beyond what the tree contains.
+    pub fn compact() -> Self {
+        WriteOptions { indent: String::new(), self_close_empty: true }
+    }
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions::pretty()
+    }
+}
+
+/// Serialize a whole document, including its prolog.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    for pi in &doc.prolog {
+        out.push_str("<?");
+        out.push_str(pi);
+        out.push_str("?>");
+        if !opts.indent.is_empty() {
+            out.push('\n');
+        }
+    }
+    write_into(doc.root(), opts, 0, &mut out);
+    out
+}
+
+/// Serialize a single element subtree.
+pub fn write_element(element: &Element, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_into(element, opts, 0, &mut out);
+    out
+}
+
+fn write_into(element: &Element, opts: &WriteOptions, depth: usize, out: &mut String) {
+    let pretty = !opts.indent.is_empty();
+    let pad = |out: &mut String, depth: usize| {
+        for _ in 0..depth {
+            out.push_str(&opts.indent);
+        }
+    };
+
+    pad(out, depth);
+    out.push('<');
+    out.push_str(element.name());
+    for (k, v) in element.attrs() {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+
+    if element.children().is_empty() {
+        if opts.self_close_empty {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str("</");
+            out.push_str(element.name());
+            out.push('>');
+        }
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+
+    out.push('>');
+
+    // Elements whose children are only text/CDATA are written inline; mixed
+    // or element content is written with one child per line when pretty.
+    let only_text = element
+        .children()
+        .iter()
+        .all(|n| matches!(n, Node::Text(_) | Node::CData(_) | Node::Comment(_)));
+
+    if only_text || !pretty {
+        for node in element.children() {
+            write_node_inline(node, out);
+        }
+        out.push_str("</");
+        out.push_str(element.name());
+        out.push('>');
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+
+    out.push('\n');
+    for node in element.children() {
+        match node {
+            Node::Element(child) => write_into(child, opts, depth + 1, out),
+            other => {
+                pad(out, depth + 1);
+                write_node_inline(other, out);
+                out.push('\n');
+            }
+        }
+    }
+    pad(out, depth);
+    out.push_str("</");
+    out.push_str(element.name());
+    out.push('>');
+    out.push('\n');
+}
+
+fn write_node_inline(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => out.push_str(&escape_text(t)),
+        Node::CData(t) => {
+            out.push_str("<![CDATA[");
+            out.push_str(t);
+            out.push_str("]]>");
+        }
+        Node::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        Node::Element(e) => {
+            let mut nested = String::new();
+            write_into(e, &WriteOptions::compact(), 0, &mut nested);
+            out.push_str(&nested);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_roundtrip_preserves_structure() {
+        let src = r#"<a x="1 &amp; 2"><b>hi &lt; lo</b><c/><![CDATA[raw <stuff>]]></a>"#;
+        let doc = parse(src).unwrap();
+        let out = write_document(&doc, &WriteOptions::compact());
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(doc.root(), doc2.root());
+    }
+
+    #[test]
+    fn pretty_output_indents_children() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let out = write_document(&doc, &WriteOptions::pretty());
+        assert!(out.contains("\n  <b>"));
+        assert!(out.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn text_only_element_written_inline() {
+        let doc = parse("<a><b>text</b></a>").unwrap();
+        let out = write_document(&doc, &WriteOptions::pretty());
+        assert!(out.contains("<b>text</b>"));
+    }
+
+    #[test]
+    fn prolog_reemitted() {
+        let doc = parse("<?xml version=\"1.0\"?><a/>").unwrap();
+        let out = write_document(&doc, &WriteOptions::compact());
+        assert!(out.starts_with("<?xml version=\"1.0\"?>"));
+    }
+
+    #[test]
+    fn non_self_closing_option() {
+        let doc = parse("<a/>").unwrap();
+        let opts = WriteOptions { indent: String::new(), self_close_empty: false };
+        assert_eq!(write_document(&doc, &opts), "<a></a>");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: any DOM tree we can generate serializes to text
+//! that parses back to the identical tree, and escaping round-trips.
+
+use proptest::prelude::*;
+use xmlparse::{parse, write_document, write_element, Document, Element, WriteOptions};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,8}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Arbitrary printable text including XML-special characters; avoid
+    // whitespace-only strings (the parser intentionally drops those between
+    // elements) and leading/trailing whitespace (writer/parser normalize).
+    "[ -~]{1,20}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), prop::option::of(text_strategy()), attrs_strategy()).prop_map(
+        |(name, text, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v);
+            }
+            if let Some(t) = text {
+                e.push(xmlparse::Node::Text(t));
+            }
+            e
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (name_strategy(), attrs_strategy(), prop::collection::vec(inner, 0..4)).prop_map(
+            |(name, attrs, kids)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                for kid in kids {
+                    e.push_element(kid);
+                }
+                e
+            },
+        )
+    })
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((name_strategy(), "[ -~]{0,12}"), 0..3).prop_map(|pairs| {
+        // Deduplicate keys: duplicate attributes are a parse error by design.
+        let mut seen = std::collections::HashSet::new();
+        pairs.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn write_then_parse_is_identity(root in element_strategy()) {
+        let doc = Document::new(root);
+        for opts in [WriteOptions::compact(), WriteOptions::pretty()] {
+            let text = write_document(&doc, &opts);
+            let reparsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+            prop_assert_eq!(doc.root(), reparsed.root());
+        }
+    }
+
+    #[test]
+    fn escape_text_roundtrip(s in "[ -~]{0,40}") {
+        let escaped = xmlparse::escape_text(&s);
+        prop_assert_eq!(xmlparse::unescape(&escaped, 0, "").unwrap(), s);
+    }
+
+    #[test]
+    fn escape_attr_roundtrip(s in "[ -~]{0,40}") {
+        let escaped = xmlparse::escape_attr(&s);
+        prop_assert_eq!(xmlparse::unescape(&escaped, 0, "").unwrap(), s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in "[ -~<>&\"'/=!\\[\\]]{0,120}") {
+        let _ = parse(&s); // must not panic; error is fine
+    }
+
+    #[test]
+    fn find_all_count_matches_descendants(root in element_strategy()) {
+        // Sum of find_all over all distinct names equals descendant count.
+        let mut names = std::collections::HashSet::new();
+        collect_names(&root, &mut names);
+        let total: usize = names.iter().map(|n| root.find_all(n).len()).sum();
+        prop_assert_eq!(total, root.descendant_count());
+    }
+}
+
+fn collect_names(e: &Element, out: &mut std::collections::HashSet<String>) {
+    for c in e.child_elements() {
+        out.insert(c.name().to_string());
+        collect_names(c, out);
+    }
+}
+
+#[test]
+fn write_element_matches_document_root() {
+    let doc = parse("<a><b>t</b></a>").unwrap();
+    let via_doc = write_document(&doc, &WriteOptions::compact());
+    let via_elem = write_element(doc.root(), &WriteOptions::compact());
+    assert_eq!(via_doc, via_elem);
+}

@@ -1,0 +1,55 @@
+//! The GPU hardware usage script (paper §V-C): attach the monitor to a
+//! running job, collect the 1 Hz chronological trace, and post-process
+//! into min/max/avg statistics and a CSV.
+//!
+//! Run with: `cargo run --release --example monitoring`
+
+use gpusim::{CudaContext, GpuCluster};
+use gyan::UsageMonitor;
+use seqtools::racon::{polish_gpu, RaconInput, RaconOpts};
+use seqtools::DatasetSpec;
+
+fn main() {
+    let cluster = GpuCluster::k80_node();
+
+    // "It is executed when a job is submitted ..."
+    let monitor = UsageMonitor::start(&cluster);
+
+    // Run a Racon-GPU job; every virtual second of its execution is
+    // sampled automatically.
+    let spec = DatasetSpec {
+        name: "monitored_run",
+        genome_len: 2_500,
+        n_reads: 20,
+        read_len: 2_000,
+        ..DatasetSpec::alzheimers_nfl()
+    };
+    let input = RaconInput::from_dataset(&spec);
+    let mut ctx = CudaContext::new(&cluster, Some("0"), 41_000, "/usr/bin/racon_gpu").unwrap();
+    let report = polish_gpu(&input, &RaconOpts::default(), &cluster, &mut ctx).unwrap();
+    ctx.destroy();
+
+    // "... and stopped when a job is either killed or stops. Whenever it
+    // stops, a post-processing function is executed."
+    let samples = monitor.stop();
+    println!(
+        "job ran {:.0} virtual seconds; monitor collected {} samples",
+        report.total_s,
+        samples.len()
+    );
+
+    println!("\nper-device statistics (min/max/avg):");
+    for s in monitor.stats() {
+        println!(
+            "  GPU {}: sm {:.0}%/{:.0}%/{:.0}%  fb {} MiB/{} MiB/{:.0} MiB over {} samples",
+            s.minor, s.sm_min, s.sm_max, s.sm_avg, s.mem_min, s.mem_max, s.mem_avg, s.samples
+        );
+    }
+
+    let csv = monitor.to_csv();
+    println!("\nfirst 8 CSV rows (t,gpu,sm_util,mem_util,fb_used_mib,pcie_gen):");
+    for line in csv.lines().take(9) {
+        println!("  {line}");
+    }
+    println!("  ... ({} rows total)", csv.lines().count() - 1);
+}

@@ -1,0 +1,75 @@
+//! Quickstart: stand up a GYAN-enabled Galaxy over a simulated 2× Tesla
+//! K80 node, submit a GPU-capable tool, and watch GYAN map it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::GalaxyApp;
+use gpusim::{smi, GpuCluster};
+use gyan::setup::{install_gyan, GyanConfig};
+use seqtools::{DatasetSpec, ToolExecutor};
+use std::sync::Arc;
+
+fn main() {
+    // 1. The hardware: one Tesla K80 board = two CUDA devices.
+    let cluster = GpuCluster::k80_node();
+
+    // 2. Galaxy, configured from the paper's job_conf.xml (Code 2), with
+    //    GYAN installed: dynamic GPU/CPU destination rule, allocation
+    //    hook, container mutators.
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    let executor = Arc::new(ToolExecutor::new(&cluster));
+    // Use a laptop-sized instance of the paper's 17 GB dataset.
+    executor.register_dataset(DatasetSpec {
+        name: "quickstart_reads",
+        genome_len: 2_500,
+        n_reads: 20,
+        read_len: 2_000,
+        ..DatasetSpec::alzheimers_nfl()
+    });
+    app.set_executor(Box::new(executor));
+    install_gyan(&mut app, &cluster, GyanConfig::default());
+
+    // 3. A GPU-capable tool, declared exactly like the paper's Code 1/3:
+    //    a `compute`/`gpu` requirement plus a wrapper that switches
+    //    executables on `$__galaxy_gpu_enabled__`.
+    let wrapper = r#"<tool id="racon_gpu" name="Racon" version="1.4.3">
+      <requirements>
+        <requirement type="package" version="1.4.3">racon</requirement>
+        <requirement type="compute">gpu</requirement>
+      </requirements>
+      <command><![CDATA[
+#if $__galaxy_gpu_enabled__ == "true"
+racon_gpu -t $threads $dataset > consensus.fa
+#else
+racon -t $threads $dataset > consensus.fa
+#end if
+]]></command>
+      <inputs>
+        <param name="dataset" type="data" value="quickstart_reads"/>
+        <param name="threads" type="integer" value="4"/>
+      </inputs>
+      <outputs><data name="consensus" format="fasta"/></outputs>
+    </tool>"#;
+    app.install_tool_xml(wrapper, &MacroLibrary::new()).unwrap();
+
+    // 4. Submit, as a user clicking "Execute" in the web UI would.
+    let job_id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
+    let job = app.job(job_id).unwrap();
+
+    println!("job {} finished in state {:?}", job_id, job.state().name());
+    println!("  destination:          {}", job.destination_id.as_deref().unwrap());
+    println!("  GALAXY_GPU_ENABLED:   {}", job.env_var("GALAXY_GPU_ENABLED").unwrap());
+    println!("  CUDA_VISIBLE_DEVICES: {}", job.env_var("CUDA_VISIBLE_DEVICES").unwrap_or("-"));
+    println!("  command line:         {}", job.command_line.as_deref().unwrap());
+    println!("  runtime (virtual):    {:.1} s", job.runtime().unwrap());
+    println!(
+        "  output dataset:       {} bytes of consensus FASTA",
+        app.history().datasets_for_job(job_id)[0].content.len()
+    );
+
+    println!("\nnvidia-smi after the run (devices released):\n");
+    println!("{}", smi::render_table(&cluster));
+}

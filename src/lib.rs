@@ -1,0 +1,17 @@
+//! # gyan-repro
+//!
+//! Facade crate for the GYAN reproduction workspace. Re-exports every
+//! member crate so examples and integration tests can depend on a single
+//! package:
+//!
+//! * [`gyan`] — the paper's contribution: GPU-aware computation mapping.
+//! * [`galaxy`] — the Galaxy-workalike job framework substrate.
+//! * [`gpusim`] — the GPU cluster simulator substrate.
+//! * [`seqtools`] — Racon/Bonito-style tools and sequence data substrates.
+//! * [`xmlparse`] — the XML substrate.
+
+pub use galaxy;
+pub use gpusim;
+pub use gyan;
+pub use seqtools;
+pub use xmlparse;

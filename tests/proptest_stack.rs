@@ -1,0 +1,254 @@
+//! Property-based tests across the stack: allocation invariants under
+//! arbitrary cluster states, device-mask parsing, window tiling, and POA
+//! consensus sanity under random inputs.
+
+use gpusim::cuda::parse_visible_devices;
+use gpusim::{GpuCluster, GpuProcess};
+use gyan::allocation::{select_gpus, AllocationPolicy};
+use gyan::gpu_usage::get_gpu_usage;
+use proptest::prelude::*;
+use seqtools::poa::PoaGraph;
+use seqtools::racon::build_windows;
+use seqtools::sim::genome::random_genome;
+
+/// An arbitrary occupancy pattern for a 2-GPU node: per-device process
+/// memory sizes (empty vec = idle device).
+fn occupancy_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(1u64..2000, 0..4), 2..=2)
+}
+
+fn cluster_with(occupancy: &[Vec<u64>]) -> GpuCluster {
+    let cluster = GpuCluster::k80_node();
+    let mut pid = 1000;
+    for (minor, procs) in occupancy.iter().enumerate() {
+        for &mib in procs {
+            pid += 1;
+            cluster.attach_process(minor as u32, GpuProcess::compute(pid, "tool", mib)).unwrap();
+        }
+    }
+    cluster
+}
+
+proptest! {
+    /// Whatever the cluster state and request, the allocator must return
+    /// a non-empty set of *existing* devices, and must grant a requested
+    /// free device exactly.
+    #[test]
+    fn allocation_always_returns_valid_devices(
+        occupancy in occupancy_strategy(),
+        requested in prop::collection::vec(0u32..4, 0..3),
+        memory_policy in any::<bool>(),
+    ) {
+        let cluster = cluster_with(&occupancy);
+        let policy = if memory_policy {
+            AllocationPolicy::MemoryBased
+        } else {
+            AllocationPolicy::ProcessId
+        };
+        let alloc = select_gpus(&cluster, &requested, policy).expect("node has GPUs");
+        prop_assert!(!alloc.devices.is_empty());
+        for d in &alloc.devices {
+            prop_assert!(*d < 2, "nonexistent device {d}");
+        }
+        // No duplicates in the mask.
+        let mut sorted = alloc.devices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), alloc.devices.len());
+        // The exported string parses back to the same devices.
+        let parsed = parse_visible_devices(Some(&alloc.cuda_visible_devices), 2);
+        prop_assert_eq!(&parsed, &alloc.devices);
+        // A requested, existing, free device set must be granted as-is
+        // (after deduplication).
+        let mut requested_dedup: Vec<u32> = Vec::new();
+        for id in &requested {
+            if !requested_dedup.contains(id) {
+                requested_dedup.push(*id);
+            }
+        }
+        let usage = get_gpu_usage(&cluster);
+        let all_free = !requested_dedup.is_empty()
+            && requested_dedup.iter().all(|id| usage.avail_gpus.contains(id));
+        if all_free {
+            prop_assert!(alloc.granted_requested);
+            prop_assert_eq!(&alloc.devices, &requested_dedup);
+        }
+    }
+
+    /// Free devices are always preferred over busy ones.
+    #[test]
+    fn allocator_prefers_free_devices(occupancy in occupancy_strategy()) {
+        let cluster = cluster_with(&occupancy);
+        let usage = get_gpu_usage(&cluster);
+        let alloc = select_gpus(&cluster, &[], AllocationPolicy::ProcessId).unwrap();
+        if !usage.avail_gpus.is_empty() {
+            prop_assert_eq!(&alloc.devices, &usage.avail_gpus);
+        } else {
+            prop_assert_eq!(&alloc.devices, &usage.all_gpus);
+        }
+    }
+
+    /// The memory policy picks a device of minimal framebuffer usage when
+    /// nothing is free.
+    #[test]
+    fn memory_policy_is_argmin(occupancy in occupancy_strategy()) {
+        prop_assume!(occupancy.iter().all(|p| !p.is_empty())); // all busy
+        let cluster = cluster_with(&occupancy);
+        let alloc = select_gpus(&cluster, &[], AllocationPolicy::MemoryBased).unwrap();
+        prop_assert_eq!(alloc.devices.len(), 1);
+        let chosen = alloc.devices[0];
+        let mem = gyan::gpu_usage::gpu_memory_usage(&cluster);
+        let min = mem.iter().map(|(_, used)| *used).min().unwrap();
+        let chosen_mem = mem.iter().find(|(m, _)| *m == chosen).unwrap().1;
+        prop_assert_eq!(chosen_mem, min);
+    }
+
+    /// CUDA_VISIBLE_DEVICES parsing: never panics, never returns
+    /// out-of-range or duplicate ordinals.
+    #[test]
+    fn visible_devices_parsing_is_safe(s in "[0-9, a-z]{0,16}", count in 0u32..8) {
+        let parsed = parse_visible_devices(Some(&s), count);
+        for d in &parsed {
+            prop_assert!(*d < count);
+        }
+        let mut dedup = parsed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), parsed.len());
+    }
+
+    /// Window tiling covers the draft exactly, regardless of sizes.
+    #[test]
+    fn windows_tile_exactly(len in 1usize..5000, window in 1usize..1000) {
+        let draft = random_genome(len, 42);
+        let windows = build_windows(&draft, &[], &[], window);
+        prop_assert_eq!(windows.iter().map(|w| w.backbone.len()).sum::<usize>(), len);
+        let mut expected_start = 0;
+        for w in &windows {
+            prop_assert_eq!(w.start, expected_start);
+            prop_assert_eq!(w.end - w.start, w.backbone.len());
+            expected_start = w.end;
+        }
+    }
+
+    /// POA: adding the same sequence N times always yields that sequence
+    /// as consensus, and edge weights grow linearly.
+    #[test]
+    fn poa_consensus_of_repeats_is_identity(seq in "[ACGT]{10,60}", n in 1usize..5) {
+        let mut g = PoaGraph::from_sequence(seq.as_bytes());
+        for _ in 0..n {
+            g.add_sequence(seq.as_bytes(), None);
+        }
+        prop_assert_eq!(g.consensus(), seq.clone());
+        prop_assert_eq!(g.consensus_anchored(), seq.clone());
+        prop_assert_eq!(g.node_count(), seq.len());
+        prop_assert_eq!(g.total_edge_weight() as usize, (n + 1) * (seq.len() - 1));
+    }
+
+    /// The nvidia-smi XML stays parseable for arbitrary cluster states
+    /// and round-trips the process placement.
+    #[test]
+    fn smi_xml_roundtrips_processes(occupancy in occupancy_strategy()) {
+        let cluster = cluster_with(&occupancy);
+        let usage = get_gpu_usage(&cluster);
+        for (minor, procs) in occupancy.iter().enumerate() {
+            prop_assert_eq!(usage.proc_gpu_dict[minor].1.len(), procs.len());
+        }
+    }
+}
+
+proptest! {
+    /// The template engine never panics, whatever the source looks like —
+    /// it either parses or returns a structured error.
+    #[test]
+    fn template_parse_never_panics(src in "[ -~\\n#$]{0,200}") {
+        let _ = galaxy::template::Template::parse(&src);
+    }
+
+    /// A parsed template renders without panicking when every referenced
+    /// variable is defined.
+    #[test]
+    fn template_render_never_panics_with_full_params(
+        cond_val in "[a-z]{0,6}",
+        body in "[a-zA-Z ]{0,20}",
+    ) {
+        let src = format!("#if $flag == \"yes\"\n{body} $x\n#else\nno\n#end if\n");
+        let t = galaxy::template::Template::parse(&src).unwrap();
+        let mut params = galaxy::ParamDict::new();
+        params.set("flag", cond_val);
+        params.set("x", "v");
+        let rendered = t.render(&params).unwrap();
+        prop_assert!(rendered == "no\n" || rendered.contains("v"));
+    }
+
+    /// FASTA round-trips arbitrary valid records at any wrap width.
+    #[test]
+    fn fasta_roundtrip(
+        seqs in prop::collection::vec("[ACGTN]{1,80}", 1..5),
+        width in 0usize..50,
+    ) {
+        let records: Vec<seqtools::fasta::FastaRecord> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| seqtools::fasta::FastaRecord::new(format!("r{i}"), s.clone()))
+            .collect();
+        let text = seqtools::fasta::write_fasta(&records, width);
+        let parsed = seqtools::fasta::parse_fasta(&text).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    /// Banded and full POA both produce consensus close to the truth when
+    /// reads are low-error full-length copies; banding never corrupts the
+    /// backbone anchoring.
+    #[test]
+    fn banded_poa_stays_close_to_full(seed in 0u64..50) {
+        use seqtools::sim::reads::{mutate_sequence, ErrorModel};
+        use rand::SeedableRng;
+        let truth = random_genome(250, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabc);
+        let build = |band: Option<usize>, rng: &mut rand::rngs::StdRng| {
+            let mut g = PoaGraph::from_sequence(truth.as_bytes());
+            for _ in 0..8 {
+                let read = mutate_sequence(&truth, &ErrorModel::pacbio().scaled(0.5), rng);
+                g.add_sequence(read.as_bytes(), band);
+            }
+            g.consensus_anchored()
+        };
+        let full = build(None, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabc);
+        let banded = build(Some(100), &mut rng);
+        let id_full = seqtools::align::identity(&full, &truth);
+        let id_banded = seqtools::align::identity(&banded, &truth);
+        prop_assert!(id_full > 0.95, "full {id_full}");
+        prop_assert!(id_banded > id_full - 0.05, "banded {id_banded} vs full {id_full}");
+    }
+
+    /// The job state machine never reaches Ok without passing Running.
+    #[test]
+    fn job_state_machine_is_sound(transitions in prop::collection::vec(0u8..6, 0..12)) {
+        use galaxy::JobState::*;
+        let states = [New, Queued, Running, Ok, Error, Deleted];
+        let mut job = galaxy::Job::new(1, "t", galaxy::ParamDict::new());
+        let mut ran = false;
+        for t in transitions {
+            let target = states[t as usize];
+            let before = job.state();
+            if job.transition(target).is_ok() {
+                // Legal edges only.
+                prop_assert!(before != target);
+                if target == Ok {
+                    prop_assert_eq!(before, Running);
+                    ran = true;
+                }
+                if target == Running {
+                    prop_assert_eq!(before, Queued);
+                }
+            } else {
+                prop_assert_eq!(job.state(), before, "failed transition must not change state");
+            }
+        }
+        if job.state() == Ok {
+            prop_assert!(ran);
+        }
+    }
+}
