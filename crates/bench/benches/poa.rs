@@ -30,19 +30,15 @@ fn bench_poa_window(c: &mut Criterion) {
                 g.consensus_anchored()
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("banded_100", window_len),
-            &window_len,
-            |b, _| {
-                b.iter(|| {
-                    let mut g = PoaGraph::from_sequence(backbone.as_bytes());
-                    for r in &reads {
-                        g.add_sequence(r.as_bytes(), Some(100));
-                    }
-                    g.consensus_anchored()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("banded_100", window_len), &window_len, |b, _| {
+            b.iter(|| {
+                let mut g = PoaGraph::from_sequence(backbone.as_bytes());
+                for r in &reads {
+                    g.add_sequence(r.as_bytes(), Some(100));
+                }
+                g.consensus_anchored()
+            })
+        });
     }
     group.finish();
 }

@@ -16,9 +16,7 @@ fn cluster_with_load(per_device: &[u64]) -> GpuCluster {
     for (minor, &mib) in per_device.iter().enumerate() {
         if mib > 0 {
             pid += 1;
-            cluster
-                .attach_process(minor as u32, GpuProcess::compute(pid, "tool", mib))
-                .unwrap();
+            cluster.attach_process(minor as u32, GpuProcess::compute(pid, "tool", mib)).unwrap();
         }
     }
     cluster

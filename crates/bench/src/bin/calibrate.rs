@@ -67,7 +67,8 @@ fn main() {
         let input = BonitoInput::from_dataset(&spec);
         let model = BonitoModel::pretrained(spec.seed);
         let opts = BonitoOpts::default();
-        let cpu = basecall_cpu(&input, &model, &opts, &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+        let cpu =
+            basecall_cpu(&input, &model, &opts, &HostSpec::xeon_e5_2670(), &VirtualClock::new());
         let cluster = GpuCluster::k80_node();
         let mut ctx = CudaContext::new(&cluster, None, 2, "bonito").unwrap();
         let gpu = basecall_gpu(&input, &model, &opts, &cluster, &mut ctx).unwrap();

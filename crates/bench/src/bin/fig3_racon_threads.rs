@@ -11,10 +11,7 @@ use gyan_bench::table::{banner, fmt_secs, Table};
 use gyan_bench::{paper, Testbed};
 
 fn main() {
-    banner(
-        "Fig. 3",
-        "Racon GPU vs CPU across thread counts (Alzheimers NFL, 17 GB)",
-    );
+    banner("Fig. 3", "Racon GPU vs CPU across thread counts (Alzheimers NFL, 17 GB)");
     let dataset = "Alzheimers_NFL_IsoSeq";
     let threads_sweep = [1u32, 2, 4, 8];
 

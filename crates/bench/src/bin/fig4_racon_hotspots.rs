@@ -52,8 +52,16 @@ fn main() {
 
     let stalls = prof.stall_analysis();
     println!("\nStall analysis (paper: ~70% memory dependency, ~20% execution dependency):");
-    println!("  memory dependency    {:>5.1}%  {}", stalls.memory_dependency * 100.0, bar(stalls.memory_dependency));
-    println!("  execution dependency {:>5.1}%  {}", stalls.execution_dependency * 100.0, bar(stalls.execution_dependency));
+    println!(
+        "  memory dependency    {:>5.1}%  {}",
+        stalls.memory_dependency * 100.0,
+        bar(stalls.memory_dependency)
+    );
+    println!(
+        "  execution dependency {:>5.1}%  {}",
+        stalls.execution_dependency * 100.0,
+        bar(stalls.execution_dependency)
+    );
     println!("  other                {:>5.1}%  {}", stalls.other * 100.0, bar(stalls.other));
     println!(
         "\npaper reference: memory {:.0}% / execution {:.0}%",

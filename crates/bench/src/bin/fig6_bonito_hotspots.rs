@@ -55,5 +55,8 @@ fn main() {
         .map(|(_, e)| e.seconds)
         .sum::<f64>()
         / total_gpu;
-    println!("\nGEMM share of device time: {:.1}% (paper: GEMM functions are the main hotspot)", gemm_share * 100.0);
+    println!(
+        "\nGEMM share of device time: {:.1}% (paper: GEMM functions are the main hotspot)",
+        gemm_share * 100.0
+    );
 }

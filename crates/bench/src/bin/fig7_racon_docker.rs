@@ -27,9 +27,8 @@ fn main() {
         for &threads in &threads_sweep {
             let mut cells = vec![format!("{threads}")];
             for &batches in &batches_sweep {
-                let id = tb
-                    .submit_racon(threads, batches, banded, dataset)
-                    .expect("docker racon run");
+                let id =
+                    tb.submit_racon(threads, batches, banded, dataset).expect("docker racon run");
                 let secs = tb.runtime(id);
                 cells.push(format!("{secs:.1} s"));
                 if best.map(|(b, _, _)| secs < b).unwrap_or(true) {

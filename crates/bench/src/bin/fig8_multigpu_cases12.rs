@@ -42,7 +42,9 @@ fn main() {
     let first_mask = tb.app.job(first).unwrap().env_var("CUDA_VISIBLE_DEVICES").unwrap();
     let second_mask = tb.app.job(second).unwrap().env_var("CUDA_VISIBLE_DEVICES").unwrap();
     println!("  bonito #1 -> CUDA_VISIBLE_DEVICES={first_mask} (expected 1: requested and free)");
-    println!("  bonito #2 -> CUDA_VISIBLE_DEVICES={second_mask} (expected 0: GPU 1 busy, redirected)");
+    println!(
+        "  bonito #2 -> CUDA_VISIBLE_DEVICES={second_mask} (expected 0: GPU 1 busy, redirected)"
+    );
     assert_eq!(first_mask, "1");
     assert_eq!(second_mask, "0");
     println!("\nnvidia-smi:\n");

@@ -28,7 +28,11 @@ fn main() {
         let id = tb.app.submit("racon_gpu_dev0", &params("Alzheimers_NFL_IsoSeq")).unwrap();
         let job = tb.app.job(id).unwrap();
         let mask = job.env_var("CUDA_VISIBLE_DEVICES").unwrap().to_string();
-        println!("  instance {} (pid {:?}) -> CUDA_VISIBLE_DEVICES={mask}", i + 1, job.pid.unwrap());
+        println!(
+            "  instance {} (pid {:?}) -> CUDA_VISIBLE_DEVICES={mask}",
+            i + 1,
+            job.pid.unwrap()
+        );
         masks.push(mask);
     }
     assert_eq!(masks, vec!["0", "1", "0,1", "0,1"], "paper Case 3 placement");

@@ -65,13 +65,7 @@ fn main() {
     let mut t = Table::new(&["application", "intensity", "paper", "modeled", "Δ"]);
     for app in &APPS {
         let cpu_s = host.time_for(app.flops, app.cpu_parallel_frac, host.logical_cpus);
-        let kernel = KernelSpec::fp32(
-            "motiv",
-            8192,
-            256,
-            app.flops,
-            app.flops / app.intensity,
-        );
+        let kernel = KernelSpec::fp32("motiv", 8192, 256, app.flops, app.flops / app.intensity);
         let gpu_s = kernel.duration(&k80).unwrap().total_s;
         let speedup = cpu_s / gpu_s;
         t.row(&[
@@ -91,8 +85,5 @@ fn main() {
     let md = KernelSpec::fp32("md", 8192, 256, 1e13, 1e13 / 0.87);
     let cpu_s = host.time_for(1e13, 0.99, host.logical_cpus);
     let gpu_s = md.duration(&GpuArch::tesla_v100()).unwrap().total_s;
-    println!(
-        "\nCOVID-19 MD example (V100 vs CPU node): paper ~5x, modeled {:.0}x",
-        cpu_s / gpu_s
-    );
+    println!("\nCOVID-19 MD example (V100 vs CPU node): paper ~5x, modeled {:.0}x", cpu_s / gpu_s);
 }

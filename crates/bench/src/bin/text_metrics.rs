@@ -35,16 +35,36 @@ fn main() {
             format!("{:.0} s", p::POLISH_GPU_S),
             format!("{:.1} s", gpu.alloc_s + gpu.kernel_s),
         ),
-        ("  of which allocation", format!("{:.0} s", p::POLISH_GPU_ALLOC_S), format!("{:.1} s", gpu.alloc_s)),
-        ("  of which kernels", format!("{:.0} s", p::POLISH_GPU_KERNEL_S), format!("{:.1} s", gpu.kernel_s)),
-        ("CPU end-to-end", format!("~{:.0} s", p::END_TO_END_CPU_S), format!("{:.0} s", cpu.total_s)),
-        ("GPU end-to-end", format!("~{:.0} s", p::END_TO_END_GPU_S), format!("{:.0} s", gpu.total_s)),
+        (
+            "  of which allocation",
+            format!("{:.0} s", p::POLISH_GPU_ALLOC_S),
+            format!("{:.1} s", gpu.alloc_s),
+        ),
+        (
+            "  of which kernels",
+            format!("{:.0} s", p::POLISH_GPU_KERNEL_S),
+            format!("{:.1} s", gpu.kernel_s),
+        ),
+        (
+            "CPU end-to-end",
+            format!("~{:.0} s", p::END_TO_END_CPU_S),
+            format!("{:.0} s", cpu.total_s),
+        ),
+        (
+            "GPU end-to-end",
+            format!("~{:.0} s", p::END_TO_END_GPU_S),
+            format!("{:.0} s", gpu.total_s),
+        ),
         (
             "CUDA API overhead (xfer+sync+alloc)",
             format!("~{:.0} s", p::CUDA_API_OVERHEAD_S),
             format!("{:.1} s", api_overhead),
         ),
-        ("end-to-end speedup", format!("~{:.1}x", p::END_TO_END_CPU_S / p::END_TO_END_GPU_S), format!("{:.2}x", cpu.total_s / gpu.total_s)),
+        (
+            "end-to-end speedup",
+            format!("~{:.1}x", p::END_TO_END_CPU_S / p::END_TO_END_GPU_S),
+            format!("{:.2}x", cpu.total_s / gpu.total_s),
+        ),
         (
             "memory-dependency stalls",
             format!("~{:.0}%", p::STALL_MEMORY_DEP * 100.0),

@@ -34,17 +34,12 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let parts: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             format!("| {} |", parts.join(" | "))
         };
-        let sep: String = format!(
-            "+{}+",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+")
-        );
+        let sep: String =
+            format!("+{}+", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+"));
         out.push_str(&sep);
         out.push('\n');
         out.push_str(&fmt_row(&self.headers, &widths));

@@ -119,9 +119,8 @@ impl Testbed {
     }
 
     fn with(cluster: GpuCluster, config: GyanConfig, linger: bool) -> Self {
-        let mut app = GalaxyApp::new(
-            JobConfig::from_xml(GYAN_JOB_CONF).expect("canonical job_conf parses"),
-        );
+        let mut app =
+            GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).expect("canonical job_conf parses"));
         app.set_registry(galaxy::containers::ImageRegistry::with_paper_images());
         app.add_volume(VolumeBind::rw("/galaxy/data"));
         let mut executor = ToolExecutor::new(&cluster);

@@ -128,10 +128,10 @@ impl<'a> Api<'a> {
 
     /// `GET /api/jobs/{id}`.
     pub fn job(&self, id: u64) -> Result<JobSummary, ApiError> {
-        let job = self.app.job(id).ok_or(ApiError {
-            err_msg: format!("job {id} not found"),
-            err_code: 404,
-        })?;
+        let job = self
+            .app
+            .job(id)
+            .ok_or(ApiError { err_msg: format!("job {id} not found"), err_code: 404 })?;
         Ok(JobSummary {
             id: job.id,
             tool_id: job.tool_id.clone(),
@@ -191,9 +191,7 @@ mod tests {
         let mut api = Api::new(&mut app);
         let mut inputs = BTreeMap::new();
         inputs.insert("text".to_string(), "hello-api".to_string());
-        let resp = api
-            .submit(&SubmitRequest { tool_id: "racon_gpu".into(), inputs })
-            .unwrap();
+        let resp = api.submit(&SubmitRequest { tool_id: "racon_gpu".into(), inputs }).unwrap();
         assert_eq!(resp.state, "ok");
         let summary = api.job(resp.job_id).unwrap();
         assert_eq!(summary.tool_id, "racon_gpu");

@@ -26,7 +26,15 @@ use crate::runners::{CommandMutator, JobExecutor, JobHook, NullExecutor};
 use crate::tool::macros::MacroLibrary;
 use crate::tool::wrapper::parse_tool;
 use crate::tool::Tool;
+use obs::{Recorder, Span};
 use std::collections::HashMap;
+
+/// Counter: jobs entering [`GalaxyApp::submit`].
+pub const JOBS_SUBMITTED_COUNTER: &str = "galaxy_jobs_submitted_total";
+/// Counter: jobs finishing in the `Ok` state.
+pub const JOBS_OK_COUNTER: &str = "galaxy_jobs_ok_total";
+/// Counter: jobs finishing in the `Error` state.
+pub const JOBS_ERROR_COUNTER: &str = "galaxy_jobs_error_total";
 
 /// A dynamic destination rule: given the tool, the job, and the config,
 /// return the id of a concrete destination. This is the signature of the
@@ -74,6 +82,7 @@ pub struct GalaxyApp {
     time: Box<dyn TimeSource>,
     volumes: Vec<VolumeBind>,
     events: Vec<Event>,
+    recorder: Recorder,
 }
 
 impl GalaxyApp {
@@ -93,6 +102,7 @@ impl GalaxyApp {
             time: Box::new(ZeroTime),
             volumes: Vec::new(),
             events: Vec::new(),
+            recorder: Recorder::new(),
         }
     }
 
@@ -148,6 +158,18 @@ impl GalaxyApp {
         self.time = time;
     }
 
+    /// Replace the telemetry recorder (share one with the scheduler or
+    /// GYAN components). Clones of the handle see everything this app
+    /// records.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The telemetry recorder for this app.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Replace the container image registry.
     pub fn set_registry(&mut self, registry: ImageRegistry) {
         self.registry = registry;
@@ -171,14 +193,22 @@ impl GalaxyApp {
     /// Submit a job for `tool_id` with user-specified `user_params` and run
     /// it to completion (this substrate dispatches synchronously).
     pub fn submit(&mut self, tool_id: &str, user_params: &ParamDict) -> Result<u64, GalaxyError> {
-        let tool = self
-            .tools
-            .get(tool_id)
-            .cloned()
-            .ok_or_else(|| GalaxyError::UnknownTool(tool_id.to_string()))?;
+        self.recorder.metrics().inc_counter(JOBS_SUBMITTED_COUNTER, 1);
+        let job_span = self.recorder.span("galaxy.job");
+        job_span.field("tool", tool_id);
 
-        // Build the parameter dictionary: declared defaults, then the
-        // user's values (Galaxy's build_param_dict).
+        // Phase 1 of Fig. 2: resolve the tool and build the parameter
+        // dictionary — declared defaults, then the user's values
+        // (Galaxy's build_param_dict).
+        let parse_span = job_span.child("galaxy.tool_parse");
+        let tool = match self.tools.get(tool_id).cloned() {
+            Some(t) => t,
+            None => {
+                self.recorder.metrics().inc_counter(JOBS_ERROR_COUNTER, 1);
+                job_span.field("error", "unknown tool");
+                return Err(GalaxyError::UnknownTool(tool_id.to_string()));
+            }
+        };
         let mut params = ParamDict::new();
         for input in &tool.inputs {
             if let Some(default) = &input.default {
@@ -186,51 +216,72 @@ impl GalaxyApp {
             }
         }
         params.extend(user_params);
+        parse_span.field("inputs", tool.inputs.len());
+        parse_span.end();
 
         self.next_job_id += 1;
         let job_id = self.next_job_id;
+        job_span.field("job_id", job_id);
         let mut job = Job::new(job_id, tool_id, params);
         job.submit_time = Some(self.time.now());
         self.log(format!("job {job_id} submitted for tool {tool_id}"));
 
-        let result = self.run_job(&tool, &mut job);
-        if let Err(e) = &result {
-            self.log(format!("job {job_id} failed: {e}"));
-            let _ = job.transition(JobState::Error);
-            job.stderr = e.to_string();
+        let result = self.run_job(&tool, &mut job, &job_span);
+        match &result {
+            Ok(()) => self.recorder.metrics().inc_counter(JOBS_OK_COUNTER, 1),
+            Err(e) => {
+                self.recorder.metrics().inc_counter(JOBS_ERROR_COUNTER, 1);
+                job_span.field("error", e.to_string());
+                self.log(format!("job {job_id} failed: {e}"));
+                let _ = job.transition(JobState::Error);
+                job.stderr = e.to_string();
+            }
         }
+        job_span.end();
         self.jobs.insert(job_id, job);
         result.map(|()| job_id)
     }
 
-    fn run_job(&mut self, tool: &Tool, job: &mut Job) -> Result<(), GalaxyError> {
+    fn run_job(&mut self, tool: &Tool, job: &mut Job, job_span: &Span) -> Result<(), GalaxyError> {
         // Step 2 of Fig. 2: destination mapping.
+        let map_span = job_span.child("galaxy.map_destination");
         let destination = self.map_destination(tool, job)?;
+        map_span.field("destination", destination.id.as_str());
+        map_span.end();
         job.destination_id = Some(destination.id.clone());
         job.transition(JobState::Queued)?;
         self.log(format!("job {} mapped to destination {}", job.id, destination.id));
 
         // GYAN's extension point: hooks adjust env + params before the
         // command is rendered.
+        let hooks_span = job_span.child("galaxy.hooks");
+        hooks_span.field("hooks", self.hooks.len());
         for hook in &self.hooks {
             hook.before_dispatch(job, tool, &destination);
         }
+        hooks_span.end();
 
-        // Step 3: command assembly + dispatch.
-        let plan = LocalRunner.build_plan(
+        // Step 3: command assembly + dispatch (the template-render and
+        // container-assembly phases span themselves under `job_span`).
+        let plan = LocalRunner.build_plan_traced(
             tool,
             job,
             &destination,
             &self.registry,
             &self.mutators,
             &self.volumes,
+            job_span,
         )?;
         job.command_line = Some(plan.command_line.clone());
         job.transition(JobState::Running)?;
         job.start_time = Some(self.time.now());
         self.log(format!("job {} running: {}", job.id, plan.rendered_command()));
 
+        let dispatch_span = job_span.child("galaxy.dispatch");
+        dispatch_span.field("destination", destination.id.as_str());
         let result = self.executor.execute(&plan);
+        dispatch_span.field("exit_code", i64::from(result.exit_code));
+        dispatch_span.end();
         job.end_time = Some(self.time.now());
         job.stdout = result.stdout.clone();
         job.stderr = result.stderr.clone();
@@ -261,10 +312,9 @@ impl GalaxyApp {
     /// Resolve the destination for a tool's job, following one level of
     /// dynamic-rule indirection.
     pub fn map_destination(&self, tool: &Tool, job: &Job) -> Result<Destination, GalaxyError> {
-        let dest_id = self
-            .config
-            .destination_for_tool(&tool.id)
-            .ok_or_else(|| GalaxyError::UnknownDestination(format!("no mapping for {}", tool.id)))?;
+        let dest_id = self.config.destination_for_tool(&tool.id).ok_or_else(|| {
+            GalaxyError::UnknownDestination(format!("no mapping for {}", tool.id))
+        })?;
         let dest = self
             .config
             .destination(dest_id)
@@ -272,9 +322,9 @@ impl GalaxyApp {
         if !dest.is_dynamic() {
             return Ok(dest.clone());
         }
-        let rule_name = dest
-            .rule_function()
-            .ok_or_else(|| GalaxyError::BadJobConf(format!("dynamic {} has no function", dest.id)))?;
+        let rule_name = dest.rule_function().ok_or_else(|| {
+            GalaxyError::BadJobConf(format!("dynamic {} has no function", dest.id))
+        })?;
         let rule = self
             .rules
             .get(rule_name)
@@ -364,10 +414,7 @@ mod tests {
     #[test]
     fn unknown_tool_rejected() {
         let mut app = app_with_echo();
-        assert!(matches!(
-            app.submit("ghost", &ParamDict::new()),
-            Err(GalaxyError::UnknownTool(_))
-        ));
+        assert!(matches!(app.submit("ghost", &ParamDict::new()), Err(GalaxyError::UnknownTool(_))));
     }
 
     #[test]
@@ -389,17 +436,17 @@ mod tests {
             "gpu_dynamic_destination",
             Box::new(|_, _, _| Ok("dynamic_dest".to_string())),
         );
-        assert!(matches!(
-            app.submit("echo", &ParamDict::new()),
-            Err(GalaxyError::BadJobConf(_))
-        ));
+        assert!(matches!(app.submit("echo", &ParamDict::new()), Err(GalaxyError::BadJobConf(_))));
     }
 
     #[test]
     fn failing_executor_marks_job_error() {
         struct Failing;
         impl JobExecutor for Failing {
-            fn execute(&self, _p: &crate::runners::ExecutionPlan) -> crate::runners::ExecutionResult {
+            fn execute(
+                &self,
+                _p: &crate::runners::ExecutionPlan,
+            ) -> crate::runners::ExecutionResult {
                 crate::runners::ExecutionResult::fail(1, "tool blew up")
             }
         }
@@ -447,6 +494,62 @@ mod tests {
         app.install_tool_xml(ECHO_TOOL, &MacroLibrary::new()).unwrap();
         let id = app.submit("echo", &ParamDict::new()).unwrap();
         assert_eq!(app.job(id).unwrap().destination_id.as_deref(), Some("pinned"));
+    }
+
+    #[test]
+    fn submit_emits_phase_span_tree_and_counters() {
+        let mut app = app_with_echo();
+        app.submit("echo", &ParamDict::new()).unwrap();
+
+        let rec = app.recorder();
+        let job = &rec.spans_named("galaxy.job")[0];
+        assert_eq!(job.field("tool").and_then(|v| v.as_str()), Some("echo"));
+        assert_eq!(job.field("job_id").and_then(|v| v.as_f64()), Some(1.0));
+        assert!(job.end.is_some(), "job span must close");
+        for phase in [
+            "galaxy.tool_parse",
+            "galaxy.map_destination",
+            "galaxy.hooks",
+            "galaxy.template_render",
+            "galaxy.container_assembly",
+            "galaxy.dispatch",
+        ] {
+            let spans = rec.spans_named(phase);
+            assert_eq!(spans.len(), 1, "missing phase span {phase}");
+            assert_eq!(spans[0].parent, Some(job.id), "{phase} must nest under the job");
+            assert!(spans[0].end.is_some(), "{phase} must close");
+        }
+        let dispatch = &rec.spans_named("galaxy.dispatch")[0];
+        assert_eq!(dispatch.field("exit_code").and_then(|v| v.as_f64()), Some(0.0));
+
+        let m = rec.metrics();
+        assert_eq!(m.counter_value(JOBS_SUBMITTED_COUNTER), 1);
+        assert_eq!(m.counter_value(JOBS_OK_COUNTER), 1);
+        assert_eq!(m.counter_value(JOBS_ERROR_COUNTER), 0);
+    }
+
+    #[test]
+    fn failed_job_counts_and_annotates_span() {
+        let mut app = app_with_echo();
+        let _ = app.submit("ghost", &ParamDict::new());
+        struct Failing;
+        impl JobExecutor for Failing {
+            fn execute(
+                &self,
+                _p: &crate::runners::ExecutionPlan,
+            ) -> crate::runners::ExecutionResult {
+                crate::runners::ExecutionResult::fail(2, "boom")
+            }
+        }
+        app.set_executor(Box::new(Failing));
+        let _ = app.submit("echo", &ParamDict::new());
+
+        let m = app.recorder().metrics();
+        assert_eq!(m.counter_value(JOBS_SUBMITTED_COUNTER), 2);
+        assert_eq!(m.counter_value(JOBS_ERROR_COUNTER), 2);
+        assert_eq!(m.counter_value(JOBS_OK_COUNTER), 0);
+        let jobs = app.recorder().spans_named("galaxy.job");
+        assert!(jobs.iter().all(|s| s.field("error").is_some()));
     }
 
     #[test]

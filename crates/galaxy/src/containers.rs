@@ -44,9 +44,15 @@ impl ImageRegistry {
     pub fn with_paper_images() -> Self {
         let reg = Self::new();
         // The Racon-GPU image the authors published to Docker Hub.
-        reg.publish("gulsumgudukbay/racon_dockerfile", ImageMeta { size_mb: 980.0, gpu_capable: true });
+        reg.publish(
+            "gulsumgudukbay/racon_dockerfile",
+            ImageMeta { size_mb: 980.0, gpu_capable: true },
+        );
         reg.publish("nanoporetech/bonito", ImageMeta { size_mb: 2400.0, gpu_capable: true });
-        reg.publish("quay.io/biocontainers/racon:1.4.3", ImageMeta { size_mb: 120.0, gpu_capable: false });
+        reg.publish(
+            "quay.io/biocontainers/racon:1.4.3",
+            ImageMeta { size_mb: 120.0, gpu_capable: false },
+        );
         reg
     }
 

@@ -175,7 +175,8 @@ mod tests {
         let mut resolver = DependencyResolver::new();
         resolver.install("samtools", "1.10");
         resolver.install("samtools", "1.11");
-        let req = Requirement { rtype: RequirementType::Package, name: "samtools".into(), version: None };
+        let req =
+            Requirement { rtype: RequirementType::Package, name: "samtools".into(), version: None };
         assert_eq!(
             resolver.resolve(&req),
             Resolution::Resolved { name: "samtools".into(), version: "1.11".into() }

@@ -46,7 +46,12 @@ impl History {
     }
 
     /// Declare an output dataset for a job, in `Queued` state.
-    pub fn declare(&mut self, name: impl Into<String>, format: impl Into<String>, job_id: u64) -> u64 {
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        format: impl Into<String>,
+        job_id: u64,
+    ) -> u64 {
         self.next_id += 1;
         let id = self.next_id;
         self.datasets.push(Dataset {

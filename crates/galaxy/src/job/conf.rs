@@ -141,8 +141,8 @@ impl JobConfig {
             }
         }
         for dest in &self.destinations {
-            let known_runner = dest.runner == "dynamic"
-                || self.plugins.iter().any(|p| p.id == dest.runner);
+            let known_runner =
+                dest.runner == "dynamic" || self.plugins.iter().any(|p| p.id == dest.runner);
             if !known_runner {
                 return Err(GalaxyError::BadJobConf(format!(
                     "destination {:?} references unknown runner {:?}",
@@ -168,11 +168,7 @@ impl JobConfig {
     }
 }
 
-fn require_attr(
-    el: &xmlparse::Element,
-    attr: &str,
-    what: &str,
-) -> Result<String, GalaxyError> {
+fn require_attr(el: &xmlparse::Element, attr: &str, what: &str) -> Result<String, GalaxyError> {
     el.attr(attr)
         .map(str::to_string)
         .ok_or_else(|| GalaxyError::BadJobConf(format!("<{what}> missing {attr}=")))

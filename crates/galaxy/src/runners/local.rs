@@ -13,6 +13,7 @@ use crate::job::Job;
 use crate::runners::container_cmd::{docker_command, singularity_command, VolumeBind};
 use crate::runners::{CommandMutator, ContainerEngine, ContainerInvocation, ExecutionPlan};
 use crate::tool::{ContainerType, Tool};
+use obs::Span;
 
 /// Stateless command assembler for local (and local-containerized)
 /// execution.
@@ -45,9 +46,45 @@ impl LocalRunner {
         mutators: &[Box<dyn CommandMutator>],
         volumes: &[VolumeBind],
     ) -> Result<ExecutionPlan, GalaxyError> {
+        self.build_plan_inner(tool, job, destination, registry, mutators, volumes, None)
+    }
+
+    /// [`LocalRunner::build_plan`] with telemetry: the template-render and
+    /// container-assembly phases each get a child span under `parent`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_plan_traced(
+        &self,
+        tool: &Tool,
+        job: &Job,
+        destination: &Destination,
+        registry: &ImageRegistry,
+        mutators: &[Box<dyn CommandMutator>],
+        volumes: &[VolumeBind],
+        parent: &Span,
+    ) -> Result<ExecutionPlan, GalaxyError> {
+        self.build_plan_inner(tool, job, destination, registry, mutators, volumes, Some(parent))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_plan_inner(
+        &self,
+        tool: &Tool,
+        job: &Job,
+        destination: &Destination,
+        registry: &ImageRegistry,
+        mutators: &[Box<dyn CommandMutator>],
+        volumes: &[VolumeBind],
+        parent: Option<&Span>,
+    ) -> Result<ExecutionPlan, GalaxyError> {
+        let render_span = parent.map(|p| p.child("galaxy.template_render"));
         let command_line = self.render_command(tool, job)?;
+        if let Some(s) = render_span {
+            s.field("command", command_line.as_str());
+            s.end();
+        }
         let workdir = format!("/galaxy/jobs/{}", job.id);
 
+        let assembly_span = parent.map(|p| p.child("galaxy.container_assembly"));
         let container = if destination.docker_enabled() {
             let image = tool
                 .container(ContainerType::Docker)
@@ -87,8 +124,7 @@ impl LocalRunner {
             let first_start = !registry.is_cached(&image);
             let pull_s = registry.pull(&image)?;
             let overhead_s = pull_s + registry.start_overhead(&image, first_start)?;
-            let mut parts =
-                singularity_command(&image, &command_line, &job.env, volumes, &workdir);
+            let mut parts = singularity_command(&image, &command_line, &job.env, volumes, &workdir);
             for m in mutators {
                 m.mutate(&mut parts, job, destination);
             }
@@ -113,6 +149,19 @@ impl LocalRunner {
                 parts
             }
         };
+
+        if let Some(s) = assembly_span {
+            match &container {
+                Some(c) => {
+                    s.field("engine", format!("{:?}", c.engine).to_lowercase());
+                    s.field("image", c.image.as_str());
+                    s.field("overhead_s", c.overhead_s);
+                }
+                None => s.field("engine", "bare"),
+            }
+            s.field("mutators", mutators.len());
+            s.end();
+        }
 
         Ok(ExecutionPlan {
             job_id: job.id,
@@ -181,7 +230,14 @@ mod tests {
     #[test]
     fn bare_metal_plan_uses_bash() {
         let plan = LocalRunner
-            .build_plan(&tool_with_container(), &job(), &dest("local_gpu", &[]), &registry(), &[], &[])
+            .build_plan(
+                &tool_with_container(),
+                &job(),
+                &dest("local_gpu", &[]),
+                &registry(),
+                &[],
+                &[],
+            )
             .unwrap();
         assert!(plan.container.is_none());
         assert_eq!(plan.command_parts[0], "/bin/bash");

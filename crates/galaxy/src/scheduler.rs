@@ -8,19 +8,41 @@
 //! occupy the simulated GPUs *simultaneously* — the situation the paper's
 //! multi-GPU cases snapshot.
 //!
+//! The pool is instrumented: it exports a queue-depth gauge, a busy-worker
+//! gauge, and a per-job queue-wait histogram through its [`Recorder`]'s
+//! metrics registry, and completion is signalled through a condition
+//! variable so [`HandlerPool::wait_all`] blocks instead of spinning.
+//!
 //! (`GalaxyApp::submit` remains the synchronous single-job path; the pool
 //! is used when concurrency itself is under test.)
 
 use crate::runners::{ExecutionPlan, ExecutionResult, JobExecutor};
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use obs::Recorder;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Metric: jobs currently enqueued but not yet picked up by a worker.
+pub const QUEUE_DEPTH_GAUGE: &str = "galaxy_pool_queue_depth";
+/// Metric: workers currently executing a plan.
+pub const WORKERS_BUSY_GAUGE: &str = "galaxy_pool_workers_busy";
+/// Metric: seconds each job spent queued before a worker picked it up.
+pub const QUEUE_WAIT_HISTOGRAM: &str = "galaxy_pool_queue_wait_seconds";
+/// Metric: total plans executed by the pool.
+pub const JOBS_EXECUTED_COUNTER: &str = "galaxy_pool_jobs_executed_total";
+
 enum Message {
-    Run(Box<ExecutionPlan>),
+    /// A plan plus its enqueue timestamp (recorder clock).
+    Run(Box<ExecutionPlan>, f64),
     Shutdown,
+}
+
+/// Completion tracking shared between workers and `wait_all`.
+struct Tracker {
+    pending: Mutex<usize>,
+    done: Condvar,
 }
 
 /// A pool of handler worker threads executing plans concurrently.
@@ -28,47 +50,77 @@ pub struct HandlerPool {
     sender: Sender<Message>,
     workers: Vec<JoinHandle<()>>,
     results: Arc<Mutex<HashMap<u64, ExecutionResult>>>,
-    pending: Arc<Mutex<usize>>,
+    tracker: Arc<Tracker>,
+    recorder: Recorder,
 }
 
 impl HandlerPool {
-    /// Spawn `workers` handler threads over `executor`.
+    /// Spawn `workers` handler threads over `executor`, with a private
+    /// (unexported) telemetry recorder.
     pub fn new(executor: Arc<dyn JobExecutor>, workers: u32) -> Self {
+        Self::with_recorder(executor, workers, Recorder::new())
+    }
+
+    /// Spawn `workers` handler threads over `executor`, reporting queue
+    /// metrics into `recorder`.
+    pub fn with_recorder(executor: Arc<dyn JobExecutor>, workers: u32, recorder: Recorder) -> Self {
         let (sender, receiver) = unbounded::<Message>();
         let results: Arc<Mutex<HashMap<u64, ExecutionResult>>> =
             Arc::new(Mutex::new(HashMap::new()));
-        let pending = Arc::new(Mutex::new(0usize));
+        let tracker = Arc::new(Tracker { pending: Mutex::new(0), done: Condvar::new() });
+        // Publish the gauges at 0 up front so the exposition carries them
+        // even before the first job arrives.
+        recorder.metrics().set_gauge(QUEUE_DEPTH_GAUGE, 0.0);
+        recorder.metrics().set_gauge(WORKERS_BUSY_GAUGE, 0.0);
         let mut handles = Vec::new();
         for _ in 0..workers.max(1) {
             let receiver = receiver.clone();
             let executor = executor.clone();
             let results = results.clone();
-            let pending = pending.clone();
+            let tracker = tracker.clone();
+            let recorder = recorder.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(msg) = receiver.recv() {
                     match msg {
-                        Message::Run(plan) => {
+                        Message::Run(plan, enqueued_at) => {
+                            let metrics = recorder.metrics();
+                            let wait = (recorder.now() - enqueued_at).max(0.0);
+                            metrics.add_gauge(QUEUE_DEPTH_GAUGE, -1.0);
+                            metrics.add_gauge(WORKERS_BUSY_GAUGE, 1.0);
+                            metrics.observe(QUEUE_WAIT_HISTOGRAM, wait);
                             let result = executor.execute(&plan);
                             results.lock().insert(plan.job_id, result);
-                            *pending.lock() -= 1;
+                            metrics.add_gauge(WORKERS_BUSY_GAUGE, -1.0);
+                            metrics.inc_counter(JOBS_EXECUTED_COUNTER, 1);
+                            let mut pending = tracker.pending.lock();
+                            *pending -= 1;
+                            if *pending == 0 {
+                                tracker.done.notify_all();
+                            }
                         }
                         Message::Shutdown => break,
                     }
                 }
             }));
         }
-        HandlerPool { sender, workers: handles, results, pending }
+        HandlerPool { sender, workers: handles, results, tracker, recorder }
+    }
+
+    /// The recorder receiving this pool's queue metrics.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Enqueue a plan for execution.
     pub fn enqueue(&self, plan: ExecutionPlan) {
-        *self.pending.lock() += 1;
-        self.sender.send(Message::Run(Box::new(plan))).expect("pool alive");
+        *self.tracker.pending.lock() += 1;
+        self.recorder.metrics().add_gauge(QUEUE_DEPTH_GAUGE, 1.0);
+        self.sender.send(Message::Run(Box::new(plan), self.recorder.now())).expect("pool alive");
     }
 
     /// Number of enqueued-but-unfinished plans.
     pub fn pending(&self) -> usize {
-        *self.pending.lock()
+        *self.tracker.pending.lock()
     }
 
     /// Result for a finished job, if available.
@@ -76,12 +128,12 @@ impl HandlerPool {
         self.results.lock().get(&job_id).cloned()
     }
 
-    /// Busy-wait (yielding) until every enqueued plan has finished, then
-    /// return all results.
+    /// Block (on a condition variable, not a spin loop) until every
+    /// enqueued plan has finished, then return all results.
     pub fn wait_all(&self) -> HashMap<u64, ExecutionResult> {
-        while self.pending() > 0 {
-            std::thread::yield_now();
-        }
+        let mut pending = self.tracker.pending.lock();
+        self.tracker.done.wait_while(&mut pending, |p| *p > 0);
+        drop(pending);
         self.results.lock().clone()
     }
 
@@ -130,13 +182,13 @@ mod tests {
         }
     }
 
+    fn slow_executor() -> Arc<SlowExecutor> {
+        Arc::new(SlowExecutor { concurrent: AtomicU32::new(0), max_seen: AtomicU32::new(0) })
+    }
+
     #[test]
     fn executes_all_plans_and_collects_results() {
-        let executor = Arc::new(SlowExecutor {
-            concurrent: AtomicU32::new(0),
-            max_seen: AtomicU32::new(0),
-        });
-        let pool = HandlerPool::new(executor.clone(), 4);
+        let pool = HandlerPool::new(slow_executor(), 4);
         for i in 0..8 {
             pool.enqueue(plan(i, &format!("job-{i}")));
         }
@@ -150,10 +202,7 @@ mod tests {
 
     #[test]
     fn workers_run_concurrently() {
-        let executor = Arc::new(SlowExecutor {
-            concurrent: AtomicU32::new(0),
-            max_seen: AtomicU32::new(0),
-        });
+        let executor = slow_executor();
         let pool = HandlerPool::new(executor.clone(), 4);
         for i in 0..8 {
             pool.enqueue(plan(i, "x"));
@@ -169,10 +218,7 @@ mod tests {
 
     #[test]
     fn single_worker_serializes() {
-        let executor = Arc::new(SlowExecutor {
-            concurrent: AtomicU32::new(0),
-            max_seen: AtomicU32::new(0),
-        });
+        let executor = slow_executor();
         let pool = HandlerPool::new(executor.clone(), 1);
         for i in 0..4 {
             pool.enqueue(plan(i, "x"));
@@ -184,15 +230,38 @@ mod tests {
 
     #[test]
     fn result_lookup_before_and_after() {
-        let executor = Arc::new(SlowExecutor {
-            concurrent: AtomicU32::new(0),
-            max_seen: AtomicU32::new(0),
-        });
-        let pool = HandlerPool::new(executor, 2);
+        let pool = HandlerPool::new(slow_executor(), 2);
         assert!(pool.result(7).is_none());
         pool.enqueue(plan(7, "later"));
         pool.wait_all();
         assert_eq!(pool.result(7).unwrap().stdout, "later");
         pool.shutdown();
+    }
+
+    #[test]
+    fn wait_all_on_idle_pool_returns_immediately() {
+        let pool = HandlerPool::new(slow_executor(), 2);
+        assert!(pool.wait_all().is_empty());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queue_metrics_settle_to_zero() {
+        let recorder = Recorder::new();
+        let pool = HandlerPool::with_recorder(slow_executor(), 2, recorder.clone());
+        for i in 0..6 {
+            pool.enqueue(plan(i, "x"));
+        }
+        pool.wait_all();
+        pool.shutdown();
+        let metrics = recorder.metrics();
+        assert_eq!(metrics.gauge_value(QUEUE_DEPTH_GAUGE), Some(0.0));
+        assert_eq!(metrics.gauge_value(WORKERS_BUSY_GAUGE), Some(0.0));
+        assert_eq!(metrics.counter_value(JOBS_EXECUTED_COUNTER), 6);
+        assert_eq!(metrics.histogram_count(QUEUE_WAIT_HISTOGRAM), 6);
+        // The exposition must parse and carry the settled gauges.
+        let samples = obs::metrics::parse_prometheus(&metrics.render_prometheus()).expect("parses");
+        let depth = samples.iter().find(|s| s.name == QUEUE_DEPTH_GAUGE).unwrap();
+        assert_eq!(depth.value, 0.0);
     }
 }

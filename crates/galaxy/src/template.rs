@@ -141,7 +141,10 @@ fn parse_block(
                 let mut otherwise = Vec::new();
                 // Either we're on `#else` or `#end if` now.
                 if *pos < lines.len()
-                    && directive_matches(lines[*pos].trim_start().trim_start_matches('#').trim_end(), "else")
+                    && directive_matches(
+                        lines[*pos].trim_start().trim_start_matches('#').trim_end(),
+                        "else",
+                    )
                     && lines[*pos].trim_start().starts_with('#')
                 {
                     *pos += 1;
@@ -346,9 +349,9 @@ fn eval_cond(cond: &Cond, params: &ParamDict) -> Result<bool, GalaxyError> {
 
 fn eval_expr<'a>(expr: &'a Expr, params: &'a ParamDict) -> Result<&'a str, GalaxyError> {
     match expr {
-        Expr::Var(v) => params
-            .get(v)
-            .ok_or_else(|| GalaxyError::Template(format!("undefined variable ${v}"))),
+        Expr::Var(v) => {
+            params.get(v).ok_or_else(|| GalaxyError::Template(format!("undefined variable ${v}")))
+        }
         Expr::Lit(l) => Ok(l.as_str()),
     }
 }
@@ -389,11 +392,19 @@ mod tests {
                    #end if\n";
         let t = Template::parse(src).unwrap();
         let gpu = t
-            .render(&params(&[("__galaxy_gpu_enabled__", "true"), ("batches", "16"), ("threads", "4")]))
+            .render(&params(&[
+                ("__galaxy_gpu_enabled__", "true"),
+                ("batches", "16"),
+                ("threads", "4"),
+            ]))
             .unwrap();
         assert_eq!(gpu.trim(), "racon_gpu --cudapoa-batches 16");
         let cpu = t
-            .render(&params(&[("__galaxy_gpu_enabled__", "false"), ("batches", "16"), ("threads", "4")]))
+            .render(&params(&[
+                ("__galaxy_gpu_enabled__", "false"),
+                ("batches", "16"),
+                ("threads", "4"),
+            ]))
             .unwrap();
         assert_eq!(cpu.trim(), "racon -t 4");
     }
@@ -475,43 +486,60 @@ $node:$gpu
         )
         .unwrap();
         let out = t.render(&params(&[("nodes", "n1,n2"), ("gpus", "0,1")])).unwrap();
-        assert_eq!(out, "n1:0 
+        assert_eq!(
+            out,
+            "n1:0 
 n1:1 
 n2:0 
 n2:1 
-");
+"
+        );
     }
 
     #[test]
     fn for_inside_if() {
-        let src = "#if $multi == \"yes\"\n#for $g in $gpus\n-d $g \n#end for\n#else\n-d all\n#end if\n";
+        let src =
+            "#if $multi == \"yes\"\n#for $g in $gpus\n-d $g \n#end for\n#else\n-d all\n#end if\n";
         let t = Template::parse(src).unwrap();
         let multi = t.render(&params(&[("multi", "yes"), ("gpus", "0,1")])).unwrap();
-        assert_eq!(multi.trim(), "-d 0 
--d 1".trim_end());
+        assert_eq!(
+            multi.trim(),
+            "-d 0 
+-d 1"
+                .trim_end()
+        );
         let single = t.render(&params(&[("multi", "no"), ("gpus", "0,1")])).unwrap();
         assert_eq!(single.trim(), "-d all");
     }
 
     #[test]
     fn empty_list_renders_nothing() {
-        let t = Template::parse("#for $x in $items
+        let t = Template::parse(
+            "#for $x in $items
 $x
 #end for
-").unwrap();
+",
+        )
+        .unwrap();
         assert_eq!(t.render(&params(&[("items", "")])).unwrap(), "");
     }
 
     #[test]
     fn loop_variable_shadows_outer_param() {
-        let t = Template::parse("#for $x in $items
+        let t = Template::parse(
+            "#for $x in $items
 $x 
 #end for
-$x").unwrap();
+$x",
+        )
+        .unwrap();
         let out = t.render(&params(&[("items", "a,b"), ("x", "outer")])).unwrap();
-        assert_eq!(out, "a 
+        assert_eq!(
+            out,
+            "a 
 b 
-outer");
+outer"
+        );
     }
 
     #[test]

@@ -274,8 +274,7 @@ mod tests {
     fn bad_macro_file_root_errors() {
         let mut lib = MacroLibrary::new();
         lib.add_file("m.xml", "<notmacros/>");
-        let tool =
-            parse(r#"<tool id="t"><macros><import>m.xml</import></macros></tool>"#).unwrap();
+        let tool = parse(r#"<tool id="t"><macros><import>m.xml</import></macros></tool>"#).unwrap();
         assert!(matches!(expand_macros(tool.root(), &lib), Err(GalaxyError::BadWrapper(_))));
     }
 }

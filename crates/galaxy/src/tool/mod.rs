@@ -203,11 +203,8 @@ mod tests {
         let pkg = Requirement::package("racon", "1.4.3");
         assert!(!pkg.is_gpu());
         // compute-typed requirement with a different name is not a GPU req
-        let other = Requirement {
-            rtype: RequirementType::Compute,
-            name: "fpga".into(),
-            version: None,
-        };
+        let other =
+            Requirement { rtype: RequirementType::Compute, name: "fpga".into(), version: None };
         assert!(!other.is_gpu());
     }
 }

@@ -222,10 +222,7 @@ impl GalaxyApp {
                             Some(ds) => {
                                 for assertion in &expected.assertions {
                                     if let Err(msg) = assertion.check(&ds.content) {
-                                        failures.push(format!(
-                                            "output {:?}: {msg}",
-                                            expected.name
-                                        ));
+                                        failures.push(format!("output {:?}: {msg}", expected.name));
                                     }
                                 }
                             }

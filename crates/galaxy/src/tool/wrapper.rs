@@ -227,19 +227,13 @@ racon -t $threads $reads $overlaps $target > $consensus
     #[test]
     fn missing_id_rejected() {
         let src = "<tool name=\"x\"><command>x</command></tool>";
-        assert!(matches!(
-            parse_tool(src, &MacroLibrary::new()),
-            Err(GalaxyError::BadWrapper(_))
-        ));
+        assert!(matches!(parse_tool(src, &MacroLibrary::new()), Err(GalaxyError::BadWrapper(_))));
     }
 
     #[test]
     fn missing_command_rejected() {
         let src = "<tool id=\"x\"/>";
-        assert!(matches!(
-            parse_tool(src, &MacroLibrary::new()),
-            Err(GalaxyError::BadWrapper(_))
-        ));
+        assert!(matches!(parse_tool(src, &MacroLibrary::new()), Err(GalaxyError::BadWrapper(_))));
     }
 
     #[test]

@@ -7,6 +7,11 @@ use std::sync::Arc;
 /// the GYAN hardware-usage monitor to take 1 Hz samples in virtual time.
 pub type ClockObserver = Box<dyn Fn(f64) + Send + Sync>;
 
+/// Handle identifying a registered observer, for deregistration via
+/// [`VirtualClock::remove_observer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObserverId(u64);
+
 /// A monotonically increasing virtual clock measured in seconds.
 ///
 /// The clock is shared (`Arc`) between the cluster, CUDA contexts, and the
@@ -15,7 +20,8 @@ pub type ClockObserver = Box<dyn Fn(f64) + Send + Sync>;
 #[derive(Clone, Default)]
 pub struct VirtualClock {
     now: Arc<Mutex<f64>>,
-    observers: Arc<Mutex<Vec<ClockObserver>>>,
+    observers: Arc<Mutex<Vec<(ObserverId, ClockObserver)>>>,
+    next_observer_id: Arc<Mutex<u64>>,
 }
 
 impl VirtualClock {
@@ -56,18 +62,39 @@ impl VirtualClock {
         new_now
     }
 
-    /// Register an observer called (outside the clock lock) with the new
-    /// time after every advance.
-    pub fn on_advance(&self, observer: ClockObserver) {
-        self.observers.lock().push(observer);
+    /// Register an observer called with the new time after every advance.
+    /// Returns an id accepted by [`VirtualClock::remove_observer`], so
+    /// transient listeners (e.g. a usage monitor) don't leak.
+    pub fn on_advance(&self, observer: ClockObserver) -> ObserverId {
+        let id = {
+            let mut next = self.next_observer_id.lock();
+            *next += 1;
+            ObserverId(*next)
+        };
+        self.observers.lock().push((id, observer));
+        id
     }
 
-    // Observers must not advance the clock or register further observers
-    // from inside the callback (the lock is held during the call); the
-    // monitor only reads device state, which is safe.
+    /// Deregister an observer. Returns whether it was still registered
+    /// (idempotent: removing twice is a no-op).
+    pub fn remove_observer(&self, id: ObserverId) -> bool {
+        let mut observers = self.observers.lock();
+        let before = observers.len();
+        observers.retain(|(oid, _)| *oid != id);
+        observers.len() != before
+    }
+
+    /// Number of currently registered observers.
+    pub fn observer_count(&self) -> usize {
+        self.observers.lock().len()
+    }
+
+    // Observers must not advance the clock or (de)register observers from
+    // inside the callback (the lock is held during the call); the monitor
+    // only reads device state, which is safe.
     fn notify(&self, now: f64) {
         let observers = self.observers.lock();
-        for cb in observers.iter() {
+        for (_, cb) in observers.iter() {
             cb(now);
         }
     }
@@ -141,5 +168,40 @@ mod observer_tests {
         c.advance(2.5);
         c.advance(0.5);
         assert_eq!(*seen.lock(), vec![2.5, 3.0]);
+    }
+
+    #[test]
+    fn removed_observer_stops_firing() {
+        let c = VirtualClock::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let id = c.on_advance(Box::new(move |_t| {
+            h.fetch_add(1, Ordering::Relaxed);
+        }));
+        c.advance(1.0);
+        assert_eq!(c.observer_count(), 1);
+        assert!(c.remove_observer(id));
+        assert!(!c.remove_observer(id), "second removal must be a no-op");
+        c.advance(1.0);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.observer_count(), 0);
+    }
+
+    #[test]
+    fn removal_targets_only_the_given_id() {
+        let c = VirtualClock::new();
+        let hits_a = Arc::new(AtomicUsize::new(0));
+        let hits_b = Arc::new(AtomicUsize::new(0));
+        let (a, b) = (hits_a.clone(), hits_b.clone());
+        let id_a = c.on_advance(Box::new(move |_| {
+            a.fetch_add(1, Ordering::Relaxed);
+        }));
+        let _id_b = c.on_advance(Box::new(move |_| {
+            b.fetch_add(1, Ordering::Relaxed);
+        }));
+        c.remove_observer(id_a);
+        c.advance(1.0);
+        assert_eq!(hits_a.load(Ordering::Relaxed), 0);
+        assert_eq!(hits_b.load(Ordering::Relaxed), 1);
     }
 }

@@ -135,8 +135,10 @@ impl CudaContext {
 
     fn ensure_registered(&mut self, minor: u32) -> Result<(), GpuError> {
         if !self.registered.contains(&minor) {
-            self.cluster
-                .attach_process(minor, GpuProcess::compute(self.pid, self.proc_name.clone(), CONTEXT_MIB))?;
+            self.cluster.attach_process(
+                minor,
+                GpuProcess::compute(self.pid, self.proc_name.clone(), CONTEXT_MIB),
+            )?;
             self.registered.push(minor);
         }
         Ok(())
@@ -201,7 +203,11 @@ impl CudaContext {
         let dur = spec.duration(&arch);
 
         let now = self.cluster.clock().advance(crate::transfer::MEMCPY_LATENCY_S);
-        self.profiler.record(ApiKind::ApiCall, "cudaMemcpyAsync", crate::transfer::MEMCPY_LATENCY_S);
+        self.profiler.record(
+            ApiKind::ApiCall,
+            "cudaMemcpyAsync",
+            crate::transfer::MEMCPY_LATENCY_S,
+        );
 
         // Engine-busy state lives on the (shared) device: concurrent
         // contexts contend for the same DMA engines.
@@ -210,8 +216,7 @@ impl CudaContext {
             // Result copies (D2H) read kernel output, so they also wait
             // for the compute engine.
             let compute_gate = if is_d2h { d.compute_busy_until } else { 0.0 };
-            let engine =
-                if is_d2h { &mut d.d2h_busy_until } else { &mut d.h2d_busy_until };
+            let engine = if is_d2h { &mut d.d2h_busy_until } else { &mut d.h2d_busy_until };
             let start = engine.max(now).max(compute_gate);
             *engine = start + dur;
             start
@@ -249,8 +254,13 @@ impl CudaContext {
         let _ = done;
 
         self.profiler.record(ApiKind::GpuActivity, &kernel.name, timing.total_s);
-        self.trace
-            .record(kernel.name.clone(), "kernel", format!("gpu{minor}/compute"), start, timing.total_s);
+        self.trace.record(
+            kernel.name.clone(),
+            "kernel",
+            format!("gpu{minor}/compute"),
+            start,
+            timing.total_s,
+        );
         self.profiler.record_stalls(&timing);
 
         // Reflect the launch in device utilization so concurrent monitor
@@ -272,10 +282,7 @@ impl CudaContext {
 
     fn wait_device(&mut self, minor: u32, api: &str) {
         let now = self.cluster.clock().now();
-        let done = self
-            .cluster
-            .with_device(minor, |d| d.engines_busy_until())
-            .unwrap_or(0.0);
+        let done = self.cluster.with_device(minor, |d| d.engines_busy_until()).unwrap_or(0.0);
         if done > now {
             let wait = done - now;
             self.cluster.clock().advance_to(done);
@@ -446,10 +453,7 @@ mod pipeline_tests {
         };
         let serial = mk(false);
         let pipelined = mk(true);
-        assert!(
-            pipelined < serial * 0.75,
-            "pipelined {pipelined:.3} vs serial {serial:.3}"
-        );
+        assert!(pipelined < serial * 0.75, "pipelined {pipelined:.3} vs serial {serial:.3}");
     }
 
     /// D2H copies wait for queued kernels (they read their output), and

@@ -43,7 +43,7 @@ pub mod trace;
 pub mod transfer;
 
 pub use arch::GpuArch;
-pub use clock::VirtualClock;
+pub use clock::{ObserverId, VirtualClock};
 pub use cluster::GpuCluster;
 pub use cuda::CudaContext;
 pub use device::DeviceState;

@@ -71,8 +71,10 @@ impl Nvml {
 
     /// `nvmlDeviceGetUtilizationRates` for device `index`.
     pub fn utilization_rates(&self, index: u32) -> Result<UtilizationRates, GpuError> {
-        self.cluster
-            .with_device(index, |d| UtilizationRates { gpu: d.sm_utilization, memory: d.mem_utilization })
+        self.cluster.with_device(index, |d| UtilizationRates {
+            gpu: d.sm_utilization,
+            memory: d.mem_utilization,
+        })
     }
 
     /// `nvmlDeviceGetTemperature` (GPU sensor) for device `index`, °C.

@@ -26,7 +26,11 @@ pub struct Occupancy {
 }
 
 /// Compute occupancy for `grid_blocks` blocks of `block_threads` threads.
-pub fn occupancy(arch: &GpuArch, grid_blocks: u32, block_threads: u32) -> Result<Occupancy, GpuError> {
+pub fn occupancy(
+    arch: &GpuArch,
+    grid_blocks: u32,
+    block_threads: u32,
+) -> Result<Occupancy, GpuError> {
     if block_threads == 0 || grid_blocks == 0 {
         return Err(GpuError::BadLaunch("zero-sized grid or block".into()));
     }
@@ -51,13 +55,7 @@ pub fn occupancy(arch: &GpuArch, grid_blocks: u32, block_threads: u32) -> Result
     let last_wave_blocks = grid_blocks - (waves - 1) * blocks_per_wave;
     let tail = f64::from(last_wave_blocks) / f64::from(blocks_per_wave);
 
-    Ok(Occupancy {
-        blocks_per_sm,
-        warps_per_sm,
-        occupancy: occ,
-        waves,
-        tail_utilization: tail,
-    })
+    Ok(Occupancy { blocks_per_sm, warps_per_sm, occupancy: occ, waves, tail_utilization: tail })
 }
 
 /// Effective fraction of peak throughput achievable by this launch: the

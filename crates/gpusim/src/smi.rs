@@ -19,7 +19,9 @@ use xmlparse::{write_document, Document, Element, WriteOptions};
 pub fn query_xml(cluster: &GpuCluster) -> String {
     let snapshot = cluster.snapshot();
     let mut log = Element::new("nvidia_smi_log");
-    log.push_element(Element::new("timestamp").with_text(format!("t={:.3}s", cluster.clock().now())));
+    log.push_element(
+        Element::new("timestamp").with_text(format!("t={:.3}s", cluster.clock().now())),
+    );
     log.push_element(Element::new("driver_version").with_text(cluster.driver_version()));
     log.push_element(Element::new("cuda_version").with_text(cluster.cuda_version()));
     log.push_element(Element::new("attached_gpus").with_text(snapshot.len().to_string()));
@@ -46,9 +48,7 @@ fn gpu_element(dev: &DeviceState) -> Element {
 
     let util = Element::new("utilization")
         .with_child(Element::new("gpu_util").with_text(format!("{:.0} %", dev.sm_utilization)))
-        .with_child(
-            Element::new("memory_util").with_text(format!("{:.0} %", dev.mem_utilization)),
-        );
+        .with_child(Element::new("memory_util").with_text(format!("{:.0} %", dev.mem_utilization)));
     gpu.push_element(util);
 
     let temp = Element::new("temperature")
@@ -65,7 +65,9 @@ fn gpu_element(dev: &DeviceState) -> Element {
     let pcie = Element::new("pci").with_child(
         Element::new("pci_gpu_link_info").with_child(
             Element::new("pcie_gen")
-                .with_child(Element::new("current_link_gen").with_text(dev.pcie_link_gen.to_string()))
+                .with_child(
+                    Element::new("current_link_gen").with_text(dev.pcie_link_gen.to_string()),
+                )
                 .with_child(Element::new("max_link_gen").with_text(dev.arch.pcie_gen.to_string())),
         ),
     );
@@ -90,48 +92,100 @@ fn gpu_element(dev: &DeviceState) -> Element {
 pub fn query_plain(cluster: &GpuCluster) -> String {
     let snapshot = cluster.snapshot();
     let mut out = String::new();
-    out.push_str("==============NVSMI LOG==============
+    out.push_str(
+        "==============NVSMI LOG==============
 
-");
-    out.push_str(&format!("Timestamp                                 : t={:.3}s
-", cluster.clock().now()));
-    out.push_str(&format!("Driver Version                            : {}
-", cluster.driver_version()));
-    out.push_str(&format!("CUDA Version                              : {}
+",
+    );
+    out.push_str(&format!(
+        "Timestamp                                 : t={:.3}s
+",
+        cluster.clock().now()
+    ));
+    out.push_str(&format!(
+        "Driver Version                            : {}
+",
+        cluster.driver_version()
+    ));
+    out.push_str(&format!(
+        "CUDA Version                              : {}
 
-", cluster.cuda_version()));
-    out.push_str(&format!("Attached GPUs                             : {}
-", snapshot.len()));
+",
+        cluster.cuda_version()
+    ));
+    out.push_str(&format!(
+        "Attached GPUs                             : {}
+",
+        snapshot.len()
+    ));
     for dev in &snapshot {
-        out.push_str(&format!("GPU {}
-", dev.bus_id));
-        out.push_str(&format!("    Product Name                          : {}
-", dev.arch.name));
-        out.push_str(&format!("    Minor Number                          : {}
-", dev.minor_number));
-        out.push_str(&format!("    GPU UUID                              : {}
-", dev.uuid));
-        out.push_str(&format!("    Performance State                     : {}
-", dev.perf_state()));
-        out.push_str("    FB Memory Usage
-");
-        out.push_str(&format!("        Total                             : {} MiB
-", dev.fb_total_mib()));
-        out.push_str(&format!("        Used                              : {} MiB
-", dev.fb_used_mib()));
-        out.push_str(&format!("        Free                              : {} MiB
-", dev.fb_free_mib()));
-        out.push_str("    Utilization
-");
-        out.push_str(&format!("        Gpu                               : {:.0} %
-", dev.sm_utilization));
-        out.push_str(&format!("        Memory                            : {:.0} %
-", dev.mem_utilization));
-        out.push_str("    Processes
-");
+        out.push_str(&format!(
+            "GPU {}
+",
+            dev.bus_id
+        ));
+        out.push_str(&format!(
+            "    Product Name                          : {}
+",
+            dev.arch.name
+        ));
+        out.push_str(&format!(
+            "    Minor Number                          : {}
+",
+            dev.minor_number
+        ));
+        out.push_str(&format!(
+            "    GPU UUID                              : {}
+",
+            dev.uuid
+        ));
+        out.push_str(&format!(
+            "    Performance State                     : {}
+",
+            dev.perf_state()
+        ));
+        out.push_str(
+            "    FB Memory Usage
+",
+        );
+        out.push_str(&format!(
+            "        Total                             : {} MiB
+",
+            dev.fb_total_mib()
+        ));
+        out.push_str(&format!(
+            "        Used                              : {} MiB
+",
+            dev.fb_used_mib()
+        ));
+        out.push_str(&format!(
+            "        Free                              : {} MiB
+",
+            dev.fb_free_mib()
+        ));
+        out.push_str(
+            "    Utilization
+",
+        );
+        out.push_str(&format!(
+            "        Gpu                               : {:.0} %
+",
+            dev.sm_utilization
+        ));
+        out.push_str(&format!(
+            "        Memory                            : {:.0} %
+",
+            dev.mem_utilization
+        ));
+        out.push_str(
+            "    Processes
+",
+        );
         if dev.processes().is_empty() {
-            out.push_str("        None
-");
+            out.push_str(
+                "        None
+",
+            );
         }
         for p in dev.processes() {
             out.push_str(&format!(
@@ -140,7 +194,10 @@ pub fn query_plain(cluster: &GpuCluster) -> String {
             Name                          : {}
             Used GPU Memory               : {} MiB
 ",
-                p.pid, p.ptype.code(), p.name, p.used_mib
+                p.pid,
+                p.ptype.code(),
+                p.name,
+                p.used_mib
             ));
         }
     }
@@ -178,7 +235,9 @@ pub fn render_table(cluster: &GpuCluster) -> String {
             format!("{}MiB", dev.fb_total_mib()),
             dev.sm_utilization
         ));
-        out.push_str("+-------------------------------+----------------------+----------------------+\n");
+        out.push_str(
+            "+-------------------------------+----------------------+----------------------+\n",
+        );
     }
     out.push('\n');
     out.push_str(
@@ -203,9 +262,13 @@ pub fn render_table(cluster: &GpuCluster) -> String {
         }
     }
     if !any {
-        out.push_str("|  No running processes found                                                 |\n");
+        out.push_str(
+            "|  No running processes found                                                 |\n",
+        );
     }
-    out.push_str("+-----------------------------------------------------------------------------+\n");
+    out.push_str(
+        "+-----------------------------------------------------------------------------+\n",
+    );
     out
 }
 

@@ -7,6 +7,7 @@
 
 use crate::gpu_usage::{get_gpu_usage, gpu_memory_usage};
 use gpusim::GpuCluster;
+use obs::{Recorder, Value};
 
 /// Which of GYAN's two device allocation strategies to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,6 +24,35 @@ pub enum AllocationPolicy {
     MemoryBased,
 }
 
+/// Why the allocator exposed the devices it did (the audit trail the
+/// telemetry records alongside the observed cluster state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationReason {
+    /// Every requested device was free; the request was granted as-is.
+    RequestedFree,
+    /// The request was busy/absent (or there was no preference); the job
+    /// got the currently free GPUs.
+    FreeFallback,
+    /// Nothing was free; the Process ID approach scattered the job across
+    /// all GPUs.
+    AllBusyScatter,
+    /// Nothing was free; the Process Allocated Memory approach picked the
+    /// GPU with the least allocated memory.
+    AllBusyLeastMemory,
+}
+
+impl AllocationReason {
+    /// Stable snake_case name used in audit events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AllocationReason::RequestedFree => "requested_free",
+            AllocationReason::FreeFallback => "free_fallback",
+            AllocationReason::AllBusyScatter => "all_busy_scatter",
+            AllocationReason::AllBusyLeastMemory => "all_busy_least_memory",
+        }
+    }
+}
+
 /// The outcome of an allocation decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allocation {
@@ -32,6 +62,8 @@ pub struct Allocation {
     pub devices: Vec<u32>,
     /// True when the requested device was free and granted as-is.
     pub granted_requested: bool,
+    /// Why these devices were chosen.
+    pub reason: AllocationReason,
 }
 
 /// Decide which GPUs to expose to a job.
@@ -44,7 +76,60 @@ pub fn select_gpus(
     requested: &[u32],
     policy: AllocationPolicy,
 ) -> Option<Allocation> {
+    select_gpus_traced(cluster, requested, policy, None)
+}
+
+/// [`select_gpus`] plus a decision audit: when `recorder` is given, emits
+/// one `gyan.allocation.decision` event recording the inputs the allocator
+/// saw (per-device busy PIDs and allocated memory, the free list, the
+/// request) and the reason for its choice.
+pub fn select_gpus_traced(
+    cluster: &GpuCluster,
+    requested: &[u32],
+    policy: AllocationPolicy,
+    recorder: Option<&Recorder>,
+) -> Option<Allocation> {
     let usage = get_gpu_usage(cluster);
+    let outcome = decide(cluster, &usage, requested, policy);
+
+    if let Some(rec) = recorder {
+        let memory = gpu_memory_usage(cluster);
+        let mut fields: Vec<(String, Value)> = vec![
+            ("policy".into(), policy_name(policy).into()),
+            ("requested".into(), join(requested).into()),
+            ("all_gpus".into(), join(&usage.all_gpus).into()),
+            ("avail_gpus".into(), join(&usage.avail_gpus).into()),
+        ];
+        // The per-device state the decision was based on: busy PIDs and
+        // allocated framebuffer memory.
+        for (minor, pids) in &usage.proc_gpu_dict {
+            fields.push((format!("gpu{minor}_pids"), join(pids).into()));
+        }
+        for (minor, used) in &memory {
+            fields.push((format!("gpu{minor}_mem_mib"), (*used).into()));
+        }
+        match &outcome {
+            Some(alloc) => {
+                fields.push((
+                    "cuda_visible_devices".into(),
+                    alloc.cuda_visible_devices.as_str().into(),
+                ));
+                fields.push(("granted_requested".into(), alloc.granted_requested.into()));
+                fields.push(("reason".into(), alloc.reason.as_str().into()));
+            }
+            None => fields.push(("reason".into(), "no_gpus_on_node".into())),
+        }
+        rec.event("gyan.allocation.decision", fields);
+    }
+    outcome
+}
+
+fn decide(
+    cluster: &GpuCluster,
+    usage: &crate::gpu_usage::GpuUsage,
+    requested: &[u32],
+    policy: AllocationPolicy,
+) -> Option<Allocation> {
     if usage.all_gpus.is_empty() {
         return None;
     }
@@ -63,18 +148,20 @@ pub fn select_gpus(
         let all_free = requested_dedup.iter().all(|id| usage.avail_gpus.contains(id));
         let all_exist = requested_dedup.iter().all(|id| usage.all_gpus.contains(id));
         if all_exist && all_free {
-            return Some(make_allocation(requested_dedup, true));
+            return Some(make_allocation(requested_dedup, AllocationReason::RequestedFree));
         }
     }
 
     // Requested GPU busy (or no preference): fall back to the free GPUs.
     if !usage.avail_gpus.is_empty() {
-        return Some(make_allocation(usage.avail_gpus, false));
+        return Some(make_allocation(usage.avail_gpus.clone(), AllocationReason::FreeFallback));
     }
 
     // Nothing free: the two strategies diverge.
-    let devices = match policy {
-        AllocationPolicy::ProcessId => usage.all_gpus, // scatter across all
+    let (devices, reason) = match policy {
+        AllocationPolicy::ProcessId => {
+            (usage.all_gpus.clone(), AllocationReason::AllBusyScatter) // scatter across all
+        }
         AllocationPolicy::MemoryBased => {
             let mem = gpu_memory_usage(cluster);
             let min = mem
@@ -82,16 +169,31 @@ pub fn select_gpus(
                 .min_by_key(|(minor, used)| (*used, *minor))
                 .map(|(minor, _)| *minor)
                 .expect("non-empty gpu list");
-            vec![min]
+            (vec![min], AllocationReason::AllBusyLeastMemory)
         }
     };
-    Some(make_allocation(devices, false))
+    Some(make_allocation(devices, reason))
 }
 
-fn make_allocation(devices: Vec<u32>, granted_requested: bool) -> Allocation {
-    let cuda_visible_devices =
-        devices.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
-    Allocation { cuda_visible_devices, devices, granted_requested }
+fn make_allocation(devices: Vec<u32>, reason: AllocationReason) -> Allocation {
+    let cuda_visible_devices = devices.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+    Allocation {
+        cuda_visible_devices,
+        devices,
+        granted_requested: reason == AllocationReason::RequestedFree,
+        reason,
+    }
+}
+
+fn policy_name(policy: AllocationPolicy) -> &'static str {
+    match policy {
+        AllocationPolicy::ProcessId => "process_id",
+        AllocationPolicy::MemoryBased => "memory_based",
+    }
+}
+
+fn join<T: ToString>(items: &[T]) -> String {
+    items.iter().map(T::to_string).collect::<Vec<_>>().join(",")
 }
 
 #[cfg(test)]
@@ -196,5 +298,53 @@ mod tests {
         let c = GpuCluster::cpu_only_node();
         assert!(select_gpus(&c, &[], AllocationPolicy::ProcessId).is_none());
         assert!(select_gpus(&c, &[0], AllocationPolicy::MemoryBased).is_none());
+    }
+
+    #[test]
+    fn reason_tracks_decision_path() {
+        let c = GpuCluster::k80_node();
+        let a = select_gpus(&c, &[1], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.reason, AllocationReason::RequestedFree);
+        busy(&c, 1, 5, 10);
+        let a = select_gpus(&c, &[1], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.reason, AllocationReason::FreeFallback);
+        busy(&c, 0, 6, 10);
+        let a = select_gpus(&c, &[1], AllocationPolicy::ProcessId).unwrap();
+        assert_eq!(a.reason, AllocationReason::AllBusyScatter);
+        let a = select_gpus(&c, &[1], AllocationPolicy::MemoryBased).unwrap();
+        assert_eq!(a.reason, AllocationReason::AllBusyLeastMemory);
+    }
+
+    #[test]
+    fn traced_selection_records_observed_inputs_and_reason() {
+        let c = GpuCluster::k80_node();
+        busy(&c, 0, 43244, 60);
+        busy(&c, 1, 45751, 2700);
+        let rec = obs::Recorder::new();
+        let a = select_gpus_traced(&c, &[1], AllocationPolicy::MemoryBased, Some(&rec)).unwrap();
+        assert_eq!(a.cuda_visible_devices, "0");
+
+        let events = rec.events_named("gyan.allocation.decision");
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.field("policy").and_then(|v| v.as_str()), Some("memory_based"));
+        assert_eq!(e.field("requested").and_then(|v| v.as_str()), Some("1"));
+        assert_eq!(e.field("avail_gpus").and_then(|v| v.as_str()), Some(""));
+        assert_eq!(e.field("gpu0_pids").and_then(|v| v.as_str()), Some("43244"));
+        assert_eq!(e.field("gpu1_pids").and_then(|v| v.as_str()), Some("45751"));
+        // Driver reservation (63 MiB) + process memory.
+        assert_eq!(e.field("gpu0_mem_mib").and_then(|v| v.as_f64()), Some(123.0));
+        assert_eq!(e.field("gpu1_mem_mib").and_then(|v| v.as_f64()), Some(2763.0));
+        assert_eq!(e.field("reason").and_then(|v| v.as_str()), Some("all_busy_least_memory"));
+        assert_eq!(e.field("cuda_visible_devices").and_then(|v| v.as_str()), Some("0"));
+    }
+
+    #[test]
+    fn traced_selection_on_gpuless_node_records_why() {
+        let c = GpuCluster::cpu_only_node();
+        let rec = obs::Recorder::new();
+        assert!(select_gpus_traced(&c, &[], AllocationPolicy::ProcessId, Some(&rec)).is_none());
+        let events = rec.events_named("gyan.allocation.decision");
+        assert_eq!(events[0].field("reason").and_then(|v| v.as_str()), Some("no_gpus_on_node"));
     }
 }

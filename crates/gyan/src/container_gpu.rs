@@ -68,7 +68,8 @@ impl CommandMutator for SingularityGpuMutator {
         while i + 1 < parts.len() {
             if parts[i] == "-B" {
                 let bind = &parts[i + 1];
-                if let Some(stripped) = bind.strip_suffix(":rw").or_else(|| bind.strip_suffix(":ro"))
+                if let Some(stripped) =
+                    bind.strip_suffix(":rw").or_else(|| bind.strip_suffix(":ro"))
                 {
                     parts[i + 1] = stripped.to_string();
                 }
@@ -88,10 +89,7 @@ impl CommandMutator for SingularityGpuMutator {
 
 /// Index of `second` when it immediately follows `first` in `parts`.
 fn position_pair(parts: &[String], first: &str, second: &str) -> Option<usize> {
-    parts
-        .windows(2)
-        .position(|w| w[0] == first && w[1] == second)
-        .map(|i| i + 1)
+    parts.windows(2).position(|w| w[0] == first && w[1] == second).map(|i| i + 1)
 }
 
 #[cfg(test)]

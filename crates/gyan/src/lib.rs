@@ -27,7 +27,9 @@
 //!
 //! [`monitor`] is the paper's §V-C GPU hardware usage script (1 Hz
 //! utilization/memory/PCIe sampling with post-processed statistics and CSV
-//! output), and [`setup`] wires everything into a `GalaxyApp` in one call.
+//! output), [`telemetry`] merges job spans, decision audits, kernel/DMA
+//! timelines, and monitor samples into one Chrome trace, and [`setup`]
+//! wires everything into a `GalaxyApp` in one call.
 
 pub mod allocation;
 pub mod container_gpu;
@@ -36,13 +38,15 @@ pub mod monitor;
 pub mod orchestrator;
 pub mod rules;
 pub mod setup;
+pub mod telemetry;
 
-pub use allocation::{select_gpus, AllocationPolicy};
+pub use allocation::{select_gpus, select_gpus_traced, AllocationPolicy, AllocationReason};
 pub use gpu_usage::{get_gpu_usage, gpu_memory_usage};
 pub use monitor::UsageMonitor;
 pub use orchestrator::GyanHook;
 pub use rules::GpuDestinationRule;
 pub use setup::install_gyan;
+pub use telemetry::{export_run, merged_chrome_trace, TelemetryExport};
 
 /// The boolean environment variable GYAN introduces to Galaxy: `"true"`
 /// when the job was mapped to a GPU destination.

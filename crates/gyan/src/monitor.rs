@@ -12,7 +12,7 @@
 //! advance virtual time automatically generate a chronological usage
 //! trace.
 
-use gpusim::GpuCluster;
+use gpusim::{GpuCluster, ObserverId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -75,6 +75,7 @@ pub struct UsageMonitor {
     state: Arc<Mutex<MonitorState>>,
     active: Arc<AtomicBool>,
     interval: f64,
+    observer: Mutex<Option<ObserverId>>,
 }
 
 impl UsageMonitor {
@@ -87,24 +88,18 @@ impl UsageMonitor {
     pub fn start_with_interval(cluster: &GpuCluster, interval: f64) -> Self {
         assert!(interval > 0.0, "sampling interval must be positive");
         let start_t = cluster.clock().now();
-        let state = Arc::new(Mutex::new(MonitorState {
-            samples: Vec::new(),
-            last_sample_t: start_t,
-        }));
+        let state =
+            Arc::new(Mutex::new(MonitorState { samples: Vec::new(), last_sample_t: start_t }));
         let active = Arc::new(AtomicBool::new(true));
-        let monitor = UsageMonitor {
-            cluster: cluster.clone(),
-            state: state.clone(),
-            active: active.clone(),
-            interval,
-        };
 
         let observer_cluster = cluster.clone();
-        cluster.clock().on_advance(Box::new(move |now| {
-            if !active.load(Ordering::Relaxed) {
+        let observer_state = state.clone();
+        let observer_active = active.clone();
+        let observer = cluster.clock().on_advance(Box::new(move |now| {
+            if !observer_active.load(Ordering::Relaxed) {
                 return;
             }
-            let mut st = state.lock();
+            let mut st = observer_state.lock();
             // Take one sample per elapsed interval, stamped at the
             // interval boundaries (the script's chronological 1 Hz log).
             while st.last_sample_t + interval <= now {
@@ -114,7 +109,13 @@ impl UsageMonitor {
                 st.samples.push(Sample { t, devices });
             }
         }));
-        monitor
+        UsageMonitor {
+            cluster: cluster.clone(),
+            state,
+            active,
+            interval,
+            observer: Mutex::new(Some(observer)),
+        }
     }
 
     /// Take an immediate sample regardless of the interval.
@@ -124,9 +125,14 @@ impl UsageMonitor {
         self.state.lock().samples.push(Sample { t, devices });
     }
 
-    /// Stop sampling (the job ended). Returns the collected samples.
+    /// Stop sampling (the job ended). Deregisters the clock observer, so
+    /// a stopped monitor costs the clock nothing. Returns the collected
+    /// samples.
     pub fn stop(&self) -> Vec<Sample> {
         self.active.store(false, Ordering::Relaxed);
+        if let Some(id) = self.observer.lock().take() {
+            self.cluster.clock().remove_observer(id);
+        }
         self.state.lock().samples.clone()
     }
 
@@ -184,13 +190,18 @@ impl UsageMonitor {
     /// Render the aggregated statistics report (the "other log and
     /// statistic files" of §V-C) as plain text.
     pub fn render_report(&self) -> String {
-        let mut out = String::from("GPU hardware usage report
+        let mut out = String::from(
+            "GPU hardware usage report
 =========================
-");
+",
+        );
         let samples = self.state.lock().samples.len();
-        out.push_str(&format!("samples: {samples} (interval {:.1}s)
+        out.push_str(&format!(
+            "samples: {samples} (interval {:.1}s)
 
-", self.interval));
+",
+            self.interval
+        ));
         for s in self.stats() {
             out.push_str(&format!(
                 "GPU {}:
@@ -216,6 +227,16 @@ impl UsageMonitor {
             }
         }
         csv
+    }
+}
+
+impl Drop for UsageMonitor {
+    // A monitor that is merely dropped (job killed, panic unwind) must not
+    // leave its observer behind on the long-lived cluster clock.
+    fn drop(&mut self) {
+        if let Some(id) = self.observer.lock().take() {
+            self.cluster.clock().remove_observer(id);
+        }
     }
 }
 
@@ -328,5 +349,33 @@ mod tests {
     fn zero_interval_rejected() {
         let c = GpuCluster::k80_node();
         let _ = UsageMonitor::start_with_interval(&c, 0.0);
+    }
+
+    #[test]
+    fn stop_deregisters_clock_observer() {
+        let c = GpuCluster::k80_node();
+        let baseline = c.clock().observer_count();
+        let mon = UsageMonitor::start(&c);
+        assert_eq!(c.clock().observer_count(), baseline + 1);
+        mon.stop();
+        assert_eq!(c.clock().observer_count(), baseline);
+        // Stopping again (or dropping) must not underflow / double-remove.
+        mon.stop();
+        drop(mon);
+        assert_eq!(c.clock().observer_count(), baseline);
+    }
+
+    #[test]
+    fn drop_deregisters_clock_observer() {
+        let c = GpuCluster::k80_node();
+        let baseline = c.clock().observer_count();
+        // Repeated start/drop cycles — the pattern that used to leak one
+        // observer per monitored job — leave the clock unchanged.
+        for _ in 0..10 {
+            let mon = UsageMonitor::start(&c);
+            c.clock().advance(1.0);
+            drop(mon);
+        }
+        assert_eq!(c.clock().observer_count(), baseline);
     }
 }

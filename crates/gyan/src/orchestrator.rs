@@ -12,13 +12,14 @@
 //!    parameter dictionary as `__galaxy_gpu_enabled__` (the
 //!    `build_param_dict` insertion described in §IV-A).
 
-use crate::allocation::{select_gpus, AllocationPolicy};
+use crate::allocation::{select_gpus_traced, AllocationPolicy};
 use crate::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED, GPU_ENABLED_PARAM};
 use galaxy::job::conf::Destination;
 use galaxy::job::Job;
 use galaxy::runners::JobHook;
 use galaxy::tool::Tool;
 use gpusim::GpuCluster;
+use obs::{Recorder, Value};
 
 /// The GYAN orchestration hook. Register with
 /// [`galaxy::GalaxyApp::add_hook`].
@@ -27,6 +28,7 @@ pub struct GyanHook {
     policy: AllocationPolicy,
     /// Destination ids treated as GPU destinations.
     gpu_destinations: Vec<String>,
+    recorder: Option<Recorder>,
 }
 
 impl GyanHook {
@@ -42,7 +44,15 @@ impl GyanHook {
             cluster: cluster.clone(),
             policy,
             gpu_destinations: gpu_destinations.into_iter().map(Into::into).collect(),
+            recorder: None,
         }
+    }
+
+    /// Record the allocation decision (and the resulting environment
+    /// exports) per dispatched job.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The active allocation policy.
@@ -59,16 +69,38 @@ impl JobHook for GyanHook {
     fn before_dispatch(&self, job: &mut Job, tool: &Tool, destination: &Destination) {
         let wants_gpu = tool.requires_gpu() && self.is_gpu_destination(destination);
         if wants_gpu {
-            if let Some(alloc) = select_gpus(&self.cluster, &tool.requested_gpu_ids(), self.policy)
-            {
+            if let Some(alloc) = select_gpus_traced(
+                &self.cluster,
+                &tool.requested_gpu_ids(),
+                self.policy,
+                self.recorder.as_ref(),
+            ) {
+                self.audit(job, destination, true, Some(alloc.cuda_visible_devices.as_str()));
                 job.set_env(GALAXY_GPU_ENABLED, "true");
                 job.set_env(CUDA_VISIBLE_DEVICES, alloc.cuda_visible_devices);
                 job.params.set(GPU_ENABLED_PARAM, "true");
                 return;
             }
         }
+        self.audit(job, destination, false, None);
         job.set_env(GALAXY_GPU_ENABLED, "false");
         job.params.set(GPU_ENABLED_PARAM, "false");
+    }
+}
+
+impl GyanHook {
+    fn audit(&self, job: &Job, destination: &Destination, enabled: bool, mask: Option<&str>) {
+        if let Some(rec) = &self.recorder {
+            let mut fields: Vec<(&str, Value)> = vec![
+                ("job_id", job.id.into()),
+                ("destination", destination.id.as_str().into()),
+                ("gpu_enabled", enabled.into()),
+            ];
+            if let Some(mask) = mask {
+                fields.push(("cuda_visible_devices", mask.into()));
+            }
+            rec.event("gyan.hook.export", fields);
+        }
     }
 }
 

@@ -14,6 +14,7 @@ use galaxy::tool::Tool;
 use galaxy::GalaxyError;
 use gpusim::nvml::Nvml;
 use gpusim::GpuCluster;
+use obs::{Recorder, Value};
 
 /// Factory for the `gpu_dynamic_destination` rule.
 #[derive(Clone)]
@@ -28,6 +29,13 @@ pub struct GpuDestinationRule {
     /// multi-GPU cases where busy GPUs still accept jobs), presence of any
     /// GPU suffices and the allocation policy decides placement.
     pub require_free_gpu: bool,
+    recorder: Option<Recorder>,
+}
+
+/// What the rule saw when it queried the cluster through pynvml.
+struct GpuObservation {
+    device_count: u32,
+    free_gpus: Vec<u32>,
 }
 
 impl GpuDestinationRule {
@@ -43,6 +51,7 @@ impl GpuDestinationRule {
             gpu_destination: gpu_destination.into(),
             cpu_destination: cpu_destination.into(),
             require_free_gpu: false,
+            recorder: None,
         }
     }
 
@@ -52,31 +61,63 @@ impl GpuDestinationRule {
         self
     }
 
+    /// Emit a `gyan.rule.decision` audit event per evaluation, recording
+    /// the device availability the rule observed and why it chose the
+    /// destination it did.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Evaluate the rule for one job.
-    pub fn decide(&self, tool: &Tool, _job: &Job, config: &JobConfig) -> Result<String, GalaxyError> {
-        let chosen = if self.gpu_available() && tool.requires_gpu() {
-            &self.gpu_destination
+    pub fn decide(
+        &self,
+        tool: &Tool,
+        job: &Job,
+        config: &JobConfig,
+    ) -> Result<String, GalaxyError> {
+        let seen = self.observe();
+        let gpu_ok =
+            seen.device_count > 0 && (!self.require_free_gpu || !seen.free_gpus.is_empty());
+        let requires_gpu = tool.requires_gpu();
+        let (chosen, reason) = if gpu_ok && requires_gpu {
+            (&self.gpu_destination, "gpu_tool_and_gpu_available")
+        } else if !requires_gpu {
+            (&self.cpu_destination, "tool_has_no_gpu_requirement")
+        } else if seen.device_count == 0 {
+            (&self.cpu_destination, "no_gpus_on_node")
         } else {
-            &self.cpu_destination
+            (&self.cpu_destination, "no_free_gpu")
         };
+
+        if let Some(rec) = &self.recorder {
+            let free: Vec<String> = seen.free_gpus.iter().map(u32::to_string).collect();
+            let fields: Vec<(&str, Value)> = vec![
+                ("tool", tool.id.as_str().into()),
+                ("job_id", job.id.into()),
+                ("requires_gpu", requires_gpu.into()),
+                ("device_count", seen.device_count.into()),
+                ("free_gpus", free.join(",").into()),
+                ("require_free_gpu", self.require_free_gpu.into()),
+                ("destination", chosen.as_str().into()),
+                ("reason", reason.into()),
+            ];
+            rec.event("gyan.rule.decision", fields);
+        }
+
         if config.destination(chosen).is_none() {
             return Err(GalaxyError::UnknownDestination(chosen.clone()));
         }
         Ok(chosen.clone())
     }
 
-    fn gpu_available(&self) -> bool {
+    fn observe(&self) -> GpuObservation {
         let nvml = Nvml::init(&self.cluster);
-        let count = nvml.device_count();
-        if count == 0 {
-            return false;
-        }
-        if !self.require_free_gpu {
-            return true;
-        }
-        (0..count).any(|i| {
-            nvml.compute_running_processes(i).map(|p| p.is_empty()).unwrap_or(false)
-        })
+        let device_count = nvml.device_count();
+        let free_gpus = (0..device_count)
+            .filter(|i| nvml.compute_running_processes(*i).map(|p| p.is_empty()).unwrap_or(false))
+            .collect();
+        GpuObservation { device_count, free_gpus }
     }
 
     /// Box the rule for registration with
@@ -106,11 +147,8 @@ mod tests {
     }
 
     fn cpu_tool() -> Tool {
-        parse_tool(
-            r#"<tool id="sort"><command>sort</command></tool>"#,
-            &MacroLibrary::new(),
-        )
-        .unwrap()
+        parse_tool(r#"<tool id="sort"><command>sort</command></tool>"#, &MacroLibrary::new())
+            .unwrap()
     }
 
     fn config() -> JobConfig {
@@ -165,6 +203,50 @@ mod tests {
             rule.decide(&gpu_tool(), &job(), &config()),
             Err(GalaxyError::UnknownDestination(_))
         ));
+    }
+
+    #[test]
+    fn decision_audit_records_observed_state_and_reason() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(0, GpuProcess::compute(7, "racon", 60)).unwrap();
+        let rec = obs::Recorder::new();
+        let rule = GpuDestinationRule::new(&c, "local_gpu", "local_cpu").with_recorder(rec.clone());
+
+        rule.decide(&gpu_tool(), &job(), &config()).unwrap();
+        rule.decide(&cpu_tool(), &job(), &config()).unwrap();
+
+        let events = rec.events_named("gyan.rule.decision");
+        assert_eq!(events.len(), 2);
+        let gpu = &events[0];
+        assert_eq!(gpu.field("tool").and_then(|v| v.as_str()), Some("racon_gpu"));
+        assert_eq!(gpu.field("device_count").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(gpu.field("free_gpus").and_then(|v| v.as_str()), Some("1"));
+        assert_eq!(gpu.field("destination").and_then(|v| v.as_str()), Some("local_gpu"));
+        assert_eq!(
+            gpu.field("reason").and_then(|v| v.as_str()),
+            Some("gpu_tool_and_gpu_available")
+        );
+        let cpu = &events[1];
+        assert_eq!(cpu.field("destination").and_then(|v| v.as_str()), Some("local_cpu"));
+        assert_eq!(
+            cpu.field("reason").and_then(|v| v.as_str()),
+            Some("tool_has_no_gpu_requirement")
+        );
+    }
+
+    #[test]
+    fn audit_explains_strict_fallback() {
+        let c = GpuCluster::k80_node();
+        c.attach_process(0, GpuProcess::compute(1, "a", 1)).unwrap();
+        c.attach_process(1, GpuProcess::compute(2, "b", 1)).unwrap();
+        let rec = obs::Recorder::new();
+        let rule = GpuDestinationRule::new(&c, "local_gpu", "local_cpu")
+            .require_free()
+            .with_recorder(rec.clone());
+        assert_eq!(rule.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_cpu");
+        let e = &rec.events_named("gyan.rule.decision")[0];
+        assert_eq!(e.field("reason").and_then(|v| v.as_str()), Some("no_free_gpu"));
+        assert_eq!(e.field("free_gpus").and_then(|v| v.as_str()), Some(""));
     }
 
     #[test]

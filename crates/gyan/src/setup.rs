@@ -104,17 +104,26 @@ impl GyanConfig {
 /// Install GYAN into `app`: registers the dynamic destination rule, the
 /// orchestration hook, both container GPU mutators, and switches the app's
 /// time source to the cluster's virtual clock.
+///
+/// Telemetry is wired end to end: the app's [`obs::Recorder`] is shared
+/// with the rule and the hook (so their decision audit events land in the
+/// same log as the job spans), and its clock is driven by the cluster's
+/// virtual clock, making every exported timestamp deterministic.
 pub fn install_gyan(app: &mut GalaxyApp, cluster: &GpuCluster, config: GyanConfig) {
+    let recorder = app.recorder().clone();
+    let recorder_clock = cluster.clock().clone();
+    recorder.set_clock(move || recorder_clock.now());
+
     app.register_rule(
         config.rule_name.clone(),
         GpuDestinationRule::new(cluster, &config.gpu_destination, &config.cpu_destination)
+            .with_recorder(recorder.clone())
             .into_rule(),
     );
-    app.add_hook(Box::new(GyanHook::new(
-        cluster,
-        config.policy,
-        config.gpu_destinations.clone(),
-    )));
+    app.add_hook(Box::new(
+        GyanHook::new(cluster, config.policy, config.gpu_destinations.clone())
+            .with_recorder(recorder),
+    ));
     app.add_mutator(Box::new(DockerGpuMutator));
     app.add_mutator(Box::new(SingularityGpuMutator));
     app.set_time_source(Box::new(ClusterTime(cluster.clock().clone())));

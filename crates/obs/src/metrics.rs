@@ -1,0 +1,347 @@
+//! Metrics registry: counters, gauges, histograms, and Prometheus text
+//! exposition (plus a small exposition parser for tests and tooling).
+//!
+//! Metric keys may carry inline Prometheus labels —
+//! `galaxy_jobs_total{state="ok"}` — which the exposition groups under
+//! one `# TYPE` header per base name.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Histogram bucket upper bounds used when none are supplied: roughly
+/// log-spaced from 1 ms to 100 s, suiting queue waits and phase times.
+pub const DEFAULT_BUCKETS: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0];
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len()], sum: 0.0, count: 0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        for (i, bound) in self.bounds.iter().enumerate() {
+            if v <= *bound {
+                self.counts[i] += 1;
+            }
+        }
+        self.sum += v;
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+struct MetricsState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe metrics registry; clone freely, all clones share state.
+#[derive(Clone)]
+pub struct Registry {
+    state: Arc<Mutex<MetricsState>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { state: Arc::new(Mutex::new(MetricsState::default())) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `by` to a monotonically increasing counter.
+    pub fn inc_counter(&self, name: &str, by: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    /// Adjust a gauge by a (possibly negative) delta.
+    pub fn add_gauge(&self, name: &str, delta: f64) {
+        *self.lock().gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Record an observation into a histogram with [`DEFAULT_BUCKETS`].
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with_buckets(name, value, &DEFAULT_BUCKETS);
+    }
+
+    /// Record an observation into a histogram with explicit bucket
+    /// bounds (bounds are fixed by the first observation).
+    pub fn observe_with_buckets(&self, name: &str, value: f64, bounds: &[f64]) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Number of observations in a histogram (0 when absent).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.lock().histograms.get(name).map_or(0, |h| h.count)
+    }
+
+    /// Sum of observations in a histogram (0 when absent).
+    pub fn histogram_sum(&self, name: &str) -> f64 {
+        self.lock().histograms.get(name).map_or(0.0, |h| h.sum)
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    ///
+    /// Output is deterministic: metric families sorted by name, one
+    /// `# TYPE` header per base name (inline labels stripped).
+    pub fn render_prometheus(&self) -> String {
+        let state = self.lock();
+        let mut out = String::new();
+        let mut last_typed = String::new();
+        let mut type_header = |out: &mut String, name: &str, kind: &str| {
+            let base = base_name(name);
+            if last_typed != base {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_typed = base.to_string();
+            }
+        };
+        for (name, value) in &state.counters {
+            type_header(&mut out, name, "counter");
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, value) in &state.gauges {
+            type_header(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {}\n", format_value(*value)));
+        }
+        for (name, hist) in &state.histograms {
+            type_header(&mut out, name, "histogram");
+            let (base, labels) = split_labels(name);
+            // `counts[i]` already counts observations <= bounds[i], i.e.
+            // buckets are stored cumulatively as Prometheus expects.
+            for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+                out.push_str(&format!(
+                    "{base}_bucket{{{}le=\"{}\"}} {count}\n",
+                    labels_prefix(&labels),
+                    format_value(*bound),
+                ));
+            }
+            out.push_str(&format!(
+                "{base}_bucket{{{}le=\"+Inf\"}} {}\n",
+                labels_prefix(&labels),
+                hist.count
+            ));
+            let label_block =
+                if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+            out.push_str(&format!("{base}_sum{label_block} {}\n", format_value(hist.sum)));
+            out.push_str(&format!("{base}_count{label_block} {}\n", hist.count));
+        }
+        out
+    }
+}
+
+/// Strip inline labels: `a_total{x="y"}` → `a_total`.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Split `name{labels}` into (name, labels-without-braces).
+fn split_labels(name: &str) -> (&str, String) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}').to_string()),
+        None => (name, String::new()),
+    }
+}
+
+fn labels_prefix(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One sample parsed from Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name (without labels).
+    pub name: String,
+    /// Label key/value pairs, in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// Look up a label by key.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse Prometheus text exposition into samples; `#` lines are skipped,
+/// malformed lines are errors.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {raw}", lineno + 1))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {}: bad value '{value_part}'", lineno + 1))?;
+        let (name, labels) = match name_part.split_once('{') {
+            None => (name_part.to_string(), Vec::new()),
+            Some((base, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels: {raw}", lineno + 1))?;
+                (base.to_string(), parse_labels(body, lineno + 1)?)
+            }
+        };
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {lineno}: bad metric name '{name}'", lineno = lineno + 1));
+        }
+        samples.push(PromSample { name, labels, value });
+    }
+    Ok(samples)
+}
+
+fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (key, after_key) =
+            rest.split_once('=').ok_or_else(|| format!("line {lineno}: label without '='"))?;
+        let after_key = after_key
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {lineno}: unquoted label value"))?;
+        let close = after_key
+            .find('"')
+            .ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+        labels.push((key.trim().to_string(), after_key[..close].to_string()));
+        rest = after_key[close + 1..].trim_start_matches(',').trim_start();
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let reg = Registry::new();
+        reg.inc_counter("jobs_total", 2);
+        reg.inc_counter("jobs_total", 1);
+        reg.set_gauge("queue_depth", 4.0);
+        reg.add_gauge("queue_depth", -4.0);
+        reg.observe("wait_seconds", 0.004);
+        reg.observe("wait_seconds", 0.2);
+        reg.observe("wait_seconds", 50.0);
+
+        assert_eq!(reg.counter_value("jobs_total"), 3);
+        assert_eq!(reg.gauge_value("queue_depth"), Some(0.0));
+        assert_eq!(reg.histogram_count("wait_seconds"), 3);
+        assert!((reg.histogram_sum("wait_seconds") - 50.204).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposition_renders_and_parses() {
+        let reg = Registry::new();
+        reg.inc_counter("jobs_total{state=\"ok\"}", 5);
+        reg.inc_counter("jobs_total{state=\"error\"}", 1);
+        reg.set_gauge("queue_depth", 0.0);
+        reg.observe_with_buckets("wait_seconds", 0.05, &[0.01, 0.1, 1.0]);
+        reg.observe_with_buckets("wait_seconds", 0.5, &[0.01, 0.1, 1.0]);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("# TYPE wait_seconds histogram"));
+
+        let samples = parse_prometheus(&text).expect("exposition parses");
+        let ok = samples
+            .iter()
+            .find(|s| s.name == "jobs_total" && s.label("state") == Some("ok"))
+            .unwrap();
+        assert_eq!(ok.value, 5.0);
+        let depth = samples.iter().find(|s| s.name == "queue_depth").unwrap();
+        assert_eq!(depth.value, 0.0);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "wait_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+        let count = samples.iter().find(|s| s.name == "wait_seconds_count").unwrap();
+        assert_eq!(count.value, 2.0);
+        // Buckets are cumulative: le=0.1 holds the 0.05 observation only.
+        let b01 = samples
+            .iter()
+            .find(|s| s.name == "wait_seconds_bucket" && s.label("le") == Some("0.1"))
+            .unwrap();
+        assert_eq!(b01.value, 1.0);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("name_without_value\n").is_err());
+        assert!(parse_prometheus("bad-name 1\n").is_err());
+        assert!(parse_prometheus("name{unterminated 1\n").is_err());
+        assert!(parse_prometheus("# comment only\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn registry_is_shared_across_clones() {
+        let reg = Registry::new();
+        let clones: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        reg.inc_counter("shared_total", 1);
+                    }
+                })
+            })
+            .collect();
+        for c in clones {
+            c.join().unwrap();
+        }
+        assert_eq!(reg.counter_value("shared_total"), 400);
+    }
+}

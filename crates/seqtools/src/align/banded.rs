@@ -5,7 +5,11 @@
 /// Full dynamic-programming edit distance (Levenshtein), O(n·m) time,
 /// O(min(n, m)) space.
 pub fn edit_distance(a: &str, b: &str) -> usize {
-    let (short, long) = if a.len() <= b.len() { (a.as_bytes(), b.as_bytes()) } else { (b.as_bytes(), a.as_bytes()) };
+    let (short, long) = if a.len() <= b.len() {
+        (a.as_bytes(), b.as_bytes())
+    } else {
+        (b.as_bytes(), a.as_bytes())
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -122,12 +126,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let a: String =
-                (0..100).map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)]).collect();
+                (0..100).map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4usize)]).collect();
             // Mutate a few positions.
             let mut b: Vec<char> = a.chars().collect();
             for _ in 0..4 {
                 let i = rng.gen_range(0..b.len());
-                b[i] = ['A', 'C', 'G', 'T'][rng.gen_range(0..4)];
+                b[i] = ['A', 'C', 'G', 'T'][rng.gen_range(0..4usize)];
             }
             let b: String = b.into_iter().collect();
             let full = edit_distance(&a, &b);

@@ -43,7 +43,13 @@ impl BonitoInput {
     /// Generate the laptop-scale instance of a fast5 dataset.
     pub fn from_dataset(spec: &DatasetSpec) -> Self {
         let genome = random_genome(spec.genome_len, spec.seed);
-        let reads = sample_reads(&genome, spec.n_reads, spec.read_len, &ErrorModel::perfect(), spec.seed ^ 0xf457);
+        let reads = sample_reads(
+            &genome,
+            spec.n_reads,
+            spec.read_len,
+            &ErrorModel::perfect(),
+            spec.seed ^ 0xf457,
+        );
         let pore = PoreModel::default();
         let signals: Vec<Vec<f32>> = reads
             .iter()
@@ -172,16 +178,11 @@ pub fn basecall_gpu(
 
     // Chunks are grouped into batches; each batch is one H2D copy plus a
     // GEMM kernel per layer (what NVProf shows as the GEMM hotspots).
-    let total_chunks: usize = input
-        .signals
-        .iter()
-        .map(|s| chunk_signal(s, opts.chunk).len())
-        .sum();
+    let total_chunks: usize = input.signals.iter().map(|s| chunk_signal(s, opts.chunk).len()).sum();
     let batches = total_chunks.div_ceil(opts.batch.max(1)).max(1);
     let scale = input.work_scale * costs::MODEL_SCALE;
     let flops_per_batch = flops * scale / batches as f64;
-    let bytes_per_batch =
-        input.synthetic_bytes() * input.work_scale / batches as f64;
+    let bytes_per_batch = input.synthetic_bytes() * input.work_scale / batches as f64;
     let shapes = model.gemm_shapes(opts.chunk);
     let layer_flops_total: f64 = model.flops(opts.chunk);
     for _ in 0..batches {
@@ -241,8 +242,20 @@ mod tests {
     fn basecalls_are_deterministic_and_plausible() {
         let input = tiny_input();
         let model = BonitoModel::tiny(3);
-        let a = basecall_cpu(&input, &model, &tiny_opts(), &HostSpec::xeon_e5_2670(), &VirtualClock::new());
-        let b = basecall_cpu(&input, &model, &tiny_opts(), &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+        let a = basecall_cpu(
+            &input,
+            &model,
+            &tiny_opts(),
+            &HostSpec::xeon_e5_2670(),
+            &VirtualClock::new(),
+        );
+        let b = basecall_cpu(
+            &input,
+            &model,
+            &tiny_opts(),
+            &HostSpec::xeon_e5_2670(),
+            &VirtualClock::new(),
+        );
         assert_eq!(a.fasta, b.fasta);
         assert!(a.flops > 0.0);
         // Output length should be within an order of magnitude of the
@@ -257,7 +270,13 @@ mod tests {
     fn gpu_and_cpu_calls_match() {
         let input = tiny_input();
         let model = BonitoModel::tiny(3);
-        let cpu = basecall_cpu(&input, &model, &tiny_opts(), &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+        let cpu = basecall_cpu(
+            &input,
+            &model,
+            &tiny_opts(),
+            &HostSpec::xeon_e5_2670(),
+            &VirtualClock::new(),
+        );
         let cluster = GpuCluster::k80_node();
         let mut ctx = CudaContext::new(&cluster, None, 9, "bonito").unwrap();
         let gpu = basecall_gpu(&input, &model, &tiny_opts(), &cluster, &mut ctx).unwrap();
@@ -269,7 +288,13 @@ mod tests {
     fn gpu_is_dramatically_faster() {
         let input = tiny_input();
         let model = BonitoModel::tiny(3);
-        let cpu = basecall_cpu(&input, &model, &tiny_opts(), &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+        let cpu = basecall_cpu(
+            &input,
+            &model,
+            &tiny_opts(),
+            &HostSpec::xeon_e5_2670(),
+            &VirtualClock::new(),
+        );
         let cluster = GpuCluster::k80_node();
         let mut ctx = CudaContext::new(&cluster, None, 9, "bonito").unwrap();
         let gpu = basecall_gpu(&input, &model, &tiny_opts(), &cluster, &mut ctx).unwrap();
@@ -299,7 +324,13 @@ mod tests {
     fn fasta_output_parses() {
         let input = tiny_input();
         let model = BonitoModel::tiny(3);
-        let report = basecall_cpu(&input, &model, &tiny_opts(), &HostSpec::xeon_e5_2670(), &VirtualClock::new());
+        let report = basecall_cpu(
+            &input,
+            &model,
+            &tiny_opts(),
+            &HostSpec::xeon_e5_2670(),
+            &VirtualClock::new(),
+        );
         let records = crate::fasta::parse_fasta(&report.fasta).unwrap();
         assert_eq!(records.len(), report.calls.iter().filter(|c| !c.is_empty()).count());
     }

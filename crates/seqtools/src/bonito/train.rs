@@ -67,13 +67,15 @@ fn class_of(base: u8) -> usize {
 fn frame_targets(target: &str, t_out: usize) -> Vec<usize> {
     let bytes = target.as_bytes();
     (0..t_out)
-        .map(|t| {
-            if bytes.is_empty() {
-                BLANK
-            } else {
-                class_of(bytes[t * bytes.len() / t_out.max(1)])
-            }
-        })
+        .map(
+            |t| {
+                if bytes.is_empty() {
+                    BLANK
+                } else {
+                    class_of(bytes[t * bytes.len() / t_out.max(1)])
+                }
+            },
+        )
         .collect()
 }
 
@@ -151,7 +153,11 @@ pub fn train_head(
                 ctx.memcpy_async(TransferSpec::h2d(chunk.signal.len() as f64 * 4.0).pinned())
                     .expect("transfer");
                 ctx.launch(&KernelSpec {
-                    name: if opts.amp { "volta_fp16_gemm_train".into() } else { "sgemm_train".into() },
+                    name: if opts.amp {
+                        "volta_fp16_gemm_train".into()
+                    } else {
+                        "sgemm_train".into()
+                    },
                     grid_blocks: 2048,
                     block_threads: costs::GEMM_BLOCK_THREADS,
                     flops: step_flops * costs::MODEL_SCALE,

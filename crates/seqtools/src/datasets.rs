@@ -121,7 +121,10 @@ mod tests {
         assert!((ratio - 3.466).abs() < 0.01);
         let per_read_aci = aci.work_scale();
         let per_read_kleb = kleb.work_scale();
-        assert!((per_read_kleb / per_read_aci - 1.0).abs() < 0.05, "{per_read_kleb} vs {per_read_aci}");
+        assert!(
+            (per_read_kleb / per_read_aci - 1.0).abs() < 0.05,
+            "{per_read_kleb} vs {per_read_aci}"
+        );
     }
 
     #[test]

@@ -124,9 +124,10 @@ impl ToolExecutor {
                 return spec.clone();
             }
         }
-        datasets.get(&default.to_ascii_lowercase()).cloned().unwrap_or_else(|| {
-            DatasetSpec::alzheimers_nfl()
-        })
+        datasets
+            .get(&default.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_else(DatasetSpec::alzheimers_nfl)
     }
 
     fn racon_input(&self, spec: &DatasetSpec) -> Arc<RaconInput> {
@@ -166,11 +167,10 @@ impl ToolExecutor {
 
         if gpu {
             let mask = plan.env_var("CUDA_VISIBLE_DEVICES");
-            let mut ctx =
-                match CudaContext::new(&self.cluster, mask, pid, "/usr/bin/racon_gpu") {
-                    Ok(ctx) => ctx,
-                    Err(e) => return ExecutionResult::fail(2, e.to_string()),
-                };
+            let mut ctx = match CudaContext::new(&self.cluster, mask, pid, "/usr/bin/racon_gpu") {
+                Ok(ctx) => ctx,
+                Err(e) => return ExecutionResult::fail(2, e.to_string()),
+            };
             match polish_gpu(&input, &opts, &self.cluster, &mut ctx) {
                 Ok(report) => {
                     let minors = ctx.visible_minors().to_vec();
@@ -201,8 +201,8 @@ impl ToolExecutor {
         let input = self.bonito_input(&spec);
         let model = BonitoModel::pretrained(spec.seed);
         let pid = self.cluster.spawn_pid();
-        let use_gpu = plan.env_var("GALAXY_GPU_ENABLED") == Some("true")
-            && !tokens.contains(&"--device=cpu");
+        let use_gpu =
+            plan.env_var("GALAXY_GPU_ENABLED") == Some("true") && !tokens.contains(&"--device=cpu");
 
         if use_gpu {
             let mask = plan.env_var("CUDA_VISIBLE_DEVICES");
@@ -237,11 +237,7 @@ impl ToolExecutor {
         }
         let mut attached = Vec::new();
         for &minor in minors {
-            if self
-                .cluster
-                .attach_process(minor, GpuProcess::compute(pid, name, mib))
-                .is_ok()
-            {
+            if self.cluster.attach_process(minor, GpuProcess::compute(pid, name, mib)).is_ok() {
                 attached.push(minor);
             }
         }

@@ -64,9 +64,9 @@ pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, FastaError> {
             }
             current = Some(FastaRecord::new(id, String::new()));
         } else {
-            let rec = current
-                .as_mut()
-                .ok_or_else(|| FastaError(format!("sequence before header at line {}", lineno + 1)))?;
+            let rec = current.as_mut().ok_or_else(|| {
+                FastaError(format!("sequence before header at line {}", lineno + 1))
+            })?;
             for ch in line.chars() {
                 let up = ch.to_ascii_uppercase();
                 if !matches!(up, 'A' | 'C' | 'G' | 'T' | 'N') {

@@ -84,7 +84,9 @@ pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, FastqError> {
                 qual.len()
             )));
         }
-        if let Some(bad) = seq.chars().find(|c| !matches!(c.to_ascii_uppercase(), 'A' | 'C' | 'G' | 'T' | 'N')) {
+        if let Some(bad) =
+            seq.chars().find(|c| !matches!(c.to_ascii_uppercase(), 'A' | 'C' | 'G' | 'T' | 'N'))
+        {
             return Err(FastqError(format!("illegal character {bad:?} in {id:?}")));
         }
         records.push(FastqRecord { id, seq: seq.to_ascii_uppercase(), qual });

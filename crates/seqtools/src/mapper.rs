@@ -96,8 +96,7 @@ pub fn minimizers(seq: &str, k: usize, w: usize) -> Vec<Minimizer> {
     }
     if out.is_empty() && n > 0 {
         // Sequence shorter than one window: keep its best k-mer.
-        let (pos, &hash) =
-            hashes.iter().enumerate().min_by_key(|&(_, h)| h).expect("non-empty");
+        let (pos, &hash) = hashes.iter().enumerate().min_by_key(|&(_, h)| h).expect("non-empty");
         out.push(Minimizer { pos, hash });
     }
     out
@@ -169,19 +168,15 @@ impl TargetIndex {
         let read_start = chain.iter().map(|a| a.1).min().expect("non-empty chain");
         let read_end = chain.iter().map(|a| a.1).max().expect("non-empty chain") + self.config.k;
         let target_start = chain.iter().map(|a| a.2).min().expect("non-empty chain");
-        let target_end =
-            (chain.iter().map(|a| a.2).max().expect("non-empty chain") + self.config.k)
-                .min(self.target_len);
+        let target_end = (chain.iter().map(|a| a.2).max().expect("non-empty chain")
+            + self.config.k)
+            .min(self.target_len);
         Some(Overlap { read_idx, read_start, read_end, target_start, target_end, hits })
     }
 
     /// Map every read; reads that fail to map are skipped.
     pub fn map_all(&self, reads: &[String]) -> Vec<Overlap> {
-        reads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| self.map_read(i, r))
-            .collect()
+        reads.iter().enumerate().filter_map(|(i, r)| self.map_read(i, r)).collect()
     }
 }
 

@@ -63,8 +63,7 @@ impl Conv1d {
         assert!(stride >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = (2.0 / (c_in * kernel) as f32).sqrt();
-        let weight =
-            Matrix::from_fn(c_out, c_in * kernel, |_, _| rng.gen_range(-scale..scale));
+        let weight = Matrix::from_fn(c_out, c_in * kernel, |_, _| rng.gen_range(-scale..scale));
         let bias = (0..c_out).map(|_| rng.gen_range(-0.05..0.05)).collect();
         Conv1d { weight, bias, c_in, c_out, kernel, stride, activation }
     }

@@ -84,28 +84,26 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
 
-        out.par_chunks_mut(TILE * n)
-            .enumerate()
-            .for_each(|(tile_idx, out_tile)| {
-                let r0 = tile_idx * TILE;
-                let r1 = (r0 + TILE).min(m);
-                for kk0 in (0..k).step_by(TILE) {
-                    let kk1 = (kk0 + TILE).min(k);
-                    for r in r0..r1 {
-                        let a_row = &self.data[r * k..(r + 1) * k];
-                        let o_row = &mut out_tile[(r - r0) * n..(r - r0 + 1) * n];
-                        for (kk, &a) in a_row.iter().enumerate().take(kk1).skip(kk0) {
-                            if a == 0.0 {
-                                continue;
-                            }
-                            let b_row = &other.data[kk * n..(kk + 1) * n];
-                            for (o, &b) in o_row.iter_mut().zip(b_row) {
-                                *o += a * b;
-                            }
+        out.par_chunks_mut(TILE * n).enumerate().for_each(|(tile_idx, out_tile)| {
+            let r0 = tile_idx * TILE;
+            let r1 = (r0 + TILE).min(m);
+            for kk0 in (0..k).step_by(TILE) {
+                let kk1 = (kk0 + TILE).min(k);
+                for r in r0..r1 {
+                    let a_row = &self.data[r * k..(r + 1) * k];
+                    let o_row = &mut out_tile[(r - r0) * n..(r - r0 + 1) * n];
+                    for (kk, &a) in a_row.iter().enumerate().take(kk1).skip(kk0) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[kk * n..(kk + 1) * n];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a * b;
                         }
                     }
                 }
-            });
+            }
+        });
         Matrix { rows: m, cols: n, data: out }
     }
 

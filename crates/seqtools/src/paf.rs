@@ -59,8 +59,7 @@ impl PafRecord {
         target_len: usize,
         k: usize,
     ) -> Self {
-        let block_len =
-            (ovl.read_end - ovl.read_start).max(ovl.target_end - ovl.target_start);
+        let block_len = (ovl.read_end - ovl.read_start).max(ovl.target_end - ovl.target_start);
         PafRecord {
             query_name: query_name.into(),
             query_len,
@@ -159,10 +158,7 @@ pub fn write_paf(records: &[PafRecord]) -> String {
 
 /// Parse a PAF document (blank lines skipped).
 pub fn parse_paf(text: &str) -> Result<Vec<PafRecord>, PafError> {
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(PafRecord::parse_line)
-        .collect()
+    text.lines().filter(|l| !l.trim().is_empty()).map(PafRecord::parse_line).collect()
 }
 
 #[cfg(test)]

@@ -255,10 +255,7 @@ impl PoaGraph {
                 _ => break, // free-start cell: leading chars stay Skip
             }
         }
-        (
-            AlignStats { cells, score: best_score, band_fallback: false, aligned_bases: 0 },
-            aligned,
-        )
+        (AlignStats { cells, score: best_score, band_fallback: false, aligned_bases: 0 }, aligned)
     }
 }
 

@@ -111,8 +111,7 @@ impl PoaGraph {
     /// Topological order of the node indices (Kahn's algorithm).
     pub(crate) fn topological_order(&self) -> Vec<usize> {
         let mut in_deg: Vec<usize> = self.nodes.iter().map(|n| n.in_edges.len()).collect();
-        let mut queue: Vec<usize> =
-            (0..self.nodes.len()).filter(|&i| in_deg[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.nodes.len()).filter(|&i| in_deg[i] == 0).collect();
         // Stable processing order for determinism.
         queue.sort_unstable();
         let mut order = Vec::with_capacity(self.nodes.len());

@@ -104,7 +104,14 @@ mod tests {
     use crate::sim::genome::random_genome;
 
     fn ovl(read_idx: usize, rs: usize, re: usize, ts: usize, te: usize) -> Overlap {
-        Overlap { read_idx, read_start: rs, read_end: re, target_start: ts, target_end: te, hits: 10 }
+        Overlap {
+            read_idx,
+            read_start: rs,
+            read_end: re,
+            target_start: ts,
+            target_end: te,
+            hits: 10,
+        }
     }
 
     #[test]
@@ -130,7 +137,7 @@ mod tests {
         assert_eq!(w[1].fragments.len(), 1);
         assert_eq!(w[0].fragments[0].len(), 225); // 200 + trailing slack
         assert_eq!(w[1].fragments[0].len(), 325); // 300 + leading slack
-        // Perfect read: fragment cores match the draft slices.
+                                                  // Perfect read: fragment cores match the draft slices.
         assert_eq!(&w[0].fragments[0][..200], &draft[300..500]);
         assert_eq!(&w[1].fragments[0][25..], &draft[500..800]);
     }

@@ -30,7 +30,7 @@ pub fn random_genome(len: usize, seed: u64) -> String {
 
 /// Uniform random base.
 pub fn random_base(rng: &mut StdRng) -> char {
-    BASES[rng.gen_range(0..4)]
+    BASES[rng.gen_range(0..4usize)]
 }
 
 /// A random base different from `not`.

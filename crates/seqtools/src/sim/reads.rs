@@ -89,8 +89,7 @@ pub fn sample_reads(
         let seq = mutate_sequence(template, model, &mut rng);
         // Quality proportional to the platform accuracy.
         let q = (-10.0 * model.total().max(1e-4).log10()) as u8;
-        let qual: String =
-            std::iter::repeat_n(char::from(33 + q.min(60)), seq.len()).collect();
+        let qual: String = std::iter::repeat_n(char::from(33 + q.min(60)), seq.len()).collect();
         reads.push(FastqRecord { id: format!("read_{i}/{start}_{}", start + len), seq, qual });
     }
     reads

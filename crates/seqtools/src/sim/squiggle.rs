@@ -66,7 +66,7 @@ pub fn simulate_squiggle(sequence: &str, model: &PoreModel, seed: u64) -> Vec<f3
     for window in bytes.windows(model.k) {
         let level = model.level(window);
         // Dwell varies 50%–150% of the mean, minimum 1 sample.
-        let dwell = (model.dwell_mean * rng.gen_range(0.5..1.5)).max(1.0) as usize;
+        let dwell = (model.dwell_mean * rng.gen_range(0.5f64..1.5)).max(1.0) as usize;
         for _ in 0..dwell {
             // Box–Muller Gaussian noise.
             let u1: f64 = rng.gen_range(1e-12..1.0);

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the bench-file API this workspace uses (`Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!`) with a simple
+//! wall-clock harness: warm up briefly, run `sample_size` samples of an
+//! auto-calibrated iteration count, report median time per iteration plus
+//! derived throughput. No statistics machinery, no report files — enough
+//! to compare kernels by eye and to keep `--benches` targets compiling.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements (e.g. FLOPs) processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's display name within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The benchmark manager handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None, sample_size: 30 }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput basis.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Run a benchmark that closes over an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// End the group (kept for API parity; reporting happens per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the routine: calibrate an iteration count to ~5 ms per
+    /// sample, then record `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: grow the per-sample iteration count until one
+        // sample takes long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let secs = median.as_secs_f64();
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  {:>10.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!("  {:>10.2} Melem/s", n as f64 / secs / 1.0e6)
+            }
+            _ => String::new(),
+        };
+        println!("{group}/{id:<40} median {median:>12.3?}{rate}");
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the routine.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, n| {
+            b.iter(|| (0..*n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut criterion = Criterion::default();
+        sample_bench(&mut criterion);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("full", 250).to_string(), "full/250");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+}

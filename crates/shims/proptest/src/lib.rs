@@ -1,0 +1,652 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Covers the surface this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter` / `prop_recursive`,
+//! string-literal strategies over a regex subset (char classes with
+//! `{m,n}` quantifiers), integer-range strategies, tuple composition,
+//! `prop::collection::vec`, `prop::option::of`, `any::<T>()`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! deterministic per-test seed (no persisted failure file), and failing
+//! inputs are *not* shrunk — the panic message carries the case's seed
+//! instead so a failure can be replayed.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::{Rng, SeedableRng};
+
+/// RNG driving case generation (deterministic per test + case index).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Marker returned by `prop_assume!` when a case does not satisfy the
+/// assumption and must be skipped.
+#[derive(Debug)]
+pub struct Rejected;
+
+/// Number of generated cases per property.
+const CASES: usize = 64;
+
+/// Maximum retries inside `prop_filter` before giving up on a strategy.
+const FILTER_RETRIES: usize = 1000;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, re-generating otherwise.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// previous depth level and wraps it one level deeper, applied `depth`
+    /// times starting from `self` as the leaf level. The `_desired_size` /
+    /// `_expected_branch_size` tuning knobs of real proptest are accepted
+    /// but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase into a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected {FILTER_RETRIES} values in a row", self.whence);
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_num {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset
+// ---------------------------------------------------------------------------
+
+/// One pattern atom: a set of candidate chars and a repetition range.
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the regex subset the workspace uses: literal chars, escapes
+/// (`\n`, `\t`, `\r`, `\\`, and escaped metachars), char classes with
+/// ranges (`[a-zA-Z_.-]`), and `{n}` / `{m,n}` quantifiers.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    let unescape = |c: char| match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    };
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // A '-' between two class members denotes a range;
+                    // trailing '-' (right before ']') is a literal.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            unescape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        assert!(lo <= hi, "bad char range {lo}-{hi} in pattern {pattern}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(lo);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in pattern {pattern}");
+                i += 1; // consume ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                panic!("unsupported regex construct '{}' in pattern {pattern}", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!set.is_empty(), "empty char class in pattern {pattern}");
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier {{{min},{max}}} in pattern {pattern}");
+        atoms.push(PatternAtom { chars: set, min, max });
+    }
+    atoms
+}
+
+fn generate_from_pattern(atoms: &[PatternAtom], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        // Parsing per value keeps `&str` a zero-state strategy; patterns
+        // here are tiny, so the cost is negligible next to the test body.
+        generate_from_pattern(&parse_pattern(self), rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(&parse_pattern(self), rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: namespace
+// ---------------------------------------------------------------------------
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Ranges usable as a collection-size specification.
+        pub trait SizeRange {
+            /// Draw one length from the range.
+            fn sample_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+
+        impl SizeRange for std::ops::RangeInclusive<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+
+        impl SizeRange for usize {
+            fn sample_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        /// Strategy producing `Vec`s whose length is drawn from `size`.
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample_len(rng);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy producing `None` or `Some` of the inner strategy,
+        /// roughly evenly.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rand::Rng::gen_bool(rng, 0.5) {
+                    Some(self.inner.new_value(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner + macros
+// ---------------------------------------------------------------------------
+
+/// Stable 64-bit hash of the test name, used to decorrelate the case
+/// streams of different properties.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: run [`CASES`] accepted cases, skipping rejected
+/// ones (with a cap so a vacuous assumption still fails loudly).
+pub fn run_proptest<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), Rejected>,
+{
+    let base = fnv1a(name);
+    let mut accepted = 0usize;
+    let mut index = 0u64;
+    let budget = (CASES * 20) as u64;
+    while accepted < CASES && index < budget {
+        let seed = base ^ index;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(Rejected)) => {}
+            Err(payload) => {
+                eprintln!("proptest '{name}' failed at case seed {seed} (replay with this seed)");
+                std::panic::resume_unwind(payload);
+            }
+        }
+        index += 1;
+    }
+    assert!(accepted > 0, "proptest '{name}': every generated case was rejected by prop_assume!");
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(stringify!($name), |rng| {
+                $(let $parm = $crate::Strategy::new_value(&($strategy), &mut *rng);)+
+                // `mut` is needed only when the body mutates its captures;
+                // harmless otherwise.
+                #[allow(unused_mut)]
+                let mut case = move || -> ::std::result::Result<(), $crate::Rejected> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+    )*};
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn string_pattern_char_class_and_quantifier() {
+        let strat = "[a-c]{2,5}";
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = Strategy::new_value(&strat, &mut r);
+            assert!((2..=5).contains(&s.len()), "bad len {}", s.len());
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad char in {s}");
+        }
+    }
+
+    #[test]
+    fn string_pattern_escapes_and_literals() {
+        let strat = "[\\[\\]x-]{1,8}";
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = Strategy::new_value(&strat, &mut r);
+            assert!(s.chars().all(|c| matches!(c, '[' | ']' | 'x' | '-')), "bad char in {s:?}");
+        }
+        let lit = "ab[01]{3}";
+        let s = Strategy::new_value(&lit, &mut r);
+        assert!(s.starts_with("ab") && s.len() == 5, "bad literal expansion {s:?}");
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug)]
+        struct Tree {
+            children: Vec<Tree>,
+        }
+        fn depth(t: &Tree) -> usize {
+            1 + t.children.iter().map(depth).max().unwrap_or(0)
+        }
+        let leaf = Just(()).prop_map(|_| Tree { children: Vec::new() });
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(|children| Tree { children })
+        });
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = Strategy::new_value(&strat, &mut r);
+            assert!(depth(&t) <= 4, "recursion exceeded depth bound: {}", depth(&t));
+        }
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let strat = (0u32..100).prop_map(|v| v * 2).prop_filter("nonzero", |v| *v > 0);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = Strategy::new_value(&strat, &mut r);
+            assert!(v > 0 && v % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_and_assumes(v in 0u32..10, flip in any::<bool>()) {
+            prop_assume!(v != 3);
+            prop_assert!(v < 10);
+            prop_assert_ne!(v, 3);
+            let _ = flip;
+        }
+
+        #[test]
+        fn macro_handles_tuples_and_vecs(
+            pairs in prop::collection::vec(("[a-z]{1,4}", 0usize..9), 0..6),
+            maybe in prop::option::of(0i64..5),
+        ) {
+            for (s, n) in &pairs {
+                prop_assert!(!s.is_empty() && s.len() <= 4);
+                prop_assert!(*n < 9);
+            }
+            if let Some(m) = maybe {
+                prop_assert!((0..5).contains(&m));
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `rand` crate (0.8-era API surface).
+//!
+//! Implements exactly what this workspace uses: `rngs::StdRng` seeded via
+//! `SeedableRng::seed_from_u64`, and the `Rng` extension methods
+//! `gen_range` (half-open and inclusive ranges over the primitive numeric
+//! types) and `gen` (uniform `f32`/`f64` in `[0,1)`, `bool`, and full-range
+//! integers). The generator is xoshiro256** seeded through SplitMix64 —
+//! deterministic for a given seed, which is all the simulations require
+//! (no call site depends on the exact stream of the real crate).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from one `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value interface: a 64-bit core plus derived methods.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `range` (`low..high` or `low..=high`). The output
+    /// type is a trait parameter so numeric literals infer from context,
+    /// as with the real crate.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform value of a primitive type (floats land in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Namespace mirror of `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// xoshiro256** — the workspace's deterministic standard generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the canonical xoshiro seeding procedure.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges that can be sampled uniformly to produce a `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniform value (panics on an empty range).
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Primitive types `Rng::gen` can produce from raw bits.
+pub trait Standard {
+    /// Build a uniform value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_int_sampling {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> $t {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sampling!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sampling {
+    ($($t:ty => $unit:expr),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = $unit(rng.next_u64());
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit: $t = $unit(rng.next_u64());
+                start + (end - start) * unit
+            }
+        }
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> $t {
+                $unit(bits)
+            }
+        }
+    )*};
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_f32(bits: u64) -> f32 {
+    // 24 high bits → [0, 1).
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl_float_sampling!(f64 => unit_f64, f32 => unit_f32);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let x: i64 = rng.gen_range(-10..10);
+            assert!((-10..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            let s: f32 = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let draws: Vec<f64> = (0..2000).map(|_| rng.gen()).collect();
+        let below = draws.iter().filter(|v| **v < 0.5).count();
+        assert!((700..1300).contains(&below), "skewed: {below}/2000 below 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5);
+    }
+}

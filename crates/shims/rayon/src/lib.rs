@@ -1,0 +1,371 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Real data parallelism over `std::thread::scope`, covering the adapters
+//! this workspace uses: `par_iter().map(..).collect()`,
+//! `par_iter_mut().for_each(..)`, `par_chunks_mut(n).enumerate()
+//! .for_each(..)`, and `ThreadPoolBuilder` + `ThreadPool::install`.
+//!
+//! `install` sets a thread-local degree of parallelism consulted by the
+//! adapters, mirroring how rayon's pool scoping steers `par_iter` inside
+//! an `install` closure. Work is split into one contiguous chunk per
+//! worker, so results are collected in input order.
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn current_threads() -> usize {
+    let configured = POOL_THREADS.with(|c| c.get());
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction cannot fail
+/// in the shim, but the signature keeps call sites source-compatible).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool at `n` worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A handle fixing the degree of parallelism for work run via
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count steering the parallel
+    /// adapters invoked inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let result = op();
+            c.set(prev);
+            result
+        })
+    }
+
+    /// The configured thread count (machine default when unset).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// The rayon prelude: extension traits putting `par_iter` & friends on
+/// slices and `Vec`s.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut};
+}
+
+/// `par_iter()` on shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut()` on exclusive slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type yielded by mutable reference.
+    type Item: Send + 'a;
+    /// A parallel iterator over `&mut Self::Item`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// `par_chunks_mut()` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk_size }
+    }
+}
+
+/// Parallel shared iterator (see [`IntoParallelRefIterator`]).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element in parallel; results keep input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { slice: self.slice, f }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// Mapped parallel iterator; terminal `collect` runs the work.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute the map over scoped worker threads and collect in order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let threads = current_threads().max(1);
+        let n = self.slice.len();
+        if threads == 1 || n <= 1 {
+            return self.slice.iter().map(&self.f).collect::<Vec<R>>().into();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut parts: Vec<(usize, Vec<R>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, part)| scope.spawn(move || (i, part.iter().map(f).collect::<Vec<R>>())))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        parts.sort_by_key(|(i, _)| *i);
+        parts.into_iter().flat_map(|(_, v)| v).collect::<Vec<R>>().into()
+    }
+}
+
+/// Parallel exclusive iterator (see [`IntoParallelRefMutIterator`]).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let threads = current_threads().max(1);
+        let n = self.slice.len();
+        if threads == 1 || n <= 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for part in self.slice.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel mutable-chunk iterator (see [`ParallelSliceMut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut { slice: self.slice, chunk_size: self.chunk_size }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel mutable-chunk iterator.
+pub struct EnumeratedChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumeratedChunksMut<'_, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let threads = current_threads().max(1);
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        if threads == 1 || chunks.len() <= 1 {
+            for pair in chunks {
+                f(pair);
+            }
+            return;
+        }
+        let per_worker = chunks.len().div_ceil(threads);
+        let f = &f;
+        let mut remaining = chunks;
+        std::thread::scope(|scope| {
+            while !remaining.is_empty() {
+                let take = per_worker.min(remaining.len());
+                let batch: Vec<(usize, &mut [T])> = remaining.drain(..take).collect();
+                scope.spawn(move || {
+                    for pair in batch {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|v| v * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        let mut data = vec![1u32; 513];
+        data.par_iter_mut().for_each(|v| *v += 1);
+        assert!(data.iter().all(|v| *v == 2));
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_sees_every_chunk_once() {
+        let mut data = vec![0usize; 100];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i + 1;
+            }
+        });
+        // Chunk k covers elements [7k, 7k+7): every element labeled.
+        for (pos, v) in data.iter().enumerate() {
+            assert_eq!(*v, pos / 7 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_install_limits_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let out: Vec<i32> = pool.install(|| vec![3, 1, 2].par_iter().map(|v| v * 10).collect());
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn parallelism_actually_overlaps() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let live = AtomicU32::new(0);
+        let peak = AtomicU32::new(0);
+        let items: Vec<u32> = (0..8).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            items
+                .par_iter()
+                .map(|_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+                .collect::<Vec<()>>()
+        });
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no overlap observed");
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace uses serde purely as a *capability marker*: types derive
+//! `Serialize`/`Deserialize` to document that they are wire-safe, and one
+//! test asserts the bounds hold. No format backend (serde_json etc.) is in
+//! the dependency tree, so the traits here carry no methods — deriving them
+//! preserves the type-level contract without the data-model machinery.
+
+// The derives emit `impl serde::Serialize for ...`; make that path resolve
+// inside this crate too (same device the real serde uses for its tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {}
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        x: u32,
+        #[allow(dead_code)]
+        name: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        #[allow(dead_code)]
+        A,
+        #[allow(dead_code)]
+        B(u64),
+    }
+
+    fn assert_owned<T: Serialize + de::DeserializeOwned>() {}
+
+    #[test]
+    fn derives_satisfy_bounds() {
+        assert_owned::<Plain>();
+        assert_owned::<Kind>();
+        assert_owned::<Vec<Plain>>();
+        assert_owned::<Option<Kind>>();
+        assert_owned::<std::collections::HashMap<String, Plain>>();
+    }
+}

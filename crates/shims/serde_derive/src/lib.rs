@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` shim's traits are pure markers, so these derives
+//! only need the item's name: they scan the token stream for the ident
+//! following `struct`/`enum`/`union` and emit empty trait impls. Written
+//! against `proc_macro` directly — `syn`/`quote` are unavailable offline.
+//! Generic items are unsupported (no workspace type needs them).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name: the identifier right after the first
+/// `struct`/`enum`/`union` keyword at the top level of the item.
+fn item_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    // Attribute/visibility punctuation and groups are skipped.
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return text;
+            }
+            if text == "struct" || text == "enum" || text == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde derive shim: could not find item name in input");
+}
+
+/// Derive the marker `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl serde::Serialize for {name} {{}}").parse().expect("valid impl tokens")
+}
+
+/// Derive the marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().expect("valid impl tokens")
+}

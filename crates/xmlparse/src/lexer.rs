@@ -191,9 +191,11 @@ impl<'a> Lexer<'a> {
             None => return Err(self.err(ParseErrorKind::UnexpectedEof, self.pos)),
         };
         let vstart = self.pos;
-        let vend = self.rest().find(quote).map(|p| self.pos + p).ok_or_else(|| {
-            self.err(ParseErrorKind::UnexpectedEof, self.src.len())
-        })?;
+        let vend = self
+            .rest()
+            .find(quote)
+            .map(|p| self.pos + p)
+            .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof, self.src.len()))?;
         let raw = &self.src[vstart..vend];
         self.pos = vend + 1;
         let value = unescape(raw, vstart, self.src)?;
@@ -290,10 +292,7 @@ mod tests {
             toks,
             vec![Token::OpenTag {
                 name: "param".into(),
-                attributes: vec![
-                    ("name".into(), "threads".into()),
-                    ("value".into(), "4".into())
-                ],
+                attributes: vec![("name".into(), "threads".into()), ("value".into(), "4".into())],
                 self_closing: true,
             }]
         );
@@ -325,10 +324,7 @@ mod tests {
     #[test]
     fn duplicate_attribute_rejected() {
         let mut lx = Lexer::new(r#"<a x="1" x="2"/>"#);
-        assert!(matches!(
-            lx.next_token().unwrap_err().kind,
-            ParseErrorKind::DuplicateAttribute(_)
-        ));
+        assert!(matches!(lx.next_token().unwrap_err().kind, ParseErrorKind::DuplicateAttribute(_)));
     }
 
     #[test]

@@ -22,11 +22,8 @@ fn main() {
     let mut job = Job::new(1, "racon_gpu", ParamDict::new());
     job.set_env("GALAXY_GPU_ENABLED", "true");
     job.set_env("CUDA_VISIBLE_DEVICES", "0,1");
-    let dest = Destination {
-        id: "docker_gpu".into(),
-        runner: "local".into(),
-        params: ParamDict::new(),
-    };
+    let dest =
+        Destination { id: "docker_gpu".into(), runner: "local".into(), params: ParamDict::new() };
 
     let volumes = [VolumeBind::rw("/galaxy/data"), VolumeBind::ro("/galaxy/refs")];
     let tool_cmd = "racon_gpu -t 4 reads.fq overlaps.paf draft.fa";
@@ -57,7 +54,13 @@ fn main() {
     println!("\n== CPU job: mutations are no-ops ==");
     let mut cpu_job = Job::new(2, "racon", ParamDict::new());
     cpu_job.set_env("GALAXY_GPU_ENABLED", "false");
-    let mut parts = docker_command("quay.io/biocontainers/racon:1.4.3", "racon -t 4", &cpu_job.env, &volumes, "/w");
+    let mut parts = docker_command(
+        "quay.io/biocontainers/racon:1.4.3",
+        "racon -t 4",
+        &cpu_job.env,
+        &volumes,
+        "/w",
+    );
     let before = parts.clone();
     DockerGpuMutator.mutate(&mut parts, &cpu_job, &dest);
     assert_eq!(parts, before);

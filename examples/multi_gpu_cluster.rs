@@ -50,8 +50,13 @@ fn testbed(policy: AllocationPolicy) -> (GpuCluster, GalaxyApp, Arc<ToolExecutor
     install_gyan(&mut app, &cluster, config);
 
     let lib = MacroLibrary::new();
-    app.install_tool_xml(&pinned_tool("racon_dev0", "racon_gpu", "0", "small_pacbio"), &lib).unwrap();
-    app.install_tool_xml(&pinned_tool("bonito_dev1", "bonito basecaller", "1", "small_fast5"), &lib).unwrap();
+    app.install_tool_xml(&pinned_tool("racon_dev0", "racon_gpu", "0", "small_pacbio"), &lib)
+        .unwrap();
+    app.install_tool_xml(
+        &pinned_tool("bonito_dev1", "bonito basecaller", "1", "small_fast5"),
+        &lib,
+    )
+    .unwrap();
     (cluster, app, executor)
 }
 
@@ -91,8 +96,5 @@ fn main() {
     let b2 = app.submit("bonito_dev1", &ParamDict::new()).unwrap();
     println!("racon    -> {}", mask(&app, racon));
     println!("bonito#1 -> {}", mask(&app, b1));
-    println!(
-        "bonito#2 -> {} (least-memory GPU chosen instead of scattering)",
-        mask(&app, b2)
-    );
+    println!("bonito#2 -> {} (least-memory GPU chosen instead of scattering)", mask(&app, b2));
 }

@@ -28,7 +28,10 @@ fn main() {
     // CPU-only path (`racon -t 4`).
     let clock = VirtualClock::new();
     let cpu = polish_cpu(&input, &opts, &HostSpec::xeon_e5_2670(), &clock);
-    println!("\nCPU path:  load/map {:.0} s + polish {:.0} s = {:.0} s", cpu.other_s, cpu.polish_s, cpu.total_s);
+    println!(
+        "\nCPU path:  load/map {:.0} s + polish {:.0} s = {:.0} s",
+        cpu.other_s, cpu.polish_s, cpu.total_s
+    );
 
     // GPU path (`racon_gpu --cudapoa-batches 4`).
     let cluster = GpuCluster::k80_node();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification gate: formatting, lints, release build, and tests.
+# (`just` is not available in the build image, so this is a plain script.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1: root facade crate)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "verify: OK"

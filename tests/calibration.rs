@@ -114,8 +114,12 @@ fn klebsiella_cpu_time_is_roughly_four_times_acinetobacter() {
 
     let aci = shrink(DatasetSpec::acinetobacter_pittii(), 3);
     let kleb = shrink(DatasetSpec::klebsiella_ksb2(), 10);
-    let t_aci = basecall_cpu(&BonitoInput::from_dataset(&aci), &model, &opts, &host, &VirtualClock::new()).total_s;
-    let t_kleb = basecall_cpu(&BonitoInput::from_dataset(&kleb), &model, &opts, &host, &VirtualClock::new()).total_s;
+    let t_aci =
+        basecall_cpu(&BonitoInput::from_dataset(&aci), &model, &opts, &host, &VirtualClock::new())
+            .total_s;
+    let t_kleb =
+        basecall_cpu(&BonitoInput::from_dataset(&kleb), &model, &opts, &host, &VirtualClock::new())
+            .total_s;
     let ratio = t_kleb / t_aci;
     assert!(ratio > 2.8 && ratio < 4.2, "ratio {ratio:.2}");
 }

@@ -14,11 +14,7 @@ use gpusim::GpuCluster;
 use seqtools::{DatasetSpec, ToolExecutor};
 use std::sync::Arc;
 
-fn racon_plan(
-    cluster: &GpuCluster,
-    job_id: u64,
-    mask: &str,
-) -> galaxy::runners::ExecutionPlan {
+fn racon_plan(cluster: &GpuCluster, job_id: u64, mask: &str) -> galaxy::runners::ExecutionPlan {
     let tool = parse_tool(
         r#"<tool id="racon_gpu">
           <requirements><requirement type="compute">gpu</requirement></requirements>

@@ -47,10 +47,8 @@ fn build() -> (GpuCluster, GalaxyApp) {
     });
     app.set_executor(Box::new(executor));
     // Route GPU jobs to the singularity destination.
-    let config = GyanConfig {
-        gpu_destination: "singularity_gpu".to_string(),
-        ..GyanConfig::default()
-    };
+    let config =
+        GyanConfig { gpu_destination: "singularity_gpu".to_string(), ..GyanConfig::default() };
     install_gyan(&mut app, &cluster, config);
     app.install_tool_xml(TOOL, &MacroLibrary::new()).unwrap();
     (cluster, app)
@@ -97,10 +95,8 @@ fn cpu_fallback_keeps_singularity_bind_modes() {
         ..DatasetSpec::alzheimers_nfl()
     });
     app.set_executor(Box::new(executor));
-    let config = GyanConfig {
-        gpu_destination: "singularity_gpu".to_string(),
-        ..GyanConfig::default()
-    };
+    let config =
+        GyanConfig { gpu_destination: "singularity_gpu".to_string(), ..GyanConfig::default() };
     install_gyan(&mut app, &cluster, config);
     app.install_tool_xml(TOOL, &MacroLibrary::new()).unwrap();
     let id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
