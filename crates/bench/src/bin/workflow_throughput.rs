@@ -1,0 +1,135 @@
+//! Queue-engine workflow benchmark: DAG fan-out vs sequential makespan on
+//! the virtual clock, and fair-share queue throughput at several worker
+//! counts. Writes a machine-readable summary to `target/BENCH_workflow.json`.
+
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::queue::{DagStep, DagWorkflow, QueueConfig, QueueEngine, WaveTimeCharging};
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::GalaxyApp;
+use gpusim::VirtualClock;
+use gyan::setup::ClusterTime;
+use gyan_bench::table::banner;
+use seqtools::ToolExecutor;
+use std::sync::Arc;
+
+/// Virtual cost charged per tool by the wave-time model.
+const STEP_COSTS: &[(&str, f64)] =
+    &[("prep", 10.0), ("polish", 20.0), ("basecall", 30.0), ("join", 5.0), ("unit", 1.0)];
+
+fn cost_of(tool_id: &str) -> f64 {
+    STEP_COSTS.iter().find(|(id, _)| *id == tool_id).map(|(_, c)| *c).unwrap_or(0.0)
+}
+
+/// A queue engine over echo tools whose only time cost is the duration
+/// model — so the makespans below are exact properties of the scheduler.
+fn engine(clock: VirtualClock, workers: u32) -> QueueEngine {
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    app.register_rule(
+        "gpu_dynamic_destination",
+        Box::new(|_tool, _job, _conf| Ok("local_cpu".to_string())),
+    );
+    let lib = MacroLibrary::new();
+    for (id, _) in STEP_COSTS {
+        let xml = format!(
+            r#"<tool id="{id}"><command>echo {id}</command>
+               <outputs><data name="out" format="txt"/></outputs></tool>"#
+        );
+        app.install_tool_xml(&xml, &lib).unwrap();
+    }
+    app.set_time_source(Box::new(ClusterTime::new(clock.clone())));
+    let recorder_clock = clock.clone();
+    app.recorder().set_clock(move || recorder_clock.now());
+    let config = QueueConfig {
+        workers,
+        capacity: 4096,
+        time_charging: Some(WaveTimeCharging {
+            clock: Box::new(ClusterTime::new(clock)),
+            model: Box::new(|plan: &galaxy::runners::ExecutionPlan| cost_of(&plan.tool_id)),
+        }),
+        ..QueueConfig::default()
+    };
+    let executor = Arc::new(ToolExecutor::new(&gpusim::GpuCluster::cpu_only_node()));
+    QueueEngine::new(app, executor, config)
+}
+
+fn diamond() -> DagWorkflow {
+    DagWorkflow::new("diamond")
+        .step(DagStep::new("prep"))
+        .step(DagStep::new("polish").after(0))
+        .step(DagStep::new("basecall").after(0))
+        .step(DagStep::new("join").after(1).after(2))
+}
+
+fn chain() -> DagWorkflow {
+    DagWorkflow::new("chain")
+        .step(DagStep::new("prep"))
+        .step(DagStep::new("polish").after(0))
+        .step(DagStep::new("basecall").after(1))
+        .step(DagStep::new("join").after(2))
+}
+
+fn run_dag(dag: DagWorkflow) -> f64 {
+    let clock = VirtualClock::new();
+    let mut eng = engine(clock, 4);
+    let wf = eng.submit_dag("bench", dag).unwrap();
+    eng.run_until_idle();
+    let report = eng.workflow_report(wf).unwrap();
+    assert!(report.ok(), "benchmark workflow failed: {:?}", report.failed_step);
+    report.makespan
+}
+
+/// Virtual time to drain `jobs` one-second jobs from `users` users with
+/// `workers` pool workers.
+fn drain_time(jobs: usize, users: usize, workers: u32) -> f64 {
+    let clock = VirtualClock::new();
+    let mut eng = engine(clock.clone(), workers);
+    for i in 0..jobs {
+        let user = format!("user{}", i % users);
+        eng.submit_async(&user, "unit", &ParamDict::new()).unwrap();
+    }
+    eng.run_until_idle();
+    clock.now()
+}
+
+fn main() {
+    banner("Workflow throughput", "Queue engine: DAG makespan and fair-share drain rate");
+
+    let parallel = run_dag(diamond());
+    let sequential = run_dag(chain());
+    let speedup = sequential / parallel;
+    println!("\nDAG makespan (virtual seconds, 4 workers):");
+    println!("  diamond (fan-out):  {parallel:>6.1}s  = prep + max(polish, basecall) + join");
+    println!("  chain (sequential): {sequential:>6.1}s  = prep + polish + basecall + join");
+    println!("  speedup:            {speedup:>6.2}x");
+    assert!(parallel < sequential, "fan-out must beat the chain");
+
+    const JOBS: usize = 64;
+    const USERS: usize = 4;
+    println!("\nQueue drain: {JOBS} one-second jobs from {USERS} users:");
+    let mut drains = Vec::new();
+    for workers in [1u32, 2, 4, 8] {
+        let t = drain_time(JOBS, USERS, workers);
+        let rate = JOBS as f64 / t;
+        drains.push((workers, t, rate));
+        println!("  {workers} worker(s): {t:>6.1}s virtual, {rate:>5.2} jobs/s");
+    }
+
+    let drain_json: Vec<String> = drains
+        .iter()
+        .map(|(w, t, rate)| {
+            format!(
+                "{{\"workers\": {w}, \"virtual_seconds\": {t:.1}, \"jobs_per_second\": {rate:.4}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"workflow_throughput\",\n  \"dag_makespan_s\": {parallel:.1},\n  \"sequential_makespan_s\": {sequential:.1},\n  \"speedup\": {speedup:.4},\n  \"drain\": [{}]\n}}\n",
+        drain_json.join(", ")
+    );
+    let path = std::path::Path::new("target");
+    std::fs::create_dir_all(path).ok();
+    let out = path.join("BENCH_workflow.json");
+    std::fs::write(&out, &json).expect("write summary");
+    println!("\nsummary written to {}", out.display());
+}

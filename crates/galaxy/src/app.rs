@@ -22,7 +22,9 @@ use crate::job::{Job, JobState};
 use crate::params::ParamDict;
 use crate::runners::container_cmd::VolumeBind;
 use crate::runners::local::LocalRunner;
-use crate::runners::{CommandMutator, JobExecutor, JobHook, NullExecutor};
+use crate::runners::{
+    CommandMutator, ExecutionPlan, ExecutionResult, JobExecutor, JobHook, NullExecutor,
+};
 use crate::tool::macros::MacroLibrary;
 use crate::tool::wrapper::parse_tool;
 use crate::tool::Tool;
@@ -83,6 +85,10 @@ pub struct GalaxyApp {
     volumes: Vec<VolumeBind>,
     events: Vec<Event>,
     recorder: Recorder,
+    /// `galaxy.job` spans of jobs whose lifecycle is still open (created
+    /// or prepared but not yet finished) — kept so the asynchronous queue
+    /// path can span multiple dispatch attempts under one job span.
+    open_spans: HashMap<u64, Span>,
 }
 
 impl GalaxyApp {
@@ -103,6 +109,7 @@ impl GalaxyApp {
             volumes: Vec::new(),
             events: Vec::new(),
             recorder: Recorder::new(),
+            open_spans: HashMap::new(),
         }
     }
 
@@ -191,17 +198,31 @@ impl GalaxyApp {
     }
 
     /// Submit a job for `tool_id` with user-specified `user_params` and run
-    /// it to completion (this substrate dispatches synchronously).
+    /// it to completion (the synchronous single-job path; the queue engine
+    /// in [`crate::queue`] drives the same phases asynchronously).
     pub fn submit(&mut self, tool_id: &str, user_params: &ParamDict) -> Result<u64, GalaxyError> {
+        let job_id = self.create_job(tool_id, user_params)?;
+        let plan = self.prepare_plan(job_id, None)?;
+        let result = self.execute_plan(job_id, &plan);
+        self.finish_job(job_id, &result, true).map(|()| job_id)
+    }
+
+    /// Phase 1 of Fig. 2: resolve the tool, build the parameter dictionary
+    /// (declared defaults, then the user's values — Galaxy's
+    /// `build_param_dict`), and create the job record in the `New` state.
+    /// Opens the job's `galaxy.job` telemetry span; it stays open until
+    /// [`GalaxyApp::finish_job`] (or a preparation failure) closes it.
+    pub fn create_job(
+        &mut self,
+        tool_id: &str,
+        user_params: &ParamDict,
+    ) -> Result<u64, GalaxyError> {
         self.recorder.metrics().inc_counter(JOBS_SUBMITTED_COUNTER, 1);
         let job_span = self.recorder.span("galaxy.job");
         job_span.field("tool", tool_id);
 
-        // Phase 1 of Fig. 2: resolve the tool and build the parameter
-        // dictionary — declared defaults, then the user's values
-        // (Galaxy's build_param_dict).
         let parse_span = job_span.child("galaxy.tool_parse");
-        let tool = match self.tools.get(tool_id).cloned() {
+        let tool = match self.tools.get(tool_id) {
             Some(t) => t,
             None => {
                 self.recorder.metrics().inc_counter(JOBS_ERROR_COUNTER, 1);
@@ -224,28 +245,68 @@ impl GalaxyApp {
         job_span.field("job_id", job_id);
         let mut job = Job::new(job_id, tool_id, params);
         job.submit_time = Some(self.time.now());
-        self.log(format!("job {job_id} submitted for tool {tool_id}"));
-
-        let result = self.run_job(&tool, &mut job, &job_span);
-        match &result {
-            Ok(()) => self.recorder.metrics().inc_counter(JOBS_OK_COUNTER, 1),
-            Err(e) => {
-                self.recorder.metrics().inc_counter(JOBS_ERROR_COUNTER, 1);
-                job_span.field("error", e.to_string());
-                self.log(format!("job {job_id} failed: {e}"));
-                let _ = job.transition(JobState::Error);
-                job.stderr = e.to_string();
-            }
-        }
-        job_span.end();
         self.jobs.insert(job_id, job);
-        result.map(|()| job_id)
+        self.open_spans.insert(job_id, job_span);
+        self.log(format!("job {job_id} submitted for tool {tool_id}"));
+        Ok(job_id)
     }
 
-    fn run_job(&mut self, tool: &Tool, job: &mut Job, job_span: &Span) -> Result<(), GalaxyError> {
-        // Step 2 of Fig. 2: destination mapping.
+    /// Phases 2–3 of Fig. 2: map the job to a destination, run the
+    /// registered hooks, and assemble the [`ExecutionPlan`] — without
+    /// dispatching it. `dest_override` bypasses mapping and pins a concrete
+    /// destination (the queue engine's resubmission path). On failure the
+    /// job is marked `Error` with counters/span annotated; a job already in
+    /// `Error` may be prepared again (resubmission).
+    pub fn prepare_plan(
+        &mut self,
+        job_id: u64,
+        dest_override: Option<&str>,
+    ) -> Result<ExecutionPlan, GalaxyError> {
+        let Some(mut job) = self.jobs.remove(&job_id) else {
+            return Err(GalaxyError::UnknownJob(job_id));
+        };
+        let Some(tool) = self.tools.get(&job.tool_id).cloned() else {
+            let err = GalaxyError::UnknownTool(job.tool_id.clone());
+            self.jobs.insert(job_id, job);
+            self.fail_job(job_id, &err);
+            return Err(err);
+        };
+        let job_span = self.open_spans.remove(&job_id).unwrap_or_else(|| {
+            let s = self.recorder.span("galaxy.job");
+            s.field("tool", job.tool_id.as_str());
+            s.field("job_id", job_id);
+            s
+        });
+        let result = self.prepare_job(&tool, &mut job, &job_span, dest_override);
+        self.jobs.insert(job_id, job);
+        self.open_spans.insert(job_id, job_span);
+        if let Err(e) = &result {
+            self.fail_job(job_id, e);
+        }
+        result
+    }
+
+    fn prepare_job(
+        &mut self,
+        tool: &Tool,
+        job: &mut Job,
+        job_span: &Span,
+        dest_override: Option<&str>,
+    ) -> Result<ExecutionPlan, GalaxyError> {
+        // Step 2 of Fig. 2: destination mapping (or the resubmission
+        // override, which skips the rule and targets a fallback directly).
         let map_span = job_span.child("galaxy.map_destination");
-        let destination = self.map_destination(tool, job)?;
+        let destination = match dest_override {
+            Some(id) => {
+                let dest = self
+                    .config
+                    .destination(id)
+                    .ok_or_else(|| GalaxyError::UnknownDestination(id.to_string()))?;
+                map_span.field("override", true);
+                dest.clone()
+            }
+            None => self.map_destination(tool, job)?,
+        };
         map_span.field("destination", destination.id.as_str());
         map_span.end();
         job.destination_id = Some(destination.id.clone());
@@ -261,7 +322,7 @@ impl GalaxyApp {
         }
         hooks_span.end();
 
-        // Step 3: command assembly + dispatch (the template-render and
+        // Step 3: command assembly (the template-render and
         // container-assembly phases span themselves under `job_span`).
         let plan = LocalRunner.build_plan_traced(
             tool,
@@ -276,36 +337,104 @@ impl GalaxyApp {
         job.transition(JobState::Running)?;
         job.start_time = Some(self.time.now());
         self.log(format!("job {} running: {}", job.id, plan.rendered_command()));
+        Ok(plan)
+    }
 
-        let dispatch_span = job_span.child("galaxy.dispatch");
-        dispatch_span.field("destination", destination.id.as_str());
-        let result = self.executor.execute(&plan);
-        dispatch_span.field("exit_code", i64::from(result.exit_code));
-        dispatch_span.end();
-        job.end_time = Some(self.time.now());
+    /// Dispatch a prepared plan on the app's executor, tracing the
+    /// `galaxy.dispatch` phase under the job's span.
+    fn execute_plan(&self, job_id: u64, plan: &ExecutionPlan) -> ExecutionResult {
+        let dispatch_span = self.job_span_child(job_id, "galaxy.dispatch");
+        if let Some(span) = &dispatch_span {
+            span.field("destination", plan.destination_id.as_str());
+        }
+        let result = self.executor.execute(plan);
+        if let Some(span) = dispatch_span {
+            span.field("exit_code", i64::from(result.exit_code));
+            span.end();
+        }
+        result
+    }
+
+    /// Open a child span under a live job's `galaxy.job` span (used by the
+    /// queue engine to trace dispatch phases it drives itself).
+    pub fn job_span_child(&self, job_id: u64, name: &str) -> Option<Span> {
+        self.open_spans.get(&job_id).map(|s| s.child(name))
+    }
+
+    /// Phase 4 of Fig. 2: record an execution result — timestamps,
+    /// captured streams, the state transition, and history collection.
+    /// With `final_attempt == false` a failure records the attempt but
+    /// leaves the job eligible for resubmission: no failed datasets are
+    /// declared, the error counter is untouched, and the job span stays
+    /// open so the next attempt traces under it.
+    pub fn finish_job(
+        &mut self,
+        job_id: u64,
+        result: &ExecutionResult,
+        final_attempt: bool,
+    ) -> Result<(), GalaxyError> {
+        let now = self.time.now();
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return Err(GalaxyError::UnknownJob(job_id));
+        };
+        job.end_time = Some(now);
         job.stdout = result.stdout.clone();
         job.stderr = result.stderr.clone();
         job.exit_code = Some(result.exit_code);
         job.pid = result.pid;
+        let tool_outputs =
+            self.tools.get(&job.tool_id).map(|t| t.outputs.clone()).unwrap_or_default();
 
-        // Step 4: collect results into the history.
         if result.exit_code == 0 {
             job.transition(JobState::Ok)?;
-            for (i, output) in tool.outputs.iter().enumerate() {
-                let ds = self.history.declare(output.name.clone(), output.format.clone(), job.id);
+            for (i, output) in tool_outputs.iter().enumerate() {
+                let ds = self.history.declare(output.name.clone(), output.format.clone(), job_id);
                 let content = if i == 0 { result.stdout.clone() } else { String::new() };
                 self.history.complete(ds, content);
             }
-            self.log(format!("job {} ok", job.id));
+            self.recorder.metrics().inc_counter(JOBS_OK_COUNTER, 1);
+            if let Some(span) = self.open_spans.remove(&job_id) {
+                span.end();
+            }
+            self.log(format!("job {job_id} ok"));
             Ok(())
         } else {
             job.transition(JobState::Error)?;
-            for output in &tool.outputs {
-                let ds = self.history.declare(output.name.clone(), output.format.clone(), job.id);
-                self.history.fail(ds);
+            let err = GalaxyError::ToolFailed(result.stderr.clone());
+            if final_attempt {
+                for output in &tool_outputs {
+                    let ds =
+                        self.history.declare(output.name.clone(), output.format.clone(), job_id);
+                    self.history.fail(ds);
+                }
+                self.recorder.metrics().inc_counter(JOBS_ERROR_COUNTER, 1);
+                if let Some(span) = self.open_spans.remove(&job_id) {
+                    span.field("error", err.to_string());
+                    span.end();
+                }
+                self.log(format!("job {job_id} error (exit {})", result.exit_code));
+            } else {
+                self.log(format!(
+                    "job {job_id} attempt failed (exit {}), eligible for resubmission",
+                    result.exit_code
+                ));
             }
-            self.log(format!("job {} error (exit {})", job.id, result.exit_code));
-            Err(GalaxyError::ToolFailed(result.stderr))
+            Err(err)
+        }
+    }
+
+    /// Mark a job failed outside the executor path (mapping/hook/template
+    /// errors): error counter, span annotation, `Error` state, stderr.
+    fn fail_job(&mut self, job_id: u64, e: &GalaxyError) {
+        self.recorder.metrics().inc_counter(JOBS_ERROR_COUNTER, 1);
+        if let Some(span) = self.open_spans.remove(&job_id) {
+            span.field("error", e.to_string());
+            span.end();
+        }
+        self.log(format!("job {job_id} failed: {e}"));
+        if let Some(job) = self.jobs.get_mut(&job_id) {
+            let _ = job.transition(JobState::Error);
+            job.stderr = e.to_string();
         }
     }
 

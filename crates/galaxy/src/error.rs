@@ -29,6 +29,25 @@ pub enum GalaxyError {
     Container(String),
     /// The executor reported a tool failure.
     ToolFailed(String),
+    /// A workflow step's `StepOutput` reference points at itself, a later
+    /// step, or an index outside the workflow.
+    InvalidStepReference {
+        /// Workflow display name.
+        workflow: String,
+        /// Index of the step holding the bad reference.
+        step: usize,
+        /// The referenced step index.
+        reference: usize,
+        /// Why the reference is invalid (`self_reference`,
+        /// `forward_reference`, `out_of_range`).
+        reason: &'static str,
+    },
+    /// A DAG workflow's dependency edges form a cycle.
+    WorkflowCycle(String),
+    /// The job queue refused a submission (admission control).
+    QueueRejected(String),
+    /// An operation referenced a job id the app has no record of.
+    UnknownJob(u64),
 }
 
 impl fmt::Display for GalaxyError {
@@ -48,6 +67,16 @@ impl fmt::Display for GalaxyError {
             }
             GalaxyError::Container(m) => write!(f, "container error: {m}"),
             GalaxyError::ToolFailed(m) => write!(f, "tool execution failed: {m}"),
+            GalaxyError::InvalidStepReference { workflow, step, reference, reason } => {
+                write!(
+                    f,
+                    "workflow {workflow:?} step {step}: invalid reference to step {reference} \
+                     ({reason})"
+                )
+            }
+            GalaxyError::WorkflowCycle(m) => write!(f, "workflow dependency cycle: {m}"),
+            GalaxyError::QueueRejected(m) => write!(f, "queue rejected submission: {m}"),
+            GalaxyError::UnknownJob(id) => write!(f, "unknown job id: {id}"),
         }
     }
 }

@@ -48,6 +48,9 @@ impl JobState {
                 | (New, Deleted)
                 | (Queued, Deleted)
                 | (Running, Deleted)
+                // Resubmission: a failed attempt may be requeued (Galaxy's
+                // `<resubmit>`); `Ok` and `Deleted` stay terminal.
+                | (Error, Queued)
         )
     }
 }
@@ -167,6 +170,18 @@ mod tests {
         j.transition(JobState::Error).unwrap();
         assert!(j.transition(JobState::Running).is_err()); // terminal
         assert!(j.transition(JobState::Deleted).is_err()); // terminal
+    }
+
+    #[test]
+    fn error_can_requeue_for_resubmission() {
+        let mut j = Job::new(1, "t", ParamDict::new());
+        j.transition(JobState::Queued).unwrap();
+        j.transition(JobState::Running).unwrap();
+        j.transition(JobState::Error).unwrap();
+        j.transition(JobState::Queued).unwrap();
+        j.transition(JobState::Running).unwrap();
+        j.transition(JobState::Ok).unwrap();
+        assert!(j.transition(JobState::Queued).is_err(), "Ok stays terminal");
     }
 
     #[test]

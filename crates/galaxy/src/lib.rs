@@ -35,6 +35,7 @@ pub mod error;
 pub mod history;
 pub mod job;
 pub mod params;
+pub mod queue;
 pub mod runners;
 pub mod scheduler;
 pub mod template;
@@ -45,5 +46,9 @@ pub use app::GalaxyApp;
 pub use error::GalaxyError;
 pub use job::{Job, JobState};
 pub use params::ParamDict;
+pub use queue::{
+    DagRunReport, DagStep, DagWorkflow, JobHandle, QueueConfig, QueueEngine, ResubmitPolicy,
+    SubmissionState, WorkflowHandle,
+};
 pub use tool::{Requirement, RequirementType, Tool};
 pub use workflow::{Workflow, WorkflowStep};

@@ -1,0 +1,254 @@
+//! Bounded priority queue with per-user fair-share ordering.
+//!
+//! Real Galaxy orders its job queue so no single user can starve the
+//! cluster: handlers prefer the user who has consumed the least service.
+//! [`FairShareQueue`] reproduces that policy deterministically — entries
+//! are bucketed per user (in a `BTreeMap`, so iteration order is stable),
+//! and each pop selects the user with the lowest accumulated usage
+//! (ties broken alphabetically), then the highest-priority entry of that
+//! user (ties broken FIFO by sequence number).
+//!
+//! Admission control is part of the queue: a push beyond the global
+//! capacity, or beyond a per-user in-queue limit, is rejected with a
+//! human-readable reason instead of blocking.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// One queued entry with its scheduling metadata.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    item: T,
+    priority: u8,
+    seq: u64,
+    enqueued_at: f64,
+}
+
+/// Why the queue refused a push.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Human-readable reason (also used in audit events).
+    pub reason: String,
+}
+
+/// A successful pop: the chosen item plus the bookkeeping the scheduler
+/// audits (whose turn it was and why).
+#[derive(Debug, Clone)]
+pub struct Popped<T> {
+    /// The owning user.
+    pub user: String,
+    /// The dequeued item.
+    pub item: T,
+    /// Priority the entry was queued with.
+    pub priority: u8,
+    /// Recorder-clock time the entry was pushed.
+    pub enqueued_at: f64,
+    /// The user's accumulated usage *after* charging this pop.
+    pub usage: u64,
+}
+
+/// Bounded, fair-share-ordered priority queue.
+#[derive(Debug)]
+pub struct FairShareQueue<T> {
+    capacity: usize,
+    per_user_limit: Option<usize>,
+    buckets: BTreeMap<String, VecDeque<Entry<T>>>,
+    usage: BTreeMap<String, u64>,
+    seq: u64,
+    len: usize,
+}
+
+impl<T> FairShareQueue<T> {
+    /// An empty queue holding at most `capacity` entries, optionally
+    /// capping how many entries one user may have in queue at once.
+    pub fn new(capacity: usize, per_user_limit: Option<usize>) -> Self {
+        FairShareQueue {
+            capacity,
+            per_user_limit,
+            buckets: BTreeMap::new(),
+            usage: BTreeMap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Total queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entries currently queued for `user`.
+    pub fn user_depth(&self, user: &str) -> usize {
+        self.buckets.get(user).map_or(0, VecDeque::len)
+    }
+
+    /// Accumulated usage (dispatched entries) charged to `user`.
+    pub fn user_usage(&self, user: &str) -> u64 {
+        self.usage.get(user).copied().unwrap_or(0)
+    }
+
+    /// Admission control alone: would a push for `user` be accepted right
+    /// now? Lets callers check *before* creating expensive state (a job
+    /// record) for an entry that would be rejected anyway.
+    pub fn check_admission(&self, user: &str) -> Result<(), Rejection> {
+        if self.len >= self.capacity {
+            return Err(Rejection {
+                reason: format!("queue full ({} of {} entries)", self.len, self.capacity),
+            });
+        }
+        if let Some(limit) = self.per_user_limit {
+            if self.user_depth(user) >= limit {
+                return Err(Rejection {
+                    reason: format!("user {user:?} at per-user limit ({limit} queued)"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Push with admission control: rejects when the queue is full or the
+    /// user exceeds their in-queue limit.
+    pub fn try_push(
+        &mut self,
+        user: &str,
+        priority: u8,
+        enqueued_at: f64,
+        item: T,
+    ) -> Result<(), Rejection> {
+        self.check_admission(user)?;
+        self.push_unchecked(user, priority, enqueued_at, item);
+        Ok(())
+    }
+
+    /// Push bypassing admission control. Used for *internal* continuations
+    /// (DAG steps becoming ready, resubmitted attempts): the work was
+    /// already admitted at the submission boundary, so refusing it now
+    /// would strand an accepted workflow.
+    pub fn push_unchecked(&mut self, user: &str, priority: u8, enqueued_at: f64, item: T) {
+        self.seq += 1;
+        let entry = Entry { item, priority, seq: self.seq, enqueued_at };
+        self.buckets.entry(user.to_string()).or_default().push_back(entry);
+        self.usage.entry(user.to_string()).or_insert(0);
+        self.len += 1;
+    }
+
+    /// Fair-share pop: the least-used user's best entry, charging one unit
+    /// of usage to that user. Returns `None` when empty.
+    pub fn pop(&mut self) -> Option<Popped<T>> {
+        // Least accumulated usage wins; BTreeMap order breaks ties
+        // alphabetically, keeping the schedule deterministic.
+        let user = self
+            .buckets
+            .iter()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .min_by_key(|(user, _)| (self.usage.get(*user).copied().unwrap_or(0), (*user).clone()))
+            .map(|(user, _)| user.clone())?;
+        let bucket = self.buckets.get_mut(&user)?;
+        // Within the user's bucket: highest priority, then FIFO.
+        let best = bucket
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (std::cmp::Reverse(e.priority), e.seq))
+            .map(|(i, _)| i)?;
+        let entry = bucket.remove(best)?;
+        self.len -= 1;
+        let usage = self.usage.entry(user.clone()).or_insert(0);
+        *usage += 1;
+        let usage = *usage;
+        Some(Popped {
+            user,
+            item: entry.item,
+            priority: entry.priority,
+            enqueued_at: entry.enqueued_at,
+            usage,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut FairShareQueue<&'static str>) -> Vec<(String, &'static str)> {
+        let mut order = Vec::new();
+        while let Some(p) = q.pop() {
+            order.push((p.user, p.item));
+        }
+        order
+    }
+
+    #[test]
+    fn alternates_between_users_by_usage() {
+        let mut q = FairShareQueue::new(16, None);
+        for item in ["a1", "a2", "a3", "a4"] {
+            q.try_push("alice", 0, 0.0, item).unwrap();
+        }
+        for item in ["b1", "b2"] {
+            q.try_push("bob", 0, 0.0, item).unwrap();
+        }
+        let order: Vec<&str> = drain(&mut q).into_iter().map(|(_, i)| i).collect();
+        // Fair share interleaves; FIFO would run all of alice's first.
+        assert_eq!(order, vec!["a1", "b1", "a2", "b2", "a3", "a4"]);
+    }
+
+    #[test]
+    fn priority_orders_within_a_user() {
+        let mut q = FairShareQueue::new(16, None);
+        q.try_push("u", 0, 0.0, "low").unwrap();
+        q.try_push("u", 9, 0.0, "high").unwrap();
+        q.try_push("u", 9, 0.0, "high-later").unwrap();
+        let order: Vec<&str> = drain(&mut q).into_iter().map(|(_, i)| i).collect();
+        assert_eq!(order, vec!["high", "high-later", "low"]);
+    }
+
+    #[test]
+    fn capacity_rejects_with_reason() {
+        let mut q = FairShareQueue::new(2, None);
+        q.try_push("u", 0, 0.0, "a").unwrap();
+        q.try_push("u", 0, 0.0, "b").unwrap();
+        let err = q.try_push("u", 0, 0.0, "c").unwrap_err();
+        assert!(err.reason.contains("queue full"), "{}", err.reason);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn per_user_limit_rejects_only_the_offender() {
+        let mut q = FairShareQueue::new(16, Some(1));
+        q.try_push("hog", 0, 0.0, "a").unwrap();
+        let err = q.try_push("hog", 0, 0.0, "b").unwrap_err();
+        assert!(err.reason.contains("per-user limit"), "{}", err.reason);
+        q.try_push("other", 0, 0.0, "c").unwrap();
+    }
+
+    #[test]
+    fn push_unchecked_bypasses_admission() {
+        let mut q = FairShareQueue::new(1, Some(1));
+        q.try_push("u", 0, 0.0, "a").unwrap();
+        q.push_unchecked("u", 0, 0.0, "continuation");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn usage_persists_across_empty_buckets() {
+        let mut q = FairShareQueue::new(16, None);
+        q.try_push("alice", 0, 0.0, "a1").unwrap();
+        assert!(q.pop().is_some());
+        // Alice has usage 1; a fresh bob entry beats her next one.
+        q.try_push("alice", 0, 0.0, "a2").unwrap();
+        q.try_push("bob", 0, 0.0, "b1").unwrap();
+        assert_eq!(q.pop().unwrap().item, "b1");
+        assert_eq!(q.user_usage("alice"), 1);
+        assert_eq!(q.user_usage("bob"), 1);
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q: FairShareQueue<u32> = FairShareQueue::new(4, None);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,738 @@
+//! The asynchronous job queue + DAG workflow engine.
+//!
+//! Real Galaxy never runs a job inline with the web request: submissions
+//! enter an asynchronous queue, handler workers pull them off, and failed
+//! jobs can be *resubmitted* to fallback destinations. This module brings
+//! that layer to the substrate:
+//!
+//! - [`QueueEngine::submit_async`] returns a [`JobHandle`] immediately and
+//!   enqueues the work instead of blocking;
+//! - the queue is bounded with per-user fair-share ordering and admission
+//!   control ([`fair_share`]) — a full queue rejects with a reason rather
+//!   than growing without bound;
+//! - [`QueueEngine::submit_dag`] runs [`DagWorkflow`]s with explicit step
+//!   dependencies ([`dag`]): independent steps dispatch concurrently
+//!   through the [`HandlerPool`], so fan-out branches overlap on the
+//!   virtual clock;
+//! - failures follow a [`ResubmitPolicy`] ([`resubmit`]) — Galaxy's
+//!   `<resubmit>` semantics, e.g. GPU → CPU after an injected device
+//!   failure.
+//!
+//! ## Pump model
+//!
+//! [`QueueEngine::run_until_idle`] dispatches in deterministic *waves*:
+//! it pops up to `workers` items by fair share, prepares **all** their
+//! plans (so hooks observe the pre-wave cluster state and every wave
+//! member shares one virtual start time), hands the wave to the pool,
+//! waits, then processes completions — possibly enqueuing newly-ready DAG
+//! steps or resubmitted attempts for the next wave.
+//!
+//! ## Virtual-clock time charging
+//!
+//! Executors that advance the shared [`gpusim`-style] virtual clock do so
+//! additively from worker threads, so concurrent execution cannot shrink
+//! the clock reading by itself. When a [`WaveTimeCharging`] is configured
+//! the engine instead charges time at the wave barrier: each wave advances
+//! the clock to `wave_start + max(step duration)`, so parallel branches
+//! cost their *maximum* while sequential chains cost their *sum* — making
+//! DAG makespan measurably (and deterministically) smaller than the
+//! sequential baseline.
+//!
+//! Every scheduling decision is audited through the app's [`obs`]
+//! recorder as `galaxy.queue.*` events (enqueue, fair-share pick,
+//! dispatch, reject, resubmit, step-ready, cancel) alongside queue-depth,
+//! wait-time, and retry metrics.
+
+pub mod dag;
+pub mod fair_share;
+pub mod resubmit;
+
+pub use dag::{DagStep, DagWorkflow};
+pub use fair_share::{FairShareQueue, Popped, Rejection};
+pub use resubmit::ResubmitPolicy;
+
+use crate::app::GalaxyApp;
+use crate::error::GalaxyError;
+use crate::params::ParamDict;
+use crate::runners::{ExecutionPlan, JobExecutor};
+use crate::scheduler::HandlerPool;
+use crate::workflow::ValueSource;
+use obs::{Span, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Gauge: entries currently waiting in the fair-share queue.
+pub const QUEUE_DEPTH_GAUGE: &str = "galaxy_queue_depth";
+/// Histogram: seconds each entry waited before dispatch.
+pub const QUEUE_WAIT_HISTOGRAM: &str = "galaxy_queue_wait_seconds";
+/// Counter: submissions refused by admission control.
+pub const QUEUE_REJECTED_COUNTER: &str = "galaxy_queue_rejected_total";
+/// Counter: plans handed to the handler pool.
+pub const QUEUE_DISPATCHED_COUNTER: &str = "galaxy_queue_dispatched_total";
+/// Counter: failed attempts resubmitted to a fallback destination.
+pub const QUEUE_RESUBMITTED_COUNTER: &str = "galaxy_queue_resubmitted_total";
+
+/// A virtual clock the engine may advance at wave barriers. `advance_to`
+/// must clamp (never rewind), matching `gpusim::VirtualClock::advance_to`.
+pub trait AdvanceableClock: Send + Sync {
+    /// Current virtual time (seconds).
+    fn now(&self) -> f64;
+    /// Advance to absolute time `t` (no-op when `t` is in the past).
+    fn advance_to(&self, t: f64);
+}
+
+/// Per-plan duration estimate used for wave-barrier time charging.
+pub trait DurationModel: Send + Sync {
+    /// Virtual seconds the plan occupies a worker.
+    fn duration(&self, plan: &ExecutionPlan) -> f64;
+}
+
+impl<F> DurationModel for F
+where
+    F: Fn(&ExecutionPlan) -> f64 + Send + Sync,
+{
+    fn duration(&self, plan: &ExecutionPlan) -> f64 {
+        self(plan)
+    }
+}
+
+/// Wave-barrier time charging: after each wave completes, the clock
+/// advances to `wave_start + max(duration)` across the wave's members.
+pub struct WaveTimeCharging {
+    /// The shared virtual clock to advance.
+    pub clock: Box<dyn AdvanceableClock>,
+    /// Duration estimate per plan.
+    pub model: Box<dyn DurationModel>,
+}
+
+/// Engine configuration.
+pub struct QueueConfig {
+    /// Bounded queue capacity (admission control rejects beyond it).
+    pub capacity: usize,
+    /// Handler pool worker threads; also the wave width.
+    pub workers: u32,
+    /// Optional cap on one user's simultaneously queued entries.
+    pub per_user_limit: Option<usize>,
+    /// Engine-wide resubmission policy (destinations may override via
+    /// `resubmit_destination` / `resubmit_attempts` params).
+    pub resubmit: ResubmitPolicy,
+    /// Optional wave-barrier virtual-clock charging.
+    pub time_charging: Option<WaveTimeCharging>,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 64,
+            workers: 4,
+            per_user_limit: None,
+            resubmit: ResubmitPolicy::none(),
+            time_charging: None,
+        }
+    }
+}
+
+/// Handle returned by an asynchronous submission (the job id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobHandle(pub u64);
+
+/// Handle for a submitted DAG workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkflowHandle(pub usize);
+
+/// Lifecycle of an asynchronous submission as the engine sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmissionState {
+    /// Waiting in the queue (or between resubmission attempts).
+    Queued,
+    /// Finished successfully.
+    Ok,
+    /// Failed terminally (attempt budget exhausted or no fallback).
+    Error,
+    /// Never dispatched: an upstream DAG step failed.
+    Cancelled,
+}
+
+/// Observed virtual-clock interval of one completed DAG step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Job id the step ran as.
+    pub job_id: u64,
+    /// Virtual time the attempt started.
+    pub start: f64,
+    /// Virtual time the step finished.
+    pub end: f64,
+}
+
+/// Summary of a DAG workflow run.
+#[derive(Debug, Clone)]
+pub struct DagRunReport {
+    /// Per-step job ids (None when never materialized).
+    pub job_ids: Vec<Option<u64>>,
+    /// First failed step, if any.
+    pub failed_step: Option<usize>,
+    /// Per-step observed intervals (None unless completed).
+    pub outcomes: Vec<Option<StepOutcome>>,
+    /// `max(end) - min(start)` over completed steps (0 when none).
+    pub makespan: f64,
+}
+
+impl DagRunReport {
+    /// Whether every step completed.
+    pub fn ok(&self) -> bool {
+        self.failed_step.is_none()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum WorkItem {
+    Job(u64),
+    Step { wf: usize, step: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepState {
+    Waiting,
+    Enqueued,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+struct DagRun {
+    dag: DagWorkflow,
+    user: String,
+    priority: u8,
+    job_ids: Vec<Option<u64>>,
+    states: Vec<StepState>,
+    outcomes: Vec<Option<StepOutcome>>,
+}
+
+struct JobCtx {
+    user: String,
+    priority: u8,
+    /// Completed dispatch attempts.
+    attempts: u32,
+    /// Destination override for the next attempt (resubmission).
+    next_dest: Option<String>,
+    /// Destination of the first attempt (selects the resubmit policy).
+    first_destination: Option<String>,
+    /// Owning DAG step, when the job materializes a workflow step.
+    origin: Option<(usize, usize)>,
+}
+
+/// One wave member: the dispatched plan's bookkeeping.
+struct Dispatched {
+    job_id: u64,
+    duration: f64,
+    wave_start: f64,
+    span: Option<Span>,
+}
+
+/// The asynchronous queue + DAG engine wrapping a [`GalaxyApp`].
+pub struct QueueEngine {
+    app: GalaxyApp,
+    pool: HandlerPool,
+    queue: FairShareQueue<WorkItem>,
+    default_resubmit: ResubmitPolicy,
+    time_charging: Option<WaveTimeCharging>,
+    wave_size: usize,
+    jobs: HashMap<u64, JobCtx>,
+    statuses: HashMap<u64, SubmissionState>,
+    workflows: Vec<DagRun>,
+}
+
+impl GalaxyApp {
+    /// Wrap this app in an asynchronous [`QueueEngine`] — the async submit
+    /// path. `executor` is what the handler pool runs plans on (typically
+    /// the same executor the app holds).
+    pub fn into_queue(self, executor: Arc<dyn JobExecutor>, config: QueueConfig) -> QueueEngine {
+        QueueEngine::new(self, executor, config)
+    }
+}
+
+impl QueueEngine {
+    /// Build an engine over `app`, dispatching plans on `executor` through
+    /// a handler pool that shares the app's recorder.
+    pub fn new(app: GalaxyApp, executor: Arc<dyn JobExecutor>, config: QueueConfig) -> Self {
+        let pool = HandlerPool::with_recorder(executor, config.workers, app.recorder().clone());
+        app.recorder().metrics().set_gauge(QUEUE_DEPTH_GAUGE, 0.0);
+        QueueEngine {
+            queue: FairShareQueue::new(config.capacity, config.per_user_limit),
+            default_resubmit: config.resubmit,
+            time_charging: config.time_charging,
+            wave_size: config.workers.max(1) as usize,
+            jobs: HashMap::new(),
+            statuses: HashMap::new(),
+            workflows: Vec::new(),
+            app,
+            pool,
+        }
+    }
+
+    /// The wrapped app (jobs, history, recorder, events).
+    pub fn app(&self) -> &GalaxyApp {
+        &self.app
+    }
+
+    /// Mutable access to the wrapped app.
+    pub fn app_mut(&mut self) -> &mut GalaxyApp {
+        &mut self.app
+    }
+
+    /// Engine view of a submission's lifecycle.
+    pub fn state(&self, handle: JobHandle) -> Option<SubmissionState> {
+        self.statuses.get(&handle.0).copied()
+    }
+
+    /// Entries currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Asynchronously submit a tool job for `user`: admission-check,
+    /// create the job record, enqueue, and return immediately.
+    pub fn submit_async(
+        &mut self,
+        user: &str,
+        tool_id: &str,
+        params: &ParamDict,
+    ) -> Result<JobHandle, GalaxyError> {
+        self.submit_with_priority(user, tool_id, params, 0)
+    }
+
+    /// [`QueueEngine::submit_async`] with an explicit priority (higher
+    /// dispatches sooner *within* the user's own fair share).
+    pub fn submit_with_priority(
+        &mut self,
+        user: &str,
+        tool_id: &str,
+        params: &ParamDict,
+        priority: u8,
+    ) -> Result<JobHandle, GalaxyError> {
+        self.admit(user, tool_id)?;
+        let job_id = self.app.create_job(tool_id, params)?;
+        let now = self.app.recorder().now();
+        self.queue.push_unchecked(user, priority, now, WorkItem::Job(job_id));
+        self.jobs.insert(
+            job_id,
+            JobCtx {
+                user: user.to_string(),
+                priority,
+                attempts: 0,
+                next_dest: None,
+                first_destination: None,
+                origin: None,
+            },
+        );
+        self.statuses.insert(job_id, SubmissionState::Queued);
+        self.app.recorder().event(
+            "galaxy.queue.enqueue",
+            vec![
+                ("user", Value::from(user)),
+                ("tool", Value::from(tool_id)),
+                ("job_id", Value::from(job_id)),
+                ("priority", Value::from(u64::from(priority))),
+                ("depth", Value::from(self.queue.len())),
+            ],
+        );
+        self.sync_depth_gauge();
+        Ok(JobHandle(job_id))
+    }
+
+    /// Submit a DAG workflow: validate, admit, and enqueue its root steps.
+    /// Downstream steps enqueue as their dependencies complete.
+    pub fn submit_dag(
+        &mut self,
+        user: &str,
+        dag: DagWorkflow,
+    ) -> Result<WorkflowHandle, GalaxyError> {
+        dag.validate(&self.app)?;
+        self.admit(user, &dag.name.clone())?;
+        let n = dag.steps.len();
+        let roots = dag.roots();
+        self.app.recorder().event(
+            "galaxy.queue.enqueue",
+            vec![
+                ("user", Value::from(user)),
+                ("workflow", Value::from(dag.name.as_str())),
+                ("steps", Value::from(n)),
+                ("roots", Value::from(roots.len())),
+            ],
+        );
+        let wf = self.workflows.len();
+        self.workflows.push(DagRun {
+            dag,
+            user: user.to_string(),
+            priority: 0,
+            job_ids: vec![None; n],
+            states: vec![StepState::Waiting; n],
+            outcomes: vec![None; n],
+        });
+        for step in roots {
+            self.enqueue_step(wf, step);
+        }
+        Ok(WorkflowHandle(wf))
+    }
+
+    /// Report on a submitted DAG workflow (job ids, per-step intervals,
+    /// makespan over the virtual clock).
+    pub fn workflow_report(&self, handle: WorkflowHandle) -> Option<DagRunReport> {
+        let run = self.workflows.get(handle.0)?;
+        let failed_step = run.states.iter().position(|s| *s == StepState::Failed);
+        let completed: Vec<&StepOutcome> = run.outcomes.iter().flatten().collect();
+        let makespan = if completed.is_empty() {
+            0.0
+        } else {
+            let start = completed.iter().map(|o| o.start).fold(f64::INFINITY, f64::min);
+            let end = completed.iter().map(|o| o.end).fold(f64::NEG_INFINITY, f64::max);
+            end - start
+        };
+        Some(DagRunReport {
+            job_ids: run.job_ids.clone(),
+            failed_step,
+            outcomes: run.outcomes.clone(),
+            makespan,
+        })
+    }
+
+    /// Pump the queue until nothing is left to do: dispatch fair-share
+    /// waves through the handler pool, wait, apply completions, repeat.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            let wave = self.dispatch_wave();
+            if wave.is_empty() {
+                break;
+            }
+            self.pool.wait_all();
+            self.charge_wave_time(&wave);
+            for dispatched in wave {
+                self.complete(dispatched);
+            }
+        }
+    }
+
+    /// Drain outstanding work, stop the pool workers, and hand back the
+    /// wrapped app.
+    pub fn shutdown(mut self) -> GalaxyApp {
+        self.run_until_idle();
+        let QueueEngine { app, pool, .. } = self;
+        pool.shutdown();
+        app
+    }
+
+    fn admit(&mut self, user: &str, what: &str) -> Result<(), GalaxyError> {
+        if let Err(rejection) = self.queue.check_admission(user) {
+            self.app.recorder().metrics().inc_counter(QUEUE_REJECTED_COUNTER, 1);
+            self.app.recorder().event(
+                "galaxy.queue.reject",
+                vec![
+                    ("user", Value::from(user)),
+                    ("what", Value::from(what)),
+                    ("reason", Value::from(rejection.reason.as_str())),
+                ],
+            );
+            return Err(GalaxyError::QueueRejected(rejection.reason));
+        }
+        Ok(())
+    }
+
+    fn sync_depth_gauge(&self) {
+        self.app.recorder().metrics().set_gauge(QUEUE_DEPTH_GAUGE, self.queue.len() as f64);
+    }
+
+    fn enqueue_step(&mut self, wf: usize, step: usize) {
+        let run = &mut self.workflows[wf];
+        run.states[step] = StepState::Enqueued;
+        let user = run.user.clone();
+        let priority = run.priority;
+        let workflow = run.dag.name.clone();
+        let tool = run.dag.steps[step].tool_id.clone();
+        let now = self.app.recorder().now();
+        // Internal continuation: the workflow was admitted as a whole, so
+        // its steps bypass admission control.
+        self.queue.push_unchecked(&user, priority, now, WorkItem::Step { wf, step });
+        self.app.recorder().event(
+            "galaxy.queue.step_ready",
+            vec![
+                ("workflow", Value::from(workflow)),
+                ("step", Value::from(step)),
+                ("tool", Value::from(tool)),
+                ("user", Value::from(user)),
+            ],
+        );
+        self.sync_depth_gauge();
+    }
+
+    /// Pop up to one wave of items, prepare every plan, then enqueue them
+    /// all on the pool. Preparing before dispatching keeps wave starts on
+    /// one deterministic virtual timestamp and lets hooks observe the
+    /// pre-wave cluster state.
+    fn dispatch_wave(&mut self) -> Vec<Dispatched> {
+        let mut wave: Vec<Dispatched> = Vec::new();
+        let mut plans: Vec<ExecutionPlan> = Vec::new();
+        let wave_start = self.app.recorder().now();
+        while wave.len() < self.wave_size {
+            let Some(popped) = self.queue.pop() else { break };
+            self.sync_depth_gauge();
+            self.app.recorder().event(
+                "galaxy.queue.fair_share.pick",
+                vec![
+                    ("user", Value::from(popped.user.as_str())),
+                    ("usage", Value::from(popped.usage)),
+                    ("priority", Value::from(u64::from(popped.priority))),
+                    ("depth", Value::from(self.queue.len())),
+                ],
+            );
+            let job_id = match popped.item {
+                WorkItem::Job(id) => Some(id),
+                WorkItem::Step { wf, step } => self.materialize_step(wf, step),
+            };
+            let Some(job_id) = job_id else { continue };
+            let wait = (wave_start - popped.enqueued_at).max(0.0);
+            self.app.recorder().metrics().observe(QUEUE_WAIT_HISTOGRAM, wait);
+
+            let dest_override = self.jobs.get_mut(&job_id).and_then(|ctx| ctx.next_dest.take());
+            match self.app.prepare_plan(job_id, dest_override.as_deref()) {
+                Ok(plan) => {
+                    let destination = plan.destination_id.clone();
+                    let (attempt, user) = {
+                        let ctx = self.jobs.get_mut(&job_id).expect("ctx exists");
+                        ctx.attempts += 1;
+                        if ctx.first_destination.is_none() {
+                            ctx.first_destination = Some(destination.clone());
+                        }
+                        (ctx.attempts, ctx.user.clone())
+                    };
+                    let span = self.app.job_span_child(job_id, "galaxy.dispatch");
+                    if let Some(s) = &span {
+                        s.field("destination", destination.as_str());
+                        s.field("attempt", u64::from(attempt));
+                    }
+                    self.app.recorder().metrics().inc_counter(QUEUE_DISPATCHED_COUNTER, 1);
+                    self.app.recorder().event(
+                        "galaxy.queue.dispatch",
+                        vec![
+                            ("job_id", Value::from(job_id)),
+                            ("tool", Value::from(plan.tool_id.as_str())),
+                            ("destination", Value::from(destination)),
+                            ("user", Value::from(user)),
+                            ("attempt", Value::from(u64::from(attempt))),
+                            ("wait_seconds", Value::from(wait)),
+                        ],
+                    );
+                    let duration = self
+                        .time_charging
+                        .as_ref()
+                        .map_or(0.0, |tc| tc.model.duration(&plan).max(0.0));
+                    wave.push(Dispatched { job_id, duration, wave_start, span });
+                    plans.push(plan);
+                }
+                Err(_) => {
+                    // prepare_plan already marked the job failed.
+                    self.statuses.insert(job_id, SubmissionState::Error);
+                    if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
+                        self.fail_step(wf, step);
+                    }
+                }
+            }
+        }
+        for plan in plans {
+            self.pool.enqueue(plan);
+        }
+        wave
+    }
+
+    /// Resolve a ready DAG step's parameters (upstream outputs + literals)
+    /// and create its job record. Returns `None` — failing the step — when
+    /// an upstream output is missing or job creation fails.
+    fn materialize_step(&mut self, wf: usize, step: usize) -> Option<u64> {
+        let (tool_id, user, priority, bindings) = {
+            let run = &self.workflows[wf];
+            let dstep = &run.dag.steps[step];
+            (dstep.tool_id.clone(), run.user.clone(), run.priority, dstep.params.clone())
+        };
+        let mut params = ParamDict::new();
+        for (name, source) in bindings {
+            let value = match source {
+                ValueSource::Literal(v) => Some(v),
+                ValueSource::StepOutput(from) => self.workflows[wf].job_ids[from].and_then(|jid| {
+                    self.app.history().datasets_for_job(jid).first().map(|d| d.content.clone())
+                }),
+            };
+            match value {
+                Some(v) => params.set(name, v),
+                None => {
+                    self.fail_step(wf, step);
+                    return None;
+                }
+            }
+        }
+        match self.app.create_job(&tool_id, &params) {
+            Ok(job_id) => {
+                self.workflows[wf].job_ids[step] = Some(job_id);
+                self.jobs.insert(
+                    job_id,
+                    JobCtx {
+                        user,
+                        priority,
+                        attempts: 0,
+                        next_dest: None,
+                        first_destination: None,
+                        origin: Some((wf, step)),
+                    },
+                );
+                self.statuses.insert(job_id, SubmissionState::Queued);
+                Some(job_id)
+            }
+            Err(_) => {
+                self.fail_step(wf, step);
+                None
+            }
+        }
+    }
+
+    /// Advance the shared clock to the wave's end: start + the longest
+    /// member duration (parallel branches charge their max, so DAG
+    /// makespans genuinely beat sequential sums).
+    fn charge_wave_time(&self, wave: &[Dispatched]) {
+        let Some(tc) = &self.time_charging else { return };
+        let end = wave.iter().map(|d| d.wave_start + d.duration).fold(f64::NEG_INFINITY, f64::max);
+        if end.is_finite() {
+            tc.clock.advance_to(end);
+        }
+    }
+
+    /// Apply one wave member's result: success feeds the history and may
+    /// unblock DAG dependents; failure consults the resubmit policy.
+    fn complete(&mut self, dispatched: Dispatched) {
+        let Dispatched { job_id, duration, wave_start, span } = dispatched;
+        let result = self.pool.result(job_id).expect("wave member completed");
+        if let Some(s) = span {
+            s.field("exit_code", i64::from(result.exit_code));
+            s.end();
+        }
+
+        if result.exit_code == 0 {
+            let _ = self.app.finish_job(job_id, &result, true);
+            self.statuses.insert(job_id, SubmissionState::Ok);
+            if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
+                let end = if self.time_charging.is_some() {
+                    wave_start + duration
+                } else {
+                    self.app.job(job_id).and_then(|j| j.end_time).unwrap_or(wave_start)
+                };
+                let start = self.app.job(job_id).and_then(|j| j.start_time).unwrap_or(wave_start);
+                let run = &mut self.workflows[wf];
+                run.outcomes[step] = Some(StepOutcome { job_id, start, end });
+                run.states[step] = StepState::Done;
+                let ready: Vec<usize> = run
+                    .dag
+                    .dependents_of(step)
+                    .into_iter()
+                    .filter(|j| {
+                        run.states[*j] == StepState::Waiting
+                            && run.dag.deps_of(*j).iter().all(|d| run.states[*d] == StepState::Done)
+                    })
+                    .collect();
+                for next in ready {
+                    self.enqueue_step(wf, next);
+                }
+            }
+            return;
+        }
+
+        // Failure: resubmit when the policy still offers a fallback the
+        // config actually knows; otherwise the failure is final.
+        let policy = self.policy_for(job_id);
+        let attempts = self.jobs.get(&job_id).map_or(1, |ctx| ctx.attempts);
+        let fallback = policy
+            .fallback_for(attempts)
+            .filter(|d| self.app.config().destination(d).is_some())
+            .map(str::to_string);
+        match fallback {
+            Some(dest) => {
+                let _ = self.app.finish_job(job_id, &result, false);
+                let (user, priority, from) = {
+                    let ctx = self.jobs.get_mut(&job_id).expect("ctx exists");
+                    ctx.next_dest = Some(dest.clone());
+                    (
+                        ctx.user.clone(),
+                        ctx.priority,
+                        ctx.first_destination.clone().unwrap_or_default(),
+                    )
+                };
+                self.app.recorder().metrics().inc_counter(QUEUE_RESUBMITTED_COUNTER, 1);
+                self.app.recorder().event(
+                    "galaxy.queue.resubmit",
+                    vec![
+                        ("job_id", Value::from(job_id)),
+                        ("failed_attempt", Value::from(u64::from(attempts))),
+                        ("max_attempts", Value::from(u64::from(policy.max_attempts))),
+                        ("from_destination", Value::from(from)),
+                        ("to_destination", Value::from(dest)),
+                        ("exit_code", Value::from(i64::from(result.exit_code))),
+                    ],
+                );
+                let now = self.app.recorder().now();
+                self.queue.push_unchecked(&user, priority, now, WorkItem::Job(job_id));
+                self.statuses.insert(job_id, SubmissionState::Queued);
+                self.sync_depth_gauge();
+            }
+            None => {
+                let _ = self.app.finish_job(job_id, &result, true);
+                self.statuses.insert(job_id, SubmissionState::Error);
+                if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
+                    self.fail_step(wf, step);
+                }
+            }
+        }
+    }
+
+    /// The resubmit policy for a job: its first destination's
+    /// `resubmit_destination`/`resubmit_attempts` params when present,
+    /// else the engine default.
+    fn policy_for(&self, job_id: u64) -> ResubmitPolicy {
+        self.jobs
+            .get(&job_id)
+            .and_then(|ctx| ctx.first_destination.as_deref())
+            .and_then(|id| self.app.config().destination(id))
+            .and_then(ResubmitPolicy::from_destination)
+            .unwrap_or_else(|| self.default_resubmit.clone())
+    }
+
+    /// Mark a step failed and transitively cancel dependents that can now
+    /// never run.
+    fn fail_step(&mut self, wf: usize, step: usize) {
+        let workflow = self.workflows[wf].dag.name.clone();
+        self.workflows[wf].states[step] = StepState::Failed;
+        let mut cancelled: Vec<usize> = Vec::new();
+        loop {
+            let run = &mut self.workflows[wf];
+            let next =
+                (0..run.dag.steps.len()).find(|j| {
+                    run.states[*j] == StepState::Waiting
+                        && run.dag.deps_of(*j).iter().any(|d| {
+                            matches!(run.states[*d], StepState::Failed | StepState::Cancelled)
+                        })
+                });
+            match next {
+                Some(j) => {
+                    run.states[j] = StepState::Cancelled;
+                    cancelled.push(j);
+                }
+                None => break,
+            }
+        }
+        for j in cancelled {
+            self.app.recorder().event(
+                "galaxy.queue.cancel",
+                vec![
+                    ("workflow", Value::from(workflow.as_str())),
+                    ("step", Value::from(j)),
+                    ("reason", Value::from("upstream_failed")),
+                ],
+            );
+        }
+    }
+}

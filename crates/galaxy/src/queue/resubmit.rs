@@ -1,0 +1,123 @@
+//! Failure resubmission policy — Galaxy's `<resubmit>` semantics.
+//!
+//! Real Galaxy lets a destination declare `<resubmit>` children that send
+//! a failed job to another destination (the canonical use: a GPU
+//! destination falling back to CPU when the device errors or runs out of
+//! memory). [`ResubmitPolicy`] models that: a total attempt budget plus an
+//! ordered fallback destination list. Attempt 1 runs on the mapped
+//! destination; attempt `n + 1` runs on `fallbacks[n - 1]` (the last
+//! fallback repeats if the list is shorter than the budget).
+//!
+//! Destinations can carry their own policy through `job_conf` params
+//! (`resubmit_destination`, `resubmit_attempts`), which overrides the
+//! engine-wide default for jobs first mapped there.
+
+use crate::job::conf::Destination;
+
+/// Configurable retry/resubmission policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResubmitPolicy {
+    /// Total attempts allowed, including the first (1 = never resubmit).
+    pub max_attempts: u32,
+    /// Fallback destination ids for attempts 2, 3, ...; the last entry
+    /// repeats when the attempt budget exceeds the list.
+    pub fallbacks: Vec<String>,
+}
+
+impl Default for ResubmitPolicy {
+    fn default() -> Self {
+        ResubmitPolicy::none()
+    }
+}
+
+impl ResubmitPolicy {
+    /// Never resubmit (a failure is final on the first attempt).
+    pub fn none() -> Self {
+        ResubmitPolicy { max_attempts: 1, fallbacks: Vec::new() }
+    }
+
+    /// The paper's canonical fallback: one retry on a CPU destination
+    /// after a GPU failure.
+    pub fn gpu_to_cpu(cpu_destination: impl Into<String>) -> Self {
+        ResubmitPolicy { max_attempts: 2, fallbacks: vec![cpu_destination.into()] }
+    }
+
+    /// Destination for the attempt after `completed_attempts` failures, or
+    /// `None` when the budget is exhausted or no fallback is configured.
+    pub fn fallback_for(&self, completed_attempts: u32) -> Option<&str> {
+        if completed_attempts >= self.max_attempts || self.fallbacks.is_empty() {
+            return None;
+        }
+        let idx = (completed_attempts as usize - 1).min(self.fallbacks.len() - 1);
+        Some(self.fallbacks[idx].as_str())
+    }
+
+    /// Parse a destination-level policy from `job_conf` params:
+    /// `resubmit_destination` (comma-separated fallback ids) and optional
+    /// `resubmit_attempts` (total attempts, default one per fallback + 1).
+    pub fn from_destination(dest: &Destination) -> Option<Self> {
+        let raw = dest.params.get("resubmit_destination")?;
+        let fallbacks: Vec<String> =
+            raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+        if fallbacks.is_empty() {
+            return None;
+        }
+        let max_attempts = dest
+            .params
+            .get("resubmit_attempts")
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(fallbacks.len() as u32 + 1)
+            .max(1);
+        Some(ResubmitPolicy { max_attempts, fallbacks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::conf::JobConfig;
+
+    #[test]
+    fn none_never_offers_a_fallback() {
+        let p = ResubmitPolicy::none();
+        assert_eq!(p.fallback_for(1), None);
+    }
+
+    #[test]
+    fn gpu_to_cpu_offers_exactly_one_retry() {
+        let p = ResubmitPolicy::gpu_to_cpu("local_cpu");
+        assert_eq!(p.fallback_for(1), Some("local_cpu"));
+        assert_eq!(p.fallback_for(2), None, "budget exhausted");
+    }
+
+    #[test]
+    fn last_fallback_repeats_up_to_budget() {
+        let p = ResubmitPolicy {
+            max_attempts: 4,
+            fallbacks: vec!["docker_cpu".into(), "local_cpu".into()],
+        };
+        assert_eq!(p.fallback_for(1), Some("docker_cpu"));
+        assert_eq!(p.fallback_for(2), Some("local_cpu"));
+        assert_eq!(p.fallback_for(3), Some("local_cpu"));
+        assert_eq!(p.fallback_for(4), None);
+    }
+
+    #[test]
+    fn parsed_from_destination_params() {
+        let conf = r#"<job_conf>
+          <plugins><plugin id="local" type="runner" load="x"/></plugins>
+          <destinations default="gpu">
+            <destination id="gpu" runner="local">
+              <param id="resubmit_destination">cpu_a, cpu_b</param>
+              <param id="resubmit_attempts">3</param>
+            </destination>
+            <destination id="plain" runner="local"/>
+          </destinations>
+        </job_conf>"#;
+        let config = JobConfig::from_xml(conf).unwrap();
+        let p = ResubmitPolicy::from_destination(config.destination("gpu").unwrap()).unwrap();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.fallbacks, vec!["cpu_a".to_string(), "cpu_b".to_string()]);
+        assert!(ResubmitPolicy::from_destination(config.destination("plain").unwrap()).is_none());
+    }
+}

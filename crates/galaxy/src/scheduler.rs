@@ -13,14 +13,27 @@
 //! metrics registry, and completion is signalled through a condition
 //! variable so [`HandlerPool::wait_all`] blocks instead of spinning.
 //!
-//! (`GalaxyApp::submit` remains the synchronous single-job path; the pool
-//! is used when concurrency itself is under test.)
+//! ## Shutdown semantics
+//!
+//! Dropping a pool **drains** it by default: queued plans finish before
+//! the workers exit, exactly like [`HandlerPool::shutdown`]. We chose
+//! drain-on-drop because silently discarding accepted work would violate
+//! the contract `enqueue` implies (Galaxy handlers likewise finish their
+//! queue on graceful restart), and the virtual-clock executors make
+//! "finish everything" cheap. The alternative is explicit:
+//! [`HandlerPool::shutdown_now`] (or [`HandlerPool::set_shutdown_mode`]
+//! with [`ShutdownMode::Discard`]) marks queued-but-unstarted plans as
+//! skipped so the workers exit as soon as their in-flight plan completes.
+//!
+//! (`GalaxyApp::submit` remains the synchronous single-job path; the
+//! queue engine in [`crate::queue`] dispatches through this pool.)
 
 use crate::runners::{ExecutionPlan, ExecutionResult, JobExecutor};
 use crossbeam::channel::{unbounded, Sender};
 use obs::Recorder;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -32,6 +45,19 @@ pub const WORKERS_BUSY_GAUGE: &str = "galaxy_pool_workers_busy";
 pub const QUEUE_WAIT_HISTOGRAM: &str = "galaxy_pool_queue_wait_seconds";
 /// Metric: total plans executed by the pool.
 pub const JOBS_EXECUTED_COUNTER: &str = "galaxy_pool_jobs_executed_total";
+/// Metric: executed plans that reported a non-zero exit code.
+pub const JOBS_FAILED_COUNTER: &str = "galaxy_pool_jobs_failed_total";
+
+/// What happens to queued-but-unstarted plans when the pool stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShutdownMode {
+    /// Finish every queued plan before the workers exit (the default —
+    /// accepted work is never silently dropped).
+    #[default]
+    Drain,
+    /// Skip queued plans; workers exit after their in-flight plan.
+    Discard,
+}
 
 enum Message {
     /// A plan plus its enqueue timestamp (recorder clock).
@@ -47,11 +73,13 @@ struct Tracker {
 
 /// A pool of handler worker threads executing plans concurrently.
 pub struct HandlerPool {
-    sender: Sender<Message>,
+    sender: Option<Sender<Message>>,
     workers: Vec<JoinHandle<()>>,
     results: Arc<Mutex<HashMap<u64, ExecutionResult>>>,
     tracker: Arc<Tracker>,
     recorder: Recorder,
+    discard: Arc<AtomicBool>,
+    mode: ShutdownMode,
 }
 
 impl HandlerPool {
@@ -72,6 +100,7 @@ impl HandlerPool {
         // even before the first job arrives.
         recorder.metrics().set_gauge(QUEUE_DEPTH_GAUGE, 0.0);
         recorder.metrics().set_gauge(WORKERS_BUSY_GAUGE, 0.0);
+        let discard = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
         for _ in 0..workers.max(1) {
             let receiver = receiver.clone();
@@ -79,19 +108,25 @@ impl HandlerPool {
             let results = results.clone();
             let tracker = tracker.clone();
             let recorder = recorder.clone();
+            let discard = discard.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(msg) = receiver.recv() {
                     match msg {
                         Message::Run(plan, enqueued_at) => {
                             let metrics = recorder.metrics();
-                            let wait = (recorder.now() - enqueued_at).max(0.0);
                             metrics.add_gauge(QUEUE_DEPTH_GAUGE, -1.0);
-                            metrics.add_gauge(WORKERS_BUSY_GAUGE, 1.0);
-                            metrics.observe(QUEUE_WAIT_HISTOGRAM, wait);
-                            let result = executor.execute(&plan);
-                            results.lock().insert(plan.job_id, result);
-                            metrics.add_gauge(WORKERS_BUSY_GAUGE, -1.0);
-                            metrics.inc_counter(JOBS_EXECUTED_COUNTER, 1);
+                            if !discard.load(Ordering::SeqCst) {
+                                let wait = (recorder.now() - enqueued_at).max(0.0);
+                                metrics.add_gauge(WORKERS_BUSY_GAUGE, 1.0);
+                                metrics.observe(QUEUE_WAIT_HISTOGRAM, wait);
+                                let result = executor.execute(&plan);
+                                if result.exit_code != 0 {
+                                    metrics.inc_counter(JOBS_FAILED_COUNTER, 1);
+                                }
+                                results.lock().insert(plan.job_id, result);
+                                metrics.add_gauge(WORKERS_BUSY_GAUGE, -1.0);
+                                metrics.inc_counter(JOBS_EXECUTED_COUNTER, 1);
+                            }
                             let mut pending = tracker.pending.lock();
                             *pending -= 1;
                             if *pending == 0 {
@@ -103,7 +138,15 @@ impl HandlerPool {
                 }
             }));
         }
-        HandlerPool { sender, workers: handles, results, tracker, recorder }
+        HandlerPool {
+            sender: Some(sender),
+            workers: handles,
+            results,
+            tracker,
+            recorder,
+            discard,
+            mode: ShutdownMode::Drain,
+        }
     }
 
     /// The recorder receiving this pool's queue metrics.
@@ -115,7 +158,11 @@ impl HandlerPool {
     pub fn enqueue(&self, plan: ExecutionPlan) {
         *self.tracker.pending.lock() += 1;
         self.recorder.metrics().add_gauge(QUEUE_DEPTH_GAUGE, 1.0);
-        self.sender.send(Message::Run(Box::new(plan), self.recorder.now())).expect("pool alive");
+        self.sender
+            .as_ref()
+            .expect("pool alive")
+            .send(Message::Run(Box::new(plan), self.recorder.now()))
+            .expect("pool alive");
     }
 
     /// Number of enqueued-but-unfinished plans.
@@ -137,15 +184,47 @@ impl HandlerPool {
         self.results.lock().clone()
     }
 
-    /// Stop the workers (idempotent; pending work completes first because
-    /// the channel is drained in order).
+    /// Choose what [`Drop`] does with queued-but-unstarted plans. The
+    /// default is [`ShutdownMode::Drain`]; see the module docs for why.
+    pub fn set_shutdown_mode(&mut self, mode: ShutdownMode) {
+        self.mode = mode;
+    }
+
+    /// Gracefully stop the workers: queued plans finish first because the
+    /// channel is drained in order (idempotent).
     pub fn shutdown(mut self) {
-        for _ in &self.workers {
-            let _ = self.sender.send(Message::Shutdown);
+        self.stop(ShutdownMode::Drain);
+    }
+
+    /// Stop the workers without running queued plans: anything not yet
+    /// picked up is skipped (its `pending` slot is released so `wait_all`
+    /// callers unblock, but no result is recorded and no counter moves).
+    /// In-flight plans still run to completion.
+    pub fn shutdown_now(mut self) {
+        self.stop(ShutdownMode::Discard);
+    }
+
+    fn stop(&mut self, mode: ShutdownMode) {
+        if self.workers.is_empty() {
+            return;
+        }
+        if mode == ShutdownMode::Discard {
+            self.discard.store(true, Ordering::SeqCst);
+        }
+        if let Some(sender) = self.sender.take() {
+            for _ in &self.workers {
+                let _ = sender.send(Message::Shutdown);
+            }
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+impl Drop for HandlerPool {
+    fn drop(&mut self) {
+        self.stop(self.mode);
     }
 }
 
@@ -243,6 +322,73 @@ mod tests {
         let pool = HandlerPool::new(slow_executor(), 2);
         assert!(pool.wait_all().is_empty());
         pool.shutdown();
+    }
+
+    struct FailOdd;
+    impl JobExecutor for FailOdd {
+        fn execute(&self, plan: &ExecutionPlan) -> ExecutionResult {
+            if plan.job_id % 2 == 1 {
+                ExecutionResult::fail(1, "odd job")
+            } else {
+                ExecutionResult::ok("even job")
+            }
+        }
+    }
+
+    #[test]
+    fn failed_counter_tracks_nonzero_exits() {
+        let recorder = Recorder::new();
+        let pool = HandlerPool::with_recorder(Arc::new(FailOdd), 2, recorder.clone());
+        for i in 0..6 {
+            pool.enqueue(plan(i, "x"));
+        }
+        pool.wait_all();
+        pool.shutdown();
+        let metrics = recorder.metrics();
+        assert_eq!(metrics.counter_value(JOBS_EXECUTED_COUNTER), 6);
+        assert_eq!(metrics.counter_value(JOBS_FAILED_COUNTER), 3);
+        assert!(metrics.render_prometheus().contains(JOBS_FAILED_COUNTER));
+    }
+
+    #[test]
+    fn drop_drains_queued_work_by_default() {
+        let recorder = Recorder::new();
+        {
+            let pool = HandlerPool::with_recorder(slow_executor(), 1, recorder.clone());
+            for i in 0..5 {
+                pool.enqueue(plan(i, "x"));
+            }
+            // No wait_all, no shutdown: the drop must finish the queue.
+        }
+        assert_eq!(recorder.metrics().counter_value(JOBS_EXECUTED_COUNTER), 5);
+        assert_eq!(recorder.metrics().gauge_value(QUEUE_DEPTH_GAUGE), Some(0.0));
+    }
+
+    #[test]
+    fn discard_mode_skips_queued_plans() {
+        let recorder = Recorder::new();
+        let pool = HandlerPool::with_recorder(slow_executor(), 1, recorder.clone());
+        for i in 0..8 {
+            pool.enqueue(plan(i, "x"));
+        }
+        pool.shutdown_now();
+        let executed = recorder.metrics().counter_value(JOBS_EXECUTED_COUNTER);
+        assert!(executed < 8, "discard must not drain the whole queue, ran {executed}");
+        // Skipped slots are still released and the depth gauge settles.
+        assert_eq!(recorder.metrics().gauge_value(QUEUE_DEPTH_GAUGE), Some(0.0));
+    }
+
+    #[test]
+    fn drop_respects_configured_discard_mode() {
+        let recorder = Recorder::new();
+        {
+            let mut pool = HandlerPool::with_recorder(slow_executor(), 1, recorder.clone());
+            pool.set_shutdown_mode(ShutdownMode::Discard);
+            for i in 0..8 {
+                pool.enqueue(plan(i, "x"));
+            }
+        }
+        assert!(recorder.metrics().counter_value(JOBS_EXECUTED_COUNTER) < 8);
     }
 
     #[test]

@@ -72,20 +72,31 @@ impl Workflow {
     }
 
     /// Validate step references (upstream-only, in range, tools known).
+    /// Bad references are rejected with
+    /// [`GalaxyError::InvalidStepReference`] naming the offending step and
+    /// why — instead of failing opaquely at execution time.
     pub fn validate(&self, app: &GalaxyApp) -> Result<(), GalaxyError> {
         for (i, step) in self.steps.iter().enumerate() {
             if app.tool(&step.tool_id).is_none() {
                 return Err(GalaxyError::UnknownTool(step.tool_id.clone()));
             }
-            for (name, source) in &step.params {
+            for (_, source) in &step.params {
                 if let ValueSource::StepOutput(from) = source {
-                    if *from >= i {
-                        return Err(GalaxyError::BadWrapper(format!(
-                            "workflow {:?} step {i}: param {name:?} references step {from}, \
-                             which is not upstream",
-                            self.name
-                        )));
-                    }
+                    let reason = if *from == i {
+                        "self_reference"
+                    } else if *from >= self.steps.len() {
+                        "out_of_range"
+                    } else if *from > i {
+                        "forward_reference"
+                    } else {
+                        continue;
+                    };
+                    return Err(GalaxyError::InvalidStepReference {
+                        workflow: self.name.clone(),
+                        step: i,
+                        reference: *from,
+                        reason,
+                    });
                 }
             }
         }
@@ -203,14 +214,39 @@ mod tests {
         let wf = Workflow::new("bad")
             .step(WorkflowStep::new("upper").with_input_from("text", 1))
             .step(WorkflowStep::new("upper"));
-        assert!(matches!(wf.validate(&app_), Err(GalaxyError::BadWrapper(_))));
+        match wf.validate(&app_) {
+            Err(GalaxyError::InvalidStepReference { step, reference, reason, .. }) => {
+                assert_eq!((step, reference, reason), (0, 1, "forward_reference"));
+            }
+            other => panic!("expected InvalidStepReference, got {other:?}"),
+        }
     }
 
     #[test]
     fn self_reference_rejected() {
         let app_ = app();
         let wf = Workflow::new("bad").step(WorkflowStep::new("upper").with_input_from("text", 0));
-        assert!(wf.validate(&app_).is_err());
+        match wf.validate(&app_) {
+            Err(GalaxyError::InvalidStepReference { step, reference, reason, .. }) => {
+                assert_eq!((step, reference, reason), (0, 0, "self_reference"));
+            }
+            other => panic!("expected InvalidStepReference, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_reference_rejected() {
+        let app_ = app();
+        let wf = Workflow::new("bad")
+            .step(WorkflowStep::new("upper"))
+            .step(WorkflowStep::new("upper").with_input_from("text", 9));
+        match wf.validate(&app_) {
+            Err(GalaxyError::InvalidStepReference { step, reference, reason, workflow }) => {
+                assert_eq!((step, reference, reason), (1, 9, "out_of_range"));
+                assert_eq!(workflow, "bad");
+            }
+            other => panic!("expected InvalidStepReference, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,15 +5,35 @@ use crate::container_gpu::{DockerGpuMutator, SingularityGpuMutator};
 use crate::orchestrator::GyanHook;
 use crate::rules::GpuDestinationRule;
 use galaxy::app::TimeSource;
+use galaxy::queue::AdvanceableClock;
 use galaxy::GalaxyApp;
 use gpusim::{GpuCluster, VirtualClock};
 
-/// Adapter exposing the simulator's virtual clock as Galaxy's time source.
+/// Adapter exposing the simulator's virtual clock as Galaxy's time source
+/// — and, for the queue engine's wave-barrier time charging, as an
+/// advanceable clock.
 pub struct ClusterTime(VirtualClock);
+
+impl ClusterTime {
+    /// Wrap a (shared) virtual clock handle.
+    pub fn new(clock: VirtualClock) -> Self {
+        ClusterTime(clock)
+    }
+}
 
 impl TimeSource for ClusterTime {
     fn now(&self) -> f64 {
         self.0.now()
+    }
+}
+
+impl AdvanceableClock for ClusterTime {
+    fn now(&self) -> f64 {
+        self.0.now()
+    }
+
+    fn advance_to(&self, t: f64) {
+        self.0.advance_to(t);
     }
 }
 

@@ -8,7 +8,10 @@
 //! * each Galaxy job span and its phase children share one
 //!   `galaxy/job N` track, so phases nest visually inside the job;
 //! * GYAN's decision audit events appear as zero-duration markers on
-//!   `gyan/decisions`;
+//!   `gyan/decisions`; queue-engine scheduling audits (`galaxy.queue.*`:
+//!   enqueue, fair-share picks, dispatches, resubmissions) get their own
+//!   `galaxy/queue` track so scheduler activity reads separately from
+//!   allocation decisions;
 //! * kernel/DMA intervals keep their engine tracks (`gpu0/compute`,
 //!   `gpu0/h2d`, …) and are tagged with the owning job id, which places
 //!   them — in time — inside the job's span;
@@ -73,9 +76,13 @@ pub fn merged_chrome_trace(
         builder.add_complete(span.name, "galaxy", track, span.start, dur, span.fields);
     }
 
-    // Decision audits as zero-duration markers.
+    // Decision audits as zero-duration markers. Queue-engine scheduling
+    // events land on their own track so a trace of a DAG run shows the
+    // scheduler's picks/dispatches/resubmissions as a separate lane.
     for event in recorder.events() {
-        builder.add_complete(event.name, "audit", "gyan/decisions", event.t, 0.0, event.fields);
+        let track =
+            if event.name.starts_with("galaxy.queue") { "galaxy/queue" } else { "gyan/decisions" };
+        builder.add_complete(event.name, "audit", track, event.t, 0.0, event.fields);
     }
 
     // Kernel/DMA intervals on their engine tracks, tagged with the job.
@@ -173,6 +180,27 @@ mod tests {
         let kernel = merged.complete_events().iter().find(|e| e.name == "poa_kernel").unwrap();
         assert!(job.start_s <= kernel.start_s);
         assert!(kernel.start_s + kernel.dur_s <= job.start_s + job.dur_s);
+    }
+
+    #[test]
+    fn queue_events_route_to_their_own_track() {
+        let rec = Recorder::new();
+        rec.event("gyan.allocation.decision", [("reason", "requested_free")]);
+        rec.event("galaxy.queue.dispatch", [("job_id", 1u64)]);
+        rec.event("galaxy.queue.resubmit", [("job_id", 1u64)]);
+
+        let merged = merged_chrome_trace(&rec, &[], &[]);
+        let track_for = |name: &str| {
+            merged
+                .complete_events()
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.track.clone())
+                .unwrap()
+        };
+        assert_eq!(track_for("gyan.allocation.decision"), "gyan/decisions");
+        assert_eq!(track_for("galaxy.queue.dispatch"), "galaxy/queue");
+        assert_eq!(track_for("galaxy.queue.resubmit"), "galaxy/queue");
     }
 
     #[test]

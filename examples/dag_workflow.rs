@@ -1,0 +1,125 @@
+//! DAG workflow through the asynchronous queue engine: a fan-out/fan-in
+//! diamond whose GPU branches run concurrently, plus a forced GPU → CPU
+//! resubmission (Galaxy's `<resubmit>` fallback).
+//!
+//! Run with: `cargo run --release --example dag_workflow`
+
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::queue::{DagStep, DagWorkflow, QueueConfig, QueueEngine, ResubmitPolicy};
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::GalaxyApp;
+use gpusim::{GpuCluster, GpuProcess};
+use gyan::setup::{install_gyan, GyanConfig};
+use seqtools::{DatasetSpec, ToolExecutor};
+use std::sync::Arc;
+
+fn main() {
+    // The hardware and the GYAN-enabled Galaxy, as in the quickstart.
+    let cluster = GpuCluster::k80_node();
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    let executor = Arc::new(ToolExecutor::new(&cluster));
+    executor.register_dataset(DatasetSpec {
+        name: "dag_pacbio",
+        genome_len: 1_500,
+        n_reads: 12,
+        read_len: 1_200,
+        ..DatasetSpec::alzheimers_nfl()
+    });
+    executor.register_dataset(DatasetSpec {
+        name: "dag_fast5",
+        genome_len: 1_000,
+        n_reads: 2,
+        read_len: 250,
+        ..DatasetSpec::acinetobacter_pittii()
+    });
+    app.set_executor(Box::new(executor.clone()));
+    install_gyan(&mut app, &cluster, GyanConfig::default());
+
+    let lib = MacroLibrary::new();
+    for (id, executable, device, dataset) in [
+        ("racon_dev0", "racon_gpu", "0", "dag_pacbio"),
+        ("bonito_dev1", "bonito basecaller", "1", "dag_fast5"),
+    ] {
+        let xml = format!(
+            r#"<tool id="{id}" name="{id}">
+              <requirements><requirement type="compute" version="{device}">gpu</requirement></requirements>
+              <command>{executable} -t 2 {dataset} > out</command>
+              <outputs><data name="out" format="fasta"/></outputs>
+            </tool>"#
+        );
+        app.install_tool_xml(&xml, &lib).unwrap();
+    }
+    let echo = r#"<tool id="stage"><command>echo $msg</command>
+      <inputs><param name="msg" type="text" value="stage"/></inputs>
+      <outputs><data name="out" format="txt"/></outputs></tool>"#;
+    app.install_tool_xml(echo, &lib).unwrap();
+
+    // Wrap the app in the asynchronous queue engine: submissions return
+    // handles immediately; a GPU failure falls back to the CPU
+    // destination once.
+    let config =
+        QueueConfig { resubmit: ResubmitPolicy::gpu_to_cpu("local_cpu"), ..QueueConfig::default() };
+    let mut engine = QueueEngine::new(app, executor, config);
+
+    // ── Part 1: fan-out/fan-in diamond ─────────────────────────────────
+    // prep → {racon on GPU 0, bonito on GPU 1} → join. The two branches
+    // share a dispatch wave and run concurrently through the pool.
+    let diamond = DagWorkflow::new("gpu_diamond")
+        .step(DagStep::new("stage").with_param("msg", "prep"))
+        .step(DagStep::new("racon_dev0").after(0))
+        .step(DagStep::new("bonito_dev1").after(0))
+        .step(DagStep::new("stage").with_input_from("msg", 1).after(2));
+    let wf = engine.submit_dag("alice", diamond).unwrap();
+    engine.run_until_idle();
+
+    let report = engine.workflow_report(wf).unwrap();
+    println!("diamond ok: {}", report.ok());
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        if let Some(o) = outcome {
+            let job = engine.app().job(o.job_id).unwrap();
+            println!(
+                "  step {i}: job {} on {} (CUDA_VISIBLE_DEVICES={}) [{:.1}s..{:.1}s]",
+                o.job_id,
+                job.destination_id.as_deref().unwrap_or("-"),
+                job.env_var("CUDA_VISIBLE_DEVICES").unwrap_or("-"),
+                o.start,
+                o.end,
+            );
+        }
+    }
+    println!("  makespan: {:.1}s (virtual)", report.makespan);
+
+    // ── Part 2: forced resubmission ────────────────────────────────────
+    // Hog both devices so the next bonito GPU attempt runs out of memory;
+    // the engine resubmits it to `local_cpu`, where it succeeds.
+    let total = cluster.with_device(0, |d| d.fb_total_mib()).unwrap();
+    cluster.attach_process(0, GpuProcess::compute(9001, "hog0", total - 200)).unwrap();
+    cluster.attach_process(1, GpuProcess::compute(9002, "hog1", total - 200)).unwrap();
+
+    let handle = engine.submit_async("bob", "bonito_dev1", &ParamDict::new()).unwrap();
+    engine.run_until_idle();
+
+    let job = engine.app().job(handle.0).unwrap();
+    println!(
+        "\nresubmitted job {}: state {:?}, destination {}",
+        handle.0,
+        job.state(),
+        job.destination_id.as_deref().unwrap()
+    );
+    for ev in engine.app().recorder().events_named("galaxy.queue.resubmit") {
+        println!(
+            "  resubmit: {} -> {} after exit {}",
+            ev.field("from_destination").and_then(|v| v.as_str()).unwrap_or("-"),
+            ev.field("to_destination").and_then(|v| v.as_str()).unwrap_or("-"),
+            ev.field("exit_code").and_then(|v| v.as_f64()).unwrap_or(-1.0),
+        );
+    }
+
+    // Every scheduling decision is on the merged Chrome trace's
+    // `galaxy/queue` track.
+    let trace = gyan::telemetry::merged_chrome_trace(engine.app().recorder(), &[], &[]);
+    let queue_markers =
+        trace.complete_events().iter().filter(|e| e.track == "galaxy/queue").count();
+    println!("\nchrome trace: {queue_markers} scheduling markers on galaxy/queue");
+}

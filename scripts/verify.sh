@@ -19,4 +19,11 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> queue engine integration tests"
+cargo test -q --test queue_engine --test dag_workflows
+
+echo "==> workflow throughput benchmark"
+cargo run -q --release -p gyan-bench --bin workflow_throughput
+test -s target/BENCH_workflow.json
+
 echo "verify: OK"

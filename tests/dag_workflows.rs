@@ -1,0 +1,135 @@
+//! Diamond GPU/CPU DAG workflows through the full GYAN stack: fan-out
+//! branches dispatch in one wave (genuine concurrency through the handler
+//! pool), the GYAN hook places each pinned tool on its requested device
+//! under both allocation policies, and the join waits for both branches.
+
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::queue::{DagStep, DagWorkflow, QueueConfig, QueueEngine};
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::{GalaxyApp, JobState};
+use gpusim::GpuCluster;
+use gyan::allocation::AllocationPolicy;
+use gyan::setup::{install_gyan, GyanConfig};
+use seqtools::{DatasetSpec, ToolExecutor};
+use std::sync::Arc;
+
+fn pinned_tool(id: &str, executable: &str, gpu_ids: &str, dataset: &str) -> String {
+    format!(
+        r#"<tool id="{id}" name="{id}">
+          <requirements><requirement type="compute" version="{gpu_ids}">gpu</requirement></requirements>
+          <command>{executable} -t 2 {dataset} > out</command>
+          <outputs><data name="out" format="fasta"/></outputs>
+        </tool>"#
+    )
+}
+
+fn testbed(policy: AllocationPolicy) -> (GpuCluster, QueueEngine) {
+    let cluster = GpuCluster::k80_node();
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    let executor = Arc::new(ToolExecutor::new(&cluster).with_linger());
+    executor.register_dataset(DatasetSpec {
+        name: "dag_pacbio",
+        genome_len: 1_500,
+        n_reads: 12,
+        read_len: 1_200,
+        ..DatasetSpec::alzheimers_nfl()
+    });
+    executor.register_dataset(DatasetSpec {
+        name: "dag_fast5",
+        genome_len: 1_000,
+        n_reads: 2,
+        read_len: 250,
+        ..DatasetSpec::acinetobacter_pittii()
+    });
+    app.set_executor(Box::new(executor.clone()));
+    install_gyan(&mut app, &cluster, GyanConfig { policy, ..GyanConfig::default() });
+    let lib = MacroLibrary::new();
+    app.install_tool_xml(&pinned_tool("racon_dev0", "racon_gpu", "0", "dag_pacbio"), &lib).unwrap();
+    app.install_tool_xml(&pinned_tool("bonito_dev1", "bonito basecaller", "1", "dag_fast5"), &lib)
+        .unwrap();
+    let echo = r#"<tool id="stage"><command>echo $msg</command>
+      <inputs><param name="msg" type="text" value="stage"/></inputs>
+      <outputs><data name="out" format="txt"/></outputs></tool>"#;
+    app.install_tool_xml(echo, &lib).unwrap();
+    let engine = QueueEngine::new(app, executor, QueueConfig::default());
+    (cluster, engine)
+}
+
+fn diamond() -> DagWorkflow {
+    DagWorkflow::new("gpu_diamond")
+        .step(DagStep::new("stage").with_param("msg", "prep"))
+        .step(DagStep::new("racon_dev0").after(0))
+        .step(DagStep::new("bonito_dev1").after(0))
+        .step(DagStep::new("stage").with_param("msg", "join").after(1).after(2))
+}
+
+fn mask(engine: &QueueEngine, id: u64) -> String {
+    engine.app().job(id).unwrap().env_var("CUDA_VISIBLE_DEVICES").unwrap().to_string()
+}
+
+fn run_diamond(policy: AllocationPolicy) {
+    let (cluster, mut engine) = testbed(policy);
+    let wf = engine.submit_dag("alice", diamond()).unwrap();
+    engine.run_until_idle();
+
+    let report = engine.workflow_report(wf).unwrap();
+    assert!(report.ok(), "diamond completes, failed step: {:?}", report.failed_step);
+    for id in report.job_ids.iter().flatten() {
+        assert_eq!(engine.app().job(*id).unwrap().state(), JobState::Ok);
+    }
+
+    // Both branch tools prepared in the same wave saw both devices free:
+    // each lands on its requested GPU, under either allocation policy.
+    let racon = report.job_ids[1].unwrap();
+    let bonito = report.job_ids[2].unwrap();
+    assert_eq!(mask(&engine, racon), "0", "{policy:?}");
+    assert_eq!(mask(&engine, bonito), "1", "{policy:?}");
+
+    // The lingering processes sit on distinct devices (paper Fig. 10).
+    let procs0 = cluster.with_device(0, |d| d.processes().len()).unwrap();
+    let procs1 = cluster.with_device(1, |d| d.processes().len()).unwrap();
+    assert_eq!((procs0, procs1), (1, 1), "one resident process per device");
+
+    // Branch overlap on the virtual clock: both branches started together
+    // (same wave), after prep finished and before the join started.
+    let outcome = |i: usize| report.outcomes[i].expect("completed step");
+    assert_eq!(outcome(1).start, outcome(2).start, "branches share a dispatch wave");
+    assert!(outcome(0).end <= outcome(1).start, "prep precedes the branches");
+    assert!(outcome(1).end <= outcome(3).start, "join waits for racon");
+    assert!(outcome(2).end <= outcome(3).start, "join waits for bonito");
+
+    // Two jobs genuinely ran between the fan-out and the join: the
+    // scheduler audited one step_ready per step and dispatched all four.
+    let rec = engine.app().recorder();
+    assert_eq!(rec.events_named("galaxy.queue.step_ready").len(), 4);
+    assert_eq!(rec.events_named("galaxy.queue.dispatch").len(), 4);
+}
+
+#[test]
+fn diamond_places_branches_under_pid_policy() {
+    run_diamond(AllocationPolicy::ProcessId);
+}
+
+#[test]
+fn diamond_places_branches_under_memory_policy() {
+    run_diamond(AllocationPolicy::MemoryBased);
+}
+
+#[test]
+fn join_consumes_both_branch_outputs_via_data_edges() {
+    let (_cluster, mut engine) = testbed(AllocationPolicy::ProcessId);
+    // Replace ordering edges with data edges: the join echoes racon's
+    // consensus (its first output dataset).
+    let dag = DagWorkflow::new("data_diamond")
+        .step(DagStep::new("stage").with_param("msg", "prep"))
+        .step(DagStep::new("racon_dev0").after(0))
+        .step(DagStep::new("bonito_dev1").after(0))
+        .step(DagStep::new("stage").with_input_from("msg", 1).after(2));
+    let wf = engine.submit_dag("alice", dag).unwrap();
+    engine.run_until_idle();
+    let report = engine.workflow_report(wf).unwrap();
+    assert!(report.ok(), "failed step: {:?}", report.failed_step);
+    let join = report.job_ids[3].unwrap();
+    let stdout = &engine.app().job(join).unwrap().stdout;
+    assert!(stdout.contains(">consensus"), "join saw racon's output: {stdout}");
+}
