@@ -23,7 +23,8 @@ use crate::params::ParamDict;
 use crate::runners::container_cmd::VolumeBind;
 use crate::runners::local::LocalRunner;
 use crate::runners::{
-    CommandMutator, ExecutionPlan, ExecutionResult, JobExecutor, JobHook, NullExecutor,
+    CommandMutator, ExecutionPlan, ExecutionResult, JobConclusion, JobExecutor, JobHook,
+    NullExecutor,
 };
 use crate::tool::macros::MacroLibrary;
 use crate::tool::wrapper::parse_tool;
@@ -397,6 +398,7 @@ impl GalaxyApp {
                 span.end();
             }
             self.log(format!("job {job_id} ok"));
+            self.conclude(job_id, JobConclusion::Ok);
             Ok(())
         } else {
             job.transition(JobState::Error)?;
@@ -413,14 +415,34 @@ impl GalaxyApp {
                     span.end();
                 }
                 self.log(format!("job {job_id} error (exit {})", result.exit_code));
+                self.conclude(job_id, JobConclusion::FailedFinal);
             } else {
                 self.log(format!(
                     "job {job_id} attempt failed (exit {}), eligible for resubmission",
                     result.exit_code
                 ));
+                // Release attempt-scoped hook resources (GYAN's GPU lease)
+                // *before* the resubmitted attempt re-prepares — the
+                // fallback attempt must not inherit the failed one's
+                // device reservation.
+                self.conclude(job_id, JobConclusion::FailedRetryable);
             }
             Err(err)
         }
+    }
+
+    /// Notify every hook that a job's current attempt concluded.
+    fn conclude(&self, job_id: u64, conclusion: JobConclusion) {
+        for hook in &self.hooks {
+            hook.after_conclude(job_id, conclusion);
+        }
+    }
+
+    /// Notify hooks that a prepared-but-never-executed plan was dropped
+    /// (discard shutdown) so attempt-scoped resources are released.
+    pub fn discard_job(&mut self, job_id: u64) {
+        self.log(format!("job {job_id} discarded before execution"));
+        self.conclude(job_id, JobConclusion::Discarded);
     }
 
     /// Mark a job failed outside the executor path (mapping/hook/template
@@ -436,6 +458,7 @@ impl GalaxyApp {
             let _ = job.transition(JobState::Error);
             job.stderr = e.to_string();
         }
+        self.conclude(job_id, JobConclusion::PrepareFailed);
     }
 
     /// Resolve the destination for a tool's job, following one level of

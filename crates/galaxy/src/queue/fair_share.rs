@@ -140,12 +140,14 @@ impl<T> FairShareQueue<T> {
     /// of usage to that user. Returns `None` when empty.
     pub fn pop(&mut self) -> Option<Popped<T>> {
         // Least accumulated usage wins; BTreeMap order breaks ties
-        // alphabetically, keeping the schedule deterministic.
+        // alphabetically, keeping the schedule deterministic. The key
+        // compares by `&str` so only the winning user's name is cloned,
+        // not every candidate's on every pop.
         let user = self
             .buckets
             .iter()
             .filter(|(_, bucket)| !bucket.is_empty())
-            .min_by_key(|(user, _)| (self.usage.get(*user).copied().unwrap_or(0), (*user).clone()))
+            .min_by_key(|(user, _)| (self.usage.get(user.as_str()).copied().unwrap_or(0), *user))
             .map(|(user, _)| user.clone())?;
         let bucket = self.buckets.get_mut(&user)?;
         // Within the user's bucket: highest priority, then FIFO.

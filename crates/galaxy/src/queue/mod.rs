@@ -27,9 +27,18 @@
 //! waits, then processes completions — possibly enqueuing newly-ready DAG
 //! steps or resubmitted attempts for the next wave.
 //!
+//! Preparing a whole wave against the pre-wave state is a deliberate
+//! time-of-check/time-of-use window: two wave members can observe the
+//! same "free" resource. Hooks that grant exclusive resources must
+//! therefore reserve at preparation time and release on conclusion —
+//! GYAN's GPU lease table does exactly that (see the `gyan` crate's
+//! `reservations` module), using [`crate::runners::JobHook::after_conclude`]
+//! for release and [`QueueEngine::set_discard_listener`] to cover plans a
+//! discard shutdown skips.
+//!
 //! ## Virtual-clock time charging
 //!
-//! Executors that advance the shared [`gpusim`-style] virtual clock do so
+//! Executors that advance the shared `gpusim`-style virtual clock do so
 //! additively from worker threads, so concurrent execution cannot shrink
 //! the clock reading by itself. When a [`WaveTimeCharging`] is configured
 //! the engine instead charges time at the wave barrier: each wave advances
@@ -419,6 +428,27 @@ impl QueueEngine {
         let QueueEngine { app, pool, .. } = self;
         pool.shutdown();
         app
+    }
+
+    /// Stop without draining: still-queued items are dropped unprepared,
+    /// and plans already handed to the pool that no worker picked up are
+    /// skipped — each skip notifies the discard listener (see
+    /// [`QueueEngine::set_discard_listener`]) so preparation-time
+    /// resources (GYAN's GPU leases) are not leaked. Hands back the
+    /// wrapped app.
+    pub fn shutdown_now(self) -> GalaxyApp {
+        let QueueEngine { app, pool, .. } = self;
+        pool.shutdown_now();
+        app
+    }
+
+    /// Forward a discard listener to the handler pool: it is invoked once
+    /// per plan skipped by a discard shutdown, with the plan's job id.
+    /// Hooks that acquire per-job resources at preparation time register
+    /// their release here, since a skipped plan never reaches
+    /// [`GalaxyApp::finish_job`] and would otherwise leak them.
+    pub fn set_discard_listener(&self, listener: crate::scheduler::DiscardListener) {
+        self.pool.set_discard_listener(listener);
     }
 
     fn admit(&mut self, user: &str, what: &str) -> Result<(), GalaxyError> {

@@ -11,6 +11,12 @@
 //! Destinations can carry their own policy through `job_conf` params
 //! (`resubmit_destination`, `resubmit_attempts`), which overrides the
 //! engine-wide default for jobs first mapped there.
+//!
+//! Ordering note: when an attempt fails retryably, the engine concludes
+//! the attempt (`JobConclusion::FailedRetryable`, releasing any
+//! hook-held resources such as GPU leases) **before** the resubmitted
+//! attempt is re-prepared — so a GPU→CPU fallback never re-prepares
+//! while the failed attempt still holds its devices.
 
 use crate::job::conf::Destination;
 

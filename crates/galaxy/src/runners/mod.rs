@@ -137,6 +137,43 @@ pub trait CommandMutator: Send + Sync {
     fn mutate(&self, parts: &mut Vec<String>, job: &Job, destination: &Destination);
 }
 
+/// How a job's current attempt ended, from the hooks' point of view.
+///
+/// Hooks that acquire per-job resources in
+/// [`JobHook::before_dispatch`] (GYAN's GPU leases) use this to decide
+/// what to free in [`JobHook::after_conclude`]: every variant means the
+/// attempt's prepared plan will never execute again as-is, so
+/// attempt-scoped resources must be released. A retryable failure
+/// re-prepares from scratch, re-running the hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobConclusion {
+    /// The job finished successfully.
+    Ok,
+    /// The job failed and no further attempts will run.
+    FailedFinal,
+    /// The attempt failed but the job is eligible for resubmission; the
+    /// next attempt re-runs the hooks against the fallback destination.
+    FailedRetryable,
+    /// Preparation itself failed (mapping, hooks, template, container).
+    PrepareFailed,
+    /// The prepared plan was discarded without executing (engine
+    /// shutdown before dispatch).
+    Discarded,
+}
+
+impl JobConclusion {
+    /// Stable snake_case name used in audit events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobConclusion::Ok => "ok",
+            JobConclusion::FailedFinal => "failed_final",
+            JobConclusion::FailedRetryable => "failed_retryable",
+            JobConclusion::PrepareFailed => "prepare_failed",
+            JobConclusion::Discarded => "discarded",
+        }
+    }
+}
+
 /// Hook invoked after destination mapping and before command rendering —
 /// the extension point GYAN's orchestrator uses to pick GPUs, export
 /// `CUDA_VISIBLE_DEVICES`/`GALAXY_GPU_ENABLED`, and bridge
@@ -144,6 +181,14 @@ pub trait CommandMutator: Send + Sync {
 pub trait JobHook: Send + Sync {
     /// Adjust the job in place.
     fn before_dispatch(&self, job: &mut Job, tool: &Tool, destination: &Destination);
+
+    /// Called when an attempt concludes (success, final failure,
+    /// retryable failure, preparation failure, or discard), so hooks can
+    /// release attempt-scoped resources they acquired in
+    /// [`JobHook::before_dispatch`]. Default: no-op.
+    fn after_conclude(&self, job_id: u64, conclusion: JobConclusion) {
+        let _ = (job_id, conclusion);
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,10 @@ enum Message {
     Shutdown,
 }
 
+/// Callback invoked with a plan's job id when the plan is skipped by a
+/// discard shutdown (it must be `Sync`: workers call it concurrently).
+pub type DiscardListener = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// Completion tracking shared between workers and `wait_all`.
 struct Tracker {
     pending: Mutex<usize>,
@@ -79,6 +83,7 @@ pub struct HandlerPool {
     tracker: Arc<Tracker>,
     recorder: Recorder,
     discard: Arc<AtomicBool>,
+    discard_listener: Arc<Mutex<Option<DiscardListener>>>,
     mode: ShutdownMode,
 }
 
@@ -101,6 +106,7 @@ impl HandlerPool {
         recorder.metrics().set_gauge(QUEUE_DEPTH_GAUGE, 0.0);
         recorder.metrics().set_gauge(WORKERS_BUSY_GAUGE, 0.0);
         let discard = Arc::new(AtomicBool::new(false));
+        let discard_listener: Arc<Mutex<Option<DiscardListener>>> = Arc::new(Mutex::new(None));
         let mut handles = Vec::new();
         for _ in 0..workers.max(1) {
             let receiver = receiver.clone();
@@ -109,13 +115,22 @@ impl HandlerPool {
             let tracker = tracker.clone();
             let recorder = recorder.clone();
             let discard = discard.clone();
+            let discard_listener = discard_listener.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(msg) = receiver.recv() {
                     match msg {
                         Message::Run(plan, enqueued_at) => {
                             let metrics = recorder.metrics();
                             metrics.add_gauge(QUEUE_DEPTH_GAUGE, -1.0);
-                            if !discard.load(Ordering::SeqCst) {
+                            if discard.load(Ordering::SeqCst) {
+                                // Skipped plan: tell the listener so
+                                // attempt-scoped resources (GYAN leases)
+                                // held by never-executed plans are freed.
+                                let listener = discard_listener.lock().clone();
+                                if let Some(listener) = listener {
+                                    listener(plan.job_id);
+                                }
+                            } else {
                                 let wait = (recorder.now() - enqueued_at).max(0.0);
                                 metrics.add_gauge(WORKERS_BUSY_GAUGE, 1.0);
                                 metrics.observe(QUEUE_WAIT_HISTOGRAM, wait);
@@ -145,8 +160,17 @@ impl HandlerPool {
             tracker,
             recorder,
             discard,
+            discard_listener,
             mode: ShutdownMode::Drain,
         }
+    }
+
+    /// Register a callback invoked with each skipped plan's job id when a
+    /// discard shutdown drops queued-but-unstarted work. GYAN registers
+    /// its lease table here so reservations held by never-executed plans
+    /// are released rather than leaked.
+    pub fn set_discard_listener(&self, listener: DiscardListener) {
+        *self.discard_listener.lock() = Some(listener);
     }
 
     /// The recorder receiving this pool's queue metrics.
@@ -376,6 +400,27 @@ mod tests {
         assert!(executed < 8, "discard must not drain the whole queue, ran {executed}");
         // Skipped slots are still released and the depth gauge settles.
         assert_eq!(recorder.metrics().gauge_value(QUEUE_DEPTH_GAUGE), Some(0.0));
+    }
+
+    #[test]
+    fn discard_listener_sees_every_skipped_plan() {
+        let recorder = Recorder::new();
+        let pool = HandlerPool::with_recorder(slow_executor(), 1, recorder.clone());
+        let skipped = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let sink = skipped.clone();
+        pool.set_discard_listener(Arc::new(move |job_id| sink.lock().push(job_id)));
+        for i in 0..8 {
+            pool.enqueue(plan(i, "x"));
+        }
+        pool.shutdown_now();
+        let executed = recorder.metrics().counter_value(JOBS_EXECUTED_COUNTER);
+        let skipped = skipped.lock().clone();
+        assert_eq!(
+            executed as usize + skipped.len(),
+            8,
+            "every plan either executed or was reported skipped ({executed} + {skipped:?})",
+        );
+        assert!(!skipped.is_empty(), "discard must skip queued plans");
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //! Given a tool's requested GPU minor IDs (from the requirement's
 //! `version` tag) and the live cluster state, compute the value to export
 //! as `CUDA_VISIBLE_DEVICES`.
+//!
+//! The decision can additionally consult a [`ReservationView`] — a
+//! snapshot of the [`crate::reservations::LeaseTable`] — so that devices
+//! leased by not-yet-executing plans are treated as busy even though SMI
+//! still reports them idle. This is what closes the observe→dispatch
+//! TOCTOU window for same-wave placements.
 
 use crate::gpu_usage::{get_gpu_usage, gpu_memory_usage};
+use crate::reservations::ReservationView;
 use gpusim::GpuCluster;
 use obs::{Recorder, Value};
+use std::collections::HashSet;
 
 /// Which of GYAN's two device allocation strategies to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,9 +38,14 @@ pub enum AllocationPolicy {
 pub enum AllocationReason {
     /// Every requested device was free; the request was granted as-is.
     RequestedFree,
-    /// The request was busy/absent (or there was no preference); the job
-    /// got the currently free GPUs.
+    /// The request was busy or leased (or there was no preference); the
+    /// job got the currently free GPUs.
     FreeFallback,
+    /// The request named at least one GPU minor ID that does not exist on
+    /// this node (e.g. `[7]` on a 2-GPU node); the job got the free GPUs,
+    /// but the audit records the bad request instead of silently treating
+    /// it as "no preference".
+    InvalidRequest,
     /// Nothing was free; the Process ID approach scattered the job across
     /// all GPUs.
     AllBusyScatter,
@@ -47,6 +60,7 @@ impl AllocationReason {
         match self {
             AllocationReason::RequestedFree => "requested_free",
             AllocationReason::FreeFallback => "free_fallback",
+            AllocationReason::InvalidRequest => "invalid_request",
             AllocationReason::AllBusyScatter => "all_busy_scatter",
             AllocationReason::AllBusyLeastMemory => "all_busy_least_memory",
         }
@@ -90,7 +104,40 @@ pub fn select_gpus_traced(
     recorder: Option<&Recorder>,
 ) -> Option<Allocation> {
     let usage = get_gpu_usage(cluster);
-    let outcome = decide(cluster, &usage, requested, policy);
+    decide_traced(cluster, &usage, requested, policy, None, recorder)
+}
+
+/// [`select_gpus_traced`] with active reservations folded in: devices in
+/// `reservations` count as busy, and the Process Allocated Memory policy
+/// adds each device's pending declared memory to the SMI reading.
+///
+/// This observes leases without acquiring any — callers who also need to
+/// *hold* the grant should go through
+/// [`crate::reservations::LeaseTable::allocate_and_lease`], which runs the
+/// same decision atomically with lease insertion.
+pub fn select_gpus_reserved(
+    cluster: &GpuCluster,
+    requested: &[u32],
+    policy: AllocationPolicy,
+    reservations: &ReservationView,
+    recorder: Option<&Recorder>,
+) -> Option<Allocation> {
+    let usage = get_gpu_usage(cluster);
+    decide_traced(cluster, &usage, requested, policy, Some(reservations), recorder)
+}
+
+/// The decision plus its `gyan.allocation.decision` audit event, computed
+/// from an already-taken SMI snapshot (so the lease table can decide and
+/// reserve under one lock without re-polling).
+pub(crate) fn decide_traced(
+    cluster: &GpuCluster,
+    usage: &crate::gpu_usage::GpuUsage,
+    requested: &[u32],
+    policy: AllocationPolicy,
+    reservations: Option<&ReservationView>,
+    recorder: Option<&Recorder>,
+) -> Option<Allocation> {
+    let outcome = decide(cluster, usage, requested, policy, reservations);
 
     if let Some(rec) = recorder {
         let memory = gpu_memory_usage(cluster);
@@ -100,6 +147,10 @@ pub fn select_gpus_traced(
             ("all_gpus".into(), join(&usage.all_gpus).into()),
             ("avail_gpus".into(), join(&usage.avail_gpus).into()),
         ];
+        let invalid = invalid_requested(usage, requested);
+        if !invalid.is_empty() {
+            fields.push(("invalid_requested".into(), join(&invalid).into()));
+        }
         // The per-device state the decision was based on: busy PIDs and
         // allocated framebuffer memory.
         for (minor, pids) in &usage.proc_gpu_dict {
@@ -107,6 +158,20 @@ pub fn select_gpus_traced(
         }
         for (minor, used) in &memory {
             fields.push((format!("gpu{minor}_mem_mib"), (*used).into()));
+        }
+        // What the lease table contributed, when one was consulted.
+        if let Some(view) = reservations {
+            if !view.is_empty() {
+                fields.push(("leased_gpus".into(), join(&view.leased_devices()).into()));
+                fields.push((
+                    "effective_avail".into(),
+                    join(&effective_avail(usage, reservations)).into(),
+                ));
+                for minor in view.leased_devices() {
+                    fields
+                        .push((format!("gpu{minor}_pending_mib"), view.pending_mem(minor).into()));
+                }
+            }
         }
         match &outcome {
             Some(alloc) => {
@@ -124,50 +189,93 @@ pub fn select_gpus_traced(
     outcome
 }
 
-fn decide(
+/// Requested minor IDs that do not exist on the node, in request order.
+fn invalid_requested(usage: &crate::gpu_usage::GpuUsage, requested: &[u32]) -> Vec<u32> {
+    let mut seen = HashSet::with_capacity(requested.len());
+    requested
+        .iter()
+        .copied()
+        .filter(|id| seen.insert(*id) && !usage.all_gpus.contains(id))
+        .collect()
+}
+
+/// SMI-free devices minus leased ones.
+fn effective_avail(
+    usage: &crate::gpu_usage::GpuUsage,
+    reservations: Option<&ReservationView>,
+) -> Vec<u32> {
+    usage
+        .avail_gpus
+        .iter()
+        .copied()
+        .filter(|id| reservations.is_none_or(|view| !view.is_leased(*id)))
+        .collect()
+}
+
+pub(crate) fn decide(
     cluster: &GpuCluster,
     usage: &crate::gpu_usage::GpuUsage,
     requested: &[u32],
     policy: AllocationPolicy,
+    reservations: Option<&ReservationView>,
 ) -> Option<Allocation> {
     if usage.all_gpus.is_empty() {
         return None;
     }
 
-    // Deduplicate the request (a wrapper listing "0,0" means device 0).
-    let mut requested_dedup: Vec<u32> = Vec::with_capacity(requested.len());
-    for &id in requested {
-        if !requested_dedup.contains(&id) {
-            requested_dedup.push(id);
-        }
-    }
+    // Deduplicate the request preserving order (a wrapper listing "0,0"
+    // means device 0). A seen-set keeps this linear; the old
+    // `contains`-scan was quadratic in the request length.
+    let mut seen = HashSet::with_capacity(requested.len());
+    let requested_dedup: Vec<u32> =
+        requested.iter().copied().filter(|id| seen.insert(*id)).collect();
+    let invalid_request = requested_dedup.iter().any(|id| !usage.all_gpus.contains(id));
+
+    // A device is effectively free when SMI shows no processes *and* no
+    // not-yet-executing plan holds a lease on it.
+    let avail = effective_avail(usage, reservations);
 
     // Pseudocode 2: if gpu_id_to_query in avail_gps, grant it (all of the
-    // requested ids must be free to grant the multi-GPU request).
-    if !requested_dedup.is_empty() {
-        let all_free = requested_dedup.iter().all(|id| usage.avail_gpus.contains(id));
-        let all_exist = requested_dedup.iter().all(|id| usage.all_gpus.contains(id));
-        if all_exist && all_free {
+    // requested ids must be free to grant the multi-GPU request). A
+    // request naming a nonexistent device is never granted as-is.
+    if !requested_dedup.is_empty() && !invalid_request {
+        let all_free = requested_dedup.iter().all(|id| avail.contains(id));
+        if all_free {
             return Some(make_allocation(requested_dedup, AllocationReason::RequestedFree));
         }
     }
 
-    // Requested GPU busy (or no preference): fall back to the free GPUs.
-    if !usage.avail_gpus.is_empty() {
-        return Some(make_allocation(usage.avail_gpus.clone(), AllocationReason::FreeFallback));
+    // Requested GPU busy/leased, request invalid, or no preference: fall
+    // back to the effectively free GPUs. An invalid request is audited as
+    // such instead of masquerading as "no preference".
+    if !avail.is_empty() {
+        let reason = if invalid_request {
+            AllocationReason::InvalidRequest
+        } else {
+            AllocationReason::FreeFallback
+        };
+        return Some(make_allocation(avail, reason));
     }
 
-    // Nothing free: the two strategies diverge.
+    // Nothing effectively free: the two strategies diverge.
     let (devices, reason) = match policy {
         AllocationPolicy::ProcessId => {
             (usage.all_gpus.clone(), AllocationReason::AllBusyScatter) // scatter across all
         }
         AllocationPolicy::MemoryBased => {
+            // Least *total* load: SMI-allocated memory plus the memory
+            // pending leases declared they will allocate. Without the
+            // pending term, a wave of placements would all pick the same
+            // "least loaded" device.
             let mem = gpu_memory_usage(cluster);
             let min = mem
                 .iter()
-                .min_by_key(|(minor, used)| (*used, *minor))
-                .map(|(minor, _)| *minor)
+                .map(|(minor, used)| {
+                    let pending = reservations.map_or(0, |view| view.pending_mem(*minor));
+                    (*minor, *used + pending)
+                })
+                .min_by_key(|(minor, total)| (*total, *minor))
+                .map(|(minor, _)| minor)
                 .expect("non-empty gpu list");
             (vec![min], AllocationReason::AllBusyLeastMemory)
         }
@@ -199,10 +307,27 @@ fn join<T: ToString>(items: &[T]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reservations::LeaseTable;
     use gpusim::GpuProcess;
 
     fn busy(cluster: &GpuCluster, minor: u32, pid: u32, mib: u64) {
         cluster.attach_process(minor, GpuProcess::compute(pid, "tool", mib)).unwrap();
+    }
+
+    /// A view with leases held by the given holders on the given devices.
+    fn leased_view(cluster: &GpuCluster, grants: &[(u64, u32, u64)]) -> ReservationView {
+        let table = LeaseTable::new();
+        for &(holder, device, hint) in grants {
+            table.allocate_and_lease(
+                cluster,
+                &[device],
+                AllocationPolicy::ProcessId,
+                holder,
+                hint,
+                None,
+            );
+        }
+        table.view()
     }
 
     #[test]
@@ -286,11 +411,34 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_request_ids_collapse_preserving_order() {
+        let c = GpuCluster::k80_node();
+        let a = select_gpus(&c, &[1, 0, 1, 0], AllocationPolicy::ProcessId).unwrap();
+        assert!(a.granted_requested);
+        assert_eq!(a.cuda_visible_devices, "1,0");
+    }
+
+    #[test]
     fn nonexistent_requested_id_falls_back_to_free() {
         let c = GpuCluster::k80_node();
         let a = select_gpus(&c, &[7], AllocationPolicy::ProcessId).unwrap();
         assert!(!a.granted_requested);
         assert_eq!(a.cuda_visible_devices, "0,1");
+        // The bad request is called out, not treated as "no preference".
+        assert_eq!(a.reason, AllocationReason::InvalidRequest);
+    }
+
+    #[test]
+    fn invalid_request_is_audited_in_the_decision_event() {
+        let c = GpuCluster::k80_node();
+        let rec = obs::Recorder::new();
+        let a = select_gpus_traced(&c, &[7, 0], AllocationPolicy::ProcessId, Some(&rec)).unwrap();
+        // A partially-invalid request is never granted as-is.
+        assert!(!a.granted_requested);
+        assert_eq!(a.reason, AllocationReason::InvalidRequest);
+        let e = &rec.events_named("gyan.allocation.decision")[0];
+        assert_eq!(e.field("invalid_requested").and_then(|v| v.as_str()), Some("7"));
+        assert_eq!(e.field("reason").and_then(|v| v.as_str()), Some("invalid_request"));
     }
 
     #[test]
@@ -316,6 +464,46 @@ mod tests {
     }
 
     #[test]
+    fn leased_device_is_not_granted_even_when_smi_shows_it_free() {
+        let c = GpuCluster::k80_node();
+        let view = leased_view(&c, &[(1, 1, 100)]);
+        // SMI sees both devices idle, but device 1 is leased.
+        let a = select_gpus_reserved(&c, &[1], AllocationPolicy::ProcessId, &view, None).unwrap();
+        assert!(!a.granted_requested);
+        assert_eq!(a.cuda_visible_devices, "0");
+        assert_eq!(a.reason, AllocationReason::FreeFallback);
+    }
+
+    #[test]
+    fn reserved_decision_audits_lease_inputs() {
+        let c = GpuCluster::k80_node();
+        let view = leased_view(&c, &[(1, 1, 640)]);
+        let rec = obs::Recorder::new();
+        select_gpus_reserved(&c, &[], AllocationPolicy::ProcessId, &view, Some(&rec)).unwrap();
+        let e = &rec.events_named("gyan.allocation.decision")[0];
+        assert_eq!(e.field("leased_gpus").and_then(|v| v.as_str()), Some("1"));
+        assert_eq!(e.field("effective_avail").and_then(|v| v.as_str()), Some("0"));
+        assert_eq!(e.field("gpu1_pending_mib").and_then(|v| v.as_f64()), Some(640.0));
+        // SMI still thinks both are available.
+        assert_eq!(e.field("avail_gpus").and_then(|v| v.as_str()), Some("0,1"));
+    }
+
+    #[test]
+    fn memory_policy_counts_pending_lease_memory_when_all_busy() {
+        let c = GpuCluster::k80_node();
+        // Lease while the device is still free (an exclusive grant), then
+        // let both devices go busy: SMI memory ties at 100 MiB, and the
+        // 2000 MiB pending lease on device 0 tips the least-memory choice
+        // to device 1.
+        let view = leased_view(&c, &[(9, 0, 2000)]);
+        busy(&c, 0, 1, 100);
+        busy(&c, 1, 2, 100);
+        let a = select_gpus_reserved(&c, &[], AllocationPolicy::MemoryBased, &view, None).unwrap();
+        assert_eq!(a.reason, AllocationReason::AllBusyLeastMemory);
+        assert_eq!(a.devices, vec![1]);
+    }
+
+    #[test]
     fn traced_selection_records_observed_inputs_and_reason() {
         let c = GpuCluster::k80_node();
         busy(&c, 0, 43244, 60);
@@ -337,6 +525,8 @@ mod tests {
         assert_eq!(e.field("gpu1_mem_mib").and_then(|v| v.as_f64()), Some(2763.0));
         assert_eq!(e.field("reason").and_then(|v| v.as_str()), Some("all_busy_least_memory"));
         assert_eq!(e.field("cuda_visible_devices").and_then(|v| v.as_str()), Some("0"));
+        // No lease table consulted → no lease fields.
+        assert!(e.field("leased_gpus").is_none());
     }
 
     #[test]

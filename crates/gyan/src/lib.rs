@@ -25,6 +25,11 @@
 //!   Allocated Memory* approach — producing the `CUDA_VISIBLE_DEVICES`
 //!   export.
 //!
+//! Beyond the paper: [`reservations`] closes the observe→dispatch TOCTOU
+//! window of the SMI-polling allocator with a lease table — a device
+//! granted to a not-yet-executing plan is no longer "free" to the next
+//! plan prepared in the same dispatch wave.
+//!
 //! [`monitor`] is the paper's §V-C GPU hardware usage script (1 Hz
 //! utilization/memory/PCIe sampling with post-processed statistics and CSV
 //! output), [`telemetry`] merges job spans, decision audits, kernel/DMA
@@ -36,14 +41,18 @@ pub mod container_gpu;
 pub mod gpu_usage;
 pub mod monitor;
 pub mod orchestrator;
+pub mod reservations;
 pub mod rules;
 pub mod setup;
 pub mod telemetry;
 
-pub use allocation::{select_gpus, select_gpus_traced, AllocationPolicy, AllocationReason};
+pub use allocation::{
+    select_gpus, select_gpus_reserved, select_gpus_traced, AllocationPolicy, AllocationReason,
+};
 pub use gpu_usage::{get_gpu_usage, gpu_memory_usage};
 pub use monitor::UsageMonitor;
 pub use orchestrator::GyanHook;
+pub use reservations::{Lease, LeaseTable, ReservationView};
 pub use rules::GpuDestinationRule;
 pub use setup::install_gyan;
 pub use telemetry::{export_run, merged_chrome_trace, TelemetryExport};

@@ -11,15 +11,31 @@
 //! 3. sets `GALAXY_GPU_ENABLED` and bridges it into the tool wrapper's
 //!    parameter dictionary as `__galaxy_gpu_enabled__` (the
 //!    `build_param_dict` insertion described in §IV-A).
+//!
+//! When built [`GyanHook::with_reservations`], step 2 goes through the
+//! [`crate::reservations::LeaseTable`] instead of a bare SMI poll: the
+//! granted devices are leased to the job atomically with the decision and
+//! released in [`galaxy::runners::JobHook::after_conclude`], so two plans
+//! prepared in the same dispatch wave can never be handed the same "free"
+//! device.
 
 use crate::allocation::{select_gpus_traced, AllocationPolicy};
+use crate::reservations::LeaseTable;
 use crate::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED, GPU_ENABLED_PARAM};
 use galaxy::job::conf::Destination;
 use galaxy::job::Job;
-use galaxy::runners::JobHook;
+use galaxy::runners::{JobConclusion, JobHook};
 use galaxy::tool::Tool;
 use gpusim::GpuCluster;
 use obs::{Recorder, Value};
+
+/// Memory a GPU job is assumed to allocate when neither the destination
+/// nor the config declares a hint (MiB). Used by the reservation layer's
+/// Process-Allocated-Memory accounting.
+pub const DEFAULT_GPU_MEMORY_HINT_MIB: u64 = 1024;
+
+/// Destination parameter overriding the declared per-job GPU memory hint.
+pub const GPU_MEMORY_HINT_PARAM: &str = "gpu_memory_hint_mib";
 
 /// The GYAN orchestration hook. Register with
 /// [`galaxy::GalaxyApp::add_hook`].
@@ -29,6 +45,11 @@ pub struct GyanHook {
     /// Destination ids treated as GPU destinations.
     gpu_destinations: Vec<String>,
     recorder: Option<Recorder>,
+    /// When present, allocations go through the lease table: the grant is
+    /// reserved atomically with the decision and held until the job
+    /// concludes, closing the observe→dispatch race.
+    reservations: Option<LeaseTable>,
+    default_memory_hint_mib: u64,
 }
 
 impl GyanHook {
@@ -45,6 +66,8 @@ impl GyanHook {
             policy,
             gpu_destinations: gpu_destinations.into_iter().map(Into::into).collect(),
             recorder: None,
+            reservations: None,
+            default_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
         }
     }
 
@@ -52,6 +75,20 @@ impl GyanHook {
     /// exports) per dispatched job.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Route allocations through `table`: each grant leases its devices to
+    /// the job until [`JobHook::after_conclude`] releases them.
+    pub fn with_reservations(mut self, table: LeaseTable) -> Self {
+        self.reservations = Some(table);
+        self
+    }
+
+    /// Override the assumed per-job GPU memory (MiB) used when the
+    /// destination does not carry a `gpu_memory_hint_mib` parameter.
+    pub fn with_default_memory_hint(mut self, mib: u64) -> Self {
+        self.default_memory_hint_mib = mib;
         self
     }
 
@@ -63,18 +100,38 @@ impl GyanHook {
     fn is_gpu_destination(&self, destination: &Destination) -> bool {
         self.gpu_destinations.iter().any(|d| d == &destination.id)
     }
+
+    fn memory_hint(&self, destination: &Destination) -> u64 {
+        destination
+            .params
+            .get(GPU_MEMORY_HINT_PARAM)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.default_memory_hint_mib)
+    }
 }
 
 impl JobHook for GyanHook {
     fn before_dispatch(&self, job: &mut Job, tool: &Tool, destination: &Destination) {
         let wants_gpu = tool.requires_gpu() && self.is_gpu_destination(destination);
         if wants_gpu {
-            if let Some(alloc) = select_gpus_traced(
-                &self.cluster,
-                &tool.requested_gpu_ids(),
-                self.policy,
-                self.recorder.as_ref(),
-            ) {
+            let requested = tool.requested_gpu_ids();
+            let alloc = match &self.reservations {
+                Some(table) => table.allocate_and_lease(
+                    &self.cluster,
+                    &requested,
+                    self.policy,
+                    job.id,
+                    self.memory_hint(destination),
+                    self.recorder.as_ref(),
+                ),
+                None => select_gpus_traced(
+                    &self.cluster,
+                    &requested,
+                    self.policy,
+                    self.recorder.as_ref(),
+                ),
+            };
+            if let Some(alloc) = alloc {
                 self.audit(job, destination, true, Some(alloc.cuda_visible_devices.as_str()));
                 job.set_env(GALAXY_GPU_ENABLED, "true");
                 job.set_env(CUDA_VISIBLE_DEVICES, alloc.cuda_visible_devices);
@@ -85,6 +142,15 @@ impl JobHook for GyanHook {
         self.audit(job, destination, false, None);
         job.set_env(GALAXY_GPU_ENABLED, "false");
         job.params.set(GPU_ENABLED_PARAM, "false");
+    }
+
+    fn after_conclude(&self, job_id: u64, conclusion: JobConclusion) {
+        // Every conclusion means the prepared plan will not execute again
+        // as-is; a retryable failure re-runs `before_dispatch` (which
+        // re-acquires) against the fallback destination.
+        if let Some(table) = &self.reservations {
+            table.release(job_id, conclusion.as_str(), self.recorder.as_ref());
+        }
     }
 }
 
@@ -194,6 +260,54 @@ mod tests {
         let mut job = Job::new(1, "racon_gpu", ParamDict::new());
         h.before_dispatch(&mut job, &gpu_tool(None), &dest("local_gpu"));
         assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
+    }
+
+    #[test]
+    fn leases_redirect_the_second_same_wave_job() {
+        let c = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        let h = hook(&c, AllocationPolicy::ProcessId).with_reservations(table.clone());
+        // Both jobs pin device 1; SMI shows it free both times (neither
+        // has started executing). Without leases both would get "1".
+        let mut first = Job::new(1, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut first, &gpu_tool(Some("1")), &dest("local_gpu"));
+        let mut second = Job::new(2, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut second, &gpu_tool(Some("1")), &dest("local_gpu"));
+        assert_eq!(first.env_var(CUDA_VISIBLE_DEVICES), Some("1"));
+        assert_eq!(second.env_var(CUDA_VISIBLE_DEVICES), Some("0"));
+        assert_eq!(table.lease_count(), 2);
+    }
+
+    #[test]
+    fn after_conclude_releases_the_jobs_leases() {
+        let c = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        let h = hook(&c, AllocationPolicy::ProcessId).with_reservations(table.clone());
+        let mut job = Job::new(5, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(Some("0")), &dest("local_gpu"));
+        assert_eq!(table.lease_count(), 1);
+        h.after_conclude(5, galaxy::runners::JobConclusion::Ok);
+        assert_eq!(table.lease_count(), 0);
+        // Concluding a job without leases is a no-op.
+        h.after_conclude(5, galaxy::runners::JobConclusion::Ok);
+    }
+
+    #[test]
+    fn destination_param_overrides_the_memory_hint() {
+        let c = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        let h = hook(&c, AllocationPolicy::MemoryBased)
+            .with_reservations(table.clone())
+            .with_default_memory_hint(512);
+        let mut d = dest("local_gpu");
+        d.params.set(GPU_MEMORY_HINT_PARAM, "2048");
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(Some("0")), &d);
+        assert_eq!(table.leases_on(0)[0].memory_hint_mib, 2048);
+        // Without the param the configured default applies.
+        let mut job = Job::new(2, "racon_gpu", ParamDict::new());
+        h.before_dispatch(&mut job, &gpu_tool(Some("1")), &dest("local_gpu"));
+        assert_eq!(table.leases_on(1)[0].memory_hint_mib, 512);
     }
 
     #[test]

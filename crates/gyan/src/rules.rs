@@ -7,6 +7,7 @@
 //! 'local GPU'" — otherwise the job is switched to a CPU destination in a
 //! user-agnostic fashion.
 
+use crate::reservations::LeaseTable;
 use galaxy::app::DynamicRule;
 use galaxy::job::conf::JobConfig;
 use galaxy::job::Job;
@@ -30,6 +31,10 @@ pub struct GpuDestinationRule {
     /// GPU suffices and the allocation policy decides placement.
     pub require_free_gpu: bool,
     recorder: Option<Recorder>,
+    /// When present, devices leased to not-yet-executing plans count as
+    /// busy in the free-GPU observation (relevant with
+    /// [`GpuDestinationRule::require_free`]).
+    reservations: Option<LeaseTable>,
 }
 
 /// What the rule saw when it queried the cluster through pynvml.
@@ -52,12 +57,22 @@ impl GpuDestinationRule {
             cpu_destination: cpu_destination.into(),
             require_free_gpu: false,
             recorder: None,
+            reservations: None,
         }
     }
 
     /// Require a currently-free GPU for GPU mapping.
     pub fn require_free(mut self) -> Self {
         self.require_free_gpu = true;
+        self
+    }
+
+    /// Count leased devices as busy when observing GPU availability, so a
+    /// strict (`require_free`) rule does not route a job to the GPU
+    /// destination on the strength of a device another same-wave plan
+    /// already holds.
+    pub fn with_reservations(mut self, table: LeaseTable) -> Self {
+        self.reservations = Some(table);
         self
     }
 
@@ -114,8 +129,10 @@ impl GpuDestinationRule {
     fn observe(&self) -> GpuObservation {
         let nvml = Nvml::init(&self.cluster);
         let device_count = nvml.device_count();
+        let leased = self.reservations.as_ref().map(LeaseTable::view);
         let free_gpus = (0..device_count)
             .filter(|i| nvml.compute_running_processes(*i).map(|p| p.is_empty()).unwrap_or(false))
+            .filter(|i| leased.as_ref().is_none_or(|view| !view.is_leased(*i)))
             .collect();
         GpuObservation { device_count, free_gpus }
     }
@@ -193,6 +210,22 @@ mod tests {
         // policy will place them (paper Cases 3/4).
         let lax = GpuDestinationRule::new(&c, "local_gpu", "local_cpu");
         assert_eq!(lax.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_gpu");
+    }
+
+    #[test]
+    fn leased_devices_are_not_free_to_a_strict_rule() {
+        use crate::allocation::AllocationPolicy;
+        let c = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        // Both devices SMI-idle but leased by pending plans.
+        table.allocate_and_lease(&c, &[], AllocationPolicy::ProcessId, 1, 100, None);
+        let strict = GpuDestinationRule::new(&c, "local_gpu", "local_cpu")
+            .require_free()
+            .with_reservations(table.clone());
+        assert_eq!(strict.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_cpu");
+        // Releasing the leases makes the devices free again.
+        table.release(1, "ok", None);
+        assert_eq!(strict.decide(&gpu_tool(), &job(), &config()).unwrap(), "local_gpu");
     }
 
     #[test]

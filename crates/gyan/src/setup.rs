@@ -2,7 +2,8 @@
 
 use crate::allocation::AllocationPolicy;
 use crate::container_gpu::{DockerGpuMutator, SingularityGpuMutator};
-use crate::orchestrator::GyanHook;
+use crate::orchestrator::{GyanHook, DEFAULT_GPU_MEMORY_HINT_MIB};
+use crate::reservations::LeaseTable;
 use crate::rules::GpuDestinationRule;
 use galaxy::app::TimeSource;
 use galaxy::queue::AdvanceableClock;
@@ -51,6 +52,10 @@ pub struct GyanConfig {
     /// Name under which the dynamic rule is registered (must match the
     /// `function` param of the dynamic destination in `job_conf.xml`).
     pub rule_name: String,
+    /// Memory (MiB) a GPU job is assumed to allocate when its destination
+    /// carries no `gpu_memory_hint_mib` param — the pending-load term the
+    /// reservation layer feeds the Process Allocated Memory policy.
+    pub gpu_memory_hint_mib: u64,
 }
 
 impl Default for GyanConfig {
@@ -65,6 +70,7 @@ impl Default for GyanConfig {
                 "singularity_gpu".to_string(),
             ],
             rule_name: "gpu_dynamic_destination".to_string(),
+            gpu_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
         }
     }
 }
@@ -117,36 +123,51 @@ impl GyanConfig {
                 let _ = other;
             }
         }
+        if let Some(hint) = dest.params.get("gpu_memory_hint_mib").and_then(|v| v.parse().ok()) {
+            out.gpu_memory_hint_mib = hint;
+        }
         out
     }
 }
 
 /// Install GYAN into `app`: registers the dynamic destination rule, the
-/// orchestration hook, both container GPU mutators, and switches the app's
-/// time source to the cluster's virtual clock.
+/// orchestration hook (routed through a fresh [`LeaseTable`]), both
+/// container GPU mutators, and switches the app's time source to the
+/// cluster's virtual clock.
 ///
 /// Telemetry is wired end to end: the app's [`obs::Recorder`] is shared
-/// with the rule and the hook (so their decision audit events land in the
-/// same log as the job spans), and its clock is driven by the cluster's
-/// virtual clock, making every exported timestamp deterministic.
-pub fn install_gyan(app: &mut GalaxyApp, cluster: &GpuCluster, config: GyanConfig) {
+/// with the rule, the hook, and the lease table (so their decision and
+/// reservation audit events land in the same log as the job spans), and
+/// its clock is driven by the cluster's virtual clock, making every
+/// exported timestamp deterministic.
+///
+/// Returns the lease table so callers can inspect reservations, or hand
+/// [`LeaseTable::discard_listener`] to a
+/// [`galaxy::scheduler::HandlerPool`] / `QueueEngine` so leases of plans
+/// skipped by a discard shutdown are released too.
+pub fn install_gyan(app: &mut GalaxyApp, cluster: &GpuCluster, config: GyanConfig) -> LeaseTable {
     let recorder = app.recorder().clone();
     let recorder_clock = cluster.clock().clone();
     recorder.set_clock(move || recorder_clock.now());
 
+    let reservations = LeaseTable::new();
     app.register_rule(
         config.rule_name.clone(),
         GpuDestinationRule::new(cluster, &config.gpu_destination, &config.cpu_destination)
             .with_recorder(recorder.clone())
+            .with_reservations(reservations.clone())
             .into_rule(),
     );
     app.add_hook(Box::new(
         GyanHook::new(cluster, config.policy, config.gpu_destinations.clone())
-            .with_recorder(recorder),
+            .with_recorder(recorder)
+            .with_reservations(reservations.clone())
+            .with_default_memory_hint(config.gpu_memory_hint_mib),
     ));
     app.add_mutator(Box::new(DockerGpuMutator));
     app.add_mutator(Box::new(SingularityGpuMutator));
     app.set_time_source(Box::new(ClusterTime(cluster.clock().clone())));
+    reservations
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@
 //!   `gyan/decisions`; queue-engine scheduling audits (`galaxy.queue.*`:
 //!   enqueue, fair-share picks, dispatches, resubmissions) get their own
 //!   `galaxy/queue` track so scheduler activity reads separately from
-//!   allocation decisions;
+//!   allocation decisions; reservation lifecycle audits
+//!   (`gyan.reservation.*`: acquire, release, conflict) get a
+//!   `gyan/reservations` track;
 //! * kernel/DMA intervals keep their engine tracks (`gpu0/compute`,
 //!   `gpu0/h2d`, …) and are tagged with the owning job id, which places
 //!   them — in time — inside the job's span;
@@ -77,11 +79,17 @@ pub fn merged_chrome_trace(
     }
 
     // Decision audits as zero-duration markers. Queue-engine scheduling
-    // events land on their own track so a trace of a DAG run shows the
-    // scheduler's picks/dispatches/resubmissions as a separate lane.
+    // events and reservation lifecycle events land on their own tracks so
+    // a trace of a DAG run shows the scheduler's picks and the lease
+    // acquire/release/conflict churn as separate lanes.
     for event in recorder.events() {
-        let track =
-            if event.name.starts_with("galaxy.queue") { "galaxy/queue" } else { "gyan/decisions" };
+        let track = if event.name.starts_with("galaxy.queue") {
+            "galaxy/queue"
+        } else if event.name.starts_with("gyan.reservation") {
+            "gyan/reservations"
+        } else {
+            "gyan/decisions"
+        };
         builder.add_complete(event.name, "audit", track, event.t, 0.0, event.fields);
     }
 
@@ -188,6 +196,8 @@ mod tests {
         rec.event("gyan.allocation.decision", [("reason", "requested_free")]);
         rec.event("galaxy.queue.dispatch", [("job_id", 1u64)]);
         rec.event("galaxy.queue.resubmit", [("job_id", 1u64)]);
+        rec.event("gyan.reservation.acquire", [("job_id", 1u64)]);
+        rec.event("gyan.reservation.conflict", [("job_id", 2u64)]);
 
         let merged = merged_chrome_trace(&rec, &[], &[]);
         let track_for = |name: &str| {
@@ -201,6 +211,8 @@ mod tests {
         assert_eq!(track_for("gyan.allocation.decision"), "gyan/decisions");
         assert_eq!(track_for("galaxy.queue.dispatch"), "galaxy/queue");
         assert_eq!(track_for("galaxy.queue.resubmit"), "galaxy/queue");
+        assert_eq!(track_for("gyan.reservation.acquire"), "gyan/reservations");
+        assert_eq!(track_for("gyan.reservation.conflict"), "gyan/reservations");
     }
 
     #[test]

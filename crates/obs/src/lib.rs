@@ -71,6 +71,14 @@ impl Value {
             Value::Str(_) => None,
         }
     }
+
+    /// The boolean content, when this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
 }
 
 impl From<&str> for Value {

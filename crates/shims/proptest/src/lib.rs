@@ -25,8 +25,30 @@ pub type TestRng = rand::rngs::StdRng;
 #[derive(Debug)]
 pub struct Rejected;
 
-/// Number of generated cases per property.
+/// Default number of generated cases per property.
 const CASES: usize = 64;
+
+/// Per-block configuration, set with real proptest's
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header inside a
+/// `proptest!` block. Only the case count is modelled.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Accepted cases to run per property.
+    pub cases: usize,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
 
 /// Maximum retries inside `prop_filter` before giving up on a strategy.
 const FILTER_RETRIES: usize = 1000;
@@ -416,7 +438,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S, R> {
             element: S,
             size: R,
@@ -474,17 +496,26 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
-/// Drive one property: run [`CASES`] accepted cases, skipping rejected
+/// Drive one property: run the default number of accepted cases, skipping rejected
 /// ones (with a cap so a vacuous assumption still fails loudly).
-pub fn run_proptest<F>(name: &str, mut case: F)
+pub fn run_proptest<F>(name: &str, case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), Rejected>,
 {
+    run_proptest_with(name, ProptestConfig::default(), case);
+}
+
+/// [`run_proptest`] with an explicit [`ProptestConfig`] (case count).
+pub fn run_proptest_with<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), Rejected>,
+{
+    let cases = config.cases.max(1);
     let base = fnv1a(name);
     let mut accepted = 0usize;
     let mut index = 0u64;
-    let budget = (CASES * 20) as u64;
-    while accepted < CASES && index < budget {
+    let budget = (cases * 20) as u64;
+    while accepted < cases && index < budget {
         let seed = base ^ index;
         let mut rng = TestRng::seed_from_u64(seed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
@@ -505,6 +536,28 @@ where
 /// becomes a `#[test]` running the body over generated inputs.
 #[macro_export]
 macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest_with(stringify!($name), $config, |rng| {
+                $(let $parm = $crate::Strategy::new_value(&($strategy), &mut *rng);)+
+                // `mut` is needed only when the body mutates its captures;
+                // harmless otherwise.
+                #[allow(unused_mut)]
+                let mut case = move || -> ::std::result::Result<(), $crate::Rejected> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+    )*};
     ($(
         $(#[$meta:meta])*
         fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
@@ -558,7 +611,7 @@ macro_rules! prop_assume {
 pub mod prelude {
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        BoxedStrategy, Just, Strategy,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -570,6 +623,24 @@ mod tests {
 
     fn rng() -> TestRng {
         TestRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn configured_case_count_is_respected() {
+        let mut count = 0usize;
+        super::run_proptest_with("cfg", super::ProptestConfig::with_cases(10), |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_header_parses(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
     }
 
     #[test]

@@ -22,6 +22,12 @@ cargo test -q --workspace
 echo "==> queue engine integration tests"
 cargo test -q --test queue_engine --test dag_workflows
 
+echo "==> reservation layer integration tests"
+cargo test -q --test reservations
+
+echo "==> rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "==> workflow throughput benchmark"
 cargo run -q --release -p gyan-bench --bin workflow_throughput
 test -s target/BENCH_workflow.json
