@@ -442,7 +442,20 @@ impl GalaxyApp {
     /// (discard shutdown) so attempt-scoped resources are released.
     pub fn discard_job(&mut self, job_id: u64) {
         self.log(format!("job {job_id} discarded before execution"));
+        self.close_job_span_discarded(job_id);
         self.conclude(job_id, JobConclusion::Discarded);
+    }
+
+    /// Close a job's open `galaxy.job` span with a `discarded` marker
+    /// WITHOUT notifying hooks. The queue engine uses this for plans
+    /// skipped by a mid-wave discard, where lease release is owned by the
+    /// pool's discard listener (same path as a discard shutdown) and a
+    /// second conclusion would double-notify.
+    pub fn close_job_span_discarded(&mut self, job_id: u64) {
+        if let Some(span) = self.open_spans.remove(&job_id) {
+            span.field("discarded", true);
+            span.end();
+        }
     }
 
     /// Mark a job failed outside the executor path (mapping/hook/template

@@ -158,7 +158,8 @@ pub enum SubmissionState {
     Ok,
     /// Failed terminally (attempt budget exhausted or no fallback).
     Error,
-    /// Never dispatched: an upstream DAG step failed.
+    /// Never executed: an upstream DAG step failed, or the plan was
+    /// dropped by a discard (shutdown or mid-wave fault).
     Cancelled,
 }
 
@@ -249,6 +250,10 @@ pub struct QueueEngine {
     jobs: HashMap<u64, JobCtx>,
     statuses: HashMap<u64, SubmissionState>,
     workflows: Vec<DagRun>,
+    /// One-shot fault flag: discard the next dispatched wave's plans at
+    /// the pool instead of executing them (see
+    /// [`QueueEngine::discard_next_wave`]).
+    discard_next_wave: bool,
 }
 
 impl GalaxyApp {
@@ -274,6 +279,7 @@ impl QueueEngine {
             jobs: HashMap::new(),
             statuses: HashMap::new(),
             workflows: Vec::new(),
+            discard_next_wave: false,
             app,
             pool,
         }
@@ -292,6 +298,16 @@ impl QueueEngine {
     /// Engine view of a submission's lifecycle.
     pub fn state(&self, handle: JobHandle) -> Option<SubmissionState> {
         self.statuses.get(&handle.0).copied()
+    }
+
+    /// Every tracked submission's lifecycle state, sorted by job id — the
+    /// conservation ledger invariant checkers compare against the app's
+    /// job table.
+    pub fn submission_states(&self) -> Vec<(u64, SubmissionState)> {
+        let mut out: Vec<(u64, SubmissionState)> =
+            self.statuses.iter().map(|(id, s)| (*id, *s)).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
     }
 
     /// Entries currently waiting in the queue.
@@ -408,17 +424,36 @@ impl QueueEngine {
     /// Pump the queue until nothing is left to do: dispatch fair-share
     /// waves through the handler pool, wait, apply completions, repeat.
     pub fn run_until_idle(&mut self) {
-        loop {
-            let wave = self.dispatch_wave();
-            if wave.is_empty() {
-                break;
-            }
-            self.pool.wait_all();
-            self.charge_wave_time(&wave);
-            for dispatched in wave {
-                self.complete(dispatched);
-            }
+        while self.pump_wave() > 0 {}
+    }
+
+    /// Run exactly one wave to completion: dispatch up to `workers` items,
+    /// wait for the pool, charge wave time, and apply completions.
+    /// Returns the number of wave members dispatched (0 when the queue is
+    /// idle). Stepping wave by wave is how the simulation harness
+    /// interleaves invariant checks with the engine's own barrier.
+    pub fn pump_wave(&mut self) -> usize {
+        let wave = self.dispatch_wave();
+        if wave.is_empty() {
+            return 0;
         }
+        self.pool.wait_all();
+        self.pool.clear_discard();
+        self.charge_wave_time(&wave);
+        let n = wave.len();
+        for dispatched in wave {
+            self.complete(dispatched);
+        }
+        n
+    }
+
+    /// Arm a one-shot mid-wave discard fault: the next non-empty wave's
+    /// plans are prepared and dispatched as usual, but the pool skips
+    /// every one of them (notifying the discard listener) instead of
+    /// executing — the simulated analogue of a handler restart dropping
+    /// its queue between dispatch and pickup.
+    pub fn discard_next_wave(&mut self) {
+        self.discard_next_wave = true;
     }
 
     /// Drain outstanding work, stop the pool workers, and hand back the
@@ -436,7 +471,17 @@ impl QueueEngine {
     /// [`QueueEngine::set_discard_listener`]) so preparation-time
     /// resources (GYAN's GPU leases) are not leaked. Hands back the
     /// wrapped app.
-    pub fn shutdown_now(self) -> GalaxyApp {
+    pub fn shutdown_now(mut self) -> GalaxyApp {
+        // Still-queued jobs never prepared, so they hold no attempt
+        // resources — but their `galaxy.job` spans are open and must
+        // close for the span balance to hold.
+        while let Some(popped) = self.queue.pop() {
+            if let WorkItem::Job(job_id) = popped.item {
+                self.app.discard_job(job_id);
+                self.statuses.insert(job_id, SubmissionState::Cancelled);
+            }
+        }
+        self.sync_depth_gauge();
         let QueueEngine { app, pool, .. } = self;
         pool.shutdown_now();
         app
@@ -567,6 +612,13 @@ impl QueueEngine {
                 }
             }
         }
+        if self.discard_next_wave && !plans.is_empty() {
+            // Armed fault: flip the pool into discard mode *before* the
+            // plans land, so every member of this wave is skipped. The
+            // pump clears the mode once the wave barrier passes.
+            self.discard_next_wave = false;
+            self.pool.discard_pending();
+        }
         for plan in plans {
             self.pool.enqueue(plan);
         }
@@ -637,7 +689,25 @@ impl QueueEngine {
     /// unblock DAG dependents; failure consults the resubmit policy.
     fn complete(&mut self, dispatched: Dispatched) {
         let Dispatched { job_id, duration, wave_start, span } = dispatched;
-        let result = self.pool.result(job_id).expect("wave member completed");
+        // A wave member without a pool result was skipped by a mid-wave
+        // discard: the worker never ran it, and the pool's discard
+        // listener (not this path) owns releasing its attempt resources.
+        let Some(result) = self.pool.result(job_id) else {
+            if let Some(s) = span {
+                s.field("discarded", true);
+                s.end();
+            }
+            self.app.close_job_span_discarded(job_id);
+            self.statuses.insert(job_id, SubmissionState::Cancelled);
+            self.app.recorder().event(
+                "galaxy.queue.discard",
+                vec![("job_id", Value::from(job_id)), ("reason", Value::from("wave_discarded"))],
+            );
+            if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
+                self.fail_step(wf, step);
+            }
+            return;
+        };
         if let Some(s) = span {
             s.field("exit_code", i64::from(result.exit_code));
             s.end();

@@ -14,6 +14,7 @@
 //!   process (the simulated tools in crate `seqtools` implement this).
 
 pub mod container_cmd;
+pub mod faults;
 pub mod local;
 
 use crate::job::conf::Destination;

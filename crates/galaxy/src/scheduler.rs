@@ -173,6 +173,22 @@ impl HandlerPool {
         *self.discard_listener.lock() = Some(listener);
     }
 
+    /// Switch the pool into discard mode without shutting it down: every
+    /// queued-but-unstarted plan is skipped (invoking the discard
+    /// listener) instead of executed, until [`clear_discard`] is called.
+    /// This is the mid-wave discard fault hook for simulation testing —
+    /// the live analogue of a handler restart dropping its mule queue.
+    ///
+    /// [`clear_discard`]: Self::clear_discard
+    pub fn discard_pending(&self) {
+        self.discard.store(true, Ordering::SeqCst);
+    }
+
+    /// Leave discard mode: subsequently dequeued plans execute normally.
+    pub fn clear_discard(&self) {
+        self.discard.store(false, Ordering::SeqCst);
+    }
+
     /// The recorder receiving this pool's queue metrics.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder

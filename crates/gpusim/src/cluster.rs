@@ -6,9 +6,23 @@ use crate::device::DeviceState;
 use crate::error::GpuError;
 use crate::host::HostSpec;
 use crate::process::GpuProcess;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Injectable `nvidia-smi` failure modes, shared by every clone of a
+/// cluster handle. On a real node the SMI query is a subprocess that can
+/// die (driver resets, Xid errors) or serve data that is already stale by
+/// the time a scheduler acts on it; simulation scenarios reproduce both.
+#[derive(Default)]
+struct SmiFaults {
+    /// Remaining injected query failures: each SMI query consumes one
+    /// until the counter reaches zero, then queries succeed again.
+    fail_queries: AtomicU32,
+    /// When set, SMI emitters serve this frozen snapshot instead of the
+    /// live device state — a stale-view fault.
+    frozen: Mutex<Option<Vec<DeviceState>>>,
+}
 
 /// All GPUs of one compute node plus the shared virtual clock and host
 /// model. Clones share state, so a cluster handle can be given to the
@@ -23,6 +37,7 @@ pub struct GpuCluster {
     driver_version: &'static str,
     cuda_version: &'static str,
     next_pid: Arc<AtomicU32>,
+    smi_faults: Arc<SmiFaults>,
 }
 
 impl GpuCluster {
@@ -36,6 +51,7 @@ impl GpuCluster {
             driver_version: "455.45.01",
             cuda_version: "11.1",
             next_pid: Arc::new(AtomicU32::new(39_900)),
+            smi_faults: Arc::new(SmiFaults::default()),
         }
     }
 
@@ -130,6 +146,44 @@ impl GpuCluster {
     pub fn all_devices(&self) -> Vec<u32> {
         (0..self.device_count()).collect()
     }
+
+    /// Arm `n` SMI query failures: the next `n` fallible SMI queries
+    /// ([`crate::smi::try_query_xml`]) return an error instead of output,
+    /// then queries succeed again. Shared across clones.
+    pub fn inject_smi_query_failures(&self, n: u32) {
+        self.smi_faults.fail_queries.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Freeze the SMI view at the current device state: until
+    /// [`thaw_smi_snapshot`](Self::thaw_smi_snapshot) is called, every SMI
+    /// emitter serves this snapshot regardless of later attach/detach —
+    /// the stale-observation fault the reservation layer must survive.
+    pub fn freeze_smi_snapshot(&self) {
+        let snapshot = self.devices.iter().map(|d| d.read().clone()).collect();
+        *self.smi_faults.frozen.lock() = Some(snapshot);
+    }
+
+    /// Drop a frozen SMI snapshot so queries see live state again.
+    pub fn thaw_smi_snapshot(&self) {
+        *self.smi_faults.frozen.lock() = None;
+    }
+
+    /// Consume one armed SMI query failure; `true` if a failure fired.
+    pub(crate) fn take_smi_query_failure(&self) -> bool {
+        self.smi_faults
+            .fail_queries
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// The snapshot SMI emitters should render: the frozen one if a
+    /// stale-view fault is armed, otherwise the live device state.
+    pub(crate) fn effective_smi_snapshot(&self) -> Vec<DeviceState> {
+        if let Some(frozen) = self.smi_faults.frozen.lock().as_ref() {
+            return frozen.clone();
+        }
+        self.snapshot()
+    }
 }
 
 impl std::fmt::Debug for GpuCluster {
@@ -195,5 +249,26 @@ mod tests {
         let c = GpuCluster::cpu_only_node();
         assert_eq!(c.device_count(), 0);
         assert!(c.available_devices().is_empty());
+    }
+
+    #[test]
+    fn injected_query_failures_are_shared_and_consumed() {
+        let a = GpuCluster::k80_node();
+        let b = a.clone();
+        a.inject_smi_query_failures(2);
+        assert!(b.take_smi_query_failure());
+        assert!(a.take_smi_query_failure());
+        assert!(!a.take_smi_query_failure(), "budget exhausted");
+    }
+
+    #[test]
+    fn frozen_snapshot_hides_later_attaches() {
+        let c = GpuCluster::k80_node();
+        c.freeze_smi_snapshot();
+        c.attach_process(0, GpuProcess::compute(7, "late", 100)).unwrap();
+        let frozen = c.effective_smi_snapshot();
+        assert!(frozen[0].processes().is_empty(), "frozen view predates attach");
+        c.thaw_smi_snapshot();
+        assert_eq!(c.effective_smi_snapshot()[0].processes().len(), 1);
     }
 }

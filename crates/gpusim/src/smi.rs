@@ -14,10 +14,43 @@ use crate::cluster::GpuCluster;
 use crate::device::DeviceState;
 use xmlparse::{write_document, Document, Element, WriteOptions};
 
+/// A failed `nvidia-smi` invocation — the simulated equivalent of the
+/// subprocess dying or the driver refusing the query. Only produced when
+/// a scenario arms failures via
+/// [`GpuCluster::inject_smi_query_failures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmiError {
+    message: String,
+}
+
+impl SmiError {
+    fn query_failed() -> Self {
+        SmiError { message: "NVIDIA-SMI has failed: injected query fault".to_string() }
+    }
+}
+
+impl std::fmt::Display for SmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SmiError {}
+
+/// Fallible variant of [`query_xml`]: consumes one armed query failure if
+/// any is pending, otherwise renders the effective (possibly frozen)
+/// snapshot.
+pub fn try_query_xml(cluster: &GpuCluster) -> Result<String, SmiError> {
+    if cluster.take_smi_query_failure() {
+        return Err(SmiError::query_failed());
+    }
+    Ok(query_xml(cluster))
+}
+
 /// Produce the `nvidia-smi -q -x` XML document for the cluster's current
 /// state.
 pub fn query_xml(cluster: &GpuCluster) -> String {
-    let snapshot = cluster.snapshot();
+    let snapshot = cluster.effective_smi_snapshot();
     let mut log = Element::new("nvidia_smi_log");
     log.push_element(
         Element::new("timestamp").with_text(format!("t={:.3}s", cluster.clock().now())),
@@ -90,7 +123,7 @@ fn gpu_element(dev: &DeviceState) -> Element {
 /// Render the verbose per-device report of `nvidia-smi -q` (plain text,
 /// no `-x`): the human-readable sibling of [`query_xml`].
 pub fn query_plain(cluster: &GpuCluster) -> String {
-    let snapshot = cluster.snapshot();
+    let snapshot = cluster.effective_smi_snapshot();
     let mut out = String::new();
     out.push_str(
         "==============NVSMI LOG==============
@@ -207,7 +240,7 @@ pub fn query_plain(cluster: &GpuCluster) -> String {
 /// Render the console table shown by plain `nvidia-smi` (the format the
 /// paper's Figs. 10 and 11 screenshot).
 pub fn render_table(cluster: &GpuCluster) -> String {
-    let snapshot = cluster.snapshot();
+    let snapshot = cluster.effective_smi_snapshot();
     let mut out = String::new();
     out.push_str(&format!(
         "+-----------------------------------------------------------------------------+\n\
@@ -343,6 +376,30 @@ mod tests {
     fn table_reports_no_processes_when_idle() {
         let c = GpuCluster::k80_node();
         assert!(render_table(&c).contains("No running processes found"));
+    }
+
+    #[test]
+    fn injected_failure_errors_once_then_recovers() {
+        let c = GpuCluster::k80_node();
+        c.inject_smi_query_failures(1);
+        let err = try_query_xml(&c).unwrap_err();
+        assert!(err.to_string().contains("NVIDIA-SMI has failed"), "{err}");
+        // The budget is spent: the next query succeeds and parses.
+        let xml = try_query_xml(&c).unwrap();
+        assert!(parse(&xml).is_ok());
+    }
+
+    #[test]
+    fn frozen_snapshot_serves_stale_but_well_formed_xml() {
+        let c = GpuCluster::k80_node();
+        c.freeze_smi_snapshot();
+        c.attach_process(0, GpuProcess::compute(99, "late_proc", 500)).unwrap();
+        let doc = parse(&query_xml(&c)).unwrap();
+        let gpus = doc.root().find_all("gpu");
+        assert!(gpus[0].find_all("process_info").is_empty(), "stale view predates attach");
+        c.thaw_smi_snapshot();
+        let doc = parse(&query_xml(&c)).unwrap();
+        assert_eq!(doc.root().find_all("gpu")[0].find_all("process_info").len(), 1);
     }
 
     #[test]

@@ -21,9 +21,24 @@ pub struct GpuUsage {
 
 /// Query GPU usage by generating and parsing `nvidia-smi -q -x` output —
 /// a direct port of the paper's Pseudocode 1.
+///
+/// If an SMI query fault is armed on the cluster, this degrades the way
+/// the Python original does when the subprocess dies: no parseable
+/// output, so every list comes back empty and downstream mapping falls
+/// through to the CPU path.
 pub fn get_gpu_usage(cluster: &GpuCluster) -> GpuUsage {
+    try_get_gpu_usage(cluster).unwrap_or(GpuUsage {
+        avail_gpus: Vec::new(),
+        all_gpus: Vec::new(),
+        proc_gpu_dict: Vec::new(),
+    })
+}
+
+/// Fallible [`get_gpu_usage`]: surfaces an injected SMI query failure
+/// instead of degrading to an empty view.
+pub fn try_get_gpu_usage(cluster: &GpuCluster) -> Result<GpuUsage, smi::SmiError> {
     // bash_cmd = "/bin/bash -c 'nvidia-smi -query -x'"
-    let xml = smi::query_xml(cluster);
+    let xml = smi::try_query_xml(cluster)?;
     // soup = bs(out, "lxml")
     let doc = parse(&xml).expect("nvidia-smi emitted malformed XML");
     let log = doc.root();
@@ -57,14 +72,20 @@ pub fn get_gpu_usage(cluster: &GpuCluster) -> GpuUsage {
         }
     }
 
-    GpuUsage { avail_gpus, all_gpus, proc_gpu_dict }
+    Ok(GpuUsage { avail_gpus, all_gpus, proc_gpu_dict })
 }
 
 /// Per-GPU framebuffer usage in MiB, parsed from the same query — the
 /// input to the *Process Allocated Memory* approach (paper §IV-C2, which
 /// reads `fb_memory_usage.used` instead of the PID list).
 pub fn gpu_memory_usage(cluster: &GpuCluster) -> Vec<(u32, u64)> {
-    let xml = smi::query_xml(cluster);
+    try_gpu_memory_usage(cluster).unwrap_or_default()
+}
+
+/// Fallible [`gpu_memory_usage`]: surfaces an injected SMI query failure
+/// instead of degrading to an empty list.
+pub fn try_gpu_memory_usage(cluster: &GpuCluster) -> Result<Vec<(u32, u64)>, smi::SmiError> {
+    let xml = smi::try_query_xml(cluster)?;
     let doc = parse(&xml).expect("nvidia-smi emitted malformed XML");
     let mut out = Vec::new();
     for gpu in doc.root().find_all("gpu") {
@@ -79,7 +100,7 @@ pub fn gpu_memory_usage(cluster: &GpuCluster) -> Vec<(u32, u64)> {
             .unwrap_or(0);
         out.push((minor, used));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -134,5 +155,30 @@ mod tests {
         assert!(usage.all_gpus.is_empty());
         assert!(usage.avail_gpus.is_empty());
         assert!(gpu_memory_usage(&c).is_empty());
+    }
+
+    #[test]
+    fn injected_smi_failure_degrades_to_empty_usage() {
+        let c = GpuCluster::k80_node();
+        c.inject_smi_query_failures(2);
+        assert!(try_get_gpu_usage(&c).is_err());
+        // The infallible entry point swallows the fault and reports no
+        // GPUs — the same shape as a CPU-only node.
+        assert_eq!(
+            get_gpu_usage(&c),
+            GpuUsage { avail_gpus: vec![], all_gpus: vec![], proc_gpu_dict: vec![] }
+        );
+        // Budget spent: the next query sees the real devices again.
+        assert_eq!(get_gpu_usage(&c).all_gpus, vec![0, 1]);
+    }
+
+    #[test]
+    fn frozen_snapshot_reports_stale_availability() {
+        let c = GpuCluster::k80_node();
+        c.freeze_smi_snapshot();
+        c.attach_process(0, GpuProcess::compute(9, "sneaky", 100)).unwrap();
+        assert_eq!(get_gpu_usage(&c).avail_gpus, vec![0, 1], "stale view misses the attach");
+        c.thaw_smi_snapshot();
+        assert_eq!(get_gpu_usage(&c).avail_gpus, vec![1]);
     }
 }

@@ -49,7 +49,7 @@ pub mod telemetry;
 pub use allocation::{
     select_gpus, select_gpus_reserved, select_gpus_traced, AllocationPolicy, AllocationReason,
 };
-pub use gpu_usage::{get_gpu_usage, gpu_memory_usage};
+pub use gpu_usage::{get_gpu_usage, gpu_memory_usage, try_get_gpu_usage, try_gpu_memory_usage};
 pub use monitor::UsageMonitor;
 pub use orchestrator::GyanHook;
 pub use reservations::{Lease, LeaseTable, ReservationView};

@@ -292,6 +292,12 @@ impl LeaseTable {
         self.inner.lock().leases.get(&minor).cloned().unwrap_or_default()
     }
 
+    /// Every active lease across all devices, ordered by device minor
+    /// then acquisition — one consistent snapshot for invariant checkers.
+    pub fn all_leases(&self) -> Vec<Lease> {
+        self.inner.lock().leases.values().flatten().cloned().collect()
+    }
+
     /// Sorted, deduplicated job ids currently holding at least one lease.
     pub fn holders(&self) -> Vec<u64> {
         let inner = self.inner.lock();

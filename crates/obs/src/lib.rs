@@ -329,6 +329,21 @@ impl Recorder {
         self.inner.log.lock().unwrap_or_else(|e| e.into_inner()).spans.clone()
     }
 
+    /// Spans recorded but not yet ended — a quiesced system should have
+    /// none, which makes this the open/close-balance probe for invariant
+    /// checkers.
+    pub fn open_spans(&self) -> Vec<SpanData> {
+        self.inner
+            .log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .spans
+            .iter()
+            .filter(|s| s.end.is_none())
+            .cloned()
+            .collect()
+    }
+
     /// Snapshot of all events recorded so far.
     pub fn events(&self) -> Vec<EventData> {
         self.inner.log.lock().unwrap_or_else(|e| e.into_inner()).events.clone()

@@ -8,9 +8,12 @@
 //! `proptest!` / `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from real proptest, by design: cases are generated from a
-//! deterministic per-test seed (no persisted failure file), and failing
-//! inputs are *not* shrunk — the panic message carries the case's seed
-//! instead so a failure can be replayed.
+//! deterministic per-test seed, and failing inputs are *not* shrunk — the
+//! panic message carries the case's seed instead so a failure can be
+//! replayed. Persisted `*.proptest-regressions` files (real proptest's
+//! failure-seed format) *are* honored: the `cc <hex>` seeds next to the
+//! test's source file are folded to 64-bit seeds and replayed before any
+//! novel cases are generated.
 
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
@@ -496,20 +499,69 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
-/// Drive one property: run the default number of accepted cases, skipping rejected
-/// ones (with a cap so a vacuous assumption still fails loudly).
-pub fn run_proptest<F>(name: &str, case: F)
+/// Parse the `cc <64-hex-char>` lines of a proptest regression file into
+/// replayable seeds. Real proptest persists a 32-byte RNG seed per
+/// failure; this shim's RNG takes a `u64`, so the 32 bytes are folded by
+/// XORing their big-endian 8-byte words. Lines that are comments or
+/// malformed are skipped.
+pub fn parse_regression_seeds(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let token = line.trim().strip_prefix("cc ")?.split_whitespace().next()?;
+            if token.len() != 64 || !token.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return None;
+            }
+            token
+                .as_bytes()
+                .chunks(16)
+                .map(|word| u64::from_str_radix(std::str::from_utf8(word).ok()?, 16).ok())
+                .try_fold(0u64, |acc, word| Some(acc ^ word?))
+        })
+        .collect()
+}
+
+/// Seeds persisted next to `source_file` (its sibling
+/// `<stem>.proptest-regressions`, real proptest's location). A missing or
+/// unreadable file is a silent no-op — most tests have no regressions.
+fn regression_seeds_for(source_file: &str) -> Vec<u64> {
+    let path = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_regression_seeds(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Drive one property: replay any persisted regression seeds for
+/// `source_file` (pass `file!()`), then run the default number of
+/// accepted cases, skipping rejected ones (with a cap so a vacuous
+/// assumption still fails loudly).
+pub fn run_proptest<F>(name: &str, source_file: &str, case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), Rejected>,
 {
-    run_proptest_with(name, ProptestConfig::default(), case);
+    run_proptest_with(name, source_file, ProptestConfig::default(), case);
 }
 
 /// [`run_proptest`] with an explicit [`ProptestConfig`] (case count).
-pub fn run_proptest_with<F>(name: &str, config: ProptestConfig, mut case: F)
+pub fn run_proptest_with<F>(name: &str, source_file: &str, config: ProptestConfig, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), Rejected>,
 {
+    // Replayed regression seeds run first and do not count toward the
+    // accepted-case budget: they are extra insurance, not a substitute
+    // for fresh generation.
+    for seed in regression_seeds_for(source_file) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest '{name}' failed replaying persisted regression seed {seed} \
+                 (from {source_file} regressions)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+
     let cases = config.cases.max(1);
     let base = fnv1a(name);
     let mut accepted = 0usize;
@@ -545,7 +597,7 @@ macro_rules! proptest {
     ) => {$(
         $(#[$meta])*
         fn $name() {
-            $crate::run_proptest_with(stringify!($name), $config, |rng| {
+            $crate::run_proptest_with(stringify!($name), file!(), $config, |rng| {
                 $(let $parm = $crate::Strategy::new_value(&($strategy), &mut *rng);)+
                 // `mut` is needed only when the body mutates its captures;
                 // harmless otherwise.
@@ -564,7 +616,7 @@ macro_rules! proptest {
     )*) => {$(
         $(#[$meta])*
         fn $name() {
-            $crate::run_proptest(stringify!($name), |rng| {
+            $crate::run_proptest(stringify!($name), file!(), |rng| {
                 $(let $parm = $crate::Strategy::new_value(&($strategy), &mut *rng);)+
                 // `mut` is needed only when the body mutates its captures;
                 // harmless otherwise.
@@ -628,11 +680,73 @@ mod tests {
     #[test]
     fn configured_case_count_is_respected() {
         let mut count = 0usize;
-        super::run_proptest_with("cfg", super::ProptestConfig::with_cases(10), |_rng| {
+        super::run_proptest_with("cfg", file!(), super::ProptestConfig::with_cases(10), |_rng| {
             count += 1;
             Ok(())
         });
         assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn regression_seeds_parse_the_persisted_format() {
+        let text = "# Seeds for failure cases proptest has generated in the past.\n\
+                    cc 5f689e7c6d6d6aac3cda2e35c0e6104fb21cc97741055a9946923dc4fed4b2e8 # shrinks to x = 0\n\
+                    cc nothex # malformed\n\
+                    cc 5f689e7c6d6d6aac # too short\n\
+                    xx 5f689e7c6d6d6aac3cda2e35c0e6104fb21cc97741055a9946923dc4fed4b2e8\n";
+        let seeds = super::parse_regression_seeds(text);
+        let folded = 0x5f68_9e7c_6d6d_6aacu64
+            ^ 0x3cda_2e35_c0e6_104fu64
+            ^ 0xb21c_c977_4105_5a99u64
+            ^ 0x4692_3dc4_fed4_b2e8u64;
+        assert_eq!(seeds, vec![folded]);
+    }
+
+    #[test]
+    fn persisted_regressions_replay_before_fresh_cases() {
+        // Stage a regression file where `file!()`-style resolution finds
+        // it: sibling of the claimed source path, same stem.
+        let dir = std::env::temp_dir().join(format!("proptest_shim_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let source = dir.join("replay_case.rs");
+        std::fs::write(
+            dir.join("replay_case.proptest-regressions"),
+            "cc 0000000000000000000000000000000000000000000000000000000000000123 # shrinks\n",
+        )
+        .unwrap();
+
+        let mut draws: Vec<u64> = Vec::new();
+        super::run_proptest_with(
+            "replay",
+            source.to_str().unwrap(),
+            super::ProptestConfig::with_cases(2),
+            |rng| {
+                draws.push(rand::Rng::gen(rng));
+                Ok(())
+            },
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // One replayed case + two fresh ones, replay first, seeded by the
+        // folded persisted bytes (0x123 here).
+        assert_eq!(draws.len(), 3, "replay must not count toward the case budget");
+        let expected: u64 = rand::Rng::gen(&mut TestRng::seed_from_u64(0x123));
+        assert_eq!(draws[0], expected, "first case must come from the persisted seed");
+    }
+
+    #[test]
+    fn missing_regression_file_is_a_silent_noop() {
+        let mut count = 0usize;
+        super::run_proptest_with(
+            "no_file",
+            "/nonexistent/path/nowhere.rs",
+            super::ProptestConfig::with_cases(4),
+            |_rng| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 4);
     }
 
     proptest! {

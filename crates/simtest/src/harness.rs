@@ -1,0 +1,299 @@
+//! Run one [`Scenario`] through the real stack.
+//!
+//! Nothing here is mocked: the harness builds a [`GalaxyApp`] from the
+//! shipped `GYAN_JOB_CONF`, installs GYAN (dynamic rule + hook + lease
+//! table) against a simulated [`GpuCluster`], wraps the `seqtools`
+//! executor in a [`FaultInjectingExecutor`], and pumps a real
+//! [`QueueEngine`] wave by wave — checking invariants at every barrier.
+
+use crate::invariants;
+use crate::scenario::{DagShape, JobSpec, RunnerFault, Scenario, ToolKind, USERS};
+use crate::{SimFailure, SimOptions, SimReport};
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::queue::{
+    DagStep, DagWorkflow, QueueConfig, QueueEngine, ResubmitPolicy, SubmissionState,
+};
+use galaxy::runners::faults::{FaultInjectingExecutor, FaultPlan, InjectedFault};
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::{GalaxyApp, GalaxyError};
+use gpusim::{GpuArch, GpuCluster};
+use gyan::setup::{install_gyan, GyanConfig};
+use seqtools::{DatasetSpec, ToolExecutor};
+use std::sync::Arc;
+
+/// Upper bound on waves per scenario: generation caps work at ~25 queue
+/// entries, so hundreds of waves can only mean a dispatch livelock.
+const MAX_WAVES: usize = 300;
+
+fn racon_dataset() -> DatasetSpec {
+    DatasetSpec {
+        name: "sim_racon",
+        genome_len: 1_500,
+        n_reads: 12,
+        read_len: 1_200,
+        ..DatasetSpec::alzheimers_nfl()
+    }
+}
+
+fn fast5_dataset() -> DatasetSpec {
+    DatasetSpec {
+        name: "sim_fast5",
+        genome_len: 1_200,
+        n_reads: 2,
+        read_len: 250,
+        ..DatasetSpec::acinetobacter_pittii()
+    }
+}
+
+const ECHO_TOOL: &str = r#"<tool id="sim_echo" name="Echo">
+  <command>echo $text</command>
+  <inputs><param name="text" type="text" value="tick"/></inputs>
+  <outputs><data name="out" format="txt"/></outputs>
+</tool>"#;
+
+const RACON_CPU_TOOL: &str = r#"<tool id="sim_racon_cpu" name="Racon CPU">
+  <command>racon -t 2 sim_racon > out.fa</command>
+  <outputs><data name="out" format="fasta"/></outputs>
+</tool>"#;
+
+/// GPU wrapper with the paper's `$__galaxy_gpu_enabled__` conditional:
+/// the CPU branch runs when allocation fails (or the host has no GPUs).
+fn racon_gpu_tool(id: &str, pinned: Option<u32>) -> String {
+    let version = pinned.map(|m| format!(" version=\"{m}\"")).unwrap_or_default();
+    format!(
+        r#"<tool id="{id}" name="Racon">
+  <requirements><requirement type="compute"{version}>gpu</requirement></requirements>
+  <command><![CDATA[
+#if $__galaxy_gpu_enabled__ == "true"
+racon_gpu -t 2 sim_racon > out.fa
+#else
+racon -t 2 sim_racon > out.fa
+#end if
+]]></command>
+  <outputs><data name="out" format="fasta"/></outputs>
+</tool>"#
+    )
+}
+
+fn bonito_tool(id: &str, pinned: Option<u32>) -> String {
+    let version = pinned.map(|m| format!(" version=\"{m}\"")).unwrap_or_default();
+    format!(
+        r#"<tool id="{id}" name="Bonito">
+  <requirements><requirement type="compute"{version}>gpu</requirement></requirements>
+  <command><![CDATA[
+#if $__galaxy_gpu_enabled__ == "true"
+bonito basecaller dna_r9.4.1 sim_fast5 > calls.fa
+#else
+bonito basecaller --device=cpu dna_r9.4.1 sim_fast5 > calls.fa
+#end if
+]]></command>
+  <outputs><data name="out" format="fasta"/></outputs>
+</tool>"#
+    )
+}
+
+fn install_tools(app: &mut GalaxyApp, gpu_count: u32) -> Result<(), GalaxyError> {
+    let lib = MacroLibrary::new();
+    app.install_tool_xml(ECHO_TOOL, &lib)?;
+    app.install_tool_xml(RACON_CPU_TOOL, &lib)?;
+    app.install_tool_xml(&racon_gpu_tool("sim_racon_gpu", None), &lib)?;
+    app.install_tool_xml(&bonito_tool("sim_bonito", None), &lib)?;
+    for m in 0..gpu_count {
+        app.install_tool_xml(&racon_gpu_tool(&format!("sim_racon_gpu_p{m}"), Some(m)), &lib)?;
+        app.install_tool_xml(&bonito_tool(&format!("sim_bonito_p{m}"), Some(m)), &lib)?;
+    }
+    Ok(())
+}
+
+fn dag_for(shape: DagShape, index: usize) -> DagWorkflow {
+    let name = format!("sim_dag_{index}");
+    match shape {
+        DagShape::Chain(n) => {
+            let mut dag =
+                DagWorkflow::new(name).step(DagStep::new("sim_echo").with_param("text", "c0"));
+            for i in 1..n {
+                dag =
+                    dag.step(DagStep::new("sim_echo").with_input_from("text", i - 1).after(i - 1));
+            }
+            dag
+        }
+        DagShape::Diamond => DagWorkflow::new(name)
+            .step(DagStep::new("sim_echo").with_param("text", "prep"))
+            .step(DagStep::new("sim_echo").with_input_from("text", 0).after(0))
+            .step(DagStep::new("sim_echo").with_input_from("text", 0).after(0))
+            .step(DagStep::new("sim_echo").with_input_from("text", 1).after(1).after(2)),
+        DagShape::FanOut(n) => {
+            let mut dag =
+                DagWorkflow::new(name).step(DagStep::new("sim_echo").with_param("text", "root"));
+            for _ in 0..n {
+                dag = dag.step(DagStep::new("sim_echo").with_input_from("text", 0).after(0));
+            }
+            dag
+        }
+    }
+}
+
+fn injected(fault: RunnerFault) -> InjectedFault {
+    match fault {
+        RunnerFault::ContainerLaunch => InjectedFault::ContainerLaunch,
+        RunnerFault::OutOfMemory => InjectedFault::OutOfMemory,
+        RunnerFault::Crash => InjectedFault::Crash,
+    }
+}
+
+/// Execute `scenario` under `options`, checking invariants at every wave
+/// barrier and once more after shutdown.
+pub fn run_scenario(scenario: &Scenario, options: &SimOptions) -> Result<SimReport, SimFailure> {
+    let fail = |wave: Option<usize>, v: invariants::Violation| SimFailure {
+        seed: scenario.seed,
+        wave,
+        invariant: v.invariant,
+        detail: v.detail,
+        scenario: scenario.describe(),
+    };
+
+    // --- Build the real stack -------------------------------------------
+    let cluster = GpuCluster::node(GpuArch::tesla_k80(), scenario.gpu_count);
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).expect("shipped job conf"));
+    let executor = Arc::new(ToolExecutor::new(&cluster));
+    executor.register_dataset(racon_dataset());
+    executor.register_dataset(fast5_dataset());
+    let fault_plan = FaultPlan::new();
+    let faulty: Arc<FaultInjectingExecutor<Arc<ToolExecutor>>> =
+        Arc::new(FaultInjectingExecutor::new(executor, fault_plan.clone()));
+    app.set_executor(Box::new(faulty.clone()));
+    let table = install_gyan(&mut app, &cluster, GyanConfig::default());
+    if let Err(e) = install_tools(&mut app, scenario.gpu_count) {
+        return Err(fail(
+            None,
+            invariants::Violation { invariant: "setup", detail: format!("tool install: {e}") },
+        ));
+    }
+    let recorder = app.recorder().clone();
+
+    let resubmit = if scenario.resubmit_to_cpu {
+        ResubmitPolicy::gpu_to_cpu("local_cpu")
+    } else {
+        ResubmitPolicy::none()
+    };
+    let config = QueueConfig {
+        capacity: scenario.queue_capacity,
+        workers: scenario.workers,
+        per_user_limit: scenario.per_user_limit,
+        resubmit,
+        time_charging: None,
+    };
+    let mut engine = QueueEngine::new(app, faulty, config);
+    if options.release_on_discard {
+        engine.set_discard_listener(table.discard_listener(Some(recorder.clone())));
+    }
+
+    // --- Submit the schedule --------------------------------------------
+    let mut submitted = 0usize;
+    let mut rejected = 0usize;
+    for (index, job) in scenario.jobs.iter().enumerate() {
+        match submit_job(&mut engine, job, index) {
+            Ok(handle) => {
+                submitted += 1;
+                if let Some(f) = job.fault {
+                    fault_plan.inject(handle, injected(f));
+                }
+            }
+            Err(GalaxyError::QueueRejected(_)) => rejected += 1,
+            Err(e) => {
+                return Err(fail(
+                    None,
+                    invariants::Violation {
+                        invariant: "submission",
+                        detail: format!("job {index} ({:?}): {e}", job.kind),
+                    },
+                ));
+            }
+        }
+    }
+    for (index, shape) in scenario.dags.iter().enumerate() {
+        let user = USERS[index % USERS.len()];
+        match engine.submit_dag(user, dag_for(*shape, index)) {
+            Ok(_) => submitted += 1,
+            Err(GalaxyError::QueueRejected(_)) => rejected += 1,
+            Err(e) => {
+                return Err(fail(
+                    None,
+                    invariants::Violation {
+                        invariant: "submission",
+                        detail: format!("dag {index} ({shape:?}): {e}"),
+                    },
+                ));
+            }
+        }
+    }
+
+    // --- Arm cluster-level faults ---------------------------------------
+    cluster.inject_smi_query_failures(scenario.faults.smi_query_failures);
+    let discard_wave = options.force_wave_discard.or(scenario.faults.discard_at_wave);
+
+    // --- Pump to idle, checking at every barrier ------------------------
+    let mut waves = 0usize;
+    let mut frozen_at: Option<usize> = None;
+    loop {
+        if scenario.faults.freeze_smi_at_wave == Some(waves) {
+            cluster.freeze_smi_snapshot();
+            frozen_at = Some(waves);
+        }
+        if discard_wave == Some(waves) {
+            engine.discard_next_wave();
+        }
+        let dispatched = engine.pump_wave();
+        if frozen_at == Some(waves) {
+            cluster.thaw_smi_snapshot();
+        }
+        invariants::no_leaked_leases(&table, waves).map_err(|v| fail(Some(waves), v))?;
+        if dispatched == 0 {
+            break;
+        }
+        waves += 1;
+        if waves >= MAX_WAVES {
+            return Err(fail(
+                Some(waves),
+                invariants::Violation {
+                    invariant: "wave_bound",
+                    detail: format!("still dispatching after {MAX_WAVES} waves"),
+                },
+            ));
+        }
+    }
+
+    // --- Whole-run invariants -------------------------------------------
+    invariants::conservation(&engine).map_err(|v| fail(None, v))?;
+    let events = recorder.events();
+    invariants::exclusive_isolation(&events).map_err(|v| fail(None, v))?;
+    invariants::export_matches_acquire(&events).map_err(|v| fail(None, v))?;
+
+    let states = engine.submission_states();
+    let count = |want: SubmissionState| states.iter().filter(|(_, s)| *s == want).count();
+    let report = SimReport {
+        seed: scenario.seed,
+        waves,
+        submitted,
+        rejected,
+        ok: count(SubmissionState::Ok),
+        error: count(SubmissionState::Error),
+        cancelled: count(SubmissionState::Cancelled),
+    };
+
+    engine.shutdown();
+    invariants::spans_balanced(&recorder).map_err(|v| fail(None, v))?;
+    Ok(report)
+}
+
+fn submit_job(engine: &mut QueueEngine, job: &JobSpec, index: usize) -> Result<u64, GalaxyError> {
+    let user = USERS[job.user % USERS.len()];
+    let mut params = ParamDict::new();
+    if matches!(job.kind, ToolKind::Echo) {
+        params.set("text", format!("sim {index}"));
+    }
+    engine
+        .submit_with_priority(user, &job.kind.tool_id(), &params, job.priority)
+        .map(|handle| handle.0)
+}

@@ -1,0 +1,243 @@
+//! Global invariants checked against the real stack's own state and
+//! audit trail.
+//!
+//! Each check returns a [`Violation`] naming the broken invariant plus
+//! enough detail to debug without re-running. The harness turns a
+//! violation into a [`crate::SimFailure`] carrying the reproducing seed.
+
+use galaxy::queue::{QueueEngine, SubmissionState};
+use galaxy::JobState;
+use gyan::LeaseTable;
+use obs::{EventData, Recorder};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One broken invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable invariant name (used by the shrinker and failure reports).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, detail: impl Into<String>) -> Self {
+        Violation { invariant, detail: detail.into() }
+    }
+}
+
+/// Between waves the engine's barrier guarantees every attempt concluded,
+/// and every conclusion releases its leases — so any lease still active
+/// here has leaked.
+pub fn no_leaked_leases(table: &LeaseTable, wave: usize) -> Result<(), Violation> {
+    let leases = table.all_leases();
+    if leases.is_empty() {
+        return Ok(());
+    }
+    let holders: Vec<String> =
+        leases.iter().map(|l| format!("job {} on gpu {}", l.holder, l.device)).collect();
+    Err(Violation::new(
+        "no_leaked_leases",
+        format!(
+            "{} lease(s) active after wave {} barrier: {}",
+            leases.len(),
+            wave,
+            holders.join(", ")
+        ),
+    ))
+}
+
+/// Replay the `gyan.reservation.{acquire,release}` audit trail and assert
+/// exclusive grants are honest: an exclusive lease is only granted on a
+/// device with no active leases (which also bounds exclusives at one per
+/// minor). Shared grants may legitimately pile onto a busy device — the
+/// paper's all-busy placements oversubscribe by design — so they are
+/// never a conflict.
+pub fn exclusive_isolation(events: &[EventData]) -> Result<(), Violation> {
+    // device → active (holder, exclusive) leases, in audit order.
+    let mut active: BTreeMap<u64, Vec<(u64, bool)>> = BTreeMap::new();
+    for ev in events {
+        let device = ev.field("device").and_then(|v| v.as_f64()).map(|d| d as u64);
+        let holder = ev.field("job_id").and_then(|v| v.as_f64()).map(|j| j as u64);
+        let (Some(device), Some(holder)) = (device, holder) else { continue };
+        match ev.name.as_str() {
+            "gyan.reservation.acquire" => {
+                let exclusive = ev.field("exclusive").and_then(|v| v.as_bool()).unwrap_or(false);
+                let slot = active.entry(device).or_default();
+                if exclusive && !slot.is_empty() {
+                    return Err(Violation::new(
+                        "exclusive_isolation",
+                        format!(
+                            "job {holder} acquired gpu {device} (exclusive={exclusive}) while \
+                             held by {:?}",
+                            slot
+                        ),
+                    ));
+                }
+                slot.push((holder, exclusive));
+            }
+            "gyan.reservation.release" => {
+                if let Some(slot) = active.get_mut(&device) {
+                    if let Some(i) = slot.iter().position(|(h, _)| *h == holder) {
+                        slot.remove(i);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Every job exported with `GALAXY_GPU_ENABLED=true` must hold an audited
+/// reservation, and every audited reservation must belong to a job that
+/// was exported GPU-enabled — the observe→dispatch pipeline may not skip
+/// either half.
+pub fn export_matches_acquire(events: &[EventData]) -> Result<(), Violation> {
+    let job_of = |ev: &EventData| ev.field("job_id").and_then(|v| v.as_f64()).map(|j| j as u64);
+    let exported: BTreeSet<u64> = events
+        .iter()
+        .filter(|e| {
+            e.name == "gyan.hook.export"
+                && e.field("gpu_enabled").and_then(|v| v.as_bool()) == Some(true)
+        })
+        .filter_map(job_of)
+        .collect();
+    let acquired: BTreeSet<u64> =
+        events.iter().filter(|e| e.name == "gyan.reservation.acquire").filter_map(job_of).collect();
+    if exported != acquired {
+        let unbacked: Vec<u64> = exported.difference(&acquired).copied().collect();
+        let silent: Vec<u64> = acquired.difference(&exported).copied().collect();
+        return Err(Violation::new(
+            "export_matches_acquire",
+            format!(
+                "GPU-enabled exports without reservations: {unbacked:?}; reservations without \
+                 GPU-enabled export: {silent:?}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Job-count conservation: the engine's submission ledger and the app's
+/// job table must agree entry for entry, and terminal states must be
+/// consistent between the two layers.
+pub fn conservation(engine: &QueueEngine) -> Result<(), Violation> {
+    let states = engine.submission_states();
+    let jobs = engine.app().jobs();
+    if states.len() != jobs.len() {
+        return Err(Violation::new(
+            "conservation",
+            format!("engine tracks {} submissions but app has {} jobs", states.len(), jobs.len()),
+        ));
+    }
+    for (job_id, state) in states {
+        let Some(job) = engine.app().job(job_id) else {
+            return Err(Violation::new(
+                "conservation",
+                format!("engine tracks job {job_id} missing from the app"),
+            ));
+        };
+        let consistent = match state {
+            SubmissionState::Ok => job.state() == JobState::Ok,
+            SubmissionState::Error => job.state() == JobState::Error,
+            // A cancelled/discarded submission never finished.
+            SubmissionState::Cancelled => job.state() != JobState::Ok,
+            // Nothing may still be queued once the engine reports idle.
+            SubmissionState::Queued => false,
+        };
+        if !consistent {
+            return Err(Violation::new(
+                "conservation",
+                format!(
+                    "job {job_id}: engine state {state:?} inconsistent with app state {:?}",
+                    job.state()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Every opened span must be closed once the system quiesces.
+pub fn spans_balanced(recorder: &Recorder) -> Result<(), Violation> {
+    let open = recorder.open_spans();
+    if open.is_empty() {
+        return Ok(());
+    }
+    let names: Vec<&str> = open.iter().map(|s| s.name.as_str()).collect();
+    Err(Violation::new("spans_balanced", format!("{} span(s) never closed: {names:?}", open.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Value;
+
+    fn event(name: &str, fields: Vec<(&'static str, Value)>) -> EventData {
+        let rec = Recorder::new();
+        rec.event(name, fields);
+        rec.events().pop().unwrap()
+    }
+
+    #[test]
+    fn exclusive_overlap_is_flagged() {
+        let acquire = |job: u64, dev: u64, excl: bool| {
+            event(
+                "gyan.reservation.acquire",
+                vec![
+                    ("job_id", Value::from(job)),
+                    ("device", Value::from(dev)),
+                    ("exclusive", Value::from(excl)),
+                ],
+            )
+        };
+        let release = |job: u64, dev: u64| {
+            event(
+                "gyan.reservation.release",
+                vec![("job_id", Value::from(job)), ("device", Value::from(dev))],
+            )
+        };
+
+        // Shared leases may pile up — even onto an exclusively-held
+        // device (the all-busy placements oversubscribe by design).
+        let ok = vec![acquire(1, 0, false), acquire(2, 0, false), release(1, 0), release(2, 0)];
+        assert!(exclusive_isolation(&ok).is_ok());
+        let oversubscribed = vec![acquire(1, 0, true), acquire(2, 0, false)];
+        assert!(exclusive_isolation(&oversubscribed).is_ok());
+
+        // An exclusive grant on an already-leased device is dishonest.
+        let bad = vec![acquire(1, 0, false), acquire(2, 0, true)];
+        let violation = exclusive_isolation(&bad).unwrap_err();
+        assert_eq!(violation.invariant, "exclusive_isolation");
+
+        // Release in between clears the conflict.
+        let healed = vec![acquire(1, 0, true), release(1, 0), acquire(2, 0, true)];
+        assert!(exclusive_isolation(&healed).is_ok());
+    }
+
+    #[test]
+    fn export_acquire_mismatch_is_flagged() {
+        let export = event(
+            "gyan.hook.export",
+            vec![("job_id", Value::from(5u64)), ("gpu_enabled", Value::from(true))],
+        );
+        let violation = export_matches_acquire(std::slice::from_ref(&export)).unwrap_err();
+        assert!(violation.detail.contains("[5]"), "{}", violation.detail);
+
+        let acquire = event(
+            "gyan.reservation.acquire",
+            vec![("job_id", Value::from(5u64)), ("device", Value::from(0u64))],
+        );
+        assert!(export_matches_acquire(&[export, acquire]).is_ok());
+    }
+
+    #[test]
+    fn cpu_disabled_exports_need_no_reservation() {
+        let export = event(
+            "gyan.hook.export",
+            vec![("job_id", Value::from(9u64)), ("gpu_enabled", Value::from(false))],
+        );
+        assert!(export_matches_acquire(&[export]).is_ok());
+    }
+}

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, lints, release build, and tests.
 # (`just` is not available in the build image, so this is a plain script.)
+#
+# Simulation-smoke knobs (forwarded to tests/simtest.rs):
+#   SIMTEST_CASES=<n>  seeds to sweep in the simtest gate (default 25)
+#   SIMTEST_SEED=<n>   replay exactly that seed instead of the sweep —
+#                      this is the value a simtest failure report prints.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +29,9 @@ cargo test -q --test queue_engine --test dag_workflows
 
 echo "==> reservation layer integration tests"
 cargo test -q --test reservations
+
+echo "==> deterministic simulation smoke (${SIMTEST_CASES:-25} seeded scenarios)"
+cargo test -q --test simtest
 
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

@@ -10,37 +10,19 @@ use galaxy::{GalaxyApp, JobState};
 use gpusim::GpuCluster;
 use gyan::allocation::AllocationPolicy;
 use gyan::setup::{install_gyan, GyanConfig};
-use seqtools::{DatasetSpec, ToolExecutor};
+use seqtools::ToolExecutor;
 use std::sync::Arc;
 
-fn pinned_tool(id: &str, executable: &str, gpu_ids: &str, dataset: &str) -> String {
-    format!(
-        r#"<tool id="{id}" name="{id}">
-          <requirements><requirement type="compute" version="{gpu_ids}">gpu</requirement></requirements>
-          <command>{executable} -t 2 {dataset} > out</command>
-          <outputs><data name="out" format="fasta"/></outputs>
-        </tool>"#
-    )
-}
+mod common;
+
+use common::{pinned_tool, tiny_fast5, tiny_racon};
 
 fn testbed(policy: AllocationPolicy) -> (GpuCluster, QueueEngine) {
     let cluster = GpuCluster::k80_node();
     let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
     let executor = Arc::new(ToolExecutor::new(&cluster).with_linger());
-    executor.register_dataset(DatasetSpec {
-        name: "dag_pacbio",
-        genome_len: 1_500,
-        n_reads: 12,
-        read_len: 1_200,
-        ..DatasetSpec::alzheimers_nfl()
-    });
-    executor.register_dataset(DatasetSpec {
-        name: "dag_fast5",
-        genome_len: 1_000,
-        n_reads: 2,
-        read_len: 250,
-        ..DatasetSpec::acinetobacter_pittii()
-    });
+    executor.register_dataset(tiny_racon("dag_pacbio"));
+    executor.register_dataset(tiny_fast5("dag_fast5", 1_000));
     app.set_executor(Box::new(executor.clone()));
     install_gyan(&mut app, &cluster, GyanConfig { policy, ..GyanConfig::default() });
     let lib = MacroLibrary::new();

@@ -3,14 +3,15 @@
 //! export → command render → (containerized) execution → history.
 
 use galaxy::history::DatasetState;
-use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
 use galaxy::params::ParamDict;
 use galaxy::tool::macros::MacroLibrary;
 use galaxy::{GalaxyApp, JobState};
 use gpusim::GpuCluster;
-use gyan::setup::{install_gyan, GyanConfig};
+use gyan::setup::GyanConfig;
 use seqtools::{DatasetSpec, ToolExecutor};
 use std::sync::Arc;
+
+mod common;
 
 fn tiny_racon_spec() -> DatasetSpec {
     DatasetSpec {
@@ -61,13 +62,8 @@ bonito basecaller --device=cpu dna_r9.4.1 it_fast5 > calls.fa
 </tool>"#;
 
 fn build_app(cluster: &GpuCluster, config: GyanConfig) -> (GalaxyApp, Arc<ToolExecutor>) {
-    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
-    app.set_registry(galaxy::containers::ImageRegistry::with_paper_images());
-    let executor = Arc::new(ToolExecutor::new(cluster));
-    executor.register_dataset(tiny_racon_spec());
-    executor.register_dataset(tiny_bonito_spec());
-    app.set_executor(Box::new(executor.clone()));
-    install_gyan(&mut app, cluster, config);
+    let (mut app, executor) =
+        common::build(cluster, config, &[tiny_racon_spec(), tiny_bonito_spec()]);
     let lib = MacroLibrary::new();
     app.install_tool_xml(RACON_WRAPPER, &lib).unwrap();
     app.install_tool_xml(BONITO_WRAPPER, &lib).unwrap();

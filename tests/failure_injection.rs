@@ -2,45 +2,23 @@
 //! out of memory, images are missing, executables are unknown, or a
 //! workflow step dies.
 
-use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+mod common;
+
 use galaxy::params::ParamDict;
 use galaxy::tool::macros::MacroLibrary;
 use galaxy::workflow::{Workflow, WorkflowStep};
 use galaxy::{GalaxyApp, GalaxyError, JobState};
 use gpusim::{GpuCluster, GpuProcess};
-use gyan::setup::{install_gyan, GyanConfig};
-use seqtools::{DatasetSpec, ToolExecutor};
+use gyan::setup::GyanConfig;
+use seqtools::ToolExecutor;
 use std::sync::Arc;
 
-fn tiny_fast5() -> DatasetSpec {
-    DatasetSpec {
-        name: "fail_fast5",
-        genome_len: 1_200,
-        n_reads: 2,
-        read_len: 250,
-        ..DatasetSpec::acinetobacter_pittii()
-    }
-}
-
-fn tiny_racon() -> DatasetSpec {
-    DatasetSpec {
-        name: "fail_racon",
-        genome_len: 1_500,
-        n_reads: 12,
-        read_len: 1_200,
-        ..DatasetSpec::alzheimers_nfl()
-    }
-}
-
 fn build(cluster: &GpuCluster, config: GyanConfig) -> (GalaxyApp, Arc<ToolExecutor>) {
-    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
-    app.set_registry(galaxy::containers::ImageRegistry::with_paper_images());
-    let executor = Arc::new(ToolExecutor::new(cluster));
-    executor.register_dataset(tiny_fast5());
-    executor.register_dataset(tiny_racon());
-    app.set_executor(Box::new(executor.clone()));
-    install_gyan(&mut app, cluster, config);
-    (app, executor)
+    common::build(
+        cluster,
+        config,
+        &[common::tiny_fast5("fail_fast5", 1_200), common::tiny_racon("fail_racon")],
+    )
 }
 
 const BONITO_DEV1: &str = r#"<tool id="bonito_dev1">

@@ -1,58 +1,13 @@
 //! The paper's four multi-GPU case studies (§VI-C) asserted end-to-end
 //! through the Galaxy + GYAN stack with lingering concurrent jobs.
 
-use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+mod common;
+
+use common::{mask, testbed};
 use galaxy::params::ParamDict;
-use galaxy::tool::macros::MacroLibrary;
-use galaxy::GalaxyApp;
-use gpusim::{smi, GpuCluster};
+use gpusim::smi;
 use gyan::allocation::AllocationPolicy;
 use gyan::gpu_usage::get_gpu_usage;
-use gyan::setup::{install_gyan, GyanConfig};
-use seqtools::{DatasetSpec, ToolExecutor};
-use std::sync::Arc;
-
-fn pinned_tool(id: &str, executable: &str, gpu_ids: &str, dataset: &str) -> String {
-    format!(
-        r#"<tool id="{id}" name="{id}">
-          <requirements><requirement type="compute" version="{gpu_ids}">gpu</requirement></requirements>
-          <command>{executable} -t 2 {dataset} > out</command>
-        </tool>"#
-    )
-}
-
-fn testbed(policy: AllocationPolicy) -> (GpuCluster, GalaxyApp, Arc<ToolExecutor>) {
-    let cluster = GpuCluster::k80_node();
-    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
-    let executor = Arc::new(ToolExecutor::new(&cluster).with_linger());
-    executor.register_dataset(DatasetSpec {
-        name: "case_pacbio",
-        genome_len: 1_500,
-        n_reads: 12,
-        read_len: 1_200,
-        ..DatasetSpec::alzheimers_nfl()
-    });
-    executor.register_dataset(DatasetSpec {
-        name: "case_fast5",
-        genome_len: 1_000,
-        n_reads: 2,
-        read_len: 250,
-        ..DatasetSpec::acinetobacter_pittii()
-    });
-    app.set_executor(Box::new(executor.clone()));
-    let config = GyanConfig { policy, ..GyanConfig::default() };
-    install_gyan(&mut app, &cluster, config);
-    let lib = MacroLibrary::new();
-    app.install_tool_xml(&pinned_tool("racon_dev0", "racon_gpu", "0", "case_pacbio"), &lib)
-        .unwrap();
-    app.install_tool_xml(&pinned_tool("bonito_dev1", "bonito basecaller", "1", "case_fast5"), &lib)
-        .unwrap();
-    (cluster, app, executor)
-}
-
-fn mask(app: &GalaxyApp, id: u64) -> &str {
-    app.job(id).unwrap().env_var("CUDA_VISIBLE_DEVICES").unwrap()
-}
 
 #[test]
 fn case1_two_tools_land_on_their_requested_gpus() {

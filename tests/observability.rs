@@ -18,8 +18,10 @@ use gyan::allocation::AllocationPolicy;
 use gyan::setup::{install_gyan, GyanConfig};
 use gyan::UsageMonitor;
 use obs::metrics::parse_prometheus;
-use seqtools::{DatasetSpec, ToolExecutor};
+use seqtools::ToolExecutor;
 use std::sync::Arc;
+
+mod common;
 
 const PHASES: [&str; 6] = [
     "galaxy.tool_parse",
@@ -30,28 +32,16 @@ const PHASES: [&str; 6] = [
     "galaxy.dispatch",
 ];
 
-fn pinned_tool(id: &str, executable: &str, gpu_ids: &str, dataset: &str) -> String {
-    format!(
-        r#"<tool id="{id}" name="{id}">
-          <requirements><requirement type="compute" version="{gpu_ids}">gpu</requirement></requirements>
-          <command>{executable} -t 2 {dataset} > out</command>
-        </tool>"#
-    )
-}
+use common::{pinned_tool, tiny_racon};
 
 /// The multi-GPU testbed from `tests/multi_gpu_cases.rs`, plus a plain CPU
-/// tool with no GPU requirement.
+/// tool with no GPU requirement (and without the `bonito_dev1` wrapper,
+/// which one test here re-pins onto the racon dataset).
 fn testbed(policy: AllocationPolicy) -> (GpuCluster, GalaxyApp, Arc<ToolExecutor>) {
     let cluster = GpuCluster::k80_node();
     let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
     let executor = Arc::new(ToolExecutor::new(&cluster).with_linger());
-    executor.register_dataset(DatasetSpec {
-        name: "case_pacbio",
-        genome_len: 1_500,
-        n_reads: 12,
-        read_len: 1_200,
-        ..DatasetSpec::alzheimers_nfl()
-    });
+    executor.register_dataset(tiny_racon("case_pacbio"));
     app.set_executor(Box::new(executor.clone()));
     install_gyan(&mut app, &cluster, GyanConfig { policy, ..GyanConfig::default() });
     let lib = MacroLibrary::new();

@@ -147,6 +147,92 @@ fn per_user_limit_rejects_only_the_flooding_user() {
     assert_eq!(engine.app().jobs().len(), 2);
 }
 
+#[test]
+fn both_rejection_reasons_fire_under_one_config() {
+    // Capacity and per-user caps armed together: each rejection names the
+    // limit that actually tripped.
+    let config = QueueConfig { capacity: 3, per_user_limit: Some(2), ..QueueConfig::default() };
+    let mut engine = QueueEngine::new(echo_app(), echo_executor(), config);
+
+    engine.submit_async("hog", "echo", &ParamDict::new()).unwrap();
+    engine.submit_async("hog", "echo", &ParamDict::new()).unwrap();
+    let err = engine.submit_async("hog", "echo", &ParamDict::new()).unwrap_err();
+    assert!(
+        matches!(err, GalaxyError::QueueRejected(ref r) if r.contains("per-user limit")),
+        "{err}"
+    );
+
+    // A different user passes the per-user check but hits the full queue.
+    engine.submit_async("polite", "echo", &ParamDict::new()).unwrap();
+    let err = engine.submit_async("polite", "echo", &ParamDict::new()).unwrap_err();
+    assert!(matches!(err, GalaxyError::QueueRejected(ref r) if r.contains("queue full")), "{err}");
+
+    let rec = engine.app().recorder();
+    assert_eq!(rec.metrics().counter_value(QUEUE_REJECTED_COUNTER), 2);
+    let reasons: Vec<String> = rec
+        .events_named("galaxy.queue.reject")
+        .iter()
+        .map(|e| e.field("reason").and_then(|v| v.as_str()).unwrap().to_string())
+        .collect();
+    assert_eq!(reasons.len(), 2);
+    assert!(reasons[0].contains("per-user limit"), "{reasons:?}");
+    assert!(reasons[1].contains("queue full"), "{reasons:?}");
+
+    // Neither rejection left a job record; the admitted three all run.
+    assert_eq!(engine.app().jobs().len(), 3);
+    engine.run_until_idle();
+    for job in engine.app().jobs() {
+        assert_eq!(job.state(), JobState::Ok);
+    }
+}
+
+#[test]
+fn resubmit_chain_walks_every_fallback_then_fails_final() {
+    // A tool that exits 127 on every destination: the policy's two
+    // fallbacks are both consumed before the failure becomes terminal.
+    let mut app = echo_app();
+    let typo = r#"<tool id="typo"><command>racoon --help</command></tool>"#;
+    app.install_tool_xml(typo, &MacroLibrary::new()).unwrap();
+    let policy =
+        ResubmitPolicy { max_attempts: 3, fallbacks: vec!["local_gpu".into(), "local_cpu".into()] };
+    let config = QueueConfig { resubmit: policy, ..QueueConfig::default() };
+    let mut engine = QueueEngine::new(app, echo_executor(), config);
+
+    let handle = engine.submit_async("alice", "typo", &ParamDict::new()).unwrap();
+    engine.run_until_idle();
+
+    assert_eq!(engine.state(handle), Some(SubmissionState::Error));
+    let job = engine.app().job(handle.0).unwrap();
+    assert_eq!(job.state(), JobState::Error);
+    assert_eq!(job.exit_code, Some(127), "still command-not-found on the last attempt");
+    assert_eq!(job.destination_id.as_deref(), Some("local_cpu"), "died on the final fallback");
+
+    let rec = engine.app().recorder();
+    assert_eq!(rec.metrics().counter_value(QUEUE_RESUBMITTED_COUNTER), 2);
+
+    // Two resubmit hops. `from_destination` always names the job's
+    // first destination (where the mapping originally placed it), and
+    // the attempt counter walks up.
+    let resubmits = rec.events_named("galaxy.queue.resubmit");
+    assert_eq!(resubmits.len(), 2);
+    for (hop, ev) in resubmits.iter().enumerate() {
+        assert_eq!(ev.field("from_destination").and_then(|v| v.as_str()), Some("local_cpu"));
+        assert_eq!(ev.field("failed_attempt").and_then(|v| v.as_f64()), Some(hop as f64 + 1.0));
+        assert_eq!(ev.field("max_attempts").and_then(|v| v.as_f64()), Some(3.0));
+    }
+    assert_eq!(resubmits[0].field("to_destination").and_then(|v| v.as_str()), Some("local_gpu"));
+    assert_eq!(resubmits[1].field("to_destination").and_then(|v| v.as_str()), Some("local_cpu"));
+
+    // Three dispatches total: the rule's placement, then each fallback in
+    // policy order.
+    let dispatched: Vec<String> = rec
+        .events_named("galaxy.queue.dispatch")
+        .iter()
+        .map(|e| e.field("destination").and_then(|v| v.as_str()).unwrap().to_string())
+        .collect();
+    assert_eq!(dispatched, ["local_cpu", "local_gpu", "local_cpu"]);
+}
+
 const BONITO_DEV1: &str = r#"<tool id="bonito_dev1">
   <requirements><requirement type="compute" version="1">gpu</requirement></requirements>
   <command>bonito basecaller dna_r9.4.1 queue_fast5 > out</command>
