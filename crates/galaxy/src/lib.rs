@@ -47,8 +47,8 @@ pub use error::GalaxyError;
 pub use job::{Job, JobState};
 pub use params::ParamDict;
 pub use queue::{
-    DagRunReport, DagStep, DagWorkflow, JobHandle, QueueConfig, QueueEngine, ResubmitPolicy,
-    SubmissionState, WorkflowHandle,
+    DagRunReport, DagStep, DagWorkflow, JobHandle, JobSnapshot, JobsLedger, QueueConfig,
+    QueueEngine, ResubmitPolicy, SubmissionState, WorkflowHandle,
 };
 pub use tool::{Requirement, RequirementType, Tool};
 pub use workflow::{Workflow, WorkflowStep};

@@ -1,0 +1,130 @@
+//! Shareable job-lifecycle ledger for the operations plane.
+//!
+//! The [`QueueEngine`](crate::queue::QueueEngine) owns its submission
+//! map behind `&mut self`, which an HTTP handler thread cannot touch.
+//! The [`JobsLedger`] is the read side: a cheaply cloneable, lock-guarded
+//! mirror the engine updates at every lifecycle step (submit, dispatch,
+//! resubmit, conclude, discard), so `GET /api/jobs` can serve a
+//! consistent view while waves are in flight.
+
+use super::SubmissionState;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One job's lifecycle as the ops plane sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub job_id: u64,
+    /// Submitting user.
+    pub user: String,
+    /// Tool id the job runs.
+    pub tool: String,
+    /// Engine lifecycle state.
+    pub state: SubmissionState,
+    /// Dispatch attempts so far.
+    pub attempts: u32,
+    /// Destination of the most recent dispatch, if any.
+    pub destination: Option<String>,
+    /// Submission priority.
+    pub priority: u8,
+    /// Virtual time the submission entered the queue.
+    pub submitted_at: f64,
+    /// Virtual time the job reached a terminal state.
+    pub finished_at: Option<f64>,
+}
+
+/// Thread-safe job table; clone freely, all clones share state.
+#[derive(Clone, Default)]
+pub struct JobsLedger {
+    inner: Arc<Mutex<BTreeMap<u64, JobSnapshot>>>,
+}
+
+impl JobsLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a job's snapshot.
+    pub fn upsert(&self, snapshot: JobSnapshot) {
+        self.inner.lock().insert(snapshot.job_id, snapshot);
+    }
+
+    /// Mutate a job's snapshot in place; no-op for unknown ids.
+    pub fn update(&self, job_id: u64, f: impl FnOnce(&mut JobSnapshot)) {
+        if let Some(snapshot) = self.inner.lock().get_mut(&job_id) {
+            f(snapshot);
+        }
+    }
+
+    /// One job's snapshot.
+    pub fn get(&self, job_id: u64) -> Option<JobSnapshot> {
+        self.inner.lock().get(&job_id).cloned()
+    }
+
+    /// Every tracked job, ordered by id.
+    pub fn all(&self) -> Vec<JobSnapshot> {
+        self.inner.lock().values().cloned().collect()
+    }
+
+    /// Number of tracked jobs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(job_id: u64) -> JobSnapshot {
+        JobSnapshot {
+            job_id,
+            user: "alice".to_string(),
+            tool: "racon_gpu".to_string(),
+            state: SubmissionState::Queued,
+            attempts: 0,
+            destination: None,
+            priority: 0,
+            submitted_at: 0.0,
+            finished_at: None,
+        }
+    }
+
+    #[test]
+    fn clones_share_state_and_updates_apply() {
+        let ledger = JobsLedger::new();
+        let view = ledger.clone();
+        ledger.upsert(snapshot(7));
+        assert_eq!(view.len(), 1);
+        view.update(7, |s| {
+            s.state = SubmissionState::Ok;
+            s.attempts = 2;
+            s.finished_at = Some(3.5);
+        });
+        let got = ledger.get(7).unwrap();
+        assert_eq!(got.state, SubmissionState::Ok);
+        assert_eq!(got.attempts, 2);
+        assert_eq!(got.finished_at, Some(3.5));
+        // Unknown ids are ignored, not created.
+        view.update(99, |s| s.attempts = 1);
+        assert!(ledger.get(99).is_none());
+    }
+
+    #[test]
+    fn all_is_ordered_by_job_id() {
+        let ledger = JobsLedger::new();
+        for id in [5u64, 1, 3] {
+            ledger.upsert(snapshot(id));
+        }
+        let ids: Vec<u64> = ledger.all().iter().map(|s| s.job_id).collect();
+        assert_eq!(ids, [1, 3, 5]);
+    }
+}

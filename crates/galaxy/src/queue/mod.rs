@@ -54,10 +54,12 @@
 
 pub mod dag;
 pub mod fair_share;
+pub mod ledger;
 pub mod resubmit;
 
 pub use dag::{DagStep, DagWorkflow};
 pub use fair_share::{FairShareQueue, Popped, Rejection};
+pub use ledger::{JobSnapshot, JobsLedger};
 pub use resubmit::ResubmitPolicy;
 
 use crate::app::GalaxyApp;
@@ -163,6 +165,18 @@ pub enum SubmissionState {
     Cancelled,
 }
 
+impl SubmissionState {
+    /// Lower-case state name as served by the ops plane.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SubmissionState::Queued => "queued",
+            SubmissionState::Ok => "ok",
+            SubmissionState::Error => "error",
+            SubmissionState::Cancelled => "cancelled",
+        }
+    }
+}
+
 /// Observed virtual-clock interval of one completed DAG step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepOutcome {
@@ -249,6 +263,9 @@ pub struct QueueEngine {
     wave_size: usize,
     jobs: HashMap<u64, JobCtx>,
     statuses: HashMap<u64, SubmissionState>,
+    /// Ops-plane mirror of `statuses` plus per-job dispatch detail,
+    /// shareable with reader threads (see [`ledger::JobsLedger`]).
+    ledger: JobsLedger,
     workflows: Vec<DagRun>,
     /// One-shot fault flag: discard the next dispatched wave's plans at
     /// the pool instead of executing them (see
@@ -278,6 +295,7 @@ impl QueueEngine {
             wave_size: config.workers.max(1) as usize,
             jobs: HashMap::new(),
             statuses: HashMap::new(),
+            ledger: JobsLedger::new(),
             workflows: Vec::new(),
             discard_next_wave: false,
             app,
@@ -315,6 +333,26 @@ impl QueueEngine {
         self.queue.len()
     }
 
+    /// A shareable handle on the engine's job ledger: hand it to the ops
+    /// server (or any reader thread) for a live `GET /api/jobs` view.
+    pub fn ledger(&self) -> JobsLedger {
+        self.ledger.clone()
+    }
+
+    /// Record a lifecycle change in both the engine's own status map and
+    /// the shared ops ledger (which also timestamps terminal states).
+    fn set_status(&mut self, job_id: u64, state: SubmissionState) {
+        self.statuses.insert(job_id, state);
+        let finished_at = match state {
+            SubmissionState::Queued => None,
+            _ => Some(self.app.recorder().now()),
+        };
+        self.ledger.update(job_id, |snap| {
+            snap.state = state;
+            snap.finished_at = finished_at;
+        });
+    }
+
     /// Asynchronously submit a tool job for `user`: admission-check,
     /// create the job record, enqueue, and return immediately.
     pub fn submit_async(
@@ -350,6 +388,17 @@ impl QueueEngine {
                 origin: None,
             },
         );
+        self.ledger.upsert(JobSnapshot {
+            job_id,
+            user: user.to_string(),
+            tool: tool_id.to_string(),
+            state: SubmissionState::Queued,
+            attempts: 0,
+            destination: None,
+            priority,
+            submitted_at: now,
+            finished_at: None,
+        });
         self.statuses.insert(job_id, SubmissionState::Queued);
         self.app.recorder().event(
             "galaxy.queue.enqueue",
@@ -478,7 +527,7 @@ impl QueueEngine {
         while let Some(popped) = self.queue.pop() {
             if let WorkItem::Job(job_id) = popped.item {
                 self.app.discard_job(job_id);
-                self.statuses.insert(job_id, SubmissionState::Cancelled);
+                self.set_status(job_id, SubmissionState::Cancelled);
             }
         }
         self.sync_depth_gauge();
@@ -579,6 +628,10 @@ impl QueueEngine {
                         }
                         (ctx.attempts, ctx.user.clone())
                     };
+                    self.ledger.update(job_id, |snap| {
+                        snap.attempts = attempt;
+                        snap.destination = Some(destination.clone());
+                    });
                     let span = self.app.job_span_child(job_id, "galaxy.dispatch");
                     if let Some(s) = &span {
                         s.field("destination", destination.as_str());
@@ -605,7 +658,7 @@ impl QueueEngine {
                 }
                 Err(_) => {
                     // prepare_plan already marked the job failed.
-                    self.statuses.insert(job_id, SubmissionState::Error);
+                    self.set_status(job_id, SubmissionState::Error);
                     if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
                         self.fail_step(wf, step);
                     }
@@ -653,6 +706,17 @@ impl QueueEngine {
         match self.app.create_job(&tool_id, &params) {
             Ok(job_id) => {
                 self.workflows[wf].job_ids[step] = Some(job_id);
+                self.ledger.upsert(JobSnapshot {
+                    job_id,
+                    user: user.clone(),
+                    tool: tool_id.clone(),
+                    state: SubmissionState::Queued,
+                    attempts: 0,
+                    destination: None,
+                    priority,
+                    submitted_at: self.app.recorder().now(),
+                    finished_at: None,
+                });
                 self.jobs.insert(
                     job_id,
                     JobCtx {
@@ -698,7 +762,7 @@ impl QueueEngine {
                 s.end();
             }
             self.app.close_job_span_discarded(job_id);
-            self.statuses.insert(job_id, SubmissionState::Cancelled);
+            self.set_status(job_id, SubmissionState::Cancelled);
             self.app.recorder().event(
                 "galaxy.queue.discard",
                 vec![("job_id", Value::from(job_id)), ("reason", Value::from("wave_discarded"))],
@@ -715,7 +779,7 @@ impl QueueEngine {
 
         if result.exit_code == 0 {
             let _ = self.app.finish_job(job_id, &result, true);
-            self.statuses.insert(job_id, SubmissionState::Ok);
+            self.set_status(job_id, SubmissionState::Ok);
             if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
                 let end = if self.time_charging.is_some() {
                     wave_start + duration
@@ -776,12 +840,12 @@ impl QueueEngine {
                 );
                 let now = self.app.recorder().now();
                 self.queue.push_unchecked(&user, priority, now, WorkItem::Job(job_id));
-                self.statuses.insert(job_id, SubmissionState::Queued);
+                self.set_status(job_id, SubmissionState::Queued);
                 self.sync_depth_gauge();
             }
             None => {
                 let _ = self.app.finish_job(job_id, &result, true);
-                self.statuses.insert(job_id, SubmissionState::Error);
+                self.set_status(job_id, SubmissionState::Error);
                 if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
                     self.fail_step(wf, step);
                 }

@@ -41,6 +41,9 @@ use std::thread::JoinHandle;
 pub const QUEUE_DEPTH_GAUGE: &str = "galaxy_pool_queue_depth";
 /// Metric: workers currently executing a plan.
 pub const WORKERS_BUSY_GAUGE: &str = "galaxy_pool_workers_busy";
+/// Metric: worker threads the pool was spawned with (constant per pool;
+/// the ops `/healthz` saturation check divides busy by this).
+pub const WORKERS_TOTAL_GAUGE: &str = "galaxy_pool_workers_total";
 /// Metric: seconds each job spent queued before a worker picked it up.
 pub const QUEUE_WAIT_HISTOGRAM: &str = "galaxy_pool_queue_wait_seconds";
 /// Metric: total plans executed by the pool.
@@ -105,6 +108,7 @@ impl HandlerPool {
         // even before the first job arrives.
         recorder.metrics().set_gauge(QUEUE_DEPTH_GAUGE, 0.0);
         recorder.metrics().set_gauge(WORKERS_BUSY_GAUGE, 0.0);
+        recorder.metrics().set_gauge(WORKERS_TOTAL_GAUGE, f64::from(workers.max(1)));
         let discard = Arc::new(AtomicBool::new(false));
         let discard_listener: Arc<Mutex<Option<DiscardListener>>> = Arc::new(Mutex::new(None));
         let mut handles = Vec::new();
@@ -192,6 +196,11 @@ impl HandlerPool {
     /// The recorder receiving this pool's queue metrics.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Number of worker threads the pool runs.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Enqueue a plan for execution.

@@ -33,13 +33,16 @@
 //! [`monitor`] is the paper's §V-C GPU hardware usage script (1 Hz
 //! utilization/memory/PCIe sampling with post-processed statistics and CSV
 //! output), [`telemetry`] merges job spans, decision audits, kernel/DMA
-//! timelines, and monitor samples into one Chrome trace, and [`setup`]
-//! wires everything into a `GalaxyApp` in one call.
+//! timelines, and monitor samples into one Chrome trace, [`ops`] exposes
+//! the running stack over an embedded HTTP introspection server with SLO
+//! alert rules and a flight recorder, and [`setup`] wires everything into
+//! a `GalaxyApp` in one call.
 
 pub mod allocation;
 pub mod container_gpu;
 pub mod gpu_usage;
 pub mod monitor;
+pub mod ops;
 pub mod orchestrator;
 pub mod reservations;
 pub mod rules;
@@ -51,6 +54,7 @@ pub use allocation::{
 };
 pub use gpu_usage::{get_gpu_usage, gpu_memory_usage, try_get_gpu_usage, try_gpu_memory_usage};
 pub use monitor::UsageMonitor;
+pub use ops::{default_alert_rules, ops_server, DEFAULT_FLIGHT_CAPACITY};
 pub use orchestrator::GyanHook;
 pub use reservations::{Lease, LeaseTable, ReservationView};
 pub use rules::GpuDestinationRule;

@@ -1,0 +1,406 @@
+//! The live operations plane: wiring GYAN's runtime state into the
+//! embedded introspection server (`obs::serve`).
+//!
+//! One call to [`ops_server`] produces an [`obs::serve::OpsServer`] whose
+//! routes expose the whole observe→map→dispatch stack:
+//!
+//! | endpoint           | content                                          |
+//! |--------------------|--------------------------------------------------|
+//! | `/metrics`         | Prometheus scrape of the recorder's registry     |
+//! | `/healthz`         | liveness + HTTP pool + handler pool saturation   |
+//! | `/api/gpus`        | merged SMI device state + active leases          |
+//! | `/api/jobs`        | job lifecycle snapshots from the queue ledger    |
+//! | `/api/jobs/<id>`   | one job, with the leases it currently holds      |
+//! | `/api/alerts`      | SLO alert-rule states from the [`AlertEngine`]   |
+//! | `/api/flightrec`   | flight-recorder JSONL dump (503 when disabled)   |
+//!
+//! [`default_alert_rules`] builds the stock SLO rule set the paper's
+//! operators would watch: queue-wait p99, GPU allocation-conflict rate,
+//! failure/resubmission burn rates, and lease-table oversubscription.
+//!
+//! [`AlertEngine`]: obs::slo::AlertEngine
+
+use crate::reservations::{Lease, LeaseTable};
+use galaxy::queue::{JobSnapshot, JobsLedger};
+use galaxy::scheduler::{WORKERS_BUSY_GAUGE, WORKERS_TOTAL_GAUGE};
+use gpusim::GpuCluster;
+use obs::json_escape;
+use obs::serve::{OpsServer, Response};
+use obs::slo::{AlertEngine, AlertExpr, AlertRule, Compare};
+use obs::Recorder;
+use std::sync::Arc;
+
+/// Flight-recorder ring capacity `install_gyan` enables by default.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+/// Render an `f64` for JSON output (`null` when non-finite, which the
+/// operations-plane values never are in practice).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn lease_json(lease: &Lease) -> String {
+    format!(
+        "{{\"device\":{},\"holder\":{},\"exclusive\":{},\"memory_hint_mib\":{},\"acquired_at\":{}}}",
+        lease.device,
+        lease.holder,
+        lease.exclusive,
+        lease.memory_hint_mib,
+        num(lease.acquired_at)
+    )
+}
+
+/// JSON document for `/api/gpus`: every device's SMI view merged with the
+/// leases the reservation layer holds on it — the two sources whose
+/// divergence is exactly the observe→dispatch race the lease table closes.
+pub fn gpus_json(cluster: &GpuCluster, table: &LeaseTable) -> String {
+    let mut out = String::from("{\"gpus\":[");
+    for (i, dev) in cluster.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let processes: Vec<String> = dev
+            .processes()
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"pid\":{},\"name\":\"{}\",\"used_mib\":{}}}",
+                    p.pid,
+                    json_escape(&p.name),
+                    p.used_mib
+                )
+            })
+            .collect();
+        let leases: Vec<String> =
+            table.leases_on(dev.minor_number).iter().map(lease_json).collect();
+        out.push_str(&format!(
+            "{{\"minor\":{},\"arch\":\"{}\",\"uuid\":\"{}\",\"fb_total_mib\":{},\
+             \"fb_used_mib\":{},\"fb_free_mib\":{},\"sm_utilization\":{},\
+             \"mem_utilization\":{},\"pcie_link_gen\":{},\"available\":{},\
+             \"processes\":[{}],\"leases\":[{}]}}",
+            dev.minor_number,
+            json_escape(dev.arch.name),
+            json_escape(&dev.uuid),
+            dev.fb_total_mib(),
+            dev.fb_used_mib(),
+            dev.fb_free_mib(),
+            num(dev.sm_utilization),
+            num(dev.mem_utilization),
+            dev.pcie_link_gen,
+            dev.is_available(),
+            processes.join(","),
+            leases.join(","),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn job_object(snap: &JobSnapshot, leases: &[Lease]) -> String {
+    let held: Vec<String> =
+        leases.iter().filter(|l| l.holder == snap.job_id).map(lease_json).collect();
+    format!(
+        "{{\"id\":{},\"user\":\"{}\",\"tool\":\"{}\",\"state\":\"{}\",\"attempts\":{},\
+         \"destination\":{},\"priority\":{},\"submitted_at\":{},\"finished_at\":{},\
+         \"leases\":[{}]}}",
+        snap.job_id,
+        json_escape(&snap.user),
+        json_escape(&snap.tool),
+        snap.state.as_str(),
+        snap.attempts,
+        snap.destination
+            .as_deref()
+            .map_or("null".to_string(), |d| format!("\"{}\"", json_escape(d))),
+        snap.priority,
+        num(snap.submitted_at),
+        snap.finished_at.map_or("null".to_string(), num),
+        held.join(","),
+    )
+}
+
+/// JSON document for `/api/jobs`: every job the queue engine has seen, in
+/// id order, each with its lifecycle state, attempt count, destination,
+/// and any leases it still holds.
+pub fn jobs_json(ledger: &JobsLedger, table: &LeaseTable) -> String {
+    let leases = table.all_leases();
+    let jobs: Vec<String> = ledger.all().iter().map(|s| job_object(s, &leases)).collect();
+    format!("{{\"jobs\":[{}]}}", jobs.join(","))
+}
+
+/// JSON document for `/api/jobs/<id>`, or `None` when the ledger has
+/// never seen that job id.
+pub fn job_json(ledger: &JobsLedger, table: &LeaseTable, job_id: u64) -> Option<String> {
+    ledger.get(job_id).map(|snap| job_object(&snap, &table.all_leases()))
+}
+
+/// The stock SLO rule set for a GYAN deployment. Thresholds are tuned for
+/// the simulated workloads in this repo; operators tune them per site.
+///
+/// * `queue-wait-p99` — tail scheduling latency from the queue-wait
+///   histogram (p99 > 30 virtual seconds, held 5 s before firing);
+/// * `gpu-conflict-rate` — lease-redirected allocations per second over a
+///   10 s window (sustained conflicts mean the wave size outruns the
+///   cluster);
+/// * `job-failure-burn` / `resubmission-burn` — terminal failures and
+///   retries per second over 30 s;
+/// * `lease-oversubscription` — more than one lease on a single device
+///   (shared placements are legal, but a persistent pile-up is the
+///   paper's Case-4 contention signature), firing immediately.
+pub fn default_alert_rules(table: &LeaseTable) -> Vec<AlertRule> {
+    let t = table.clone();
+    vec![
+        AlertRule::new(
+            "queue-wait-p99",
+            AlertExpr::HistogramQuantile {
+                name: galaxy::queue::QUEUE_WAIT_HISTOGRAM.to_string(),
+                q: 0.99,
+            },
+            Compare::Gt,
+            30.0,
+        )
+        .hold_for(5.0),
+        AlertRule::new(
+            "gpu-conflict-rate",
+            AlertExpr::CounterRate {
+                name: crate::reservations::RESERVATION_CONFLICTS_COUNTER.to_string(),
+                window_s: 10.0,
+            },
+            Compare::Gt,
+            0.5,
+        )
+        .hold_for(2.0),
+        AlertRule::new(
+            "job-failure-burn",
+            AlertExpr::CounterRate {
+                name: galaxy::scheduler::JOBS_FAILED_COUNTER.to_string(),
+                window_s: 30.0,
+            },
+            Compare::Gt,
+            0.2,
+        )
+        .hold_for(5.0),
+        AlertRule::new(
+            "resubmission-burn",
+            AlertExpr::CounterRate {
+                name: galaxy::queue::QUEUE_RESUBMITTED_COUNTER.to_string(),
+                window_s: 30.0,
+            },
+            Compare::Gt,
+            0.5,
+        )
+        .hold_for(5.0),
+        AlertRule::new(
+            "lease-oversubscription",
+            AlertExpr::Custom(Arc::new(move || Some(t.max_leases_per_device() as f64))),
+            Compare::Gt,
+            1.0,
+        ),
+    ]
+}
+
+/// Build the operations-plane HTTP server over a running GYAN stack.
+///
+/// The returned [`OpsServer`] is not yet listening — call
+/// `.start("127.0.0.1:0")` to bind (port 0 picks an ephemeral port; the
+/// handle reports the real one). All state is shared by handle clones, so
+/// the server observes the live system, not a snapshot.
+pub fn ops_server(
+    recorder: &Recorder,
+    cluster: &GpuCluster,
+    table: &LeaseTable,
+    ledger: &JobsLedger,
+    alerts: &AlertEngine,
+) -> OpsServer {
+    let gpus = (cluster.clone(), table.clone());
+    let jobs = (ledger.clone(), table.clone());
+    let alerts_handle = alerts.clone();
+    let flight = recorder.clone();
+    let health = recorder.clone();
+    OpsServer::new()
+        .serve_metrics(recorder.metrics())
+        .route("/api/gpus", Arc::new(move |_req| Response::json(gpus_json(&gpus.0, &gpus.1))))
+        .route(
+            "/api/jobs",
+            Arc::new(move |req| match req.path.strip_prefix("/api/jobs/") {
+                None => Response::json(jobs_json(&jobs.0, &jobs.1)),
+                Some(rest) => match rest.parse::<u64>().ok() {
+                    Some(id) => match job_json(&jobs.0, &jobs.1, id) {
+                        Some(body) => Response::json(body),
+                        None => Response::not_found(&format!("job {id}")),
+                    },
+                    None => Response::not_found("job id"),
+                },
+            }),
+        )
+        .route("/api/alerts", Arc::new(move |_req| Response::json(alerts_handle.to_json())))
+        .route(
+            "/api/flightrec",
+            Arc::new(move |_req| match flight.flight_snapshot() {
+                Some(snapshot) => Response::ok("application/jsonl", snapshot.to_jsonl()),
+                None => Response::unavailable("flight recorder disabled"),
+            }),
+        )
+        .healthz_extra(move || {
+            let m = health.metrics();
+            let busy = m.gauge_value(WORKERS_BUSY_GAUGE).unwrap_or(0.0);
+            let total = m.gauge_value(WORKERS_TOTAL_GAUGE).unwrap_or(0.0);
+            format!(
+                "\"galaxy_pool\":{{\"workers\":{},\"busy\":{},\"saturated\":{}}}",
+                num(total),
+                num(busy),
+                total > 0.0 && busy >= total
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::serve::http_get;
+
+    fn stack() -> (Recorder, GpuCluster, LeaseTable, JobsLedger, AlertEngine) {
+        let recorder = Recorder::new();
+        let cluster = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        let ledger = JobsLedger::new();
+        let alerts = AlertEngine::new(&recorder);
+        (recorder, cluster, table, ledger, alerts)
+    }
+
+    #[test]
+    fn gpus_json_merges_smi_state_with_leases() {
+        let (_recorder, cluster, table, _ledger, _alerts) = stack();
+        table.allocate_and_lease(&cluster, &[0], crate::AllocationPolicy::ProcessId, 7, 100, None);
+
+        let doc = obs::json::parse(&gpus_json(&cluster, &table)).expect("gpus json parses");
+        let gpus = doc.get("gpus").and_then(|v| v.as_array()).expect("gpus array");
+        assert_eq!(gpus.len(), 2);
+        let dev0 = &gpus[0];
+        assert_eq!(dev0.get("minor").and_then(|v| v.as_f64()), Some(0.0));
+        assert!(dev0.get("fb_total_mib").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let leases = dev0.get("leases").and_then(|v| v.as_array()).expect("leases array");
+        assert_eq!(leases.len(), 1);
+        assert_eq!(leases[0].get("holder").and_then(|v| v.as_f64()), Some(7.0));
+        assert_eq!(leases[0].get("exclusive").and_then(|v| v.as_bool()), Some(true));
+        // Device 1 carries no lease.
+        let dev1_leases = gpus[1].get("leases").and_then(|v| v.as_array()).unwrap();
+        assert!(dev1_leases.is_empty());
+    }
+
+    #[test]
+    fn jobs_json_lists_ledger_snapshots_with_their_leases() {
+        let (_recorder, cluster, table, ledger, _alerts) = stack();
+        ledger.upsert(JobSnapshot {
+            job_id: 7,
+            user: "ada".to_string(),
+            tool: "racon_gpu".to_string(),
+            state: galaxy::queue::SubmissionState::Queued,
+            attempts: 1,
+            destination: Some("local_gpu".to_string()),
+            priority: 1,
+            submitted_at: 0.5,
+            finished_at: None,
+        });
+        table.allocate_and_lease(&cluster, &[0], crate::AllocationPolicy::ProcessId, 7, 64, None);
+
+        let doc = obs::json::parse(&jobs_json(&ledger, &table)).expect("jobs json parses");
+        let jobs = doc.get("jobs").and_then(|v| v.as_array()).expect("jobs array");
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].get("state").and_then(|v| v.as_str()), Some("queued"));
+        assert_eq!(jobs[0].get("destination").and_then(|v| v.as_str()), Some("local_gpu"));
+        assert!(jobs[0].get("finished_at").map(|v| v.is_null()).unwrap_or(false));
+        let leases = jobs[0].get("leases").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(leases.len(), 1);
+        assert_eq!(leases[0].get("device").and_then(|v| v.as_f64()), Some(0.0));
+
+        assert!(job_json(&ledger, &table, 7).is_some());
+        assert!(job_json(&ledger, &table, 99).is_none());
+    }
+
+    #[test]
+    fn default_rules_cover_the_slo_surface() {
+        let (recorder, _cluster, table, _ledger, _alerts) = stack();
+        let alerts = AlertEngine::new(&recorder);
+        for rule in default_alert_rules(&table) {
+            alerts.add_rule(rule);
+        }
+        alerts.evaluate();
+        let names: Vec<String> = alerts.statuses().into_iter().map(|s| s.rule.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "queue-wait-p99",
+                "gpu-conflict-rate",
+                "job-failure-burn",
+                "resubmission-burn",
+                "lease-oversubscription"
+            ]
+        );
+        assert!(alerts.firing().is_empty());
+    }
+
+    #[test]
+    fn ops_server_serves_every_endpoint() {
+        let (recorder, cluster, table, ledger, alerts) = stack();
+        recorder.enable_flight(DEFAULT_FLIGHT_CAPACITY);
+        recorder.metrics().inc_counter("demo_total", 3);
+        alerts.add_rule(AlertRule::new(
+            "demo",
+            AlertExpr::Gauge("missing".to_string()),
+            Compare::Gt,
+            1.0,
+        ));
+        let server = ops_server(&recorder, &cluster, &table, &ledger, &alerts);
+        let handle = server.start("127.0.0.1:0").expect("bind");
+        let addr = handle.addr();
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("demo_total 3"));
+
+        let (status, body) = http_get(addr, "/api/gpus").unwrap();
+        assert_eq!(status, 200);
+        assert!(obs::json::parse(&body).is_ok());
+
+        let (status, body) = http_get(addr, "/api/jobs").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"jobs\":[]"));
+        let (status, _) = http_get(addr, "/api/jobs/42").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_get(addr, "/api/jobs/not-a-number").unwrap();
+        assert_eq!(status, 404);
+
+        let (status, body) = http_get(addr, "/api/alerts").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"rule\":\"demo\""));
+
+        let (status, body) = http_get(addr, "/api/flightrec").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"type\":\"flightrec\""));
+
+        let (status, body) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"galaxy_pool\""));
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn flightrec_is_503_when_the_recorder_has_no_ring() {
+        let (recorder, cluster, table, ledger, alerts) = stack();
+        let handle = ops_server(&recorder, &cluster, &table, &ledger, &alerts)
+            .start("127.0.0.1:0")
+            .expect("bind");
+        let (status, _) = http_get(handle.addr(), "/api/flightrec").unwrap();
+        assert_eq!(status, 503);
+        handle.shutdown();
+    }
+}

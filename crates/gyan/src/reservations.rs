@@ -298,6 +298,13 @@ impl LeaseTable {
         self.inner.lock().leases.values().flatten().cloned().collect()
     }
 
+    /// The largest number of simultaneous leases on any one device — the
+    /// oversubscription degree the SLO alert rules watch (1 is healthy;
+    /// above 1 means all-busy shared placements are piling up).
+    pub fn max_leases_per_device(&self) -> usize {
+        self.inner.lock().leases.values().map(Vec::len).max().unwrap_or(0)
+    }
+
     /// Sorted, deduplicated job ids currently holding at least one lease.
     pub fn holders(&self) -> Vec<u64> {
         let inner = self.inner.lock();

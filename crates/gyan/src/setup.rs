@@ -139,7 +139,9 @@ impl GyanConfig {
 /// with the rule, the hook, and the lease table (so their decision and
 /// reservation audit events land in the same log as the job spans), and
 /// its clock is driven by the cluster's virtual clock, making every
-/// exported timestamp deterministic.
+/// exported timestamp deterministic. The recorder's flight-recorder ring
+/// is enabled (capacity [`crate::ops::DEFAULT_FLIGHT_CAPACITY`]) so the
+/// operations plane can dump recent history on demand or on alert.
 ///
 /// Returns the lease table so callers can inspect reservations, or hand
 /// [`LeaseTable::discard_listener`] to a
@@ -149,6 +151,7 @@ pub fn install_gyan(app: &mut GalaxyApp, cluster: &GpuCluster, config: GyanConfi
     let recorder = app.recorder().clone();
     let recorder_clock = cluster.clock().clone();
     recorder.set_clock(move || recorder_clock.now());
+    recorder.enable_flight(crate::ops::DEFAULT_FLIGHT_CAPACITY);
 
     let reservations = LeaseTable::new();
     app.register_rule(

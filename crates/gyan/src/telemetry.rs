@@ -87,6 +87,8 @@ pub fn merged_chrome_trace(
             "galaxy/queue"
         } else if event.name.starts_with("gyan.reservation") {
             "gyan/reservations"
+        } else if event.name.starts_with("obs.alert") {
+            "obs/alerts"
         } else {
             "gyan/decisions"
         };
@@ -198,6 +200,7 @@ mod tests {
         rec.event("galaxy.queue.resubmit", [("job_id", 1u64)]);
         rec.event("gyan.reservation.acquire", [("job_id", 1u64)]);
         rec.event("gyan.reservation.conflict", [("job_id", 2u64)]);
+        rec.event("obs.alert.transition", [("rule", "gpu-conflict-rate")]);
 
         let merged = merged_chrome_trace(&rec, &[], &[]);
         let track_for = |name: &str| {
@@ -213,6 +216,7 @@ mod tests {
         assert_eq!(track_for("galaxy.queue.resubmit"), "galaxy/queue");
         assert_eq!(track_for("gyan.reservation.acquire"), "gyan/reservations");
         assert_eq!(track_for("gyan.reservation.conflict"), "gyan/reservations");
+        assert_eq!(track_for("obs.alert.transition"), "obs/alerts");
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //! dependency-free so every layer of the workspace can use it.
 
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod serve;
+pub mod slo;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -154,7 +157,7 @@ pub fn json_escape(s: &str) -> String {
 
 /// Format a float compactly but losslessly enough for telemetry (JSON has
 /// no Infinity/NaN — those degrade to null).
-fn format_f64(v: f64) -> String {
+pub(crate) fn format_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_string();
     }
@@ -222,6 +225,10 @@ struct RecorderInner {
     metrics: metrics::Registry,
     clock: Mutex<Arc<ClockFn>>,
     next_id: AtomicU64,
+    // Lock-order discipline: the flight lock is a leaf — it is never
+    // held while taking the log or clock lock (and vice versa callers
+    // drop the log lock before pushing here).
+    flight: Mutex<Option<flight::FlightRing>>,
 }
 
 /// Thread-safe telemetry handle; clone freely — all clones share one log,
@@ -246,6 +253,7 @@ impl Recorder {
                 metrics: metrics::Registry::new(),
                 clock: Mutex::new(Arc::new(|| 0.0)),
                 next_id: AtomicU64::new(1),
+                flight: Mutex::new(None),
             }),
         }
     }
@@ -273,6 +281,40 @@ impl Recorder {
         &self.inner.metrics
     }
 
+    /// Turn on the flight recorder with a ring of `capacity` records.
+    /// Re-enabling resets the ring (and its drop counter).
+    pub fn enable_flight(&self, capacity: usize) {
+        *self.inner.flight.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(flight::FlightRing::new(capacity));
+    }
+
+    /// Whether flight recording is enabled.
+    pub fn flight_enabled(&self) -> bool {
+        self.inner.flight.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+
+    /// Snapshot the flight ring (`None` while disabled). Still-open
+    /// spans are appended after the ring's records so the snapshot shows
+    /// in-progress work too.
+    pub fn flight_snapshot(&self) -> Option<flight::FlightSnapshot> {
+        let captured_at = self.now();
+        let mut snap = {
+            let flight = self.inner.flight.lock().unwrap_or_else(|e| e.into_inner());
+            flight.as_ref()?.snapshot(captured_at)
+        };
+        for span in self.open_spans() {
+            snap.records.push(flight::FlightRecord::Span(span));
+        }
+        Some(snap)
+    }
+
+    fn flight_push(&self, make: impl FnOnce() -> flight::FlightRecord) {
+        let mut flight = self.inner.flight.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(ring) = flight.as_mut() {
+            ring.push(make());
+        }
+    }
+
     /// Open a root span.
     pub fn span(&self, name: impl Into<String>) -> Span {
         self.open_span(name.into(), None)
@@ -288,11 +330,18 @@ impl Recorder {
 
     fn close_span(&self, id: u64) {
         let end = self.now();
-        let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(span) = log.spans.iter_mut().find(|s| s.id == id) {
-            if span.end.is_none() {
-                span.end = Some(end);
+        let closed = {
+            let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+            match log.spans.iter_mut().find(|s| s.id == id) {
+                Some(span) if span.end.is_none() => {
+                    span.end = Some(end);
+                    Some(span.clone())
+                }
+                _ => None,
             }
+        };
+        if let Some(span) = closed {
+            self.flight_push(|| flight::FlightRecord::Span(span));
         }
     }
 
@@ -320,8 +369,10 @@ impl Recorder {
     ) {
         let t = self.now();
         let fields = fields.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        let ev = EventData { name, t, span, fields };
+        self.flight_push(|| flight::FlightRecord::Event(ev.clone()));
         let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
-        log.events.push(EventData { name, t, span, fields });
+        log.events.push(ev);
     }
 
     /// Snapshot of all spans recorded so far.
@@ -365,27 +416,37 @@ impl Recorder {
         let log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for s in &log.spans {
-            out.push_str(&format!(
-                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start\":{},\"end\":{}{}}}\n",
-                s.id,
-                s.parent.map_or("null".to_string(), |p| p.to_string()),
-                json_escape(&s.name),
-                format_f64(s.start),
-                s.end.map_or("null".to_string(), format_f64),
-                render_fields(&s.fields),
-            ));
+            out.push_str(&span_json_line(s));
         }
         for e in &log.events {
-            out.push_str(&format!(
-                "{{\"type\":\"event\",\"name\":\"{}\",\"t\":{},\"span\":{}{}}}\n",
-                json_escape(&e.name),
-                format_f64(e.t),
-                e.span.map_or("null".to_string(), |p| p.to_string()),
-                render_fields(&e.fields),
-            ));
+            out.push_str(&event_json_line(e));
         }
         out
     }
+}
+
+/// Render one span as a JSONL line (newline-terminated).
+pub(crate) fn span_json_line(s: &SpanData) -> String {
+    format!(
+        "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start\":{},\"end\":{}{}}}\n",
+        s.id,
+        s.parent.map_or("null".to_string(), |p| p.to_string()),
+        json_escape(&s.name),
+        format_f64(s.start),
+        s.end.map_or("null".to_string(), format_f64),
+        render_fields(&s.fields),
+    )
+}
+
+/// Render one event as a JSONL line (newline-terminated).
+pub(crate) fn event_json_line(e: &EventData) -> String {
+    format!(
+        "{{\"type\":\"event\",\"name\":\"{}\",\"t\":{},\"span\":{}{}}}\n",
+        json_escape(&e.name),
+        format_f64(e.t),
+        e.span.map_or("null".to_string(), |p| p.to_string()),
+        render_fields(&e.fields),
+    )
 }
 
 fn render_fields(fields: &[(String, Value)]) -> String {

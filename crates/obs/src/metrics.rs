@@ -12,6 +12,10 @@ use std::sync::{Arc, Mutex};
 /// log-spaced from 1 ms to 100 s, suiting queue waits and phase times.
 pub const DEFAULT_BUCKETS: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0];
 
+/// Counter bumped when [`Registry::observe_with_buckets`] is called with
+/// bounds that disagree with the histogram's existing buckets.
+pub const HISTOGRAM_BUCKET_CONFLICTS: &str = "obs_histogram_bucket_conflicts_total";
+
 #[derive(Debug, Clone)]
 struct Histogram {
     bounds: Vec<f64>,
@@ -87,12 +91,25 @@ impl Registry {
 
     /// Record an observation into a histogram with explicit bucket
     /// bounds (bounds are fixed by the first observation).
+    ///
+    /// Calling again under the same name with *different* bounds is a
+    /// wiring bug: the observation still lands (in the original buckets,
+    /// so `_count`/`_sum` stay truthful) but the conflict is surfaced via
+    /// [`HISTOGRAM_BUCKET_CONFLICTS`] and a debug assertion instead of
+    /// silently corrupting the bucket layout.
     pub fn observe_with_buckets(&self, name: &str, value: f64, bounds: &[f64]) {
-        self.lock()
-            .histograms
-            .entry(name.to_string())
-            .or_insert_with(|| Histogram::new(bounds))
-            .observe(value);
+        let mismatch = {
+            let mut state = self.lock();
+            let hist =
+                state.histograms.entry(name.to_string()).or_insert_with(|| Histogram::new(bounds));
+            let mismatch = hist.bounds != bounds;
+            hist.observe(value);
+            mismatch
+        };
+        if mismatch {
+            self.inc_counter(HISTOGRAM_BUCKET_CONFLICTS, 1);
+            debug_assert!(!mismatch, "histogram '{name}' observed with conflicting bucket bounds");
+        }
     }
 
     /// Current value of a counter (0 when never incremented).
@@ -115,6 +132,31 @@ impl Registry {
         self.lock().histograms.get(name).map_or(0.0, |h| h.sum)
     }
 
+    /// Estimate quantile `q` (clamped to `[0, 1]`) of a histogram via
+    /// Prometheus-style linear interpolation within the cumulative
+    /// bucket holding the target rank. Returns `None` for an absent or
+    /// empty histogram. Ranks falling in the implicit `+Inf` bucket are
+    /// clamped to the highest finite bound, as `histogram_quantile` does.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let state = self.lock();
+        let h = state.histograms.get(name)?;
+        if h.count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * h.count as f64;
+        let mut lower = 0.0f64;
+        let mut prev = 0u64;
+        for (bound, cum) in h.bounds.iter().zip(&h.counts) {
+            if *cum as f64 >= rank && *cum > prev {
+                let fraction = (rank - prev as f64) / (*cum - prev) as f64;
+                return Some(lower + (bound - lower) * fraction);
+            }
+            lower = *bound;
+            prev = *cum;
+        }
+        h.bounds.last().copied()
+    }
+
     /// Render the whole registry in Prometheus text exposition format.
     ///
     /// Output is deterministic: metric families sorted by name, one
@@ -132,15 +174,16 @@ impl Registry {
         };
         for (name, value) in &state.counters {
             type_header(&mut out, name, "counter");
-            out.push_str(&format!("{name} {value}\n"));
+            out.push_str(&format!("{} {value}\n", render_key(name)));
         }
         for (name, value) in &state.gauges {
             type_header(&mut out, name, "gauge");
-            out.push_str(&format!("{name} {}\n", format_value(*value)));
+            out.push_str(&format!("{} {}\n", render_key(name), format_value(*value)));
         }
         for (name, hist) in &state.histograms {
             type_header(&mut out, name, "histogram");
-            let (base, labels) = split_labels(name);
+            let (base, raw_labels) = split_labels(name);
+            let labels = render_label_body(&split_label_pairs(&raw_labels));
             // `counts[i]` already counts observations <= bounds[i], i.e.
             // buckets are stored cumulatively as Prometheus expects.
             for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
@@ -183,6 +226,71 @@ fn labels_prefix(labels: &str) -> String {
     } else {
         format!("{labels},")
     }
+}
+
+/// Re-render a stored metric key with its label values escaped for the
+/// exposition format (`name{k="v"}` keys store values raw).
+fn render_key(name: &str) -> String {
+    match name.split_once('{') {
+        None => name.to_string(),
+        Some((base, rest)) => {
+            let body = rest.trim_end_matches('}');
+            format!("{base}{{{}}}", render_label_body(&split_label_pairs(body)))
+        }
+    }
+}
+
+/// Split a raw (unescaped) label body into key/value pairs.
+///
+/// Values are stored raw, so a `"` inside a value is only recognizable by
+/// what follows it: the closing quote is the one whose remaining tail is
+/// empty or starts the next `key="` pair. A raw value containing the
+/// two-character sequence `","` stays genuinely ambiguous — callers
+/// should not rely on it — but every single special character (`"`, `\`,
+/// newline) round-trips.
+fn split_label_pairs(body: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let Some((key, after)) = rest.split_once("=\"") else { break };
+        let mut close = None;
+        for (i, b) in after.bytes().enumerate() {
+            if b == b'"' {
+                let tail = after[i + 1..].trim_start();
+                if tail.is_empty() || tail.starts_with(',') {
+                    close = Some(i);
+                    break;
+                }
+            }
+        }
+        let Some(close) = close else { break };
+        pairs.push((key.trim().to_string(), after[..close].to_string()));
+        let tail = after[close + 1..].trim_start();
+        rest = tail.strip_prefix(',').unwrap_or(tail).trim_start();
+    }
+    pairs
+}
+
+/// Render label pairs as an exposition label body with escaped values.
+fn render_label_body(pairs: &[(String, String)]) -> String {
+    let rendered: Vec<String> =
+        pairs.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    rendered.join(",")
+}
+
+/// Escape a label value per the Prometheus text format: backslash,
+/// double-quote, and line-feed.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn format_value(v: f64) -> String {
@@ -252,10 +360,34 @@ fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, Stri
         let after_key = after_key
             .strip_prefix('"')
             .ok_or_else(|| format!("line {lineno}: unquoted label value"))?;
-        let close = after_key
-            .find('"')
-            .ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
-        labels.push((key.trim().to_string(), after_key[..close].to_string()));
+        // Escape-aware scan for the closing quote: `\"`, `\\`, and `\n`
+        // unescape; unknown escapes are kept literally.
+        let mut value = String::new();
+        let mut close = None;
+        let mut chars = after_key.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    close = Some(i);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, other)) => {
+                        value.push('\\');
+                        value.push(other);
+                    }
+                    None => {
+                        return Err(format!("line {lineno}: dangling escape in label value"));
+                    }
+                },
+                c => value.push(c),
+            }
+        }
+        let close = close.ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+        labels.push((key.trim().to_string(), value));
         rest = after_key[close + 1..].trim_start_matches(',').trim_start();
     }
     Ok(labels)
@@ -316,6 +448,100 @@ mod tests {
             .find(|s| s.name == "wait_seconds_bucket" && s.label("le") == Some("0.1"))
             .unwrap();
         assert_eq!(b01.value, 1.0);
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let reg = Registry::new();
+        // A value with every special character: quote, backslash, newline.
+        reg.inc_counter("paths_total{path=\"a\\b\"c\nd\"}", 3);
+        reg.set_gauge("last_error{msg=\"said \"no\"\"}", 1.0);
+        reg.observe_with_buckets("tool_seconds{tool=\"racon \\ gpu\"}", 0.5, &[1.0]);
+
+        let text = reg.render_prometheus();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(!line.contains('\n'), "raw newline leaked into exposition: {line:?}");
+        }
+        let samples = parse_prometheus(&text).expect("escaped exposition parses");
+        let path = samples.iter().find(|s| s.name == "paths_total").unwrap();
+        assert_eq!(path.label("path"), Some("a\\b\"c\nd"));
+        assert_eq!(path.value, 3.0);
+        let msg = samples.iter().find(|s| s.name == "last_error").unwrap();
+        assert_eq!(msg.label("msg"), Some("said \"no\""));
+        let bucket = samples
+            .iter()
+            .find(|s| s.name == "tool_seconds_bucket" && s.label("le") == Some("1"))
+            .unwrap();
+        assert_eq!(bucket.label("tool"), Some("racon \\ gpu"));
+        assert_eq!(bucket.value, 1.0);
+    }
+
+    #[test]
+    fn conflicting_bucket_bounds_are_surfaced() {
+        let reg = Registry::new();
+        reg.observe_with_buckets("mixed_seconds", 0.5, &[1.0, 2.0]);
+        let conflict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.observe_with_buckets("mixed_seconds", 0.5, &[3.0]);
+        }));
+        // Debug builds assert; release builds keep going. Either way the
+        // conflict counter ticks, the observation lands, and the original
+        // bucket layout survives.
+        assert_eq!(conflict.is_err(), cfg!(debug_assertions));
+        assert_eq!(reg.counter_value(HISTOGRAM_BUCKET_CONFLICTS), 1);
+        assert_eq!(reg.histogram_count("mixed_seconds"), 2);
+        let text = reg.render_prometheus();
+        assert!(text.contains("mixed_seconds_bucket{le=\"2\"}"), "{text}");
+        assert!(!text.contains("mixed_seconds_bucket{le=\"3\"}"), "{text}");
+        // Matching bounds never trip it.
+        reg.observe_with_buckets("mixed_seconds", 0.1, &[1.0, 2.0]);
+        assert_eq!(reg.counter_value(HISTOGRAM_BUCKET_CONFLICTS), 1);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let reg = Registry::new();
+        for v in [0.5, 1.5, 3.0, 3.5] {
+            reg.observe_with_buckets("lat", v, &[1.0, 2.0, 4.0]);
+        }
+        // rank 2 lands exactly on the le=2 cumulative boundary.
+        assert_eq!(reg.histogram_quantile("lat", 0.5), Some(2.0));
+        // rank 3 is halfway through the (2, 4] bucket's two observations.
+        assert_eq!(reg.histogram_quantile("lat", 0.75), Some(3.0));
+        // rank 0 interpolates to the first bucket's lower edge.
+        assert_eq!(reg.histogram_quantile("lat", 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_exact_boundary_hits_the_bound() {
+        let reg = Registry::new();
+        reg.observe_with_buckets("exact", 1.0, &[1.0, 2.0]);
+        // Every rank falls in the first bucket; its upper bound is the
+        // only information the histogram retains.
+        assert_eq!(reg.histogram_quantile("exact", 1.0), Some(1.0));
+        assert_eq!(reg.histogram_quantile("exact", 0.5), Some(0.5));
+    }
+
+    #[test]
+    fn quantile_inf_bucket_clamps_to_highest_finite_bound() {
+        let reg = Registry::new();
+        reg.observe_with_buckets("spill", 100.0, &[1.0, 2.0]);
+        reg.observe_with_buckets("spill", 0.5, &[1.0, 2.0]);
+        // p99 lives in the +Inf region: clamp to le=2 like Prometheus.
+        assert_eq!(reg.histogram_quantile("spill", 0.99), Some(2.0));
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(reg.histogram_quantile("spill", 7.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_or_absent_histogram_is_none() {
+        let reg = Registry::new();
+        assert_eq!(reg.histogram_quantile("nope", 0.5), None);
+        // A histogram that exists but has never observed anything would
+        // need an explicit zero-observation path; the registry only
+        // creates histograms on observe, so absence covers it — but an
+        // all-below-zero rank must not divide by zero either.
+        reg.observe_with_buckets("one", 5.0, &[1.0]);
+        assert_eq!(reg.histogram_quantile("one", 0.5), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! Dependency-free operations HTTP server.
+//!
+//! A minimal HTTP/1.1 server on [`std::net::TcpListener`] with a bounded
+//! worker pool and a graceful-shutdown handle, built for low-volume
+//! scrape/introspection traffic (`GET /metrics`, `GET /api/...`). Routes
+//! are plain closures over whatever state the caller captures; the
+//! server itself knows nothing about Galaxy or GYAN.
+//!
+//! Saturation behaves like the rest of the stack's admission control:
+//! the accept loop enqueues connections into a bounded channel, and when
+//! every worker is busy and the backlog is full, new connections get an
+//! immediate `503` instead of unbounded queueing. `/healthz` reports
+//! that saturation state so scrapers can see pressure before it turns
+//! into refusals.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection socket timeout: an ops server must never hang on a
+/// stalled scraper.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Queued-connection backlog per worker.
+const BACKLOG_PER_WORKER: usize = 4;
+
+/// A parsed (minimal) HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+}
+
+/// An HTTP response a handler returns.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// `200` with an explicit content type.
+    pub fn ok(content_type: &str, body: impl Into<String>) -> Self {
+        Response { status: 200, content_type: content_type.to_string(), body: body.into() }
+    }
+
+    /// `200 application/json`.
+    pub fn json(body: impl Into<String>) -> Self {
+        Response::ok("application/json", body)
+    }
+
+    /// `200 text/plain`.
+    pub fn text(body: impl Into<String>) -> Self {
+        Response::ok("text/plain; charset=utf-8", body)
+    }
+
+    /// `404` with a JSON error body.
+    pub fn not_found(what: &str) -> Self {
+        Response {
+            status: 404,
+            content_type: "application/json".to_string(),
+            body: format!("{{\"error\":\"not found\",\"what\":\"{}\"}}", crate::json_escape(what)),
+        }
+    }
+
+    /// `405` (the ops plane is read-only).
+    pub fn method_not_allowed() -> Self {
+        Response {
+            status: 405,
+            content_type: "application/json".to_string(),
+            body: "{\"error\":\"method not allowed\"}".to_string(),
+        }
+    }
+
+    /// `503` with a JSON reason.
+    pub fn unavailable(why: &str) -> Self {
+        Response {
+            status: 503,
+            content_type: "application/json".to_string(),
+            body: format!("{{\"error\":\"{}\"}}", crate::json_escape(why)),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Error",
+        }
+    }
+}
+
+/// A route handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+struct PoolStats {
+    workers: usize,
+    busy: AtomicUsize,
+    queued: AtomicUsize,
+    requests: AtomicU64,
+    refused: AtomicU64,
+}
+
+/// Builder for the ops server: register routes, then [`OpsServer::start`].
+pub struct OpsServer {
+    routes: BTreeMap<String, Handler>,
+    healthz_extra: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+    workers: usize,
+}
+
+impl Default for OpsServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpsServer {
+    /// A server with no routes and 2 workers.
+    pub fn new() -> Self {
+        OpsServer { routes: BTreeMap::new(), healthz_extra: None, workers: 2 }
+    }
+
+    /// Set the worker-thread count (min 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Register `handler` for an exact `path` (a trailing request
+    /// sub-path, `path/...`, also dispatches here — handlers see the
+    /// full request path).
+    pub fn route(mut self, path: impl Into<String>, handler: Handler) -> Self {
+        self.routes.insert(path.into(), handler);
+        self
+    }
+
+    /// Register `GET /metrics` serving `registry`'s Prometheus text.
+    pub fn serve_metrics(self, registry: &crate::metrics::Registry) -> Self {
+        let registry = registry.clone();
+        self.route(
+            "/metrics",
+            Arc::new(move |_req| {
+                Response::ok("text/plain; version=0.0.4", registry.render_prometheus())
+            }),
+        )
+    }
+
+    /// Attach an extra JSON object fragment (`"key":value,...` rendered
+    /// into the `/healthz` document) supplied per request.
+    pub fn healthz_extra(mut self, provider: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.healthz_extra = Some(Arc::new(provider));
+        self
+    }
+
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve until
+    /// [`OpsHandle::shutdown`].
+    pub fn start(self, addr: impl ToSocketAddrs) -> io::Result<OpsHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stats = Arc::new(PoolStats {
+            workers: self.workers,
+            busy: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+        });
+        let routes = Arc::new(self.routes);
+        let healthz_extra = self.healthz_extra;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = sync_channel::<TcpStream>(self.workers * BACKLOG_PER_WORKER);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..self.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let routes = Arc::clone(&routes);
+                let stats = Arc::clone(&stats);
+                let healthz_extra = healthz_extra.clone();
+                std::thread::Builder::new()
+                    .name(format!("obs-ops-{i}"))
+                    .spawn(move || worker_loop(&rx, &routes, healthz_extra.as_deref(), &stats))
+                    .expect("spawn ops worker")
+            })
+            .collect();
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("obs-ops-accept".to_string())
+                .spawn(move || {
+                    // `tx` moves in here: dropping it on exit disconnects
+                    // the workers' receiver and ends their loops.
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        stats.queued.fetch_add(1, Ordering::SeqCst);
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(mut stream)) => {
+                                stats.queued.fetch_sub(1, Ordering::SeqCst);
+                                stats.refused.fetch_add(1, Ordering::SeqCst);
+                                let _ = write_response(
+                                    &mut stream,
+                                    &Response::unavailable("handler pool saturated"),
+                                );
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                })
+                .expect("spawn ops accept loop")
+        };
+
+        Ok(OpsHandle { addr: local, shutdown, accept: Some(accept), workers })
+    }
+}
+
+type ReceiverSlot = Arc<Mutex<Receiver<TcpStream>>>;
+
+fn worker_loop(
+    rx: &ReceiverSlot,
+    routes: &BTreeMap<String, Handler>,
+    healthz_extra: Option<&(dyn Fn() -> String + Send + Sync)>,
+    stats: &PoolStats,
+) {
+    loop {
+        // The mutex only serializes the dequeue, not request handling.
+        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        let Ok(mut stream) = next else { break };
+        stats.queued.fetch_sub(1, Ordering::SeqCst);
+        stats.busy.fetch_add(1, Ordering::SeqCst);
+        stats.requests.fetch_add(1, Ordering::SeqCst);
+        let _ = handle_connection(&mut stream, routes, healthz_extra, stats);
+        stats.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(
+    stream: &mut TcpStream,
+    routes: &BTreeMap<String, Handler>,
+    healthz_extra: Option<&(dyn Fn() -> String + Send + Sync)>,
+    stats: &PoolStats,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers to the blank line; bodies are ignored (GET only).
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("/");
+    let path = target.split('?').next().unwrap_or("/").to_string();
+    let request = Request { method, path };
+    let response = dispatch(&request, routes, healthz_extra, stats);
+    write_response(stream, &response)
+}
+
+fn dispatch(
+    request: &Request,
+    routes: &BTreeMap<String, Handler>,
+    healthz_extra: Option<&(dyn Fn() -> String + Send + Sync)>,
+    stats: &PoolStats,
+) -> Response {
+    if request.method != "GET" {
+        return Response::method_not_allowed();
+    }
+    if request.path == "/healthz" {
+        return healthz(healthz_extra, stats);
+    }
+    // Longest matching route wins: exact path, or a registered prefix
+    // followed by `/` (so `/api/jobs` also serves `/api/jobs/17`).
+    let matched = routes
+        .iter()
+        .filter(|(route, _)| {
+            request.path == **route
+                || (request.path.starts_with(*route)
+                    && request.path.as_bytes().get(route.len()) == Some(&b'/'))
+        })
+        .max_by_key(|(route, _)| route.len());
+    match matched {
+        Some((_, handler)) => handler(request),
+        None => Response::not_found(&request.path),
+    }
+}
+
+fn healthz(
+    healthz_extra: Option<&(dyn Fn() -> String + Send + Sync)>,
+    stats: &PoolStats,
+) -> Response {
+    let busy = stats.busy.load(Ordering::SeqCst);
+    let queued = stats.queued.load(Ordering::SeqCst);
+    let saturated = busy >= stats.workers && queued > 0;
+    let extra = healthz_extra.map(|f| f()).filter(|s| !s.is_empty());
+    let extra = extra.map_or(String::new(), |s| format!(",{s}"));
+    Response::json(format!(
+        "{{\"status\":\"ok\",\"http_pool\":{{\"workers\":{},\"busy\":{busy},\"queued\":{queued},\
+         \"saturated\":{saturated},\"requests\":{},\"refused\":{}}}{extra}}}",
+        stats.workers,
+        stats.requests.load(Ordering::SeqCst),
+        stats.refused.load(Ordering::SeqCst),
+    ))
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Handle to a running server: the bound address plus graceful shutdown.
+pub struct OpsHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl OpsHandle {
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Stop accepting, drain the workers, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `incoming()`; poke it with one
+        // throwaway connection so it observes the flag.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            drop(stream);
+        }
+        let _ = accept.join();
+        // `tx` dropped with the accept thread → workers' recv() errors
+        // out once the queue drains.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for OpsHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Minimal blocking HTTP GET against a local server; returns
+/// `(status, body)`. This is the test/CLI client half of the ops plane —
+/// enough HTTP to scrape ourselves, nothing more.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: ops\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn test_server() -> OpsHandle {
+        let registry = crate::metrics::Registry::new();
+        registry.inc_counter("ops_test_total", 7);
+        OpsServer::new()
+            .serve_metrics(&registry)
+            .route(
+                "/api/echo",
+                Arc::new(|req: &Request| {
+                    Response::json(format!("{{\"path\":\"{}\"}}", crate::json_escape(&req.path)))
+                }),
+            )
+            .healthz_extra(|| "\"extra\":{\"answer\":42}".to_string())
+            .start("127.0.0.1:0")
+            .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn serves_metrics_and_routes() {
+        let server = test_server();
+        let (status, body) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let samples = crate::metrics::parse_prometheus(&body).expect("scrape parses");
+        assert!(samples.iter().any(|s| s.name == "ops_test_total" && s.value == 7.0));
+
+        let (status, body) = http_get(server.addr(), "/api/echo").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            json::parse(&body).unwrap().get("path").and_then(|v| v.as_str()),
+            Some("/api/echo")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn subpaths_dispatch_to_the_route_prefix() {
+        let server = test_server();
+        let (status, body) = http_get(server.addr(), "/api/echo/42?verbose=1").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            json::parse(&body).unwrap().get("path").and_then(|v| v.as_str()),
+            Some("/api/echo/42")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = test_server();
+        let (status, body) = http_get(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("not found"));
+        // A prefix match must be on a path-segment boundary.
+        let (status, _) = http_get(server.addr(), "/api/echoes").unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "DELETE /metrics HTTP/1.1\r\nHost: ops\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_pool_state_and_extra() {
+        let server = test_server();
+        let (status, body) = http_get(server.addr(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+        let doc = json::parse(&body).expect("healthz parses");
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+        let pool = doc.get("http_pool").unwrap();
+        assert_eq!(pool.get("workers").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(pool.get("saturated").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(
+            doc.get("extra").and_then(|e| e.get("answer")).and_then(|v| v.as_f64()),
+            Some(42.0)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let server = test_server();
+        let addr = server.addr();
+        assert_eq!(http_get(addr, "/healthz").unwrap().0, 200);
+        // The real assertion is that this returns at all: shutdown joins
+        // the accept loop and every worker, so a stuck thread would hang
+        // the test here.
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = test_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || http_get(addr, "/metrics").unwrap().0))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 200);
+        }
+        server.shutdown();
+    }
+}

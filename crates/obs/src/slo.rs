@@ -1,0 +1,542 @@
+//! SLO alert engine: windowed rules over the metrics registry, evaluated
+//! on the recorder's (virtual) clock, with Prometheus-style
+//! `pending → firing → resolved` state transitions.
+//!
+//! Every transition is emitted as an [`ALERT_EVENT`] audit event (routed
+//! to the `obs/alerts` Chrome-trace track by `gyan::telemetry`) and
+//! counted under [`ALERT_TRANSITIONS_COUNTER`] in the same registry the
+//! rules read — the alert plane monitors itself. When a rule fires and
+//! the flight recorder is enabled, the engine captures a
+//! [`crate::flight::FlightSnapshot`] so the moments leading up to the
+//! alert are preserved for post-mortem.
+//!
+//! Evaluation is explicitly driven ([`AlertEngine::evaluate`]): under a
+//! virtual clock there is no background time to poll on, so the harness
+//! (wave barrier, ops loop, example driver) decides the cadence.
+
+use crate::flight::FlightSnapshot;
+use crate::{json_escape, Recorder, Value};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Counter family (labeled by rule and target state) counting alert
+/// transitions.
+pub const ALERT_TRANSITIONS_COUNTER: &str = "obs_alert_transitions_total";
+/// Gauge: number of rules currently firing.
+pub const ALERTS_FIRING_GAUGE: &str = "obs_alerts_firing";
+/// Audit event emitted on every state transition.
+pub const ALERT_EVENT: &str = "obs.alert.transition";
+/// Most recent per-rule flight dumps retained by the engine.
+const MAX_FLIGHT_DUMPS: usize = 8;
+
+/// What a rule measures each evaluation.
+#[derive(Clone)]
+pub enum AlertExpr {
+    /// Current value of a gauge (`None` while unset — rule stays quiet).
+    Gauge(String),
+    /// Per-second increase of a counter over a sliding window, computed
+    /// from the engine's own evaluation-time samples.
+    CounterRate {
+        /// Counter name (inline labels included, if any).
+        name: String,
+        /// Sliding-window width in clock seconds.
+        window_s: f64,
+    },
+    /// Interpolated histogram quantile ([`crate::metrics::Registry::histogram_quantile`]).
+    HistogramQuantile {
+        /// Histogram name.
+        name: String,
+        /// Quantile in `[0, 1]`.
+        q: f64,
+    },
+    /// Arbitrary probe — lets rules watch state outside the registry
+    /// (e.g. a lease table) without coupling obs to it.
+    Custom(Arc<dyn Fn() -> Option<f64> + Send + Sync>),
+}
+
+impl fmt::Debug for AlertExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertExpr::Gauge(name) => write!(f, "Gauge({name})"),
+            AlertExpr::CounterRate { name, window_s } => {
+                write!(f, "CounterRate({name}, {window_s}s)")
+            }
+            AlertExpr::HistogramQuantile { name, q } => {
+                write!(f, "HistogramQuantile({name}, q={q})")
+            }
+            AlertExpr::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// Threshold comparison direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compare {
+    /// Breach when the value exceeds the threshold.
+    Gt,
+    /// Breach when the value falls below the threshold.
+    Lt,
+}
+
+/// One alert rule: an expression, a threshold, and an optional hold
+/// (`for_s`) the breach must sustain before the rule fires.
+#[derive(Debug, Clone)]
+pub struct AlertRule {
+    /// Stable rule name (label value on the transition counter).
+    pub name: String,
+    /// What to measure.
+    pub expr: AlertExpr,
+    /// Comparison direction.
+    pub cmp: Compare,
+    /// Threshold the expression is compared against.
+    pub threshold: f64,
+    /// Seconds a breach must persist before `pending` becomes `firing`
+    /// (0 fires immediately).
+    pub for_s: f64,
+}
+
+impl AlertRule {
+    /// A rule that fires immediately on breach.
+    pub fn new(name: impl Into<String>, expr: AlertExpr, cmp: Compare, threshold: f64) -> Self {
+        AlertRule { name: name.into(), expr, cmp, threshold, for_s: 0.0 }
+    }
+
+    /// Require the breach to hold for `secs` before firing.
+    pub fn hold_for(mut self, secs: f64) -> Self {
+        self.for_s = secs.max(0.0);
+        self
+    }
+}
+
+/// Rule lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Not breaching.
+    Inactive,
+    /// Breaching, but the `for_s` hold has not elapsed yet.
+    Pending,
+    /// Breaching past the hold — the alert is live.
+    Firing,
+}
+
+impl AlertState {
+    /// Lower-case state name as used in events and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+        }
+    }
+}
+
+/// One state transition observed during an evaluation.
+#[derive(Debug, Clone)]
+pub struct AlertTransition {
+    /// Rule name.
+    pub rule: String,
+    /// State before.
+    pub from: AlertState,
+    /// State after.
+    pub to: AlertState,
+    /// Transition kind: `pending`, `firing`, `resolved` (firing →
+    /// inactive), or `cancelled` (pending → inactive).
+    pub kind: &'static str,
+    /// Evaluation time.
+    pub at: f64,
+    /// Expression value at the transition (`None` when unevaluable).
+    pub value: Option<f64>,
+}
+
+/// Point-in-time view of one rule.
+#[derive(Debug, Clone)]
+pub struct AlertStatus {
+    /// The rule (expression, threshold, hold).
+    pub rule: AlertRule,
+    /// Current state.
+    pub state: AlertState,
+    /// Last evaluated value.
+    pub value: Option<f64>,
+    /// When the current state was entered.
+    pub since: f64,
+    /// Times this rule has fired over its lifetime.
+    pub fired: u64,
+}
+
+/// A flight-recorder dump captured when a rule fired.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// Rule that fired.
+    pub rule: String,
+    /// Firing time.
+    pub at: f64,
+    /// The captured snapshot.
+    pub snapshot: FlightSnapshot,
+}
+
+struct RuleState {
+    rule: AlertRule,
+    state: AlertState,
+    since: f64,
+    pending_since: f64,
+    last_value: Option<f64>,
+    fired: u64,
+    /// (t, counter value) samples for `CounterRate`, pruned to window.
+    samples: Vec<(f64, u64)>,
+}
+
+struct EngineInner {
+    rules: Vec<RuleState>,
+    dumps: Vec<FlightDump>,
+}
+
+/// The alert engine; clone freely — clones share rule state.
+#[derive(Clone)]
+pub struct AlertEngine {
+    recorder: Recorder,
+    inner: Arc<Mutex<EngineInner>>,
+}
+
+impl AlertEngine {
+    /// An engine reading metrics, clock, and flight state from
+    /// `recorder`.
+    pub fn new(recorder: &Recorder) -> Self {
+        AlertEngine {
+            recorder: recorder.clone(),
+            inner: Arc::new(Mutex::new(EngineInner { rules: Vec::new(), dumps: Vec::new() })),
+        }
+    }
+
+    /// Register a rule (evaluated in registration order).
+    pub fn add_rule(&self, rule: AlertRule) {
+        let since = self.recorder.now();
+        self.lock().rules.push(RuleState {
+            rule,
+            state: AlertState::Inactive,
+            since,
+            pending_since: since,
+            last_value: None,
+            fired: 0,
+            samples: Vec::new(),
+        });
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Evaluate every rule at the recorder's current clock time,
+    /// returning the transitions that occurred. Emits audit events and
+    /// registry metrics for each transition and captures a flight dump
+    /// for each newly-firing rule.
+    pub fn evaluate(&self) -> Vec<AlertTransition> {
+        let now = self.recorder.now();
+        let metrics = self.recorder.metrics();
+        let mut transitions = Vec::new();
+        let mut firing = 0usize;
+        {
+            let mut inner = self.lock();
+            for rs in &mut inner.rules {
+                let value = match &rs.rule.expr {
+                    AlertExpr::Gauge(name) => metrics.gauge_value(name),
+                    AlertExpr::HistogramQuantile { name, q } => {
+                        metrics.histogram_quantile(name, *q)
+                    }
+                    AlertExpr::Custom(f) => f(),
+                    AlertExpr::CounterRate { name, window_s } => {
+                        let current = metrics.counter_value(name);
+                        rs.samples.push((now, current));
+                        rs.samples.retain(|(t, _)| now - *t <= *window_s);
+                        rs.samples
+                            .first()
+                            .filter(|(t0, _)| now - *t0 > 0.0)
+                            .map(|(t0, v0)| current.saturating_sub(*v0) as f64 / (now - t0))
+                    }
+                };
+                rs.last_value = value;
+                let breached = match (value, rs.rule.cmp) {
+                    (Some(v), Compare::Gt) => v > rs.rule.threshold,
+                    (Some(v), Compare::Lt) => v < rs.rule.threshold,
+                    (None, _) => false,
+                };
+                let next = match (rs.state, breached) {
+                    (AlertState::Inactive, true) => {
+                        if rs.rule.for_s > 0.0 {
+                            AlertState::Pending
+                        } else {
+                            AlertState::Firing
+                        }
+                    }
+                    (AlertState::Pending, true) => {
+                        if now - rs.pending_since >= rs.rule.for_s {
+                            AlertState::Firing
+                        } else {
+                            AlertState::Pending
+                        }
+                    }
+                    (AlertState::Firing, true) => AlertState::Firing,
+                    (_, false) => AlertState::Inactive,
+                };
+                if next != rs.state {
+                    let kind = match (rs.state, next) {
+                        (_, AlertState::Pending) => "pending",
+                        (_, AlertState::Firing) => "firing",
+                        (AlertState::Firing, _) => "resolved",
+                        _ => "cancelled",
+                    };
+                    if next == AlertState::Pending {
+                        rs.pending_since = now;
+                    }
+                    if next == AlertState::Firing {
+                        rs.fired += 1;
+                    }
+                    transitions.push(AlertTransition {
+                        rule: rs.rule.name.clone(),
+                        from: rs.state,
+                        to: next,
+                        kind,
+                        at: now,
+                        value,
+                    });
+                    rs.state = next;
+                    rs.since = now;
+                }
+                if rs.state == AlertState::Firing {
+                    firing += 1;
+                }
+            }
+        }
+        // Locks released: the recorder's metrics/log/flight locks are
+        // only taken with the engine lock dropped.
+        metrics.set_gauge(ALERTS_FIRING_GAUGE, firing as f64);
+        for tr in &transitions {
+            metrics.inc_counter(
+                &format!(
+                    "{ALERT_TRANSITIONS_COUNTER}{{rule=\"{}\",to=\"{}\"}}",
+                    tr.rule,
+                    tr.to.as_str()
+                ),
+                1,
+            );
+            let mut fields: Vec<(&str, Value)> = vec![
+                ("rule", Value::from(tr.rule.as_str())),
+                ("from", Value::from(tr.from.as_str())),
+                ("to", Value::from(tr.to.as_str())),
+                ("kind", Value::from(tr.kind)),
+            ];
+            if let Some(v) = tr.value {
+                fields.push(("value", Value::from(v)));
+            }
+            self.recorder.event(ALERT_EVENT, fields);
+            if tr.to == AlertState::Firing {
+                if let Some(snapshot) = self.recorder.flight_snapshot() {
+                    let mut inner = self.lock();
+                    if inner.dumps.len() == MAX_FLIGHT_DUMPS {
+                        inner.dumps.remove(0);
+                    }
+                    inner.dumps.push(FlightDump { rule: tr.rule.clone(), at: tr.at, snapshot });
+                }
+            }
+        }
+        transitions
+    }
+
+    /// Current status of every rule, in registration order.
+    pub fn statuses(&self) -> Vec<AlertStatus> {
+        self.lock()
+            .rules
+            .iter()
+            .map(|rs| AlertStatus {
+                rule: rs.rule.clone(),
+                state: rs.state,
+                value: rs.last_value,
+                since: rs.since,
+                fired: rs.fired,
+            })
+            .collect()
+    }
+
+    /// Names of rules currently firing.
+    pub fn firing(&self) -> Vec<String> {
+        self.lock()
+            .rules
+            .iter()
+            .filter(|rs| rs.state == AlertState::Firing)
+            .map(|rs| rs.rule.name.clone())
+            .collect()
+    }
+
+    /// Flight dumps captured at firing transitions (oldest first, last
+    /// `MAX_FLIGHT_DUMPS` retained).
+    pub fn flight_dumps(&self) -> Vec<FlightDump> {
+        self.lock().dumps.clone()
+    }
+
+    /// JSON document for `GET /api/alerts`.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .statuses()
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"rule\":\"{}\",\"state\":\"{}\",\"value\":{},\"threshold\":{},\"since\":{},\"fired\":{}}}",
+                    json_escape(&s.rule.name),
+                    s.state.as_str(),
+                    s.value.map_or("null".to_string(), crate::format_f64),
+                    crate::format_f64(s.rule.threshold),
+                    crate::format_f64(s.since),
+                    s.fired,
+                )
+            })
+            .collect();
+        format!("{{\"alerts\":[{}]}}", body.join(","))
+    }
+
+    /// One-line-per-rule human summary (for example programs).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in self.statuses() {
+            let value = s.value.map_or("-".to_string(), |v| format!("{v:.3}"));
+            out.push_str(&format!(
+                "{:<24} {:<8} value={value} threshold={} fired={}\n",
+                s.rule.name,
+                s.state.as_str(),
+                s.rule.threshold,
+                s.fired
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn stepped() -> (Recorder, Arc<AtomicU64>) {
+        let cell = Arc::new(AtomicU64::new(0));
+        let c = cell.clone();
+        let rec = Recorder::with_clock(move || c.load(Ordering::SeqCst) as f64);
+        (rec, cell)
+    }
+
+    #[test]
+    fn gauge_rule_walks_pending_firing_resolved() {
+        let (rec, clock) = stepped();
+        let engine = AlertEngine::new(&rec);
+        engine.add_rule(
+            AlertRule::new("depth", AlertExpr::Gauge("depth".into()), Compare::Gt, 5.0)
+                .hold_for(2.0),
+        );
+
+        // Unset gauge: no evaluation, no transition.
+        assert!(engine.evaluate().is_empty());
+
+        rec.metrics().set_gauge("depth", 10.0);
+        let tr = engine.evaluate();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].kind, "pending");
+
+        // Hold not yet elapsed.
+        clock.store(1, Ordering::SeqCst);
+        assert!(engine.evaluate().is_empty());
+
+        clock.store(2, Ordering::SeqCst);
+        let tr = engine.evaluate();
+        assert_eq!(tr[0].kind, "firing");
+        assert_eq!(engine.firing(), vec!["depth".to_string()]);
+
+        rec.metrics().set_gauge("depth", 0.0);
+        clock.store(3, Ordering::SeqCst);
+        let tr = engine.evaluate();
+        assert_eq!(tr[0].kind, "resolved");
+        assert!(engine.firing().is_empty());
+
+        // Metrics + audit trail recorded every transition.
+        let m = rec.metrics();
+        assert_eq!(m.counter_value("obs_alert_transitions_total{rule=\"depth\",to=\"firing\"}"), 1);
+        assert_eq!(m.gauge_value(ALERTS_FIRING_GAUGE), Some(0.0));
+        assert_eq!(rec.events_named(ALERT_EVENT).len(), 3);
+        let fired = engine.statuses().remove(0);
+        assert_eq!(fired.fired, 1);
+    }
+
+    #[test]
+    fn pending_breach_that_clears_is_cancelled() {
+        let (rec, clock) = stepped();
+        let engine = AlertEngine::new(&rec);
+        engine.add_rule(
+            AlertRule::new("blip", AlertExpr::Gauge("g".into()), Compare::Gt, 1.0).hold_for(10.0),
+        );
+        rec.metrics().set_gauge("g", 5.0);
+        assert_eq!(engine.evaluate()[0].kind, "pending");
+        rec.metrics().set_gauge("g", 0.0);
+        clock.store(1, Ordering::SeqCst);
+        assert_eq!(engine.evaluate()[0].kind, "cancelled");
+    }
+
+    #[test]
+    fn counter_rate_uses_a_sliding_window() {
+        let (rec, clock) = stepped();
+        let engine = AlertEngine::new(&rec);
+        engine.add_rule(AlertRule::new(
+            "burn",
+            AlertExpr::CounterRate { name: "errs".into(), window_s: 10.0 },
+            Compare::Gt,
+            0.5,
+        ));
+
+        // First sample: no window yet, rule stays quiet.
+        assert!(engine.evaluate().is_empty());
+        // 2 errors/second for 3 seconds.
+        for t in 1..=3u64 {
+            rec.metrics().inc_counter("errs", 2);
+            clock.store(t, Ordering::SeqCst);
+            engine.evaluate();
+        }
+        assert_eq!(engine.firing(), vec!["burn".to_string()]);
+        let status = engine.statuses().remove(0);
+        assert!(status.value.unwrap() > 1.9, "{status:?}");
+
+        // Counter stops moving; once the active samples age out of the
+        // window the rate returns to 0 and the alert resolves.
+        for t in 4..=20u64 {
+            clock.store(t, Ordering::SeqCst);
+            engine.evaluate();
+        }
+        assert!(engine.firing().is_empty());
+        let status = engine.statuses().remove(0);
+        assert_eq!(status.value, Some(0.0));
+    }
+
+    #[test]
+    fn firing_captures_a_flight_dump_when_enabled() {
+        let (rec, clock) = stepped();
+        rec.enable_flight(32);
+        rec.event("before_the_fire", [("n", 1u64)]);
+        let engine = AlertEngine::new(&rec);
+        engine.add_rule(AlertRule::new("hot", AlertExpr::Gauge("t".into()), Compare::Gt, 0.0));
+        rec.metrics().set_gauge("t", 1.0);
+        clock.store(5, Ordering::SeqCst);
+        engine.evaluate();
+
+        let dumps = engine.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].rule, "hot");
+        assert_eq!(dumps[0].at, 5.0);
+        assert!(dumps[0].snapshot.records.iter().any(|r| r.name() == "before_the_fire"));
+    }
+
+    #[test]
+    fn to_json_lists_every_rule() {
+        let (rec, _clock) = stepped();
+        let engine = AlertEngine::new(&rec);
+        engine.add_rule(AlertRule::new("a", AlertExpr::Gauge("g".into()), Compare::Lt, 2.0));
+        let doc = crate::json::parse(&engine.to_json()).expect("alerts JSON parses");
+        let alerts = doc.get("alerts").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].get("state").and_then(|v| v.as_str()), Some("inactive"));
+        assert_eq!(alerts[0].get("value").map(|v| v.is_null()), Some(true));
+    }
+}

@@ -19,6 +19,7 @@ use galaxy::tool::macros::MacroLibrary;
 use galaxy::{GalaxyApp, GalaxyError};
 use gpusim::{GpuArch, GpuCluster};
 use gyan::setup::{install_gyan, GyanConfig};
+use obs::slo::{AlertEngine, AlertExpr, AlertRule, Compare};
 use seqtools::{DatasetSpec, ToolExecutor};
 use std::sync::Arc;
 
@@ -144,6 +145,9 @@ fn injected(fault: RunnerFault) -> InjectedFault {
 
 /// Execute `scenario` under `options`, checking invariants at every wave
 /// barrier and once more after shutdown.
+// SimFailure is large (it carries the fired-alert list and flight dump),
+// but the Err path is terminal — a failure report, not a hot return.
+#[allow(clippy::result_large_err)]
 pub fn run_scenario(scenario: &Scenario, options: &SimOptions) -> Result<SimReport, SimFailure> {
     let fail = |wave: Option<usize>, v: invariants::Violation| SimFailure {
         seed: scenario.seed,
@@ -151,6 +155,8 @@ pub fn run_scenario(scenario: &Scenario, options: &SimOptions) -> Result<SimRepo
         invariant: v.invariant,
         detail: v.detail,
         scenario: scenario.describe(),
+        fired_alerts: Vec::new(),
+        flight_jsonl: None,
     };
 
     // --- Build the real stack -------------------------------------------
@@ -171,6 +177,26 @@ pub fn run_scenario(scenario: &Scenario, options: &SimOptions) -> Result<SimRepo
         ));
     }
     let recorder = app.recorder().clone();
+
+    // The live operations plane runs alongside the postmortem invariant
+    // checker: a leaked-lease SLO rule, evaluated at every wave barrier,
+    // must page on the same condition `no_leaked_leases` trips on —
+    // proving an operator watching `/api/alerts` would have seen the bug.
+    let alerts = AlertEngine::new(&recorder);
+    let alert_table = table.clone();
+    alerts.add_rule(AlertRule::new(
+        "leaked-lease",
+        AlertExpr::Custom(Arc::new(move || Some(alert_table.lease_count() as f64))),
+        Compare::Gt,
+        0.0,
+    ));
+    // Failures carry the alert + flight-recorder context of the moment
+    // they tripped, so a repro seed comes with its own black box.
+    let enrich = |mut failure: SimFailure| -> SimFailure {
+        failure.fired_alerts = alerts.firing();
+        failure.flight_jsonl = recorder.flight_snapshot().map(|s| s.to_jsonl());
+        failure
+    };
 
     let resubmit = if scenario.resubmit_to_cpu {
         ResubmitPolicy::gpu_to_cpu("local_cpu")
@@ -248,27 +274,28 @@ pub fn run_scenario(scenario: &Scenario, options: &SimOptions) -> Result<SimRepo
         if frozen_at == Some(waves) {
             cluster.thaw_smi_snapshot();
         }
-        invariants::no_leaked_leases(&table, waves).map_err(|v| fail(Some(waves), v))?;
+        alerts.evaluate();
+        invariants::no_leaked_leases(&table, waves).map_err(|v| enrich(fail(Some(waves), v)))?;
         if dispatched == 0 {
             break;
         }
         waves += 1;
         if waves >= MAX_WAVES {
-            return Err(fail(
+            return Err(enrich(fail(
                 Some(waves),
                 invariants::Violation {
                     invariant: "wave_bound",
                     detail: format!("still dispatching after {MAX_WAVES} waves"),
                 },
-            ));
+            )));
         }
     }
 
     // --- Whole-run invariants -------------------------------------------
-    invariants::conservation(&engine).map_err(|v| fail(None, v))?;
+    invariants::conservation(&engine).map_err(|v| enrich(fail(None, v)))?;
     let events = recorder.events();
-    invariants::exclusive_isolation(&events).map_err(|v| fail(None, v))?;
-    invariants::export_matches_acquire(&events).map_err(|v| fail(None, v))?;
+    invariants::exclusive_isolation(&events).map_err(|v| enrich(fail(None, v)))?;
+    invariants::export_matches_acquire(&events).map_err(|v| enrich(fail(None, v)))?;
 
     let states = engine.submission_states();
     let count = |want: SubmissionState| states.iter().filter(|(_, s)| *s == want).count();
@@ -283,7 +310,7 @@ pub fn run_scenario(scenario: &Scenario, options: &SimOptions) -> Result<SimRepo
     };
 
     engine.shutdown();
-    invariants::spans_balanced(&recorder).map_err(|v| fail(None, v))?;
+    invariants::spans_balanced(&recorder).map_err(|v| enrich(fail(None, v)))?;
     Ok(report)
 }
 

@@ -1,18 +1,22 @@
 //! The GPU hardware usage script (paper §V-C): attach the monitor to a
 //! running job, collect the 1 Hz chronological trace, and post-process
-//! into min/max/avg statistics and a CSV.
+//! into min/max/avg statistics, a CSV, and an SLO alert summary.
 //!
 //! Run with: `cargo run --release --example monitoring`
 
 use gpusim::{CudaContext, GpuCluster};
 use gyan::UsageMonitor;
+use obs::slo::{AlertEngine, AlertExpr, AlertRule, Compare};
+use obs::Recorder;
 use seqtools::racon::{polish_gpu, RaconInput, RaconOpts};
 use seqtools::DatasetSpec;
 
 fn main() {
     let cluster = GpuCluster::k80_node();
 
-    // "It is executed when a job is submitted ..."
+    // "It is executed when a job is submitted ..." — note the baseline
+    // observer count so we can verify the monitor cleans up after itself.
+    let observer_baseline = cluster.clock().observer_count();
     let monitor = UsageMonitor::start(&cluster);
 
     // Run a Racon-GPU job; every virtual second of its execution is
@@ -30,8 +34,15 @@ fn main() {
     ctx.destroy();
 
     // "... and stopped when a job is either killed or stops. Whenever it
-    // stops, a post-processing function is executed."
+    // stops, a post-processing function is executed." Stopping also
+    // deregisters the monitor's clock observer — a long-lived cluster
+    // must not accumulate one dead observer per monitored job.
     let samples = monitor.stop();
+    assert_eq!(
+        cluster.clock().observer_count(),
+        observer_baseline,
+        "monitor.stop() must deregister its clock observer"
+    );
     println!(
         "job ran {:.0} virtual seconds; monitor collected {} samples",
         report.total_s,
@@ -52,4 +63,34 @@ fn main() {
         println!("  {line}");
     }
     println!("  ... ({} rows total)", csv.lines().count() - 1);
+
+    // Feed the post-processed statistics to the SLO engine the operations
+    // plane uses, and print its per-rule summary: an operator's one-glance
+    // view of whether the monitored run breached any utilization SLO.
+    let recorder = Recorder::new();
+    let monitor_clock = cluster.clock().clone();
+    recorder.set_clock(move || monitor_clock.now());
+    for s in monitor.stats() {
+        let m = recorder.metrics();
+        m.set_gauge(&format!("monitor_sm_util_max{{gpu=\"{}\"}}", s.minor), s.sm_max);
+        m.set_gauge(&format!("monitor_fb_used_max_mib{{gpu=\"{}\"}}", s.minor), s.mem_max as f64);
+    }
+    let alerts = AlertEngine::new(&recorder);
+    alerts.add_rule(AlertRule::new(
+        "gpu0-sm-saturated",
+        AlertExpr::Gauge("monitor_sm_util_max{gpu=\"0\"}".to_string()),
+        Compare::Gt,
+        95.0,
+    ));
+    alerts.add_rule(AlertRule::new(
+        "gpu0-fb-oversubscribed",
+        AlertExpr::Gauge("monitor_fb_used_max_mib{gpu=\"0\"}".to_string()),
+        Compare::Gt,
+        11_000.0,
+    ));
+    alerts.evaluate();
+    println!("\nalert summary:");
+    for line in alerts.summary().lines() {
+        println!("  {line}");
+    }
 }

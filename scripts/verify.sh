@@ -33,6 +33,9 @@ cargo test -q --test reservations
 echo "==> deterministic simulation smoke (${SIMTEST_CASES:-25} seeded scenarios)"
 cargo test -q --test simtest
 
+echo "==> ops-server smoke (scrape + health over live HTTP)"
+cargo run -q --release --example ops_server -- --check
+
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 

@@ -1,0 +1,286 @@
+//! End-to-end operations plane: boot the embedded introspection server
+//! over a real `QueueEngine`/`install_gyan` stack and drive every
+//! acceptance surface over actual HTTP —
+//!
+//! * `/metrics` round-trips through obs's own Prometheus parser;
+//! * `/api/gpus` reports exactly the leases the [`LeaseTable`] holds;
+//! * a synthetic conflict storm walks the `gpu-conflict-rate` SLO rule
+//!   through pending → firing → resolved;
+//! * the flight-recorder dump captured at firing time replays as a valid
+//!   Chrome trace.
+
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::queue::{QueueConfig, QueueEngine, SubmissionState};
+use galaxy::runners::NullExecutor;
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::GalaxyApp;
+use gpusim::GpuCluster;
+use gyan::allocation::AllocationPolicy;
+use gyan::ops::{default_alert_rules, ops_server};
+use gyan::reservations::LeaseTable;
+use gyan::setup::{install_gyan, GyanConfig};
+use obs::metrics::parse_prometheus;
+use obs::serve::http_get;
+use obs::slo::{AlertEngine, AlertState};
+use std::sync::Arc;
+
+const GPU_TOOL: &str = r#"<tool id="ops_racon" name="Racon">
+  <requirements><requirement type="compute">gpu</requirement></requirements>
+  <command>racon_gpu reads</command>
+  <outputs><data name="out" format="fasta"/></outputs>
+</tool>"#;
+
+const CPU_TOOL: &str = r#"<tool id="ops_echo" name="Echo">
+  <command>echo $text</command>
+  <inputs><param name="text" type="text" value="tick"/></inputs>
+  <outputs><data name="out" format="txt"/></outputs>
+</tool>"#;
+
+/// The full stack, wired the production way (`install_gyan` shares the
+/// recorder, lease table, and virtual clock), plus the alert engine
+/// loaded with the stock rules.
+struct Stack {
+    cluster: GpuCluster,
+    engine: QueueEngine,
+    table: LeaseTable,
+    alerts: AlertEngine,
+}
+
+fn stack() -> Stack {
+    let cluster = GpuCluster::k80_node();
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    let table = install_gyan(&mut app, &cluster, GyanConfig::default());
+    let lib = MacroLibrary::new();
+    app.install_tool_xml(GPU_TOOL, &lib).unwrap();
+    app.install_tool_xml(CPU_TOOL, &lib).unwrap();
+    let alerts = AlertEngine::new(app.recorder());
+    for rule in default_alert_rules(&table) {
+        alerts.add_rule(rule);
+    }
+    let engine = QueueEngine::new(app, Arc::new(NullExecutor), QueueConfig::default());
+    Stack { cluster, engine, table, alerts }
+}
+
+fn serve(stack: &Stack) -> obs::serve::OpsHandle {
+    let recorder = stack.engine.app().recorder().clone();
+    ops_server(&recorder, &stack.cluster, &stack.table, &stack.engine.ledger(), &stack.alerts)
+        .start("127.0.0.1:0")
+        .expect("bind ephemeral port")
+}
+
+/// Run a mixed GPU/CPU workload, then check `/metrics` parses with the
+/// crate's own Prometheus parser and agrees with the registry, and that
+/// the job API reflects the ledger.
+#[test]
+fn metrics_scrape_round_trips_and_jobs_api_matches_ledger() {
+    let mut s = stack();
+    let gpu = s.engine.submit_async("alice", "ops_racon", &ParamDict::new()).unwrap();
+    let cpu = s.engine.submit_async("bob", "ops_echo", &ParamDict::new()).unwrap();
+    s.engine.run_until_idle();
+    assert_eq!(s.engine.state(gpu), Some(SubmissionState::Ok));
+    assert_eq!(s.engine.state(cpu), Some(SubmissionState::Ok));
+
+    let handle = serve(&s);
+    let (status, body) = http_get(handle.addr(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let samples = parse_prometheus(&body).expect("scrape parses with the obs parser");
+    assert!(!samples.is_empty());
+    let registry = s.engine.app().recorder().metrics();
+    for name in ["galaxy_jobs_submitted_total", "gyan_reservations_acquired_total"] {
+        let sample = samples.iter().find(|p| p.name == name && p.labels.is_empty());
+        let sample = sample.unwrap_or_else(|| panic!("{name} missing from scrape"));
+        assert_eq!(sample.value, registry.counter_value(name) as f64, "{name}");
+    }
+
+    // Job API: both jobs listed in id order with their final state.
+    let (status, body) = http_get(handle.addr(), "/api/jobs").unwrap();
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&body).expect("jobs json parses");
+    let jobs = doc.get("jobs").and_then(|v| v.as_array()).expect("jobs array");
+    assert_eq!(jobs.len(), 2);
+    for (job, id) in jobs.iter().zip([gpu.0, cpu.0]) {
+        assert_eq!(job.get("id").and_then(|v| v.as_f64()), Some(id as f64));
+        assert_eq!(job.get("state").and_then(|v| v.as_str()), Some("ok"));
+        assert!(job.get("destination").and_then(|v| v.as_str()).is_some());
+        assert!(job.get("finished_at").and_then(|v| v.as_f64()).is_some());
+    }
+    let (status, body) = http_get(handle.addr(), &format!("/api/jobs/{}", gpu.0)).unwrap();
+    assert_eq!(status, 200);
+    let one = obs::json::parse(&body).unwrap();
+    assert_eq!(one.get("tool").and_then(|v| v.as_str()), Some("ops_racon"));
+    assert_eq!(one.get("attempts").and_then(|v| v.as_f64()), Some(1.0));
+    let (status, _) = http_get(handle.addr(), "/api/jobs/999999").unwrap();
+    assert_eq!(status, 404);
+
+    let (status, body) = http_get(handle.addr(), "/healthz").unwrap();
+    assert_eq!(status, 200);
+    let health = obs::json::parse(&body).unwrap();
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert!(health.get("galaxy_pool").is_some());
+    handle.shutdown();
+}
+
+/// `/api/gpus` must agree with the lease table exactly: same devices,
+/// same holders, same exclusivity, same memory hints.
+#[test]
+fn gpus_api_lease_view_matches_the_lease_table() {
+    let s = stack();
+    let recorder = s.engine.app().recorder().clone();
+    // Hold one exclusive lease (free path) and one shared lease on the
+    // other device via a second holder requesting the now-busy set.
+    s.table
+        .allocate_and_lease(
+            &s.cluster,
+            &[0],
+            AllocationPolicy::ProcessId,
+            9001,
+            256,
+            Some(&recorder),
+        )
+        .expect("grant");
+    s.table
+        .allocate_and_lease(
+            &s.cluster,
+            &[1],
+            AllocationPolicy::ProcessId,
+            9002,
+            128,
+            Some(&recorder),
+        )
+        .expect("grant");
+
+    let handle = serve(&s);
+    let (status, body) = http_get(handle.addr(), "/api/gpus").unwrap();
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&body).expect("gpus json parses");
+    let gpus = doc.get("gpus").and_then(|v| v.as_array()).expect("gpus array");
+    assert_eq!(gpus.len() as u32, s.cluster.device_count());
+
+    // Rebuild (device, holder, exclusive, hint) tuples from the HTTP view
+    // and compare with the table's own snapshot — they must be identical.
+    let mut from_http: Vec<(u32, u64, bool, u64)> = Vec::new();
+    for gpu in gpus {
+        let minor = gpu.get("minor").and_then(|v| v.as_f64()).unwrap() as u32;
+        for lease in gpu.get("leases").and_then(|v| v.as_array()).unwrap() {
+            assert_eq!(lease.get("device").and_then(|v| v.as_f64()), Some(f64::from(minor)));
+            from_http.push((
+                minor,
+                lease.get("holder").and_then(|v| v.as_f64()).unwrap() as u64,
+                lease.get("exclusive").and_then(|v| v.as_bool()).unwrap(),
+                lease.get("memory_hint_mib").and_then(|v| v.as_f64()).unwrap() as u64,
+            ));
+        }
+    }
+    let from_table: Vec<(u32, u64, bool, u64)> = s
+        .table
+        .all_leases()
+        .iter()
+        .map(|l| (l.device, l.holder, l.exclusive, l.memory_hint_mib))
+        .collect();
+    assert_eq!(from_http, from_table, "HTTP lease view diverged from the LeaseTable");
+    assert_eq!(from_table.len(), 2);
+    handle.shutdown();
+}
+
+/// Synthetic conflict storm: one job camps on device 0 with an exclusive
+/// lease; a stream of probes requests device 0 and gets redirected —
+/// each redirection is a `gyan_reservation_conflicts_total` increment.
+/// The `gpu-conflict-rate` rule must walk pending → firing (capturing a
+/// flight dump) and resolve once the storm stops.
+#[test]
+fn conflict_storm_walks_the_alert_through_its_lifecycle() {
+    let s = stack();
+    let recorder = s.engine.app().recorder().clone();
+    let clock = s.cluster.clock().clone();
+    let storm = |holder: u64| {
+        s.table
+            .allocate_and_lease(
+                &s.cluster,
+                &[0],
+                AllocationPolicy::ProcessId,
+                holder,
+                64,
+                Some(&recorder),
+            )
+            .expect("grant");
+        s.table.release(holder, "probe_done", Some(&recorder));
+    };
+
+    // Camp on device 0.
+    s.table
+        .allocate_and_lease(
+            &s.cluster,
+            &[0],
+            AllocationPolicy::ProcessId,
+            9001,
+            256,
+            Some(&recorder),
+        )
+        .expect("camper grant");
+
+    let handle = serve(&s);
+    let mut kinds: Vec<String> = Vec::new();
+    let state_of = |rule: &str| -> String {
+        let (status, body) = http_get(handle.addr(), "/api/alerts").unwrap();
+        assert_eq!(status, 200);
+        let doc = obs::json::parse(&body).expect("alerts json parses");
+        doc.get("alerts")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .find(|a| a.get("rule").and_then(|v| v.as_str()) == Some(rule))
+            .and_then(|a| a.get("state").and_then(|v| v.as_str()).map(str::to_string))
+            .expect("rule present")
+    };
+
+    // One conflicting probe per virtual second: a sustained 1/s rate
+    // against the 0.5/s threshold.
+    for i in 0..6u64 {
+        storm(100 + i);
+        clock.advance(1.0);
+        for tr in s.alerts.evaluate() {
+            if tr.rule == "gpu-conflict-rate" {
+                kinds.push(tr.kind.to_string());
+            }
+        }
+        if kinds.is_empty() {
+            assert_eq!(state_of("gpu-conflict-rate"), "inactive");
+        }
+    }
+    assert_eq!(kinds, vec!["pending", "firing"], "storm must escalate");
+    assert_eq!(state_of("gpu-conflict-rate"), "firing");
+    assert_eq!(s.alerts.firing(), vec!["gpu-conflict-rate".to_string()]);
+
+    // Firing captured a flight dump, and that dump replays as a valid
+    // Chrome trace with the flightrec tracks.
+    let dumps = s.alerts.flight_dumps();
+    assert_eq!(dumps.len(), 1);
+    assert_eq!(dumps[0].rule, "gpu-conflict-rate");
+    let trace = dumps[0].snapshot.to_chrome_trace();
+    let doc = obs::json::parse(&trace).expect("flight dump replays as a Chrome trace");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")),
+        "flight dump has complete events"
+    );
+    // The live endpoint serves the same recorder ring as JSONL.
+    let (status, body) = http_get(handle.addr(), "/api/flightrec").unwrap();
+    assert_eq!(status, 200);
+    for line in body.lines() {
+        obs::json::parse(line).expect("flightrec line parses");
+    }
+
+    // Storm over: once the rate window drains, the alert resolves.
+    clock.advance(15.0);
+    let resolved = s.alerts.evaluate();
+    assert!(
+        resolved.iter().any(|tr| tr.rule == "gpu-conflict-rate"
+            && tr.kind == "resolved"
+            && tr.from == AlertState::Firing),
+        "storm end must resolve the alert: {resolved:?}"
+    );
+    assert_eq!(state_of("gpu-conflict-rate"), "inactive");
+    assert!(s.alerts.firing().is_empty());
+    handle.shutdown();
+}

@@ -54,8 +54,21 @@ fn unreleased_discard_leases_are_caught_with_a_reproducing_seed() {
     assert!(text.contains(&format!("SIMTEST_SEED={}", failure.seed)), "{text}");
     assert!(text.contains("shrunk"), "shrinker did not run: {text}");
 
+    // The operations plane must page on the same condition: the harness
+    // evaluates its leaked-lease SLO rule at every wave barrier, so the
+    // invariant failure arrives with the alert already firing — and with
+    // a flight-recorder dump of the moments leading up to it.
+    assert!(
+        failure.fired_alerts.iter().any(|a| a == "leaked-lease"),
+        "leaked-lease alert did not fire alongside the invariant: {text}"
+    );
+    assert!(text.contains("fired alerts: leaked-lease"), "{text}");
+    let flight = failure.flight_jsonl.as_deref().expect("flight recorder dump captured");
+    assert!(flight.starts_with("{\"type\":\"flightrec\""), "{flight}");
+
     // Reproduction contract: the printed seed alone re-creates the
     // failure, same invariant, no scenario serialization needed.
     let again = run_seed(failure.seed, &bad).expect_err("seed must reproduce the failure");
     assert_eq!(again.invariant, failure.invariant);
+    assert!(again.fired_alerts.iter().any(|a| a == "leaked-lease"), "{again}");
 }
