@@ -8,6 +8,7 @@
 //! paper-vs-measured rows.
 
 pub mod paper;
+pub mod perf;
 pub mod table;
 pub mod testbed;
 

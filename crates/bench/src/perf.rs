@@ -1,0 +1,299 @@
+//! Perf-trajectory schema and regression comparator.
+//!
+//! The `perf_gate` binary measures the canonical scheduler benchmarks
+//! (allocation decisions/sec, queue-wait quantiles, wave-dispatch
+//! throughput, ledger snapshot rate) and records them as a
+//! schema-versioned [`Trajectory`] in `BENCH_scheduler.json` at the repo
+//! root — one file, updated in place, committed alongside the code it
+//! measures, so `git log BENCH_scheduler.json` *is* the perf history.
+//!
+//! This module holds the parts the gate shares with tests: the schema,
+//! JSON render/parse (via the workspace's dependency-free `obs::json`
+//! reader), and [`compare`], which checks a new trajectory against the
+//! previous one and flags any metric that moved the wrong way by more
+//! than the tolerance.
+
+use obs::json::{self, JsonValue};
+
+/// Schema identifier embedded in every trajectory file. Bump the suffix
+/// when fields change incompatibly; the comparator refuses to diff
+/// across schemas rather than misreading old numbers.
+pub const SCHEMA: &str = "gyan.bench.scheduler/v1";
+
+/// One recorded benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Schema identifier (see [`SCHEMA`]).
+    pub schema: String,
+    /// `git rev-parse --short` of the measured tree (or `"unknown"`).
+    pub commit: String,
+    /// Single-node `allocate_and_lease` + `release` round-trips per
+    /// real second.
+    pub decisions_per_sec: f64,
+    /// Queue-wait p50 over a canonical virtual-clock drain (seconds).
+    pub queue_wait_p50_s: f64,
+    /// Queue-wait p99 over the same drain (seconds).
+    pub queue_wait_p99_s: f64,
+    /// Jobs pumped through the queue engine per real second.
+    pub wave_dispatch_jobs_per_sec: f64,
+    /// `JobsLedger::all()` snapshots per real second at canonical size.
+    pub ledger_snapshots_per_sec: f64,
+    /// Percent of allocation wall time attributed to named child scopes.
+    pub profile_attributed_pct: f64,
+}
+
+/// The direction in which a metric is allowed to drift freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger numbers are improvements (throughput).
+    HigherIsBetter,
+    /// Smaller numbers are improvements (latency).
+    LowerIsBetter,
+}
+
+/// One comparable metric: name, extractor, and good direction.
+pub type MetricSpec = (&'static str, fn(&Trajectory) -> f64, Direction);
+
+/// The comparable metrics, their extractors, and their good directions.
+/// `profile_attributed_pct` is gated absolutely (≥ threshold), not
+/// relatively, so it is not in this table.
+pub fn metrics() -> Vec<MetricSpec> {
+    vec![
+        ("decisions_per_sec", |t: &Trajectory| t.decisions_per_sec, Direction::HigherIsBetter),
+        ("queue_wait_p50_s", |t: &Trajectory| t.queue_wait_p50_s, Direction::LowerIsBetter),
+        ("queue_wait_p99_s", |t: &Trajectory| t.queue_wait_p99_s, Direction::LowerIsBetter),
+        (
+            "wave_dispatch_jobs_per_sec",
+            |t: &Trajectory| t.wave_dispatch_jobs_per_sec,
+            Direction::HigherIsBetter,
+        ),
+        (
+            "ledger_snapshots_per_sec",
+            |t: &Trajectory| t.ledger_snapshots_per_sec,
+            Direction::HigherIsBetter,
+        ),
+    ]
+}
+
+/// One metric's movement between two trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name.
+    pub metric: &'static str,
+    /// Previous run's value.
+    pub prev: f64,
+    /// This run's value.
+    pub new: f64,
+    /// Signed percent change relative to `prev` (`+` = number went up).
+    pub pct_change: f64,
+    /// Whether the move breaches the tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl Trajectory {
+    /// Render the trajectory as the `BENCH_scheduler.json` document.
+    /// `profile_summary` is the profiler's JSON export (embedded verbatim
+    /// under `"profile"`), or `None` for `{"scopes":[]}`-style tests.
+    pub fn render_json(&self, profile_summary: Option<&str>) -> String {
+        let profile = profile_summary.unwrap_or("{\"type\":\"profile\",\"scopes\":[]}");
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"commit\": \"{}\",\n  \
+             \"decisions_per_sec\": {},\n  \"queue_wait_p50_s\": {},\n  \
+             \"queue_wait_p99_s\": {},\n  \"wave_dispatch_jobs_per_sec\": {},\n  \
+             \"ledger_snapshots_per_sec\": {},\n  \"profile_attributed_pct\": {},\n  \
+             \"profile\": {}\n}}\n",
+            obs::json_escape(&self.schema),
+            obs::json_escape(&self.commit),
+            fmt_json(self.decisions_per_sec),
+            fmt_json(self.queue_wait_p50_s),
+            fmt_json(self.queue_wait_p99_s),
+            fmt_json(self.wave_dispatch_jobs_per_sec),
+            fmt_json(self.ledger_snapshots_per_sec),
+            fmt_json(self.profile_attributed_pct),
+            profile.trim_end(),
+        )
+    }
+
+    /// Parse a `BENCH_scheduler.json` document. Errors on malformed JSON,
+    /// a missing field, or a schema mismatch.
+    pub fn parse(text: &str) -> Result<Trajectory, String> {
+        let doc = json::parse(text)?;
+        let field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing field \"schema\"".to_string())?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: file has {schema:?}, expected {SCHEMA:?}"));
+        }
+        Ok(Trajectory {
+            schema,
+            commit: doc.get("commit").and_then(JsonValue::as_str).unwrap_or("unknown").to_string(),
+            decisions_per_sec: field("decisions_per_sec")?,
+            queue_wait_p50_s: field("queue_wait_p50_s")?,
+            queue_wait_p99_s: field("queue_wait_p99_s")?,
+            wave_dispatch_jobs_per_sec: field("wave_dispatch_jobs_per_sec")?,
+            ledger_snapshots_per_sec: field("ledger_snapshots_per_sec")?,
+            profile_attributed_pct: field("profile_attributed_pct")?,
+        })
+    }
+}
+
+fn fmt_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Compare a new run against the previous trajectory. A metric regresses
+/// when it moves in its bad direction by more than `tolerance_pct`
+/// percent of the previous value *and* by a non-trivial absolute amount
+/// (so a 0 → 1e-9 wobble on an idle metric never fails the gate).
+pub fn compare(prev: &Trajectory, new: &Trajectory, tolerance_pct: f64) -> Vec<Delta> {
+    metrics()
+        .into_iter()
+        .map(|(metric, get, direction)| {
+            let (p, n) = (get(prev), get(new));
+            let pct_change = if p.abs() > f64::EPSILON { 100.0 * (n - p) / p } else { 0.0 };
+            let bad_move = match direction {
+                Direction::HigherIsBetter => -pct_change,
+                Direction::LowerIsBetter => pct_change,
+            };
+            let regressed = bad_move > tolerance_pct && (n - p).abs() > 1e-6;
+            Delta { metric, prev: p, new: n, pct_change, regressed }
+        })
+        .collect()
+}
+
+/// One-line human summary of a comparison, e.g.
+/// `decisions_per_sec 1234 (+3.1%) · queue_wait_p99_s 0.50 (-2.0%) · ...`.
+pub fn summary_line(deltas: &[Delta]) -> String {
+    deltas
+        .iter()
+        .map(|d| {
+            let flag = if d.regressed { " REGRESSED" } else { "" };
+            format!("{} {} ({:+.1}%{})", d.metric, fmt(d.new), d.pct_change, flag)
+        })
+        .collect::<Vec<_>>()
+        .join(" · ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory() -> Trajectory {
+        Trajectory {
+            schema: SCHEMA.to_string(),
+            commit: "abc123def456".to_string(),
+            decisions_per_sec: 50_000.0,
+            queue_wait_p50_s: 16.0,
+            queue_wait_p99_s: 31.0,
+            wave_dispatch_jobs_per_sec: 4_000.0,
+            ledger_snapshots_per_sec: 200_000.0,
+            profile_attributed_pct: 97.5,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_preserves_every_metric() {
+        let t = trajectory();
+        let text = t.render_json(Some("{\"type\":\"profile\",\"scopes\":[]}"));
+        let parsed = Trajectory::parse(&text).expect("roundtrip parses");
+        assert_eq!(parsed, t);
+        // The embedded profile object stays a well-formed member.
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("profile").and_then(|p| p.get("type")).and_then(JsonValue::as_str),
+            Some("profile")
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = trajectory().render_json(None).replace(SCHEMA, "gyan.bench.scheduler/v0");
+        let err = Trajectory::parse(&text).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unchanged_run_passes_the_gate() {
+        let t = trajectory();
+        let deltas = compare(&t, &t, 10.0);
+        assert!(deltas.iter().all(|d| !d.regressed));
+        assert_eq!(deltas.len(), metrics().len());
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        // The acceptance scenario: feed the comparator a prior file whose
+        // numbers were better than today's on every axis.
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.decisions_per_sec = prev.decisions_per_sec * 0.5; // throughput halved
+        new.queue_wait_p99_s = prev.queue_wait_p99_s * 2.0; // tail doubled
+        let deltas = compare(&prev, &new, 25.0);
+        let regressed: Vec<&str> =
+            deltas.iter().filter(|d| d.regressed).map(|d| d.metric).collect();
+        assert_eq!(regressed, vec!["decisions_per_sec", "queue_wait_p99_s"]);
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.decisions_per_sec *= 10.0; // higher is better
+        new.queue_wait_p50_s /= 10.0; // lower is better
+        assert!(compare(&prev, &new, 5.0).iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn tolerance_absorbs_noise() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.decisions_per_sec *= 0.8; // -20%, inside a 40% tolerance
+        assert!(compare(&prev, &new, 40.0).iter().all(|d| !d.regressed));
+        assert!(compare(&prev, &new, 10.0).iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn zero_baseline_never_divides_or_regresses() {
+        let mut prev = trajectory();
+        prev.queue_wait_p50_s = 0.0;
+        let mut new = trajectory();
+        new.queue_wait_p50_s = 1e-9;
+        let deltas = compare(&prev, &new, 10.0);
+        let d = deltas.iter().find(|d| d.metric == "queue_wait_p50_s").unwrap();
+        assert!(!d.regressed);
+        assert!(d.pct_change.is_finite());
+    }
+
+    #[test]
+    fn summary_line_flags_regressions() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.wave_dispatch_jobs_per_sec *= 0.1;
+        let line = summary_line(&compare(&prev, &new, 20.0));
+        assert!(line.contains("wave_dispatch_jobs_per_sec 400 (-90.0% REGRESSED)"), "{line}");
+        assert!(line.contains("decisions_per_sec 50000 (+0.0%)"), "{line}");
+    }
+}

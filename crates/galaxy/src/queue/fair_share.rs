@@ -139,6 +139,7 @@ impl<T> FairShareQueue<T> {
     /// Fair-share pop: the least-used user's best entry, charging one unit
     /// of usage to that user. Returns `None` when empty.
     pub fn pop(&mut self) -> Option<Popped<T>> {
+        obs::profile_scope!("queue.fair_share.pop");
         // Least accumulated usage wins; BTreeMap order breaks ties
         // alphabetically, keeping the schedule deterministic. The key
         // compares by `&str` so only the winning user's name is cloned,

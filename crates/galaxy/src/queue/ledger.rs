@@ -36,9 +36,16 @@ pub struct JobSnapshot {
 }
 
 /// Thread-safe job table; clone freely, all clones share state.
+///
+/// Snapshots are stored behind `Arc` so the read paths ([`JobsLedger::get`],
+/// [`JobsLedger::all`]) hand out shared references instead of deep-copying
+/// every `String` field — `GET /api/jobs` scraping a busy engine clones
+/// one pointer per job, not the job. Writes go through
+/// [`Arc::make_mut`], which only copies a snapshot when a reader still
+/// holds it (copy-on-write).
 #[derive(Clone, Default)]
 pub struct JobsLedger {
-    inner: Arc<Mutex<BTreeMap<u64, JobSnapshot>>>,
+    inner: Arc<Mutex<BTreeMap<u64, Arc<JobSnapshot>>>>,
 }
 
 impl JobsLedger {
@@ -49,23 +56,24 @@ impl JobsLedger {
 
     /// Insert (or replace) a job's snapshot.
     pub fn upsert(&self, snapshot: JobSnapshot) {
-        self.inner.lock().insert(snapshot.job_id, snapshot);
+        self.inner.lock().insert(snapshot.job_id, Arc::new(snapshot));
     }
 
     /// Mutate a job's snapshot in place; no-op for unknown ids.
     pub fn update(&self, job_id: u64, f: impl FnOnce(&mut JobSnapshot)) {
         if let Some(snapshot) = self.inner.lock().get_mut(&job_id) {
-            f(snapshot);
+            f(Arc::make_mut(snapshot));
         }
     }
 
-    /// One job's snapshot.
-    pub fn get(&self, job_id: u64) -> Option<JobSnapshot> {
+    /// One job's snapshot (shared, not deep-copied).
+    pub fn get(&self, job_id: u64) -> Option<Arc<JobSnapshot>> {
         self.inner.lock().get(&job_id).cloned()
     }
 
-    /// Every tracked job, ordered by id.
-    pub fn all(&self) -> Vec<JobSnapshot> {
+    /// Every tracked job, ordered by id. Each element is a shared handle:
+    /// the hot read path costs one `Arc` bump per job.
+    pub fn all(&self) -> Vec<Arc<JobSnapshot>> {
         self.inner.lock().values().cloned().collect()
     }
 
@@ -126,5 +134,23 @@ mod tests {
         }
         let ids: Vec<u64> = ledger.all().iter().map(|s| s.job_id).collect();
         assert_eq!(ids, [1, 3, 5]);
+    }
+
+    #[test]
+    fn reads_share_storage_until_a_write_intervenes() {
+        let ledger = JobsLedger::new();
+        ledger.upsert(snapshot(1));
+        // Two snapshots of an unchanged job alias the same allocation —
+        // the hot read path is an Arc bump, not a deep copy.
+        let a = ledger.all();
+        let b = ledger.all();
+        assert!(Arc::ptr_eq(&a[0], &b[0]));
+        assert!(Arc::ptr_eq(&a[0], &ledger.get(1).unwrap()));
+        // A write while a reader holds the old snapshot copies on write:
+        // the reader's view is immutable, the ledger's moves on.
+        ledger.update(1, |s| s.attempts = 9);
+        assert_eq!(a[0].attempts, 0);
+        assert_eq!(ledger.get(1).unwrap().attempts, 9);
+        assert!(!Arc::ptr_eq(&a[0], &ledger.get(1).unwrap()));
     }
 }

@@ -486,12 +486,18 @@ impl QueueEngine {
         if wave.is_empty() {
             return 0;
         }
-        self.pool.wait_all();
+        {
+            obs::profile_scope!("queue.wave.await");
+            self.pool.wait_all();
+        }
         self.pool.clear_discard();
         self.charge_wave_time(&wave);
         let n = wave.len();
-        for dispatched in wave {
-            self.complete(dispatched);
+        {
+            obs::profile_scope!("queue.wave.complete");
+            for dispatched in wave {
+                self.complete(dispatched);
+            }
         }
         n
     }
@@ -593,6 +599,7 @@ impl QueueEngine {
     /// one deterministic virtual timestamp and lets hooks observe the
     /// pre-wave cluster state.
     fn dispatch_wave(&mut self) -> Vec<Dispatched> {
+        obs::profile_scope!("queue.dispatch_wave");
         let mut wave: Vec<Dispatched> = Vec::new();
         let mut plans: Vec<ExecutionPlan> = Vec::new();
         let wave_start = self.app.recorder().now();
@@ -617,7 +624,11 @@ impl QueueEngine {
             self.app.recorder().metrics().observe(QUEUE_WAIT_HISTOGRAM, wait);
 
             let dest_override = self.jobs.get_mut(&job_id).and_then(|ctx| ctx.next_dest.take());
-            match self.app.prepare_plan(job_id, dest_override.as_deref()) {
+            let prepared = {
+                obs::profile_scope!("queue.prepare_plan");
+                self.app.prepare_plan(job_id, dest_override.as_deref())
+            };
+            match prepared {
                 Ok(plan) => {
                     let destination = plan.destination_id.clone();
                     let (attempt, user) = {

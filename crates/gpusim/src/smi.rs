@@ -50,6 +50,7 @@ pub fn try_query_xml(cluster: &GpuCluster) -> Result<String, SmiError> {
 /// Produce the `nvidia-smi -q -x` XML document for the cluster's current
 /// state.
 pub fn query_xml(cluster: &GpuCluster) -> String {
+    obs::profile_scope!("smi.render_xml");
     let snapshot = cluster.effective_smi_snapshot();
     let mut log = Element::new("nvidia_smi_log");
     log.push_element(

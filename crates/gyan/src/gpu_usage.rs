@@ -37,10 +37,14 @@ pub fn get_gpu_usage(cluster: &GpuCluster) -> GpuUsage {
 /// Fallible [`get_gpu_usage`]: surfaces an injected SMI query failure
 /// instead of degrading to an empty view.
 pub fn try_get_gpu_usage(cluster: &GpuCluster) -> Result<GpuUsage, smi::SmiError> {
+    obs::profile_scope!("smi.query");
     // bash_cmd = "/bin/bash -c 'nvidia-smi -query -x'"
     let xml = smi::try_query_xml(cluster)?;
     // soup = bs(out, "lxml")
-    let doc = parse(&xml).expect("nvidia-smi emitted malformed XML");
+    let doc = {
+        obs::profile_scope!("smi.parse_xml");
+        parse(&xml).expect("nvidia-smi emitted malformed XML")
+    };
     let log = doc.root();
 
     // gpu_find = soup.find("nvidia_smi_log").find_all("gpu")
@@ -85,8 +89,12 @@ pub fn gpu_memory_usage(cluster: &GpuCluster) -> Vec<(u32, u64)> {
 /// Fallible [`gpu_memory_usage`]: surfaces an injected SMI query failure
 /// instead of degrading to an empty list.
 pub fn try_gpu_memory_usage(cluster: &GpuCluster) -> Result<Vec<(u32, u64)>, smi::SmiError> {
+    obs::profile_scope!("smi.query_mem");
     let xml = smi::try_query_xml(cluster)?;
-    let doc = parse(&xml).expect("nvidia-smi emitted malformed XML");
+    let doc = {
+        obs::profile_scope!("smi.parse_xml");
+        parse(&xml).expect("nvidia-smi emitted malformed XML")
+    };
     let mut out = Vec::new();
     for gpu in doc.root().find_all("gpu") {
         let minor: u32 = gpu

@@ -13,6 +13,8 @@
 //! | `/api/jobs/<id>`   | one job, with the leases it currently holds      |
 //! | `/api/alerts`      | SLO alert-rule states from the [`AlertEngine`]   |
 //! | `/api/flightrec`   | flight-recorder JSONL dump (503 when disabled)   |
+//! | `/api/profile`     | hot-path profiler aggregation (`?format=collapsed` for flamegraph text, `?reset=1` to clear) |
+//! | `/api/bench`       | last recorded perf trajectory (`BENCH_scheduler.json`) |
 //!
 //! [`default_alert_rules`] builds the stock SLO rule set the paper's
 //! operators would watch: queue-wait p99, GPU allocation-conflict rate,
@@ -25,9 +27,10 @@ use galaxy::queue::{JobSnapshot, JobsLedger};
 use galaxy::scheduler::{WORKERS_BUSY_GAUGE, WORKERS_TOTAL_GAUGE};
 use gpusim::GpuCluster;
 use obs::json_escape;
-use obs::serve::{OpsServer, Response};
+use obs::serve::{Handler, OpsServer, Response};
 use obs::slo::{AlertEngine, AlertExpr, AlertRule, Compare};
 use obs::Recorder;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Flight-recorder ring capacity `install_gyan` enables by default.
@@ -206,6 +209,40 @@ pub fn default_alert_rules(table: &LeaseTable) -> Vec<AlertRule> {
     ]
 }
 
+/// Handler for `/api/profile`: the global hot-path profiler's current
+/// aggregation. `?format=collapsed` serves inferno-ready collapsed-stack
+/// text instead of the JSON summary; `?reset=1` clears the aggregation
+/// (after rendering the response, so a reset scrape still shows what it
+/// cleared).
+pub fn profile_route() -> Handler {
+    Arc::new(|req| {
+        let profiler = obs::profile::global();
+        let response = if req.query_param("format") == Some("collapsed") {
+            Response::text(profiler.collapsed())
+        } else {
+            Response::json(profiler.summary_json())
+        };
+        if req.query_param("reset") == Some("1") {
+            profiler.reset();
+        }
+        response
+    })
+}
+
+/// Handler for `/api/bench`: the last recorded perf trajectory, read from
+/// `path` (normally `BENCH_scheduler.json` at the repo root, written by
+/// the `perf_gate` bench). 404 with a hint when no trajectory exists yet.
+pub fn bench_route(path: impl Into<PathBuf>) -> Handler {
+    let path = path.into();
+    Arc::new(move |_req| match std::fs::read_to_string(&path) {
+        Ok(body) => Response::json(body),
+        Err(_) => Response::not_found(&format!(
+            "perf trajectory {} (run the perf_gate bench to record one)",
+            path.display()
+        )),
+    })
+}
+
 /// Build the operations-plane HTTP server over a running GYAN stack.
 ///
 /// The returned [`OpsServer`] is not yet listening — call
@@ -248,6 +285,8 @@ pub fn ops_server(
                 None => Response::unavailable("flight recorder disabled"),
             }),
         )
+        .route("/api/profile", profile_route())
+        .route("/api/bench", bench_route("BENCH_scheduler.json"))
         .healthz_extra(move || {
             let m = health.metrics();
             let busy = m.gauge_value(WORKERS_BUSY_GAUGE).unwrap_or(0.0);
@@ -391,6 +430,74 @@ mod tests {
         assert!(body.contains("\"galaxy_pool\""));
 
         handle.shutdown();
+    }
+
+    #[test]
+    fn profile_route_serves_scopes_collapsed_text_and_reset() {
+        let (recorder, cluster, table, ledger, alerts) = stack();
+        let handle = ops_server(&recorder, &cluster, &table, &ledger, &alerts)
+            .start("127.0.0.1:0")
+            .expect("bind");
+        let addr = handle.addr();
+
+        let profiler = obs::profile::global();
+        profiler.enable();
+        {
+            let _outer = profiler.scope("ops.test.outer");
+            let _inner = profiler.scope("ops.test.inner");
+        }
+
+        let (status, body) = http_get(addr, "/api/profile").unwrap();
+        assert_eq!(status, 200);
+        let doc = obs::json::parse(&body).expect("profile json parses");
+        let paths: Vec<&str> = doc
+            .get("scopes")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("path").and_then(|p| p.as_str()))
+            .collect();
+        assert!(paths.contains(&"ops.test.outer"), "{paths:?}");
+        assert!(paths.contains(&"ops.test.outer;ops.test.inner"), "{paths:?}");
+
+        let (status, body) = http_get(addr, "/api/profile?format=collapsed").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.lines().any(|l| l.starts_with("ops.test.outer;ops.test.inner ")), "{body}");
+
+        // Reset clears the aggregation; the resetting scrape itself still
+        // reports the pre-reset view.
+        let (status, body) = http_get(addr, "/api/profile?reset=1").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("ops.test.outer"));
+        let (_, body) = http_get(addr, "/api/profile").unwrap();
+        assert!(!body.contains("ops.test.outer"), "{body}");
+
+        profiler.disable();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bench_route_serves_the_trajectory_file_or_404() {
+        let dir = std::env::temp_dir().join(format!("gyan-bench-route-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scheduler.json");
+        let server = OpsServer::new().route("/api/bench", bench_route(&path));
+        let handle = server.start("127.0.0.1:0").expect("bind");
+
+        let (status, body) = http_get(handle.addr(), "/api/bench").unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("perf trajectory"), "{body}");
+
+        std::fs::write(&path, "{\"schema\":\"gyan.bench.scheduler/v1\"}").unwrap();
+        let (status, body) = http_get(handle.addr(), "/api/bench").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            obs::json::parse(&body).unwrap().get("schema").and_then(|v| v.as_str()),
+            Some("gyan.bench.scheduler/v1")
+        );
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

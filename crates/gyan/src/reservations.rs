@@ -161,10 +161,18 @@ impl LeaseTable {
         memory_hint_mib: u64,
         recorder: Option<&Recorder>,
     ) -> Option<Allocation> {
+        obs::profile_scope!("gyan.allocate");
         let mut inner = self.inner.lock();
-        release_locked(&mut inner, holder, "superseded", recorder);
-        let usage = get_gpu_usage(cluster);
+        {
+            obs::profile_scope!("alloc.supersede");
+            release_locked(&mut inner, holder, "superseded", recorder);
+        }
+        let usage = {
+            obs::profile_scope!("alloc.observe");
+            get_gpu_usage(cluster)
+        };
         let view = inner.view();
+        let _place = obs::profile::global().scope("alloc.place");
         let alloc = decide_traced(cluster, &usage, requested, policy, Some(&view), recorder)?;
 
         // Conflict: the same snapshot without leases would have granted a
@@ -177,7 +185,9 @@ impl LeaseTable {
                 }
             }
         }
+        drop(_place);
 
+        obs::profile_scope!("alloc.lease");
         let exclusive = matches!(
             alloc.reason,
             AllocationReason::RequestedFree
@@ -272,6 +282,7 @@ impl LeaseTable {
     /// `failed_retryable`, `discarded`). Returns the number released
     /// (0 when the holder had none — releasing is idempotent).
     pub fn release(&self, holder: u64, why: &str, recorder: Option<&Recorder>) -> usize {
+        obs::profile_scope!("alloc.release");
         let mut inner = self.inner.lock();
         release_locked(&mut inner, holder, why, recorder)
     }

@@ -238,6 +238,99 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_exactly_at_capacity() {
+        let (rec, clock) = stepped();
+        rec.enable_flight(4);
+        // Fill to exactly capacity: nothing dropped yet.
+        for i in 0..4u64 {
+            clock.store(i * 1000, Ordering::SeqCst);
+            rec.event(format!("fill_{i}"), [("i", i)]);
+        }
+        let full = rec.flight_snapshot().unwrap();
+        assert_eq!(full.len(), 4);
+        assert_eq!(full.dropped, 0);
+
+        // The very next record triggers the wrap: length stays at
+        // capacity, the oldest record is the one evicted.
+        clock.store(4000, Ordering::SeqCst);
+        rec.event("fill_4", [("i", 4u64)]);
+        let wrapped = rec.flight_snapshot().unwrap();
+        assert_eq!(wrapped.len(), 4);
+        assert_eq!(wrapped.dropped, 1);
+        let names: Vec<&str> = wrapped.records.iter().map(|r| r.name()).collect();
+        assert_eq!(names, ["fill_1", "fill_2", "fill_3", "fill_4"]);
+    }
+
+    #[test]
+    fn snapshot_ordering_is_stable_across_wraps_and_repeat_captures() {
+        let (rec, clock) = stepped();
+        rec.enable_flight(5);
+        // Push far more records than the ring holds so it wraps several
+        // times over; retained records must still come back oldest-first
+        // with strictly non-decreasing timestamps.
+        for i in 0..23u64 {
+            clock.store(i * 1000, Ordering::SeqCst);
+            rec.event(format!("seq_{i:02}"), [("i", i)]);
+        }
+        let snap = rec.flight_snapshot().unwrap();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.dropped, 18);
+        let names: Vec<&str> = snap.records.iter().map(|r| r.name()).collect();
+        assert_eq!(names, ["seq_18", "seq_19", "seq_20", "seq_21", "seq_22"]);
+        assert!(
+            snap.records.windows(2).all(|w| w[0].t() <= w[1].t()),
+            "retained records must stay in chronological order"
+        );
+
+        // A second capture with no intervening records sees the same
+        // view: snapshots are pure reads, not drains.
+        let again = rec.flight_snapshot().unwrap();
+        let names_again: Vec<&str> = again.records.iter().map(|r| r.name()).collect();
+        assert_eq!(names_again, names);
+        assert_eq!(again.dropped, snap.dropped);
+    }
+
+    #[test]
+    fn mid_wrap_dump_replays_into_a_valid_chrome_trace() {
+        let (rec, clock) = stepped();
+        rec.enable_flight(6);
+        // Interleave spans and events well past capacity so the capture
+        // lands mid-wrap, with one span still open at capture time.
+        for i in 0..9u64 {
+            clock.store(i * 1000, Ordering::SeqCst);
+            let s = rec.span(format!("wave_{i}"));
+            clock.store(i * 1000 + 500, Ordering::SeqCst);
+            s.end();
+            rec.event(format!("mark_{i}"), [("i", i)]);
+        }
+        let _open = rec.span("in_flight");
+        clock.store(9500, Ordering::SeqCst);
+
+        let snap = rec.flight_snapshot().unwrap();
+        assert_eq!(snap.len(), 6 + 1, "ring contents plus the open span");
+        assert!(snap.dropped > 0, "capture must land mid-wrap");
+
+        let trace = snap.to_chrome_trace();
+        let parsed = json::parse(&trace).expect("mid-wrap dump parses as a Chrome trace");
+        let events = parsed.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        // Every retained record becomes a complete event with a
+        // non-negative duration; the open span is clipped to capture
+        // time rather than emitted with a null end.
+        let complete: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")).collect();
+        assert_eq!(complete.len(), snap.len());
+        for e in &complete {
+            assert!(e.get("dur").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+        }
+        let open = complete
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("in_flight"))
+            .expect("open span present in the trace");
+        // Clipped: started at t=8.5s, captured at t=9.5s → 1s = 1000000µs.
+        assert_eq!(open.get("dur").and_then(|v| v.as_f64()), Some(1_000_000.0));
+    }
+
+    #[test]
     fn capacity_zero_drops_everything() {
         let rec = Recorder::new();
         rec.enable_flight(0);

@@ -23,6 +23,7 @@ pub mod chrome;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod serve;
 pub mod slo;
 

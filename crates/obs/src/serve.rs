@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -35,6 +36,20 @@ pub struct Request {
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// Raw query string (everything after the first `?`, empty if none).
+    pub query: String,
+}
+
+impl Request {
+    /// Look up a `key=value` query parameter; a bare `key` (no `=`)
+    /// yields `Some("")`. No percent-decoding — the ops plane's
+    /// parameters are plain tokens.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// An HTTP response a handler returns.
@@ -46,12 +61,19 @@ pub struct Response {
     pub content_type: String,
     /// Response body.
     pub body: String,
+    /// Extra headers beyond Content-Type/Content-Length (e.g. `Allow`).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// `200` with an explicit content type.
     pub fn ok(content_type: &str, body: impl Into<String>) -> Self {
-        Response { status: 200, content_type: content_type.to_string(), body: body.into() }
+        Response {
+            status: 200,
+            content_type: content_type.to_string(),
+            body: body.into(),
+            headers: Vec::new(),
+        }
     }
 
     /// `200 application/json`.
@@ -64,31 +86,40 @@ impl Response {
         Response::ok("text/plain; charset=utf-8", body)
     }
 
-    /// `404` with a JSON error body.
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Error responses are plain text: curl-friendly, nothing to parse.
+    fn error(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body,
+            headers: Vec::new(),
+        }
+    }
+
+    /// `404 text/plain`.
     pub fn not_found(what: &str) -> Self {
-        Response {
-            status: 404,
-            content_type: "application/json".to_string(),
-            body: format!("{{\"error\":\"not found\",\"what\":\"{}\"}}", crate::json_escape(what)),
-        }
+        Response::error(404, format!("not found: {what}\n"))
     }
 
-    /// `405` (the ops plane is read-only).
+    /// `405 text/plain` with `Allow: GET` (the ops plane is read-only).
     pub fn method_not_allowed() -> Self {
-        Response {
-            status: 405,
-            content_type: "application/json".to_string(),
-            body: "{\"error\":\"method not allowed\"}".to_string(),
-        }
+        Response::error(405, "method not allowed\n".to_string()).with_header("Allow", "GET")
     }
 
-    /// `503` with a JSON reason.
+    /// `500 text/plain` — a handler failed (e.g. panicked).
+    pub fn internal_error(why: &str) -> Self {
+        Response::error(500, format!("internal error: {why}\n"))
+    }
+
+    /// `503 text/plain` with the refusal reason.
     pub fn unavailable(why: &str) -> Self {
-        Response {
-            status: 503,
-            content_type: "application/json".to_string(),
-            body: format!("{{\"error\":\"{}\"}}", crate::json_escape(why)),
-        }
+        Response::error(503, format!("unavailable: {why}\n"))
     }
 
     fn status_text(&self) -> &'static str {
@@ -96,6 +127,7 @@ impl Response {
             200 => "OK",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Error",
         }
@@ -271,8 +303,11 @@ fn handle_connection(
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("/");
-    let path = target.split('?').next().unwrap_or("/").to_string();
-    let request = Request { method, path };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let request = Request { method, path, query };
     let response = dispatch(&request, routes, healthz_extra, stats);
     write_response(stream, &response)
 }
@@ -300,7 +335,11 @@ fn dispatch(
         })
         .max_by_key(|(route, _)| route.len());
     match matched {
-        Some((_, handler)) => handler(request),
+        // A panicking handler must not kill the worker thread: turn the
+        // panic into a 500 so the connection still gets an answer and
+        // the pool keeps serving.
+        Some((_, handler)) => catch_unwind(AssertUnwindSafe(|| handler(request)))
+            .unwrap_or_else(|_| Response::internal_error("handler panicked")),
         None => Response::not_found(&request.path),
     }
 }
@@ -324,13 +363,17 @@ fn healthz(
 }
 
 fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         response.status_text(),
         response.content_type,
         response.body.len(),
     );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
     stream.flush()
@@ -387,6 +430,17 @@ impl Drop for OpsHandle {
 /// `(status, body)`. This is the test/CLI client half of the ops plane —
 /// enough HTTP to scrape ourselves, nothing more.
 pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let (status, _headers, body) = http_get_headers(addr, path)?;
+    Ok((status, body))
+}
+
+/// Response headers as lowercased `(name, value)` pairs.
+pub type HeaderPairs = Vec<(String, String)>;
+
+/// Like [`http_get`] but also returns the response headers as lowercased
+/// `(name, value)` pairs, for asserting on `Allow`, `Content-Length`,
+/// and content types.
+pub fn http_get_headers(addr: SocketAddr, path: &str) -> io::Result<(u16, HeaderPairs, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -402,7 +456,13 @@ pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    Ok((status, body.to_string()))
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok((status, headers, body.to_string()))
 }
 
 #[cfg(test)]
@@ -455,6 +515,10 @@ mod tests {
         server.shutdown();
     }
 
+    fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
     #[test]
     fn unknown_paths_get_404() {
         let server = test_server();
@@ -468,6 +532,17 @@ mod tests {
     }
 
     #[test]
+    fn not_found_is_plain_text_with_content_length() {
+        let server = test_server();
+        let (status, headers, body) = http_get_headers(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(header(&headers, "content-type"), Some("text/plain; charset=utf-8"));
+        assert_eq!(header(&headers, "content-length"), Some(body.len().to_string().as_str()));
+        assert_eq!(body, "not found: /nope\n");
+        server.shutdown();
+    }
+
+    #[test]
     fn non_get_methods_are_rejected() {
         let server = test_server();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
@@ -475,6 +550,54 @@ mod tests {
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        let head_lower = head.to_ascii_lowercase();
+        assert!(head_lower.contains("allow: GET".to_ascii_lowercase().as_str()), "{head}");
+        assert!(head_lower.contains("content-type: text/plain"), "{head}");
+        assert!(head_lower.contains(&format!("content-length: {}", body.len())), "{head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_yields_500_and_server_survives() {
+        let server = OpsServer::new()
+            .route("/boom", Arc::new(|_req: &Request| -> Response { panic!("kaboom") }))
+            .route("/fine", Arc::new(|_req: &Request| Response::text("ok")))
+            .start("127.0.0.1:0")
+            .expect("bind ephemeral port");
+        let (status, headers, body) = http_get_headers(server.addr(), "/boom").unwrap();
+        assert_eq!(status, 500);
+        assert_eq!(header(&headers, "content-type"), Some("text/plain; charset=utf-8"));
+        assert_eq!(header(&headers, "content-length"), Some(body.len().to_string().as_str()));
+        assert!(body.contains("internal error"));
+        // Same pool of workers keeps answering after the panic.
+        let (status, body) = http_get(server.addr(), "/fine").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_parameters_are_parsed() {
+        let server = OpsServer::new()
+            .route(
+                "/api/q",
+                Arc::new(|req: &Request| {
+                    Response::text(format!(
+                        "reset={} format={} bare={} missing={}",
+                        req.query_param("reset").unwrap_or("-"),
+                        req.query_param("format").unwrap_or("-"),
+                        req.query_param("bare").unwrap_or("-"),
+                        req.query_param("missing").unwrap_or("-"),
+                    ))
+                }),
+            )
+            .start("127.0.0.1:0")
+            .expect("bind ephemeral port");
+        let (status, body) =
+            http_get(server.addr(), "/api/q?reset=1&format=collapsed&bare").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "reset=1 format=collapsed bare= missing=-");
         server.shutdown();
     }
 

@@ -6,6 +6,10 @@
 #   SIMTEST_CASES=<n>  seeds to sweep in the simtest gate (default 25)
 #   SIMTEST_SEED=<n>   replay exactly that seed instead of the sweep —
 #                      this is the value a simtest failure report prints.
+#
+# Perf-gate knobs (forwarded to the perf_gate binary):
+#   BENCH_SKIP=1            skip the scheduler perf gate entirely
+#   BENCH_TOLERANCE_PCT=<n> regression threshold in percent (default 40)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,5 +46,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 echo "==> workflow throughput benchmark"
 cargo run -q --release -p gyan-bench --bin workflow_throughput
 test -s target/BENCH_workflow.json
+
+if [[ "${BENCH_SKIP:-0}" == "1" ]]; then
+  echo "==> scheduler perf gate: skipped (BENCH_SKIP=1)"
+else
+  echo "==> scheduler perf gate (BENCH_scheduler.json, tolerance ${BENCH_TOLERANCE_PCT:-40}%)"
+  # Prints the one-line vs-baseline delta summary itself; exits non-zero
+  # on a regression past the tolerance, leaving the baseline untouched.
+  cargo run -q --release -p gyan-bench --bin perf_gate
+  test -s BENCH_scheduler.json
+fi
 
 echo "verify: OK"

@@ -183,6 +183,83 @@ fn gpus_api_lease_view_matches_the_lease_table() {
     handle.shutdown();
 }
 
+/// `/api/profile` must serve the same scope registry the in-process
+/// profiler holds: after driving real allocations through the lease
+/// table with the profiler enabled, every scope path visible in a local
+/// snapshot must come back over live HTTP, including the named
+/// allocation-pipeline stages.
+#[test]
+fn profile_api_serves_the_in_process_scopes_over_http() {
+    let s = stack();
+    let recorder = s.engine.app().recorder().clone();
+    let profiler = obs::profile::global();
+    profiler.enable();
+
+    // Drive the instrumented hot path: allocate + release twice so the
+    // pipeline scopes (gyan.allocate → alloc.observe → smi.query → …)
+    // all record at least one sample.
+    for holder in [7001u64, 7002] {
+        s.table
+            .allocate_and_lease(
+                &s.cluster,
+                &[0],
+                AllocationPolicy::ProcessId,
+                holder,
+                64,
+                Some(&recorder),
+            )
+            .expect("grant");
+        s.table.release(holder, "profiled", Some(&recorder));
+    }
+
+    // The in-process view, captured before asking over HTTP. Other tests
+    // in the binary may add scopes concurrently, so the HTTP view is
+    // asserted to be a superset, never an exact match.
+    let local: Vec<String> = profiler.snapshot().into_iter().map(|e| e.path).collect();
+    for expected in ["gyan.allocate", "gyan.allocate;alloc.observe;smi.query", "alloc.release"] {
+        assert!(
+            local.iter().any(|p| p == expected),
+            "instrumented pipeline must record {expected:?}: {local:?}"
+        );
+    }
+
+    let handle = serve(&s);
+    let (status, body) = http_get(handle.addr(), "/api/profile").unwrap();
+    assert_eq!(status, 200);
+    let doc = obs::json::parse(&body).expect("profile json parses");
+    let scopes = doc.get("scopes").and_then(|v| v.as_array()).expect("scopes array");
+    let over_http: Vec<String> = scopes
+        .iter()
+        .map(|s| s.get("path").and_then(|v| v.as_str()).expect("scope path").to_string())
+        .collect();
+    for path in &local {
+        assert!(
+            over_http.iter().any(|p| p == path),
+            "scope {path:?} present in-process but missing over HTTP: {over_http:?}"
+        );
+    }
+    // Sanity on the stats shape: the allocation root carries counts.
+    let root = scopes
+        .iter()
+        .find(|s| s.get("path").and_then(|v| v.as_str()) == Some("gyan.allocate"))
+        .expect("gyan.allocate over HTTP");
+    assert!(root.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 2.0);
+    assert!(root.get("total_s").and_then(|v| v.as_f64()).is_some());
+
+    // The collapsed export serves the same paths as flamegraph input.
+    let (status, collapsed) = http_get(handle.addr(), "/api/profile?format=collapsed").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        collapsed
+            .lines()
+            .any(|l| l.starts_with("gyan.allocate ") || l.starts_with("gyan.allocate;")),
+        "collapsed output must contain the allocation stacks: {collapsed}"
+    );
+
+    profiler.disable();
+    handle.shutdown();
+}
+
 /// Synthetic conflict storm: one job camps on device 0 with an exclusive
 /// lease; a stream of probes requests device 0 and gets redirected —
 /// each redirection is a `gyan_reservation_conflicts_total` increment.
