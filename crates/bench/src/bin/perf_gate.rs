@@ -165,6 +165,7 @@ fn bench_ledger_snapshots() -> f64 {
             state: SubmissionState::Queued,
             attempts: 1,
             destination: Some("remote_cluster_gpu".to_string()),
+            node: None,
             priority: 0,
             submitted_at: job_id as f64,
             finished_at: None,

@@ -1,0 +1,205 @@
+//! Fleet-placement benchmark + regression gate.
+//!
+//! Drives `Fleet::place`/`release` cycles over the verify-gate fleet
+//! (100 heterogeneous nodes: 60×K80, 30×V100, 10×A100) under each stock
+//! placement policy, plus the worst-case rejection path (a memory hint
+//! no die fits, so every candidate is scanned and filtered). Emits a
+//! schema-versioned trajectory to `BENCH_placement.json` at the repo
+//! root and compares against the previous one, failing on regressions
+//! beyond the tolerance — the fleet-layer sibling of `perf_gate`. Wired
+//! into `scripts/verify.sh` behind the same `BENCH_SKIP` knob.
+//!
+//! Env knobs:
+//!
+//! * `BENCH_TOLERANCE_PCT` — relative regression threshold in percent
+//!   (default 40; shared with the scheduler gate).
+//! * `BENCH_PLACEMENT_OUT` — output path (default `BENCH_placement.json`).
+//! * `BENCH_PLACEMENT_BASELINE` — previous-trajectory path (default:
+//!   same as the output path).
+
+use fleet::{policy_by_name, DestinationRules, Fleet, NodeClass, PlacementRequest};
+use gyan_bench::perf::summary_line;
+use gyan_bench::placement::{compare, PlacementTrajectory, SCHEMA};
+use gyan_bench::table::banner;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// How long each wall-clock measurement loop targets (seconds).
+const MEASURE_SECONDS: f64 = 0.4;
+
+/// The verify-gate topology (matches `simtest::FleetScenario::large`).
+const TOPOLOGY: &[(&str, u32)] = &[("k80", 60), ("v100", 30), ("a100", 10)];
+
+/// The stock rule set: class lists, memory floors, globs, right-sizing —
+/// so every placement pays the real filter cost.
+const RULES: &str = "\
+tool=bonito* classes=v100,a100 min_gpu_mem_mib=12000 cores=8 mem_mib=65536
+tool=medaka min_gpu_mem_mib=8000 cores=4
+tool=*
+";
+
+/// Rotating job mix: an unconstrained tool, a class-constrained
+/// basecaller, and a memory-floored polisher.
+const JOB_MIX: &[(&str, u64)] = &[("racon_gpu", 256), ("bonito", 12_000), ("medaka", 8_000)];
+
+/// Live placements kept in flight so the policies score a loaded fleet,
+/// not an idle one (the 100-node fleet has 320 dies).
+const LIVE_WINDOW: usize = 96;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn gate_fleet(policy: &str) -> Fleet {
+    let mut builder = Fleet::builder()
+        .rules(DestinationRules::parse(RULES).expect("stock rules parse"))
+        .policy(policy_by_name(policy).expect("stock policy"));
+    for (class, count) in TOPOLOGY {
+        builder = builder.nodes(NodeClass::by_name(class).expect("stock class"), *count);
+    }
+    builder.build()
+}
+
+/// `place` + eventual `release` round-trips per real second under one
+/// policy, with a rolling window of live placements loading the fleet.
+fn bench_policy(policy: &str) -> f64 {
+    let fleet = gate_fleet(policy);
+    let users = ["ada", "bob", "cyd", "dee", "eve", "fay", "gus", "hal"];
+    let mut live: VecDeque<u64> = VecDeque::new();
+    let mut job = 0u64;
+    let mut placed = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < MEASURE_SECONDS {
+        for _ in 0..64 {
+            job += 1;
+            let (tool, hint) = JOB_MIX[(job % JOB_MIX.len() as u64) as usize];
+            let req = PlacementRequest {
+                job_id: job,
+                user: users[(job % users.len() as u64) as usize],
+                tool_id: tool,
+                requested: &[0], // one die per placement
+                memory_hint_mib: hint,
+            };
+            if fleet.place(&req).is_some() {
+                placed += 1;
+                live.push_back(job);
+            }
+            if live.len() > LIVE_WINDOW {
+                fleet.release(live.pop_front().expect("window non-empty"), "ok");
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    assert!(placed > 0, "the gate fleet must place under {policy}");
+    for id in live {
+        fleet.release(id, "ok");
+    }
+    assert_eq!(fleet.total_lease_count(), 0, "benchmark must drain cleanly");
+    placed as f64 / wall
+}
+
+/// Full-fleet rejection scans per second: a 100 GB hint fits no die, so
+/// every request walks the whole candidate filter and returns `None`.
+fn bench_rejections() -> f64 {
+    let fleet = gate_fleet("least_loaded");
+    let mut scans = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < MEASURE_SECONDS / 2.0 {
+        for _ in 0..64 {
+            scans += 1;
+            let req = PlacementRequest {
+                job_id: scans,
+                user: "ada",
+                tool_id: "racon_gpu",
+                requested: &[0],
+                memory_hint_mib: 100_000,
+            };
+            assert!(fleet.place(&req).is_none(), "no die holds 100 GB");
+        }
+    }
+    scans as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    banner("Placement throughput", "Fleet placement trajectory + regression check");
+
+    let tolerance_pct = env_f64("BENCH_TOLERANCE_PCT", 40.0);
+    let out_path =
+        std::env::var("BENCH_PLACEMENT_OUT").unwrap_or_else(|_| "BENCH_placement.json".into());
+    let baseline_path =
+        std::env::var("BENCH_PLACEMENT_BASELINE").unwrap_or_else(|_| out_path.clone());
+
+    let nodes: u32 = TOPOLOGY.iter().map(|(_, n)| n).sum();
+    let least_loaded_per_sec = bench_policy("least_loaded");
+    let bin_pack_per_sec = bench_policy("bin_pack");
+    let fair_share_per_sec = bench_policy("fair_share");
+    let rejections_per_sec = bench_rejections();
+
+    println!("\nmeasured ({nodes}-node fleet):");
+    println!("  least-loaded placements/sec: {least_loaded_per_sec:>12.0}");
+    println!("  bin-pack placements/sec:     {bin_pack_per_sec:>12.0}");
+    println!("  fair-share placements/sec:   {fair_share_per_sec:>12.0}");
+    println!("  rejection scans/sec:         {rejections_per_sec:>12.0}");
+
+    let new = PlacementTrajectory {
+        schema: SCHEMA.to_string(),
+        commit: git_commit(),
+        nodes: f64::from(nodes),
+        least_loaded_per_sec,
+        bin_pack_per_sec,
+        fair_share_per_sec,
+        rejections_per_sec,
+    };
+
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+    if let Some(text) = &baseline {
+        match PlacementTrajectory::parse(text) {
+            Ok(prev) => {
+                let deltas = compare(&prev, &new, tolerance_pct);
+                println!(
+                    "\nvs {} ({}, tolerance {tolerance_pct}%):\n  {}",
+                    baseline_path,
+                    prev.commit,
+                    summary_line(&deltas)
+                );
+                let regressed: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+                if !regressed.is_empty() {
+                    for d in &regressed {
+                        eprintln!(
+                            "placement_throughput: REGRESSION {}: {:.0} -> {:.0} \
+                             ({:+.1}%, tolerance {}%)",
+                            d.metric, d.prev, d.new, d.pct_change, tolerance_pct
+                        );
+                    }
+                    eprintln!(
+                        "placement_throughput: FAIL — baseline {baseline_path} left untouched; \
+                         rerun with BENCH_TOLERANCE_PCT higher to accept, or fix the regression"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(err) => {
+                println!(
+                    "\nprevious trajectory at {baseline_path} unreadable ({err}); rebaselining"
+                );
+            }
+        }
+    } else {
+        println!("\nno previous trajectory at {baseline_path}; recording baseline");
+    }
+
+    std::fs::write(&out_path, new.render_json()).expect("write trajectory");
+    println!("trajectory written to {out_path} (commit {})", new.commit);
+}

@@ -9,6 +9,7 @@
 
 pub mod paper;
 pub mod perf;
+pub mod placement;
 pub mod table;
 pub mod testbed;
 

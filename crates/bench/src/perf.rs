@@ -164,22 +164,33 @@ fn fmt_json(v: f64) -> String {
     }
 }
 
-/// Compare a new run against the previous trajectory. A metric regresses
+/// The delta rule every `BENCH_*` comparator shares: a metric regresses
 /// when it moves in its bad direction by more than `tolerance_pct`
 /// percent of the previous value *and* by a non-trivial absolute amount
-/// (so a 0 → 1e-9 wobble on an idle metric never fails the gate).
+/// (so a 0 → 1e-9 wobble on an idle metric never fails a gate).
+pub fn delta(
+    metric: &'static str,
+    prev: f64,
+    new: f64,
+    direction: Direction,
+    tolerance_pct: f64,
+) -> Delta {
+    let pct_change = if prev.abs() > f64::EPSILON { 100.0 * (new - prev) / prev } else { 0.0 };
+    let bad_move = match direction {
+        Direction::HigherIsBetter => -pct_change,
+        Direction::LowerIsBetter => pct_change,
+    };
+    let regressed = bad_move > tolerance_pct && (new - prev).abs() > 1e-6;
+    Delta { metric, prev, new, pct_change, regressed }
+}
+
+/// Compare a new run against the previous trajectory (see [`delta`] for
+/// the regression rule).
 pub fn compare(prev: &Trajectory, new: &Trajectory, tolerance_pct: f64) -> Vec<Delta> {
     metrics()
         .into_iter()
         .map(|(metric, get, direction)| {
-            let (p, n) = (get(prev), get(new));
-            let pct_change = if p.abs() > f64::EPSILON { 100.0 * (n - p) / p } else { 0.0 };
-            let bad_move = match direction {
-                Direction::HigherIsBetter => -pct_change,
-                Direction::LowerIsBetter => pct_change,
-            };
-            let regressed = bad_move > tolerance_pct && (n - p).abs() > 1e-6;
-            Delta { metric, prev: p, new: n, pct_change, regressed }
+            delta(metric, get(prev), get(new), direction, tolerance_pct)
         })
         .collect()
 }

@@ -1,0 +1,186 @@
+//! Fleet-placement trajectory schema and regression comparator.
+//!
+//! The `placement_throughput` binary drives `Fleet::place`/`release`
+//! cycles over the verify-gate fleet (100 heterogeneous nodes) and
+//! records the results as a schema-versioned [`PlacementTrajectory`] in
+//! `BENCH_placement.json` at the repo root — the fleet-layer sibling of
+//! the scheduler trajectory in [`crate::perf`], sharing its delta rule
+//! ([`crate::perf::delta`]) and one-line summary rendering.
+
+use crate::perf::{delta, Delta, Direction};
+use obs::json::{self, JsonValue};
+
+/// Schema identifier embedded in every placement trajectory file.
+pub const SCHEMA: &str = "gyan.bench.placement/v1";
+
+/// One recorded fleet-placement benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementTrajectory {
+    /// Schema identifier (see [`SCHEMA`]).
+    pub schema: String,
+    /// `git rev-parse --short` of the measured tree (or `"unknown"`).
+    pub commit: String,
+    /// Fleet size the throughput loops ran against (recorded for
+    /// context, never gated).
+    pub nodes: f64,
+    /// `place` + `release` round-trips per real second, least-loaded
+    /// policy.
+    pub least_loaded_per_sec: f64,
+    /// Same loop under the bin-pack policy.
+    pub bin_pack_per_sec: f64,
+    /// Same loop under the fair-share policy.
+    pub fair_share_per_sec: f64,
+    /// Full-fleet rejection scans per real second (a memory hint no die
+    /// fits — the worst-case filter path).
+    pub rejections_per_sec: f64,
+}
+
+/// One comparable placement metric: name and extractor (all placement
+/// metrics are throughputs, so no per-metric direction).
+type PlacementMetric = (&'static str, fn(&PlacementTrajectory) -> f64);
+
+/// The comparable metrics; `nodes` is context, not a gate.
+fn metrics() -> Vec<PlacementMetric> {
+    vec![
+        ("least_loaded_per_sec", |t: &PlacementTrajectory| t.least_loaded_per_sec),
+        ("bin_pack_per_sec", |t: &PlacementTrajectory| t.bin_pack_per_sec),
+        ("fair_share_per_sec", |t: &PlacementTrajectory| t.fair_share_per_sec),
+        ("rejections_per_sec", |t: &PlacementTrajectory| t.rejections_per_sec),
+    ]
+}
+
+fn fmt_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl PlacementTrajectory {
+    /// Render the trajectory as the `BENCH_placement.json` document.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"commit\": \"{}\",\n  \"nodes\": {},\n  \
+             \"least_loaded_per_sec\": {},\n  \"bin_pack_per_sec\": {},\n  \
+             \"fair_share_per_sec\": {},\n  \"rejections_per_sec\": {}\n}}\n",
+            obs::json_escape(&self.schema),
+            obs::json_escape(&self.commit),
+            fmt_json(self.nodes),
+            fmt_json(self.least_loaded_per_sec),
+            fmt_json(self.bin_pack_per_sec),
+            fmt_json(self.fair_share_per_sec),
+            fmt_json(self.rejections_per_sec),
+        )
+    }
+
+    /// Parse a `BENCH_placement.json` document. Errors on malformed
+    /// JSON, a missing field, or a schema mismatch.
+    pub fn parse(text: &str) -> Result<PlacementTrajectory, String> {
+        let doc = json::parse(text)?;
+        let field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing field \"schema\"".to_string())?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: file has {schema:?}, expected {SCHEMA:?}"));
+        }
+        Ok(PlacementTrajectory {
+            schema,
+            commit: doc.get("commit").and_then(JsonValue::as_str).unwrap_or("unknown").to_string(),
+            nodes: field("nodes")?,
+            least_loaded_per_sec: field("least_loaded_per_sec")?,
+            bin_pack_per_sec: field("bin_pack_per_sec")?,
+            fair_share_per_sec: field("fair_share_per_sec")?,
+            rejections_per_sec: field("rejections_per_sec")?,
+        })
+    }
+}
+
+/// Compare a new run against the previous trajectory under the shared
+/// delta rule. Every placement metric is a throughput, so higher is
+/// always better.
+pub fn compare(
+    prev: &PlacementTrajectory,
+    new: &PlacementTrajectory,
+    tolerance_pct: f64,
+) -> Vec<Delta> {
+    metrics()
+        .into_iter()
+        .map(|(metric, get)| {
+            delta(metric, get(prev), get(new), Direction::HigherIsBetter, tolerance_pct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory() -> PlacementTrajectory {
+        PlacementTrajectory {
+            schema: SCHEMA.to_string(),
+            commit: "abc123def456".to_string(),
+            nodes: 100.0,
+            least_loaded_per_sec: 30_000.0,
+            bin_pack_per_sec: 28_000.0,
+            fair_share_per_sec: 25_000.0,
+            rejections_per_sec: 90_000.0,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_preserves_every_metric() {
+        let t = trajectory();
+        let parsed = PlacementTrajectory::parse(&t.render_json()).expect("roundtrip parses");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = trajectory().render_json().replace(SCHEMA, "gyan.bench.placement/v0");
+        let err = PlacementTrajectory::parse(&text).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn scheduler_files_do_not_parse_as_placement_files() {
+        let scheduler = crate::perf::Trajectory {
+            schema: crate::perf::SCHEMA.to_string(),
+            commit: "abc".to_string(),
+            decisions_per_sec: 1.0,
+            queue_wait_p50_s: 1.0,
+            queue_wait_p99_s: 1.0,
+            wave_dispatch_jobs_per_sec: 1.0,
+            ledger_snapshots_per_sec: 1.0,
+            profile_attributed_pct: 1.0,
+        };
+        assert!(PlacementTrajectory::parse(&scheduler.render_json(None)).is_err());
+    }
+
+    #[test]
+    fn throughput_drop_regresses_and_gain_passes() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.fair_share_per_sec *= 0.4; // -60%
+        new.rejections_per_sec *= 3.0; // improvement
+        let deltas = compare(&prev, &new, 25.0);
+        let regressed: Vec<&str> =
+            deltas.iter().filter(|d| d.regressed).map(|d| d.metric).collect();
+        assert_eq!(regressed, vec!["fair_share_per_sec"]);
+    }
+
+    #[test]
+    fn nodes_field_is_context_not_a_gate() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.nodes = 10.0; // a smaller fleet is not a perf regression
+        assert!(compare(&prev, &new, 5.0).iter().all(|d| !d.regressed));
+    }
+}

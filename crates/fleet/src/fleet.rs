@@ -1,0 +1,439 @@
+//! The [`Fleet`]: shard ownership, two-phase placement, and per-node
+//! accounting.
+//!
+//! Placement is two-phase: the fleet filters candidate shards through
+//! the destination rules (phase 1a), scores survivors with the
+//! configured [`PlacementPolicy`] (phase 1b, ties broken by lowest node
+//! id), and only then lets the chosen shard's
+//! [`gyan::reservations::LeaseTable::allocate_and_lease`] pick the minor atomically (phase
+//! 2). The fleet's own bookkeeping — the job→node map — is the state the
+//! simtest invariants audit: every lease on shard S must belong to a job
+//! the fleet booked on S, and no job may hold leases on two shards.
+
+use crate::node::{NodeClass, NodeShard};
+use crate::placement::{LeastLoaded, PlacementPolicy, PlacementRequest};
+use crate::rules::DestinationRules;
+use gpusim::VirtualClock;
+use gyan::allocation::{Allocation, AllocationPolicy};
+use obs::{Recorder, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Counter: successful placements, labeled `{node="<name>"}`.
+pub const FLEET_PLACEMENTS_COUNTER: &str = "fleet_placements_total";
+/// Counter: requests no candidate node could host.
+pub const FLEET_REJECTED_COUNTER: &str = "fleet_placement_rejected_total";
+/// Gauge: active leases per node, labeled `{node="<name>"}`.
+pub const FLEET_LEASES_GAUGE: &str = "fleet_leases_active";
+/// Audit event emitted per placement decision.
+pub const FLEET_DECISION_EVENT: &str = "fleet.placement.decision";
+/// Audit event emitted per release.
+pub const FLEET_RELEASE_EVENT: &str = "fleet.placement.release";
+
+/// A successful placement: the chosen node plus the shard-level grant.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The placed job.
+    pub job_id: u64,
+    /// Chosen node id.
+    pub node: u32,
+    /// Chosen node name (exported as `GALAXY_NODE`).
+    pub node_name: String,
+    /// Chosen node's class label.
+    pub node_class: String,
+    /// The minor-level grant from the shard's lease table.
+    pub allocation: Allocation,
+    /// Right-sized host cores (TPV-style).
+    pub cores: u32,
+    /// Right-sized host memory in MiB (TPV-style).
+    pub mem_mib: u64,
+}
+
+/// Fleet-side record of an active placement.
+#[derive(Debug, Clone)]
+struct Booking {
+    node: u32,
+    user: String,
+}
+
+/// N per-node shards plus the placement layer above them. Clones share
+/// state (shards, bookings, policy), so one handle can serve the
+/// dispatch hook, the ops server, and the invariant checker at once.
+#[derive(Clone)]
+pub struct Fleet {
+    shards: Arc<Vec<NodeShard>>,
+    rules: Arc<DestinationRules>,
+    policy: Arc<dyn PlacementPolicy>,
+    alloc_policy: AllocationPolicy,
+    bookings: Arc<Mutex<BTreeMap<u64, Booking>>>,
+    clock: VirtualClock,
+    recorder: Option<Recorder>,
+}
+
+/// Builder for [`Fleet`].
+pub struct FleetBuilder {
+    nodes: Vec<NodeClass>,
+    rules: DestinationRules,
+    policy: Arc<dyn PlacementPolicy>,
+    alloc_policy: AllocationPolicy,
+    clock: VirtualClock,
+    recorder: Option<Recorder>,
+}
+
+impl FleetBuilder {
+    /// Add `count` nodes of `class` (node ids assigned in call order).
+    pub fn nodes(mut self, class: NodeClass, count: u32) -> Self {
+        for _ in 0..count {
+            self.nodes.push(class.clone());
+        }
+        self
+    }
+
+    /// Install TPV-style destination rules (default: none).
+    pub fn rules(mut self, rules: DestinationRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Node-scoring strategy (default: [`LeastLoaded`]).
+    pub fn policy(mut self, policy: Arc<dyn PlacementPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Minor-level allocation strategy within the chosen shard (default:
+    /// [`AllocationPolicy::ProcessId`]).
+    pub fn allocation_policy(mut self, policy: AllocationPolicy) -> Self {
+        self.alloc_policy = policy;
+        self
+    }
+
+    /// Drive all shards from `clock` instead of a fresh fleet clock.
+    pub fn clock(mut self, clock: VirtualClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Emit decision audits and per-node metrics through `recorder`.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Materialize the shards and the fleet handle.
+    pub fn build(self) -> Fleet {
+        let shards: Vec<NodeShard> = self
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(id, class)| NodeShard::new(id as u32, class, &self.clock))
+            .collect();
+        Fleet {
+            shards: Arc::new(shards),
+            rules: Arc::new(self.rules),
+            policy: self.policy,
+            alloc_policy: self.alloc_policy,
+            bookings: Arc::new(Mutex::new(BTreeMap::new())),
+            clock: self.clock,
+            recorder: self.recorder,
+        }
+    }
+}
+
+impl Fleet {
+    /// Start building a fleet.
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder {
+            nodes: Vec::new(),
+            rules: DestinationRules::new(),
+            policy: Arc::new(LeastLoaded),
+            alloc_policy: AllocationPolicy::ProcessId,
+            clock: VirtualClock::new(),
+            recorder: None,
+        }
+    }
+
+    /// The fleet-wide virtual clock all shards share.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The shards, in node-id order.
+    pub fn shards(&self) -> &[NodeShard] {
+        &self.shards
+    }
+
+    /// One shard by node id.
+    pub fn shard(&self, node: u32) -> Option<&NodeShard> {
+        self.shards.get(node as usize)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The active placement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The installed destination rules.
+    pub fn rules(&self) -> &DestinationRules {
+        &self.rules
+    }
+
+    /// Place a job: filter candidates by rules/arch/memory, score with
+    /// the policy (ties → lowest node id), then lease minors on the
+    /// chosen shard. `None` when no candidate admits the job or every
+    /// candidate's shard refused (GPU-less fleet).
+    pub fn place(&self, req: &PlacementRequest<'_>) -> Option<Placement> {
+        obs::profile_scope!("fleet.place");
+        let mut candidates: Vec<(f64, u32)> = {
+            let bookings = self.bookings.lock();
+            self.shards
+                .iter()
+                .filter(|s| self.rules.admits(req.tool_id, &s.class, req.memory_hint_mib))
+                .map(|s| {
+                    let mut load = s.load();
+                    load.user_active =
+                        bookings.values().filter(|b| b.node == s.id && b.user == req.user).count();
+                    (self.policy.score(&load, req), s.id)
+                })
+                .collect()
+        };
+        // Deterministic total order: score, then lowest node id. f64
+        // scores come from pure policy functions, so total_cmp is stable.
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        if candidates.is_empty() {
+            if let Some(rec) = &self.recorder {
+                rec.metrics().inc_counter(FLEET_REJECTED_COUNTER, 1);
+                rec.event(
+                    FLEET_DECISION_EVENT,
+                    vec![
+                        ("job_id", Value::from(req.job_id)),
+                        ("tool", Value::from(req.tool_id)),
+                        ("user", Value::from(req.user)),
+                        ("policy", Value::from(self.policy.name())),
+                        ("placed", Value::from(false)),
+                        ("candidates", Value::from(0u64)),
+                    ],
+                );
+            }
+            return None;
+        }
+
+        let n_candidates = candidates.len();
+        for (score, node) in candidates {
+            let shard = &self.shards[node as usize];
+            let Some(allocation) = shard.table.allocate_and_lease(
+                &shard.cluster,
+                req.requested,
+                self.alloc_policy,
+                req.job_id,
+                req.memory_hint_mib,
+                self.recorder.as_ref(),
+            ) else {
+                continue;
+            };
+            self.bookings.lock().insert(req.job_id, Booking { node, user: req.user.to_string() });
+            let (cores, mem_mib) = self.rules.right_size(req.tool_id, &shard.class);
+            if let Some(rec) = &self.recorder {
+                let m = rec.metrics();
+                m.inc_counter(&format!("{FLEET_PLACEMENTS_COUNTER}{{node=\"{}\"}}", shard.name), 1);
+                m.set_gauge(
+                    &format!("{FLEET_LEASES_GAUGE}{{node=\"{}\"}}", shard.name),
+                    shard.table.lease_count() as f64,
+                );
+                rec.event(
+                    FLEET_DECISION_EVENT,
+                    vec![
+                        ("job_id", Value::from(req.job_id)),
+                        ("tool", Value::from(req.tool_id)),
+                        ("user", Value::from(req.user)),
+                        ("policy", Value::from(self.policy.name())),
+                        ("placed", Value::from(true)),
+                        ("candidates", Value::from(n_candidates)),
+                        ("node", Value::from(shard.name.as_str())),
+                        ("node_class", Value::from(shard.class.name)),
+                        ("score", Value::from(score)),
+                        (
+                            "cuda_visible_devices",
+                            Value::from(allocation.cuda_visible_devices.as_str()),
+                        ),
+                        ("cores", Value::from(u64::from(cores))),
+                        ("mem_mib", Value::from(mem_mib)),
+                    ],
+                );
+            }
+            return Some(Placement {
+                job_id: req.job_id,
+                node,
+                node_name: shard.name.clone(),
+                node_class: shard.class.name.to_string(),
+                allocation,
+                cores,
+                mem_mib,
+            });
+        }
+        None
+    }
+
+    /// Release a job's placement: drops its leases on the booked shard
+    /// and forgets the booking. Returns the number of leases released
+    /// (0 for unknown jobs — release is idempotent, like the lease
+    /// table's).
+    pub fn release(&self, job_id: u64, why: &str) -> usize {
+        let Some(booking) = self.bookings.lock().remove(&job_id) else { return 0 };
+        let shard = &self.shards[booking.node as usize];
+        let released = shard.table.release(job_id, why, self.recorder.as_ref());
+        if let Some(rec) = &self.recorder {
+            rec.metrics().set_gauge(
+                &format!("{FLEET_LEASES_GAUGE}{{node=\"{}\"}}", shard.name),
+                shard.table.lease_count() as f64,
+            );
+            rec.event(
+                FLEET_RELEASE_EVENT,
+                vec![
+                    ("job_id", Value::from(job_id)),
+                    ("node", Value::from(shard.name.as_str())),
+                    ("why", Value::from(why)),
+                    ("released", Value::from(released)),
+                ],
+            );
+        }
+        released
+    }
+
+    /// The node a job is currently booked on.
+    pub fn node_of(&self, job_id: u64) -> Option<u32> {
+        self.bookings.lock().get(&job_id).map(|b| b.node)
+    }
+
+    /// Snapshot of active bookings: (job id, node id), in job-id order.
+    pub fn active_placements(&self) -> Vec<(u64, u32)> {
+        self.bookings.lock().iter().map(|(job, b)| (*job, b.node)).collect()
+    }
+
+    /// Sum of lease counts across all shards.
+    pub fn total_lease_count(&self) -> usize {
+        self.shards.iter().map(|s| s.table.lease_count()).sum()
+    }
+
+    /// Per-shard lease holders, in node-id order — the raw material for
+    /// the fleet-wide no-double-booking invariant.
+    pub fn holders_by_node(&self) -> Vec<(u32, Vec<u64>)> {
+        self.shards.iter().map(|s| (s.id, s.table.holders())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{BinPack, FairShare};
+    use crate::rules::DestinationRule;
+
+    // Pin one minor so each placement leases exactly one die (an empty
+    // request takes every free die on the chosen node, per gyan).
+    fn request(job_id: u64, user: &'static str, tool: &'static str) -> PlacementRequest<'static> {
+        PlacementRequest { job_id, user, tool_id: tool, requested: &[0], memory_hint_mib: 256 }
+    }
+
+    fn two_k80s() -> Fleet {
+        Fleet::builder().nodes(NodeClass::k80(), 2).build()
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_node_id() {
+        let fleet = two_k80s();
+        let p = fleet.place(&request(1, "ada", "racon_gpu")).expect("placed");
+        assert_eq!((p.node, p.node_name.as_str()), (0, "k80-000"));
+        // Node 0 now carries a lease, so the next job spreads to node 1.
+        let p2 = fleet.place(&request(2, "ada", "racon_gpu")).expect("placed");
+        assert_eq!(p2.node, 1);
+    }
+
+    #[test]
+    fn release_is_idempotent_and_scoped_to_the_booked_shard() {
+        let fleet = two_k80s();
+        fleet.place(&request(1, "ada", "racon_gpu")).unwrap();
+        assert_eq!(fleet.node_of(1), Some(0));
+        assert_eq!(fleet.total_lease_count(), 1);
+        assert!(fleet.release(1, "ok") > 0);
+        assert_eq!(fleet.release(1, "ok"), 0);
+        assert_eq!((fleet.total_lease_count(), fleet.node_of(1)), (0, None));
+    }
+
+    #[test]
+    fn rules_exclude_classes_and_reject_when_nothing_fits() {
+        let rules = DestinationRules::new()
+            .with(DestinationRule::any("bonito*").on_classes(["a100"]))
+            .with(DestinationRule::any("*"));
+        let fleet = Fleet::builder()
+            .nodes(NodeClass::k80(), 2)
+            .nodes(NodeClass::a100(), 1)
+            .rules(rules)
+            .build();
+        let p = fleet.place(&request(1, "ada", "bonito")).expect("a100 admits");
+        assert_eq!(p.node_class, "a100");
+        // A hint bigger than any die in the fleet: rejected.
+        let huge = PlacementRequest {
+            job_id: 2,
+            user: "ada",
+            tool_id: "racon_gpu",
+            requested: &[0],
+            memory_hint_mib: 1 << 20,
+        };
+        assert!(fleet.place(&huge).is_none());
+    }
+
+    #[test]
+    fn bin_pack_fills_a_node_before_spilling() {
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).policy(Arc::new(BinPack)).build();
+        // A K80 shard has 2 dies: the first two jobs pack node 0.
+        for job in 1..=2u64 {
+            assert_eq!(fleet.place(&request(job, "ada", "racon_gpu")).unwrap().node, 0);
+        }
+        // Node 0 has no free die left; node 1 does, and wins.
+        assert_eq!(fleet.place(&request(3, "ada", "racon_gpu")).unwrap().node, 1);
+    }
+
+    #[test]
+    fn fair_share_spreads_one_users_burst() {
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 3).policy(Arc::new(FairShare)).build();
+        let nodes: Vec<u32> = (1..=3u64)
+            .map(|job| fleet.place(&request(job, "ada", "racon_gpu")).unwrap().node)
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2], "each placement avoids ada's nodes");
+        // A different user starts from node 0 again (it is least loaded
+        // among nodes where bob runs nothing — all of them — so lowest
+        // utilization wins; all equal → lowest id).
+        assert_eq!(fleet.place(&request(4, "bob", "racon_gpu")).unwrap().node, 0);
+    }
+
+    #[test]
+    fn placement_records_right_sized_resources() {
+        let rules =
+            DestinationRules::new().with(DestinationRule::any("*").with_cores(4).with_mem(8192));
+        let fleet = Fleet::builder().nodes(NodeClass::v100(), 1).rules(rules).build();
+        let p = fleet.place(&request(1, "ada", "racon_gpu")).unwrap();
+        assert_eq!((p.cores, p.mem_mib), (4, 8192));
+    }
+
+    #[test]
+    fn audits_and_labeled_metrics_flow_through_the_recorder() {
+        let recorder = Recorder::new();
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).recorder(recorder.clone()).build();
+        fleet.place(&request(1, "ada", "racon_gpu")).unwrap();
+        fleet.release(1, "ok");
+        let m = recorder.metrics();
+        assert_eq!(m.counter_value("fleet_placements_total{node=\"k80-000\"}"), 1);
+        assert_eq!(m.gauge_value("fleet_leases_active{node=\"k80-000\"}"), Some(0.0));
+        let log = recorder.to_jsonl();
+        assert!(log.contains(FLEET_DECISION_EVENT), "{log}");
+        assert!(log.contains(FLEET_RELEASE_EVENT), "{log}");
+        assert!(log.contains("\"node_class\":\"k80\""), "{log}");
+    }
+}

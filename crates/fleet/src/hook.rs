@@ -1,0 +1,295 @@
+//! Galaxy wiring: the fleet-level [`JobHook`] and [`install_fleet`].
+//!
+//! Mirrors `gyan::setup::install_gyan`, but the hook's allocation step is
+//! the fleet's two-phase placement: pick a node, then lease minors on
+//! that node's shard. On success the job's environment carries
+//! `CUDA_VISIBLE_DEVICES` (shard-local minors) *and* `GALAXY_NODE` (the
+//! chosen node's name) — the queue engine copies the latter onto the
+//! jobs ledger so every snapshot is node-labeled.
+
+use crate::fleet::Fleet;
+use crate::placement::PlacementRequest;
+use galaxy::job::conf::Destination;
+use galaxy::job::Job;
+use galaxy::runners::{JobConclusion, JobHook};
+use galaxy::tool::Tool;
+use galaxy::GalaxyApp;
+use gyan::orchestrator::{DEFAULT_GPU_MEMORY_HINT_MIB, GPU_MEMORY_HINT_PARAM};
+use gyan::setup::ClusterTime;
+use gyan::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED, GPU_ENABLED_PARAM};
+
+/// Options for [`install_fleet`] (the fleet-level `GyanConfig`).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Destination id the dynamic rule picks for GPU jobs.
+    pub gpu_destination: String,
+    /// Destination id for CPU fallback.
+    pub cpu_destination: String,
+    /// All destination ids the hook treats as GPU destinations.
+    pub gpu_destinations: Vec<String>,
+    /// Name under which the dynamic rule is registered.
+    pub rule_name: String,
+    /// Memory (MiB) a GPU job is assumed to allocate when its destination
+    /// carries no `gpu_memory_hint_mib` param.
+    pub gpu_memory_hint_mib: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            gpu_destination: "fleet_gpu".to_string(),
+            cpu_destination: "local_cpu".to_string(),
+            gpu_destinations: vec!["fleet_gpu".to_string(), "local_gpu".to_string()],
+            rule_name: "gpu_dynamic_destination".to_string(),
+            gpu_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
+        }
+    }
+}
+
+/// The fleet orchestration hook. Register with
+/// [`galaxy::GalaxyApp::add_hook`] (or let [`install_fleet`] do it).
+pub struct FleetHook {
+    fleet: Fleet,
+    gpu_destinations: Vec<String>,
+    default_memory_hint_mib: u64,
+}
+
+impl FleetHook {
+    /// Create a hook placing onto `fleet` for jobs landing on any of
+    /// `gpu_destinations`.
+    pub fn new(
+        fleet: &Fleet,
+        gpu_destinations: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        FleetHook {
+            fleet: fleet.clone(),
+            gpu_destinations: gpu_destinations.into_iter().map(Into::into).collect(),
+            default_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
+        }
+    }
+
+    /// Override the assumed per-job GPU memory (MiB).
+    pub fn with_default_memory_hint(mut self, mib: u64) -> Self {
+        self.default_memory_hint_mib = mib;
+        self
+    }
+
+    fn is_gpu_destination(&self, destination: &Destination) -> bool {
+        self.gpu_destinations.iter().any(|d| d == &destination.id)
+    }
+
+    fn memory_hint(&self, destination: &Destination) -> u64 {
+        destination
+            .params
+            .get(GPU_MEMORY_HINT_PARAM)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.default_memory_hint_mib)
+    }
+}
+
+impl JobHook for FleetHook {
+    fn before_dispatch(&self, job: &mut Job, tool: &Tool, destination: &Destination) {
+        if tool.requires_gpu() && self.is_gpu_destination(destination) {
+            let requested = tool.requested_gpu_ids();
+            // The queue engine exports the fair-share user before
+            // preparing the plan; direct GalaxyApp::submit has no user.
+            let user = job.env_var(galaxy::GALAXY_USER_ENV).unwrap_or("").to_string();
+            let req = PlacementRequest {
+                job_id: job.id,
+                user: &user,
+                tool_id: &tool.id,
+                requested: &requested,
+                memory_hint_mib: self.memory_hint(destination),
+            };
+            if let Some(placement) = self.fleet.place(&req) {
+                job.set_env(GALAXY_GPU_ENABLED, "true");
+                job.set_env(CUDA_VISIBLE_DEVICES, placement.allocation.cuda_visible_devices);
+                job.set_env(galaxy::GALAXY_NODE_ENV, placement.node_name);
+                job.params.set(GPU_ENABLED_PARAM, "true");
+                return;
+            }
+        }
+        job.set_env(GALAXY_GPU_ENABLED, "false");
+        job.params.set(GPU_ENABLED_PARAM, "false");
+    }
+
+    fn after_conclude(&self, job_id: u64, conclusion: JobConclusion) {
+        self.fleet.release(job_id, conclusion.as_str());
+    }
+}
+
+/// Install the fleet into `app`: registers a dynamic destination rule
+/// (GPU tools the fleet can host → `gpu_destination`, everything else →
+/// `cpu_destination`), the [`FleetHook`], both container GPU mutators,
+/// and switches the app's time source to the fleet's shared clock.
+///
+/// The app's recorder becomes the fleet's decision-audit sink (with the
+/// flight-recorder ring enabled), clocked on the fleet timeline. Note the
+/// fleet must have been built with [`crate::FleetBuilder::recorder`] for
+/// placement audits/metrics — `install_fleet` cannot retrofit a recorder
+/// into an already-built fleet's shards.
+pub fn install_fleet(app: &mut GalaxyApp, fleet: &Fleet, config: FleetConfig) {
+    let recorder = app.recorder().clone();
+    let recorder_clock = fleet.clock().clone();
+    recorder.set_clock(move || recorder_clock.now());
+    recorder.enable_flight(gyan::ops::DEFAULT_FLIGHT_CAPACITY);
+
+    let rule_fleet = fleet.clone();
+    let gpu_dest = config.gpu_destination.clone();
+    let cpu_dest = config.cpu_destination.clone();
+    let hint = config.gpu_memory_hint_mib;
+    app.register_rule(
+        config.rule_name.clone(),
+        Box::new(move |tool: &Tool, _job: &Job, _conf: &galaxy::job::conf::JobConfig| {
+            let hosts = tool.requires_gpu()
+                && rule_fleet
+                    .shards()
+                    .iter()
+                    .any(|s| rule_fleet.rules().admits(&tool.id, &s.class, hint));
+            Ok(if hosts { gpu_dest.clone() } else { cpu_dest.clone() })
+        }),
+    );
+    app.add_hook(Box::new(
+        FleetHook::new(fleet, config.gpu_destinations.clone())
+            .with_default_memory_hint(config.gpu_memory_hint_mib),
+    ));
+    app.add_mutator(Box::new(gyan::container_gpu::DockerGpuMutator));
+    app.add_mutator(Box::new(gyan::container_gpu::SingularityGpuMutator));
+    app.set_time_source(Box::new(ClusterTime::new(fleet.clock().clone())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeClass;
+    use crate::rules::{DestinationRule, DestinationRules};
+    use galaxy::params::ParamDict;
+    use galaxy::tool::macros::MacroLibrary;
+    use galaxy::tool::wrapper::parse_tool;
+
+    fn gpu_tool(id: &str) -> Tool {
+        parse_tool(
+            &format!(
+                r#"<tool id="{id}"><requirements>
+                     <requirement type="compute">gpu</requirement>
+                   </requirements><command>{id}</command></tool>"#
+            ),
+            &MacroLibrary::new(),
+        )
+        .unwrap()
+    }
+
+    fn dest(id: &str) -> Destination {
+        Destination { id: id.into(), runner: "local".into(), params: ParamDict::new() }
+    }
+
+    #[test]
+    fn hook_exports_node_and_mask_then_releases() {
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).build();
+        let hook = FleetHook::new(&fleet, ["fleet_gpu"]);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        hook.before_dispatch(&mut job, &gpu_tool("racon_gpu"), &dest("fleet_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("true"));
+        assert_eq!(job.env_var(galaxy::GALAXY_NODE_ENV), Some("k80-000"));
+        assert_eq!(job.env_var(CUDA_VISIBLE_DEVICES), Some("0,1"));
+        assert_eq!(fleet.total_lease_count(), 2);
+        hook.after_conclude(1, JobConclusion::Ok);
+        assert_eq!(fleet.total_lease_count(), 0);
+    }
+
+    #[test]
+    fn cpu_destination_and_cpu_tool_skip_placement() {
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).build();
+        let hook = FleetHook::new(&fleet, ["fleet_gpu"]);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        hook.before_dispatch(&mut job, &gpu_tool("racon_gpu"), &dest("local_cpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
+        assert!(job.env_var(galaxy::GALAXY_NODE_ENV).is_none());
+        assert_eq!(fleet.total_lease_count(), 0);
+    }
+
+    #[test]
+    fn rejected_placement_falls_back_to_cpu_env() {
+        // bonito only runs on a100; this fleet has none.
+        let rules =
+            DestinationRules::new().with(DestinationRule::any("bonito*").on_classes(["a100"]));
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).rules(rules).build();
+        let hook = FleetHook::new(&fleet, ["fleet_gpu"]);
+        let mut job = Job::new(1, "bonito", ParamDict::new());
+        hook.before_dispatch(&mut job, &gpu_tool("bonito"), &dest("fleet_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
+        assert_eq!(fleet.total_lease_count(), 0);
+    }
+
+    #[test]
+    fn install_fleet_routes_and_places_end_to_end() {
+        let conf = galaxy::job::conf::JobConfig::from_xml(
+            r#"<job_conf>
+              <plugins><plugin id="local" type="runner" load="x"/></plugins>
+              <destinations default="dyn">
+                <destination id="dyn" runner="dynamic">
+                  <param id="function">gpu_dynamic_destination</param>
+                </destination>
+                <destination id="fleet_gpu" runner="local"/>
+                <destination id="local_cpu" runner="local"/>
+              </destinations>
+            </job_conf>"#,
+        )
+        .unwrap();
+        let mut app = GalaxyApp::new(conf);
+        app.install_tool_xml(
+            r#"<tool id="racon_gpu"><requirements>
+                 <requirement type="compute">gpu</requirement>
+               </requirements><command>racon_gpu</command></tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap();
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).nodes(NodeClass::a100(), 1).build();
+        install_fleet(&mut app, &fleet, FleetConfig::default());
+
+        let id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
+        let job = app.job(id).unwrap();
+        assert_eq!(job.destination_id.as_deref(), Some("fleet_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("true"));
+        // Least-loaded ties break to node 0 (the K80 node).
+        assert_eq!(job.env_var(galaxy::GALAXY_NODE_ENV), Some("k80-000"));
+        // submit() runs the full lifecycle: the conclusion released the
+        // booking and its leases.
+        assert_eq!(fleet.node_of(id), None);
+        assert_eq!(fleet.total_lease_count(), 0);
+    }
+
+    #[test]
+    fn install_fleet_sends_unhostable_tools_to_cpu() {
+        let conf = galaxy::job::conf::JobConfig::from_xml(
+            r#"<job_conf>
+              <plugins><plugin id="local" type="runner" load="x"/></plugins>
+              <destinations default="dyn">
+                <destination id="dyn" runner="dynamic">
+                  <param id="function">gpu_dynamic_destination</param>
+                </destination>
+                <destination id="fleet_gpu" runner="local"/>
+                <destination id="local_cpu" runner="local"/>
+              </destinations>
+            </job_conf>"#,
+        )
+        .unwrap();
+        let mut app = GalaxyApp::new(conf);
+        app.install_tool_xml(
+            r#"<tool id="bonito"><requirements>
+                 <requirement type="compute">gpu</requirement>
+               </requirements><command>bonito</command></tool>"#,
+            &MacroLibrary::new(),
+        )
+        .unwrap();
+        let rules =
+            DestinationRules::new().with(DestinationRule::any("bonito*").on_classes(["a100"]));
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).rules(rules).build();
+        install_fleet(&mut app, &fleet, FleetConfig::default());
+
+        let id = app.submit("bonito", &ParamDict::new()).unwrap();
+        let job = app.job(id).unwrap();
+        assert_eq!(job.destination_id.as_deref(), Some("local_cpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
+    }
+}

@@ -512,6 +512,20 @@ impl GalaxyApp {
         self.jobs.get(&id)
     }
 
+    /// Set an environment variable on a job's record before dispatch —
+    /// how the queue engine passes per-submission context (e.g.
+    /// [`crate::GALAXY_USER_ENV`]) to pre-dispatch hooks. Returns false
+    /// for unknown job ids.
+    pub fn set_job_env(&mut self, id: u64, key: &str, value: &str) -> bool {
+        match self.jobs.get_mut(&id) {
+            Some(job) => {
+                job.set_env(key, value);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// All jobs, ordered by id.
     pub fn jobs(&self) -> Vec<&Job> {
         let mut v: Vec<&Job> = self.jobs.values().collect();

@@ -42,6 +42,16 @@ pub mod template;
 pub mod tool;
 pub mod workflow;
 
+/// Environment variable naming the fleet node a job was placed on. Set by
+/// a placement-aware pre-dispatch hook; the queue engine mirrors it into
+/// the ledger so ops views can label jobs per node.
+pub const GALAXY_NODE_ENV: &str = "GALAXY_NODE";
+
+/// Environment variable carrying the submitting user into pre-dispatch
+/// hooks (the queue engine sets it from its fair-share context before
+/// preparing the plan, since `Job` itself has no user field).
+pub const GALAXY_USER_ENV: &str = "GALAXY_USER";
+
 pub use app::GalaxyApp;
 pub use error::GalaxyError;
 pub use job::{Job, JobState};

@@ -27,6 +27,10 @@ pub struct JobSnapshot {
     pub attempts: u32,
     /// Destination of the most recent dispatch, if any.
     pub destination: Option<String>,
+    /// Fleet node the most recent dispatch placed the job on (from the
+    /// job's `GALAXY_NODE` export), if any. Single-node deployments and
+    /// CPU fallbacks leave it `None`.
+    pub node: Option<String>,
     /// Submission priority.
     pub priority: u8,
     /// Virtual time the submission entered the queue.
@@ -100,6 +104,7 @@ mod tests {
             state: SubmissionState::Queued,
             attempts: 0,
             destination: None,
+            node: None,
             priority: 0,
             submitted_at: 0.0,
             finished_at: None,

@@ -395,6 +395,7 @@ impl QueueEngine {
             state: SubmissionState::Queued,
             attempts: 0,
             destination: None,
+            node: None,
             priority,
             submitted_at: now,
             finished_at: None,
@@ -624,6 +625,12 @@ impl QueueEngine {
             self.app.recorder().metrics().observe(QUEUE_WAIT_HISTOGRAM, wait);
 
             let dest_override = self.jobs.get_mut(&job_id).and_then(|ctx| ctx.next_dest.take());
+            // Export the fair-share user onto the job record so
+            // placement-aware hooks (e.g. a fleet's fair-share policy)
+            // can see who is dispatching without a Job.user field.
+            if let Some(user) = self.jobs.get(&job_id).map(|ctx| ctx.user.clone()) {
+                self.app.set_job_env(job_id, crate::GALAXY_USER_ENV, &user);
+            }
             let prepared = {
                 obs::profile_scope!("queue.prepare_plan");
                 self.app.prepare_plan(job_id, dest_override.as_deref())
@@ -639,9 +646,18 @@ impl QueueEngine {
                         }
                         (ctx.attempts, ctx.user.clone())
                     };
+                    // Hooks that place jobs onto fleet nodes export the
+                    // chosen node; mirror it into the ledger (cleared on
+                    // a node-less dispatch, e.g. a CPU resubmission).
+                    let node = self
+                        .app
+                        .job(job_id)
+                        .and_then(|j| j.env_var(crate::GALAXY_NODE_ENV))
+                        .map(str::to_string);
                     self.ledger.update(job_id, |snap| {
                         snap.attempts = attempt;
                         snap.destination = Some(destination.clone());
+                        snap.node = node.clone();
                     });
                     let span = self.app.job_span_child(job_id, "galaxy.dispatch");
                     if let Some(s) = &span {
@@ -724,6 +740,7 @@ impl QueueEngine {
                     state: SubmissionState::Queued,
                     attempts: 0,
                     destination: None,
+                    node: None,
                     priority,
                     submitted_at: self.app.recorder().now(),
                     finished_at: None,

@@ -157,6 +157,13 @@ impl GpuArch {
     pub fn pcie_bandwidth_bytes(&self) -> f64 {
         self.pcie_bandwidth_gbs * 1e9
     }
+
+    /// Roofline ridge point: the arithmetic intensity (FLOP/byte) at which
+    /// a kernel crosses from memory-bound to compute-bound on this die.
+    /// Below this, the duration model charges bandwidth; above, FLOPs.
+    pub fn roofline_ridge_flops_per_byte(&self) -> f64 {
+        self.fp32_flops() / self.mem_bandwidth_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +197,49 @@ mod tests {
         // Tensor cores: fp16 far above fp32 on Volta+, equal on Kepler.
         assert_eq!(k80.fp16_gflops, k80.fp32_gflops);
         assert!(v100.fp16_gflops > 5.0 * v100.fp32_gflops);
+    }
+
+    #[test]
+    fn roofline_inputs_ordered_across_node_classes() {
+        // Both roofline axes must strictly ascend K80 < V100 < A100, so a
+        // fleet pricing one kernel across node classes always finds the
+        // newer class faster regardless of which regime the kernel is in.
+        let archs = [GpuArch::tesla_k80(), GpuArch::tesla_v100(), GpuArch::a100()];
+        for pair in archs.windows(2) {
+            assert!(
+                pair[1].fp32_flops() > pair[0].fp32_flops(),
+                "{} fp32 must exceed {}",
+                pair[1].name,
+                pair[0].name
+            );
+            assert!(
+                pair[1].mem_bandwidth_bytes() > pair[0].mem_bandwidth_bytes(),
+                "{} bandwidth must exceed {}",
+                pair[1].name,
+                pair[0].name
+            );
+            assert!(
+                pair[1].fb_total_mib > pair[0].fb_total_mib,
+                "{} memory must exceed {}",
+                pair[1].name,
+                pair[0].name
+            );
+        }
+    }
+
+    #[test]
+    fn ridge_points_match_published_balance() {
+        // Ridge point = fp32 / bandwidth. Newer parts grew bandwidth
+        // faster than FP32 FLOPs, so the ridge *descends* across the
+        // generations: an A100 stays compute-bound down to a lower
+        // arithmetic intensity than a K80.
+        let k80 = GpuArch::tesla_k80().roofline_ridge_flops_per_byte();
+        let v100 = GpuArch::tesla_v100().roofline_ridge_flops_per_byte();
+        let a100 = GpuArch::a100().roofline_ridge_flops_per_byte();
+        assert!((k80 - 18.2).abs() < 0.1, "K80 ridge ~18.2, got {k80}");
+        assert!((v100 - 17.4).abs() < 0.1, "V100 ridge ~17.4, got {v100}");
+        assert!((a100 - 12.5).abs() < 0.1, "A100 ridge ~12.5, got {a100}");
+        assert!(k80 > v100 && v100 > a100);
     }
 
     #[test]

@@ -55,15 +55,41 @@ impl GpuCluster {
         }
     }
 
+    /// [`GpuCluster::node`] sharing an existing virtual clock — fleet
+    /// shards advance in lock-step on one fleet-wide timeline instead of
+    /// each node owning a private clock.
+    pub fn node_on_clock(arch: GpuArch, count: u32, clock: &VirtualClock) -> Self {
+        let mut node = Self::node(arch, count);
+        node.clock = clock.clone();
+        node
+    }
+
     /// The paper's evaluation node: one Tesla K80 board exposing two GK210
     /// dies as devices 0 and 1, driver 455.45.01 (as shown in Fig. 10).
     pub fn k80_node() -> Self {
         Self::node(GpuArch::tesla_k80(), 2)
     }
 
+    /// A Volta node: four V100 dies (a DGX-1-style half-board).
+    pub fn v100_node() -> Self {
+        Self::node(GpuArch::tesla_v100(), 4)
+    }
+
+    /// An Ampere node: eight A100 dies (a DGX-A100-style board).
+    pub fn a100_node() -> Self {
+        Self::node(GpuArch::a100(), 8)
+    }
+
     /// A node with no GPUs — the CPU-only fallback scenario.
     pub fn cpu_only_node() -> Self {
         Self::node(GpuArch::tesla_k80(), 0)
+    }
+
+    /// Architecture of the node's devices (`None` on a GPU-less node).
+    /// Nodes are homogeneous — heterogeneity lives between fleet shards,
+    /// not within one node — so device 0 speaks for all.
+    pub fn arch(&self) -> Option<GpuArch> {
+        self.devices.first().map(|d| d.read().arch.clone())
     }
 
     /// Number of devices on the node.

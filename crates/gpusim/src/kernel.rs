@@ -214,6 +214,23 @@ mod tests {
     }
 
     #[test]
+    fn same_kernel_prices_strictly_faster_per_node_class() {
+        // The fleet's placement layer relies on the roofline model
+        // pricing one kernel differently per node class: the same racon
+        // polishing kernel must get strictly cheaper K80 → V100 → A100 in
+        // both a compute-bound and a memory-bound shape.
+        let compute_bound = KernelSpec::fp32("polish", 4096, 256, 1e12, 1e9);
+        let memory_bound = KernelSpec::fp32("overlap", 4096, 256, 1e9, 1e10);
+        for k in [compute_bound, memory_bound] {
+            let k80_t = k.duration(&GpuArch::tesla_k80()).unwrap().total_s;
+            let v100_t = k.duration(&GpuArch::tesla_v100()).unwrap().total_s;
+            let a100_t = k.duration(&GpuArch::a100()).unwrap().total_s;
+            assert!(v100_t < k80_t, "{}: V100 {v100_t} !< K80 {k80_t}", k.name);
+            assert!(a100_t < v100_t, "{}: A100 {a100_t} !< V100 {v100_t}", k.name);
+        }
+    }
+
+    #[test]
     fn fp16_is_fast_on_tensor_core_parts_only() {
         let mk = |p| KernelSpec {
             name: "gemm".into(),

@@ -36,6 +36,15 @@ use std::sync::Arc;
 /// Flight-recorder ring capacity `install_gyan` enables by default.
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
 
+/// Node label a single-node deployment reports when none is configured.
+/// Multi-node fleets name each shard (`k80-000`, `a100-017`, ...) so the
+/// GPU/job views and metrics never collapse into one anonymous list.
+pub const DEFAULT_NODE_NAME: &str = "node-000";
+
+/// Info-style gauge (value always 1) carrying the serving node's label,
+/// exported as `gyan_node_info{node="<name>"}` by [`ops_server_named`].
+pub const NODE_INFO_GAUGE: &str = "gyan_node_info";
+
 /// Render an `f64` for JSON output (`null` when non-finite, which the
 /// operations-plane values never are in practice).
 fn num(v: f64) -> String {
@@ -61,58 +70,69 @@ fn lease_json(lease: &Lease) -> String {
     )
 }
 
+/// Per-device JSON objects for one node's `/api/gpus` entries, each
+/// carrying the `node` label. Exposed so a fleet-level ops server can
+/// concatenate the shards' device lists into one labeled view.
+pub fn gpu_objects(cluster: &GpuCluster, table: &LeaseTable, node: &str) -> Vec<String> {
+    cluster
+        .snapshot()
+        .iter()
+        .map(|dev| {
+            let processes: Vec<String> = dev
+                .processes()
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"pid\":{},\"name\":\"{}\",\"used_mib\":{}}}",
+                        p.pid,
+                        json_escape(&p.name),
+                        p.used_mib
+                    )
+                })
+                .collect();
+            let leases: Vec<String> =
+                table.leases_on(dev.minor_number).iter().map(lease_json).collect();
+            format!(
+                "{{\"node\":\"{}\",\"minor\":{},\"arch\":\"{}\",\"uuid\":\"{}\",\
+                 \"fb_total_mib\":{},\
+                 \"fb_used_mib\":{},\"fb_free_mib\":{},\"sm_utilization\":{},\
+                 \"mem_utilization\":{},\"pcie_link_gen\":{},\"available\":{},\
+                 \"processes\":[{}],\"leases\":[{}]}}",
+                json_escape(node),
+                dev.minor_number,
+                json_escape(dev.arch.name),
+                json_escape(&dev.uuid),
+                dev.fb_total_mib(),
+                dev.fb_used_mib(),
+                dev.fb_free_mib(),
+                num(dev.sm_utilization),
+                num(dev.mem_utilization),
+                dev.pcie_link_gen,
+                dev.is_available(),
+                processes.join(","),
+                leases.join(","),
+            )
+        })
+        .collect()
+}
+
 /// JSON document for `/api/gpus`: every device's SMI view merged with the
 /// leases the reservation layer holds on it — the two sources whose
 /// divergence is exactly the observe→dispatch race the lease table closes.
-pub fn gpus_json(cluster: &GpuCluster, table: &LeaseTable) -> String {
-    let mut out = String::from("{\"gpus\":[");
-    for (i, dev) in cluster.snapshot().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let processes: Vec<String> = dev
-            .processes()
-            .iter()
-            .map(|p| {
-                format!(
-                    "{{\"pid\":{},\"name\":\"{}\",\"used_mib\":{}}}",
-                    p.pid,
-                    json_escape(&p.name),
-                    p.used_mib
-                )
-            })
-            .collect();
-        let leases: Vec<String> =
-            table.leases_on(dev.minor_number).iter().map(lease_json).collect();
-        out.push_str(&format!(
-            "{{\"minor\":{},\"arch\":\"{}\",\"uuid\":\"{}\",\"fb_total_mib\":{},\
-             \"fb_used_mib\":{},\"fb_free_mib\":{},\"sm_utilization\":{},\
-             \"mem_utilization\":{},\"pcie_link_gen\":{},\"available\":{},\
-             \"processes\":[{}],\"leases\":[{}]}}",
-            dev.minor_number,
-            json_escape(dev.arch.name),
-            json_escape(&dev.uuid),
-            dev.fb_total_mib(),
-            dev.fb_used_mib(),
-            dev.fb_free_mib(),
-            num(dev.sm_utilization),
-            num(dev.mem_utilization),
-            dev.pcie_link_gen,
-            dev.is_available(),
-            processes.join(","),
-            leases.join(","),
-        ));
-    }
-    out.push_str("]}");
-    out
+/// Each device carries the serving `node` label.
+pub fn gpus_json(cluster: &GpuCluster, table: &LeaseTable, node: &str) -> String {
+    format!("{{\"gpus\":[{}]}}", gpu_objects(cluster, table, node).join(","))
 }
 
-fn job_object(snap: &JobSnapshot, leases: &[Lease]) -> String {
+/// One job's `/api/jobs` JSON object: lifecycle snapshot plus the leases
+/// it currently holds. Public so the fleet ops plane can reuse the exact
+/// schema while joining leases across shards.
+pub fn job_object(snap: &JobSnapshot, leases: &[Lease]) -> String {
     let held: Vec<String> =
         leases.iter().filter(|l| l.holder == snap.job_id).map(lease_json).collect();
     format!(
         "{{\"id\":{},\"user\":\"{}\",\"tool\":\"{}\",\"state\":\"{}\",\"attempts\":{},\
-         \"destination\":{},\"priority\":{},\"submitted_at\":{},\"finished_at\":{},\
+         \"destination\":{},\"node\":{},\"priority\":{},\"submitted_at\":{},\"finished_at\":{},\
          \"leases\":[{}]}}",
         snap.job_id,
         json_escape(&snap.user),
@@ -122,6 +142,7 @@ fn job_object(snap: &JobSnapshot, leases: &[Lease]) -> String {
         snap.destination
             .as_deref()
             .map_or("null".to_string(), |d| format!("\"{}\"", json_escape(d))),
+        snap.node.as_deref().map_or("null".to_string(), |n| format!("\"{}\"", json_escape(n))),
         snap.priority,
         num(snap.submitted_at),
         snap.finished_at.map_or("null".to_string(), num),
@@ -256,14 +277,34 @@ pub fn ops_server(
     ledger: &JobsLedger,
     alerts: &AlertEngine,
 ) -> OpsServer {
-    let gpus = (cluster.clone(), table.clone());
+    ops_server_named(recorder, cluster, table, ledger, alerts, DEFAULT_NODE_NAME)
+}
+
+/// [`ops_server`] with an explicit node label: the `/api/gpus` devices
+/// carry `"node":"<name>"` and the metrics registry gains the
+/// `gyan_node_info{node="<name>"}` info gauge, so scrapes from several
+/// nodes stay distinguishable after aggregation.
+pub fn ops_server_named(
+    recorder: &Recorder,
+    cluster: &GpuCluster,
+    table: &LeaseTable,
+    ledger: &JobsLedger,
+    alerts: &AlertEngine,
+    node: &str,
+) -> OpsServer {
+    // Metric keys store label values raw; the registry escapes on render.
+    recorder.metrics().set_gauge(&format!("{NODE_INFO_GAUGE}{{node=\"{node}\"}}"), 1.0);
+    let gpus = (cluster.clone(), table.clone(), node.to_string());
     let jobs = (ledger.clone(), table.clone());
     let alerts_handle = alerts.clone();
     let flight = recorder.clone();
     let health = recorder.clone();
     OpsServer::new()
         .serve_metrics(recorder.metrics())
-        .route("/api/gpus", Arc::new(move |_req| Response::json(gpus_json(&gpus.0, &gpus.1))))
+        .route(
+            "/api/gpus",
+            Arc::new(move |_req| Response::json(gpus_json(&gpus.0, &gpus.1, &gpus.2))),
+        )
         .route(
             "/api/jobs",
             Arc::new(move |req| match req.path.strip_prefix("/api/jobs/") {
@@ -319,10 +360,13 @@ mod tests {
         let (_recorder, cluster, table, _ledger, _alerts) = stack();
         table.allocate_and_lease(&cluster, &[0], crate::AllocationPolicy::ProcessId, 7, 100, None);
 
-        let doc = obs::json::parse(&gpus_json(&cluster, &table)).expect("gpus json parses");
+        let doc =
+            obs::json::parse(&gpus_json(&cluster, &table, "k80-007")).expect("gpus json parses");
         let gpus = doc.get("gpus").and_then(|v| v.as_array()).expect("gpus array");
         assert_eq!(gpus.len(), 2);
         let dev0 = &gpus[0];
+        assert_eq!(dev0.get("node").and_then(|v| v.as_str()), Some("k80-007"));
+        assert_eq!(gpus[1].get("node").and_then(|v| v.as_str()), Some("k80-007"));
         assert_eq!(dev0.get("minor").and_then(|v| v.as_f64()), Some(0.0));
         assert!(dev0.get("fb_total_mib").and_then(|v| v.as_f64()).unwrap() > 0.0);
         let leases = dev0.get("leases").and_then(|v| v.as_array()).expect("leases array");
@@ -344,6 +388,7 @@ mod tests {
             state: galaxy::queue::SubmissionState::Queued,
             attempts: 1,
             destination: Some("local_gpu".to_string()),
+            node: Some("k80-000".to_string()),
             priority: 1,
             submitted_at: 0.5,
             finished_at: None,
@@ -355,6 +400,7 @@ mod tests {
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].get("state").and_then(|v| v.as_str()), Some("queued"));
         assert_eq!(jobs[0].get("destination").and_then(|v| v.as_str()), Some("local_gpu"));
+        assert_eq!(jobs[0].get("node").and_then(|v| v.as_str()), Some("k80-000"));
         assert!(jobs[0].get("finished_at").map(|v| v.is_null()).unwrap_or(false));
         let leases = jobs[0].get("leases").and_then(|v| v.as_array()).unwrap();
         assert_eq!(leases.len(), 1);
@@ -404,10 +450,15 @@ mod tests {
         let (status, body) = http_get(addr, "/metrics").unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("demo_total 3"));
+        assert!(
+            body.contains("gyan_node_info{node=\"node-000\"} 1"),
+            "metrics must carry the node label: {body}"
+        );
 
         let (status, body) = http_get(addr, "/api/gpus").unwrap();
         assert_eq!(status, 200);
         assert!(obs::json::parse(&body).is_ok());
+        assert!(body.contains("\"node\":\"node-000\""), "{body}");
 
         let (status, body) = http_get(addr, "/api/jobs").unwrap();
         assert_eq!(status, 200);

@@ -1,0 +1,268 @@
+//! Run one [`FleetScenario`] against a real [`fleet::Fleet`], checking
+//! shard-level and fleet-wide invariants at every wave barrier.
+//!
+//! The invariants are the multi-node generalization of the single-node
+//! checks in [`crate::invariants`]:
+//!
+//! * **per-shard conservation** — every lease on shard S belongs to a
+//!   job the fleet has booked *on S* (a lease whose holder is booked
+//!   elsewhere, or not at all, has leaked);
+//! * **fleet-wide no-double-booking** — no job holds leases on two
+//!   shards at once;
+//! * **export↔acquire equality** — the set of jobs with a successful
+//!   `fleet.placement.decision` audit equals the set of jobs with
+//!   `gyan.reservation.acquire` audits (checked fleet-wide at the end:
+//!   a placement without a lease, or a lease without a placement, means
+//!   the two phases disagreed);
+//! * **drained** — after the last wave every shard's lease table and the
+//!   fleet's booking map are empty.
+//!
+//! [`FleetSimOptions::double_place`] is the canonical known-bad wiring:
+//! it re-runs placement for a job that already holds leases (as a buggy
+//! dispatch layer would after a spurious retry). The fleet's booking map
+//! forgets the first node, the first shard's leases leak, and the
+//! per-shard conservation check trips — reproducibly, from the seed.
+
+use crate::fleet_scenario::{FleetScenario, FLEET_RULES};
+use crate::{SimFailure, SimReport};
+use fleet::{policy_by_name, DestinationRules, Fleet, NodeClass, PlacementRequest};
+use obs::{EventData, Recorder};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fleet-harness knobs. Defaults model the correct system; tests flip
+/// options to prove the checker catches known-bad wirings.
+#[derive(Debug, Clone, Default)]
+pub struct FleetSimOptions {
+    /// Re-place every Nth placed job in its submit wave *without*
+    /// releasing it first — the double-placement bug. `None` is the
+    /// correct wiring.
+    pub double_place: Option<usize>,
+}
+
+/// Build the scenario's fleet (shared so tests can inspect the same
+/// topology the harness ran).
+pub fn build_fleet(scenario: &FleetScenario, recorder: &Recorder) -> Fleet {
+    let mut builder = Fleet::builder()
+        .rules(DestinationRules::parse(FLEET_RULES).expect("stock rules parse"))
+        .policy(policy_by_name(scenario.policy).expect("stock policy"))
+        .recorder(recorder.clone());
+    for (class, count) in &scenario.nodes {
+        builder = builder.nodes(NodeClass::by_name(class).expect("stock class"), *count);
+    }
+    builder.build()
+}
+
+/// Execute `scenario` under `options`, checking invariants at every wave
+/// barrier and once more after the fleet drains.
+#[allow(clippy::result_large_err)]
+pub fn run_fleet_scenario(
+    scenario: &FleetScenario,
+    options: &FleetSimOptions,
+) -> Result<SimReport, SimFailure> {
+    let recorder = Recorder::new();
+    let fleet = build_fleet(scenario, &recorder);
+    let fail = |wave: Option<usize>, invariant: &'static str, detail: String| SimFailure {
+        seed: scenario.seed,
+        wave,
+        invariant,
+        detail,
+        scenario: scenario.describe(),
+        fired_alerts: Vec::new(),
+        flight_jsonl: None,
+    };
+
+    // job index → (job id, release wave). Job ids are 1-based indices so
+    // audits map straight back to the schedule.
+    let mut active: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut placed = 0usize;
+    let mut rejected = 0usize;
+    for wave in 0..scenario.waves {
+        // Release jobs whose hold expired before this wave places.
+        let due: Vec<u64> =
+            active.iter().filter(|(_, release)| **release <= wave).map(|(id, _)| *id).collect();
+        for id in due {
+            fleet.release(id, "ok");
+            active.remove(&id);
+        }
+
+        for (index, job) in scenario.jobs.iter().enumerate().filter(|(_, j)| j.submit_wave == wave)
+        {
+            let job_id = index as u64 + 1;
+            let user = format!("user-{}", job.user);
+            let req = PlacementRequest {
+                job_id,
+                user: &user,
+                tool_id: job.tool,
+                requested: &[0],
+                memory_hint_mib: job.memory_hint_mib,
+            };
+            match fleet.place(&req) {
+                Some(_) => {
+                    placed += 1;
+                    active.insert(job_id, wave + job.hold_waves);
+                    // Known-bad wiring: a buggy retry path hands the job
+                    // to placement again while it still holds leases.
+                    if let Some(every) = options.double_place {
+                        if every > 0 && placed.is_multiple_of(every) {
+                            fleet.place(&req);
+                        }
+                    }
+                }
+                None => rejected += 1,
+            }
+        }
+
+        check_shard_invariants(&fleet).map_err(|(inv, detail)| fail(Some(wave), inv, detail))?;
+    }
+
+    // Drain and re-check.
+    let remaining: Vec<u64> = active.keys().copied().collect();
+    for id in remaining {
+        fleet.release(id, "ok");
+    }
+    check_shard_invariants(&fleet).map_err(|(inv, detail)| fail(None, inv, detail))?;
+    if fleet.total_lease_count() != 0 || !fleet.active_placements().is_empty() {
+        return Err(fail(
+            None,
+            "fleet_drained",
+            format!(
+                "{} lease(s) and {} booking(s) survive the drain",
+                fleet.total_lease_count(),
+                fleet.active_placements().len()
+            ),
+        ));
+    }
+    fleet_export_matches_acquire(&recorder.events())
+        .map_err(|(inv, detail)| fail(None, inv, detail))?;
+
+    Ok(SimReport {
+        seed: scenario.seed,
+        waves: scenario.waves,
+        submitted: scenario.jobs.len(),
+        rejected,
+        ok: placed,
+        error: 0,
+        cancelled: 0,
+    })
+}
+
+/// Per-shard conservation + fleet-wide no-double-booking, from the
+/// fleet's live state.
+fn check_shard_invariants(fleet: &Fleet) -> Result<(), (&'static str, String)> {
+    let mut seen_on: BTreeMap<u64, u32> = BTreeMap::new();
+    for (node, holders) in fleet.holders_by_node() {
+        for holder in holders {
+            // Fleet-wide: one job, one shard.
+            if let Some(previous) = seen_on.insert(holder, node) {
+                return Err((
+                    "fleet_no_double_booking",
+                    format!("job {holder} holds leases on node {previous} and node {node}"),
+                ));
+            }
+            // Per-shard: the lease must be backed by a booking here.
+            match fleet.node_of(holder) {
+                Some(booked) if booked == node => {}
+                Some(booked) => {
+                    return Err((
+                        "fleet_lease_conservation",
+                        format!(
+                            "job {holder} leases on node {node} but is booked on node {booked} \
+                             (leaked by a re-placement?)"
+                        ),
+                    ));
+                }
+                None => {
+                    return Err((
+                        "fleet_lease_conservation",
+                        format!("job {holder} leases on node {node} with no fleet booking"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fleet-wide export↔acquire equality from the audit trail: jobs with a
+/// successful placement decision must equal jobs with reservation
+/// acquires.
+fn fleet_export_matches_acquire(events: &[EventData]) -> Result<(), (&'static str, String)> {
+    let job_of = |ev: &EventData| ev.field("job_id").and_then(|v| v.as_f64()).map(|j| j as u64);
+    let placed: BTreeSet<u64> = events
+        .iter()
+        .filter(|e| {
+            e.name == fleet::fleet::FLEET_DECISION_EVENT
+                && e.field("placed").and_then(|v| v.as_bool()) == Some(true)
+        })
+        .filter_map(job_of)
+        .collect();
+    let acquired: BTreeSet<u64> =
+        events.iter().filter(|e| e.name == "gyan.reservation.acquire").filter_map(job_of).collect();
+    if placed != acquired {
+        let unbacked: Vec<u64> = placed.difference(&acquired).copied().collect();
+        let silent: Vec<u64> = acquired.difference(&placed).copied().collect();
+        return Err((
+            "fleet_export_matches_acquire",
+            format!(
+                "placements without acquires: {unbacked:?}; acquires without placements: \
+                 {silent:?}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Run the fleet scenario generated by `seed`.
+#[allow(clippy::result_large_err)]
+pub fn run_fleet_seed(seed: u64, options: &FleetSimOptions) -> Result<SimReport, SimFailure> {
+    run_fleet_scenario(&FleetScenario::generate(seed), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_wiring_passes_a_seed_sweep() {
+        let options = FleetSimOptions::default();
+        for seed in 0..10 {
+            let report = run_fleet_seed(seed, &options)
+                .unwrap_or_else(|f| panic!("seed {seed} failed:\n{f}"));
+            assert_eq!(report.seed, seed);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let options = FleetSimOptions::default();
+        let a = run_fleet_seed(4, &options).expect("seed 4 passes");
+        let b = run_fleet_seed(4, &options).expect("seed 4 passes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn double_placement_is_caught_with_a_reproducing_seed() {
+        let options = FleetSimOptions { double_place: Some(2) };
+        let failure = (0..20)
+            .find_map(|seed| run_fleet_seed(seed, &options).err())
+            .expect("some seed must trip the checker");
+        assert!(
+            failure.invariant == "fleet_lease_conservation"
+                || failure.invariant == "fleet_no_double_booking",
+            "unexpected invariant: {}",
+            failure.invariant
+        );
+        // The report reproduces from the seed alone.
+        let again = run_fleet_seed(failure.seed, &options).expect_err("same seed re-fails");
+        assert_eq!(again.invariant, failure.invariant);
+        assert!(failure.to_string().contains(&format!("SIMTEST_SEED={}", failure.seed)));
+    }
+
+    #[test]
+    fn large_scenario_holds_invariants() {
+        let scenario = FleetScenario::large(11);
+        let report =
+            run_fleet_scenario(&scenario, &FleetSimOptions::default()).expect("large fleet passes");
+        assert!(report.ok > 0, "some placements must land: {report:?}");
+    }
+}

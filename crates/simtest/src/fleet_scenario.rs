@@ -1,0 +1,168 @@
+//! Seeded fleet-scenario generation: multi-node topologies, large user
+//! populations, and wave-structured place/hold/release schedules.
+//!
+//! Like [`crate::scenario::Scenario`], a [`FleetScenario`] derives
+//! entirely from its seed, so a failure report carrying
+//! `SIMTEST_SEED=<n>` reconstructs the run bit for bit. Unlike the
+//! single-node scenario it does not pump a real queue engine — the fleet
+//! sweep stresses the *placement* layer (node choice, shard isolation,
+//! booking/lease consistency) at scales (100 nodes, 10k users) where
+//! running every job through tool execution would drown the signal.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One placement in the schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetJobSpec {
+    /// Submitting user index (rendered as `user-<n>`).
+    pub user: usize,
+    /// Tool id submitted (drives destination-rule filtering).
+    pub tool: &'static str,
+    /// Declared GPU memory hint (MiB).
+    pub memory_hint_mib: u64,
+    /// Wave at which the job is placed.
+    pub submit_wave: usize,
+    /// How many waves the job holds its leases before release.
+    pub hold_waves: usize,
+}
+
+/// The simulated GPU tools a fleet job may run. `bonito*` is constrained
+/// to big-memory classes by the stock rule set; `racon_gpu` runs
+/// anywhere; `sort` is CPU-only and must always be rejected.
+pub const FLEET_TOOLS: &[&str] = &["racon_gpu", "bonito", "bonito_gpu", "medaka"];
+
+/// The stock rule file every fleet scenario installs (exercises class
+/// lists, memory floors, prefix globs, and right-sizing).
+pub const FLEET_RULES: &str = "\
+# basecallers need modern dies
+tool=bonito* classes=v100,a100 min_gpu_mem_mib=12000 cores=8 mem_mib=65536
+tool=medaka min_gpu_mem_mib=8000 cores=4
+tool=*
+";
+
+/// A fully specified fleet simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetScenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// Nodes per class, in node-id order: (class label, count).
+    pub nodes: Vec<(&'static str, u32)>,
+    /// Size of the user population.
+    pub users: usize,
+    /// Placement policy name (`least_loaded` / `bin_pack` / `fair_share`).
+    pub policy: &'static str,
+    /// The schedule, ordered by (submit_wave, index).
+    pub jobs: Vec<FleetJobSpec>,
+    /// Total waves to pump (≥ last release).
+    pub waves: usize,
+}
+
+impl FleetScenario {
+    /// Generate the scenario for `seed`: a small heterogeneous fleet and
+    /// a few dozen placements — the per-seed unit of the sweep.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // K80s always exist; V100/A100 may be absent, so rule-constrained
+        // tools and big memory hints sometimes have no admissible node —
+        // the rejection path is part of the sweep.
+        let nodes = vec![
+            ("k80", rng.gen_range(1..=4u32)),
+            ("v100", rng.gen_range(0..=3u32)),
+            ("a100", rng.gen_range(0..=2u32)),
+        ];
+        let users = rng.gen_range(2..=12usize);
+        let policy = ["least_loaded", "bin_pack", "fair_share"][rng.gen_range(0..3usize)];
+        let waves = rng.gen_range(4..=10usize);
+        let n_jobs = rng.gen_range(5..=40usize);
+        let jobs = (0..n_jobs).map(|_| Self::gen_job(&mut rng, users, waves)).collect();
+        FleetScenario { seed, nodes, users, policy, jobs, waves }
+    }
+
+    /// The verify-gate scale: a 100-node heterogeneous fleet and a
+    /// 10,000-user population. Job count stays bounded (placement is the
+    /// system under test, not submission throughput).
+    pub fn large(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = vec![("k80", 60u32), ("v100", 30), ("a100", 10)];
+        let users = 10_000;
+        let policy = ["least_loaded", "bin_pack", "fair_share"][rng.gen_range(0..3usize)];
+        let waves = 8;
+        let jobs = (0..400).map(|_| Self::gen_job(&mut rng, users, waves)).collect();
+        FleetScenario { seed, nodes, users, policy, jobs, waves }
+    }
+
+    fn gen_job(rng: &mut StdRng, users: usize, waves: usize) -> FleetJobSpec {
+        let submit_wave = rng.gen_range(0..waves.saturating_sub(1).max(1));
+        FleetJobSpec {
+            user: rng.gen_range(0..users),
+            tool: FLEET_TOOLS[rng.gen_range(0..FLEET_TOOLS.len())],
+            // Spans the interesting range: fits-everywhere up to
+            // A100-only (> 16,160 MiB excludes K80 and V100 dies).
+            memory_hint_mib: [256u64, 1024, 8_000, 12_000, 20_000][rng.gen_range(0..5usize)],
+            submit_wave,
+            hold_waves: rng.gen_range(1..=3usize),
+        }
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.iter().map(|(_, n)| n).sum()
+    }
+
+    /// One-line human summary for failure reports.
+    pub fn describe(&self) -> String {
+        let classes: Vec<String> = self.nodes.iter().map(|(c, n)| format!("{n}x{c}")).collect();
+        format!(
+            "fleet=[{}] users={} policy={} jobs={} waves={}",
+            classes.join(","),
+            self.users,
+            self.policy,
+            self.jobs.len(),
+            self.waves,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(FleetScenario::generate(seed), FleetScenario::generate(seed));
+        }
+        assert_eq!(FleetScenario::large(7), FleetScenario::large(7));
+    }
+
+    #[test]
+    fn seeds_vary_topology_and_policy() {
+        let scenarios: Vec<FleetScenario> = (0..60).map(FleetScenario::generate).collect();
+        assert!(scenarios.iter().any(|s| s.policy == "bin_pack"));
+        assert!(scenarios.iter().any(|s| s.policy == "fair_share"));
+        assert!(scenarios.iter().any(|s| s.nodes.iter().any(|(c, n)| *c == "v100" && *n == 0)));
+        assert!(scenarios.iter().any(|s| s.jobs.iter().any(|j| j.memory_hint_mib == 20_000)));
+    }
+
+    #[test]
+    fn large_scenario_hits_the_gate_scale() {
+        let s = FleetScenario::large(1);
+        assert_eq!(s.node_count(), 100);
+        assert_eq!(s.users, 10_000);
+        assert!(s.jobs.len() >= 100);
+        assert!(s.describe().contains("users=10000"), "{}", s.describe());
+    }
+
+    #[test]
+    fn schedule_is_well_formed() {
+        for seed in 0..30 {
+            let s = FleetScenario::generate(seed);
+            for job in &s.jobs {
+                assert!(job.submit_wave < s.waves, "seed {seed}");
+                assert!(job.hold_waves >= 1, "seed {seed}");
+                assert!(job.user < s.users, "seed {seed}");
+            }
+        }
+    }
+}

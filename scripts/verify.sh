@@ -7,8 +7,9 @@
 #   SIMTEST_SEED=<n>   replay exactly that seed instead of the sweep —
 #                      this is the value a simtest failure report prints.
 #
-# Perf-gate knobs (forwarded to the perf_gate binary):
-#   BENCH_SKIP=1            skip the scheduler perf gate entirely
+# Perf-gate knobs (forwarded to the perf_gate and placement_throughput
+# binaries):
+#   BENCH_SKIP=1            skip the scheduler + placement perf gates
 #   BENCH_TOLERANCE_PCT=<n> regression threshold in percent (default 40)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,6 +38,12 @@ cargo test -q --test reservations
 echo "==> deterministic simulation smoke (${SIMTEST_CASES:-25} seeded scenarios)"
 cargo test -q --test simtest
 
+echo "==> fleet placement tests (determinism, rules, dispatch, ops plane)"
+cargo test -q --test fleet
+
+echo "==> fleet simulation smoke (seeded sweep + 100-node/10k-user scenario)"
+cargo test -q --test simtest fleet_
+
 echo "==> ops-server smoke (scrape + health over live HTTP)"
 cargo run -q --release --example ops_server -- --check
 
@@ -55,6 +62,10 @@ else
   # on a regression past the tolerance, leaving the baseline untouched.
   cargo run -q --release -p gyan-bench --bin perf_gate
   test -s BENCH_scheduler.json
+
+  echo "==> fleet placement gate (BENCH_placement.json, tolerance ${BENCH_TOLERANCE_PCT:-40}%)"
+  cargo run -q --release -p gyan-bench --bin placement_throughput
+  test -s BENCH_placement.json
 fi
 
 echo "verify: OK"

@@ -5,11 +5,14 @@
 //! package:
 //!
 //! * [`gyan`] — the paper's contribution: GPU-aware computation mapping.
+//! * [`fleet`] — sharded multi-node placement over heterogeneous GPU
+//!   architectures (the layer above [`gyan`]'s single-node mapper).
 //! * [`galaxy`] — the Galaxy-workalike job framework substrate.
 //! * [`gpusim`] — the GPU cluster simulator substrate.
 //! * [`seqtools`] — Racon/Bonito-style tools and sequence data substrates.
 //! * [`xmlparse`] — the XML substrate.
 
+pub use fleet;
 pub use galaxy;
 pub use gpusim;
 pub use gyan;

@@ -1,0 +1,249 @@
+//! The fleet layer end to end: deterministic multi-node placement over
+//! heterogeneous architectures, TPV-style destination rules, queue-engine
+//! dispatch with node-labeled ledger snapshots, and the node-labeled
+//! fleet operations plane.
+
+use fleet::{
+    fleet_gpus_json, fleet_nodes_json, fleet_ops_server, install_fleet, policy_by_name, BinPack,
+    DestinationRule, DestinationRules, FairShare, Fleet, FleetConfig, NodeClass, PlacementRequest,
+};
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::queue::{QueueConfig, QueueEngine, SubmissionState};
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::GalaxyApp;
+use gpusim::GpuCluster;
+use obs::serve::http_get;
+use obs::slo::AlertEngine;
+use obs::Recorder;
+use seqtools::ToolExecutor;
+use std::sync::Arc;
+
+// &[0] pins one minor so each placement takes exactly one die (an empty
+// request takes every free die on the chosen node).
+fn request<'a>(job_id: u64, user: &'a str, tool: &'a str, hint: u64) -> PlacementRequest<'a> {
+    PlacementRequest { job_id, user, tool_id: tool, requested: &[0], memory_hint_mib: hint }
+}
+
+fn heterogeneous_fleet() -> Fleet {
+    Fleet::builder()
+        .nodes(NodeClass::k80(), 3)
+        .nodes(NodeClass::v100(), 2)
+        .nodes(NodeClass::a100(), 1)
+        .build()
+}
+
+// --- Satellite: placement determinism ---------------------------------
+
+/// Same fleet state + same request sequence ⇒ identical node choices,
+/// across fresh fleets and across policies.
+#[test]
+fn placement_is_deterministic_for_every_policy() {
+    for policy in ["least_loaded", "bin_pack", "fair_share"] {
+        let run = || {
+            let fleet = Fleet::builder()
+                .nodes(NodeClass::k80(), 4)
+                .nodes(NodeClass::a100(), 2)
+                .policy(policy_by_name(policy).unwrap())
+                .build();
+            (0..12u64)
+                .map(|job| {
+                    let user = if job % 2 == 0 { "ada" } else { "bob" };
+                    fleet.place(&request(job, user, "racon_gpu", 256)).map(|p| p.node)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "policy {policy} must be deterministic");
+    }
+}
+
+/// Tie-break ordering: equal scores resolve to the lowest node id, so an
+/// idle homogeneous fleet fills node 0 first, then 1, then 2 — never a
+/// permutation.
+#[test]
+fn ties_resolve_to_the_lowest_node_id_in_order() {
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 3).build();
+    let nodes: Vec<u32> = (0..3u64)
+        .map(|job| fleet.place(&request(job, "ada", "racon_gpu", 256)).unwrap().node)
+        .collect();
+    assert_eq!(nodes, vec![0, 1, 2]);
+}
+
+// --- Policies over heterogeneous hardware ------------------------------
+
+#[test]
+fn bin_pack_saturates_one_node_before_the_next() {
+    let fleet = Fleet::builder()
+        .nodes(NodeClass::k80(), 2) // 2 dies each
+        .policy(Arc::new(BinPack))
+        .build();
+    let nodes: Vec<u32> = (0..4u64)
+        .map(|job| fleet.place(&request(job, "ada", "racon_gpu", 256)).unwrap().node)
+        .collect();
+    assert_eq!(nodes, vec![0, 0, 1, 1], "fill node 0's two dies, then node 1's");
+}
+
+#[test]
+fn fair_share_spreads_a_burst_across_nodes() {
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 3).policy(Arc::new(FairShare)).build();
+    let nodes: Vec<u32> = (0..3u64)
+        .map(|job| fleet.place(&request(job, "ada", "racon_gpu", 256)).unwrap().node)
+        .collect();
+    assert_eq!(nodes, vec![0, 1, 2], "one user's burst may not pile onto one node");
+}
+
+// --- Destination rules over node classes -------------------------------
+
+#[test]
+fn rules_route_tools_to_admissible_classes_only() {
+    let rules =
+        DestinationRules::parse("tool=bonito* classes=v100,a100 min_gpu_mem_mib=12000\ntool=*\n")
+            .unwrap();
+    let fleet = Fleet::builder()
+        .nodes(NodeClass::k80(), 3)
+        .nodes(NodeClass::v100(), 1)
+        .rules(rules)
+        .build();
+    // bonito skips all three (lower-id, emptier) K80 nodes.
+    let p = fleet.place(&request(1, "ada", "bonito", 256)).expect("v100 admits bonito");
+    assert_eq!((p.node, p.node_class.as_str()), (3, "v100"));
+    // racon is unconstrained and lands on the first K80.
+    let p = fleet.place(&request(2, "ada", "racon_gpu", 256)).expect("k80 admits racon");
+    assert_eq!(p.node_class, "k80");
+}
+
+#[test]
+fn memory_hints_exclude_small_die_classes() {
+    let fleet = heterogeneous_fleet();
+    // 20 GB only fits an A100 die (K80 = 11,441 MiB, V100 = 16,160 MiB).
+    let p = fleet.place(&request(1, "ada", "racon_gpu", 20_000)).expect("a100 fits");
+    assert_eq!(p.node_class, "a100");
+    // 100 GB fits nothing.
+    assert!(fleet.place(&request(2, "ada", "racon_gpu", 100_000)).is_none());
+}
+
+#[test]
+fn right_sizing_comes_from_the_matching_rule() {
+    let rules = DestinationRules::new()
+        .with(DestinationRule::any("bonito*").on_classes(["a100"]).with_cores(8).with_mem(65_536))
+        .with(DestinationRule::any("*"));
+    let fleet = Fleet::builder().nodes(NodeClass::a100(), 1).rules(rules).build();
+    let p = fleet.place(&request(1, "ada", "bonito", 1024)).unwrap();
+    assert_eq!((p.cores, p.mem_mib), (8, 65_536));
+    // The catch-all rule right-sizes to the whole node.
+    let p = fleet.place(&request(2, "ada", "racon_gpu", 1024)).unwrap();
+    assert_eq!((p.cores, p.mem_mib), (64, 512 * 1024));
+}
+
+// --- Queue-engine dispatch with node-labeled snapshots -----------------
+
+// Echo-bodied so the stock executor can run it without datasets; the
+// `#if` still proves the GPU branch was taken.
+const FLEET_GPU_TOOL: &str = r#"<tool id="racon_gpu" name="Racon">
+  <requirements><requirement type="compute">gpu</requirement></requirements>
+  <command><![CDATA[
+#if $__galaxy_gpu_enabled__ == "true"
+echo gpu
+#else
+echo cpu
+#end if
+]]></command>
+  <outputs><data name="out" format="txt"/></outputs>
+</tool>"#;
+
+/// Full dispatch path: QueueEngine fair-share waves → dynamic rule →
+/// FleetHook placement → GALAXY_NODE export → node-labeled ledger
+/// snapshot, with leases released at the wave barrier.
+#[test]
+fn queue_dispatch_stamps_the_node_onto_the_ledger() {
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    app.install_tool_xml(FLEET_GPU_TOOL, &MacroLibrary::new()).unwrap();
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).nodes(NodeClass::a100(), 1).build();
+    // GYAN_JOB_CONF ships local_gpu/local_cpu destinations; point the
+    // fleet config at those.
+    install_fleet(
+        &mut app,
+        &fleet,
+        FleetConfig {
+            gpu_destination: "local_gpu".to_string(),
+            gpu_destinations: vec!["local_gpu".to_string()],
+            ..FleetConfig::default()
+        },
+    );
+    let executor = Arc::new(ToolExecutor::new(&GpuCluster::cpu_only_node()));
+    let mut engine = QueueEngine::new(app, executor, QueueConfig::default());
+
+    let handles: Vec<u64> = (0..3)
+        .map(|_| engine.submit_async("ada", "racon_gpu", &ParamDict::new()).unwrap().0)
+        .collect();
+    engine.run_until_idle();
+
+    let ledger = engine.ledger();
+    let nodes: Vec<Option<String>> =
+        handles.iter().map(|id| ledger.get(*id).unwrap().node.clone()).collect();
+    for (handle, node) in handles.iter().zip(&nodes) {
+        assert_eq!(engine.state(galaxy::queue::JobHandle(*handle)), Some(SubmissionState::Ok));
+        let name = node.as_deref().unwrap_or_else(|| panic!("job {handle} has no node label"));
+        assert!(name.starts_with("k80-") || name.starts_with("a100-"), "unexpected node {name}");
+        // The wrapper's #if took the GPU branch.
+        assert_eq!(engine.app().job(*handle).unwrap().stdout, "gpu");
+    }
+    // Wave barrier concluded everything: no leases or bookings survive.
+    assert_eq!(fleet.total_lease_count(), 0);
+    assert!(fleet.active_placements().is_empty());
+}
+
+// --- Fleet operations plane --------------------------------------------
+
+#[test]
+fn fleet_ops_plane_labels_gpus_nodes_and_metrics() {
+    let recorder = Recorder::new();
+    let fleet = Fleet::builder()
+        .nodes(NodeClass::k80(), 1)
+        .nodes(NodeClass::a100(), 1)
+        .recorder(recorder.clone())
+        .build();
+    fleet.place(&request(1, "ada", "racon_gpu", 256)).unwrap();
+    fleet.place(&request(2, "ada", "bonito", 20_000)).unwrap();
+
+    let gpus = obs::json::parse(&fleet_gpus_json(&fleet)).unwrap();
+    let devices = gpus.get("gpus").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(devices.len(), 10, "2 K80 dies + 8 A100 dies");
+    assert!(devices.iter().any(|d| d.get("node").and_then(|v| v.as_str()) == Some("k80-000")));
+    assert!(devices.iter().any(|d| d.get("node").and_then(|v| v.as_str()) == Some("a100-001")));
+
+    let nodes = obs::json::parse(&fleet_nodes_json(&fleet)).unwrap();
+    let list = nodes.get("nodes").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(list.len(), 2);
+    assert_eq!(list[1].get("arch").and_then(|v| v.as_str()), Some("A100-SXM4-40GB"));
+
+    let ledger = galaxy::queue::JobsLedger::new();
+    let alerts = AlertEngine::new(&recorder);
+    let handle =
+        fleet_ops_server(&recorder, &fleet, &ledger, &alerts).start("127.0.0.1:0").expect("bind");
+    let (status, body) = http_get(handle.addr(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("fleet_placements_total{node=\"k80-000\"} 1"), "{body}");
+    assert!(body.contains("fleet_placements_total{node=\"a100-001\"} 1"), "{body}");
+    let (status, body) = http_get(handle.addr(), "/api/nodes").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"node\":\"a100-001\""), "{body}");
+    handle.shutdown();
+}
+
+// --- Heterogeneous pricing sanity --------------------------------------
+
+/// The same placement is *priced* differently per node class: a kernel
+/// runs strictly faster on newer architectures, so destination rules that
+/// steer basecallers to V100/A100 nodes buy real simulated speedups.
+#[test]
+fn node_classes_price_the_same_kernel_differently() {
+    let seconds_on = |class: NodeClass| {
+        let spec = gpusim::KernelSpec::fp32("polish", 4096, 256, 1e12, 1e9);
+        spec.duration(&class.arch).unwrap().total_s
+    };
+    let k80 = seconds_on(NodeClass::k80());
+    let v100 = seconds_on(NodeClass::v100());
+    let a100 = seconds_on(NodeClass::a100());
+    assert!(k80 > v100 && v100 > a100, "k80={k80} v100={v100} a100={a100}");
+}

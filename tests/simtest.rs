@@ -72,3 +72,71 @@ fn unreleased_discard_leases_are_caught_with_a_reproducing_seed() {
     assert_eq!(again.invariant, failure.invariant);
     assert!(again.fired_alerts.iter().any(|a| a == "leaked-lease"), "{again}");
 }
+
+/// Fleet-layer sweep: seeded multi-node scenarios must hold the
+/// per-shard conservation, fleet-wide no-double-booking, and
+/// placement↔acquire invariants at every wave barrier.
+#[test]
+fn fleet_seeded_scenarios_hold_invariants() {
+    use simtest::{run_fleet_seed, FleetSimOptions};
+    let options = FleetSimOptions::default();
+    if let Some(seed) = seed_from_env() {
+        match run_fleet_seed(seed, &options) {
+            Ok(report) => println!("SIMTEST_SEED={seed} passed: {report:?}"),
+            Err(failure) => panic!("{failure}"),
+        }
+        return;
+    }
+    let cases = cases_from_env(25) as u64;
+    let mut saw_rejection = false;
+    for seed in 0..cases {
+        match run_fleet_seed(seed, &options) {
+            Ok(report) => saw_rejection |= report.rejected > 0,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+    // The rule/memory filters must actually bite somewhere in the sweep.
+    assert!(saw_rejection, "no scenario out of {cases} exercised a placement rejection");
+}
+
+/// The verify-gate scale: a 100-node heterogeneous fleet with a
+/// 10,000-user population holds every invariant, per shard and
+/// fleet-wide. `SIMTEST_CASES` caps the sweep (default 3 at this size).
+#[test]
+fn fleet_100_node_10k_user_scenario_holds_invariants() {
+    use simtest::{run_fleet_scenario, FleetScenario, FleetSimOptions};
+    let options = FleetSimOptions::default();
+    let cases = cases_from_env(3).min(25) as u64;
+    for seed in 0..cases {
+        let scenario = FleetScenario::large(seed);
+        assert_eq!(scenario.node_count(), 100);
+        assert_eq!(scenario.users, 10_000);
+        let report =
+            run_fleet_scenario(&scenario, &options).unwrap_or_else(|failure| panic!("{failure}"));
+        assert!(report.ok > 0, "large fleet placed nothing: {report:?}");
+    }
+}
+
+/// The fleet's canonical known-bad wiring: re-placing a job that still
+/// holds leases strands them on the first shard. The checker must catch
+/// it and print a single reproducing seed.
+#[test]
+fn fleet_double_placement_is_caught_with_a_reproducing_seed() {
+    use simtest::{run_fleet_seed, FleetSimOptions};
+    let bad = FleetSimOptions { double_place: Some(2) };
+    let failure = (0..100)
+        .find_map(|seed| run_fleet_seed(seed, &bad).err())
+        .expect("a double-placed job must trip a fleet invariant");
+    assert!(
+        failure.invariant == "fleet_lease_conservation"
+            || failure.invariant == "fleet_no_double_booking",
+        "{failure}"
+    );
+    let text = failure.to_string();
+    assert!(text.contains(&format!("SIMTEST_SEED={}", failure.seed)), "{text}");
+
+    // Reproduction contract: the printed seed alone re-creates the
+    // failure with the same invariant.
+    let again = run_fleet_seed(failure.seed, &bad).expect_err("seed must reproduce");
+    assert_eq!(again.invariant, failure.invariant);
+}
