@@ -91,6 +91,7 @@ fn bench_policy(policy: &str) -> f64 {
                 tool_id: tool,
                 requested: &[0], // one die per placement
                 memory_hint_mib: hint,
+                excluded_nodes: &[],
             };
             if fleet.place(&req).is_some() {
                 placed += 1;
@@ -125,6 +126,7 @@ fn bench_rejections() -> f64 {
                 tool_id: "racon_gpu",
                 requested: &[0],
                 memory_hint_mib: 100_000,
+                excluded_nodes: &[],
             };
             assert!(fleet.place(&req).is_none(), "no die holds 100 GB");
         }

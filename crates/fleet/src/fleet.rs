@@ -10,7 +10,7 @@
 //! simtest invariants audit: every lease on shard S must belong to a job
 //! the fleet booked on S, and no job may hold leases on two shards.
 
-use crate::node::{NodeClass, NodeShard};
+use crate::node::{NodeClass, NodeShard, NodeStatus};
 use crate::placement::{LeastLoaded, PlacementPolicy, PlacementRequest};
 use crate::rules::DestinationRules;
 use gpusim::VirtualClock;
@@ -30,6 +30,14 @@ pub const FLEET_LEASES_GAUGE: &str = "fleet_leases_active";
 pub const FLEET_DECISION_EVENT: &str = "fleet.placement.decision";
 /// Audit event emitted per release.
 pub const FLEET_RELEASE_EVENT: &str = "fleet.placement.release";
+/// Gauge: 1 when a node is cordoned or dead, 0 when ready, labeled
+/// `{node="<name>"}`.
+pub const FLEET_CORDONED_GAUGE: &str = "fleet_node_cordoned";
+/// Audit event emitted per node status transition (cordon, uncordon,
+/// drain, fail).
+pub const FLEET_NODE_EVENT: &str = "fleet.node.status";
+/// Release reason recorded when a node dies with leases on it.
+pub const NODE_LOST_REASON: &str = "node_lost";
 
 /// A successful placement: the chosen node plus the shard-level grant.
 #[derive(Debug, Clone)]
@@ -194,6 +202,8 @@ impl Fleet {
             let bookings = self.bookings.lock();
             self.shards
                 .iter()
+                .filter(|s| s.is_placeable())
+                .filter(|s| !req.excluded_nodes.iter().any(|n| n == &s.name))
                 .filter(|s| self.rules.admits(req.tool_id, &s.class, req.memory_hint_mib))
                 .map(|s| {
                     let mut load = s.load();
@@ -327,6 +337,108 @@ impl Fleet {
     pub fn holders_by_node(&self) -> Vec<(u32, Vec<u64>)> {
         self.shards.iter().map(|s| (s.id, s.table.holders())).collect()
     }
+
+    /// The decision-audit recorder, when the fleet was built with one
+    /// (shared so hooks can audit through the same sink).
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// A shard by its stable node name (`k80-000`, ...).
+    pub fn shard_named(&self, name: &str) -> Option<&NodeShard> {
+        self.shards.iter().find(|s| s.name == name)
+    }
+
+    fn audit_node_status(&self, shard: &NodeShard, action: &str, leases: usize) {
+        if let Some(rec) = &self.recorder {
+            let cordoned = if shard.is_placeable() { 0.0 } else { 1.0 };
+            rec.metrics()
+                .set_gauge(&format!("{FLEET_CORDONED_GAUGE}{{node=\"{}\"}}", shard.name), cordoned);
+            rec.event(
+                FLEET_NODE_EVENT,
+                vec![
+                    ("node", Value::from(shard.name.as_str())),
+                    ("action", Value::from(action)),
+                    ("status", Value::from(shard.status().as_str())),
+                    ("leases", Value::from(leases)),
+                ],
+            );
+        }
+    }
+
+    /// Cordon a node: placement skips it from now on, but its leases keep
+    /// draining through [`Fleet::release`]. Idempotent (re-cordoning a
+    /// cordoned node is a no-op); returns false for unknown nodes and for
+    /// dead ones (a dead node cannot come back as merely cordoned).
+    pub fn cordon(&self, node: &str) -> bool {
+        let Some(shard) = self.shard_named(node) else { return false };
+        match shard.status() {
+            NodeStatus::Dead => false,
+            NodeStatus::Cordoned => true,
+            NodeStatus::Ready => {
+                shard.set_status(NodeStatus::Cordoned);
+                self.audit_node_status(shard, "cordon", shard.table.lease_count());
+                true
+            }
+        }
+    }
+
+    /// Lift a cordon (or resurrect a dead node, modeling a repaired host
+    /// rejoining). Returns false for unknown nodes.
+    pub fn uncordon(&self, node: &str) -> bool {
+        let Some(shard) = self.shard_named(node) else { return false };
+        if shard.status() != NodeStatus::Ready {
+            shard.set_status(NodeStatus::Ready);
+            self.audit_node_status(shard, "uncordon", shard.table.lease_count());
+        }
+        true
+    }
+
+    /// Begin draining a node: cordon it and report how many leases still
+    /// have to release before the drain resolves (0 = already drained).
+    /// `None` for unknown or dead nodes.
+    pub fn drain(&self, node: &str) -> Option<usize> {
+        let shard = self.shard_named(node)?;
+        if shard.status() == NodeStatus::Dead {
+            return None;
+        }
+        if shard.status() == NodeStatus::Ready {
+            shard.set_status(NodeStatus::Cordoned);
+        }
+        let remaining = shard.table.lease_count();
+        self.audit_node_status(shard, "drain", remaining);
+        Some(remaining)
+    }
+
+    /// Whether a node's drain has resolved: it is cordoned (or dead) and
+    /// holds no leases. `None` for unknown nodes; `Some(false)` while
+    /// ready or still holding leases.
+    pub fn is_drained(&self, node: &str) -> Option<bool> {
+        let shard = self.shard_named(node)?;
+        Some(!shard.is_placeable() && shard.table.lease_count() == 0)
+    }
+
+    /// Kill a node: mark it dead, force-release every booking on it as
+    /// [`NODE_LOST_REASON`], and return the lost jobs' ids (the queue
+    /// layer concludes them `failed_retryable` and resubmits elsewhere).
+    /// `None` for unknown nodes; idempotent on an already-dead node
+    /// (returns the now-empty lost set).
+    pub fn fail_node(&self, node: &str) -> Option<Vec<u64>> {
+        let shard = self.shard_named(node)?;
+        shard.set_status(NodeStatus::Dead);
+        let lost: Vec<u64> = self
+            .bookings
+            .lock()
+            .iter()
+            .filter(|(_, b)| b.node == shard.id)
+            .map(|(job, _)| *job)
+            .collect();
+        for job_id in &lost {
+            self.release(*job_id, NODE_LOST_REASON);
+        }
+        self.audit_node_status(shard, "fail", lost.len());
+        Some(lost)
+    }
 }
 
 #[cfg(test)]
@@ -338,7 +450,14 @@ mod tests {
     // Pin one minor so each placement leases exactly one die (an empty
     // request takes every free die on the chosen node, per gyan).
     fn request(job_id: u64, user: &'static str, tool: &'static str) -> PlacementRequest<'static> {
-        PlacementRequest { job_id, user, tool_id: tool, requested: &[0], memory_hint_mib: 256 }
+        PlacementRequest {
+            job_id,
+            user,
+            tool_id: tool,
+            requested: &[0],
+            memory_hint_mib: 256,
+            excluded_nodes: &[],
+        }
     }
 
     fn two_k80s() -> Fleet {
@@ -385,6 +504,7 @@ mod tests {
             tool_id: "racon_gpu",
             requested: &[0],
             memory_hint_mib: 1 << 20,
+            excluded_nodes: &[],
         };
         assert!(fleet.place(&huge).is_none());
     }
@@ -420,6 +540,78 @@ mod tests {
         let fleet = Fleet::builder().nodes(NodeClass::v100(), 1).rules(rules).build();
         let p = fleet.place(&request(1, "ada", "racon_gpu")).unwrap();
         assert_eq!((p.cores, p.mem_mib), (4, 8192));
+    }
+
+    #[test]
+    fn excluded_nodes_are_filtered_before_scoring() {
+        let fleet = two_k80s();
+        let excluded = vec!["k80-000".to_string()];
+        let req = PlacementRequest {
+            job_id: 1,
+            user: "ada",
+            tool_id: "racon_gpu",
+            requested: &[0],
+            memory_hint_mib: 256,
+            excluded_nodes: &excluded,
+        };
+        // Node 0 would win the tie-break; the exclusion forces node 1.
+        assert_eq!(fleet.place(&req).expect("node 1 hosts").node, 1);
+        // Excluding every node leaves no candidate at all.
+        let all = vec!["k80-000".to_string(), "k80-001".to_string()];
+        let req = PlacementRequest { job_id: 2, excluded_nodes: &all, ..req };
+        assert!(fleet.place(&req).is_none());
+    }
+
+    #[test]
+    fn cordoned_node_skips_placement_but_serves_releases() {
+        let fleet = two_k80s();
+        fleet.place(&request(1, "ada", "racon_gpu")).unwrap();
+        assert_eq!(fleet.node_of(1), Some(0));
+        assert!(fleet.cordon("k80-000"));
+        // New placements avoid the cordoned node...
+        assert_eq!(fleet.place(&request(2, "ada", "racon_gpu")).unwrap().node, 1);
+        // ...but its existing lease still releases.
+        assert!(fleet.release(1, "ok") > 0);
+        assert_eq!(fleet.is_drained("k80-000"), Some(true));
+        assert!(fleet.uncordon("k80-000"));
+        assert_eq!(fleet.place(&request(3, "ada", "racon_gpu")).unwrap().node, 0);
+        assert!(!fleet.cordon("ghost-042"), "unknown nodes are not cordonable");
+    }
+
+    #[test]
+    fn drain_resolves_when_the_lease_count_hits_zero() {
+        let fleet = two_k80s();
+        fleet.place(&request(1, "ada", "racon_gpu")).unwrap();
+        assert_eq!(fleet.drain("k80-000"), Some(1));
+        assert_eq!(fleet.is_drained("k80-000"), Some(false));
+        fleet.release(1, "ok");
+        assert_eq!(fleet.is_drained("k80-000"), Some(true));
+        // A ready node with no leases is not "drained" — it is serving.
+        assert_eq!(fleet.is_drained("k80-001"), Some(false));
+    }
+
+    #[test]
+    fn fail_node_force_releases_bookings_as_node_lost() {
+        let recorder = Recorder::new();
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).recorder(recorder.clone()).build();
+        fleet.place(&request(1, "ada", "racon_gpu")).unwrap();
+        fleet.place(&request(2, "bob", "racon_gpu")).unwrap();
+        let lost = fleet.fail_node("k80-000").expect("known node");
+        assert_eq!(lost, vec![1]);
+        assert_eq!(fleet.node_of(1), None, "booking gone");
+        assert_eq!(fleet.shard_named("k80-000").unwrap().table.lease_count(), 0);
+        // Job 2 on the surviving node is untouched.
+        assert_eq!(fleet.node_of(2), Some(1));
+        // The dead node takes no further placements and cannot be merely
+        // cordoned; uncordon models a repaired host rejoining.
+        assert_eq!(fleet.place(&request(3, "ada", "racon_gpu")).unwrap().node, 1);
+        assert!(!fleet.cordon("k80-000"));
+        assert_eq!(fleet.drain("k80-000"), None);
+        let log = recorder.to_jsonl();
+        assert!(log.contains(NODE_LOST_REASON), "{log}");
+        assert!(log.contains("\"action\":\"fail\""), "{log}");
+        let gauge = recorder.metrics().gauge_value("fleet_node_cordoned{node=\"k80-000\"}");
+        assert_eq!(gauge, Some(1.0));
     }
 
     #[test]

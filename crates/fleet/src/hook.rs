@@ -17,6 +17,13 @@ use galaxy::GalaxyApp;
 use gyan::orchestrator::{DEFAULT_GPU_MEMORY_HINT_MIB, GPU_MEMORY_HINT_PARAM};
 use gyan::setup::ClusterTime;
 use gyan::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED, GPU_ENABLED_PARAM};
+use obs::Value;
+
+/// Counter: `gpu_memory_hint_mib` params that failed to parse (the hook
+/// fell back to its default instead of silently ignoring the typo).
+pub const FLEET_INVALID_HINT_COUNTER: &str = "fleet_invalid_memory_hint_total";
+/// Decision-audit event emitted per malformed `gpu_memory_hint_mib`.
+pub const FLEET_INVALID_HINT_EVENT: &str = "fleet.hook.invalid_memory_hint";
 
 /// Options for [`install_fleet`] (the fleet-level `GyanConfig`).
 #[derive(Debug, Clone)]
@@ -78,13 +85,46 @@ impl FleetHook {
         self.gpu_destinations.iter().any(|d| d == &destination.id)
     }
 
-    fn memory_hint(&self, destination: &Destination) -> u64 {
-        destination
-            .params
-            .get(GPU_MEMORY_HINT_PARAM)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(self.default_memory_hint_mib)
+    fn memory_hint(&self, job_id: u64, destination: &Destination) -> u64 {
+        match destination.params.get(GPU_MEMORY_HINT_PARAM) {
+            None => self.default_memory_hint_mib,
+            Some(raw) => match raw.parse() {
+                Ok(mib) => mib,
+                Err(_) => {
+                    // A typo'd hint must not pass silently: audit the
+                    // fallback so the operator sees the config is wrong.
+                    if let Some(rec) = self.fleet.recorder() {
+                        rec.metrics().inc_counter(FLEET_INVALID_HINT_COUNTER, 1);
+                        rec.event(
+                            FLEET_INVALID_HINT_EVENT,
+                            vec![
+                                ("job_id", Value::from(job_id)),
+                                ("destination", Value::from(destination.id.as_str())),
+                                ("raw", Value::from(raw)),
+                                ("fallback_mib", Value::from(self.default_memory_hint_mib)),
+                            ],
+                        );
+                    }
+                    self.default_memory_hint_mib
+                }
+            },
+        }
     }
+}
+
+/// Resolve a destination's `gpu_memory_hint_mib` the way [`FleetHook`]
+/// does — per-destination param first, then the configured default — so
+/// the dynamic rule, the placement advisor, and the hook can never
+/// disagree about the hint for the same destination.
+fn destination_memory_hint(
+    conf: &galaxy::job::conf::JobConfig,
+    destination_id: &str,
+    default_mib: u64,
+) -> u64 {
+    conf.destination(destination_id)
+        .and_then(|d| d.params.get(GPU_MEMORY_HINT_PARAM))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_mib)
 }
 
 impl JobHook for FleetHook {
@@ -94,12 +134,19 @@ impl JobHook for FleetHook {
             // The queue engine exports the fair-share user before
             // preparing the plan; direct GalaxyApp::submit has no user.
             let user = job.env_var(galaxy::GALAXY_USER_ENV).unwrap_or("").to_string();
+            // Placement-aware resubmission: the engine exports the nodes
+            // previous attempts failed on; phase-1a filters them out.
+            let excluded: Vec<String> = job
+                .env_var(galaxy::GALAXY_EXCLUDED_NODES_ENV)
+                .map(parse_excluded_nodes)
+                .unwrap_or_default();
             let req = PlacementRequest {
                 job_id: job.id,
                 user: &user,
                 tool_id: &tool.id,
                 requested: &requested,
-                memory_hint_mib: self.memory_hint(destination),
+                memory_hint_mib: self.memory_hint(job.id, destination),
+                excluded_nodes: &excluded,
             };
             if let Some(placement) = self.fleet.place(&req) {
                 job.set_env(GALAXY_GPU_ENABLED, "true");
@@ -110,12 +157,24 @@ impl JobHook for FleetHook {
             }
         }
         job.set_env(GALAXY_GPU_ENABLED, "false");
+        // On a resubmitted attempt this CPU branch runs with the failed
+        // GPU attempt's exports still on the job record: drop them, or
+        // the ledger would label a CPU retry with a node and device mask
+        // it never touched.
+        job.remove_env(CUDA_VISIBLE_DEVICES);
+        job.remove_env(galaxy::GALAXY_NODE_ENV);
         job.params.set(GPU_ENABLED_PARAM, "false");
     }
 
     fn after_conclude(&self, job_id: u64, conclusion: JobConclusion) {
         self.fleet.release(job_id, conclusion.as_str());
     }
+}
+
+/// Split the comma-joined `GALAXY_EXCLUDED_NODES` export back into node
+/// names.
+fn parse_excluded_nodes(raw: &str) -> Vec<String> {
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
 }
 
 /// Install the fleet into `app`: registers a dynamic destination rule
@@ -137,18 +196,39 @@ pub fn install_fleet(app: &mut GalaxyApp, fleet: &Fleet, config: FleetConfig) {
     let rule_fleet = fleet.clone();
     let gpu_dest = config.gpu_destination.clone();
     let cpu_dest = config.cpu_destination.clone();
-    let hint = config.gpu_memory_hint_mib;
+    let default_hint = config.gpu_memory_hint_mib;
     app.register_rule(
         config.rule_name.clone(),
-        Box::new(move |tool: &Tool, _job: &Job, _conf: &galaxy::job::conf::JobConfig| {
+        Box::new(move |tool: &Tool, _job: &Job, conf: &galaxy::job::conf::JobConfig| {
+            // Resolve the hint exactly as the hook will (per-destination
+            // param over config default), so the rule never routes a job
+            // to `fleet_gpu` that placement is then forced to reject.
+            let hint = destination_memory_hint(conf, &gpu_dest, default_hint);
             let hosts = tool.requires_gpu()
-                && rule_fleet
-                    .shards()
-                    .iter()
-                    .any(|s| rule_fleet.rules().admits(&tool.id, &s.class, hint));
+                && rule_fleet.shards().iter().any(|s| {
+                    s.is_placeable() && rule_fleet.rules().admits(&tool.id, &s.class, hint)
+                });
             Ok(if hosts { gpu_dest.clone() } else { cpu_dest.clone() })
         }),
     );
+    // Placement-aware resubmission seam: the queue engine asks, per
+    // failed attempt, whether the fleet still hosts the tool on this
+    // destination once the failed nodes are excluded — retrying on the
+    // fleet when yes, falling down the ladder (CPU) when no.
+    let advisor_fleet = fleet.clone();
+    let advisor_conf = app.config().clone();
+    let advisor_gpu_dests = config.gpu_destinations.clone();
+    app.set_placement_advisor(Box::new(move |tool_id, dest_id, excluded| {
+        if !advisor_gpu_dests.iter().any(|d| d == dest_id) {
+            return false;
+        }
+        let hint = destination_memory_hint(&advisor_conf, dest_id, default_hint);
+        advisor_fleet.shards().iter().any(|s| {
+            s.is_placeable()
+                && !excluded.iter().any(|n| n == &s.name)
+                && advisor_fleet.rules().admits(tool_id, &s.class, hint)
+        })
+    }));
     app.add_hook(Box::new(
         FleetHook::new(fleet, config.gpu_destinations.clone())
             .with_default_memory_hint(config.gpu_memory_hint_mib),

@@ -45,8 +45,10 @@ pub mod placement;
 pub mod rules;
 
 pub use fleet::{Fleet, FleetBuilder, Placement};
-pub use hook::{install_fleet, FleetConfig, FleetHook};
-pub use node::{NodeClass, NodeLoad, NodeShard};
+pub use hook::{
+    install_fleet, FleetConfig, FleetHook, FLEET_INVALID_HINT_COUNTER, FLEET_INVALID_HINT_EVENT,
+};
+pub use node::{NodeClass, NodeLoad, NodeShard, NodeStatus};
 pub use ops::{fleet_gpus_json, fleet_jobs_json, fleet_nodes_json, fleet_ops_server};
 pub use placement::{
     policy_by_name, BinPack, FairShare, LeastLoaded, PlacementPolicy, PlacementRequest,

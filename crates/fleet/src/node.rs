@@ -9,6 +9,40 @@
 
 use gpusim::{GpuArch, GpuCluster, VirtualClock};
 use gyan::reservations::LeaseTable;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Operational status of one shard. `Ready` accepts placements;
+/// `Cordoned` is skipped by placement but keeps serving releases (the
+/// drain state); `Dead` is a failed node — placement skips it and its
+/// leases have been force-released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Accepting placements.
+    Ready,
+    /// Skipped by placement; existing leases still drain through release.
+    Cordoned,
+    /// Failed: skipped by placement, leases force-released as lost.
+    Dead,
+}
+
+impl NodeStatus {
+    /// Lower-case status name for `/api/nodes` and audits.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeStatus::Ready => "ready",
+            NodeStatus::Cordoned => "cordoned",
+            NodeStatus::Dead => "dead",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => NodeStatus::Cordoned,
+            2 => NodeStatus::Dead,
+            _ => NodeStatus::Ready,
+        }
+    }
+}
 
 /// One hardware flavour of the fleet (all nodes of a class are identical;
 /// heterogeneity lives *between* classes).
@@ -95,6 +129,9 @@ pub struct NodeShard {
     pub cluster: GpuCluster,
     /// The node's reservation layer (its only lock).
     pub table: LeaseTable,
+    /// Operational status (shards are `Arc`-shared without a lock of
+    /// their own, so the status is a lone atomic).
+    status: AtomicU8,
 }
 
 impl NodeShard {
@@ -107,7 +144,25 @@ impl NodeShard {
             class,
             cluster,
             table: LeaseTable::new(),
+            status: AtomicU8::new(0),
         }
+    }
+
+    /// Current operational status.
+    pub fn status(&self) -> NodeStatus {
+        NodeStatus::from_u8(self.status.load(Ordering::SeqCst))
+    }
+
+    /// Set the operational status (cordon/uncordon/fail transitions are
+    /// owned by [`crate::fleet::Fleet`], which also audits them).
+    pub fn set_status(&self, status: NodeStatus) {
+        self.status.store(status as u8, Ordering::SeqCst);
+    }
+
+    /// Whether placement may choose this shard (only `Ready` shards are
+    /// candidates; cordoned and dead shards keep serving releases).
+    pub fn is_placeable(&self) -> bool {
+        self.status() == NodeStatus::Ready
     }
 
     /// Instantaneous load snapshot the placement policies score.
@@ -202,6 +257,21 @@ mod tests {
         assert_eq!(loaded.free_devices, 1);
         assert_eq!(loaded.pending_mem_mib, 512);
         assert!(loaded.utilization() > 0.4);
+    }
+
+    #[test]
+    fn status_transitions_gate_placeability() {
+        let clock = VirtualClock::new();
+        let shard = NodeShard::new(0, NodeClass::k80(), &clock);
+        assert_eq!(shard.status(), NodeStatus::Ready);
+        assert!(shard.is_placeable());
+        shard.set_status(NodeStatus::Cordoned);
+        assert_eq!(shard.status().as_str(), "cordoned");
+        assert!(!shard.is_placeable());
+        shard.set_status(NodeStatus::Dead);
+        assert!(!shard.is_placeable());
+        shard.set_status(NodeStatus::Ready);
+        assert!(shard.is_placeable());
     }
 
     #[test]

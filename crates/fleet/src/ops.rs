@@ -40,11 +40,14 @@ pub fn fleet_nodes_json(fleet: &Fleet) -> String {
         .map(|s| {
             let load = s.load();
             format!(
-                "{{\"node\":\"{}\",\"class\":\"{}\",\"arch\":\"{}\",\"devices\":{},\
+                "{{\"node\":\"{}\",\"class\":\"{}\",\"arch\":\"{}\",\"status\":\"{}\",\
+                 \"cordoned\":{},\"devices\":{},\
                  \"active_leases\":{},\"free_devices\":{},\"pending_mem_mib\":{}}}",
                 json_escape(&s.name),
                 json_escape(s.class.name),
                 json_escape(s.class.arch.name),
+                s.status().as_str(),
+                !s.is_placeable(),
                 load.device_count,
                 load.active_leases,
                 load.free_devices,
@@ -140,6 +143,7 @@ mod tests {
                 // Pin one minor: an empty request takes every free die.
                 requested: &[0],
                 memory_hint_mib: 256,
+                excluded_nodes: &[],
             })
             .expect("fleet places");
     }
@@ -180,6 +184,14 @@ mod tests {
         assert_eq!(nodes[0].get("active_leases").and_then(|v| v.as_f64()), Some(1.0));
         assert_eq!(nodes[1].get("class").and_then(|v| v.as_str()), Some("a100"));
         assert_eq!(nodes[1].get("free_devices").and_then(|v| v.as_f64()), Some(8.0));
+        assert_eq!(nodes[0].get("status").and_then(|v| v.as_str()), Some("ready"));
+        assert_eq!(nodes[0].get("cordoned").and_then(|v| v.as_bool()), Some(false));
+        // Cordon state flows straight into the view.
+        fleet.cordon("k80-000");
+        let doc = obs::json::parse(&fleet_nodes_json(&fleet)).expect("parses");
+        let nodes = doc.get("nodes").and_then(|v| v.as_array()).expect("nodes");
+        assert_eq!(nodes[0].get("status").and_then(|v| v.as_str()), Some("cordoned"));
+        assert_eq!(nodes[0].get("cordoned").and_then(|v| v.as_bool()), Some(true));
     }
 
     #[test]

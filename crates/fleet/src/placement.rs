@@ -21,6 +21,10 @@ pub struct PlacementRequest<'a> {
     pub requested: &'a [u32],
     /// Declared GPU memory (MiB) — a candidate node's dies must fit it.
     pub memory_hint_mib: u64,
+    /// Node names excluded from candidacy (phase-1a filtering). Fed by
+    /// placement-aware resubmission: every node a previous attempt of
+    /// this job failed on.
+    pub excluded_nodes: &'a [String],
 }
 
 /// A node-scoring strategy. Implementations must be pure functions of
@@ -117,6 +121,7 @@ mod tests {
             tool_id: "racon_gpu",
             requested: &[],
             memory_hint_mib: 100,
+            excluded_nodes: &[],
         }
     }
 

@@ -45,6 +45,14 @@ pub const JOBS_ERROR_COUNTER: &str = "galaxy_jobs_error_total";
 pub type DynamicRule =
     Box<dyn Fn(&Tool, &Job, &JobConfig) -> Result<String, GalaxyError> + Send + Sync>;
 
+/// Placement-aware resubmission callback: `(tool_id, destination_id,
+/// excluded_nodes) -> can_still_host`. Installed by a placement layer
+/// (the fleet) so the queue engine can ask, without a dependency on it,
+/// whether retrying a failed attempt on the same destination is viable
+/// once the failed node is excluded — falling to the ordinary fallback
+/// ladder when it is not.
+pub type PlacementAdvisor = Box<dyn Fn(&str, &str, &[String]) -> bool + Send + Sync>;
+
 /// Source of (virtual) time for job timestamps.
 pub trait TimeSource: Send + Sync {
     /// Current time in seconds.
@@ -90,6 +98,7 @@ pub struct GalaxyApp {
     /// or prepared but not yet finished) — kept so the asynchronous queue
     /// path can span multiple dispatch attempts under one job span.
     open_spans: HashMap<u64, Span>,
+    placement_advisor: Option<PlacementAdvisor>,
 }
 
 impl GalaxyApp {
@@ -111,6 +120,7 @@ impl GalaxyApp {
             events: Vec::new(),
             recorder: Recorder::new(),
             open_spans: HashMap::new(),
+            placement_advisor: None,
         }
     }
 
@@ -154,6 +164,17 @@ impl GalaxyApp {
     /// Register a command mutator.
     pub fn add_mutator(&mut self, mutator: Box<dyn CommandMutator>) {
         self.mutators.push(mutator);
+    }
+
+    /// Install the placement-aware resubmission advisor (see
+    /// [`PlacementAdvisor`]). Replaces any previous advisor.
+    pub fn set_placement_advisor(&mut self, advisor: PlacementAdvisor) {
+        self.placement_advisor = Some(advisor);
+    }
+
+    /// The installed placement advisor, if any.
+    pub fn placement_advisor(&self) -> Option<&PlacementAdvisor> {
+        self.placement_advisor.as_ref()
     }
 
     /// Replace the execution backend.
@@ -524,6 +545,15 @@ impl GalaxyApp {
             }
             None => false,
         }
+    }
+
+    /// Remove an environment variable from a job's record — the companion
+    /// of [`GalaxyApp::set_job_env`] for per-attempt context that must
+    /// not leak onto the next attempt (e.g. the exclusion set of
+    /// [`crate::GALAXY_EXCLUDED_NODES_ENV`]). Returns false when the job
+    /// is unknown or the key was absent.
+    pub fn remove_job_env(&mut self, id: u64, key: &str) -> bool {
+        self.jobs.get_mut(&id).map(|job| job.remove_env(key)).unwrap_or(false)
     }
 
     /// All jobs, ordered by id.

@@ -135,6 +135,16 @@ impl Job {
         self.env.push((key, value.into()));
     }
 
+    /// Remove an exported environment variable, returning whether a value
+    /// was present. Hooks use this on resubmitted attempts: a CPU retry
+    /// must not inherit the failed GPU attempt's `CUDA_VISIBLE_DEVICES`
+    /// or `GALAXY_NODE` exports.
+    pub fn remove_env(&mut self, key: &str) -> bool {
+        let before = self.env.len();
+        self.env.retain(|(k, _)| k != key);
+        self.env.len() != before
+    }
+
     /// Look up an exported environment variable.
     pub fn env_var(&self, key: &str) -> Option<&str> {
         self.env.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
@@ -205,6 +215,17 @@ mod tests {
         j.set_env("GALAXY_GPU_ENABLED", "true");
         assert_eq!(j.env_var("GALAXY_GPU_ENABLED"), Some("true"));
         assert_eq!(j.env.len(), 1);
+    }
+
+    #[test]
+    fn remove_env_drops_the_key_and_reports_presence() {
+        let mut j = Job::new(1, "t", ParamDict::new());
+        j.set_env("CUDA_VISIBLE_DEVICES", "0,1");
+        j.set_env("GALAXY_NODE", "k80-000");
+        assert!(j.remove_env("CUDA_VISIBLE_DEVICES"));
+        assert!(j.env_var("CUDA_VISIBLE_DEVICES").is_none());
+        assert_eq!(j.env_var("GALAXY_NODE"), Some("k80-000"));
+        assert!(!j.remove_env("CUDA_VISIBLE_DEVICES"), "second removal is a no-op");
     }
 
     #[test]

@@ -47,12 +47,19 @@ pub mod workflow;
 /// the ledger so ops views can label jobs per node.
 pub const GALAXY_NODE_ENV: &str = "GALAXY_NODE";
 
+/// Environment variable carrying a comma-separated list of fleet node
+/// names the current attempt must not land on. The queue engine exports
+/// it on resubmitted attempts (placement-aware resubmission: the node a
+/// GPU attempt failed on is excluded from the retry); placement hooks
+/// parse it into the placement request's exclusion set.
+pub const GALAXY_EXCLUDED_NODES_ENV: &str = "GALAXY_EXCLUDED_NODES";
+
 /// Environment variable carrying the submitting user into pre-dispatch
 /// hooks (the queue engine sets it from its fair-share context before
 /// preparing the plan, since `Job` itself has no user field).
 pub const GALAXY_USER_ENV: &str = "GALAXY_USER";
 
-pub use app::GalaxyApp;
+pub use app::{GalaxyApp, PlacementAdvisor};
 pub use error::GalaxyError;
 pub use job::{Job, JobState};
 pub use params::ParamDict;

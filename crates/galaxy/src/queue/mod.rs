@@ -243,6 +243,40 @@ struct JobCtx {
     first_destination: Option<String>,
     /// Owning DAG step, when the job materializes a workflow step.
     origin: Option<(usize, usize)>,
+    /// Fleet nodes this job's next attempt must avoid (every node a
+    /// previous attempt failed on). Exported to the placement hook via
+    /// [`crate::GALAXY_EXCLUDED_NODES_ENV`].
+    excluded_nodes: Vec<String>,
+    /// Placement-aware same-destination retries already consumed.
+    node_retries_used: u32,
+}
+
+impl JobCtx {
+    fn new(user: String, priority: u8, origin: Option<(usize, usize)>) -> Self {
+        JobCtx {
+            user,
+            priority,
+            attempts: 0,
+            next_dest: None,
+            first_destination: None,
+            origin,
+            excluded_nodes: Vec::new(),
+            node_retries_used: 0,
+        }
+    }
+}
+
+/// Fields of one `galaxy.queue.resubmit` audit event.
+struct ResubmitAudit<'a> {
+    job_id: u64,
+    attempts: u32,
+    max_attempts: u32,
+    from: &'a str,
+    to: &'a str,
+    from_node: Option<&'a str>,
+    excluded: &'a [String],
+    exit_code: i32,
+    reason: &'a str,
 }
 
 /// One wave member: the dispatched plan's bookkeeping.
@@ -377,17 +411,7 @@ impl QueueEngine {
         let job_id = self.app.create_job(tool_id, params)?;
         let now = self.app.recorder().now();
         self.queue.push_unchecked(user, priority, now, WorkItem::Job(job_id));
-        self.jobs.insert(
-            job_id,
-            JobCtx {
-                user: user.to_string(),
-                priority,
-                attempts: 0,
-                next_dest: None,
-                first_destination: None,
-                origin: None,
-            },
-        );
+        self.jobs.insert(job_id, JobCtx::new(user.to_string(), priority, None));
         self.ledger.upsert(JobSnapshot {
             job_id,
             user: user.to_string(),
@@ -631,6 +655,16 @@ impl QueueEngine {
             if let Some(user) = self.jobs.get(&job_id).map(|ctx| ctx.user.clone()) {
                 self.app.set_job_env(job_id, crate::GALAXY_USER_ENV, &user);
             }
+            // Export (or clear) the attempt's node exclusion set so the
+            // placement hook filters out nodes previous attempts died on.
+            match self.jobs.get(&job_id).map(|ctx| ctx.excluded_nodes.join(",")) {
+                Some(joined) if !joined.is_empty() => {
+                    self.app.set_job_env(job_id, crate::GALAXY_EXCLUDED_NODES_ENV, &joined);
+                }
+                _ => {
+                    self.app.remove_job_env(job_id, crate::GALAXY_EXCLUDED_NODES_ENV);
+                }
+            }
             let prepared = {
                 obs::profile_scope!("queue.prepare_plan");
                 self.app.prepare_plan(job_id, dest_override.as_deref())
@@ -745,17 +779,7 @@ impl QueueEngine {
                     submitted_at: self.app.recorder().now(),
                     finished_at: None,
                 });
-                self.jobs.insert(
-                    job_id,
-                    JobCtx {
-                        user,
-                        priority,
-                        attempts: 0,
-                        next_dest: None,
-                        first_destination: None,
-                        origin: Some((wf, step)),
-                    },
-                );
+                self.jobs.insert(job_id, JobCtx::new(user, priority, Some((wf, step))));
                 self.statuses.insert(job_id, SubmissionState::Queued);
                 Some(job_id)
             }
@@ -834,38 +858,87 @@ impl QueueEngine {
             return;
         }
 
-        // Failure: resubmit when the policy still offers a fallback the
-        // config actually knows; otherwise the failure is final.
+        // Failure: prefer a placement-aware retry on the same destination
+        // with the failed node excluded (policy budgets node retries AND
+        // the placement advisor confirms a viable node class remains);
+        // else walk the fallback ladder; else the failure is final. The
+        // retryable conclusion (releasing hook-held resources such as GPU
+        // leases) always precedes the requeue, so the retry's placement
+        // never races the failed attempt's leases.
         let policy = self.policy_for(job_id);
         let attempts = self.jobs.get(&job_id).map_or(1, |ctx| ctx.attempts);
-        let fallback = policy
-            .fallback_for(attempts)
-            .filter(|d| self.app.config().destination(d).is_some())
-            .map(str::to_string);
+        let node_retries_used = self.jobs.get(&job_id).map_or(0, |ctx| ctx.node_retries_used);
+        let from_node = self.ledger.get(job_id).and_then(|snap| snap.node.clone());
+        let budget_left = attempts < policy.max_attempts;
+
+        let node_retry = if budget_left && node_retries_used < policy.node_retries {
+            self.node_retry_target(job_id, from_node.as_deref())
+        } else {
+            None
+        };
+        if let Some((dest, excluded)) = node_retry {
+            let _ = self.app.finish_job(job_id, &result, false);
+            let (user, priority, from) = {
+                let ctx = self.jobs.get_mut(&job_id).expect("ctx exists");
+                ctx.next_dest = Some(dest.clone());
+                ctx.node_retries_used += 1;
+                ctx.excluded_nodes = excluded.clone();
+                (ctx.user.clone(), ctx.priority, ctx.first_destination.clone().unwrap_or_default())
+            };
+            self.audit_resubmit(ResubmitAudit {
+                job_id,
+                attempts,
+                max_attempts: policy.max_attempts,
+                from: &from,
+                to: &dest,
+                from_node: from_node.as_deref(),
+                excluded: &excluded,
+                exit_code: result.exit_code,
+                reason: "node_excluded",
+            });
+            let now = self.app.recorder().now();
+            self.queue.push_unchecked(&user, priority, now, WorkItem::Job(job_id));
+            self.set_status(job_id, SubmissionState::Queued);
+            self.sync_depth_gauge();
+            return;
+        }
+
+        // Node retries consumed attempts but must not consume the
+        // fallback ladder: index it by attempts net of node retries
+        // (always ≥ 1, since each node retry also incremented attempts).
+        let ladder_position = attempts.saturating_sub(node_retries_used).max(1);
+        let fallback = if budget_left {
+            policy
+                .fallback_for(ladder_position)
+                .filter(|d| self.app.config().destination(d).is_some())
+                .map(str::to_string)
+        } else {
+            None
+        };
         match fallback {
             Some(dest) => {
                 let _ = self.app.finish_job(job_id, &result, false);
-                let (user, priority, from) = {
+                let (user, priority, from, excluded) = {
                     let ctx = self.jobs.get_mut(&job_id).expect("ctx exists");
                     ctx.next_dest = Some(dest.clone());
                     (
                         ctx.user.clone(),
                         ctx.priority,
                         ctx.first_destination.clone().unwrap_or_default(),
+                        ctx.excluded_nodes.clone(),
                     )
                 };
-                self.app.recorder().metrics().inc_counter(QUEUE_RESUBMITTED_COUNTER, 1);
-                self.app.recorder().event(
-                    "galaxy.queue.resubmit",
-                    vec![
-                        ("job_id", Value::from(job_id)),
-                        ("failed_attempt", Value::from(u64::from(attempts))),
-                        ("max_attempts", Value::from(u64::from(policy.max_attempts))),
-                        ("from_destination", Value::from(from)),
-                        ("to_destination", Value::from(dest)),
-                        ("exit_code", Value::from(i64::from(result.exit_code))),
-                    ],
-                );
+                self.audit_resubmit(ResubmitAudit {
+                    job_id,
+                    attempts,
+                    max_attempts: policy.max_attempts,
+                    from: &from,
+                    to: &dest,
+                    from_node: from_node.as_deref(),
+                    excluded: &excluded,
+                    exit_code: result.exit_code,
+                    reason: "fallback",
+                });
                 let now = self.app.recorder().now();
                 self.queue.push_unchecked(&user, priority, now, WorkItem::Job(job_id));
                 self.set_status(job_id, SubmissionState::Queued);
@@ -879,6 +952,47 @@ impl QueueEngine {
                 }
             }
         }
+    }
+
+    /// Whether a failed attempt can retry on its own destination with the
+    /// failed node excluded: needs a node-labeled failure, a first
+    /// destination, and the installed placement advisor's confirmation
+    /// that a non-excluded node class still hosts the tool. Returns the
+    /// retry destination plus the grown exclusion set.
+    fn node_retry_target(
+        &self,
+        job_id: u64,
+        from_node: Option<&str>,
+    ) -> Option<(String, Vec<String>)> {
+        let node = from_node?;
+        let ctx = self.jobs.get(&job_id)?;
+        let destination = ctx.first_destination.clone()?;
+        let tool = self.ledger.get(job_id)?.tool.clone();
+        let mut excluded = ctx.excluded_nodes.clone();
+        if !excluded.iter().any(|n| n == node) {
+            excluded.push(node.to_string());
+        }
+        let advisor = self.app.placement_advisor()?;
+        advisor(&tool, &destination, &excluded).then_some((destination, excluded))
+    }
+
+    /// Emit the `galaxy.queue.resubmit` audit + counter for one retry.
+    fn audit_resubmit(&self, audit: ResubmitAudit<'_>) {
+        self.app.recorder().metrics().inc_counter(QUEUE_RESUBMITTED_COUNTER, 1);
+        self.app.recorder().event(
+            "galaxy.queue.resubmit",
+            vec![
+                ("job_id", Value::from(audit.job_id)),
+                ("failed_attempt", Value::from(u64::from(audit.attempts))),
+                ("max_attempts", Value::from(u64::from(audit.max_attempts))),
+                ("from_destination", Value::from(audit.from)),
+                ("to_destination", Value::from(audit.to)),
+                ("from_node", Value::from(audit.from_node.unwrap_or(""))),
+                ("excluded_nodes", Value::from(audit.excluded.join(","))),
+                ("exit_code", Value::from(i64::from(audit.exit_code))),
+                ("reason", Value::from(audit.reason)),
+            ],
+        );
     }
 
     /// The resubmit policy for a job: its first destination's

@@ -28,6 +28,13 @@ pub struct ResubmitPolicy {
     /// Fallback destination ids for attempts 2, 3, ...; the last entry
     /// repeats when the attempt budget exceeds the list.
     pub fallbacks: Vec<String>,
+    /// Placement-aware retries: before walking the fallback ladder, retry
+    /// up to this many times on the *same* destination with the failed
+    /// node added to the job's exclusion set. Only effective when a
+    /// placement advisor is registered (see
+    /// [`crate::GalaxyApp::set_placement_advisor`]); node retries count
+    /// against `max_attempts` but do not consume the fallback ladder.
+    pub node_retries: u32,
 }
 
 impl Default for ResubmitPolicy {
@@ -39,13 +46,25 @@ impl Default for ResubmitPolicy {
 impl ResubmitPolicy {
     /// Never resubmit (a failure is final on the first attempt).
     pub fn none() -> Self {
-        ResubmitPolicy { max_attempts: 1, fallbacks: Vec::new() }
+        ResubmitPolicy { max_attempts: 1, fallbacks: Vec::new(), node_retries: 0 }
     }
 
     /// The paper's canonical fallback: one retry on a CPU destination
     /// after a GPU failure.
     pub fn gpu_to_cpu(cpu_destination: impl Into<String>) -> Self {
-        ResubmitPolicy { max_attempts: 2, fallbacks: vec![cpu_destination.into()] }
+        ResubmitPolicy { max_attempts: 2, fallbacks: vec![cpu_destination.into()], node_retries: 0 }
+    }
+
+    /// TPV-style placement-aware fallback: after a fleet-GPU failure,
+    /// retry up to `node_retries` times on the same destination with the
+    /// failed node excluded, then fall back to `cpu_destination` —
+    /// falling to CPU early when no viable node class remains.
+    pub fn placement_aware(cpu_destination: impl Into<String>, node_retries: u32) -> Self {
+        ResubmitPolicy {
+            max_attempts: 2 + node_retries,
+            fallbacks: vec![cpu_destination.into()],
+            node_retries,
+        }
     }
 
     /// Destination for the attempt after `completed_attempts` failures, or
@@ -59,22 +78,36 @@ impl ResubmitPolicy {
     }
 
     /// Parse a destination-level policy from `job_conf` params:
-    /// `resubmit_destination` (comma-separated fallback ids) and optional
-    /// `resubmit_attempts` (total attempts, default one per fallback + 1).
+    /// `resubmit_destination` (comma-separated fallback ids), optional
+    /// `resubmit_node_retries` (placement-aware same-destination retries
+    /// with the failed node excluded), and optional `resubmit_attempts`
+    /// (total attempts; defaults to one per fallback plus one per node
+    /// retry plus the initial attempt). A destination with node retries
+    /// but no fallback list fails finally once its node-retry budget is
+    /// spent.
     pub fn from_destination(dest: &Destination) -> Option<Self> {
-        let raw = dest.params.get("resubmit_destination")?;
-        let fallbacks: Vec<String> =
-            raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
-        if fallbacks.is_empty() {
+        let fallbacks: Vec<String> = dest
+            .params
+            .get("resubmit_destination")
+            .map(|raw| {
+                raw.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+            })
+            .unwrap_or_default();
+        let node_retries = dest
+            .params
+            .get("resubmit_node_retries")
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(0);
+        if fallbacks.is_empty() && node_retries == 0 {
             return None;
         }
         let max_attempts = dest
             .params
             .get("resubmit_attempts")
             .and_then(|v| v.parse::<u32>().ok())
-            .unwrap_or(fallbacks.len() as u32 + 1)
+            .unwrap_or(fallbacks.len() as u32 + node_retries + 1)
             .max(1);
-        Some(ResubmitPolicy { max_attempts, fallbacks })
+        Some(ResubmitPolicy { max_attempts, fallbacks, node_retries })
     }
 }
 
@@ -101,11 +134,46 @@ mod tests {
         let p = ResubmitPolicy {
             max_attempts: 4,
             fallbacks: vec!["docker_cpu".into(), "local_cpu".into()],
+            node_retries: 0,
         };
         assert_eq!(p.fallback_for(1), Some("docker_cpu"));
         assert_eq!(p.fallback_for(2), Some("local_cpu"));
         assert_eq!(p.fallback_for(3), Some("local_cpu"));
         assert_eq!(p.fallback_for(4), None);
+    }
+
+    #[test]
+    fn placement_aware_budgets_node_retries_before_cpu() {
+        let p = ResubmitPolicy::placement_aware("local_cpu", 2);
+        assert_eq!(p.max_attempts, 4, "1 initial + 2 node retries + 1 CPU");
+        assert_eq!(p.node_retries, 2);
+        assert_eq!(p.fallbacks, vec!["local_cpu".to_string()]);
+    }
+
+    #[test]
+    fn node_retries_parsed_from_destination_params() {
+        let conf = r#"<job_conf>
+          <plugins><plugin id="local" type="runner" load="x"/></plugins>
+          <destinations default="fleet_gpu">
+            <destination id="fleet_gpu" runner="local">
+              <param id="resubmit_destination">local_cpu</param>
+              <param id="resubmit_node_retries">2</param>
+            </destination>
+            <destination id="nodes_only" runner="local">
+              <param id="resubmit_node_retries">1</param>
+            </destination>
+          </destinations>
+        </job_conf>"#;
+        let config = JobConfig::from_xml(conf).unwrap();
+        let p = ResubmitPolicy::from_destination(config.destination("fleet_gpu").unwrap()).unwrap();
+        assert_eq!((p.max_attempts, p.node_retries), (4, 2));
+        assert_eq!(p.fallbacks, vec!["local_cpu".to_string()]);
+        // Node retries alone are a valid policy: no ladder, finite budget.
+        let p =
+            ResubmitPolicy::from_destination(config.destination("nodes_only").unwrap()).unwrap();
+        assert_eq!((p.max_attempts, p.node_retries), (2, 1));
+        assert!(p.fallbacks.is_empty());
+        assert_eq!(p.fallback_for(1), None);
     }
 
     #[test]

@@ -141,6 +141,11 @@ impl JobHook for GyanHook {
         }
         self.audit(job, destination, false, None);
         job.set_env(GALAXY_GPU_ENABLED, "false");
+        // A resubmitted attempt reaching the CPU branch still carries the
+        // failed GPU attempt's exports; a CPU retry must not claim a
+        // device mask or a node it never touched.
+        job.remove_env(CUDA_VISIBLE_DEVICES);
+        job.remove_env(galaxy::GALAXY_NODE_ENV);
         job.params.set(GPU_ENABLED_PARAM, "false");
     }
 

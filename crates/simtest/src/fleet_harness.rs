@@ -14,6 +14,12 @@
 //!   `gyan.reservation.acquire` audits (checked fleet-wide at the end:
 //!   a placement without a lease, or a lease without a placement, means
 //!   the two phases disagreed);
+//! * **no dead-node bookings** — once the scenario's
+//!   [`NodeFault`](crate::fleet_scenario::NodeFault) has killed a node,
+//!   no booking or lease may ever point at it again, and every job the
+//!   death orphaned either resubmits onto a surviving node (with the
+//!   dead node in its exclusion set, mirroring the queue engine's
+//!   placement-aware resubmission) or fails finally;
 //! * **drained** — after the last wave every shard's lease table and the
 //!   fleet's booking map are empty.
 //!
@@ -22,6 +28,13 @@
 //! dispatch layer would after a spurious retry). The fleet's booking map
 //! forgets the first node, the first shard's leases leak, and the
 //! per-shard conservation check trips — reproducibly, from the seed.
+//!
+//! [`FleetSimOptions::ignore_node_death`] is the shard-failure sibling:
+//! the harness releases the dead node's leases (as the lost-job cleanup
+//! would) but never marks the shard dead, so the placement layer keeps
+//! seeing a freshly emptied — and therefore attractive — node. The next
+//! wave books a job onto the corpse and `fleet_no_dead_node_booking`
+//! trips with a reproducing seed.
 
 use crate::fleet_scenario::{FleetScenario, FLEET_RULES};
 use crate::{SimFailure, SimReport};
@@ -37,6 +50,11 @@ pub struct FleetSimOptions {
     /// releasing it first — the double-placement bug. `None` is the
     /// correct wiring.
     pub double_place: Option<usize>,
+    /// On the scenario's node fault, release the dying node's leases but
+    /// skip `Fleet::fail_node` — the stale-wiring bug where placement
+    /// keeps treating a dead node as a candidate. `false` is the correct
+    /// wiring.
+    pub ignore_node_death: bool,
 }
 
 /// Build the scenario's fleet (shared so tests can inspect the same
@@ -74,8 +92,10 @@ pub fn run_fleet_scenario(
     // job index → (job id, release wave). Job ids are 1-based indices so
     // audits map straight back to the schedule.
     let mut active: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut dead: BTreeSet<u32> = BTreeSet::new();
     let mut placed = 0usize;
     let mut rejected = 0usize;
+    let mut lost_failed = 0usize;
     for wave in 0..scenario.waves {
         // Release jobs whose hold expired before this wave places.
         let due: Vec<u64> =
@@ -95,6 +115,7 @@ pub fn run_fleet_scenario(
                 tool_id: job.tool,
                 requested: &[0],
                 memory_hint_mib: job.memory_hint_mib,
+                excluded_nodes: &[],
             };
             match fleet.place(&req) {
                 Some(_) => {
@@ -112,7 +133,70 @@ pub fn run_fleet_scenario(
             }
         }
 
+        // Mid-wave shard failure: the fault plan kills its node after
+        // this wave's placements land, before the barrier check.
+        if let Some(fault) = scenario.node_fault.filter(|f| f.wave == wave) {
+            let name = fleet
+                .shard(fault.node)
+                .unwrap_or_else(|| panic!("fault targets unknown node {}", fault.node))
+                .name
+                .clone();
+            let lost: Vec<u64> = if options.ignore_node_death {
+                // Known-bad wiring: clean up the leases (the lost-job
+                // conclusion path does that much) but never mark the
+                // shard dead — placement keeps scoring the corpse.
+                let lost: Vec<u64> = fleet
+                    .active_placements()
+                    .into_iter()
+                    .filter(|(_, node)| *node == fault.node)
+                    .map(|(job, _)| job)
+                    .collect();
+                for id in &lost {
+                    fleet.release(*id, "node_lost");
+                }
+                lost
+            } else {
+                fleet.fail_node(&name).expect("fault targets a known node")
+            };
+            dead.insert(fault.node);
+            // Every orphaned job was concluded failed-retryable: retry
+            // it with the dead node excluded (the queue engine's
+            // placement-aware resubmission), or fail it finally.
+            let excluded = [name];
+            for job_id in lost {
+                active.remove(&job_id);
+                let job = &scenario.jobs[(job_id - 1) as usize];
+                let user = format!("user-{}", job.user);
+                let retry = PlacementRequest {
+                    job_id,
+                    user: &user,
+                    tool_id: job.tool,
+                    requested: &[0],
+                    memory_hint_mib: job.memory_hint_mib,
+                    excluded_nodes: &excluded,
+                };
+                match fleet.place(&retry) {
+                    Some(placement) => {
+                        if dead.contains(&placement.node) {
+                            return Err(fail(
+                                Some(wave),
+                                "fleet_no_dead_node_booking",
+                                format!(
+                                    "lost job {job_id} resubmitted onto dead node {}",
+                                    placement.node
+                                ),
+                            ));
+                        }
+                        active.insert(job_id, wave + job.hold_waves);
+                    }
+                    None => lost_failed += 1,
+                }
+            }
+        }
+
         check_shard_invariants(&fleet).map_err(|(inv, detail)| fail(Some(wave), inv, detail))?;
+        check_no_dead_node_bookings(&fleet, &dead)
+            .map_err(|(inv, detail)| fail(Some(wave), inv, detail))?;
     }
 
     // Drain and re-check.
@@ -121,6 +205,7 @@ pub fn run_fleet_scenario(
         fleet.release(id, "ok");
     }
     check_shard_invariants(&fleet).map_err(|(inv, detail)| fail(None, inv, detail))?;
+    check_no_dead_node_bookings(&fleet, &dead).map_err(|(inv, detail)| fail(None, inv, detail))?;
     if fleet.total_lease_count() != 0 || !fleet.active_placements().is_empty() {
         return Err(fail(
             None,
@@ -141,7 +226,7 @@ pub fn run_fleet_scenario(
         submitted: scenario.jobs.len(),
         rejected,
         ok: placed,
-        error: 0,
+        error: lost_failed,
         cancelled: 0,
     })
 }
@@ -178,6 +263,36 @@ fn check_shard_invariants(fleet: &Fleet) -> Result<(), (&'static str, String)> {
                     ));
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// No booking or lease may point at a node the fault plan has killed.
+/// Correct wiring marks the shard dead (so placement filters it); the
+/// stale wiring leaves it placeable and this check trips on the first
+/// job booked onto the corpse.
+fn check_no_dead_node_bookings(
+    fleet: &Fleet,
+    dead: &BTreeSet<u32>,
+) -> Result<(), (&'static str, String)> {
+    if dead.is_empty() {
+        return Ok(());
+    }
+    for (job, node) in fleet.active_placements() {
+        if dead.contains(&node) {
+            return Err((
+                "fleet_no_dead_node_booking",
+                format!("job {job} is booked on dead node {node}"),
+            ));
+        }
+    }
+    for (node, holders) in fleet.holders_by_node() {
+        if dead.contains(&node) && !holders.is_empty() {
+            return Err((
+                "fleet_no_dead_node_booking",
+                format!("dead node {node} still holds leases for jobs {holders:?}"),
+            ));
         }
     }
     Ok(())
@@ -242,7 +357,7 @@ mod tests {
 
     #[test]
     fn double_placement_is_caught_with_a_reproducing_seed() {
-        let options = FleetSimOptions { double_place: Some(2) };
+        let options = FleetSimOptions { double_place: Some(2), ..Default::default() };
         let failure = (0..20)
             .find_map(|seed| run_fleet_seed(seed, &options).err())
             .expect("some seed must trip the checker");
@@ -259,8 +374,74 @@ mod tests {
     }
 
     #[test]
+    fn node_death_survives_under_correct_wiring() {
+        // Some swept seed must actually lose in-flight work to its fault
+        // (a fault on an idle node proves nothing) and still pass every
+        // barrier — deterministically.
+        let options = FleetSimOptions::default();
+        let seed = (0..50)
+            .find(|&seed| fault_loses_jobs(&FleetScenario::generate(seed)))
+            .expect("some seed must kill a loaded node");
+        let a = run_fleet_seed(seed, &options).expect("correct wiring passes");
+        let b = run_fleet_seed(seed, &options).expect("correct wiring passes");
+        assert_eq!(a, b);
+    }
+
+    /// Does the scenario's fault catch at least one job in flight?
+    fn fault_loses_jobs(scenario: &FleetScenario) -> bool {
+        let fault = match scenario.node_fault {
+            Some(f) => f,
+            None => return false,
+        };
+        let recorder = obs::Recorder::new();
+        let fleet = build_fleet(scenario, &recorder);
+        let mut active: std::collections::BTreeMap<u64, usize> = Default::default();
+        for wave in 0..=fault.wave {
+            let due: Vec<u64> =
+                active.iter().filter(|(_, r)| **r <= wave).map(|(id, _)| *id).collect();
+            for id in due {
+                fleet.release(id, "ok");
+                active.remove(&id);
+            }
+            for (index, job) in
+                scenario.jobs.iter().enumerate().filter(|(_, j)| j.submit_wave == wave)
+            {
+                let job_id = index as u64 + 1;
+                let user = format!("user-{}", job.user);
+                let req = PlacementRequest {
+                    job_id,
+                    user: &user,
+                    tool_id: job.tool,
+                    requested: &[0],
+                    memory_hint_mib: job.memory_hint_mib,
+                    excluded_nodes: &[],
+                };
+                if fleet.place(&req).is_some() {
+                    active.insert(job_id, wave + job.hold_waves);
+                }
+            }
+        }
+        fleet.active_placements().iter().any(|(_, node)| *node == fault.node)
+    }
+
+    #[test]
+    fn ignoring_node_death_is_caught_with_a_reproducing_seed() {
+        let options = FleetSimOptions { ignore_node_death: true, ..Default::default() };
+        let failure = (0..50)
+            .find_map(|seed| run_fleet_seed(seed, &options).err())
+            .expect("some seed must book onto the corpse");
+        assert_eq!(failure.invariant, "fleet_no_dead_node_booking", "{failure}");
+        // The report reproduces from the seed alone.
+        let again = run_fleet_seed(failure.seed, &options).expect_err("same seed re-fails");
+        assert_eq!(again.invariant, failure.invariant);
+        assert!(failure.to_string().contains(&format!("SIMTEST_SEED={}", failure.seed)));
+        assert!(failure.scenario.contains("fault=node"), "{}", failure.scenario);
+    }
+
+    #[test]
     fn large_scenario_holds_invariants() {
         let scenario = FleetScenario::large(11);
+        assert!(scenario.node_fault.is_some(), "the gate scale always loses a node");
         let report =
             run_fleet_scenario(&scenario, &FleetSimOptions::default()).expect("large fleet passes");
         assert!(report.ok > 0, "some placements must land: {report:?}");

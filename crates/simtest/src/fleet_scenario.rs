@@ -41,6 +41,18 @@ tool=medaka min_gpu_mem_mib=8000 cores=4
 tool=*
 ";
 
+/// A seed-derived shard failure: the node dies at the barrier of `wave`
+/// (after that wave's placements land, before the invariant check), its
+/// leases force-released as `node_lost` and its in-flight jobs either
+/// resubmitted to a surviving node class or failed finally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// Wave at which the node dies.
+    pub wave: usize,
+    /// Fleet-wide id of the dying node.
+    pub node: u32,
+}
+
 /// A fully specified fleet simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetScenario {
@@ -56,6 +68,9 @@ pub struct FleetScenario {
     pub jobs: Vec<FleetJobSpec>,
     /// Total waves to pump (≥ last release).
     pub waves: usize,
+    /// The fault plan: an optional mid-run shard failure (seed-derived,
+    /// like everything else — a reproducing seed reproduces the death).
+    pub node_fault: Option<NodeFault>,
 }
 
 impl FleetScenario {
@@ -76,7 +91,17 @@ impl FleetScenario {
         let waves = rng.gen_range(4..=10usize);
         let n_jobs = rng.gen_range(5..=40usize);
         let jobs = (0..n_jobs).map(|_| Self::gen_job(&mut rng, users, waves)).collect();
-        FleetScenario { seed, nodes, users, policy, jobs, waves }
+        // Drawn last so the fault plan never perturbs the topology or
+        // schedule a seed produced before faults existed.
+        let node_count: u32 = nodes.iter().map(|(_, n)| n).sum();
+        let node_fault = rng.gen_bool(0.6).then(|| NodeFault {
+            // Strictly mid-run: never the first wave (some placements
+            // should exist to lose) and never the last (the death must
+            // have waves left in which stale wiring could misplace).
+            wave: rng.gen_range(1..waves.saturating_sub(1).max(2)),
+            node: rng.gen_range(0..node_count),
+        });
+        FleetScenario { seed, nodes, users, policy, jobs, waves, node_fault }
     }
 
     /// The verify-gate scale: a 100-node heterogeneous fleet and a
@@ -89,7 +114,11 @@ impl FleetScenario {
         let policy = ["least_loaded", "bin_pack", "fair_share"][rng.gen_range(0..3usize)];
         let waves = 8;
         let jobs = (0..400).map(|_| Self::gen_job(&mut rng, users, waves)).collect();
-        FleetScenario { seed, nodes, users, policy, jobs, waves }
+        // The gate scale always loses a node mid-run: surviving a shard
+        // death at 100 nodes/400 jobs is part of what the gate certifies.
+        let node_fault =
+            Some(NodeFault { wave: rng.gen_range(1..waves - 1), node: rng.gen_range(0..100u32) });
+        FleetScenario { seed, nodes, users, policy, jobs, waves, node_fault }
     }
 
     fn gen_job(rng: &mut StdRng, users: usize, waves: usize) -> FleetJobSpec {
@@ -113,13 +142,18 @@ impl FleetScenario {
     /// One-line human summary for failure reports.
     pub fn describe(&self) -> String {
         let classes: Vec<String> = self.nodes.iter().map(|(c, n)| format!("{n}x{c}")).collect();
+        let fault = match self.node_fault {
+            Some(f) => format!(" fault=node{}@wave{}", f.node, f.wave),
+            None => String::new(),
+        };
         format!(
-            "fleet=[{}] users={} policy={} jobs={} waves={}",
+            "fleet=[{}] users={} policy={} jobs={} waves={}{}",
             classes.join(","),
             self.users,
             self.policy,
             self.jobs.len(),
             self.waves,
+            fault,
         )
     }
 }
@@ -163,6 +197,22 @@ mod tests {
                 assert!(job.hold_waves >= 1, "seed {seed}");
                 assert!(job.user < s.users, "seed {seed}");
             }
+            if let Some(fault) = s.node_fault {
+                assert!(fault.wave >= 1, "seed {seed}");
+                assert!(fault.wave < s.waves, "seed {seed}");
+                assert!(fault.node < s.node_count(), "seed {seed}");
+            }
         }
+    }
+
+    #[test]
+    fn seeds_vary_the_fault_plan() {
+        let scenarios: Vec<FleetScenario> = (0..40).map(FleetScenario::generate).collect();
+        assert!(scenarios.iter().any(|s| s.node_fault.is_some()));
+        assert!(scenarios.iter().any(|s| s.node_fault.is_none()));
+        let faulted = scenarios.iter().find(|s| s.node_fault.is_some()).expect("some fault");
+        assert!(faulted.describe().contains("fault=node"), "{}", faulted.describe());
+        // The gate scale always kills a node.
+        assert!(FleetScenario::large(3).node_fault.is_some());
     }
 }

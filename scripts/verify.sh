@@ -44,6 +44,10 @@ cargo test -q --test fleet
 echo "==> fleet simulation smoke (seeded sweep + 100-node/10k-user scenario)"
 cargo test -q --test simtest fleet_
 
+echo "==> shard-failure smoke (node death mid-wave + stale-wiring catch)"
+cargo test -q --test simtest -- fleet_node_death_holds_invariants_across_the_sweep \
+  fleet_stale_dead_node_placement_is_caught_with_a_reproducing_seed
+
 echo "==> ops-server smoke (scrape + health over live HTTP)"
 cargo run -q --release --example ops_server -- --check
 

@@ -5,7 +5,8 @@
 
 use fleet::{
     fleet_gpus_json, fleet_nodes_json, fleet_ops_server, install_fleet, policy_by_name, BinPack,
-    DestinationRule, DestinationRules, FairShare, Fleet, FleetConfig, NodeClass, PlacementRequest,
+    DestinationRule, DestinationRules, FairShare, Fleet, FleetConfig, FleetHook, NodeClass,
+    PlacementRequest,
 };
 use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
 use galaxy::params::ParamDict;
@@ -22,7 +23,14 @@ use std::sync::Arc;
 // &[0] pins one minor so each placement takes exactly one die (an empty
 // request takes every free die on the chosen node).
 fn request<'a>(job_id: u64, user: &'a str, tool: &'a str, hint: u64) -> PlacementRequest<'a> {
-    PlacementRequest { job_id, user, tool_id: tool, requested: &[0], memory_hint_mib: hint }
+    PlacementRequest {
+        job_id,
+        user,
+        tool_id: tool,
+        requested: &[0],
+        memory_hint_mib: hint,
+        excluded_nodes: &[],
+    }
 }
 
 fn heterogeneous_fleet() -> Fleet {
@@ -229,6 +237,280 @@ fn fleet_ops_plane_labels_gpus_nodes_and_metrics() {
     assert_eq!(status, 200);
     assert!(body.contains("\"node\":\"a100-001\""), "{body}");
     handle.shutdown();
+}
+
+// --- Placement-aware resubmission --------------------------------------
+
+// Fails on any GPU attempt (unknown command → exit 127) and succeeds on
+// CPU: the resubmission ladder's worst customer.
+const GPU_FLAKY_TOOL: &str = r#"<tool id="racon_gpu" name="Racon">
+  <requirements><requirement type="compute">gpu</requirement></requirements>
+  <command><![CDATA[
+#if $__galaxy_gpu_enabled__ == "true"
+racoon_segfault
+#else
+echo cpu
+#end if
+]]></command>
+  <outputs><data name="out" format="txt"/></outputs>
+</tool>"#;
+
+fn fleet_engine(fleet: &Fleet, policy: galaxy::queue::ResubmitPolicy) -> QueueEngine {
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    app.install_tool_xml(GPU_FLAKY_TOOL, &MacroLibrary::new()).unwrap();
+    install_fleet(
+        &mut app,
+        fleet,
+        FleetConfig {
+            gpu_destination: "local_gpu".to_string(),
+            gpu_destinations: vec!["local_gpu".to_string()],
+            ..FleetConfig::default()
+        },
+    );
+    let executor = Arc::new(ToolExecutor::new(&GpuCluster::cpu_only_node()));
+    let config = galaxy::queue::QueueConfig { resubmit: policy, ..Default::default() };
+    QueueEngine::new(app, executor, config)
+}
+
+/// The tentpole end to end: a GPU failure first retries *on the fleet*
+/// with the failed node excluded (landing on the other node class), and
+/// only when the node-retry budget is spent falls down the ladder to
+/// CPU — each hop audited with the failed node and the exclusion set.
+#[test]
+fn failed_node_is_excluded_on_retry_before_falling_to_cpu() {
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).nodes(NodeClass::a100(), 1).build();
+    let policy = galaxy::queue::ResubmitPolicy::placement_aware("local_cpu", 1);
+    let mut engine = fleet_engine(&fleet, policy);
+
+    let handle = engine.submit_async("ada", "racon_gpu", &ParamDict::new()).unwrap();
+    engine.run_until_idle();
+
+    // Three attempts: k80-000 (fails) → a100-001 (fails) → CPU (ok).
+    assert_eq!(engine.state(handle), Some(SubmissionState::Ok));
+    let snap = engine.ledger().get(handle.0).unwrap();
+    assert_eq!(snap.attempts, 3);
+    assert_eq!(snap.destination.as_deref(), Some("local_cpu"));
+
+    let rec = engine.app().recorder();
+    let dispatched: Vec<String> = rec
+        .events_named("galaxy.queue.dispatch")
+        .iter()
+        .map(|e| e.field("destination").and_then(|v| v.as_str()).unwrap().to_string())
+        .collect();
+    assert_eq!(dispatched, ["local_gpu", "local_gpu", "local_cpu"]);
+
+    let resubmits = rec.events_named("galaxy.queue.resubmit");
+    assert_eq!(resubmits.len(), 2);
+    let field = |i: usize, k: &str| {
+        resubmits[i].field(k).and_then(|v| v.as_str()).map(str::to_string).unwrap()
+    };
+    // Hop 1: node retry — same destination, dead node excluded.
+    assert_eq!(field(0, "reason"), "node_excluded");
+    assert_eq!(field(0, "from_node"), "k80-000");
+    assert_eq!(field(0, "to_destination"), "local_gpu");
+    assert_eq!(field(0, "excluded_nodes"), "k80-000");
+    // Hop 2: budget spent — down the ladder, from the *other* node.
+    assert_eq!(field(1, "reason"), "fallback");
+    assert_eq!(field(1, "from_node"), "a100-001");
+    assert_eq!(field(1, "to_destination"), "local_cpu");
+    assert_eq!(field(1, "excluded_nodes"), "k80-000");
+
+    // Every failed attempt's leases were released before its retry.
+    assert_eq!(fleet.total_lease_count(), 0);
+    assert!(fleet.active_placements().is_empty());
+}
+
+/// Bugfix regression: a GPU→CPU retry must not inherit the failed GPU
+/// attempt's exports — the ledger snapshot carries no node label and the
+/// job record no `CUDA_VISIBLE_DEVICES`/`GALAXY_NODE` after the CPU
+/// attempt concludes.
+#[test]
+fn cpu_retry_carries_no_stale_node_or_device_mask() {
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).build();
+    let policy = galaxy::queue::ResubmitPolicy::gpu_to_cpu("local_cpu");
+    let mut engine = fleet_engine(&fleet, policy);
+
+    let handle = engine.submit_async("ada", "racon_gpu", &ParamDict::new()).unwrap();
+    engine.run_until_idle();
+
+    assert_eq!(engine.state(handle), Some(SubmissionState::Ok));
+    // The GPU attempt really ran on a node (the resubmit audit names it) …
+    let rec = engine.app().recorder();
+    let resubmits = rec.events_named("galaxy.queue.resubmit");
+    assert_eq!(resubmits.len(), 1);
+    assert_eq!(resubmits[0].field("from_node").and_then(|v| v.as_str()), Some("k80-000"));
+    // … but the retried attempt is scrubbed clean of it, everywhere.
+    let snap = engine.ledger().get(handle.0).unwrap();
+    assert_eq!(snap.node, None, "CPU retry must not keep the dead attempt's node label");
+    assert_eq!(snap.destination.as_deref(), Some("local_cpu"));
+    let job = engine.app().job(handle.0).unwrap();
+    assert_eq!(job.env_var("GALAXY_GPU_ENABLED"), Some("false"));
+    assert_eq!(job.env_var("CUDA_VISIBLE_DEVICES"), None);
+    assert_eq!(job.env_var(galaxy::GALAXY_NODE_ENV), None);
+    assert_eq!(job.stdout, "cpu");
+}
+
+/// Release-before-retry ordering: on a single fully-booked node, the
+/// retry can only place if the failed attempt's leases were released
+/// *before* the retry's placement ran.
+#[test]
+fn resubmission_releases_leases_before_the_retry_places() {
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).build();
+    // Retry on the same GPU destination (no node retry, no CPU): both
+    // attempts need the node's full die set.
+    let policy = galaxy::queue::ResubmitPolicy {
+        max_attempts: 2,
+        fallbacks: vec!["local_gpu".into()],
+        node_retries: 0,
+    };
+    let mut engine = fleet_engine(&fleet, policy);
+
+    let handle = engine.submit_async("ada", "racon_gpu", &ParamDict::new()).unwrap();
+    engine.run_until_idle();
+
+    // Both attempts fail on GPU; the second still *placed* — which is
+    // only possible if release preceded the retry's placement.
+    assert_eq!(engine.state(handle), Some(SubmissionState::Error));
+    let snap = engine.ledger().get(handle.0).unwrap();
+    assert_eq!(snap.attempts, 2);
+    assert_eq!(snap.node.as_deref(), Some("k80-000"), "retry re-placed on the freed node");
+    let job = engine.app().job(handle.0).unwrap();
+    assert_eq!(job.env_var("GALAXY_GPU_ENABLED"), Some("true"));
+    assert_eq!(fleet.total_lease_count(), 0, "final conclusion released the retry's leases");
+}
+
+// --- Release idempotency under failure paths ---------------------------
+
+/// `after_conclude` firing twice for the same job (a retry racing a
+/// conclusion) must not double-release or corrupt counts; nor must a
+/// release arriving after the job's node already died.
+#[test]
+fn release_is_idempotent_across_double_conclude_and_node_death() {
+    use galaxy::runners::{JobConclusion, JobHook};
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).build();
+    let hook = FleetHook::new(&fleet, ["fleet_gpu"]);
+
+    // Double conclude.
+    fleet.place(&request(1, "ada", "racon_gpu", 256)).unwrap();
+    hook.after_conclude(1, JobConclusion::FailedRetryable);
+    hook.after_conclude(1, JobConclusion::FailedRetryable);
+    assert_eq!(fleet.total_lease_count(), 0);
+    assert!(fleet.active_placements().is_empty());
+
+    // Release after node death: the booking is already gone.
+    let p = fleet.place(&request(2, "ada", "racon_gpu", 256)).unwrap();
+    let node_name = p.node_name.clone();
+    assert_eq!(fleet.fail_node(&node_name), Some(vec![2]));
+    hook.after_conclude(2, JobConclusion::FailedRetryable);
+    assert_eq!(fleet.total_lease_count(), 0);
+    assert!(fleet.active_placements().is_empty());
+
+    // The dead node stays out of placement; the survivor still serves.
+    let p = fleet.place(&request(3, "ada", "racon_gpu", 256)).expect("survivor places");
+    assert_ne!(p.node_name, node_name);
+    hook.after_conclude(3, JobConclusion::Ok);
+    assert_eq!(fleet.total_lease_count(), 0);
+}
+
+// --- Destination memory hints: rule/hook agreement + validation --------
+
+fn hint_conf(hint: &str) -> JobConfig {
+    JobConfig::from_xml(&format!(
+        r#"<job_conf>
+          <plugins><plugin id="local" type="runner" load="x"/></plugins>
+          <destinations default="dyn">
+            <destination id="dyn" runner="dynamic">
+              <param id="function">gpu_dynamic_destination</param>
+            </destination>
+            <destination id="fleet_gpu" runner="local">
+              <param id="gpu_memory_hint_mib">{hint}</param>
+            </destination>
+            <destination id="local_cpu" runner="local"/>
+          </destinations>
+        </job_conf>"#
+    ))
+    .unwrap()
+}
+
+const SMALL_GPU_TOOL: &str = r#"<tool id="racon_gpu"><requirements>
+  <requirement type="compute">gpu</requirement>
+</requirements><command>racon_gpu</command></tool>"#;
+
+/// Bugfix regression: the dynamic rule must resolve the same
+/// per-destination `gpu_memory_hint_mib` the hook uses. A 20 GB hint on
+/// a K80-only fleet (11,441 MiB dies) must route to CPU at the *rule*,
+/// not bounce off placement after committing to the GPU destination.
+#[test]
+fn rule_and_hook_agree_on_the_destination_memory_hint() {
+    let mut app = GalaxyApp::new(hint_conf("20000"));
+    app.install_tool_xml(SMALL_GPU_TOOL, &MacroLibrary::new()).unwrap();
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).build();
+    install_fleet(&mut app, &fleet, FleetConfig::default());
+
+    let id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
+    let job = app.job(id).unwrap();
+    // With the config-level default (1,024 MiB) the rule would have said
+    // "the fleet hosts this" and stranded the job on fleet_gpu with a
+    // CPU environment; resolving the destination's own hint routes it
+    // straight to the CPU destination instead.
+    assert_eq!(job.destination_id.as_deref(), Some("local_cpu"));
+    assert_eq!(job.env_var("GALAXY_GPU_ENABLED"), Some("false"));
+    assert_eq!(fleet.total_lease_count(), 0);
+}
+
+/// Bugfix regression: a malformed `gpu_memory_hint_mib` falls back to
+/// the default, but no longer silently — it bumps a counter and emits a
+/// decision-audit event naming the typo.
+#[test]
+fn malformed_memory_hint_is_audited_not_silent() {
+    use fleet::{FLEET_INVALID_HINT_COUNTER, FLEET_INVALID_HINT_EVENT};
+    let recorder = Recorder::new();
+    let mut app = GalaxyApp::new(hint_conf("lots"));
+    app.install_tool_xml(SMALL_GPU_TOOL, &MacroLibrary::new()).unwrap();
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).recorder(recorder.clone()).build();
+    install_fleet(&mut app, &fleet, FleetConfig::default());
+
+    let id = app.submit("racon_gpu", &ParamDict::new()).unwrap();
+    // The default hint (1,024 MiB) fits a K80 die: the job still runs on
+    // the fleet.
+    let job = app.job(id).unwrap();
+    assert_eq!(job.destination_id.as_deref(), Some("fleet_gpu"));
+    assert_eq!(job.env_var("GALAXY_GPU_ENABLED"), Some("true"));
+
+    assert_eq!(recorder.metrics().counter_value(FLEET_INVALID_HINT_COUNTER), 1);
+    let audits = recorder.events_named(FLEET_INVALID_HINT_EVENT);
+    assert_eq!(audits.len(), 1);
+    assert_eq!(audits[0].field("raw").and_then(|v| v.as_str()), Some("lots"));
+    assert_eq!(audits[0].field("destination").and_then(|v| v.as_str()), Some("fleet_gpu"));
+    assert_eq!(audits[0].field("fallback_mib").and_then(|v| v.as_f64()), Some(1024.0));
+}
+
+// --- Cordon / drain over the queue path --------------------------------
+
+/// Cordoned nodes keep serving releases for their in-flight leases but
+/// take no new placements; drain resolves once the count hits zero, and
+/// uncordon restores placement.
+#[test]
+fn cordon_drain_uncordon_lifecycle_over_live_leases() {
+    let fleet = Fleet::builder().nodes(NodeClass::k80(), 2).build();
+    fleet.place(&request(1, "ada", "racon_gpu", 256)).unwrap();
+    assert_eq!(fleet.node_of(1), Some(0));
+
+    assert_eq!(fleet.drain("k80-000"), Some(1), "one lease still draining");
+    assert_eq!(fleet.is_drained("k80-000"), Some(false));
+    // New work skips the cordoned node even though it is emptier.
+    let p = fleet.place(&request(2, "ada", "racon_gpu", 256)).unwrap();
+    assert_eq!(p.node_name, "k80-001");
+    // The cordoned shard still serves its release; drain resolves.
+    fleet.release(1, "ok");
+    assert_eq!(fleet.is_drained("k80-000"), Some(true));
+
+    assert!(fleet.uncordon("k80-000"));
+    let p = fleet.place(&request(3, "ada", "racon_gpu", 256)).unwrap();
+    assert_eq!(p.node_name, "k80-000", "uncordoned node takes work again");
+    fleet.release(2, "ok");
+    fleet.release(3, "ok");
+    assert_eq!(fleet.total_lease_count(), 0);
 }
 
 // --- Heterogeneous pricing sanity --------------------------------------

@@ -193,8 +193,11 @@ fn resubmit_chain_walks_every_fallback_then_fails_final() {
     let mut app = echo_app();
     let typo = r#"<tool id="typo"><command>racoon --help</command></tool>"#;
     app.install_tool_xml(typo, &MacroLibrary::new()).unwrap();
-    let policy =
-        ResubmitPolicy { max_attempts: 3, fallbacks: vec!["local_gpu".into(), "local_cpu".into()] };
+    let policy = ResubmitPolicy {
+        max_attempts: 3,
+        fallbacks: vec!["local_gpu".into(), "local_cpu".into()],
+        node_retries: 0,
+    };
     let config = QueueConfig { resubmit: policy, ..QueueConfig::default() };
     let mut engine = QueueEngine::new(app, echo_executor(), config);
 

@@ -123,7 +123,7 @@ fn fleet_100_node_10k_user_scenario_holds_invariants() {
 #[test]
 fn fleet_double_placement_is_caught_with_a_reproducing_seed() {
     use simtest::{run_fleet_seed, FleetSimOptions};
-    let bad = FleetSimOptions { double_place: Some(2) };
+    let bad = FleetSimOptions { double_place: Some(2), ..Default::default() };
     let failure = (0..100)
         .find_map(|seed| run_fleet_seed(seed, &bad).err())
         .expect("a double-placed job must trip a fleet invariant");
@@ -137,6 +137,47 @@ fn fleet_double_placement_is_caught_with_a_reproducing_seed() {
 
     // Reproduction contract: the printed seed alone re-creates the
     // failure with the same invariant.
+    let again = run_fleet_seed(failure.seed, &bad).expect_err("seed must reproduce");
+    assert_eq!(again.invariant, failure.invariant);
+}
+
+/// Shard-failure sweep: scenarios whose fault plan kills a node mid-wave
+/// must keep every invariant under the correct wiring — leases
+/// force-released as `node_lost`, lost jobs resubmitted with the dead
+/// node excluded (or failed finally), and no booking ever pointing at
+/// the corpse.
+#[test]
+fn fleet_node_death_holds_invariants_across_the_sweep() {
+    use simtest::{run_fleet_seed, FleetScenario, FleetSimOptions};
+    let options = FleetSimOptions::default();
+    let cases = cases_from_env(25) as u64;
+    let mut killed = 0usize;
+    for seed in 0..cases {
+        if FleetScenario::generate(seed).node_fault.is_some() {
+            killed += 1;
+        }
+        if let Err(failure) = run_fleet_seed(seed, &options) {
+            panic!("{failure}");
+        }
+    }
+    assert!(killed > 0, "no scenario out of {cases} killed a node");
+}
+
+/// The shard-failure known-bad wiring: a fleet that keeps placing onto a
+/// dead node (the node's leases were cleaned up, but the shard was never
+/// marked dead) must be caught with a single reproducing seed.
+#[test]
+fn fleet_stale_dead_node_placement_is_caught_with_a_reproducing_seed() {
+    use simtest::{run_fleet_seed, FleetSimOptions};
+    let bad = FleetSimOptions { ignore_node_death: true, ..Default::default() };
+    let failure = (0..100)
+        .find_map(|seed| run_fleet_seed(seed, &bad).err())
+        .expect("a job booked onto a dead node must trip a fleet invariant");
+    assert_eq!(failure.invariant, "fleet_no_dead_node_booking", "{failure}");
+    let text = failure.to_string();
+    assert!(text.contains(&format!("SIMTEST_SEED={}", failure.seed)), "{text}");
+    assert!(failure.scenario.contains("fault=node"), "{}", failure.scenario);
+
     let again = run_fleet_seed(failure.seed, &bad).expect_err("seed must reproduce");
     assert_eq!(again.invariant, failure.invariant);
 }
