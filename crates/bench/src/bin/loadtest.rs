@@ -1,0 +1,146 @@
+//! Load-harness benchmark + regression gate.
+//!
+//! Runs the 10^5-user diurnal [`loadgen`] scenario through the real
+//! `GalaxyApp`/`QueueEngine`/`install_gyan` stack in
+//! `DispatchMode::Event`, measures the sustained end-to-end submission
+//! throughput (wall clock) and the virtual queue-wait quantiles, and
+//! emits a schema-versioned trajectory to `BENCH_loadtest.json` at the
+//! repo root — comparing against the previous one and failing on
+//! regressions beyond the tolerance, like `perf_gate` and
+//! `placement_throughput`. Wired into `scripts/verify.sh` behind the
+//! same `BENCH_SKIP` knob.
+//!
+//! Env knobs:
+//!
+//! * `BENCH_TOLERANCE_PCT` — relative regression threshold in percent
+//!   (default 40; shared with the other gates).
+//! * `BENCH_LOADTEST_OUT` — output path (default `BENCH_loadtest.json`).
+//! * `BENCH_LOADTEST_BASELINE` — previous-trajectory path (default:
+//!   same as the output path).
+//! * `BENCH_LOADTEST_USERS` — scenario population (default 100000);
+//!   shrink for smoke runs, but a changed population makes throughput
+//!   numbers incomparable, so the default baseline should stay 10^5.
+
+use gyan_bench::loadtest::{compare, LoadTrajectory, SCHEMA};
+use gyan_bench::perf::summary_line;
+use gyan_bench::table::banner;
+use loadgen::{run_scenario, LoadOptions, LoadScenario, DEFAULT_SLO_RULES};
+use std::time::Instant;
+
+/// The baseline population: every SLO must hold at 10^5 users.
+const DEFAULT_USERS: usize = 100_000;
+
+/// The gate seed: the whole schedule derives from it, so the measured
+/// work is identical run to run.
+const SEED: u64 = 0xBE7C;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    banner("Load-test throughput", "10^5-user soak trajectory + regression check");
+
+    let tolerance_pct = env_f64("BENCH_TOLERANCE_PCT", 40.0);
+    let out_path =
+        std::env::var("BENCH_LOADTEST_OUT").unwrap_or_else(|_| "BENCH_loadtest.json".into());
+    let baseline_path =
+        std::env::var("BENCH_LOADTEST_BASELINE").unwrap_or_else(|_| out_path.clone());
+    let users = env_usize("BENCH_LOADTEST_USERS", DEFAULT_USERS);
+
+    let scenario = LoadScenario::diurnal(SEED, users);
+    println!("\nscenario: {}", scenario.describe());
+
+    // The gate run doubles as a soak: every stock SLO rule must stay
+    // quiet at full population, or the benchmark itself fails.
+    let options = LoadOptions {
+        fail_on: DEFAULT_SLO_RULES.iter().map(|s| s.to_string()).collect(),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let report = match run_scenario(&scenario, &options) {
+        Ok(report) => report,
+        Err(failure) => {
+            eprintln!("loadtest: FAIL — the gate scenario breached an SLO\n{failure}");
+            std::process::exit(1);
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(report.ok, report.submitted, "gate scenario must finish every job");
+    let submissions_per_sec = report.submitted as f64 / wall;
+
+    println!("\nmeasured ({} users, {} arrivals):", report.users, report.arrivals);
+    println!("  submissions/sec (wall):      {submissions_per_sec:>12.0}");
+    println!("  queue-wait p50 (virtual s):  {:>12.3}", report.queue_wait_p50);
+    println!("  queue-wait p99 (virtual s):  {:>12.3}", report.queue_wait_p99);
+    println!(
+        "  waves: {}  peak depth: {}  wall: {wall:.1}s",
+        report.waves, report.peak_queue_depth
+    );
+
+    let new = LoadTrajectory {
+        schema: SCHEMA.to_string(),
+        commit: git_commit(),
+        users: report.users as f64,
+        jobs: report.arrivals as f64,
+        submissions_per_sec,
+        queue_wait_p50_s: report.queue_wait_p50,
+        queue_wait_p99_s: report.queue_wait_p99,
+    };
+
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+    if let Some(text) = &baseline {
+        match LoadTrajectory::parse(text) {
+            Ok(prev) => {
+                let deltas = compare(&prev, &new, tolerance_pct);
+                println!(
+                    "\nvs {} ({}, tolerance {tolerance_pct}%):\n  {}",
+                    baseline_path,
+                    prev.commit,
+                    summary_line(&deltas)
+                );
+                let regressed: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+                if !regressed.is_empty() {
+                    for d in &regressed {
+                        eprintln!(
+                            "loadtest: REGRESSION {}: {:.3} -> {:.3} \
+                             ({:+.1}%, tolerance {}%)",
+                            d.metric, d.prev, d.new, d.pct_change, tolerance_pct
+                        );
+                    }
+                    eprintln!(
+                        "loadtest: FAIL — baseline {baseline_path} left untouched; \
+                         rerun with BENCH_TOLERANCE_PCT higher to accept, or fix the regression"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(err) => {
+                println!(
+                    "\nprevious trajectory at {baseline_path} unreadable ({err}); rebaselining"
+                );
+            }
+        }
+    } else {
+        println!("\nno previous trajectory at {baseline_path}; recording baseline");
+    }
+
+    std::fs::write(&out_path, new.render_json()).expect("write trajectory");
+    println!("trajectory written to {out_path} (commit {})", new.commit);
+}

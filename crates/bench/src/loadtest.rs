@@ -1,0 +1,186 @@
+//! Load-test trajectory schema and regression comparator.
+//!
+//! The `loadtest` binary pushes a 10^5-user diurnal [`loadgen`] scenario
+//! through the real queue stack under the event-driven dispatch backend
+//! and records the sustained submission throughput plus the virtual
+//! queue-wait quantiles as a schema-versioned [`LoadTrajectory`] in
+//! `BENCH_loadtest.json` at the repo root — the load-harness sibling of
+//! the scheduler trajectory in [`crate::perf`] and the fleet trajectory
+//! in [`crate::placement`], sharing their delta rule
+//! ([`crate::perf::delta`]) and one-line summary rendering.
+
+use crate::perf::{delta, Delta, Direction};
+use obs::json::{self, JsonValue};
+
+/// Schema identifier embedded in every load-test trajectory file.
+pub const SCHEMA: &str = "gyan.bench.loadtest/v1";
+
+/// One recorded load-test benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadTrajectory {
+    /// Schema identifier (see [`SCHEMA`]).
+    pub schema: String,
+    /// `git rev-parse --short` of the measured tree (or `"unknown"`).
+    pub commit: String,
+    /// User population the scenario ran with (context, never gated).
+    pub users: f64,
+    /// Arrivals the scenario generated (context, never gated).
+    pub jobs: f64,
+    /// Admitted submissions pushed end-to-end per real second — the
+    /// sustained throughput of the whole submit/dispatch/complete loop.
+    pub submissions_per_sec: f64,
+    /// Queue-wait p50 on the virtual clock (seconds). Lower is better:
+    /// a scheduler change that lets the backlog linger shows up here.
+    pub queue_wait_p50_s: f64,
+    /// Queue-wait p99 on the virtual clock (seconds).
+    pub queue_wait_p99_s: f64,
+}
+
+/// One comparable load-test metric: name, extractor, and direction
+/// (throughput up, waits down).
+type LoadMetric = (&'static str, fn(&LoadTrajectory) -> f64, Direction);
+
+/// The comparable metrics; `users` and `jobs` are context, not gates.
+fn metrics() -> Vec<LoadMetric> {
+    vec![
+        (
+            "submissions_per_sec",
+            |t: &LoadTrajectory| t.submissions_per_sec,
+            Direction::HigherIsBetter,
+        ),
+        ("queue_wait_p50_s", |t: &LoadTrajectory| t.queue_wait_p50_s, Direction::LowerIsBetter),
+        ("queue_wait_p99_s", |t: &LoadTrajectory| t.queue_wait_p99_s, Direction::LowerIsBetter),
+    ]
+}
+
+fn fmt_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl LoadTrajectory {
+    /// Render the trajectory as the `BENCH_loadtest.json` document.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"commit\": \"{}\",\n  \"users\": {},\n  \
+             \"jobs\": {},\n  \"submissions_per_sec\": {},\n  \"queue_wait_p50_s\": {},\n  \
+             \"queue_wait_p99_s\": {}\n}}\n",
+            obs::json_escape(&self.schema),
+            obs::json_escape(&self.commit),
+            fmt_json(self.users),
+            fmt_json(self.jobs),
+            fmt_json(self.submissions_per_sec),
+            fmt_json(self.queue_wait_p50_s),
+            fmt_json(self.queue_wait_p99_s),
+        )
+    }
+
+    /// Parse a `BENCH_loadtest.json` document. Errors on malformed
+    /// JSON, a missing field, or a schema mismatch.
+    pub fn parse(text: &str) -> Result<LoadTrajectory, String> {
+        let doc = json::parse(text)?;
+        let field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing field \"schema\"".to_string())?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: file has {schema:?}, expected {SCHEMA:?}"));
+        }
+        Ok(LoadTrajectory {
+            schema,
+            commit: doc.get("commit").and_then(JsonValue::as_str).unwrap_or("unknown").to_string(),
+            users: field("users")?,
+            jobs: field("jobs")?,
+            submissions_per_sec: field("submissions_per_sec")?,
+            queue_wait_p50_s: field("queue_wait_p50_s")?,
+            queue_wait_p99_s: field("queue_wait_p99_s")?,
+        })
+    }
+}
+
+/// Compare a new run against the previous trajectory under the shared
+/// delta rule, each metric gated in its own direction.
+pub fn compare(prev: &LoadTrajectory, new: &LoadTrajectory, tolerance_pct: f64) -> Vec<Delta> {
+    metrics()
+        .into_iter()
+        .map(|(metric, get, direction)| {
+            delta(metric, get(prev), get(new), direction, tolerance_pct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory() -> LoadTrajectory {
+        LoadTrajectory {
+            schema: SCHEMA.to_string(),
+            commit: "abc123def456".to_string(),
+            users: 100_000.0,
+            jobs: 99_500.0,
+            submissions_per_sec: 8_000.0,
+            queue_wait_p50_s: 4.0,
+            queue_wait_p99_s: 22.0,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_preserves_every_metric() {
+        let t = trajectory();
+        let parsed = LoadTrajectory::parse(&t.render_json()).expect("roundtrip parses");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = trajectory().render_json().replace(SCHEMA, "gyan.bench.loadtest/v0");
+        let err = LoadTrajectory::parse(&text).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn placement_files_do_not_parse_as_loadtest_files() {
+        let placement = crate::placement::PlacementTrajectory {
+            schema: crate::placement::SCHEMA.to_string(),
+            commit: "abc".to_string(),
+            nodes: 100.0,
+            least_loaded_per_sec: 1.0,
+            bin_pack_per_sec: 1.0,
+            fair_share_per_sec: 1.0,
+            rejections_per_sec: 1.0,
+        };
+        assert!(LoadTrajectory::parse(&placement.render_json()).is_err());
+    }
+
+    #[test]
+    fn throughput_drop_and_wait_growth_both_regress() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.submissions_per_sec *= 0.4; // -60% throughput
+        new.queue_wait_p99_s *= 3.0; // +200% tail wait
+        new.queue_wait_p50_s *= 0.5; // an improvement
+        let deltas = compare(&prev, &new, 25.0);
+        let regressed: Vec<&str> =
+            deltas.iter().filter(|d| d.regressed).map(|d| d.metric).collect();
+        assert_eq!(regressed, vec!["submissions_per_sec", "queue_wait_p99_s"]);
+    }
+
+    #[test]
+    fn population_fields_are_context_not_gates() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        new.users = 10.0;
+        new.jobs = 7.0;
+        assert!(compare(&prev, &new, 5.0).iter().all(|d| !d.regressed));
+    }
+}

@@ -93,6 +93,11 @@ pub struct GalaxyApp {
     time: Box<dyn TimeSource>,
     volumes: Vec<VolumeBind>,
     events: Vec<Event>,
+    /// Optional cap on the app event log; `None` retains everything.
+    /// Soak harnesses set this — per-job lifecycle strings would
+    /// otherwise grow O(jobs) over a 10^5-user run.
+    event_log_limit: Option<usize>,
+    dropped_events: u64,
     recorder: Recorder,
     /// `galaxy.job` spans of jobs whose lifecycle is still open (created
     /// or prepared but not yet finished) — kept so the asynchronous queue
@@ -118,6 +123,8 @@ impl GalaxyApp {
             time: Box::new(ZeroTime),
             volumes: Vec::new(),
             events: Vec::new(),
+            event_log_limit: None,
+            dropped_events: 0,
             recorder: Recorder::new(),
             open_spans: HashMap::new(),
             placement_advisor: None,
@@ -573,8 +580,32 @@ impl GalaxyApp {
         &self.events
     }
 
+    /// Cap the app event log at roughly `limit` entries, evicting the
+    /// oldest in amortized batches (~25% slack) once exceeded. `None`
+    /// (the default) retains everything.
+    pub fn set_event_log_limit(&mut self, limit: Option<usize>) {
+        self.event_log_limit = limit;
+        self.evict_events();
+    }
+
+    /// App events evicted by the log cap so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
     fn log(&mut self, message: String) {
         self.events.push(Event { t: self.time.now(), message });
+        self.evict_events();
+    }
+
+    fn evict_events(&mut self) {
+        let Some(limit) = self.event_log_limit else { return };
+        let slack = limit / 4 + 1;
+        if self.events.len() > limit + slack {
+            let drop_n = self.events.len() - limit;
+            self.events.drain(0..drop_n);
+            self.dropped_events += drop_n as u64;
+        }
     }
 }
 

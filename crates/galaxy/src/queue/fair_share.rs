@@ -3,25 +3,35 @@
 //! Real Galaxy orders its job queue so no single user can starve the
 //! cluster: handlers prefer the user who has consumed the least service.
 //! [`FairShareQueue`] reproduces that policy deterministically — entries
-//! are bucketed per user (in a `BTreeMap`, so iteration order is stable),
-//! and each pop selects the user with the lowest accumulated usage
-//! (ties broken alphabetically), then the highest-priority entry of that
-//! user (ties broken FIFO by sequence number).
+//! are bucketed per user, and each pop selects the user with the lowest
+//! accumulated usage (ties broken alphabetically), then the
+//! highest-priority entry of that user (ties broken FIFO by sequence
+//! number).
+//!
+//! Both selections are index lookups, not scans: a `ready` set ordered
+//! by `(usage, user)` names the next user in O(log U), and each user's
+//! bucket is ordered by `(priority desc, seq)` so its best entry is the
+//! first key. That keeps `pop` at O(log n) with 10^5–10^6 users in
+//! queue, where the previous all-bucket scan was O(users) *per pop* —
+//! quadratic over a load-test run.
 //!
 //! Admission control is part of the queue: a push beyond the global
 //! capacity, or beyond a per-user in-queue limit, is rejected with a
 //! human-readable reason instead of blocking.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// One queued entry with its scheduling metadata.
+/// One queued entry (its priority and sequence number live in the bucket
+/// key, which orders the bucket).
 #[derive(Debug, Clone)]
 struct Entry<T> {
     item: T,
-    priority: u8,
-    seq: u64,
     enqueued_at: f64,
 }
+
+/// Bucket ordering: highest priority first, then FIFO by sequence.
+type BucketKey = (Reverse<u8>, u64);
 
 /// Why the queue refused a push.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,8 +61,12 @@ pub struct Popped<T> {
 pub struct FairShareQueue<T> {
     capacity: usize,
     per_user_limit: Option<usize>,
-    buckets: BTreeMap<String, VecDeque<Entry<T>>>,
+    buckets: BTreeMap<String, BTreeMap<BucketKey, Entry<T>>>,
     usage: BTreeMap<String, u64>,
+    /// Users with at least one queued entry, ordered by
+    /// `(accumulated usage, name)` — the first element is exactly the
+    /// user the old full scan's `min_by_key` would have chosen.
+    ready: BTreeSet<(u64, String)>,
     seq: u64,
     len: usize,
 }
@@ -66,6 +80,7 @@ impl<T> FairShareQueue<T> {
             per_user_limit,
             buckets: BTreeMap::new(),
             usage: BTreeMap::new(),
+            ready: BTreeSet::new(),
             seq: 0,
             len: 0,
         }
@@ -83,7 +98,7 @@ impl<T> FairShareQueue<T> {
 
     /// Entries currently queued for `user`.
     pub fn user_depth(&self, user: &str) -> usize {
-        self.buckets.get(user).map_or(0, VecDeque::len)
+        self.buckets.get(user).map_or(0, BTreeMap::len)
     }
 
     /// Accumulated usage (dispatched entries) charged to `user`.
@@ -130,9 +145,13 @@ impl<T> FairShareQueue<T> {
     /// would strand an accepted workflow.
     pub fn push_unchecked(&mut self, user: &str, priority: u8, enqueued_at: f64, item: T) {
         self.seq += 1;
-        let entry = Entry { item, priority, seq: self.seq, enqueued_at };
-        self.buckets.entry(user.to_string()).or_default().push_back(entry);
-        self.usage.entry(user.to_string()).or_insert(0);
+        let bucket = self.buckets.entry(user.to_string()).or_default();
+        let was_empty = bucket.is_empty();
+        bucket.insert((Reverse(priority), self.seq), Entry { item, enqueued_at });
+        let usage = *self.usage.entry(user.to_string()).or_insert(0);
+        if was_empty {
+            self.ready.insert((usage, user.to_string()));
+        }
         self.len += 1;
     }
 
@@ -140,35 +159,24 @@ impl<T> FairShareQueue<T> {
     /// of usage to that user. Returns `None` when empty.
     pub fn pop(&mut self) -> Option<Popped<T>> {
         obs::profile_scope!("queue.fair_share.pop");
-        // Least accumulated usage wins; BTreeMap order breaks ties
-        // alphabetically, keeping the schedule deterministic. The key
-        // compares by `&str` so only the winning user's name is cloned,
-        // not every candidate's on every pop.
-        let user = self
-            .buckets
-            .iter()
-            .filter(|(_, bucket)| !bucket.is_empty())
-            .min_by_key(|(user, _)| (self.usage.get(user.as_str()).copied().unwrap_or(0), *user))
-            .map(|(user, _)| user.clone())?;
-        let bucket = self.buckets.get_mut(&user)?;
-        // Within the user's bucket: highest priority, then FIFO.
-        let best = bucket
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| (std::cmp::Reverse(e.priority), e.seq))
-            .map(|(i, _)| i)?;
-        let entry = bucket.remove(best)?;
+        // Least accumulated usage wins, ties alphabetical: the ready
+        // set's first element, by construction of its key.
+        let (ready_usage, user) = self.ready.pop_first()?;
+        let bucket = self.buckets.get_mut(&user).expect("ready user has a bucket");
+        let ((Reverse(priority), _seq), entry) =
+            bucket.pop_first().expect("ready bucket is non-empty");
+        let still_queued = !bucket.is_empty();
         self.len -= 1;
         let usage = self.usage.entry(user.clone()).or_insert(0);
+        debug_assert_eq!(*usage, ready_usage, "ready-set usage key in sync");
         *usage += 1;
         let usage = *usage;
-        Some(Popped {
-            user,
-            item: entry.item,
-            priority: entry.priority,
-            enqueued_at: entry.enqueued_at,
-            usage,
-        })
+        if still_queued {
+            // Re-file the user under the charged usage so the next pop
+            // sees the updated fair-share position.
+            self.ready.insert((usage, user.clone()));
+        }
+        Some(Popped { user, item: entry.item, priority, enqueued_at: entry.enqueued_at, usage })
     }
 }
 
@@ -253,5 +261,70 @@ mod tests {
         let mut q: FairShareQueue<u32> = FairShareQueue::new(4, None);
         assert!(q.pop().is_none());
         assert!(q.is_empty());
+    }
+
+    /// The indexed pop must reproduce the original full-scan selection
+    /// exactly. This replays a deterministic pseudo-random interleaving
+    /// of pushes and pops against a brute-force reference.
+    #[test]
+    fn indexed_pop_matches_reference_scan() {
+        #[derive(Clone)]
+        struct RefEntry {
+            user: String,
+            priority: u8,
+            seq: u64,
+            item: u64,
+        }
+        // Brute-force reference: scan all entries, min by
+        // (usage, user, Reverse(priority), seq).
+        struct Reference {
+            entries: Vec<RefEntry>,
+            usage: BTreeMap<String, u64>,
+        }
+        impl Reference {
+            fn pop(&mut self) -> Option<u64> {
+                let idx = (0..self.entries.len()).min_by_key(|&i| {
+                    let e = &self.entries[i];
+                    (
+                        self.usage.get(&e.user).copied().unwrap_or(0),
+                        e.user.clone(),
+                        Reverse(e.priority),
+                        e.seq,
+                    )
+                })?;
+                let e = self.entries.remove(idx);
+                *self.usage.entry(e.user).or_insert(0) += 1;
+                Some(e.item)
+            }
+        }
+
+        let mut q: FairShareQueue<u64> = FairShareQueue::new(usize::MAX, None);
+        let mut reference = Reference { entries: Vec::new(), usage: BTreeMap::new() };
+        // Simple LCG so the interleaving is fixed without rand.
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut seq = 0u64;
+        for round in 0..600 {
+            let action = next() % 3;
+            if action < 2 {
+                let user = format!("user-{}", next() % 17);
+                let priority = (next() % 4) as u8;
+                seq += 1;
+                q.push_unchecked(&user, priority, round as f64, seq);
+                reference.entries.push(RefEntry { user, priority, seq, item: seq });
+            } else {
+                assert_eq!(q.pop().map(|p| p.item), reference.pop(), "round {round}");
+            }
+        }
+        loop {
+            let (got, want) = (q.pop().map(|p| p.item), reference.pop());
+            assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -57,6 +57,7 @@ pub mod fair_share;
 pub mod ledger;
 pub mod resubmit;
 
+pub use crate::scheduler::DispatchMode;
 pub use dag::{DagStep, DagWorkflow};
 pub use fair_share::{FairShareQueue, Popped, Rejection};
 pub use ledger::{JobSnapshot, JobsLedger};
@@ -129,6 +130,11 @@ pub struct QueueConfig {
     pub resubmit: ResubmitPolicy,
     /// Optional wave-barrier virtual-clock charging.
     pub time_charging: Option<WaveTimeCharging>,
+    /// Pool backend: OS worker threads (default) or the event-driven
+    /// ready queue — see [`crate::scheduler::DispatchMode`]. Load
+    /// harnesses holding 10^5 in-flight jobs use [`DispatchMode::Event`]
+    /// so a wave never needs one OS thread per worker.
+    pub dispatch: DispatchMode,
 }
 
 impl Default for QueueConfig {
@@ -139,6 +145,7 @@ impl Default for QueueConfig {
             per_user_limit: None,
             resubmit: ResubmitPolicy::none(),
             time_charging: None,
+            dispatch: DispatchMode::Threads,
         }
     }
 }
@@ -320,7 +327,12 @@ impl QueueEngine {
     /// Build an engine over `app`, dispatching plans on `executor` through
     /// a handler pool that shares the app's recorder.
     pub fn new(app: GalaxyApp, executor: Arc<dyn JobExecutor>, config: QueueConfig) -> Self {
-        let pool = HandlerPool::with_recorder(executor, config.workers, app.recorder().clone());
+        let pool = HandlerPool::with_mode(
+            executor,
+            config.workers,
+            app.recorder().clone(),
+            config.dispatch,
+        );
         app.recorder().metrics().set_gauge(QUEUE_DEPTH_GAUGE, 0.0);
         QueueEngine {
             queue: FairShareQueue::new(config.capacity, config.per_user_limit),
@@ -513,7 +525,7 @@ impl QueueEngine {
         }
         {
             obs::profile_scope!("queue.wave.await");
-            self.pool.wait_all();
+            self.pool.barrier();
         }
         self.pool.clear_discard();
         self.charge_wave_time(&wave);
@@ -808,7 +820,9 @@ impl QueueEngine {
         // A wave member without a pool result was skipped by a mid-wave
         // discard: the worker never ran it, and the pool's discard
         // listener (not this path) owns releasing its attempt resources.
-        let Some(result) = self.pool.result(job_id) else {
+        // Taking (not reading) the result keeps the pool's map bounded
+        // by the wave width across an arbitrarily long run.
+        let Some(result) = self.pool.take_result(job_id) else {
             if let Some(s) = span {
                 s.field("discarded", true);
                 s.end();

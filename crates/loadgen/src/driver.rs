@@ -1,0 +1,538 @@
+//! Run one [`LoadScenario`] through the real stack, asserting SLOs at
+//! every wave barrier.
+//!
+//! Nothing is mocked below the executor: the driver builds a
+//! [`GalaxyApp`] from the shipped `GYAN_JOB_CONF`, installs GYAN (or
+//! the fleet hook, per topology), and pumps a real [`QueueEngine`] in
+//! [`DispatchMode::Event`](galaxy::queue::DispatchMode::Event) — so a
+//! hundred thousand in-flight jobs cost a ready-queue entry each, not
+//! an OS thread each. Only the tool *body* is synthetic: a
+//! [`LoadExecutor`] that succeeds (or injects a failure) instantly,
+//! with each job's virtual runtime charged by the wave-time model from
+//! a job environment variable.
+//!
+//! The operations plane runs live alongside: the stock
+//! [`gyan::ops::default_alert_rules`] SLO set is evaluated at every
+//! wave barrier, and a rule named in [`LoadOptions::fail_on`] firing
+//! converts the run into a [`LoadFailure`] that carries the fired-alert
+//! list, a flight-recorder dump, and the reproducing seed.
+
+use crate::scenario::{LoadScenario, Topology};
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::queue::{QueueConfig, QueueEngine, ResubmitPolicy, SubmissionState, WaveTimeCharging};
+use galaxy::runners::{ExecutionPlan, ExecutionResult, JobExecutor};
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::{GalaxyApp, GalaxyError};
+use gpusim::{GpuArch, GpuCluster};
+use gyan::ops::default_alert_rules;
+use gyan::setup::{install_gyan, ClusterTime, GyanConfig};
+use obs::slo::{AlertEngine, AlertExpr, AlertRule, Compare};
+use simtest::invariants;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Job env var carrying the virtual runtime (seconds) the wave-time
+/// model charges for the job.
+pub const RUNTIME_ENV: &str = "LOADSIM_RUNTIME_S";
+/// Job env var marking a job that fails its GPU-enabled attempts.
+pub const FAIL_GPU_ENV: &str = "LOADSIM_FAIL_GPU";
+/// Export the GYAN hook sets on plans that won a GPU lease.
+const GPU_ENABLED_ENV: &str = "GALAXY_GPU_ENABLED";
+
+/// Bound on retained obs spans/events during a soak — enough context
+/// for a flight dump, without O(total jobs) recorder growth.
+const LOG_RETENTION: usize = 100_000;
+
+/// Virtual runtime charged when a plan carries no [`RUNTIME_ENV`]
+/// (resubmitted attempts keep their job env, so this is rare).
+const DEFAULT_RUNTIME_S: f64 = 0.05;
+
+const CPU_TOOL: &str = r#"<tool id="load_cpu" name="Load CPU">
+  <command>echo tick</command>
+  <outputs><data name="out" format="txt"/></outputs>
+</tool>"#;
+
+const GPU_TOOL: &str = r#"<tool id="load_gpu" name="Load GPU">
+  <requirements><requirement type="compute">gpu</requirement></requirements>
+  <command><![CDATA[
+#if $__galaxy_gpu_enabled__ == "true"
+load_kernel --device gpu
+#else
+load_kernel --device cpu
+#end if
+]]></command>
+  <outputs><data name="out" format="txt"/></outputs>
+</tool>"#;
+
+/// Synthetic executor for load tests: returns instantly (virtual time
+/// is charged by the wave-time model, not by running anything), and
+/// fails GPU-enabled attempts of jobs flagged with [`FAIL_GPU_ENV`] —
+/// whose CPU resubmission then succeeds, exercising the ladder.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LoadExecutor;
+
+impl JobExecutor for LoadExecutor {
+    fn execute(&self, plan: &ExecutionPlan) -> ExecutionResult {
+        let gpu = plan.env_var(GPU_ENABLED_ENV) == Some("true");
+        if gpu && plan.env_var(FAIL_GPU_ENV) == Some("1") {
+            return ExecutionResult {
+                exit_code: 137,
+                stdout: String::new(),
+                stderr: "injected: synthetic GPU fault".to_string(),
+                pid: None,
+            };
+        }
+        ExecutionResult::ok(if gpu { "gpu" } else { "cpu" })
+    }
+}
+
+/// Driver knobs.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// SLO rule names that must stay quiet: the run fails with a
+    /// [`LoadFailure`] (flight dump + reproducing seed) the moment one
+    /// of them fires. Empty = record firings in the report instead.
+    pub fail_on: Vec<String>,
+    /// Override the livelock bound (default: `4 × jobs + 100` waves).
+    pub max_waves: Option<usize>,
+}
+
+/// Rule names every healthy scenario is expected to keep quiet — the
+/// full stock SLO set from [`gyan::ops::default_alert_rules`].
+pub const DEFAULT_SLO_RULES: &[&str] = &[
+    "queue-wait-p99",
+    "gpu-conflict-rate",
+    "job-failure-burn",
+    "resubmission-burn",
+    "lease-oversubscription",
+];
+
+/// Outcome of one passing soak run. Deterministic per scenario: two
+/// runs of the same seed (even across dispatch backends) compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Generating seed.
+    pub seed: u64,
+    /// User population size.
+    pub users: usize,
+    /// Generated arrivals (submitted + rejected).
+    pub arrivals: usize,
+    /// Submissions the queue admitted.
+    pub submitted: usize,
+    /// Submissions rejected by admission control.
+    pub rejected: usize,
+    /// Jobs that finished OK.
+    pub ok: usize,
+    /// Jobs that failed terminally.
+    pub error: usize,
+    /// Jobs cancelled.
+    pub cancelled: usize,
+    /// Waves pumped before the queue drained.
+    pub waves: usize,
+    /// SLO rules that fired at any barrier (sorted, deduplicated).
+    pub fired: Vec<String>,
+    /// Queue-wait p50 estimate (seconds, virtual).
+    pub queue_wait_p50: f64,
+    /// Queue-wait p99 estimate (seconds, virtual).
+    pub queue_wait_p99: f64,
+    /// Virtual time at drain.
+    pub makespan_s: f64,
+    /// Deepest queue backlog observed at a wave boundary.
+    pub peak_queue_depth: usize,
+    /// Closed spans evicted by the recorder's retention cap.
+    pub dropped_spans: u64,
+    /// Events evicted by the recorder's retention cap.
+    pub dropped_events: u64,
+}
+
+/// A failed soak run, reproducible from the seed alone.
+#[derive(Debug, Clone)]
+pub struct LoadFailure {
+    /// Seed that reproduces the failure (`LOADTEST_SEED=<seed>`).
+    pub seed: u64,
+    /// Wave at which the run failed (None = setup or whole-run check).
+    pub wave: Option<usize>,
+    /// What failed: `"slo"`, an invariant name, `"setup"`, …
+    pub reason: &'static str,
+    /// Failure specifics.
+    pub detail: String,
+    /// Scenario description.
+    pub scenario: String,
+    /// SLO rules firing at failure time.
+    pub fired_alerts: Vec<String>,
+    /// Flight-recorder JSONL dump captured at failure time.
+    pub flight_jsonl: Option<String>,
+}
+
+impl std::fmt::Display for LoadFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "loadtest failure: {}", self.reason)?;
+        match self.wave {
+            Some(w) => writeln!(f, "  at wave {w}: {}", self.detail)?,
+            None => writeln!(f, "  {}", self.detail)?,
+        }
+        writeln!(f, "  scenario: {}", self.scenario)?;
+        if !self.fired_alerts.is_empty() {
+            writeln!(f, "  fired alerts: {}", self.fired_alerts.join(", "))?;
+        }
+        if let Some(dump) = &self.flight_jsonl {
+            writeln!(f, "  flight recorder: {} line(s) captured", dump.lines().count())?;
+        }
+        write!(f, "  reproduce with LOADTEST_SEED={}", self.seed)
+    }
+}
+
+/// Galaxy-level SLO rules for topologies without a GYAN lease table
+/// (thresholds mirror [`gyan::ops::default_alert_rules`]).
+fn galaxy_slo_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::new(
+            "queue-wait-p99",
+            AlertExpr::HistogramQuantile {
+                name: galaxy::queue::QUEUE_WAIT_HISTOGRAM.to_string(),
+                q: 0.99,
+            },
+            Compare::Gt,
+            30.0,
+        )
+        .hold_for(5.0),
+        AlertRule::new(
+            "job-failure-burn",
+            AlertExpr::CounterRate {
+                name: galaxy::scheduler::JOBS_FAILED_COUNTER.to_string(),
+                window_s: 30.0,
+            },
+            Compare::Gt,
+            0.2,
+        )
+        .hold_for(5.0),
+        AlertRule::new(
+            "resubmission-burn",
+            AlertExpr::CounterRate {
+                name: galaxy::queue::QUEUE_RESUBMITTED_COUNTER.to_string(),
+                window_s: 30.0,
+            },
+            Compare::Gt,
+            0.5,
+        )
+        .hold_for(5.0),
+    ]
+}
+
+/// Execute `scenario` under `options`: submit the generated schedule as
+/// its arrivals come due on the virtual clock, pump the queue wave by
+/// wave, and evaluate the SLO plane at every barrier.
+// LoadFailure is large (it carries the flight dump), but the Err path
+// is terminal — a failure report, not a hot return.
+#[allow(clippy::result_large_err)]
+pub fn run_scenario(
+    scenario: &LoadScenario,
+    options: &LoadOptions,
+) -> Result<LoadReport, LoadFailure> {
+    let fail = |wave: Option<usize>, reason: &'static str, detail: String| LoadFailure {
+        seed: scenario.seed,
+        wave,
+        reason,
+        detail,
+        scenario: scenario.describe(),
+        fired_alerts: Vec::new(),
+        flight_jsonl: None,
+    };
+
+    // --- Build the real stack -------------------------------------------
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).expect("shipped job conf"));
+    let lib = MacroLibrary::new();
+    for xml in [CPU_TOOL, GPU_TOOL] {
+        if let Err(e) = app.install_tool_xml(xml, &lib) {
+            return Err(fail(None, "setup", format!("tool install: {e}")));
+        }
+    }
+    app.set_event_log_limit(Some(LOG_RETENTION));
+
+    // Per-topology wiring. The cluster/fleet handles are kept alive for
+    // the whole run; the clock is the shared virtual timeline.
+    let (clock, gyan_table, the_fleet, _cluster) = match scenario.topology {
+        Topology::SingleNode { gpus } => {
+            let cluster = GpuCluster::node(GpuArch::tesla_k80(), gpus);
+            let table = install_gyan(&mut app, &cluster, GyanConfig::default());
+            (cluster.clock().clone(), Some(table), None, Some(cluster))
+        }
+        Topology::Fleet { k80, a100 } => {
+            let fleet = fleet::Fleet::builder()
+                .nodes(fleet::NodeClass::k80(), k80)
+                .nodes(fleet::NodeClass::a100(), a100)
+                .recorder(app.recorder().clone())
+                .build();
+            fleet::install_fleet(
+                &mut app,
+                &fleet,
+                fleet::FleetConfig {
+                    gpu_destination: "local_gpu".to_string(),
+                    gpu_destinations: vec!["local_gpu".to_string()],
+                    ..fleet::FleetConfig::default()
+                },
+            );
+            (fleet.clock().clone(), None, Some(fleet), None)
+        }
+    };
+    app.set_time_source(Box::new(ClusterTime::new(clock.clone())));
+    let recorder = app.recorder().clone();
+    recorder.set_log_retention(Some(LOG_RETENTION));
+
+    // The live SLO plane: stock rules, evaluated at every barrier.
+    let alerts = AlertEngine::new(&recorder);
+    match (&gyan_table, &the_fleet) {
+        (Some(table), _) => {
+            for rule in default_alert_rules(table) {
+                alerts.add_rule(rule);
+            }
+        }
+        (None, Some(fleet)) => {
+            for rule in galaxy_slo_rules() {
+                alerts.add_rule(rule);
+            }
+            // Fleet analogue of lease-oversubscription/leaked-lease: at a
+            // barrier every placement must have been released.
+            let f = fleet.clone();
+            alerts.add_rule(AlertRule::new(
+                "fleet-lease-leak",
+                AlertExpr::Custom(Arc::new(move || Some(f.total_lease_count() as f64))),
+                Compare::Gt,
+                0.0,
+            ));
+        }
+        (None, None) => unreachable!("topology wired above"),
+    }
+    let enrich = |mut failure: LoadFailure| -> LoadFailure {
+        failure.fired_alerts = alerts.firing();
+        failure.flight_jsonl = recorder.flight_snapshot().map(|s| s.to_jsonl());
+        failure
+    };
+
+    let model_default = DEFAULT_RUNTIME_S;
+    let config = QueueConfig {
+        workers: scenario.workers,
+        capacity: scenario.capacity,
+        per_user_limit: None,
+        resubmit: ResubmitPolicy::gpu_to_cpu("local_cpu"),
+        time_charging: Some(WaveTimeCharging {
+            clock: Box::new(ClusterTime::new(clock.clone())),
+            model: Box::new(move |plan: &ExecutionPlan| {
+                plan.env_var(RUNTIME_ENV)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or(model_default)
+            }),
+        }),
+        dispatch: scenario.dispatch,
+    };
+    let executor = Arc::new(LoadExecutor);
+    app.set_executor(Box::new(LoadExecutor));
+    let mut engine = QueueEngine::new(app, executor, config);
+    if let Some(table) = &gyan_table {
+        engine.set_discard_listener(table.discard_listener(Some(recorder.clone())));
+    }
+
+    // --- Pump arrivals through on the virtual clock ---------------------
+    let jobs = scenario.generate();
+    let max_waves = options.max_waves.unwrap_or(jobs.len() * 4 + 100);
+    let mut next = 0usize;
+    let mut submitted = 0usize;
+    let mut rejected = 0usize;
+    let mut waves = 0usize;
+    let mut peak_queue_depth = 0usize;
+    let mut fired: BTreeSet<String> = BTreeSet::new();
+    loop {
+        // Submit every arrival that has come due.
+        let now = clock.now();
+        while next < jobs.len() && jobs[next].at <= now {
+            let job = &jobs[next];
+            next += 1;
+            match engine.submit_with_priority(&job.user, job.tool, &ParamDict::new(), job.priority)
+            {
+                Ok(handle) => {
+                    submitted += 1;
+                    let app = engine.app_mut();
+                    app.set_job_env(handle.0, RUNTIME_ENV, &format!("{:.3}", job.runtime_s));
+                    if job.fail_on_gpu {
+                        app.set_job_env(handle.0, FAIL_GPU_ENV, "1");
+                    }
+                }
+                Err(GalaxyError::QueueRejected(_)) => rejected += 1,
+                Err(e) => {
+                    return Err(fail(None, "submission", format!("{:?}: {e}", job.tool)));
+                }
+            }
+        }
+        peak_queue_depth = peak_queue_depth.max(engine.queue_depth());
+
+        let dispatched = engine.pump_wave();
+        if dispatched == 0 {
+            if next < jobs.len() {
+                // Queue idle but arrivals remain: jump to the next one.
+                clock.advance_to(jobs[next].at);
+                continue;
+            }
+            break;
+        }
+        waves += 1;
+
+        // The SLO plane and the structural invariants, every barrier.
+        alerts.evaluate();
+        let firing = alerts.firing();
+        for name in &firing {
+            fired.insert(name.clone());
+        }
+        if let Some(bad) = firing.iter().find(|n| options.fail_on.iter().any(|f| f == *n)) {
+            return Err(enrich(fail(
+                Some(waves),
+                "slo",
+                format!("alert {bad:?} fired with {} in queue", engine.queue_depth()),
+            )));
+        }
+        if let Some(table) = &gyan_table {
+            invariants::no_leaked_leases(table, waves)
+                .map_err(|v| enrich(fail(Some(waves), v.invariant, v.detail)))?;
+        }
+        if let Some(fleet) = &the_fleet {
+            let leases = fleet.total_lease_count();
+            if leases > 0 {
+                return Err(enrich(fail(
+                    Some(waves),
+                    "fleet_lease_leak",
+                    format!("{leases} fleet lease(s) survived the wave barrier"),
+                )));
+            }
+        }
+        if waves >= max_waves {
+            return Err(enrich(fail(
+                Some(waves),
+                "wave_bound",
+                format!("still dispatching after {max_waves} waves"),
+            )));
+        }
+    }
+
+    // --- Whole-run checks and the report --------------------------------
+    invariants::conservation(&engine).map_err(|v| enrich(fail(None, v.invariant, v.detail)))?;
+
+    let states = engine.submission_states();
+    let count = |want: SubmissionState| states.iter().filter(|(_, s)| *s == want).count();
+    let metrics = recorder.metrics();
+    let (dropped_spans, dropped_events) = recorder.dropped_log_records();
+    let report = LoadReport {
+        seed: scenario.seed,
+        users: scenario.users,
+        arrivals: jobs.len(),
+        submitted,
+        rejected,
+        ok: count(SubmissionState::Ok),
+        error: count(SubmissionState::Error),
+        cancelled: count(SubmissionState::Cancelled),
+        waves,
+        fired: fired.into_iter().collect(),
+        queue_wait_p50: metrics
+            .histogram_quantile(galaxy::queue::QUEUE_WAIT_HISTOGRAM, 0.5)
+            .unwrap_or(0.0),
+        queue_wait_p99: metrics
+            .histogram_quantile(galaxy::queue::QUEUE_WAIT_HISTOGRAM, 0.99)
+            .unwrap_or(0.0),
+        makespan_s: clock.now(),
+        peak_queue_depth,
+        dropped_spans,
+        dropped_events,
+    };
+
+    engine.shutdown();
+    invariants::spans_balanced(&recorder).map_err(|v| enrich(fail(None, v.invariant, v.detail)))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::LoadScenario;
+    use galaxy::queue::DispatchMode;
+
+    /// A fast scenario for unit tests: a few hundred arrivals squeezed
+    /// into a short horizon.
+    fn small(seed: u64) -> LoadScenario {
+        let mut s = LoadScenario::diurnal(seed, 300);
+        s.duration_s = 600.0;
+        s.profile.base_rate = 300.0 / 600.0;
+        s.profile.period_s = 600.0;
+        s.workers = 8;
+        s.topology = Topology::SingleNode { gpus: 8 };
+        s
+    }
+
+    #[test]
+    fn healthy_small_run_is_quiet_and_complete() {
+        let scenario = small(21);
+        let options = LoadOptions {
+            fail_on: DEFAULT_SLO_RULES.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        };
+        let report = run_scenario(&scenario, &options).expect("healthy run");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.ok, report.submitted);
+        assert_eq!(report.error + report.cancelled, 0);
+        assert!(report.fired.is_empty(), "fired: {:?}", report.fired);
+        assert!(report.submitted > 100, "only {} submitted", report.submitted);
+        assert!(report.makespan_s >= 600.0 - 15.0, "makespan {}", report.makespan_s);
+    }
+
+    #[test]
+    fn event_and_thread_backends_produce_identical_reports() {
+        let event = run_scenario(&small(33), &LoadOptions::default()).expect("event run");
+        let mut threaded_scenario = small(33);
+        threaded_scenario.dispatch = DispatchMode::Threads;
+        let threads = run_scenario(&threaded_scenario, &LoadOptions::default()).expect("threads");
+        assert_eq!(event, threads);
+    }
+
+    #[test]
+    fn deterministic_replay_from_one_seed() {
+        let a = run_scenario(&small(55), &LoadOptions::default()).expect("run a");
+        let b = run_scenario(&small(55), &LoadOptions::default()).expect("run b");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_gpu_faults_resubmit_to_cpu_and_still_finish_ok() {
+        let mut scenario = small(77);
+        scenario.gpu_fraction = 0.5;
+        scenario.gpu_fail_fraction = 1.0;
+        let report = run_scenario(&scenario, &LoadOptions::default()).expect("faulty run");
+        // Every GPU-enabled failure falls down the ladder to CPU and
+        // succeeds there: no terminal errors.
+        assert_eq!(report.ok, report.submitted);
+        assert_eq!(report.error, 0);
+    }
+
+    #[test]
+    fn fleet_topology_runs_clean() {
+        let mut scenario = LoadScenario::fleet(91, 200);
+        scenario.duration_s = 400.0;
+        scenario.profile.base_rate = 0.5;
+        scenario.profile.period_s = 400.0;
+        let report = run_scenario(&scenario, &LoadOptions::default()).expect("fleet run");
+        assert_eq!(report.ok, report.submitted);
+        assert!(!report.fired.iter().any(|r| r == "fleet-lease-leak"), "{:?}", report.fired);
+    }
+
+    #[test]
+    fn slo_violation_fails_with_flight_dump_and_seed() {
+        let mut scenario = LoadScenario::under_provisioned(13, 400);
+        scenario.duration_s = 600.0;
+        scenario.profile.base_rate = 400.0 / 600.0;
+        let options =
+            LoadOptions { fail_on: vec!["queue-wait-p99".to_string()], ..Default::default() };
+        let failure = run_scenario(&scenario, &options).expect_err("must breach the wait SLO");
+        assert_eq!(failure.reason, "slo");
+        assert!(failure.fired_alerts.iter().any(|a| a == "queue-wait-p99"));
+        assert!(failure.flight_jsonl.is_some(), "flight dump captured");
+        let text = failure.to_string();
+        assert!(text.contains("LOADTEST_SEED=13"), "{text}");
+    }
+}

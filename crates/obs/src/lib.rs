@@ -215,8 +215,51 @@ impl EventData {
 
 #[derive(Default)]
 struct LogState {
+    /// Sorted by id: ids are allocated under this lock, so push order is
+    /// id order, and eviction (which preserves relative order) keeps it
+    /// that way — span lookup is a binary search, not a scan.
     spans: Vec<SpanData>,
     events: Vec<EventData>,
+    /// Optional retention cap (per log, spans and events separately).
+    /// `None` (the default) retains everything.
+    retain: Option<usize>,
+    dropped_spans: u64,
+    dropped_events: u64,
+}
+
+impl LogState {
+    /// Position of span `id`, exploiting the sorted-by-id invariant.
+    fn span_index(&self, id: u64) -> Option<usize> {
+        self.spans.binary_search_by_key(&id, |s| s.id).ok()
+    }
+
+    /// Enforce the retention cap with ~25% slack so eviction is a rare
+    /// batch pass (amortized O(1) per record), not an O(n) scan on every
+    /// push. Only *closed* spans are evicted — open spans must survive so
+    /// open/close balance checks stay meaningful; events evict FIFO.
+    fn evict(&mut self) {
+        let Some(limit) = self.retain else { return };
+        let slack = limit / 4 + 1;
+        if self.spans.len() > limit + slack {
+            let mut to_drop = self.spans.len() - limit;
+            let mut dropped = 0u64;
+            self.spans.retain(|s| {
+                if to_drop > 0 && s.end.is_some() {
+                    to_drop -= 1;
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.dropped_spans += dropped;
+        }
+        if self.events.len() > limit + slack {
+            let drop_n = self.events.len() - limit;
+            self.events.drain(0..drop_n);
+            self.dropped_events += drop_n as u64;
+        }
+    }
 }
 
 type ClockFn = dyn Fn() -> f64 + Send + Sync;
@@ -322,10 +365,13 @@ impl Recorder {
     }
 
     fn open_span(&self, name: String, parent: Option<u64>) -> Span {
-        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let start = self.now();
         let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        // Allocate the id while holding the log lock so push order is id
+        // order — the invariant `LogState::span_index` binary-searches on.
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         log.spans.push(SpanData { id, parent, name, start, end: None, fields: Vec::new() });
+        log.evict();
         Span { recorder: self.clone(), id, ended: false }
     }
 
@@ -333,7 +379,7 @@ impl Recorder {
         let end = self.now();
         let closed = {
             let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
-            match log.spans.iter_mut().find(|s| s.id == id) {
+            match log.span_index(id).map(|i| &mut log.spans[i]) {
                 Some(span) if span.end.is_none() => {
                     span.end = Some(end);
                     Some(span.clone())
@@ -348,9 +394,28 @@ impl Recorder {
 
     fn add_span_field(&self, id: u64, key: String, value: Value) {
         let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(span) = log.spans.iter_mut().find(|s| s.id == id) {
-            span.fields.push((key, value));
+        if let Some(i) = log.span_index(id) {
+            log.spans[i].fields.push((key, value));
         }
+    }
+
+    /// Cap the span/event log at roughly `limit` records each, evicting
+    /// the oldest **closed** spans and oldest events once the cap (plus
+    /// ~25% batching slack) is exceeded; open spans are never evicted, so
+    /// open/close-balance checks keep working. `None` (the default)
+    /// retains everything. Long soak runs set this so telemetry stays
+    /// O(limit) instead of O(jobs); [`Recorder::dropped_log_records`]
+    /// reports how much history eviction cost.
+    pub fn set_log_retention(&self, limit: Option<usize>) {
+        let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        log.retain = limit;
+        log.evict();
+    }
+
+    /// `(spans, events)` evicted by the retention cap so far.
+    pub fn dropped_log_records(&self) -> (u64, u64) {
+        let log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        (log.dropped_spans, log.dropped_events)
     }
 
     /// Emit a standalone event.
@@ -374,6 +439,7 @@ impl Recorder {
         self.flight_push(|| flight::FlightRecord::Event(ev.clone()));
         let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
         log.events.push(ev);
+        log.evict();
     }
 
     /// Snapshot of all spans recorded so far.
@@ -630,6 +696,80 @@ mod tests {
         }
         assert_eq!(rec.spans().len(), 8);
         assert_eq!(rec.metrics().counter_value("obs_test_total"), 8);
+    }
+
+    #[test]
+    fn retention_evicts_closed_spans_and_old_events_only() {
+        let rec = Recorder::new();
+        rec.set_log_retention(Some(8));
+        let held = rec.span("held-open");
+        for i in 0..40u64 {
+            let s = rec.span("burst");
+            s.field("i", i);
+            s.end();
+            rec.event("tick", [("i", i)]);
+        }
+        let spans = rec.spans();
+        // The cap plus batching slack bounds the log; the open span
+        // survived every eviction pass.
+        assert!(spans.len() <= 8 + 8 / 4 + 1, "spans bounded, got {}", spans.len());
+        assert!(spans.iter().any(|s| s.name == "held-open" && s.end.is_none()));
+        assert!(rec.events().len() <= 8 + 8 / 4 + 1);
+        let (dropped_spans, dropped_events) = rec.dropped_log_records();
+        assert!(dropped_spans > 0 && dropped_events > 0);
+        // Eviction preserves the sorted-by-id invariant, so closing a
+        // surviving span (binary search) still works.
+        held.end();
+        assert!(rec.open_spans().is_empty());
+        // Newest records are the ones retained.
+        let ids: Vec<u64> = rec.spans().iter().map(|s| s.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "span log stays id-sorted after eviction");
+    }
+
+    #[test]
+    fn unbounded_by_default_and_cap_can_be_lifted() {
+        let rec = Recorder::new();
+        for _ in 0..100 {
+            rec.span("s").end();
+        }
+        assert_eq!(rec.spans().len(), 100);
+        rec.set_log_retention(Some(10));
+        assert!(rec.spans().len() <= 10 + 10 / 4 + 1);
+        rec.set_log_retention(None);
+        for _ in 0..50 {
+            rec.span("more").end();
+        }
+        let before = rec.dropped_log_records();
+        assert!(rec.spans().len() >= 50);
+        assert_eq!(rec.dropped_log_records(), before, "no eviction once lifted");
+    }
+
+    #[test]
+    fn concurrent_span_churn_keeps_ids_sorted() {
+        let rec = Recorder::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let s = rec.span("w");
+                        s.field("k", 1u64);
+                        s.end();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ids: Vec<u64> = rec.spans().iter().map(|s| s.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 1600);
+        assert!(rec.open_spans().is_empty());
     }
 
     #[test]

@@ -209,6 +209,7 @@ pub fn run_scenario(scenario: &Scenario, options: &SimOptions) -> Result<SimRepo
         per_user_limit: scenario.per_user_limit,
         resubmit,
         time_charging: None,
+        dispatch: Default::default(),
     };
     let mut engine = QueueEngine::new(app, faulty, config);
     if options.release_on_discard {

@@ -7,9 +7,16 @@
 #   SIMTEST_SEED=<n>   replay exactly that seed instead of the sweep —
 #                      this is the value a simtest failure report prints.
 #
-# Perf-gate knobs (forwarded to the perf_gate and placement_throughput
-# binaries):
-#   BENCH_SKIP=1            skip the scheduler + placement perf gates
+# Load-test knobs (forwarded to tests/loadtest.rs):
+#   LOADTEST_SKIP=1     skip the load-harness soak smoke gate
+#   LOADTEST_USERS=<n>  soak-test user population (smoke gate pins 2000)
+#   LOADTEST_SEED=<n>   replay exactly that seed — the value a loadtest
+#                       failure report prints as LOADTEST_SEED=<n>
+#   LOADTEST_CASES=<n>  seeds swept per scenario shape (default 1)
+#
+# Perf-gate knobs (forwarded to the perf_gate, placement_throughput,
+# and loadtest binaries):
+#   BENCH_SKIP=1            skip the scheduler/placement/loadtest gates
 #   BENCH_TOLERANCE_PCT=<n> regression threshold in percent (default 40)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +51,13 @@ cargo test -q --test fleet
 echo "==> fleet simulation smoke (seeded sweep + 100-node/10k-user scenario)"
 cargo test -q --test simtest fleet_
 
+if [[ "${LOADTEST_SKIP:-0}" == "1" ]]; then
+  echo "==> load-harness soak smoke: skipped (LOADTEST_SKIP=1)"
+else
+  echo "==> load-harness soak smoke (${LOADTEST_USERS:-2000}-user seeded scenarios)"
+  LOADTEST_USERS="${LOADTEST_USERS:-2000}" cargo test -q --test loadtest
+fi
+
 echo "==> shard-failure smoke (node death mid-wave + stale-wiring catch)"
 cargo test -q --test simtest -- fleet_node_death_holds_invariants_across_the_sweep \
   fleet_stale_dead_node_placement_is_caught_with_a_reproducing_seed
@@ -70,6 +84,10 @@ else
   echo "==> fleet placement gate (BENCH_placement.json, tolerance ${BENCH_TOLERANCE_PCT:-40}%)"
   cargo run -q --release -p gyan-bench --bin placement_throughput
   test -s BENCH_placement.json
+
+  echo "==> load-harness gate (BENCH_loadtest.json, 10^5 users, tolerance ${BENCH_TOLERANCE_PCT:-40}%)"
+  cargo run -q --release -p gyan-bench --bin loadtest
+  test -s BENCH_loadtest.json
 fi
 
 echo "verify: OK"
