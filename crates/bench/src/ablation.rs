@@ -1,0 +1,428 @@
+//! Memory-hint ablation schema and regression comparator.
+//!
+//! The `footprint_ablation` binary A/B-tests the learned right-sizing
+//! loop against the two static allocation baselines from the paper
+//! (§IV-C1 Process-Id, §IV-C2 Memory-Based) on the two load shapes
+//! where the memory model bites — `under_provisioned` (every wasted
+//! CPU-fallback hour lingers in the backlog) and `gpu_flaky` (footprint
+//! retries must not fire on non-OOM faults) — and records one flat
+//! [`AblationTrajectory`] in `BENCH_ablation.json` at the repo root.
+//!
+//! Only the *learned* arm's metrics are regression-gated (through the
+//! shared [`crate::perf::delta`] rule); the static arms are context the
+//! binary asserts against directly: learned must match-or-beat both
+//! statics on queue-wait p99 and strictly reduce GPU→CPU fallbacks on
+//! both scenarios, and its converged estimates must sit within the 20%
+//! accuracy bound the footprint audits promise.
+
+use crate::perf::{delta, Delta, Direction};
+use obs::json::{self, JsonValue};
+
+/// Schema identifier embedded in every ablation trajectory file.
+pub const SCHEMA: &str = "gyan.bench.ablation/v1";
+
+/// One recorded memory-hint ablation run. Field prefixes: `up_` =
+/// under-provisioned scenario, `flaky_` = gpu-flaky scenario; arm
+/// suffixes: `learned`, `static_pid` (Process-Id), `static_mem`
+/// (Memory-Based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationTrajectory {
+    /// Schema identifier (see [`SCHEMA`]).
+    pub schema: String,
+    /// `git rev-parse --short` of the measured tree (or `"unknown"`).
+    pub commit: String,
+    /// Arrivals in the under-provisioned scenario (context).
+    pub up_jobs: f64,
+    /// Arrivals in the gpu-flaky scenario (context).
+    pub flaky_jobs: f64,
+    /// Queue-wait p99 (virtual s), under-provisioned, learned arm.
+    pub up_learned_wait_p99_s: f64,
+    /// Queue-wait p99 (virtual s), under-provisioned, Process-Id static.
+    pub up_static_pid_wait_p99_s: f64,
+    /// Queue-wait p99 (virtual s), under-provisioned, Memory-Based static.
+    pub up_static_mem_wait_p99_s: f64,
+    /// GPU→CPU fallback resubmissions, under-provisioned, learned arm.
+    pub up_learned_fallbacks: f64,
+    /// GPU→CPU fallback resubmissions, under-provisioned, Process-Id static.
+    pub up_static_pid_fallbacks: f64,
+    /// GPU→CPU fallback resubmissions, under-provisioned, Memory-Based static.
+    pub up_static_mem_fallbacks: f64,
+    /// Virtual makespan (s), under-provisioned, learned arm.
+    pub up_learned_makespan_s: f64,
+    /// Virtual makespan (s), under-provisioned, Process-Id static.
+    pub up_static_pid_makespan_s: f64,
+    /// Virtual makespan (s), under-provisioned, Memory-Based static.
+    pub up_static_mem_makespan_s: f64,
+    /// Queue-wait p99 (virtual s), gpu-flaky, learned arm.
+    pub flaky_learned_wait_p99_s: f64,
+    /// Queue-wait p99 (virtual s), gpu-flaky, Process-Id static.
+    pub flaky_static_pid_wait_p99_s: f64,
+    /// Queue-wait p99 (virtual s), gpu-flaky, Memory-Based static.
+    pub flaky_static_mem_wait_p99_s: f64,
+    /// GPU→CPU fallback resubmissions, gpu-flaky, learned arm.
+    pub flaky_learned_fallbacks: f64,
+    /// GPU→CPU fallback resubmissions, gpu-flaky, Process-Id static.
+    pub flaky_static_pid_fallbacks: f64,
+    /// GPU→CPU fallback resubmissions, gpu-flaky, Memory-Based static.
+    pub flaky_static_mem_fallbacks: f64,
+    /// Virtual makespan (s), gpu-flaky, learned arm.
+    pub flaky_learned_makespan_s: f64,
+    /// Virtual makespan (s), gpu-flaky, Process-Id static.
+    pub flaky_static_pid_makespan_s: f64,
+    /// Virtual makespan (s), gpu-flaky, Memory-Based static.
+    pub flaky_static_mem_makespan_s: f64,
+    /// Converged-profile (`source="learned"`) footprint audits across
+    /// both learned runs (context).
+    pub learned_estimates: f64,
+    /// Worst |p95 estimate − observed peak| / peak over those audits (%).
+    pub estimate_err_pct_max: f64,
+}
+
+/// Every numeric field, in document order: `(json key, getter)`.
+/// Render, parse, and the comparator all walk this one table.
+type Field = (&'static str, fn(&AblationTrajectory) -> f64);
+
+fn fields() -> Vec<Field> {
+    vec![
+        ("up_jobs", |t| t.up_jobs),
+        ("flaky_jobs", |t| t.flaky_jobs),
+        ("up_learned_wait_p99_s", |t| t.up_learned_wait_p99_s),
+        ("up_static_pid_wait_p99_s", |t| t.up_static_pid_wait_p99_s),
+        ("up_static_mem_wait_p99_s", |t| t.up_static_mem_wait_p99_s),
+        ("up_learned_fallbacks", |t| t.up_learned_fallbacks),
+        ("up_static_pid_fallbacks", |t| t.up_static_pid_fallbacks),
+        ("up_static_mem_fallbacks", |t| t.up_static_mem_fallbacks),
+        ("up_learned_makespan_s", |t| t.up_learned_makespan_s),
+        ("up_static_pid_makespan_s", |t| t.up_static_pid_makespan_s),
+        ("up_static_mem_makespan_s", |t| t.up_static_mem_makespan_s),
+        ("flaky_learned_wait_p99_s", |t| t.flaky_learned_wait_p99_s),
+        ("flaky_static_pid_wait_p99_s", |t| t.flaky_static_pid_wait_p99_s),
+        ("flaky_static_mem_wait_p99_s", |t| t.flaky_static_mem_wait_p99_s),
+        ("flaky_learned_fallbacks", |t| t.flaky_learned_fallbacks),
+        ("flaky_static_pid_fallbacks", |t| t.flaky_static_pid_fallbacks),
+        ("flaky_static_mem_fallbacks", |t| t.flaky_static_mem_fallbacks),
+        ("flaky_learned_makespan_s", |t| t.flaky_learned_makespan_s),
+        ("flaky_static_pid_makespan_s", |t| t.flaky_static_pid_makespan_s),
+        ("flaky_static_mem_makespan_s", |t| t.flaky_static_mem_makespan_s),
+        ("learned_estimates", |t| t.learned_estimates),
+        ("estimate_err_pct_max", |t| t.estimate_err_pct_max),
+    ]
+}
+
+/// The regression-gated subset: the learned arm's own trajectory (the
+/// statics are asserted cross-arm by the binary, not gated run-to-run —
+/// a *baseline* getting worse is not a regression of the feature).
+type AblationMetric = (&'static str, fn(&AblationTrajectory) -> f64, Direction);
+
+fn metrics() -> Vec<AblationMetric> {
+    vec![
+        (
+            "up_learned_wait_p99_s",
+            |t: &AblationTrajectory| t.up_learned_wait_p99_s,
+            Direction::LowerIsBetter,
+        ),
+        (
+            "flaky_learned_wait_p99_s",
+            |t: &AblationTrajectory| t.flaky_learned_wait_p99_s,
+            Direction::LowerIsBetter,
+        ),
+        (
+            "up_learned_fallbacks",
+            |t: &AblationTrajectory| t.up_learned_fallbacks,
+            Direction::LowerIsBetter,
+        ),
+        (
+            "flaky_learned_fallbacks",
+            |t: &AblationTrajectory| t.flaky_learned_fallbacks,
+            Direction::LowerIsBetter,
+        ),
+        (
+            "up_learned_makespan_s",
+            |t: &AblationTrajectory| t.up_learned_makespan_s,
+            Direction::LowerIsBetter,
+        ),
+        (
+            "flaky_learned_makespan_s",
+            |t: &AblationTrajectory| t.flaky_learned_makespan_s,
+            Direction::LowerIsBetter,
+        ),
+        (
+            "estimate_err_pct_max",
+            |t: &AblationTrajectory| t.estimate_err_pct_max,
+            Direction::LowerIsBetter,
+        ),
+    ]
+}
+
+fn fmt_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl AblationTrajectory {
+    /// Render the trajectory as the `BENCH_ablation.json` document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", obs::json_escape(&self.schema)));
+        out.push_str(&format!("  \"commit\": \"{}\"", obs::json_escape(&self.commit)));
+        for (key, get) in fields() {
+            out.push_str(&format!(",\n  \"{key}\": {}", fmt_json(get(self))));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse a `BENCH_ablation.json` document. Errors on malformed
+    /// JSON, a missing field, or a schema mismatch.
+    pub fn parse(text: &str) -> Result<AblationTrajectory, String> {
+        let doc = json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing field \"schema\"".to_string())?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: file has {schema:?}, expected {SCHEMA:?}"));
+        }
+        let field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let mut t = AblationTrajectory {
+            schema,
+            commit: doc.get("commit").and_then(JsonValue::as_str).unwrap_or("unknown").to_string(),
+            up_jobs: 0.0,
+            flaky_jobs: 0.0,
+            up_learned_wait_p99_s: 0.0,
+            up_static_pid_wait_p99_s: 0.0,
+            up_static_mem_wait_p99_s: 0.0,
+            up_learned_fallbacks: 0.0,
+            up_static_pid_fallbacks: 0.0,
+            up_static_mem_fallbacks: 0.0,
+            up_learned_makespan_s: 0.0,
+            up_static_pid_makespan_s: 0.0,
+            up_static_mem_makespan_s: 0.0,
+            flaky_learned_wait_p99_s: 0.0,
+            flaky_static_pid_wait_p99_s: 0.0,
+            flaky_static_mem_wait_p99_s: 0.0,
+            flaky_learned_fallbacks: 0.0,
+            flaky_static_pid_fallbacks: 0.0,
+            flaky_static_mem_fallbacks: 0.0,
+            flaky_learned_makespan_s: 0.0,
+            flaky_static_pid_makespan_s: 0.0,
+            flaky_static_mem_makespan_s: 0.0,
+            learned_estimates: 0.0,
+            estimate_err_pct_max: 0.0,
+        };
+        // One settable slot per table key, same order as `fields()`.
+        let slots: [&mut f64; 22] = [
+            &mut t.up_jobs,
+            &mut t.flaky_jobs,
+            &mut t.up_learned_wait_p99_s,
+            &mut t.up_static_pid_wait_p99_s,
+            &mut t.up_static_mem_wait_p99_s,
+            &mut t.up_learned_fallbacks,
+            &mut t.up_static_pid_fallbacks,
+            &mut t.up_static_mem_fallbacks,
+            &mut t.up_learned_makespan_s,
+            &mut t.up_static_pid_makespan_s,
+            &mut t.up_static_mem_makespan_s,
+            &mut t.flaky_learned_wait_p99_s,
+            &mut t.flaky_static_pid_wait_p99_s,
+            &mut t.flaky_static_mem_wait_p99_s,
+            &mut t.flaky_learned_fallbacks,
+            &mut t.flaky_static_pid_fallbacks,
+            &mut t.flaky_static_mem_fallbacks,
+            &mut t.flaky_learned_makespan_s,
+            &mut t.flaky_static_pid_makespan_s,
+            &mut t.flaky_static_mem_makespan_s,
+            &mut t.learned_estimates,
+            &mut t.estimate_err_pct_max,
+        ];
+        for ((key, _), slot) in fields().into_iter().zip(slots) {
+            *slot = field(key)?;
+        }
+        Ok(t)
+    }
+}
+
+/// Compare a new run's learned arm against the previous trajectory
+/// under the shared delta rule.
+pub fn compare(
+    prev: &AblationTrajectory,
+    new: &AblationTrajectory,
+    tolerance_pct: f64,
+) -> Vec<Delta> {
+    metrics()
+        .into_iter()
+        .map(|(metric, get, direction)| {
+            delta(metric, get(prev), get(new), direction, tolerance_pct)
+        })
+        .collect()
+}
+
+/// The cross-arm acceptance the binary enforces on every fresh run:
+/// the learned arm must match-or-beat both static arms on queue-wait
+/// p99 (within `match_pct` slack) and strictly reduce fallbacks, on
+/// both scenarios; converged estimates must sit within `err_bound_pct`.
+/// Returns the violated clauses (empty = accepted).
+pub fn acceptance_violations(
+    t: &AblationTrajectory,
+    match_pct: f64,
+    err_bound_pct: f64,
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    let slack = 1.0 + match_pct / 100.0;
+    let wait = [
+        ("under-provisioned", t.up_learned_wait_p99_s, t.up_static_pid_wait_p99_s, "process-id"),
+        ("under-provisioned", t.up_learned_wait_p99_s, t.up_static_mem_wait_p99_s, "memory-based"),
+        ("gpu-flaky", t.flaky_learned_wait_p99_s, t.flaky_static_pid_wait_p99_s, "process-id"),
+        ("gpu-flaky", t.flaky_learned_wait_p99_s, t.flaky_static_mem_wait_p99_s, "memory-based"),
+    ];
+    for (scenario, learned, static_, arm) in wait {
+        if learned > static_ * slack {
+            bad.push(format!(
+                "{scenario}: learned queue-wait p99 {learned:.3}s exceeds \
+                 {arm} static {static_:.3}s by more than {match_pct}%"
+            ));
+        }
+    }
+    let fallbacks = [
+        ("under-provisioned", t.up_learned_fallbacks, t.up_static_pid_fallbacks, "process-id"),
+        ("under-provisioned", t.up_learned_fallbacks, t.up_static_mem_fallbacks, "memory-based"),
+        ("gpu-flaky", t.flaky_learned_fallbacks, t.flaky_static_pid_fallbacks, "process-id"),
+        ("gpu-flaky", t.flaky_learned_fallbacks, t.flaky_static_mem_fallbacks, "memory-based"),
+    ];
+    for (scenario, learned, static_, arm) in fallbacks {
+        if learned >= static_ {
+            bad.push(format!(
+                "{scenario}: learned arm took {learned} GPU→CPU fallbacks, \
+                 not fewer than {arm} static's {static_}"
+            ));
+        }
+    }
+    // Makespan is the discriminating metric once both arms saturate the
+    // queue-wait histogram's top bucket: every avoided CPU-slowdown hour
+    // shows up here directly.
+    let makespan = [
+        ("under-provisioned", t.up_learned_makespan_s, t.up_static_pid_makespan_s, "process-id"),
+        ("under-provisioned", t.up_learned_makespan_s, t.up_static_mem_makespan_s, "memory-based"),
+        ("gpu-flaky", t.flaky_learned_makespan_s, t.flaky_static_pid_makespan_s, "process-id"),
+        ("gpu-flaky", t.flaky_learned_makespan_s, t.flaky_static_mem_makespan_s, "memory-based"),
+    ];
+    for (scenario, learned, static_, arm) in makespan {
+        if learned > static_ * slack {
+            bad.push(format!(
+                "{scenario}: learned makespan {learned:.1}s exceeds \
+                 {arm} static {static_:.1}s by more than {match_pct}%"
+            ));
+        }
+    }
+    if t.learned_estimates < 1.0 {
+        bad.push("no footprint profile converged to a learned estimate".to_string());
+    }
+    if t.estimate_err_pct_max > err_bound_pct {
+        bad.push(format!(
+            "worst learned p95 estimate off by {:.1}% (bound {err_bound_pct}%)",
+            t.estimate_err_pct_max
+        ));
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory() -> AblationTrajectory {
+        AblationTrajectory {
+            schema: SCHEMA.to_string(),
+            commit: "abc123def456".to_string(),
+            up_jobs: 2_000.0,
+            flaky_jobs: 1_500.0,
+            up_learned_wait_p99_s: 80.0,
+            up_static_pid_wait_p99_s: 100.0,
+            up_static_mem_wait_p99_s: 98.0,
+            up_learned_fallbacks: 2.0,
+            up_static_pid_fallbacks: 11.0,
+            up_static_mem_fallbacks: 11.0,
+            up_learned_makespan_s: 2_100.0,
+            up_static_pid_makespan_s: 2_300.0,
+            up_static_mem_makespan_s: 2_280.0,
+            flaky_learned_wait_p99_s: 40.0,
+            flaky_static_pid_wait_p99_s: 41.0,
+            flaky_static_mem_wait_p99_s: 42.0,
+            flaky_learned_fallbacks: 1_210.0,
+            flaky_static_pid_fallbacks: 1_240.0,
+            flaky_static_mem_fallbacks: 1_238.0,
+            flaky_learned_makespan_s: 900.0,
+            flaky_static_pid_makespan_s: 930.0,
+            flaky_static_mem_makespan_s: 925.0,
+            learned_estimates: 150.0,
+            estimate_err_pct_max: 14.2,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_preserves_every_field() {
+        let t = trajectory();
+        let parsed = AblationTrajectory::parse(&t.render_json()).expect("roundtrip parses");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = trajectory().render_json().replace(SCHEMA, "gyan.bench.ablation/v0");
+        let err = AblationTrajectory::parse(&text).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn loadtest_files_do_not_parse_as_ablation_files() {
+        let loadtest = crate::loadtest::LoadTrajectory {
+            schema: crate::loadtest::SCHEMA.to_string(),
+            commit: "abc".to_string(),
+            users: 1.0,
+            jobs: 1.0,
+            submissions_per_sec: 1.0,
+            queue_wait_p50_s: 1.0,
+            queue_wait_p99_s: 1.0,
+        };
+        assert!(AblationTrajectory::parse(&loadtest.render_json()).is_err());
+    }
+
+    #[test]
+    fn only_the_learned_arm_is_gated() {
+        let prev = trajectory();
+        let mut new = trajectory();
+        // Static arms tanking is context, not a regression...
+        new.up_static_pid_wait_p99_s *= 10.0;
+        new.flaky_static_mem_fallbacks *= 10.0;
+        assert!(compare(&prev, &new, 5.0).iter().all(|d| !d.regressed));
+        // ...the learned arm tanking is.
+        new.up_learned_wait_p99_s *= 3.0;
+        let deltas = compare(&prev, &new, 5.0);
+        let regressed: Vec<&str> =
+            deltas.iter().filter(|d| d.regressed).map(|d| d.metric).collect();
+        assert_eq!(regressed, vec!["up_learned_wait_p99_s"]);
+    }
+
+    #[test]
+    fn acceptance_passes_the_healthy_shape_and_names_each_violation() {
+        let good = trajectory();
+        assert!(acceptance_violations(&good, 5.0, 20.0).is_empty());
+
+        let mut bad = trajectory();
+        bad.up_learned_wait_p99_s = 200.0; // worse than both statics
+        bad.flaky_learned_fallbacks = bad.flaky_static_pid_fallbacks; // not fewer
+        bad.up_learned_makespan_s = 10_000.0; // slower than both statics
+        bad.learned_estimates = 0.0;
+        bad.estimate_err_pct_max = 35.0;
+        let violations = acceptance_violations(&bad, 5.0, 20.0);
+        assert_eq!(violations.len(), 2 + 2 + 2 + 2, "{violations:#?}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Memory-hint ablation: learned right-sizing vs. static baselines.
+//!
+//! Runs six soaks — {learned, Process-Id static, Memory-Based static}
+//! × {under_provisioned, gpu_flaky}, all with the stock
+//! [`MemoryModel`](loadgen::MemoryModel)
+//! attached so GPU jobs carry real peaks and the executor OOM-kills
+//! attempts whose peak exceeds the granted budget — and records one
+//! `BENCH_ablation.json` trajectory at the repo root.
+//!
+//! Two gates apply, in order:
+//!
+//! 1. **cross-arm acceptance** (absolute, every run): the learned arm
+//!    must match-or-beat both statics on queue-wait p99, strictly cut
+//!    GPU→CPU fallbacks on both scenarios, and keep its converged p95
+//!    estimates within the 20% audit bound;
+//! 2. **run-to-run regression** (relative): the learned arm's own
+//!    metrics against the previous trajectory, under the shared
+//!    `BENCH_TOLERANCE_PCT` delta rule.
+//!
+//! Env knobs:
+//!
+//! * `BENCH_TOLERANCE_PCT` — relative regression threshold in percent
+//!   (default 40; shared with the other gates).
+//! * `BENCH_ABLATION_OUT` — output path (default `BENCH_ablation.json`).
+//! * `BENCH_ABLATION_BASELINE` — previous-trajectory path (default:
+//!   same as the output path).
+//! * `BENCH_ABLATION_USERS` — population per scenario (default 2000);
+//!   a changed population makes trajectories incomparable.
+
+use gyan::allocation::AllocationPolicy;
+use gyan::footprint::MemoryHint;
+use gyan_bench::ablation::{acceptance_violations, compare, AblationTrajectory, SCHEMA};
+use gyan_bench::perf::summary_line;
+use gyan_bench::table::banner;
+use loadgen::{run_scenario, LoadOptions, LoadReport, LoadScenario};
+
+/// Default population per scenario: big enough for the Pareto tail to
+/// produce a steady trickle of over-budget jobs, small enough for CI.
+const DEFAULT_USERS: usize = 2_000;
+
+/// The gate seed: both scenarios and all three arms replay the exact
+/// same arrival schedule, so arm deltas are pure policy effects.
+const SEED: u64 = 0xF007;
+
+/// Footprint-revised retries granted to the learned arm — enough
+/// budget doublings to bootstrap the largest input bucket.
+const FOOTPRINT_RETRIES: u32 = 3;
+
+/// Queue-wait p99 slack for "match-or-beat" (percent).
+const MATCH_PCT: f64 = 5.0;
+
+/// Accuracy bound on converged learned estimates (percent).
+const ERR_BOUND_PCT: f64 = 20.0;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One ablation arm: a memory-hint mode plus the knobs it implies.
+struct Arm {
+    name: &'static str,
+    options: LoadOptions,
+}
+
+fn arms() -> Vec<Arm> {
+    vec![
+        Arm {
+            name: "learned",
+            options: LoadOptions {
+                memory_hint: MemoryHint::learned(),
+                footprint_retries: FOOTPRINT_RETRIES,
+                ..Default::default()
+            },
+        },
+        Arm {
+            name: "static/process-id",
+            options: LoadOptions {
+                allocation_policy: Some(AllocationPolicy::ProcessId),
+                ..Default::default()
+            },
+        },
+        Arm {
+            name: "static/memory-based",
+            options: LoadOptions {
+                allocation_policy: Some(AllocationPolicy::MemoryBased),
+                ..Default::default()
+            },
+        },
+    ]
+}
+
+fn run_arm(scenario: &LoadScenario, arm: &Arm) -> LoadReport {
+    let report = match run_scenario(scenario, &arm.options) {
+        Ok(report) => report,
+        Err(failure) => {
+            eprintln!("footprint_ablation: FAIL — arm {:?} did not complete\n{failure}", arm.name);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "  {:<20} wait p99 {:>8.3}s  makespan {:>8.1}s  fallbacks {:>5}  \
+         footprint retries {:>4}  learned audits {:>4} (worst err {:.1}%)",
+        arm.name,
+        report.queue_wait_p99,
+        report.makespan_s,
+        report.resubmitted_fallback,
+        report.resubmitted_footprint,
+        report.learned_estimates,
+        report.estimate_err_pct_max,
+    );
+    report
+}
+
+fn main() {
+    banner("Memory-hint ablation", "learned right-sizing vs static hints + regression check");
+
+    let tolerance_pct = env_f64("BENCH_TOLERANCE_PCT", 40.0);
+    let out_path =
+        std::env::var("BENCH_ABLATION_OUT").unwrap_or_else(|_| "BENCH_ablation.json".into());
+    let baseline_path =
+        std::env::var("BENCH_ABLATION_BASELINE").unwrap_or_else(|_| out_path.clone());
+    let users = env_usize("BENCH_ABLATION_USERS", DEFAULT_USERS);
+
+    let up = LoadScenario::under_provisioned(SEED, users).with_memory_model();
+    let flaky = LoadScenario::gpu_flaky(SEED, users).with_memory_model();
+
+    let mut reports: Vec<Vec<LoadReport>> = Vec::new();
+    for scenario in [&up, &flaky] {
+        println!("\nscenario: {}", scenario.describe());
+        reports.push(arms().iter().map(|arm| run_arm(scenario, arm)).collect());
+    }
+    let (up_runs, flaky_runs) = (&reports[0], &reports[1]);
+    let learned_estimates = up_runs[0].learned_estimates + flaky_runs[0].learned_estimates;
+
+    let new = AblationTrajectory {
+        schema: SCHEMA.to_string(),
+        commit: git_commit(),
+        up_jobs: up_runs[0].arrivals as f64,
+        flaky_jobs: flaky_runs[0].arrivals as f64,
+        up_learned_wait_p99_s: up_runs[0].queue_wait_p99,
+        up_static_pid_wait_p99_s: up_runs[1].queue_wait_p99,
+        up_static_mem_wait_p99_s: up_runs[2].queue_wait_p99,
+        up_learned_fallbacks: up_runs[0].resubmitted_fallback as f64,
+        up_static_pid_fallbacks: up_runs[1].resubmitted_fallback as f64,
+        up_static_mem_fallbacks: up_runs[2].resubmitted_fallback as f64,
+        up_learned_makespan_s: up_runs[0].makespan_s,
+        up_static_pid_makespan_s: up_runs[1].makespan_s,
+        up_static_mem_makespan_s: up_runs[2].makespan_s,
+        flaky_learned_wait_p99_s: flaky_runs[0].queue_wait_p99,
+        flaky_static_pid_wait_p99_s: flaky_runs[1].queue_wait_p99,
+        flaky_static_mem_wait_p99_s: flaky_runs[2].queue_wait_p99,
+        flaky_learned_fallbacks: flaky_runs[0].resubmitted_fallback as f64,
+        flaky_static_pid_fallbacks: flaky_runs[1].resubmitted_fallback as f64,
+        flaky_static_mem_fallbacks: flaky_runs[2].resubmitted_fallback as f64,
+        flaky_learned_makespan_s: flaky_runs[0].makespan_s,
+        flaky_static_pid_makespan_s: flaky_runs[1].makespan_s,
+        flaky_static_mem_makespan_s: flaky_runs[2].makespan_s,
+        learned_estimates: learned_estimates as f64,
+        estimate_err_pct_max: up_runs[0]
+            .estimate_err_pct_max
+            .max(flaky_runs[0].estimate_err_pct_max),
+    };
+
+    // Gate 1: absolute cross-arm acceptance.
+    let violations = acceptance_violations(&new, MATCH_PCT, ERR_BOUND_PCT);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("footprint_ablation: ACCEPTANCE {v}");
+        }
+        eprintln!("footprint_ablation: FAIL — learned arm did not earn its keep");
+        std::process::exit(1);
+    }
+    println!(
+        "\nacceptance: learned ≤ static+{MATCH_PCT}% on wait p99 and makespan, \
+         fewer fallbacks, {} audits within {ERR_BOUND_PCT}% — OK",
+        new.learned_estimates
+    );
+
+    // Gate 2: run-to-run regression on the learned arm.
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+    if let Some(text) = &baseline {
+        match AblationTrajectory::parse(text) {
+            Ok(prev) => {
+                let deltas = compare(&prev, &new, tolerance_pct);
+                println!(
+                    "\nvs {} ({}, tolerance {tolerance_pct}%):\n  {}",
+                    baseline_path,
+                    prev.commit,
+                    summary_line(&deltas)
+                );
+                let regressed: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+                if !regressed.is_empty() {
+                    for d in &regressed {
+                        eprintln!(
+                            "footprint_ablation: REGRESSION {}: {:.3} -> {:.3} \
+                             ({:+.1}%, tolerance {}%)",
+                            d.metric, d.prev, d.new, d.pct_change, tolerance_pct
+                        );
+                    }
+                    eprintln!(
+                        "footprint_ablation: FAIL — baseline {baseline_path} left untouched; \
+                         rerun with BENCH_TOLERANCE_PCT higher to accept, or fix the regression"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(err) => {
+                println!(
+                    "\nprevious trajectory at {baseline_path} unreadable ({err}); rebaselining"
+                );
+            }
+        }
+    } else {
+        println!("\nno previous trajectory at {baseline_path}; recording baseline");
+    }
+
+    std::fs::write(&out_path, new.render_json()).expect("write trajectory");
+    println!("trajectory written to {out_path} (commit {})", new.commit);
+}

@@ -7,6 +7,7 @@
 //! reference numbers ([`paper`]) so each binary can print
 //! paper-vs-measured rows.
 
+pub mod ablation;
 pub mod loadtest;
 pub mod paper;
 pub mod perf;

@@ -14,6 +14,10 @@ use galaxy::job::Job;
 use galaxy::runners::{JobConclusion, JobHook};
 use galaxy::tool::Tool;
 use galaxy::GalaxyApp;
+use gyan::footprint::{
+    EstimateSource, FootprintRegistry, MemoryHint, GALAXY_INPUT_SIZE_MIB_ENV,
+    GPU_MEMORY_BUDGET_ENV, GPU_OBSERVED_PEAK_ENV,
+};
 use gyan::orchestrator::{DEFAULT_GPU_MEMORY_HINT_MIB, GPU_MEMORY_HINT_PARAM};
 use gyan::setup::ClusterTime;
 use gyan::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED, GPU_ENABLED_PARAM};
@@ -39,6 +43,12 @@ pub struct FleetConfig {
     /// Memory (MiB) a GPU job is assumed to allocate when its destination
     /// carries no `gpu_memory_hint_mib` param.
     pub gpu_memory_hint_mib: u64,
+    /// Memory-hint resolution mode: [`MemoryHint::Static`] always uses
+    /// the hint above; [`MemoryHint::Learned`] right-sizes from footprint
+    /// profiles once they converge — admitting borderline jobs to shared
+    /// leases the static hint would have rejected, and letting the queue
+    /// engine revise budgets before the blind GPU→CPU fallback.
+    pub memory_hint: MemoryHint,
 }
 
 impl Default for FleetConfig {
@@ -49,7 +59,17 @@ impl Default for FleetConfig {
             gpu_destinations: vec!["fleet_gpu".to_string(), "local_gpu".to_string()],
             rule_name: "gpu_dynamic_destination".to_string(),
             gpu_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
+            memory_hint: MemoryHint::Static,
         }
+    }
+}
+
+impl FleetConfig {
+    /// Resolve memory hints from learned footprint profiles (default
+    /// sample threshold) instead of the static hint.
+    pub fn with_learned_hints(mut self) -> Self {
+        self.memory_hint = MemoryHint::learned();
+        self
     }
 }
 
@@ -59,6 +79,8 @@ pub struct FleetHook {
     fleet: Fleet,
     gpu_destinations: Vec<String>,
     default_memory_hint_mib: u64,
+    footprint: Option<FootprintRegistry>,
+    hint_mode: MemoryHint,
 }
 
 impl FleetHook {
@@ -72,12 +94,23 @@ impl FleetHook {
             fleet: fleet.clone(),
             gpu_destinations: gpu_destinations.into_iter().map(Into::into).collect(),
             default_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
+            footprint: None,
+            hint_mode: MemoryHint::Static,
         }
     }
 
     /// Override the assumed per-job GPU memory (MiB).
     pub fn with_default_memory_hint(mut self, mib: u64) -> Self {
         self.default_memory_hint_mib = mib;
+        self
+    }
+
+    /// Feed concluded GPU attempts into `registry` and resolve memory
+    /// hints per `mode` (learned p95 over the static hint once a
+    /// profile converges).
+    pub fn with_footprint(mut self, registry: FootprintRegistry, mode: MemoryHint) -> Self {
+        self.footprint = Some(registry);
+        self.hint_mode = mode;
         self
     }
 
@@ -110,6 +143,40 @@ impl FleetHook {
             },
         }
     }
+
+    /// Declared input size for profile bucketing (0 when unset).
+    fn input_mib(job: &Job) -> u64 {
+        job.env_var(GALAXY_INPUT_SIZE_MIB_ENV).and_then(|v| v.parse().ok()).unwrap_or(0)
+    }
+
+    /// Resolve the memory hint for this attempt: footprint-revised
+    /// override env > learned p95 > static (destination param /
+    /// default), mirroring `gyan::GyanHook`. Returns the resolved hint,
+    /// the static hint it would replace (resolved exactly once, so a
+    /// malformed destination param is audited exactly once per
+    /// dispatch), and the source tag.
+    fn resolve_memory_hint(
+        &self,
+        job: &Job,
+        destination: &Destination,
+    ) -> (u64, u64, EstimateSource) {
+        let static_hint = self.memory_hint(job.id, destination);
+        if let Some(over) =
+            job.env_var(galaxy::GALAXY_GPU_BUDGET_OVERRIDE_ENV).and_then(|v| v.parse().ok())
+        {
+            return (over, static_hint, EstimateSource::Override);
+        }
+        if let (MemoryHint::Learned { min_samples }, Some(registry)) =
+            (self.hint_mode, self.footprint.as_ref())
+        {
+            if let Some(learned) =
+                registry.estimate(&job.tool_id, Self::input_mib(job), min_samples)
+            {
+                return (learned, static_hint, EstimateSource::Learned);
+            }
+        }
+        (static_hint, static_hint, EstimateSource::Static)
+    }
 }
 
 /// Resolve a destination's `gpu_memory_hint_mib` the way [`FleetHook`]
@@ -140,19 +207,34 @@ impl JobHook for FleetHook {
                 .env_var(galaxy::GALAXY_EXCLUDED_NODES_ENV)
                 .map(parse_excluded_nodes)
                 .unwrap_or_default();
+            let (hint_mib, static_hint_mib, source) = self.resolve_memory_hint(job, destination);
             let req = PlacementRequest {
                 job_id: job.id,
                 user: &user,
                 tool_id: &tool.id,
                 requested: &requested,
-                memory_hint_mib: self.memory_hint(job.id, destination),
+                memory_hint_mib: hint_mib,
                 excluded_nodes: &excluded,
             };
             if let Some(placement) = self.fleet.place(&req) {
                 job.set_env(GALAXY_GPU_ENABLED, "true");
                 job.set_env(CUDA_VISIBLE_DEVICES, placement.allocation.cuda_visible_devices);
                 job.set_env(galaxy::GALAXY_NODE_ENV, placement.node_name);
+                job.set_env(GPU_MEMORY_BUDGET_ENV, hint_mib.to_string());
                 job.params.set(GPU_ENABLED_PARAM, "true");
+                if let Some(registry) = &self.footprint {
+                    let now = self.fleet.recorder().map(|r| r.now()).unwrap_or(0.0);
+                    registry.note_dispatch(
+                        job.id,
+                        &job.tool_id,
+                        Self::input_mib(job),
+                        hint_mib,
+                        static_hint_mib,
+                        source,
+                        job.env_var(GPU_OBSERVED_PEAK_ENV).and_then(|v| v.parse().ok()),
+                        now,
+                    );
+                }
                 return;
             }
         }
@@ -162,12 +244,20 @@ impl JobHook for FleetHook {
         // the ledger would label a CPU retry with a node and device mask
         // it never touched.
         job.remove_env(CUDA_VISIBLE_DEVICES);
+        job.remove_env(GPU_MEMORY_BUDGET_ENV);
         job.remove_env(galaxy::GALAXY_NODE_ENV);
         job.params.set(GPU_ENABLED_PARAM, "false");
+        if let Some(registry) = &self.footprint {
+            registry.forget(job.id);
+        }
     }
 
     fn after_conclude(&self, job_id: u64, conclusion: JobConclusion) {
         self.fleet.release(job_id, conclusion.as_str());
+        if let Some(registry) = &self.footprint {
+            let now = self.fleet.recorder().map(|r| r.now()).unwrap_or(0.0);
+            registry.conclude(job_id, conclusion == JobConclusion::Ok, now, self.fleet.recorder());
+        }
     }
 }
 
@@ -188,22 +278,53 @@ fn parse_excluded_nodes(raw: &str) -> Vec<String> {
 /// placement audits/metrics — `install_fleet` cannot retrofit a recorder
 /// into an already-built fleet's shards.
 pub fn install_fleet(app: &mut GalaxyApp, fleet: &Fleet, config: FleetConfig) {
+    let _ = install_fleet_with_footprint(app, fleet, config);
+}
+
+/// [`install_fleet`] also returning the [`FootprintRegistry`] the hook
+/// feeds, for ops surfaces and benches. In [`MemoryHint::Learned`] mode
+/// the learned tool-wide p95 replaces the static hint in the dynamic
+/// rule's and the placement advisor's admission checks (per-job context
+/// does not exist there), and the registry backs a
+/// [`galaxy::FootprintAdvisor`] so the queue engine can revise a failed
+/// attempt's budget before falling back to CPU.
+pub fn install_fleet_with_footprint(
+    app: &mut GalaxyApp,
+    fleet: &Fleet,
+    config: FleetConfig,
+) -> FootprintRegistry {
     let recorder = app.recorder().clone();
     let recorder_clock = fleet.clock().clone();
     recorder.set_clock(move || recorder_clock.now());
     recorder.enable_flight(gyan::ops::DEFAULT_FLIGHT_CAPACITY);
 
+    let footprint = FootprintRegistry::new();
+    // Tool-wide learned estimate used by the rule and advisor closures;
+    // None in static mode or before the profiles converge.
+    let learned_hint = {
+        let registry = footprint.clone();
+        let mode = config.memory_hint;
+        move |tool_id: &str| match mode {
+            MemoryHint::Static => None,
+            MemoryHint::Learned { min_samples } => registry.estimate_tool(tool_id, min_samples),
+        }
+    };
+
     let rule_fleet = fleet.clone();
     let gpu_dest = config.gpu_destination.clone();
     let cpu_dest = config.cpu_destination.clone();
     let default_hint = config.gpu_memory_hint_mib;
+    let rule_learned = learned_hint.clone();
     app.register_rule(
         config.rule_name.clone(),
         Box::new(move |tool: &Tool, _job: &Job, conf: &galaxy::job::conf::JobConfig| {
-            // Resolve the hint exactly as the hook will (per-destination
-            // param over config default), so the rule never routes a job
-            // to `fleet_gpu` that placement is then forced to reject.
-            let hint = destination_memory_hint(conf, &gpu_dest, default_hint);
+            // Resolve the hint exactly as the hook will (learned profile
+            // over per-destination param over config default), so the
+            // rule never routes a job to `fleet_gpu` that placement is
+            // then forced to reject — and, in learned mode, admits
+            // borderline tools the static hint would have turned away.
+            let hint = rule_learned(&tool.id)
+                .unwrap_or_else(|| destination_memory_hint(conf, &gpu_dest, default_hint));
             let hosts = tool.requires_gpu()
                 && rule_fleet.shards().iter().any(|s| {
                     s.is_placeable() && rule_fleet.rules().admits(&tool.id, &s.class, hint)
@@ -218,24 +339,31 @@ pub fn install_fleet(app: &mut GalaxyApp, fleet: &Fleet, config: FleetConfig) {
     let advisor_fleet = fleet.clone();
     let advisor_conf = app.config().clone();
     let advisor_gpu_dests = config.gpu_destinations.clone();
+    let advisor_learned = learned_hint.clone();
     app.set_placement_advisor(Box::new(move |tool_id, dest_id, excluded| {
         if !advisor_gpu_dests.iter().any(|d| d == dest_id) {
             return false;
         }
-        let hint = destination_memory_hint(&advisor_conf, dest_id, default_hint);
+        let hint = advisor_learned(tool_id)
+            .unwrap_or_else(|| destination_memory_hint(&advisor_conf, dest_id, default_hint));
         advisor_fleet.shards().iter().any(|s| {
             s.is_placeable()
                 && !excluded.iter().any(|n| n == &s.name)
                 && advisor_fleet.rules().admits(tool_id, &s.class, hint)
         })
     }));
+    if config.memory_hint != MemoryHint::Static {
+        app.set_footprint_advisor(Box::new(gyan::footprint_advisor(footprint.clone())));
+    }
     app.add_hook(Box::new(
         FleetHook::new(fleet, config.gpu_destinations.clone())
-            .with_default_memory_hint(config.gpu_memory_hint_mib),
+            .with_default_memory_hint(config.gpu_memory_hint_mib)
+            .with_footprint(footprint.clone(), config.memory_hint),
     ));
     app.add_mutator(Box::new(gyan::container_gpu::DockerGpuMutator));
     app.add_mutator(Box::new(gyan::container_gpu::SingularityGpuMutator));
     app.set_time_source(Box::new(ClusterTime::new(fleet.clock().clone())));
+    footprint
 }
 
 #[cfg(test)]
@@ -299,6 +427,36 @@ mod tests {
         hook.before_dispatch(&mut job, &gpu_tool("bonito"), &dest("fleet_gpu"));
         assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"));
         assert_eq!(fleet.total_lease_count(), 0);
+    }
+
+    #[test]
+    fn learned_hint_admits_what_the_static_hint_rejected() {
+        // The k80 shard holds 2 devices x 12 GiB. A 20 GiB static hint
+        // makes placement impossible; the learned profile knows the tool
+        // really peaks near 4 GiB and rescues the admission.
+        let fleet = Fleet::builder().nodes(NodeClass::k80(), 1).build();
+        let registry = FootprintRegistry::new();
+        for i in 0..8 {
+            registry.observe("racon_gpu", 1000, 4000.0, 10.0, i as f64);
+        }
+        let static_hook = FleetHook::new(&fleet, ["fleet_gpu"]).with_default_memory_hint(20_000);
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        job.set_env(GALAXY_INPUT_SIZE_MIB_ENV, "1000");
+        static_hook.before_dispatch(&mut job, &gpu_tool("racon_gpu"), &dest("fleet_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("false"), "static hint rejects");
+
+        let learned_hook = FleetHook::new(&fleet, ["fleet_gpu"])
+            .with_default_memory_hint(20_000)
+            .with_footprint(registry.clone(), MemoryHint::learned());
+        let mut job = Job::new(2, "racon_gpu", ParamDict::new());
+        job.set_env(GALAXY_INPUT_SIZE_MIB_ENV, "1000");
+        learned_hook.before_dispatch(&mut job, &gpu_tool("racon_gpu"), &dest("fleet_gpu"));
+        assert_eq!(job.env_var(GALAXY_GPU_ENABLED), Some("true"), "learned hint admits");
+        let budget: u64 = job.env_var(GPU_MEMORY_BUDGET_ENV).unwrap().parse().unwrap();
+        assert!((3900..=4100).contains(&budget), "budget {budget}");
+        assert_eq!(registry.pending_count(), 1);
+        learned_hook.after_conclude(2, JobConclusion::Ok);
+        assert_eq!(registry.pending_count(), 0);
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod rules;
 
 pub use fleet::{Fleet, FleetBuilder, Placement};
 pub use hook::{
-    install_fleet, FleetConfig, FleetHook, FLEET_INVALID_HINT_COUNTER, FLEET_INVALID_HINT_EVENT,
+    install_fleet, install_fleet_with_footprint, FleetConfig, FleetHook,
+    FLEET_INVALID_HINT_COUNTER, FLEET_INVALID_HINT_EVENT,
 };
 pub use node::{NodeClass, NodeLoad, NodeShard, NodeStatus};
 pub use ops::{fleet_gpus_json, fleet_jobs_json, fleet_nodes_json, fleet_ops_server};

@@ -53,6 +53,16 @@ pub type DynamicRule =
 /// ladder when it is not.
 pub type PlacementAdvisor = Box<dyn Fn(&str, &str, &[String]) -> bool + Send + Sync>;
 
+/// Footprint-aware resubmission callback: given the failed job (with its
+/// per-attempt env still attached), return a revised GPU memory budget
+/// (MiB) for a same-destination retry — or `None` when no better budget
+/// is known and the failure should walk the ordinary fallback ladder.
+/// Installed by a footprint layer (GYAN's learned profiles) so the queue
+/// engine can resubmit with a grown budget, via
+/// [`crate::GALAXY_GPU_BUDGET_OVERRIDE_ENV`], before blindly falling
+/// from GPU to CPU.
+pub type FootprintAdvisor = Box<dyn Fn(&Job) -> Option<u64> + Send + Sync>;
+
 /// Source of (virtual) time for job timestamps.
 pub trait TimeSource: Send + Sync {
     /// Current time in seconds.
@@ -104,6 +114,7 @@ pub struct GalaxyApp {
     /// path can span multiple dispatch attempts under one job span.
     open_spans: HashMap<u64, Span>,
     placement_advisor: Option<PlacementAdvisor>,
+    footprint_advisor: Option<FootprintAdvisor>,
 }
 
 impl GalaxyApp {
@@ -128,6 +139,7 @@ impl GalaxyApp {
             recorder: Recorder::new(),
             open_spans: HashMap::new(),
             placement_advisor: None,
+            footprint_advisor: None,
         }
     }
 
@@ -182,6 +194,17 @@ impl GalaxyApp {
     /// The installed placement advisor, if any.
     pub fn placement_advisor(&self) -> Option<&PlacementAdvisor> {
         self.placement_advisor.as_ref()
+    }
+
+    /// Install the footprint-aware resubmission advisor (see
+    /// [`FootprintAdvisor`]). Replaces any previous advisor.
+    pub fn set_footprint_advisor(&mut self, advisor: FootprintAdvisor) {
+        self.footprint_advisor = Some(advisor);
+    }
+
+    /// The installed footprint advisor, if any.
+    pub fn footprint_advisor(&self) -> Option<&FootprintAdvisor> {
+        self.footprint_advisor.as_ref()
     }
 
     /// Replace the execution backend.

@@ -59,7 +59,14 @@ pub const GALAXY_EXCLUDED_NODES_ENV: &str = "GALAXY_EXCLUDED_NODES";
 /// preparing the plan, since `Job` itself has no user field).
 pub const GALAXY_USER_ENV: &str = "GALAXY_USER";
 
-pub use app::{GalaxyApp, PlacementAdvisor};
+/// Environment variable carrying a revised GPU memory budget (MiB) for a
+/// footprint-revised resubmission: the queue engine sets it from the
+/// installed [`app::FootprintAdvisor`] before requeueing a failed
+/// attempt on its original destination, and the GPU hook consumes it as
+/// the highest-priority memory hint for that retry.
+pub const GALAXY_GPU_BUDGET_OVERRIDE_ENV: &str = "GALAXY_GPU_BUDGET_OVERRIDE_MIB";
+
+pub use app::{FootprintAdvisor, GalaxyApp, PlacementAdvisor};
 pub use error::GalaxyError;
 pub use job::{Job, JobState};
 pub use params::ParamDict;

@@ -256,6 +256,8 @@ struct JobCtx {
     excluded_nodes: Vec<String>,
     /// Placement-aware same-destination retries already consumed.
     node_retries_used: u32,
+    /// Footprint-revised same-destination retries already consumed.
+    footprint_retries_used: u32,
 }
 
 impl JobCtx {
@@ -269,6 +271,7 @@ impl JobCtx {
             origin,
             excluded_nodes: Vec::new(),
             node_retries_used: 0,
+            footprint_retries_used: 0,
         }
     }
 }
@@ -845,6 +848,13 @@ impl QueueEngine {
 
         if result.exit_code == 0 {
             let _ = self.app.finish_job(job_id, &result, true);
+            // Scrub per-attempt retry context from the surviving job
+            // record (mirroring the hook-side CUDA/node scrub): a
+            // succeeded job's ledger snapshot must not carry the dead
+            // exclusion set or budget override of earlier failed
+            // attempts.
+            self.app.remove_job_env(job_id, crate::GALAXY_EXCLUDED_NODES_ENV);
+            self.app.remove_job_env(job_id, crate::GALAXY_GPU_BUDGET_OVERRIDE_ENV);
             self.set_status(job_id, SubmissionState::Ok);
             if let Some((wf, step)) = self.jobs.get(&job_id).and_then(|ctx| ctx.origin) {
                 let end = if self.time_charging.is_some() {
@@ -917,10 +927,59 @@ impl QueueEngine {
             return;
         }
 
-        // Node retries consumed attempts but must not consume the
-        // fallback ladder: index it by attempts net of node retries
-        // (always ≥ 1, since each node retry also incremented attempts).
-        let ladder_position = attempts.saturating_sub(node_retries_used).max(1);
+        // Next preference: a same-destination retry with a revised GPU
+        // memory budget, when the footprint advisor knows one (e.g. the
+        // learned profile says this tool/input really needs more than
+        // the failed attempt's budget). Like node retries, these are
+        // budgeted separately and do not consume the fallback ladder.
+        let footprint_retries_used =
+            self.jobs.get(&job_id).map_or(0, |ctx| ctx.footprint_retries_used);
+        let footprint_retry = if budget_left && footprint_retries_used < policy.footprint_retries {
+            self.footprint_retry_target(job_id)
+        } else {
+            None
+        };
+        if let Some((dest, budget_mib)) = footprint_retry {
+            let _ = self.app.finish_job(job_id, &result, false);
+            self.app.set_job_env(
+                job_id,
+                crate::GALAXY_GPU_BUDGET_OVERRIDE_ENV,
+                &budget_mib.to_string(),
+            );
+            let (user, priority, from, excluded) = {
+                let ctx = self.jobs.get_mut(&job_id).expect("ctx exists");
+                ctx.next_dest = Some(dest.clone());
+                ctx.footprint_retries_used += 1;
+                (
+                    ctx.user.clone(),
+                    ctx.priority,
+                    ctx.first_destination.clone().unwrap_or_default(),
+                    ctx.excluded_nodes.clone(),
+                )
+            };
+            self.audit_resubmit(ResubmitAudit {
+                job_id,
+                attempts,
+                max_attempts: policy.max_attempts,
+                from: &from,
+                to: &dest,
+                from_node: from_node.as_deref(),
+                excluded: &excluded,
+                exit_code: result.exit_code,
+                reason: "footprint_revised",
+            });
+            let now = self.app.recorder().now();
+            self.queue.push_unchecked(&user, priority, now, WorkItem::Job(job_id));
+            self.set_status(job_id, SubmissionState::Queued);
+            self.sync_depth_gauge();
+            return;
+        }
+
+        // Node and footprint retries consumed attempts but must not
+        // consume the fallback ladder: index it by attempts net of both
+        // (always ≥ 1, since each such retry also incremented attempts).
+        let ladder_position =
+            attempts.saturating_sub(node_retries_used + footprint_retries_used).max(1);
         let fallback = if budget_left {
             policy
                 .fallback_for(ladder_position)
@@ -990,9 +1049,25 @@ impl QueueEngine {
         advisor(&tool, &destination, &excluded).then_some((destination, excluded))
     }
 
-    /// Emit the `galaxy.queue.resubmit` audit + counter for one retry.
+    /// Whether a failed attempt can retry on its own destination with a
+    /// revised GPU memory budget: needs a first destination and the
+    /// installed footprint advisor recommending a budget for the job.
+    /// Returns the retry destination plus the revised budget (MiB).
+    fn footprint_retry_target(&self, job_id: u64) -> Option<(String, u64)> {
+        let destination = self.jobs.get(&job_id)?.first_destination.clone()?;
+        let advisor = self.app.footprint_advisor()?;
+        let budget_mib = advisor(self.app.job(job_id)?)?;
+        Some((destination, budget_mib))
+    }
+
+    /// Emit the `galaxy.queue.resubmit` audit + counters for one retry
+    /// (the unlabeled total plus a per-reason labeled series).
     fn audit_resubmit(&self, audit: ResubmitAudit<'_>) {
         self.app.recorder().metrics().inc_counter(QUEUE_RESUBMITTED_COUNTER, 1);
+        self.app
+            .recorder()
+            .metrics()
+            .inc_counter(&format!("{QUEUE_RESUBMITTED_COUNTER}{{reason=\"{}\"}}", audit.reason), 1);
         self.app.recorder().event(
             "galaxy.queue.resubmit",
             vec![

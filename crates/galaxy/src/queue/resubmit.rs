@@ -35,6 +35,15 @@ pub struct ResubmitPolicy {
     /// [`crate::GalaxyApp::set_placement_advisor`]); node retries count
     /// against `max_attempts` but do not consume the fallback ladder.
     pub node_retries: u32,
+    /// Footprint-revised retries: before walking the fallback ladder,
+    /// retry up to this many times on the *same* destination with a
+    /// revised GPU memory budget from the footprint advisor (see
+    /// [`crate::GalaxyApp::set_footprint_advisor`]) — a job that died
+    /// under a too-small learned budget gets a bigger one instead of
+    /// blindly falling to CPU. Only effective when an advisor is
+    /// registered; like node retries, these count against
+    /// `max_attempts` but do not consume the fallback ladder.
+    pub footprint_retries: u32,
 }
 
 impl Default for ResubmitPolicy {
@@ -46,13 +55,32 @@ impl Default for ResubmitPolicy {
 impl ResubmitPolicy {
     /// Never resubmit (a failure is final on the first attempt).
     pub fn none() -> Self {
-        ResubmitPolicy { max_attempts: 1, fallbacks: Vec::new(), node_retries: 0 }
+        ResubmitPolicy {
+            max_attempts: 1,
+            fallbacks: Vec::new(),
+            node_retries: 0,
+            footprint_retries: 0,
+        }
     }
 
     /// The paper's canonical fallback: one retry on a CPU destination
     /// after a GPU failure.
     pub fn gpu_to_cpu(cpu_destination: impl Into<String>) -> Self {
-        ResubmitPolicy { max_attempts: 2, fallbacks: vec![cpu_destination.into()], node_retries: 0 }
+        ResubmitPolicy {
+            max_attempts: 2,
+            fallbacks: vec![cpu_destination.into()],
+            node_retries: 0,
+            footprint_retries: 0,
+        }
+    }
+
+    /// Allow up to `retries` same-destination resubmissions with a
+    /// revised memory budget (footprint advisor) before the ladder,
+    /// growing `max_attempts` to keep the existing ladder reachable.
+    pub fn with_footprint_retries(mut self, retries: u32) -> Self {
+        self.max_attempts += retries.saturating_sub(self.footprint_retries);
+        self.footprint_retries = retries;
+        self
     }
 
     /// TPV-style placement-aware fallback: after a fleet-GPU failure,
@@ -64,6 +92,7 @@ impl ResubmitPolicy {
             max_attempts: 2 + node_retries,
             fallbacks: vec![cpu_destination.into()],
             node_retries,
+            footprint_retries: 0,
         }
     }
 
@@ -98,16 +127,21 @@ impl ResubmitPolicy {
             .get("resubmit_node_retries")
             .and_then(|v| v.parse::<u32>().ok())
             .unwrap_or(0);
-        if fallbacks.is_empty() && node_retries == 0 {
+        let footprint_retries = dest
+            .params
+            .get("resubmit_footprint_retries")
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(0);
+        if fallbacks.is_empty() && node_retries == 0 && footprint_retries == 0 {
             return None;
         }
         let max_attempts = dest
             .params
             .get("resubmit_attempts")
             .and_then(|v| v.parse::<u32>().ok())
-            .unwrap_or(fallbacks.len() as u32 + node_retries + 1)
+            .unwrap_or(fallbacks.len() as u32 + node_retries + footprint_retries + 1)
             .max(1);
-        Some(ResubmitPolicy { max_attempts, fallbacks, node_retries })
+        Some(ResubmitPolicy { max_attempts, fallbacks, node_retries, footprint_retries })
     }
 }
 
@@ -135,6 +169,7 @@ mod tests {
             max_attempts: 4,
             fallbacks: vec!["docker_cpu".into(), "local_cpu".into()],
             node_retries: 0,
+            footprint_retries: 0,
         };
         assert_eq!(p.fallback_for(1), Some("docker_cpu"));
         assert_eq!(p.fallback_for(2), Some("local_cpu"));

@@ -40,6 +40,7 @@
 
 pub mod allocation;
 pub mod container_gpu;
+pub mod footprint;
 pub mod gpu_usage;
 pub mod monitor;
 pub mod ops;
@@ -52,13 +53,14 @@ pub mod telemetry;
 pub use allocation::{
     select_gpus, select_gpus_reserved, select_gpus_traced, AllocationPolicy, AllocationReason,
 };
+pub use footprint::{EstimateSource, FootprintRegistry, MemoryHint, ProfileSnapshot};
 pub use gpu_usage::{get_gpu_usage, gpu_memory_usage, try_get_gpu_usage, try_gpu_memory_usage};
 pub use monitor::UsageMonitor;
-pub use ops::{default_alert_rules, ops_server, DEFAULT_FLIGHT_CAPACITY};
+pub use ops::{default_alert_rules, ops_server, profiles_route, DEFAULT_FLIGHT_CAPACITY};
 pub use orchestrator::GyanHook;
 pub use reservations::{Lease, LeaseTable, ReservationView};
 pub use rules::GpuDestinationRule;
-pub use setup::install_gyan;
+pub use setup::{footprint_advisor, install_gyan, install_gyan_with_footprint};
 pub use telemetry::{export_run, merged_chrome_trace, TelemetryExport};
 
 /// The boolean environment variable GYAN introduces to Galaxy: `"true"`

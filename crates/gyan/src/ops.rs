@@ -15,6 +15,7 @@
 //! | `/api/flightrec`   | flight-recorder JSONL dump (503 when disabled)   |
 //! | `/api/profile`     | hot-path profiler aggregation (`?format=collapsed` for flamegraph text, `?reset=1` to clear) |
 //! | `/api/bench`       | last recorded perf trajectory (`BENCH_scheduler.json`) |
+//! | `/api/profiles`    | learned per-tool footprint profiles (`?format=prometheus` for a standalone exposition) |
 //!
 //! [`default_alert_rules`] builds the stock SLO rule set the paper's
 //! operators would watch: queue-wait p99, GPU allocation-conflict rate,
@@ -22,6 +23,7 @@
 //!
 //! [`AlertEngine`]: obs::slo::AlertEngine
 
+use crate::footprint::FootprintRegistry;
 use crate::reservations::{Lease, LeaseTable};
 use galaxy::queue::{JobSnapshot, JobsLedger};
 use galaxy::scheduler::{WORKERS_BUSY_GAUGE, WORKERS_TOTAL_GAUGE};
@@ -261,6 +263,20 @@ pub fn bench_route(path: impl Into<PathBuf>) -> Handler {
             "perf trajectory {} (run the perf_gate bench to record one)",
             path.display()
         )),
+    })
+}
+
+/// Handler for `/api/profiles`: the learned `(tool, input-size bucket)`
+/// footprint profiles. `?format=prometheus` serves the
+/// `gyan_footprint_*` family as a standalone exposition instead of JSON.
+pub fn profiles_route(registry: &FootprintRegistry) -> Handler {
+    let registry = registry.clone();
+    Arc::new(move |req| {
+        if req.query_param("format") == Some("prometheus") {
+            Response::ok("text/plain; version=0.0.4", registry.render_prometheus())
+        } else {
+            Response::json(registry.render_json())
+        }
     })
 }
 

@@ -20,6 +20,10 @@
 //! device.
 
 use crate::allocation::{select_gpus_traced, AllocationPolicy};
+use crate::footprint::{
+    EstimateSource, FootprintRegistry, MemoryHint, GALAXY_INPUT_SIZE_MIB_ENV,
+    GPU_MEMORY_BUDGET_ENV, GPU_OBSERVED_PEAK_ENV,
+};
 use crate::reservations::LeaseTable;
 use crate::{CUDA_VISIBLE_DEVICES, GALAXY_GPU_ENABLED, GPU_ENABLED_PARAM};
 use galaxy::job::conf::Destination;
@@ -50,6 +54,11 @@ pub struct GyanHook {
     /// concludes, closing the observe→dispatch race.
     reservations: Option<LeaseTable>,
     default_memory_hint_mib: u64,
+    /// When present, concluded GPU attempts feed per-tool footprint
+    /// profiles and (in [`MemoryHint::Learned`] mode) the learned p95
+    /// replaces the static hint.
+    footprint: Option<FootprintRegistry>,
+    hint_mode: MemoryHint,
 }
 
 impl GyanHook {
@@ -68,6 +77,8 @@ impl GyanHook {
             recorder: None,
             reservations: None,
             default_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
+            footprint: None,
+            hint_mode: MemoryHint::Static,
         }
     }
 
@@ -92,6 +103,20 @@ impl GyanHook {
         self
     }
 
+    /// Close the telemetry→policy loop: feed concluded GPU attempts into
+    /// `registry` and resolve memory hints per `mode` (learned p95 over
+    /// the static hint once a profile converges).
+    pub fn with_footprint(mut self, registry: FootprintRegistry, mode: MemoryHint) -> Self {
+        self.footprint = Some(registry);
+        self.hint_mode = mode;
+        self
+    }
+
+    /// The footprint registry, when installed.
+    pub fn footprint(&self) -> Option<&FootprintRegistry> {
+        self.footprint.as_ref()
+    }
+
     /// The active allocation policy.
     pub fn policy(&self) -> AllocationPolicy {
         self.policy
@@ -108,6 +133,39 @@ impl GyanHook {
             .and_then(|v| v.parse().ok())
             .unwrap_or(self.default_memory_hint_mib)
     }
+
+    /// Declared input size for profile bucketing (0 when unset — those
+    /// jobs share the smallest bucket).
+    fn input_mib(job: &Job) -> u64 {
+        job.env_var(GALAXY_INPUT_SIZE_MIB_ENV).and_then(|v| v.parse().ok()).unwrap_or(0)
+    }
+
+    /// Resolve the memory hint for this attempt, in priority order:
+    /// footprint-revised override env > learned p95 > static
+    /// (destination param / default). Returns the chosen hint, its
+    /// source, and the static hint it (possibly) replaced.
+    fn resolve_memory_hint(
+        &self,
+        job: &Job,
+        destination: &Destination,
+    ) -> (u64, u64, EstimateSource) {
+        let static_hint = self.memory_hint(destination);
+        if let Some(over) =
+            job.env_var(galaxy::GALAXY_GPU_BUDGET_OVERRIDE_ENV).and_then(|v| v.parse().ok())
+        {
+            return (over, static_hint, EstimateSource::Override);
+        }
+        if let (MemoryHint::Learned { min_samples }, Some(registry)) =
+            (self.hint_mode, self.footprint.as_ref())
+        {
+            if let Some(learned) =
+                registry.estimate(&job.tool_id, Self::input_mib(job), min_samples)
+            {
+                return (learned, static_hint, EstimateSource::Learned);
+            }
+        }
+        (static_hint, static_hint, EstimateSource::Static)
+    }
 }
 
 impl JobHook for GyanHook {
@@ -115,13 +173,14 @@ impl JobHook for GyanHook {
         let wants_gpu = tool.requires_gpu() && self.is_gpu_destination(destination);
         if wants_gpu {
             let requested = tool.requested_gpu_ids();
+            let (hint_mib, static_hint_mib, source) = self.resolve_memory_hint(job, destination);
             let alloc = match &self.reservations {
                 Some(table) => table.allocate_and_lease(
                     &self.cluster,
                     &requested,
                     self.policy,
                     job.id,
-                    self.memory_hint(destination),
+                    hint_mib,
                     self.recorder.as_ref(),
                 ),
                 None => select_gpus_traced(
@@ -135,7 +194,21 @@ impl JobHook for GyanHook {
                 self.audit(job, destination, true, Some(alloc.cuda_visible_devices.as_str()));
                 job.set_env(GALAXY_GPU_ENABLED, "true");
                 job.set_env(CUDA_VISIBLE_DEVICES, alloc.cuda_visible_devices);
+                job.set_env(GPU_MEMORY_BUDGET_ENV, hint_mib.to_string());
                 job.params.set(GPU_ENABLED_PARAM, "true");
+                if let Some(registry) = &self.footprint {
+                    let now = self.recorder.as_ref().map(|r| r.now()).unwrap_or(0.0);
+                    registry.note_dispatch(
+                        job.id,
+                        &job.tool_id,
+                        Self::input_mib(job),
+                        hint_mib,
+                        static_hint_mib,
+                        source,
+                        job.env_var(GPU_OBSERVED_PEAK_ENV).and_then(|v| v.parse().ok()),
+                        now,
+                    );
+                }
                 return;
             }
         }
@@ -143,10 +216,14 @@ impl JobHook for GyanHook {
         job.set_env(GALAXY_GPU_ENABLED, "false");
         // A resubmitted attempt reaching the CPU branch still carries the
         // failed GPU attempt's exports; a CPU retry must not claim a
-        // device mask or a node it never touched.
+        // device mask, a memory budget, or a node it never touched.
         job.remove_env(CUDA_VISIBLE_DEVICES);
+        job.remove_env(GPU_MEMORY_BUDGET_ENV);
         job.remove_env(galaxy::GALAXY_NODE_ENV);
         job.params.set(GPU_ENABLED_PARAM, "false");
+        if let Some(registry) = &self.footprint {
+            registry.forget(job.id);
+        }
     }
 
     fn after_conclude(&self, job_id: u64, conclusion: JobConclusion) {
@@ -155,6 +232,10 @@ impl JobHook for GyanHook {
         // re-acquires) against the fallback destination.
         if let Some(table) = &self.reservations {
             table.release(job_id, conclusion.as_str(), self.recorder.as_ref());
+        }
+        if let Some(registry) = &self.footprint {
+            let now = self.recorder.as_ref().map(|r| r.now()).unwrap_or(0.0);
+            registry.conclude(job_id, conclusion == JobConclusion::Ok, now, self.recorder.as_ref());
         }
     }
 }
@@ -313,6 +394,87 @@ mod tests {
         let mut job = Job::new(2, "racon_gpu", ParamDict::new());
         h.before_dispatch(&mut job, &gpu_tool(Some("1")), &dest("local_gpu"));
         assert_eq!(table.leases_on(1)[0].memory_hint_mib, 512);
+    }
+
+    #[test]
+    fn learned_hint_replaces_static_once_profile_converges() {
+        let c = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        let registry = FootprintRegistry::new();
+        let h = hook(&c, AllocationPolicy::MemoryBased)
+            .with_reservations(table.clone())
+            .with_footprint(registry.clone(), MemoryHint::Learned { min_samples: 4 })
+            .with_default_memory_hint(1024);
+        // Cold registry: static hint applies.
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        job.set_env(GALAXY_INPUT_SIZE_MIB_ENV, "1500");
+        h.before_dispatch(&mut job, &gpu_tool(Some("0")), &dest("local_gpu"));
+        assert_eq!(table.leases_on(0)[0].memory_hint_mib, 1024);
+        assert_eq!(job.env_var(GPU_MEMORY_BUDGET_ENV), Some("1024"));
+        h.after_conclude(1, JobConclusion::Ok);
+        // Converge the profile well above the static hint.
+        for i in 0..4 {
+            registry.observe("racon_gpu", 1500, 3000.0, 10.0, i as f64);
+        }
+        let mut job = Job::new(2, "racon_gpu", ParamDict::new());
+        job.set_env(GALAXY_INPUT_SIZE_MIB_ENV, "1500");
+        h.before_dispatch(&mut job, &gpu_tool(Some("1")), &dest("local_gpu"));
+        let leased = table.leases_on(1)[0].memory_hint_mib;
+        assert!((2900..=3100).contains(&leased), "learned p95 leased: {leased}");
+        assert_eq!(job.env_var(GPU_MEMORY_BUDGET_ENV), Some(leased.to_string().as_str()));
+    }
+
+    #[test]
+    fn override_env_outranks_learned_and_static() {
+        let c = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        let registry = FootprintRegistry::new();
+        for i in 0..8 {
+            registry.observe("racon_gpu", 1500, 3000.0, 10.0, i as f64);
+        }
+        let h = hook(&c, AllocationPolicy::MemoryBased)
+            .with_reservations(table.clone())
+            .with_footprint(registry, MemoryHint::learned());
+        let mut job = Job::new(1, "racon_gpu", ParamDict::new());
+        job.set_env(GALAXY_INPUT_SIZE_MIB_ENV, "1500");
+        job.set_env(galaxy::GALAXY_GPU_BUDGET_OVERRIDE_ENV, "7777");
+        h.before_dispatch(&mut job, &gpu_tool(Some("0")), &dest("local_gpu"));
+        assert_eq!(table.leases_on(0)[0].memory_hint_mib, 7777);
+    }
+
+    #[test]
+    fn concluded_gpu_attempt_feeds_the_profile() {
+        let c = GpuCluster::k80_node();
+        let table = LeaseTable::new();
+        let registry = FootprintRegistry::new();
+        let rec = obs::Recorder::new();
+        let h = hook(&c, AllocationPolicy::MemoryBased)
+            .with_reservations(table)
+            .with_recorder(rec.clone())
+            .with_footprint(registry.clone(), MemoryHint::learned());
+        let mut job = Job::new(9, "racon_gpu", ParamDict::new());
+        job.set_env(GALAXY_INPUT_SIZE_MIB_ENV, "1500");
+        job.set_env(crate::footprint::GPU_OBSERVED_PEAK_ENV, "1800");
+        h.before_dispatch(&mut job, &gpu_tool(Some("0")), &dest("local_gpu"));
+        assert_eq!(registry.pending_count(), 1);
+        h.after_conclude(9, JobConclusion::Ok);
+        let snaps = registry.snapshot();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].samples, 1);
+        assert!((snaps[0].peak_mib_max - 1800.0).abs() / 1800.0 < 0.03);
+        let events = rec.events();
+        assert!(
+            events.iter().any(|e| e.name == crate::footprint::FOOTPRINT_ESTIMATE_EVENT),
+            "estimate audit emitted"
+        );
+        // A CPU attempt forgets its pending record instead of learning.
+        let mut job = Job::new(10, "racon_gpu", ParamDict::new());
+        job.set_env(crate::footprint::GPU_OBSERVED_PEAK_ENV, "9999");
+        h.before_dispatch(&mut job, &gpu_tool(None), &dest("local_cpu"));
+        assert_eq!(registry.pending_count(), 0);
+        assert!(job.env_var(GPU_MEMORY_BUDGET_ENV).is_none());
+        h.after_conclude(10, JobConclusion::Ok);
+        assert_eq!(registry.snapshot()[0].samples, 1);
     }
 
     #[test]

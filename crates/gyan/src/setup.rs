@@ -2,6 +2,7 @@
 
 use crate::allocation::AllocationPolicy;
 use crate::container_gpu::{DockerGpuMutator, SingularityGpuMutator};
+use crate::footprint::{FootprintRegistry, MemoryHint, GALAXY_INPUT_SIZE_MIB_ENV};
 use crate::orchestrator::{GyanHook, DEFAULT_GPU_MEMORY_HINT_MIB};
 use crate::reservations::LeaseTable;
 use crate::rules::GpuDestinationRule;
@@ -56,6 +57,10 @@ pub struct GyanConfig {
     /// carries no `gpu_memory_hint_mib` param — the pending-load term the
     /// reservation layer feeds the Process Allocated Memory policy.
     pub gpu_memory_hint_mib: u64,
+    /// Memory-hint resolution mode: [`MemoryHint::Static`] reproduces the
+    /// paper's fixed-hint behaviour; [`MemoryHint::Learned`] right-sizes
+    /// from the footprint registry once profiles converge.
+    pub memory_hint: MemoryHint,
 }
 
 impl Default for GyanConfig {
@@ -71,6 +76,7 @@ impl Default for GyanConfig {
             ],
             rule_name: "gpu_dynamic_destination".to_string(),
             gpu_memory_hint_mib: DEFAULT_GPU_MEMORY_HINT_MIB,
+            memory_hint: MemoryHint::Static,
         }
     }
 }
@@ -89,6 +95,13 @@ impl GyanConfig {
     /// Use the Process Allocated Memory strategy.
     pub fn with_memory_policy(mut self) -> Self {
         self.policy = AllocationPolicy::MemoryBased;
+        self
+    }
+
+    /// Resolve memory hints from learned footprint profiles (default
+    /// sample threshold) instead of the static destination hint.
+    pub fn with_learned_hints(mut self) -> Self {
+        self.memory_hint = MemoryHint::learned();
         self
     }
 
@@ -126,6 +139,9 @@ impl GyanConfig {
         if let Some(hint) = dest.params.get("gpu_memory_hint_mib").and_then(|v| v.parse().ok()) {
             out.gpu_memory_hint_mib = hint;
         }
+        if dest.params.get("memory_hint_mode") == Some("learned") {
+            out.memory_hint = MemoryHint::learned();
+        }
         out
     }
 }
@@ -148,12 +164,27 @@ impl GyanConfig {
 /// [`galaxy::scheduler::HandlerPool`] / `QueueEngine` so leases of plans
 /// skipped by a discard shutdown are released too.
 pub fn install_gyan(app: &mut GalaxyApp, cluster: &GpuCluster, config: GyanConfig) -> LeaseTable {
+    install_gyan_with_footprint(app, cluster, config).0
+}
+
+/// [`install_gyan`] also returning the [`FootprintRegistry`] the hook
+/// feeds, for ops surfaces (`/api/profiles`) and benches. In
+/// [`MemoryHint::Learned`] mode the registry additionally backs a
+/// [`galaxy::FootprintAdvisor`] on the app, so the queue engine's
+/// footprint-revised resubmission ladder can ask for a bigger budget
+/// before falling back to CPU.
+pub fn install_gyan_with_footprint(
+    app: &mut GalaxyApp,
+    cluster: &GpuCluster,
+    config: GyanConfig,
+) -> (LeaseTable, FootprintRegistry) {
     let recorder = app.recorder().clone();
     let recorder_clock = cluster.clock().clone();
     recorder.set_clock(move || recorder_clock.now());
     recorder.enable_flight(crate::ops::DEFAULT_FLIGHT_CAPACITY);
 
     let reservations = LeaseTable::new();
+    let footprint = FootprintRegistry::new();
     app.register_rule(
         config.rule_name.clone(),
         GpuDestinationRule::new(cluster, &config.gpu_destination, &config.cpu_destination)
@@ -165,12 +196,46 @@ pub fn install_gyan(app: &mut GalaxyApp, cluster: &GpuCluster, config: GyanConfi
         GyanHook::new(cluster, config.policy, config.gpu_destinations.clone())
             .with_recorder(recorder)
             .with_reservations(reservations.clone())
-            .with_default_memory_hint(config.gpu_memory_hint_mib),
+            .with_default_memory_hint(config.gpu_memory_hint_mib)
+            .with_footprint(footprint.clone(), config.memory_hint),
     ));
+    if config.memory_hint != MemoryHint::Static {
+        app.set_footprint_advisor(Box::new(footprint_advisor(footprint.clone())));
+    }
     app.add_mutator(Box::new(DockerGpuMutator));
     app.add_mutator(Box::new(SingularityGpuMutator));
     app.set_time_source(Box::new(ClusterTime(cluster.clock().clone())));
-    reservations
+    (reservations, footprint)
+}
+
+/// The revised-budget advisor the queue engine consults before a
+/// footprint-revised resubmission: profile max plus headroom, at least
+/// double the budget the failed attempt ran under (read back from the
+/// job's `GALAXY_GPU_MEMORY_BUDGET_MIB` / override exports).
+///
+/// Declines (returns `None`) when the job declares an observed peak
+/// that *fit* the failed attempt's budget — the failure wasn't an OOM,
+/// so a bigger budget can't fix it and a footprint retry would only
+/// delay the fallback ladder.
+pub fn footprint_advisor(
+    registry: FootprintRegistry,
+) -> impl Fn(&galaxy::Job) -> Option<u64> + Send + Sync + 'static {
+    move |job: &galaxy::Job| {
+        let input =
+            job.env_var(GALAXY_INPUT_SIZE_MIB_ENV).and_then(|v| v.parse().ok()).unwrap_or(0);
+        let prev: Option<u64> = job
+            .env_var(galaxy::GALAXY_GPU_BUDGET_OVERRIDE_ENV)
+            .or_else(|| job.env_var(crate::footprint::GPU_MEMORY_BUDGET_ENV))
+            .and_then(|v| v.parse().ok());
+        let peak: Option<u64> =
+            job.env_var(crate::footprint::GPU_OBSERVED_PEAK_ENV).and_then(|v| v.parse().ok());
+        if let (Some(peak), Some(prev)) = (peak, prev) {
+            if peak <= prev {
+                return None;
+            }
+        }
+        registry.revised_budget(&job.tool_id, input, prev)
+    }
 }
 
 #[cfg(test)]
@@ -301,5 +366,29 @@ mod from_conf_tests {
         )
         .unwrap();
         assert_eq!(GyanConfig::from_job_conf(&conf).policy, AllocationPolicy::ProcessId);
+    }
+
+    #[test]
+    fn advisor_declines_when_the_peak_fit_the_budget() {
+        use crate::footprint::{
+            FootprintRegistry, GALAXY_INPUT_SIZE_MIB_ENV, GPU_MEMORY_BUDGET_ENV,
+            GPU_OBSERVED_PEAK_ENV,
+        };
+        let registry = FootprintRegistry::new();
+        let advisor = footprint_advisor(registry);
+
+        let mut job = galaxy::Job::new(1, "racon_gpu", galaxy::params::ParamDict::new());
+        job.set_env(GALAXY_INPUT_SIZE_MIB_ENV, "512");
+        job.set_env(GPU_MEMORY_BUDGET_ENV, "1024");
+
+        // An OOM (peak above the granted budget) earns a doubled budget
+        // even before any profile exists.
+        job.set_env(GPU_OBSERVED_PEAK_ENV, "1500");
+        assert_eq!(advisor(&job), Some(2048));
+
+        // A failure whose peak *fit* the budget wasn't memory-caused:
+        // no revised budget, straight to the fallback ladder.
+        job.set_env(GPU_OBSERVED_PEAK_ENV, "700");
+        assert_eq!(advisor(&job), None);
     }
 }

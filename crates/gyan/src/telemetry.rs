@@ -89,6 +89,8 @@ pub fn merged_chrome_trace(
             "gyan/reservations"
         } else if event.name.starts_with("obs.alert") {
             "obs/alerts"
+        } else if event.name.starts_with("footprint.") {
+            "gyan/footprint"
         } else {
             "gyan/decisions"
         };
@@ -201,6 +203,7 @@ mod tests {
         rec.event("gyan.reservation.acquire", [("job_id", 1u64)]);
         rec.event("gyan.reservation.conflict", [("job_id", 2u64)]);
         rec.event("obs.alert.transition", [("rule", "gpu-conflict-rate")]);
+        rec.event("footprint.estimate", [("job_id", 1u64)]);
 
         let merged = merged_chrome_trace(&rec, &[], &[]);
         let track_for = |name: &str| {
@@ -217,6 +220,7 @@ mod tests {
         assert_eq!(track_for("gyan.reservation.acquire"), "gyan/reservations");
         assert_eq!(track_for("gyan.reservation.conflict"), "gyan/reservations");
         assert_eq!(track_for("obs.alert.transition"), "obs/alerts");
+        assert_eq!(track_for("footprint.estimate"), "gyan/footprint");
     }
 
     #[test]

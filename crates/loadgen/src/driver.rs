@@ -25,8 +25,13 @@ use galaxy::runners::{ExecutionPlan, ExecutionResult, JobExecutor};
 use galaxy::tool::macros::MacroLibrary;
 use galaxy::{GalaxyApp, GalaxyError};
 use gpusim::{GpuArch, GpuCluster};
+use gyan::allocation::AllocationPolicy;
+use gyan::footprint::{
+    MemoryHint, FOOTPRINT_ESTIMATE_EVENT, GALAXY_INPUT_SIZE_MIB_ENV, GPU_MEMORY_BUDGET_ENV,
+    GPU_OBSERVED_PEAK_ENV,
+};
 use gyan::ops::default_alert_rules;
-use gyan::setup::{install_gyan, ClusterTime, GyanConfig};
+use gyan::setup::{install_gyan_with_footprint, ClusterTime, GyanConfig};
 use obs::slo::{AlertEngine, AlertExpr, AlertRule, Compare};
 use simtest::invariants;
 use std::collections::BTreeSet;
@@ -37,6 +42,9 @@ use std::sync::Arc;
 pub const RUNTIME_ENV: &str = "LOADSIM_RUNTIME_S";
 /// Job env var marking a job that fails its GPU-enabled attempts.
 pub const FAIL_GPU_ENV: &str = "LOADSIM_FAIL_GPU";
+/// Job env var carrying the (slower) virtual runtime charged when a
+/// memory-model GPU job ends up running on CPU.
+pub const CPU_RUNTIME_ENV: &str = "LOADSIM_CPU_RUNTIME_S";
 /// Export the GYAN hook sets on plans that won a GPU lease.
 const GPU_ENABLED_ENV: &str = "GALAXY_GPU_ENABLED";
 
@@ -83,6 +91,24 @@ impl JobExecutor for LoadExecutor {
                 pid: None,
             };
         }
+        // The OOM rule of the memory model: a GPU attempt whose declared
+        // peak exceeds the budget the orchestrator granted dies exactly
+        // like a real CUDA OOM kill. Inactive unless the scenario set a
+        // peak (and the hook therefore exported a budget).
+        if gpu {
+            let peak = plan.env_var(GPU_OBSERVED_PEAK_ENV).and_then(|v| v.parse::<u64>().ok());
+            let budget = plan.env_var(GPU_MEMORY_BUDGET_ENV).and_then(|v| v.parse::<u64>().ok());
+            if let (Some(peak), Some(budget)) = (peak, budget) {
+                if peak > budget {
+                    return ExecutionResult {
+                        exit_code: 137,
+                        stdout: String::new(),
+                        stderr: format!("oom: peak {peak} MiB exceeded the {budget} MiB budget"),
+                        pid: None,
+                    };
+                }
+            }
+        }
         ExecutionResult::ok(if gpu { "gpu" } else { "cpu" })
     }
 }
@@ -96,6 +122,17 @@ pub struct LoadOptions {
     pub fail_on: Vec<String>,
     /// Override the livelock bound (default: `4 × jobs + 100` waves).
     pub max_waves: Option<usize>,
+    /// Device allocation strategy for single-node GYAN topologies
+    /// (`None` keeps [`GyanConfig::default`]'s Process-Id strategy).
+    pub allocation_policy: Option<AllocationPolicy>,
+    /// Memory-hint resolution mode — [`MemoryHint::Static`] (default)
+    /// vs. [`MemoryHint::Learned`] right-sizing from footprint
+    /// profiles. The ablation bench sweeps this.
+    pub memory_hint: MemoryHint,
+    /// Footprint-revised same-destination retries granted before the
+    /// GPU→CPU fallback ladder (effective only with a learned-mode
+    /// footprint advisor installed).
+    pub footprint_retries: u32,
 }
 
 /// Rule names every healthy scenario is expected to keep quiet — the
@@ -144,6 +181,19 @@ pub struct LoadReport {
     pub dropped_spans: u64,
     /// Events evicted by the recorder's retention cap.
     pub dropped_events: u64,
+    /// Resubmissions that walked the fallback ladder (GPU→CPU).
+    pub resubmitted_fallback: u64,
+    /// Placement-aware same-destination retries (failed node excluded).
+    pub resubmitted_node: u64,
+    /// Footprint-revised same-destination retries (bigger budget).
+    pub resubmitted_footprint: u64,
+    /// `footprint.estimate` audits whose estimate came from a converged
+    /// learned profile.
+    pub learned_estimates: u64,
+    /// Mean |estimate − observed peak| / peak over those audits (%).
+    pub estimate_err_pct_mean: f64,
+    /// Worst |estimate − observed peak| / peak over those audits (%).
+    pub estimate_err_pct_max: f64,
 }
 
 /// A failed soak run, reproducible from the seed alone.
@@ -255,7 +305,12 @@ pub fn run_scenario(
     let (clock, gyan_table, the_fleet, _cluster) = match scenario.topology {
         Topology::SingleNode { gpus } => {
             let cluster = GpuCluster::node(GpuArch::tesla_k80(), gpus);
-            let table = install_gyan(&mut app, &cluster, GyanConfig::default());
+            let config = GyanConfig {
+                policy: options.allocation_policy.unwrap_or(GyanConfig::default().policy),
+                memory_hint: options.memory_hint,
+                ..GyanConfig::default()
+            };
+            let (table, _registry) = install_gyan_with_footprint(&mut app, &cluster, config);
             (cluster.clock().clone(), Some(table), None, Some(cluster))
         }
         Topology::Fleet { k80, a100 } => {
@@ -264,12 +319,13 @@ pub fn run_scenario(
                 .nodes(fleet::NodeClass::a100(), a100)
                 .recorder(app.recorder().clone())
                 .build();
-            fleet::install_fleet(
+            fleet::install_fleet_with_footprint(
                 &mut app,
                 &fleet,
                 fleet::FleetConfig {
                     gpu_destination: "local_gpu".to_string(),
                     gpu_destinations: vec!["local_gpu".to_string()],
+                    memory_hint: options.memory_hint,
                     ..fleet::FleetConfig::default()
                 },
             );
@@ -315,13 +371,19 @@ pub fn run_scenario(
         workers: scenario.workers,
         capacity: scenario.capacity,
         per_user_limit: None,
-        resubmit: ResubmitPolicy::gpu_to_cpu("local_cpu"),
+        resubmit: ResubmitPolicy::gpu_to_cpu("local_cpu")
+            .with_footprint_retries(options.footprint_retries),
         time_charging: Some(WaveTimeCharging {
             clock: Box::new(ClusterTime::new(clock.clone())),
             model: Box::new(move |plan: &ExecutionPlan| {
-                plan.env_var(RUNTIME_ENV)
-                    .and_then(|v| v.parse::<f64>().ok())
-                    .unwrap_or(model_default)
+                // A memory-model GPU job pushed off the GPU pays its CPU
+                // runtime; everything else charges its base runtime.
+                let env = if plan.env_var(GPU_ENABLED_ENV) == Some("true") {
+                    RUNTIME_ENV
+                } else {
+                    plan.env_var(CPU_RUNTIME_ENV).map(|_| CPU_RUNTIME_ENV).unwrap_or(RUNTIME_ENV)
+                };
+                plan.env_var(env).and_then(|v| v.parse::<f64>().ok()).unwrap_or(model_default)
             }),
         }),
         dispatch: scenario.dispatch,
@@ -356,6 +418,25 @@ pub fn run_scenario(
                     app.set_job_env(handle.0, RUNTIME_ENV, &format!("{:.3}", job.runtime_s));
                     if job.fail_on_gpu {
                         app.set_job_env(handle.0, FAIL_GPU_ENV, "1");
+                    }
+                    if job.peak_mib > 0 {
+                        // Memory-model job: declare its input size (what
+                        // the hook buckets on), its true peak (what the
+                        // executor OOM-checks and the profile learns),
+                        // and the slower runtime a CPU fallback pays.
+                        app.set_job_env(
+                            handle.0,
+                            GALAXY_INPUT_SIZE_MIB_ENV,
+                            &job.input_mib.to_string(),
+                        );
+                        app.set_job_env(handle.0, GPU_OBSERVED_PEAK_ENV, &job.peak_mib.to_string());
+                        let slowdown =
+                            scenario.memory.as_ref().map(|m| m.cpu_slowdown).unwrap_or(1.0);
+                        app.set_job_env(
+                            handle.0,
+                            CPU_RUNTIME_ENV,
+                            &format!("{:.3}", job.runtime_s * slowdown),
+                        );
                     }
                 }
                 Err(GalaxyError::QueueRejected(_)) => rejected += 1,
@@ -420,6 +501,23 @@ pub fn run_scenario(
     let count = |want: SubmissionState| states.iter().filter(|(_, s)| *s == want).count();
     let metrics = recorder.metrics();
     let (dropped_spans, dropped_events) = recorder.dropped_log_records();
+    let resubmits = |reason: &str| {
+        metrics.counter_value(&format!(
+            "{}{{reason=\"{reason}\"}}",
+            galaxy::queue::QUEUE_RESUBMITTED_COUNTER
+        ))
+    };
+    // Accuracy of the learned estimates, from the footprint audits.
+    let learned_errs: Vec<f64> = recorder
+        .events()
+        .iter()
+        .filter(|e| {
+            e.name == FOOTPRINT_ESTIMATE_EVENT
+                && e.field("source").and_then(|v| v.as_str()) == Some("learned")
+        })
+        .filter_map(|e| e.field("err_pct").and_then(|v| v.as_f64()))
+        .map(f64::abs)
+        .collect();
     let report = LoadReport {
         seed: scenario.seed,
         users: scenario.users,
@@ -441,6 +539,16 @@ pub fn run_scenario(
         peak_queue_depth,
         dropped_spans,
         dropped_events,
+        resubmitted_fallback: resubmits("fallback"),
+        resubmitted_node: resubmits("node_excluded"),
+        resubmitted_footprint: resubmits("footprint_revised"),
+        learned_estimates: learned_errs.len() as u64,
+        estimate_err_pct_mean: if learned_errs.is_empty() {
+            0.0
+        } else {
+            learned_errs.iter().sum::<f64>() / learned_errs.len() as f64
+        },
+        estimate_err_pct_max: learned_errs.iter().cloned().fold(0.0, f64::max),
     };
 
     engine.shutdown();
@@ -519,6 +627,52 @@ mod tests {
         let report = run_scenario(&scenario, &LoadOptions::default()).expect("fleet run");
         assert_eq!(report.ok, report.submitted);
         assert!(!report.fired.iter().any(|r| r == "fleet-lease-leak"), "{:?}", report.fired);
+    }
+
+    #[test]
+    fn learned_hints_cut_fallbacks_and_estimate_within_bound() {
+        let mut scenario = small(42);
+        scenario.gpu_fraction = 0.9;
+        scenario.memory = Some(crate::scenario::MemoryModel::default());
+
+        // Static arm: every job whose true peak exceeds the 1024 MiB
+        // destination hint OOMs on GPU and pays the CPU slowdown.
+        let static_report =
+            run_scenario(&scenario, &LoadOptions::default()).expect("static arm runs");
+        assert!(
+            static_report.resubmitted_fallback > 0,
+            "memory model must push some jobs off the GPU in the static arm"
+        );
+        assert_eq!(static_report.learned_estimates, 0, "static arm never learns");
+
+        // Learned arm: footprint retries double the budget until the
+        // attempt fits, the profile converges, and later jobs dispatch
+        // with a right-sized learned p95.
+        let learned_report = run_scenario(
+            &scenario,
+            &LoadOptions {
+                memory_hint: MemoryHint::learned(),
+                footprint_retries: 3,
+                ..Default::default()
+            },
+        )
+        .expect("learned arm runs");
+        assert!(
+            learned_report.resubmitted_fallback < static_report.resubmitted_fallback,
+            "learned {} !< static {}",
+            learned_report.resubmitted_footprint,
+            static_report.resubmitted_fallback
+        );
+        assert!(learned_report.resubmitted_footprint > 0, "budget doublings happened");
+        assert!(learned_report.learned_estimates > 0, "profiles converged");
+        assert!(
+            learned_report.estimate_err_pct_max <= 20.0,
+            "worst learned estimate off by {:.1}%",
+            learned_report.estimate_err_pct_max
+        );
+        // Both arms still finish every job (CPU is always a safe harbour).
+        assert_eq!(static_report.ok, static_report.submitted);
+        assert_eq!(learned_report.ok, learned_report.submitted);
     }
 
     #[test]

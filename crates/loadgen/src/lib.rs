@@ -38,7 +38,7 @@ pub use driver::{
     FAIL_GPU_ENV, RUNTIME_ENV,
 };
 pub use mix::{BoundedPareto, UserMix};
-pub use scenario::{LoadJob, LoadScenario, Topology, CPU_TOOL_ID, GPU_TOOL_ID};
+pub use scenario::{LoadJob, LoadScenario, MemoryModel, Topology, CPU_TOOL_ID, GPU_TOOL_ID};
 
 // The knob grammar is shared with simtest (`SIMTEST_*` ↔ `LOADTEST_*`).
 pub use simtest::{parse_cases, parse_seed};

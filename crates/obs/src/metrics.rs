@@ -45,6 +45,8 @@ struct MetricsState {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Optional help text, keyed by base metric name (labels stripped).
+    help: BTreeMap<String, String>,
 }
 
 /// Thread-safe metrics registry; clone freely, all clones share state.
@@ -72,6 +74,19 @@ impl Registry {
     /// Add `by` to a monotonically increasing counter.
     pub fn inc_counter(&self, name: &str, by: u64) {
         *self.lock().counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Register help text for a metric family. Keyed by base name
+    /// (inline labels are stripped), rendered as a `# HELP` line ahead
+    /// of the family's `# TYPE` header. Idempotent; the latest text
+    /// wins.
+    pub fn set_help(&self, name: &str, help: &str) {
+        self.lock().help.insert(base_name(name).to_string(), help.to_string());
+    }
+
+    /// Registered help text for a metric family, if any.
+    pub fn help_text(&self, name: &str) -> Option<String> {
+        self.lock().help.get(base_name(name)).cloned()
     }
 
     /// Set a gauge to an absolute value.
@@ -160,14 +175,19 @@ impl Registry {
     /// Render the whole registry in Prometheus text exposition format.
     ///
     /// Output is deterministic: metric families sorted by name, one
+    /// `# HELP` (when registered via [`Registry::set_help`]) and one
     /// `# TYPE` header per base name (inline labels stripped).
     pub fn render_prometheus(&self) -> String {
         let state = self.lock();
+        let help = &state.help;
         let mut out = String::new();
         let mut last_typed = String::new();
         let mut type_header = |out: &mut String, name: &str, kind: &str| {
             let base = base_name(name);
             if last_typed != base {
+                if let Some(text) = help.get(base) {
+                    out.push_str(&format!("# HELP {base} {}\n", escape_help(text)));
+                }
                 out.push_str(&format!("# TYPE {base} {kind}\n"));
                 last_typed = base.to_string();
             }
@@ -276,6 +296,20 @@ fn render_label_body(pairs: &[(String, String)]) -> String {
     let rendered: Vec<String> =
         pairs.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
     rendered.join(",")
+}
+
+/// Escape `# HELP` text per the Prometheus text format: backslash and
+/// line-feed only (quotes stay literal in help text).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Escape a label value per the Prometheus text format: backslash,
@@ -474,6 +508,72 @@ mod tests {
             .unwrap();
         assert_eq!(bucket.label("tool"), Some("racon \\ gpu"));
         assert_eq!(bucket.value, 1.0);
+    }
+
+    #[test]
+    fn help_lines_precede_type_headers_and_escape() {
+        let reg = Registry::new();
+        reg.set_help("jobs_total", "Jobs admitted, by state.");
+        reg.set_help("wait_seconds", "Queue wait.\nSecond \\ line.");
+        reg.inc_counter("jobs_total{state=\"ok\"}", 1);
+        reg.inc_counter("jobs_total{state=\"error\"}", 2);
+        reg.inc_counter("unhelped_total", 1);
+        reg.observe_with_buckets("wait_seconds", 0.5, &[1.0]);
+
+        let text = reg.render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let help_at = lines
+            .iter()
+            .position(|l| *l == "# HELP jobs_total Jobs admitted, by state.")
+            .expect("help line present");
+        assert_eq!(lines[help_at + 1], "# TYPE jobs_total counter");
+        // One HELP per family, even with two labeled series.
+        assert_eq!(lines.iter().filter(|l| l.starts_with("# HELP jobs_total")).count(), 1);
+        assert!(lines.contains(&"# HELP wait_seconds Queue wait.\\nSecond \\\\ line."), "{text}");
+        assert!(!text.contains("# HELP unhelped_total"));
+        // Help keyed by base name works when set with a labeled key too.
+        reg.set_help("other_total{a=\"b\"}", "By base.");
+        assert_eq!(reg.help_text("other_total"), Some("By base.".to_string()));
+        parse_prometheus(&text).expect("help lines do not break the parser");
+    }
+
+    #[test]
+    fn histogram_exposition_conformance_round_trips() {
+        let reg = Registry::new();
+        reg.set_help("conf_seconds", "Conformance histogram.");
+        for v in [0.05, 0.5, 5.0] {
+            reg.observe_with_buckets("conf_seconds{tool=\"racon\"}", v, &[0.1, 1.0]);
+        }
+        let text = reg.render_prometheus();
+        let samples = parse_prometheus(&text).expect("exposition parses");
+        let series: Vec<&PromSample> =
+            samples.iter().filter(|s| s.name.starts_with("conf_seconds")).collect();
+        // Exactly the conformant series set: every finite bucket, a
+        // terminal +Inf bucket, then _sum and _count.
+        let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "conf_seconds_bucket",
+                "conf_seconds_bucket",
+                "conf_seconds_bucket",
+                "conf_seconds_sum",
+                "conf_seconds_count"
+            ]
+        );
+        let buckets: Vec<&&PromSample> =
+            series.iter().filter(|s| s.name == "conf_seconds_bucket").collect();
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        // Buckets are cumulative and +Inf equals _count.
+        let cum: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "{cum:?}");
+        let count = series.iter().find(|s| s.name == "conf_seconds_count").unwrap();
+        assert_eq!(buckets.last().unwrap().value, count.value);
+        assert_eq!(count.value, 3.0);
+        let sum = series.iter().find(|s| s.name == "conf_seconds_sum").unwrap();
+        assert!((sum.value - 5.55).abs() < 1e-9);
+        // Labels survive on every series of the family.
+        assert!(buckets.iter().all(|s| s.label("tool") == Some("racon")));
     }
 
     #[test]

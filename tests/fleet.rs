@@ -362,6 +362,7 @@ fn resubmission_releases_leases_before_the_retry_places() {
         max_attempts: 2,
         fallbacks: vec!["local_gpu".into()],
         node_retries: 0,
+        footprint_retries: 0,
     };
     let mut engine = fleet_engine(&fleet, policy);
 

@@ -1,0 +1,142 @@
+//! Footprint-profile loop, end to end through the real stack: learned
+//! right-sizing, footprint-revised resubmission ahead of the GPU→CPU
+//! ladder, the success-path env scrub, and the `/api/profiles` surface.
+
+use galaxy::job::conf::{JobConfig, GYAN_JOB_CONF};
+use galaxy::params::ParamDict;
+use galaxy::queue::{
+    QueueConfig, QueueEngine, ResubmitPolicy, SubmissionState, QUEUE_RESUBMITTED_COUNTER,
+};
+use galaxy::tool::macros::MacroLibrary;
+use galaxy::GalaxyApp;
+use gpusim::{GpuArch, GpuCluster};
+use gyan::footprint::{
+    FootprintRegistry, GALAXY_INPUT_SIZE_MIB_ENV, GPU_MEMORY_BUDGET_ENV, GPU_OBSERVED_PEAK_ENV,
+};
+use gyan::setup::{install_gyan_with_footprint, GyanConfig};
+use loadgen::{LoadExecutor, FAIL_GPU_ENV};
+use obs::serve::Request;
+use std::sync::Arc;
+
+const GPU_TOOL: &str = r#"<tool id="load_gpu" name="Load GPU">
+  <requirements><requirement type="compute">gpu</requirement></requirements>
+  <command>load_kernel</command>
+  <outputs><data name="out" format="txt"/></outputs>
+</tool>"#;
+
+/// A wired stack: GYAN with footprint learning on one K80 node, the
+/// loadgen executor (which OOM-kills GPU attempts whose declared peak
+/// exceeds the granted budget), and `footprint_retries` same-destination
+/// retries ahead of the GPU→CPU ladder.
+fn engine(footprint_retries: u32) -> (QueueEngine, FootprintRegistry) {
+    let cluster = GpuCluster::node(GpuArch::tesla_k80(), 2);
+    let mut app = GalaxyApp::new(JobConfig::from_xml(GYAN_JOB_CONF).unwrap());
+    app.install_tool_xml(GPU_TOOL, &MacroLibrary::new()).unwrap();
+    let config = GyanConfig::default().with_learned_hints();
+    let (_table, registry) = install_gyan_with_footprint(&mut app, &cluster, config);
+    app.set_executor(Box::new(LoadExecutor));
+    let config = QueueConfig {
+        workers: 1,
+        resubmit: ResubmitPolicy::gpu_to_cpu("local_cpu").with_footprint_retries(footprint_retries),
+        ..QueueConfig::default()
+    };
+    (QueueEngine::new(app, Arc::new(LoadExecutor), config), registry)
+}
+
+fn labeled(reason: &str) -> String {
+    format!("{QUEUE_RESUBMITTED_COUNTER}{{reason=\"{reason}\"}}")
+}
+
+/// An oversized job OOMs under the 1024 MiB static hint, earns a
+/// footprint-revised retry at double the budget on the *same* GPU
+/// destination, succeeds there, feeds the profile — and the surviving
+/// job record carries none of the per-attempt retry context.
+#[test]
+fn oom_earns_a_footprint_retry_and_the_success_path_scrubs_the_env() {
+    let (mut engine, registry) = engine(2);
+    let handle = engine.submit_async("alice", "load_gpu", &ParamDict::new()).unwrap();
+    engine.app_mut().set_job_env(handle.0, GALAXY_INPUT_SIZE_MIB_ENV, "1200");
+    engine.app_mut().set_job_env(handle.0, GPU_OBSERVED_PEAK_ENV, "1500");
+    engine.run_until_idle();
+
+    assert_eq!(engine.state(handle), Some(SubmissionState::Ok));
+    let job = engine.app().job(handle.0).unwrap();
+    assert_eq!(job.destination_id.as_deref(), Some("local_gpu"), "no CPU fallback needed");
+    // The retry ran under the doubled budget...
+    assert_eq!(job.env_var(GPU_MEMORY_BUDGET_ENV), Some("2048"));
+    // ...but the success path scrubbed the override and exclusion set
+    // (the regression this test pins: a finished job must not carry the
+    // retry context of its failed attempts).
+    assert_eq!(job.env_var(galaxy::GALAXY_GPU_BUDGET_OVERRIDE_ENV), None);
+    assert_eq!(job.env_var(galaxy::GALAXY_EXCLUDED_NODES_ENV), None);
+
+    let metrics = engine.app().recorder().metrics();
+    assert_eq!(metrics.counter_value(&labeled("footprint_revised")), 1);
+    assert_eq!(metrics.counter_value(&labeled("fallback")), 0);
+
+    // The successful attempt fed the profile with the observed peak.
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.len(), 1);
+    assert_eq!(snapshot[0].tool, "load_gpu");
+    assert_eq!(snapshot[0].samples, 1);
+    assert!(
+        (snapshot[0].peak_mib_max - 1500.0).abs() < 1.0,
+        "profile max {}",
+        snapshot[0].peak_mib_max
+    );
+}
+
+/// A fault that is *not* an OOM (the declared peak fit the budget) must
+/// not consume footprint retries: the advisor declines and the job goes
+/// straight down the fallback ladder to CPU.
+#[test]
+fn non_oom_failures_skip_the_footprint_retry() {
+    let (mut engine, _registry) = engine(2);
+    let handle = engine.submit_async("bob", "load_gpu", &ParamDict::new()).unwrap();
+    engine.app_mut().set_job_env(handle.0, GALAXY_INPUT_SIZE_MIB_ENV, "256");
+    engine.app_mut().set_job_env(handle.0, GPU_OBSERVED_PEAK_ENV, "300");
+    engine.app_mut().set_job_env(handle.0, FAIL_GPU_ENV, "1");
+    engine.run_until_idle();
+
+    assert_eq!(engine.state(handle), Some(SubmissionState::Ok));
+    let job = engine.app().job(handle.0).unwrap();
+    assert_eq!(job.destination_id.as_deref(), Some("local_cpu"));
+    let metrics = engine.app().recorder().metrics();
+    assert_eq!(metrics.counter_value(&labeled("footprint_revised")), 0);
+    assert_eq!(metrics.counter_value(&labeled("fallback")), 1);
+}
+
+/// `/api/profiles` serves the registry as JSON and, with
+/// `?format=prometheus`, as metrics text with `# HELP` headers.
+#[test]
+fn profiles_route_serves_json_and_prometheus() {
+    let (mut engine, registry) = engine(2);
+    let handle = engine.submit_async("carol", "load_gpu", &ParamDict::new()).unwrap();
+    engine.app_mut().set_job_env(handle.0, GALAXY_INPUT_SIZE_MIB_ENV, "512");
+    engine.app_mut().set_job_env(handle.0, GPU_OBSERVED_PEAK_ENV, "600");
+    engine.run_until_idle();
+    assert_eq!(engine.state(handle), Some(SubmissionState::Ok));
+
+    let route = gyan::ops::profiles_route(&registry);
+    let json = route(&Request {
+        method: "GET".to_string(),
+        path: "/api/profiles".to_string(),
+        query: String::new(),
+    });
+    assert_eq!(json.status, 200);
+    assert_eq!(json.content_type, "application/json");
+    let doc = obs::json::parse(&json.body).expect("profiles JSON parses");
+    let profiles = doc.get("profiles").and_then(|v| v.as_array()).expect("profiles array");
+    assert_eq!(profiles.len(), 1);
+    assert_eq!(profiles[0].get("tool").and_then(|v| v.as_str()), Some("load_gpu"));
+    assert_eq!(profiles[0].get("samples").and_then(|v| v.as_f64()), Some(1.0));
+
+    let prom = route(&Request {
+        method: "GET".to_string(),
+        path: "/api/profiles".to_string(),
+        query: "format=prometheus".to_string(),
+    });
+    assert_eq!(prom.status, 200);
+    assert!(prom.body.contains("# HELP gyan_footprint_peak_mib_p95"), "{}", prom.body);
+    assert!(prom.body.contains("tool=\"load_gpu\""), "{}", prom.body);
+}

@@ -252,3 +252,106 @@ proptest! {
         }
     }
 }
+
+/// Map a uniform draw in `1..=1_000_000` to a Pareto-tailed sample —
+/// the shape of real footprint streams (many small peaks, a heavy
+/// tail), and the worst case for fixed-width histogram designs.
+fn pareto(u: u64) -> f64 {
+    let uniform = u as f64 / 1_000_001.0;
+    let xm = 8.0;
+    let alpha = 1.3;
+    (xm / (1.0 - uniform).powf(1.0 / alpha)).min(1e9)
+}
+
+proptest! {
+    /// The sketch merge is exactly commutative, and associative up to
+    /// float-summation order in the exact `sum` carry-along: shard
+    /// sketches merged in any order give identical quantiles — the
+    /// property the footprint registry's per-bucket aggregation relies
+    /// on for replica-identical profiles.
+    #[test]
+    fn sketch_merge_is_commutative_and_associative(
+        a in prop::collection::vec(1u64..1_000_000, 0..120),
+        b in prop::collection::vec(1u64..1_000_000, 0..120),
+        c in prop::collection::vec(1u64..1_000_000, 0..120),
+    ) {
+        let fill = |vals: &[u64]| {
+            let mut s = obs::sketch::QuantileSketch::default();
+            for &v in vals {
+                s.observe(pareto(v));
+            }
+            s
+        };
+        let (sa, sb, sc) = (fill(&a), fill(&b), fill(&c));
+
+        // Commutative: bucket counts, min/max, and the f64 sum all
+        // commute, so the merged sketches are bitwise-equal structs.
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: bucket counts add exactly in any grouping, so
+        // every quantile matches; only the float sum may differ in the
+        // last ulp.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.count(), a_bc.count());
+        prop_assert_eq!(ab_c.min(), a_bc.min());
+        prop_assert_eq!(ab_c.max(), a_bc.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ab_c.quantile(q), a_bc.quantile(q), "q={}", q);
+        }
+        let (s1, s2) = (ab_c.sum(), a_bc.sum());
+        prop_assert!((s1 - s2).abs() <= 1e-9 * s1.abs().max(1.0), "{} vs {}", s1, s2);
+    }
+
+    /// Two sketches fed the same stream are bitwise-identical — no
+    /// hidden randomness, no insertion-order sensitivity beyond the
+    /// stream itself.
+    #[test]
+    fn sketch_is_deterministic(values in prop::collection::vec(1u64..1_000_000, 0..200)) {
+        let fill = || {
+            let mut s = obs::sketch::QuantileSketch::default();
+            for &v in &values {
+                s.observe(pareto(v));
+            }
+            s
+        };
+        prop_assert_eq!(fill(), fill());
+    }
+
+    /// Every quantile estimate is within the promised `2·alpha`
+    /// relative error of the exact same-rank sample, even over a
+    /// heavy-tailed stream.
+    #[test]
+    fn sketch_quantiles_respect_the_relative_error_bound(
+        values in prop::collection::vec(1u64..1_000_000, 1..300),
+    ) {
+        let mut sketch = obs::sketch::QuantileSketch::default();
+        let mut exact: Vec<f64> = Vec::with_capacity(values.len());
+        for &v in &values {
+            let x = pareto(v);
+            sketch.observe(x);
+            exact.push(x);
+        }
+        exact.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let n = exact.len();
+        for q in [0.0, 0.1, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            // The sketch's rank convention: 1-based ceil(q·n), clamped.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let truth = exact[rank - 1];
+            let est = sketch.quantile(q).unwrap();
+            let bound = 2.0 * sketch.alpha() * truth + 1e-9;
+            prop_assert!(
+                (est - truth).abs() <= bound,
+                "q={} est={} truth={} bound={}", q, est, truth, bound
+            );
+        }
+    }
+}

@@ -197,6 +197,7 @@ fn resubmit_chain_walks_every_fallback_then_fails_final() {
         max_attempts: 3,
         fallbacks: vec!["local_gpu".into(), "local_cpu".into()],
         node_retries: 0,
+        footprint_retries: 0,
     };
     let config = QueueConfig { resubmit: policy, ..QueueConfig::default() };
     let mut engine = QueueEngine::new(app, echo_executor(), config);
